@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks: FP8/INT8 codec throughput and the
+//! fake-quantization overhead on the core compute kernels. These measure
+//! the *emulation* cost (the paper's framework also ran FP8 emulation on
+//! FP32 hardware); they are not accelerator performance claims.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ptq_fp8::{fake_quant_fp8, fake_quant_fp8_per_channel, fake_quant_int8, fp8_scale, Fp8Codec, Fp8Format, Int8Codec, Int8Mode};
+use ptq_tensor::ops::{conv2d, linear, Conv2dParams};
+use ptq_tensor::TensorRng;
+
+fn bench_scalar_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalar_codec");
+    let values: Vec<f32> = TensorRng::seed(1).normal(&[4096], 0.0, 1.0).into_vec();
+    for f in Fp8Format::ALL {
+        let codec = Fp8Codec::new(f);
+        g.throughput(Throughput::Elements(values.len() as u64));
+        g.bench_function(format!("encode_{f}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &v in &values {
+                    acc = acc.wrapping_add(codec.encode(black_box(v)) as u32);
+                }
+                acc
+            })
+        });
+        g.bench_function(format!("quantize_{f}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for &v in &values {
+                    acc += codec.quantize(black_box(v));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tensor_fake_quant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tensor_fake_quant");
+    let data = TensorRng::seed(2).normal(&[64 * 1024], 0.0, 1.0).into_vec();
+    g.throughput(Throughput::Elements(data.len() as u64));
+    for f in Fp8Format::ALL {
+        let codec = Fp8Codec::new(f);
+        let s = fp8_scale(f, 4.0);
+        g.bench_function(format!("fp8_per_tensor_{f}"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| fake_quant_fp8(&mut d, &codec, s),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    let codec = Fp8Codec::new(Fp8Format::E4M3);
+    g.bench_function("fp8_per_channel_E4M3_64ch", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| fake_quant_fp8_per_channel(&mut d, &codec, 64, 1024),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let int8 = Int8Codec::from_range(-4.0, 4.0, Int8Mode::Symmetric);
+    g.bench_function("int8_per_tensor", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| fake_quant_int8(&mut d, &int8),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(20);
+    let mut rng = TensorRng::seed(3);
+    let x = rng.normal(&[32, 128], 0.0, 1.0);
+    let w = rng.normal(&[128, 128], 0.0, 0.05);
+    g.bench_function("linear_32x128x128_fp32", |b| {
+        b.iter(|| linear(black_box(&x), black_box(&w), None))
+    });
+    let codec = Fp8Codec::new(Fp8Format::E4M3);
+    g.bench_function("linear_32x128x128_fakequant_e4m3", |b| {
+        b.iter(|| {
+            let mut xq = x.clone();
+            fake_quant_fp8(xq.data_mut(), &codec, fp8_scale(Fp8Format::E4M3, 4.0));
+            let mut wq = w.clone();
+            fake_quant_fp8_per_channel(wq.data_mut(), &codec, 128, 128);
+            linear(&xq, &wq, None)
+        })
+    });
+    let img = rng.normal(&[4, 8, 16, 16], 0.0, 1.0);
+    let k = rng.normal(&[8, 8, 3, 3], 0.0, 0.1);
+    g.bench_function("conv2d_4x8x16x16_fp32", |b| {
+        b.iter(|| conv2d(black_box(&img), black_box(&k), None, Conv2dParams::same(3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scalar_codecs, bench_tensor_fake_quant, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! **Figure 5 — accuracy loss by model size.**
+//!
+//! The paper scatter-plots relative accuracy loss against model size
+//! (log10 MB, bucketed tiny/small/medium/large) for CV and NLP. Our zoo's
+//! absolute sizes are ~100× smaller than production checkpoints (see
+//! DESIGN.md), so the buckets here are quantiles of the zoo's own size
+//! distribution; the shape to reproduce is that FP8 loss is small and
+//! roughly size-independent, while INT8 shows large losses concentrated
+//! in particular (outlier-heavy) models regardless of size.
+
+use ptq_bench::{save_json, MdTable};
+use ptq_core::workflow::{run_suite, table2_rows};
+use ptq_core::config::Approach;
+use ptq_metrics::Domain;
+use ptq_models::{build_zoo, ZooFilter};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Fig5Point {
+    workload: String,
+    domain: String,
+    format: String,
+    size_mb: f64,
+    log10_size: f64,
+    loss: f64,
+}
+
+fn main() {
+    eprintln!("building zoo…");
+    let zoo = build_zoo(ZooFilter::All);
+    let mut points = Vec::new();
+    for (fmt, ap) in table2_rows() {
+        if ap == Approach::Dynamic {
+            continue; // the figure plots the static recipes
+        }
+        eprintln!("running {fmt:?}…");
+        let row = run_suite(&zoo, fmt, ap);
+        for r in &row.results {
+            points.push(Fig5Point {
+                workload: r.workload.clone(),
+                domain: r.domain.to_string(),
+                format: format!("{fmt}"),
+                size_mb: r.size_mb,
+                log10_size: r.size_mb.max(1e-9).log10(),
+                loss: r.loss(),
+            });
+        }
+    }
+
+    // Size quantile buckets over the zoo.
+    let mut sizes: Vec<f64> = zoo.iter().map(|w| w.graph.size_mb()).collect();
+    sizes.sort_by(|a, b| a.partial_cmp(b).expect("finite sizes"));
+    let q = |p: f64| sizes[((sizes.len() - 1) as f64 * p) as usize];
+    let (q1, q2, q3) = (q(0.25), (q(0.5)), q(0.75));
+    let bucket = |s: f64| {
+        if s <= q1 {
+            "tiny"
+        } else if s <= q2 {
+            "small"
+        } else if s <= q3 {
+            "medium"
+        } else {
+            "large"
+        }
+    };
+
+    println!("\n## Figure 5 — mean |loss| by size bucket and domain\n");
+    for dom in [Domain::Cv, Domain::Nlp] {
+        println!("### {dom}\n");
+        let mut t = MdTable::new(&["Format", "tiny", "small", "medium", "large"]);
+        let formats: Vec<String> = {
+            let mut v: Vec<String> = points.iter().map(|p| p.format.clone()).collect();
+            v.dedup();
+            v.sort();
+            v.dedup();
+            v
+        };
+        for f in &formats {
+            let mut cells = vec![f.clone()];
+            for b in ["tiny", "small", "medium", "large"] {
+                let sel: Vec<f64> = points
+                    .iter()
+                    .filter(|p| {
+                        p.format == *f && p.domain == dom.to_string() && bucket(p.size_mb) == b
+                    })
+                    .map(|p| p.loss.abs())
+                    .collect();
+                if sel.is_empty() {
+                    cells.push("—".into());
+                } else {
+                    cells.push(format!(
+                        "{:.2}% (n={})",
+                        100.0 * sel.iter().sum::<f64>() / sel.len() as f64,
+                        sel.len()
+                    ));
+                }
+            }
+            t.row(cells);
+        }
+        t.print();
+        println!();
+    }
+    println!(
+        "Size buckets are zoo quantiles at {:.3}/{:.3}/{:.3} MB (paper buckets 32/384/512 MB; \
+         our substrate is ~100x smaller).",
+        q1, q2, q3
+    );
+    let path = save_json("fig5", &points);
+    eprintln!("raw results -> {}", path.display());
+}

@@ -1,0 +1,186 @@
+//! `ptq` — command-line interface to the FP8 PTQ framework.
+//!
+//! ```text
+//! ptq zoo                         list the 75 workloads
+//! ptq quantize <workload> [fmt]   quantize one workload (fmt: e5m2|e4m3|e3m4|int8|mixed)
+//! ptq sensitivity <workload>      per-operator sensitivity ranking
+//! ptq tune <workload>             accuracy-driven recipe search
+//! ```
+//!
+//! Workload names match `ptq zoo` output; a unique prefix is accepted.
+
+use ptq_bench::MdTable;
+use ptq_core::config::{Approach, DataFormat, QuantConfig};
+use ptq_core::workflow::paper_mixed_recipe;
+use ptq_core::{paper_recipe, quantize_workload, sensitivity_profile, AutoTuner};
+use ptq_fp8::Fp8Format;
+use ptq_models::{build_zoo, Workload, ZooFilter};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("zoo") => cmd_zoo(),
+        Some("quantize") => cmd_quantize(&args[1..]),
+        Some("sensitivity") => cmd_sensitivity(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: ptq <command>\n\n  zoo\n  quantize <workload> [e5m2|e4m3|e3m4|int8|mixed|all]\n  sensitivity <workload>\n  tune <workload>"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn find<'a>(zoo: &'a [Workload], prefix: &str) -> &'a Workload {
+    let matches: Vec<&Workload> = zoo
+        .iter()
+        .filter(|w| w.spec.name.starts_with(prefix))
+        .collect();
+    match matches.len() {
+        0 => {
+            eprintln!("no workload named '{prefix}' (see `ptq zoo`)");
+            std::process::exit(1);
+        }
+        1 => matches[0],
+        n => {
+            eprintln!("'{prefix}' is ambiguous ({n} matches):");
+            for m in matches.iter().take(8) {
+                eprintln!("  {}", m.spec.name);
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_zoo() {
+    eprintln!("building zoo…");
+    let zoo = build_zoo(ZooFilter::All);
+    let mut t = MdTable::new(&["Workload", "Domain", "Family", "Params", "FP32 score"]);
+    for w in &zoo {
+        t.row(vec![
+            w.spec.name.clone(),
+            w.spec.domain.to_string(),
+            w.spec.family.clone(),
+            w.graph.param_count().to_string(),
+            format!("{:.4}", w.fp32_score),
+        ]);
+    }
+    t.print();
+}
+
+fn parse_format(s: &str) -> Option<DataFormat> {
+    match s {
+        "e5m2" => Some(DataFormat::Fp8(Fp8Format::E5M2)),
+        "e4m3" => Some(DataFormat::Fp8(Fp8Format::E4M3)),
+        "e3m4" => Some(DataFormat::Fp8(Fp8Format::E3M4)),
+        "int8" => Some(DataFormat::Int8),
+        _ => None,
+    }
+}
+
+fn cmd_quantize(args: &[String]) {
+    let Some(name) = args.first() else {
+        eprintln!("usage: ptq quantize <workload> [format]");
+        std::process::exit(2);
+    };
+    let fmt_arg = args.get(1).map(String::as_str).unwrap_or("all");
+    eprintln!("building zoo…");
+    let zoo = build_zoo(ZooFilter::All);
+    let w = find(&zoo, name);
+    println!(
+        "workload {} ({:?}, {} params, fp32 {:.4})\n",
+        w.spec.name,
+        w.spec.domain,
+        w.graph.param_count(),
+        w.fp32_score
+    );
+    let mut t = MdTable::new(&["Config", "Score", "Loss", "Pass (1%)"]);
+    let mut run = |label: String, cfg: &QuantConfig| {
+        let out = quantize_workload(w, cfg);
+        t.row(vec![
+            label,
+            format!("{:.4}", out.score),
+            format!("{:+.2}%", out.result.loss() * 100.0),
+            if out.result.passes() { "yes" } else { "no" }.into(),
+        ]);
+    };
+    let formats: Vec<&str> = if fmt_arg == "all" {
+        vec!["e5m2", "e4m3", "e3m4", "int8", "mixed"]
+    } else {
+        vec![fmt_arg]
+    };
+    for f in formats {
+        if f == "mixed" {
+            run("mixed E4M3:E3M4".into(), &paper_mixed_recipe(w.spec.domain));
+        } else if let Some(fmt) = parse_format(f) {
+            let cfg = paper_recipe(fmt, Approach::Static, w.spec.domain);
+            run(cfg.label(), &cfg);
+        } else {
+            eprintln!("unknown format '{f}'");
+            std::process::exit(2);
+        }
+    }
+    t.print();
+}
+
+fn cmd_sensitivity(args: &[String]) {
+    let Some(name) = args.first() else {
+        eprintln!("usage: ptq sensitivity <workload>");
+        std::process::exit(2);
+    };
+    eprintln!("building zoo…");
+    let zoo = build_zoo(ZooFilter::All);
+    let w = find(&zoo, name);
+    let cfg = paper_recipe(
+        DataFormat::Fp8(Fp8Format::E4M3),
+        Approach::Static,
+        w.spec.domain,
+    );
+    eprintln!("measuring per-operator sensitivity (E4M3 static)…");
+    let profile = sensitivity_profile(w, &cfg);
+    let mut t = MdTable::new(&["Rank", "Node", "Class", "Score (only this op)", "Loss"]);
+    for (i, n) in profile.nodes.iter().enumerate() {
+        t.row(vec![
+            (i + 1).to_string(),
+            n.name.clone(),
+            n.class.clone(),
+            format!("{:.4}", n.score),
+            format!("{:+.2}%", n.loss * 100.0),
+        ]);
+    }
+    t.print();
+}
+
+fn cmd_tune(args: &[String]) {
+    let Some(name) = args.first() else {
+        eprintln!("usage: ptq tune <workload>");
+        std::process::exit(2);
+    };
+    eprintln!("building zoo…");
+    let zoo = build_zoo(ZooFilter::All);
+    let w = find(&zoo, name);
+    let tuner = AutoTuner::new();
+    let outcome = tuner.tune_with_fallbacks(w);
+    let mut t = MdTable::new(&["Step", "Recipe", "Score", "Loss", "Status"]);
+    for (i, s) in outcome.trace.iter().enumerate() {
+        let status = if Some(i) == outcome.accepted {
+            "ACCEPTED"
+        } else if s.passed {
+            "passes"
+        } else {
+            "fails"
+        };
+        t.row(vec![
+            (i + 1).to_string(),
+            s.name.clone(),
+            format!("{:.4}", s.score),
+            format!("{:+.2}%", s.loss * 100.0),
+            status.into(),
+        ]);
+    }
+    t.print();
+    if outcome.accepted.is_none() {
+        println!("\nno recipe met the 1% criterion — the model needs wider FP32 fallbacks");
+    }
+}

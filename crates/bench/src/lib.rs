@@ -1,0 +1,106 @@
+//! # ptq-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §3 for the
+//! index). Every binary prints a Markdown table shaped like the paper's
+//! and writes the raw numbers as JSON under `bench_results/` so that
+//! EXPERIMENTS.md is regenerable.
+
+use serde::Serialize;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory experiment outputs are written to (repo-relative).
+pub const RESULTS_DIR: &str = "bench_results";
+
+/// Write an experiment's raw results as pretty JSON under
+/// [`RESULTS_DIR`], creating the directory if needed. Returns the path.
+///
+/// # Panics
+///
+/// Panics if the directory or file cannot be written (experiments should
+/// fail loudly, not silently drop results).
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let dir = Path::new(RESULTS_DIR);
+    fs::create_dir_all(dir).expect("create bench_results dir");
+    let path = dir.join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(value).expect("serialize results");
+    fs::write(&path, body).expect("write results file");
+    path
+}
+
+/// Format an `Option<f64>` rate as a percentage cell.
+pub fn pct(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{:.2}%", v * 100.0),
+        None => "—".to_string(),
+    }
+}
+
+/// Markdown table helper: builds aligned rows.
+#[derive(Debug, Default)]
+pub struct MdTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MdTable {
+    /// Start a table with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        MdTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are stringified already).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "table width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as Markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md_table_renders() {
+        let mut t = MdTable::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(Some(0.9264)), "92.64%");
+        assert_eq!(pct(None), "—");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        MdTable::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Quantization configuration: formats, approaches, coverage and the
+//! paper's preset recipes.
+
+use ptq_fp8::Fp8Format;
+use ptq_nn::{NodeId, OpClass};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A low-precision data format a tensor class can be quantized to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataFormat {
+    /// One of the FP8 formats.
+    Fp8(Fp8Format),
+    /// 8-bit integer (symmetric per-channel weights, asymmetric
+    /// per-tensor activations — the Neural Compressor defaults the paper
+    /// compares against).
+    Int8,
+}
+
+impl fmt::Display for DataFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataFormat::Fp8(x) => write!(f, "{x}"),
+            DataFormat::Int8 => write!(f, "INT8"),
+        }
+    }
+}
+
+/// Static (calibrated scales) vs dynamic (per-batch runtime scales)
+/// activation quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Approach {
+    /// Scales frozen from calibration — the paper's default.
+    #[default]
+    Static,
+    /// Activation scales computed from each tensor at run time.
+    Dynamic,
+}
+
+impl fmt::Display for Approach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Approach::Static => write!(f, "Static"),
+            Approach::Dynamic => write!(f, "Dynamic"),
+        }
+    }
+}
+
+/// Which operator classes are quantized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Coverage {
+    /// The paper's standard scheme: Conv2d, Linear, Embedding.
+    #[default]
+    Standard,
+    /// The extended scheme: adds MatMul, BatchMatMul, BatchNorm,
+    /// LayerNorm, Add, Mul.
+    Extended,
+}
+
+impl Coverage {
+    /// The classes this coverage level quantizes.
+    pub fn classes(self) -> &'static [OpClass] {
+        match self {
+            Coverage::Standard => &[OpClass::Conv2d, OpClass::Linear, OpClass::Embedding],
+            Coverage::Extended => &[
+                OpClass::Conv2d,
+                OpClass::Linear,
+                OpClass::Embedding,
+                OpClass::MatMul,
+                OpClass::BatchMatMul,
+                OpClass::BatchNorm,
+                OpClass::LayerNorm,
+                OpClass::Add,
+                OpClass::Mul,
+            ],
+        }
+    }
+
+    /// Whether a class is quantized at this coverage level.
+    pub fn includes(self, class: OpClass) -> bool {
+        self.classes().contains(&class)
+    }
+}
+
+/// Weight scale granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Granularity {
+    /// One scale per output channel — the paper's recommendation for
+    /// weights on all networks.
+    #[default]
+    PerChannel,
+    /// One scale for the whole tensor.
+    PerTensor,
+}
+
+/// Range-calibration method for static activation scales (Appendix A.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CalibMethod {
+    /// Calibrated absolute maximum — the paper's default, found
+    /// sufficient for FP8.
+    AbsMax,
+    /// Clip to the given |x| percentile (e.g. 0.9999).
+    Percentile(f64),
+    /// TensorRT-style KL-divergence threshold search.
+    Kl,
+    /// Sweep clip thresholds, minimizing actual quantization MSE.
+    MseSweep,
+}
+
+impl Default for CalibMethod {
+    fn default() -> Self {
+        CalibMethod::AbsMax
+    }
+}
+
+/// A complete quantization recipe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantConfig {
+    /// Format for activations.
+    pub act_format: DataFormat,
+    /// Format for weights. Differing from `act_format` gives the paper's
+    /// *mixed FP8 formats* scheme (§3.2: E4M3 activations + E3M4 weights).
+    pub weight_format: DataFormat,
+    /// Static vs dynamic activation scaling.
+    pub approach: Approach,
+    /// Operator coverage.
+    pub coverage: Coverage,
+    /// Weight scale granularity.
+    pub weight_granularity: Granularity,
+    /// Quantize the first and last compute operators of convolutional
+    /// networks (§3.1 keeps them in FP32 by default; §4.3.1 studies
+    /// enabling them).
+    pub quantize_first_last: bool,
+    /// SmoothQuant α (None = off). The paper enables α = 0.5 on NLP
+    /// models.
+    pub smoothquant_alpha: Option<f32>,
+    /// Range-calibration method for static activation scales.
+    pub calibration: CalibMethod,
+    /// Re-estimate BatchNorm running statistics after quantization (the
+    /// paper applies this to CV models).
+    pub bn_calibration: bool,
+    /// Node ids forced to FP32 (the tuner's fallback mechanism).
+    pub fallback: BTreeSet<NodeId>,
+}
+
+impl QuantConfig {
+    /// The paper's FP8 recipe skeleton for a format: static, standard
+    /// coverage, per-channel weights, absmax calibration (none for E5M2,
+    /// which quantizes directly), first/last excluded.
+    pub fn fp8(format: Fp8Format) -> Self {
+        QuantConfig {
+            act_format: DataFormat::Fp8(format),
+            weight_format: DataFormat::Fp8(format),
+            approach: Approach::Static,
+            coverage: Coverage::Standard,
+            weight_granularity: Granularity::PerChannel,
+            quantize_first_last: false,
+            smoothquant_alpha: None,
+            calibration: CalibMethod::AbsMax,
+            bn_calibration: false,
+            fallback: BTreeSet::new(),
+        }
+    }
+
+    /// The mixed-format recipe: E4M3 activations, E3M4 weights (§3.2).
+    pub fn mixed_fp8() -> Self {
+        QuantConfig {
+            act_format: DataFormat::Fp8(Fp8Format::E4M3),
+            weight_format: DataFormat::Fp8(Fp8Format::E3M4),
+            ..Self::fp8(Fp8Format::E4M3)
+        }
+    }
+
+    /// The INT8 baseline recipe skeleton.
+    pub fn int8() -> Self {
+        QuantConfig {
+            act_format: DataFormat::Int8,
+            weight_format: DataFormat::Int8,
+            ..Self::fp8(Fp8Format::E4M3)
+        }
+    }
+
+    /// Builder-style: set the approach.
+    pub fn with_approach(mut self, approach: Approach) -> Self {
+        self.approach = approach;
+        self
+    }
+
+    /// Builder-style: set coverage.
+    pub fn with_coverage(mut self, coverage: Coverage) -> Self {
+        self.coverage = coverage;
+        self
+    }
+
+    /// Builder-style: enable SmoothQuant with α.
+    pub fn with_smoothquant(mut self, alpha: f32) -> Self {
+        self.smoothquant_alpha = Some(alpha);
+        self
+    }
+
+    /// Builder-style: enable BatchNorm calibration.
+    pub fn with_bn_calibration(mut self) -> Self {
+        self.bn_calibration = true;
+        self
+    }
+
+    /// Builder-style: set the range-calibration method.
+    pub fn with_calibration(mut self, m: CalibMethod) -> Self {
+        self.calibration = m;
+        self
+    }
+
+    /// Builder-style: quantize first/last compute ops too.
+    pub fn with_first_last(mut self) -> Self {
+        self.quantize_first_last = true;
+        self
+    }
+
+    /// Builder-style: add a fallback node.
+    pub fn with_fallback(mut self, node: NodeId) -> Self {
+        self.fallback.insert(node);
+        self
+    }
+
+    /// True if activations of this config use *direct* quantization (no
+    /// range calibration): the paper's E5M2 rule.
+    pub fn direct_activation_quant(&self) -> bool {
+        matches!(self.act_format, DataFormat::Fp8(f) if f.direct_quantization())
+    }
+
+    /// Short human-readable label, e.g. `E4M3/static` or
+    /// `E4M3:E3M4/static` for mixed formats.
+    pub fn label(&self) -> String {
+        let fmt = if self.act_format == self.weight_format {
+            format!("{}", self.act_format)
+        } else {
+            format!("{}:{}", self.act_format, self.weight_format)
+        };
+        format!("{fmt}/{}", self.approach.to_string().to_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let c = QuantConfig::fp8(Fp8Format::E4M3);
+        assert_eq!(c.act_format, DataFormat::Fp8(Fp8Format::E4M3));
+        assert_eq!(c.approach, Approach::Static);
+        assert!(!c.quantize_first_last);
+        let m = QuantConfig::mixed_fp8();
+        assert_ne!(m.act_format, m.weight_format);
+        assert_eq!(QuantConfig::int8().act_format, DataFormat::Int8);
+    }
+
+    #[test]
+    fn coverage_sets() {
+        assert!(Coverage::Standard.includes(OpClass::Conv2d));
+        assert!(!Coverage::Standard.includes(OpClass::LayerNorm));
+        assert!(Coverage::Extended.includes(OpClass::LayerNorm));
+        assert!(Coverage::Extended.includes(OpClass::BatchMatMul));
+        assert!(!Coverage::Extended.includes(OpClass::Other));
+    }
+
+    #[test]
+    fn e5m2_is_direct() {
+        assert!(QuantConfig::fp8(Fp8Format::E5M2).direct_activation_quant());
+        assert!(!QuantConfig::fp8(Fp8Format::E4M3).direct_activation_quant());
+        assert!(!QuantConfig::int8().direct_activation_quant());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(QuantConfig::fp8(Fp8Format::E3M4).label(), "E3M4/static");
+        assert_eq!(
+            QuantConfig::mixed_fp8()
+                .with_approach(Approach::Dynamic)
+                .label(),
+            "E4M3:E3M4/dynamic"
+        );
+        assert_eq!(QuantConfig::int8().label(), "INT8/static");
+    }
+}

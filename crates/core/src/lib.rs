@@ -1,0 +1,60 @@
+//! # ptq-core — the FP8 post-training quantization framework
+//!
+//! This crate implements the paper's contribution (§3): a unified,
+//! scalable PTQ workflow over FP8 formats that generalizes across
+//! application domains, together with the INT8 baseline configuration it
+//! is compared against.
+//!
+//! The pieces map one-to-one onto the paper's Figure-2 flow:
+//!
+//! * **Standard quantization scheme** — Conv2d/Linear/Embedding with
+//!   per-channel weight scaling, per-tensor activation scaling
+//!   (`s = float_max / max_T`), first/last compute ops excluded for CNNs.
+//! * **Extended quantization scheme** — additional operator coverage
+//!   (MatMul, BatchMatMul, BatchNorm, LayerNorm, Add, Mul), mixed FP8
+//!   formats (E4M3 activations + E3M4 weights), dynamic quantization.
+//! * **Range calibration** — absmax by default (what the paper found
+//!   sufficient), with percentile / KL-divergence / MSE-sweep observers for
+//!   the Appendix-A.1 comparison; E5M2 uses direct quantization.
+//! * **BatchNorm calibration** — re-estimates BN running statistics under
+//!   the quantized network (§3, Figure 7).
+//! * **SmoothQuant** — α-smoothing between activations and weights,
+//!   enabled on NLP models (§4.2).
+//! * **Accuracy-driven tuning** — the Appendix-A.1 recipe search that
+//!   walks the (format × approach × coverage × fallback) lattice until the
+//!   1 % criterion is met.
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use ptq_core::{quantize_workload, QuantConfig};
+//! use ptq_fp8::Fp8Format;
+//! use ptq_models::{build_zoo, ZooFilter};
+//!
+//! let zoo = build_zoo(ZooFilter::Quick);
+//! let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+//! let outcome = quantize_workload(&zoo[0], &cfg);
+//! println!("fp32 {:.4} -> quantized {:.4}", zoo[0].fp32_score, outcome.score);
+//! ```
+
+pub mod bn_calib;
+pub mod calibrate;
+pub mod config;
+pub mod observer;
+pub mod quantizer;
+pub mod sensitivity;
+pub mod smoothquant;
+pub mod tuner;
+pub mod workflow;
+
+pub use bn_calib::recalibrate_batchnorm;
+pub use calibrate::{CalibData, CalibrationHook, TensorKey};
+pub use config::{
+    Approach, CalibMethod, Coverage, DataFormat, Granularity, QuantConfig,
+};
+pub use observer::{kl_divergence_threshold, mse_sweep_threshold, percentile_threshold};
+pub use quantizer::{QuantHook, QuantizedModel};
+pub use sensitivity::{sensitivity_profile, NodeSensitivity, SensitivityProfile};
+pub use smoothquant::smooth_scales;
+pub use tuner::{AutoTuner, Recipe, TuneOutcome, TuneStep};
+pub use workflow::{paper_recipe, quantize_workload, run_suite, QuantOutcome, SuiteRow};

@@ -1,0 +1,461 @@
+//! The quantizer: weight pre-quantization, static/dynamic activation
+//! fake-quantization and the execution hook implementing the paper's
+//! quantization schemes over an unchanged FP32 graph.
+
+use crate::calibrate::{quantized_inputs, CalibData, TensorKey};
+use crate::config::{Approach, DataFormat, Granularity, QuantConfig};
+use crate::smoothquant::smooth_scales;
+use ptq_fp8::{
+    fake_quant_fp8, fake_quant_fp8_per_channel, fake_quant_int8, fake_quant_int8_per_channel,
+    fp8_scale, Fp8Codec, Int8Codec, Int8Mode,
+};
+use ptq_nn::{ExecHook, Graph, Node, NodeId, OpClass, ValueId};
+use ptq_tensor::Tensor;
+use std::collections::{BTreeSet, HashMap};
+
+/// A quantized model: the (possibly BN-recalibrated) graph plus everything
+/// needed to execute it under fake quantization.
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    /// The graph (owned clone; BatchNorm calibration may rewrite its
+    /// running-stat parameters).
+    pub graph: Graph,
+    /// The recipe this model was quantized with.
+    pub config: QuantConfig,
+    /// Nodes executing in low precision.
+    pub quantized_nodes: BTreeSet<NodeId>,
+    /// Static FP8 activation scales per (node, input).
+    pub act_scales: HashMap<TensorKey, f32>,
+    /// Static INT8 activation codecs per (node, input).
+    pub act_int8: HashMap<TensorKey, Int8Codec>,
+    /// Pre-quantized weight tensors by parameter value id.
+    pub weights: HashMap<ValueId, Tensor>,
+    /// SmoothQuant per-input-channel *divisors* for Linear activations.
+    pub smooth: HashMap<NodeId, Vec<f32>>,
+}
+
+impl QuantizedModel {
+    /// Build a quantized model from a graph, its calibration data and a
+    /// recipe. (Use [`crate::workflow::quantize_workload`] for the full
+    /// calibrate-quantize-evaluate pipeline.)
+    pub fn build(graph: Graph, calib: &CalibData, config: QuantConfig) -> Self {
+        let quantized_nodes = select_nodes(&graph, &config);
+        let smooth = if let Some(alpha) = config.smoothquant_alpha {
+            smooth_scales(&graph, calib, &quantized_nodes, alpha)
+        } else {
+            HashMap::new()
+        };
+        let weights = prepare_weights(&graph, &config, &quantized_nodes, &smooth);
+        let (act_scales, act_int8) =
+            prepare_act_scales(&graph, calib, &config, &quantized_nodes, &smooth);
+        QuantizedModel {
+            graph,
+            config,
+            quantized_nodes,
+            act_scales,
+            act_int8,
+            weights,
+            smooth,
+        }
+    }
+
+    /// An execution hook for quantized inference over [`Self::graph`].
+    pub fn hook(&self) -> QuantHook<'_> {
+        QuantHook { model: self }
+    }
+
+    /// Fraction of quantizable (coverage-class) nodes actually running in
+    /// low precision — a cheap efficiency proxy for the tuner.
+    pub fn quantized_fraction(&self) -> f64 {
+        let eligible = self
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| self.config.coverage.includes(n.op.class()))
+            .count();
+        if eligible == 0 {
+            return 0.0;
+        }
+        self.quantized_nodes.len() as f64 / eligible as f64
+    }
+}
+
+/// Decide which nodes run quantized under a config: coverage class,
+/// fallback list, and the §3.1 first/last exception for convolutional
+/// networks.
+pub fn select_nodes(graph: &Graph, config: &QuantConfig) -> BTreeSet<NodeId> {
+    let is_cnn = !graph.nodes_of_class(OpClass::Conv2d).is_empty();
+    let (first, last) = graph.first_last_compute();
+    let mut set = BTreeSet::new();
+    for node in graph.nodes() {
+        let class = node.op.class();
+        if !config.coverage.includes(class) {
+            continue;
+        }
+        if config.fallback.contains(&node.id) {
+            continue;
+        }
+        if is_cnn && !config.quantize_first_last && (Some(node.id) == first || Some(node.id) == last)
+        {
+            continue;
+        }
+        set.insert(node.id);
+    }
+    set
+}
+
+/// Fake-quantize all weights of the quantized nodes, folding SmoothQuant
+/// scales into Linear weights first.
+fn prepare_weights(
+    graph: &Graph,
+    config: &QuantConfig,
+    nodes: &BTreeSet<NodeId>,
+    smooth: &HashMap<NodeId, Vec<f32>>,
+) -> HashMap<ValueId, Tensor> {
+    let mut out = HashMap::new();
+    for &id in nodes {
+        let node = &graph.nodes()[id];
+        let Some(wid) = node.op.weight_value() else {
+            continue;
+        };
+        let mut w = graph.param(wid).expect("weight bound").clone();
+        // SmoothQuant: multiply column j by s_j (activations are divided
+        // by s_j at run time; the FP32 product is unchanged).
+        if let Some(s) = smooth.get(&id) {
+            let (rows, cols) = (w.dim(0), w.dim(1));
+            assert_eq!(s.len(), cols, "smooth scale length");
+            let data = w.data_mut();
+            for r in 0..rows {
+                for (j, &sj) in s.iter().enumerate() {
+                    data[r * cols + j] *= sj;
+                }
+            }
+        }
+        quantize_weight_tensor(&mut w, config);
+        out.insert(wid, w);
+    }
+    out
+}
+
+/// In-place fake quantization of a weight tensor under the config's weight
+/// format and granularity.
+pub fn quantize_weight_tensor(w: &mut Tensor, config: &QuantConfig) {
+    let channels = w.dim(0);
+    let inner: usize = w.len() / channels.max(1);
+    match (config.weight_format, config.weight_granularity) {
+        (DataFormat::Fp8(f), Granularity::PerChannel) => {
+            let codec = Fp8Codec::new(f);
+            fake_quant_fp8_per_channel(w.data_mut(), &codec, channels, inner);
+        }
+        (DataFormat::Fp8(f), Granularity::PerTensor) => {
+            let codec = Fp8Codec::new(f);
+            let absmax = w.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let s = fp8_scale(f, absmax);
+            fake_quant_fp8(w.data_mut(), &codec, s);
+        }
+        (DataFormat::Int8, Granularity::PerChannel) => {
+            fake_quant_int8_per_channel(w.data_mut(), channels, inner);
+        }
+        (DataFormat::Int8, Granularity::PerTensor) => {
+            let codec = Int8Codec::calibrate(w.data(), Int8Mode::Symmetric);
+            fake_quant_int8(w.data_mut(), &codec);
+        }
+    }
+}
+
+/// Freeze static activation scales from calibration thresholds.
+fn prepare_act_scales(
+    graph: &Graph,
+    calib: &CalibData,
+    config: &QuantConfig,
+    nodes: &BTreeSet<NodeId>,
+    smooth: &HashMap<NodeId, Vec<f32>>,
+) -> (HashMap<TensorKey, f32>, HashMap<TensorKey, Int8Codec>) {
+    let mut scales = HashMap::new();
+    let mut int8 = HashMap::new();
+    if config.approach == Approach::Dynamic {
+        return (scales, int8); // dynamic scales are computed at run time
+    }
+    for &id in nodes {
+        let node = &graph.nodes()[id];
+        for &idx in quantized_inputs(node) {
+            let key = TensorKey {
+                node: id,
+                input: idx,
+            };
+            let Some(mut threshold) = calib.threshold(key, config) else {
+                continue;
+            };
+            // SmoothQuant shrinks the activation: the static threshold is
+            // the max over channels of absmax_j / s_j.
+            if idx == 0 {
+                if let (Some(s), Some(ch)) = (smooth.get(&id), calib.channel_absmax.get(&id)) {
+                    let mut t = 0.0f32;
+                    for (a, sj) in ch.iter().zip(s) {
+                        if *sj > 0.0 {
+                            t = t.max(a / sj);
+                        }
+                    }
+                    if t > 0.0 {
+                        threshold = t;
+                    }
+                }
+            }
+            match config.act_format {
+                DataFormat::Fp8(f) => {
+                    let s = if config.direct_activation_quant() {
+                        1.0
+                    } else {
+                        fp8_scale(f, threshold)
+                    };
+                    scales.insert(key, s);
+                }
+                DataFormat::Int8 => {
+                    // Asymmetric activation codec from calibrated min/max
+                    // (clipped to the threshold).
+                    let st = calib.stats.get(&key).expect("threshold implies stats");
+                    let lo = st.min.max(-threshold);
+                    let hi = st.max.min(threshold);
+                    int8.insert(key, Int8Codec::from_range(lo, hi, Int8Mode::Asymmetric));
+                }
+            }
+        }
+    }
+    (scales, int8)
+}
+
+/// The quantized-inference hook: substitutes pre-quantized weights and
+/// fake-quantizes activation inputs of the quantized nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantHook<'a> {
+    model: &'a QuantizedModel,
+}
+
+impl ExecHook for QuantHook<'_> {
+    fn weight(&mut self, _node: &Node, value: ValueId, _w: &Tensor) -> Option<Tensor> {
+        self.model.weights.get(&value).cloned()
+    }
+
+    fn before_node(&mut self, node: &Node, inputs: &mut [Tensor]) {
+        if !self.model.quantized_nodes.contains(&node.id) {
+            return;
+        }
+        // SmoothQuant: divide the Linear input's channels by s.
+        if let Some(s) = self.model.smooth.get(&node.id) {
+            let x = &mut inputs[0];
+            let d = *x.shape().last().expect("nonempty shape");
+            if d == s.len() {
+                let rows = x.len() / d;
+                let data = x.data_mut();
+                for r in 0..rows {
+                    for (j, &sj) in s.iter().enumerate() {
+                        if sj > 0.0 {
+                            data[r * d + j] /= sj;
+                        }
+                    }
+                }
+            }
+        }
+        let cfg = &self.model.config;
+        for &idx in quantized_inputs(node) {
+            if idx >= inputs.len() {
+                continue;
+            }
+            let key = TensorKey {
+                node: node.id,
+                input: idx,
+            };
+            let x = &mut inputs[idx];
+            match (cfg.act_format, cfg.approach) {
+                (DataFormat::Fp8(f), Approach::Static) => {
+                    if let Some(&s) = self.model.act_scales.get(&key) {
+                        let codec = Fp8Codec::new(f);
+                        fake_quant_fp8(x.data_mut(), &codec, s);
+                    }
+                }
+                (DataFormat::Fp8(f), Approach::Dynamic) => {
+                    let codec = Fp8Codec::new(f);
+                    let s = if cfg.direct_activation_quant() {
+                        1.0
+                    } else {
+                        let absmax = x.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                        fp8_scale(f, absmax)
+                    };
+                    fake_quant_fp8(x.data_mut(), &codec, s);
+                }
+                (DataFormat::Int8, Approach::Static) => {
+                    if let Some(codec) = self.model.act_int8.get(&key) {
+                        fake_quant_int8(x.data_mut(), codec);
+                    }
+                }
+                (DataFormat::Int8, Approach::Dynamic) => {
+                    let codec = Int8Codec::calibrate(x.data(), Int8Mode::Asymmetric);
+                    fake_quant_int8(x.data_mut(), &codec);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::CalibrationHook;
+    use ptq_fp8::Fp8Format;
+    use ptq_nn::GraphBuilder;
+    use ptq_tensor::ops::Conv2dParams;
+    use ptq_tensor::TensorRng;
+
+    fn cnn() -> Graph {
+        let mut rng = TensorRng::seed(1);
+        let mut b = GraphBuilder::new();
+        let x = b.input();
+        let w1 = b.param(rng.kaiming(&[4, 3, 3, 3]));
+        let c1 = b.conv2d(x, w1, None, Conv2dParams::same(3));
+        let r = b.relu(c1);
+        let w2 = b.param(rng.kaiming(&[4, 4, 3, 3]));
+        let c2 = b.conv2d(r, w2, None, Conv2dParams::same(3));
+        let r = b.relu(c2);
+        let g = b.global_avg_pool(r);
+        let w3 = b.param(rng.kaiming(&[5, 4]));
+        let out = b.linear(g, w3, None);
+        b.finish(vec![out])
+    }
+
+    fn calibrated(g: &Graph) -> CalibData {
+        let mut hook = CalibrationHook::new();
+        let x = TensorRng::seed(2).normal(&[4, 3, 8, 8], 0.0, 1.0);
+        g.run(&[x], &mut hook);
+        hook.into_data()
+    }
+
+    #[test]
+    fn first_last_excluded_for_cnn_by_default() {
+        let g = cnn();
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+        let set = select_nodes(&g, &cfg);
+        // conv1 (node 0) and linear (last compute) excluded; conv2 included.
+        assert!(!set.contains(&0));
+        let (_, last) = g.first_last_compute();
+        assert!(!set.contains(&last.unwrap()));
+        assert_eq!(set.len(), 1);
+
+        let set_all = select_nodes(&g, &cfg.clone().with_first_last());
+        assert_eq!(set_all.len(), 3);
+    }
+
+    #[test]
+    fn fallback_removes_node() {
+        let g = cnn();
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3).with_first_last();
+        let (first, _) = g.first_last_compute();
+        let cfg2 = cfg.clone().with_fallback(first.unwrap());
+        assert_eq!(
+            select_nodes(&g, &cfg).len() - 1,
+            select_nodes(&g, &cfg2).len()
+        );
+    }
+
+    #[test]
+    fn transformers_have_no_first_last_exception() {
+        // A Linear-only (non-CNN) graph quantizes everything.
+        let mut rng = TensorRng::seed(3);
+        let mut b = GraphBuilder::new();
+        let x = b.input();
+        let w = b.param(rng.kaiming(&[4, 8]));
+        let y = b.linear(x, w, None);
+        let w2 = b.param(rng.kaiming(&[2, 4]));
+        let z = b.linear(y, w2, None);
+        let g = b.finish(vec![z]);
+        let set = select_nodes(&g, &QuantConfig::fp8(Fp8Format::E4M3));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn quantized_model_output_close_to_fp32() {
+        let g = cnn();
+        let calib = calibrated(&g);
+        let x = TensorRng::seed(4).normal(&[2, 3, 8, 8], 0.0, 1.0);
+        let fp32 = g.infer(&[x.clone()]);
+        for f in Fp8Format::ALL {
+            let model = QuantizedModel::build(g.clone(), &calib, QuantConfig::fp8(f));
+            let q = model.graph.run(&[x.clone()], &mut model.hook());
+            let mse = ptq_tensor::stats::mse(fp32[0].data(), q[0].data());
+            let power: f64 = fp32[0].data().iter().map(|&v| (v as f64).powi(2)).sum::<f64>()
+                / fp32[0].len() as f64;
+            assert!(
+                mse < power * 0.1,
+                "{f}: relative error too large (mse {mse}, power {power})"
+            );
+            // And it is not bit-identical (quantization happened).
+            assert_ne!(fp32[0], q[0], "{f}");
+        }
+    }
+
+    #[test]
+    fn weights_are_prequantized_once() {
+        let g = cnn();
+        let calib = calibrated(&g);
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3).with_first_last();
+        let model = QuantizedModel::build(g, &calib, cfg);
+        assert_eq!(model.weights.len(), 3);
+        // Quantized weights differ from the originals but are close.
+        for (vid, qw) in &model.weights {
+            let orig = model.graph.param(*vid).unwrap();
+            assert_ne!(orig, qw);
+            let mse = ptq_tensor::stats::mse(orig.data(), qw.data());
+            assert!(mse < 1e-3);
+        }
+    }
+
+    #[test]
+    fn dynamic_has_no_static_scales() {
+        let g = cnn();
+        let calib = calibrated(&g);
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3).with_approach(Approach::Dynamic);
+        let model = QuantizedModel::build(g, &calib, cfg);
+        assert!(model.act_scales.is_empty());
+        // Still runs.
+        let x = TensorRng::seed(5).normal(&[1, 3, 8, 8], 0.0, 1.0);
+        let y = model.graph.run(&[x], &mut model.hook());
+        assert!(y[0].data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn int8_static_uses_asymmetric_codecs() {
+        let g = cnn();
+        let calib = calibrated(&g);
+        let model = QuantizedModel::build(g, &calib, QuantConfig::int8().with_first_last());
+        assert!(!model.act_int8.is_empty());
+        for codec in model.act_int8.values() {
+            assert_eq!(codec.mode(), Int8Mode::Asymmetric);
+        }
+        let x = TensorRng::seed(6).normal(&[1, 3, 8, 8], 0.0, 1.0);
+        let y = model.graph.run(&[x], &mut model.hook());
+        assert!(y[0].data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn e5m2_direct_scale_is_unity() {
+        let g = cnn();
+        let calib = calibrated(&g);
+        let model = QuantizedModel::build(g, &calib, QuantConfig::fp8(Fp8Format::E5M2));
+        for &s in model.act_scales.values() {
+            assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn quantized_fraction_reflects_fallback() {
+        let g = cnn();
+        let calib = calibrated(&g);
+        let full = QuantizedModel::build(
+            g.clone(),
+            &calib,
+            QuantConfig::fp8(Fp8Format::E4M3).with_first_last(),
+        );
+        assert_eq!(full.quantized_fraction(), 1.0);
+        let partial = QuantizedModel::build(g, &calib, QuantConfig::fp8(Fp8Format::E4M3));
+        assert!(partial.quantized_fraction() < 1.0);
+    }
+}

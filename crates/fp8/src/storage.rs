@@ -1,0 +1,218 @@
+//! Real quantized storage: FP8 tensors held as `u8` codes.
+//!
+//! The rest of the workspace uses *fake quantization* (quantize →
+//! dequantize in f32), which is how the paper's emulation measures
+//! accuracy. This module provides the storage format a deployment would
+//! actually keep in memory: one byte per element plus per-tensor or
+//! per-channel scales — the 4× memory reduction that motivates 8-bit
+//! inference in the first place.
+
+use crate::codec::Fp8Codec;
+use crate::format::Fp8Format;
+use crate::quantize::fp8_scale;
+use serde::{Deserialize, Serialize};
+
+/// Scale layout of a stored tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StoredScales {
+    /// One scale for the whole tensor.
+    PerTensor(f32),
+    /// One scale per leading-axis channel (`shape[0]` entries).
+    PerChannel(Vec<f32>),
+}
+
+/// An FP8 tensor stored as raw byte codes plus scales.
+///
+/// ```
+/// use ptq_fp8::{Fp8Format, StoredTensor};
+/// let data = vec![0.5_f32, -1.25, 3.0, 0.0];
+/// let st = StoredTensor::quantize(&data, &[4], Fp8Format::E4M3);
+/// assert_eq!(st.bytes().len(), 4);                 // 1 byte/element
+/// let back = st.dequantize();
+/// assert!((back[1] + 1.25).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredTensor {
+    format: Fp8Format,
+    shape: Vec<usize>,
+    codes: Vec<u8>,
+    scales: StoredScales,
+}
+
+impl StoredTensor {
+    /// Quantize `data` (row-major, any shape) with a per-tensor max scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `shape`.
+    pub fn quantize(data: &[f32], shape: &[usize], format: Fp8Format) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "shape/product mismatch"
+        );
+        let codec = Fp8Codec::new(format);
+        let absmax = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let scale = fp8_scale(format, absmax);
+        let codes = data.iter().map(|&x| codec.encode(x * scale)).collect();
+        StoredTensor {
+            format,
+            shape: shape.to_vec(),
+            codes,
+            scales: StoredScales::PerTensor(scale),
+        }
+    }
+
+    /// Quantize with one scale per leading-axis channel (the paper's
+    /// weight layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or an empty leading axis.
+    pub fn quantize_per_channel(data: &[f32], shape: &[usize], format: Fp8Format) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "shape/product mismatch"
+        );
+        let channels = *shape.first().expect("non-scalar shape");
+        assert!(channels > 0, "empty leading axis");
+        let inner = data.len() / channels;
+        let codec = Fp8Codec::new(format);
+        let mut codes = Vec::with_capacity(data.len());
+        let mut scales = Vec::with_capacity(channels);
+        for c in 0..channels {
+            let chunk = &data[c * inner..(c + 1) * inner];
+            let absmax = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let scale = fp8_scale(format, absmax);
+            scales.push(scale);
+            codes.extend(chunk.iter().map(|&x| codec.encode(x * scale)));
+        }
+        StoredTensor {
+            format,
+            shape: shape.to_vec(),
+            codes,
+            scales: StoredScales::PerChannel(scales),
+        }
+    }
+
+    /// The storage format.
+    pub fn format(&self) -> Fp8Format {
+        self.format
+    }
+
+    /// The logical shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Raw byte codes (row-major).
+    pub fn bytes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// The stored scales.
+    pub fn scales(&self) -> &StoredScales {
+        &self.scales
+    }
+
+    /// Bytes of payload storage (codes + scales), for memory accounting.
+    pub fn storage_bytes(&self) -> usize {
+        let scale_bytes = match &self.scales {
+            StoredScales::PerTensor(_) => 4,
+            StoredScales::PerChannel(v) => 4 * v.len(),
+        };
+        self.codes.len() + scale_bytes
+    }
+
+    /// Decode back to f32 using a 256-entry lookup table (one table per
+    /// call; decoding is memory-bound, not compute-bound).
+    pub fn dequantize(&self) -> Vec<f32> {
+        let codec = Fp8Codec::new(self.format);
+        let mut lut = [0.0f32; 256];
+        for (b, slot) in lut.iter_mut().enumerate() {
+            *slot = codec.decode(b as u8);
+        }
+        // Divide by the scale (rather than multiplying by a precomputed
+        // reciprocal) so results are bit-identical to fake quantization.
+        match &self.scales {
+            StoredScales::PerTensor(s) => {
+                self.codes.iter().map(|&b| lut[b as usize] / s).collect()
+            }
+            StoredScales::PerChannel(scales) => {
+                let channels = scales.len();
+                let inner = self.codes.len() / channels.max(1);
+                let mut out = Vec::with_capacity(self.codes.len());
+                for (c, &s) in scales.iter().enumerate() {
+                    out.extend(
+                        self.codes[c * inner..(c + 1) * inner]
+                            .iter()
+                            .map(|&b| lut[b as usize] / s),
+                    );
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::fake_quant_fp8;
+
+    #[test]
+    fn roundtrip_matches_fake_quant() {
+        // Real storage must reproduce exactly what fake quantization
+        // computes: decode(encode(x*s))/s.
+        let data: Vec<f32> = (0..64).map(|i| (i as f32 - 31.5) * 0.13).collect();
+        for f in Fp8Format::ALL {
+            let st = StoredTensor::quantize(&data, &[64], f);
+            let real = st.dequantize();
+            let mut fake = data.clone();
+            let codec = Fp8Codec::new(f);
+            let absmax = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            fake_quant_fp8(&mut fake, &codec, fp8_scale(f, absmax));
+            for (a, b) in real.iter().zip(&fake) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_channel_roundtrip() {
+        let mut data = vec![0.0f32; 32];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = if i < 16 { 0.01 } else { 10.0 } * ((i % 7) as f32 - 3.0);
+        }
+        let st = StoredTensor::quantize_per_channel(&data, &[2, 16], Fp8Format::E3M4);
+        let back = st.dequantize();
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= a.abs() * 0.05 + 1e-6, "{a} vs {b}");
+        }
+        match st.scales() {
+            StoredScales::PerChannel(s) => assert_eq!(s.len(), 2),
+            _ => panic!("expected per-channel scales"),
+        }
+    }
+
+    #[test]
+    fn storage_is_4x_smaller_than_f32() {
+        let data = vec![1.0f32; 1024];
+        let st = StoredTensor::quantize(&data, &[1024], Fp8Format::E4M3);
+        assert_eq!(st.storage_bytes(), 1024 + 4);
+        assert!(st.storage_bytes() * 3 < data.len() * 4);
+    }
+
+    #[test]
+    fn zero_tensor() {
+        let st = StoredTensor::quantize(&[0.0; 8], &[8], Fp8Format::E5M2);
+        assert!(st.dequantize().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/product mismatch")]
+    fn shape_checked() {
+        StoredTensor::quantize(&[0.0; 8], &[3, 3], Fp8Format::E4M3);
+    }
+}

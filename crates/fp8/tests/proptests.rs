@@ -1,0 +1,97 @@
+//! Property-based tests for the FP8 and INT8 codecs.
+
+use proptest::prelude::*;
+use ptq_fp8::{fake_quant_fp8, fp8_scale, Fp8Codec, Fp8Format, Int8Codec, Int8Mode};
+
+fn any_format() -> impl Strategy<Value = Fp8Format> {
+    prop_oneof![
+        Just(Fp8Format::E5M2),
+        Just(Fp8Format::E4M3),
+        Just(Fp8Format::E3M4),
+    ]
+}
+
+proptest! {
+    /// Quantization is idempotent: q(q(x)) == q(x).
+    #[test]
+    fn quantize_idempotent(f in any_format(), x in -1e6f32..1e6f32) {
+        let c = Fp8Codec::new(f);
+        let q = c.quantize(x);
+        prop_assert_eq!(c.quantize(q).to_bits(), q.to_bits());
+    }
+
+    /// Quantized output is always a representable finite value bounded by
+    /// the format max (saturating codec).
+    #[test]
+    fn quantize_bounded(f in any_format(), x in proptest::num::f32::NORMAL) {
+        let c = Fp8Codec::new(f);
+        let q = c.quantize(x);
+        prop_assert!(q.is_finite());
+        prop_assert!(q.abs() <= f.max_value());
+    }
+
+    /// Sign symmetry: q(-x) == -q(x).
+    #[test]
+    fn quantize_odd_symmetry(f in any_format(), x in -1e6f32..1e6f32) {
+        let c = Fp8Codec::new(f);
+        prop_assert_eq!(c.quantize(-x).to_bits(), (-c.quantize(x)).to_bits());
+    }
+
+    /// Monotonicity: x <= y implies q(x) <= q(y).
+    #[test]
+    fn quantize_monotone(f in any_format(), a in -1e5f32..1e5f32, b in -1e5f32..1e5f32) {
+        let c = Fp8Codec::new(f);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(c.quantize(lo) <= c.quantize(hi));
+    }
+
+    /// RNE error bound: |x - q(x)| <= ulp(x)/2 for in-range values.
+    #[test]
+    fn quantize_half_ulp_bound(f in any_format(), x in -1e4f32..1e4f32) {
+        let c = Fp8Codec::new(f);
+        prop_assume!(x.abs() <= f.max_value());
+        let q = c.quantize(x);
+        let ulp = c.spec().ulp_at(x);
+        prop_assert!((x - q).abs() <= 0.5 * ulp * (1.0 + 1e-6));
+    }
+
+    /// Encode of a decoded finite code returns a code with the same value.
+    #[test]
+    fn decode_encode_value_stable(f in any_format(), byte in 0u8..=255) {
+        let c = Fp8Codec::new(f);
+        let v = c.decode(byte);
+        prop_assume!(v.is_finite());
+        prop_assert_eq!(c.decode(c.encode(v)).to_bits(), v.to_bits());
+    }
+
+    /// With the paper's scale rule, the scaled absmax hits float_max exactly
+    /// and nothing saturates.
+    #[test]
+    fn paper_scale_no_saturation(f in any_format(), mut data in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+        let absmax = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        prop_assume!(absmax > 1e-3);
+        let c = Fp8Codec::new(f);
+        let s = fp8_scale(f, absmax);
+        let st = fake_quant_fp8(&mut data, &c, s);
+        prop_assert_eq!(st.saturated, 0);
+        for &x in &data {
+            prop_assert!(x.abs() <= absmax * (1.0 + 1e-5));
+        }
+    }
+
+    /// INT8 symmetric: error bounded by half a step for in-range values.
+    #[test]
+    fn int8_error_bound(x in -10.0f32..10.0, absmax in 0.1f32..100.0) {
+        let c = Int8Codec::from_range(-absmax, absmax, Int8Mode::Symmetric);
+        prop_assume!(x.abs() <= absmax);
+        prop_assert!((c.quantize(x) - x).abs() <= 0.5 * c.scale() + 1e-6);
+    }
+
+    /// INT8 asymmetric roundtrip stays within range and one step of input.
+    #[test]
+    fn int8_asymmetric_bound(lo in -50.0f32..0.0, hi in 0.1f32..50.0, t in 0.0f32..1.0) {
+        let c = Int8Codec::from_range(lo, hi, Int8Mode::Asymmetric);
+        let x = lo + t * (hi - lo);
+        prop_assert!((c.quantize(x) - x).abs() <= 0.5 * c.scale() + 1e-5);
+    }
+}

@@ -1,0 +1,93 @@
+//! Classification metrics.
+
+/// Fraction of predictions equal to their label.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(pred: &[usize], label: &[usize]) -> f64 {
+    assert_eq!(pred.len(), label.len(), "accuracy length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(label).filter(|(p, l)| p == l).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Fraction of rows whose label appears in the top-k logits.
+///
+/// `logits` is row-major `[n, classes]`.
+///
+/// # Panics
+///
+/// Panics if `logits.len() != labels.len() * classes` or `k == 0`.
+pub fn top_k_accuracy(logits: &[f32], classes: usize, labels: &[usize], k: usize) -> f64 {
+    assert!(k >= 1, "k must be >= 1");
+    assert_eq!(
+        logits.len(),
+        labels.len() * classes,
+        "logits shape mismatch"
+    );
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits[i * classes..(i + 1) * classes];
+        let target = row[label];
+        // Count strictly-greater entries; label is in top-k if fewer than k
+        // entries beat it (ties resolved in the label's favor, stable under
+        // quantization-induced exact ties).
+        let beaten = row.iter().filter(|&&v| v > target).count();
+        if beaten < k {
+            hits += 1;
+        }
+    }
+    hits as f64 / labels.len() as f64
+}
+
+/// Agreement rate between two predicted label sequences — used to compare a
+/// quantized model against its FP32 reference on unlabeled data.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn agreement(a: &[usize], b: &[usize]) -> f64 {
+    accuracy(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn top1_equals_argmax_accuracy() {
+        let logits = [0.1f32, 0.9, 0.5, 0.2, 0.3, 0.1];
+        assert_eq!(top_k_accuracy(&logits, 3, &[1, 0], 1), 0.5);
+    }
+
+    #[test]
+    fn top_k_widens() {
+        let logits = [0.1f32, 0.9, 0.5];
+        assert_eq!(top_k_accuracy(&logits, 3, &[2], 1), 0.0);
+        assert_eq!(top_k_accuracy(&logits, 3, &[2], 2), 1.0);
+    }
+
+    #[test]
+    fn top_k_tie_favors_label() {
+        let logits = [0.5f32, 0.5];
+        assert_eq!(top_k_accuracy(&logits, 2, &[1], 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_mismatch() {
+        accuracy(&[1], &[1, 2]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Correlation and F-measure metrics for the GLUE-style tasks
+//! (Pearson for STS-B, Matthews for CoLA, F1 for MRPC).
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 for degenerate (constant) inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ma = a.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+    let mb = b.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x as f64 - ma;
+        let dy = y as f64 - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Matthews correlation coefficient for binary predictions.
+/// Returns 0 when any marginal is empty (the CoLA convention).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn matthews_corr(pred: &[bool], label: &[bool]) -> f64 {
+    assert_eq!(pred.len(), label.len(), "matthews length mismatch");
+    let (mut tp, mut tn, mut fp, mut fna) = (0f64, 0f64, 0f64, 0f64);
+    for (&p, &l) in pred.iter().zip(label) {
+        match (p, l) {
+            (true, true) => tp += 1.0,
+            (false, false) => tn += 1.0,
+            (true, false) => fp += 1.0,
+            (false, true) => fna += 1.0,
+        }
+    }
+    let denom = ((tp + fp) * (tp + fna) * (tn + fp) * (tn + fna)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (tp * tn - fp * fna) / denom
+}
+
+/// Binary F1 score (harmonic mean of precision and recall on the positive
+/// class). Returns 0 when there are no positive predictions or labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn f1_binary(pred: &[bool], label: &[bool]) -> f64 {
+    assert_eq!(pred.len(), label.len(), "f1 length mismatch");
+    let (mut tp, mut fp, mut fna) = (0f64, 0f64, 0f64);
+    for (&p, &l) in pred.iter().zip(label) {
+        match (p, l) {
+            (true, true) => tp += 1.0,
+            (true, false) => fp += 1.0,
+            (false, true) => fna += 1.0,
+            _ => {}
+        }
+    }
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fna);
+    2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [2.0f32, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let neg: Vec<f32> = b.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn matthews_perfect_and_random() {
+        let l = [true, true, false, false];
+        assert!((matthews_corr(&l, &l) - 1.0).abs() < 1e-12);
+        let inv: Vec<bool> = l.iter().map(|x| !x).collect();
+        assert!((matthews_corr(&inv, &l) + 1.0).abs() < 1e-12);
+        assert_eq!(matthews_corr(&[true, true], &[true, true]), 0.0); // no negatives -> 0 by convention
+    }
+
+    #[test]
+    fn f1_hand_case() {
+        // tp=1, fp=1, fn=1 -> precision 0.5, recall 0.5, f1 0.5
+        let pred = [true, true, false];
+        let label = [true, false, true];
+        assert!((f1_binary(&pred, &label) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_no_positives() {
+        assert_eq!(f1_binary(&[false, false], &[false, false]), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Fréchet-distance proxy for generation quality (the paper's FID metric,
+//! Figure 6).
+//!
+//! Real FID compares Inception-feature Gaussians
+//! `FID = |μ₁−μ₂|² + Tr(Σ₁ + Σ₂ − 2(Σ₁Σ₂)^{1/2})`. We compute the same
+//! formula with **diagonal** covariances over features from a fixed,
+//! deterministic extractor (our substitute for Inception-v3, see
+//! DESIGN.md). With diagonal Σ the matrix square root is elementwise, so
+//! the distance is exact, fast and fully reproducible — and preserves the
+//! property the paper uses: the further the quantized generator's output
+//! distribution drifts from FP32's, the larger the score.
+
+use ptq_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// First and second moments of a feature set (diagonal Gaussian).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMoments {
+    /// Per-dimension mean.
+    pub mean: Vec<f64>,
+    /// Per-dimension variance.
+    pub var: Vec<f64>,
+}
+
+/// Compute moments of features given as a 2-D `[n_samples, dim]` tensor.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 2-D or has no rows.
+pub fn feature_moments(features: &Tensor) -> FeatureMoments {
+    assert_eq!(features.ndim(), 2, "features must be [n, d]");
+    let (n, d) = (features.dim(0), features.dim(1));
+    assert!(n > 0, "need at least one sample");
+    let mut mean = vec![0.0f64; d];
+    let mut sq = vec![0.0f64; d];
+    for i in 0..n {
+        for (j, &v) in features.row(i).iter().enumerate() {
+            mean[j] += v as f64;
+            sq[j] += (v as f64) * (v as f64);
+        }
+    }
+    for j in 0..d {
+        mean[j] /= n as f64;
+        sq[j] = (sq[j] / n as f64 - mean[j] * mean[j]).max(0.0);
+    }
+    FeatureMoments { mean, var: sq }
+}
+
+/// Fréchet distance between two diagonal Gaussians:
+/// `|μ₁−μ₂|² + Σ_j (σ₁ⱼ + σ₂ⱼ − 2 sqrt(σ₁ⱼ σ₂ⱼ))`.
+///
+/// # Panics
+///
+/// Panics if the moment dimensions differ.
+pub fn frechet_distance(a: &FeatureMoments, b: &FeatureMoments) -> f64 {
+    assert_eq!(a.mean.len(), b.mean.len(), "moment dims differ");
+    let mut d = 0.0;
+    for j in 0..a.mean.len() {
+        let dm = a.mean[j] - b.mean[j];
+        d += dm * dm;
+        d += a.var[j] + b.var[j] - 2.0 * (a.var[j] * b.var[j]).sqrt();
+    }
+    d.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptq_tensor::TensorRng;
+
+    #[test]
+    fn identical_distributions_zero() {
+        let f = TensorRng::seed(1).normal(&[500, 8], 0.0, 1.0);
+        let m = feature_moments(&f);
+        assert_eq!(frechet_distance(&m, &m), 0.0);
+    }
+
+    #[test]
+    fn mean_shift_contributes_quadratically() {
+        let a = FeatureMoments {
+            mean: vec![0.0],
+            var: vec![1.0],
+        };
+        let b = FeatureMoments {
+            mean: vec![3.0],
+            var: vec![1.0],
+        };
+        assert!((frechet_distance(&a, &b) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_mismatch_contributes() {
+        let a = FeatureMoments {
+            mean: vec![0.0],
+            var: vec![1.0],
+        };
+        let b = FeatureMoments {
+            mean: vec![0.0],
+            var: vec![4.0],
+        };
+        // 1 + 4 - 2*2 = 1
+        assert!((frechet_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_grows_with_drift() {
+        let mut rng = TensorRng::seed(2);
+        let base = rng.normal(&[400, 16], 0.0, 1.0);
+        let m0 = feature_moments(&base);
+        let small = feature_moments(&base.map(|x| x + 0.05));
+        let large = feature_moments(&base.map(|x| x * 1.5 + 0.5));
+        let d_small = frechet_distance(&m0, &small);
+        let d_large = frechet_distance(&m0, &large);
+        assert!(d_small < d_large);
+        assert!(d_small > 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let mut rng = TensorRng::seed(3);
+        let a = feature_moments(&rng.normal(&[100, 4], 0.0, 1.0));
+        let b = feature_moments(&rng.normal(&[100, 4], 0.5, 2.0));
+        assert!((frechet_distance(&a, &b) - frechet_distance(&b, &a)).abs() < 1e-12);
+    }
+}

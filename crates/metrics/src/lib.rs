@@ -1,0 +1,25 @@
+//! # ptq-metrics — evaluation metrics for the FP8 PTQ study
+//!
+//! The paper evaluates quantized models with task-appropriate metrics
+//! (top-1 accuracy, F1/MRPC, Pearson/STS-B, Matthews/CoLA, FID for image
+//! generation, …) and aggregates results into a *pass rate*: the fraction
+//! of workloads whose quantized accuracy is within 1 % relative loss of the
+//! FP32 baseline (Table 2). This crate implements those metrics, the FID
+//! proxy used for generation quality, text-repetition measures for the
+//! Table-4 / Appendix-A.3 analysis, and the aggregation/quartile helpers
+//! behind Figures 4 and 5.
+
+pub mod classify;
+pub mod corr;
+pub mod fid;
+pub mod passrate;
+pub mod textgen;
+
+pub use classify::{accuracy, agreement, top_k_accuracy};
+pub use corr::{f1_binary, matthews_corr, pearson};
+pub use fid::{feature_moments, frechet_distance, FeatureMoments};
+pub use passrate::{
+    passes_criterion, relative_loss, Domain, PassRateSummary, Quartiles, WorkloadResult,
+    DEFAULT_CRITERION,
+};
+pub use textgen::{distinct_n, repeated_ngram_rate};

@@ -1,0 +1,267 @@
+//! The paper's pass/fail criterion and pass-rate aggregation (Table 2,
+//! Figures 4 and 5).
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's accuracy criterion: a workload *passes* if its relative
+/// accuracy loss against the FP32 baseline is at most 1 %.
+pub const DEFAULT_CRITERION: f64 = 0.01;
+
+/// Workload domain, the paper's CV/NLP split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Computer-vision workloads.
+    Cv,
+    /// Natural-language-processing (and other sequence) workloads.
+    Nlp,
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Domain::Cv => write!(f, "CV"),
+            Domain::Nlp => write!(f, "NLP"),
+        }
+    }
+}
+
+/// Relative accuracy loss `(fp32 - quantized) / fp32`. Negative values mean
+/// the quantized model *improved* (which Table 3 shows does happen, e.g.
+/// Bert-Large/CoLA INT8). A non-positive baseline yields 0 loss if the
+/// quantized metric is at least the baseline, else 1 (total loss).
+pub fn relative_loss(fp32: f64, quantized: f64) -> f64 {
+    if fp32 > 0.0 {
+        (fp32 - quantized) / fp32
+    } else if quantized >= fp32 {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+/// True if a workload meets the criterion (relative loss ≤ `criterion`,
+/// with a tiny tolerance so that exact-boundary cases like 0.792 vs 0.80
+/// are not decided by f64 rounding).
+pub fn passes_criterion(fp32: f64, quantized: f64, criterion: f64) -> bool {
+    relative_loss(fp32, quantized) <= criterion + 1e-9
+}
+
+/// One (workload × configuration) evaluation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    /// Workload name (e.g. `resnet_like_26/cifar_syn`).
+    pub workload: String,
+    /// CV or NLP.
+    pub domain: Domain,
+    /// FP32 baseline metric.
+    pub fp32: f64,
+    /// Quantized metric.
+    pub quantized: f64,
+    /// Model size in MB (for the Figure-5 size buckets).
+    pub size_mb: f64,
+}
+
+impl WorkloadResult {
+    /// Relative accuracy loss of this result.
+    pub fn loss(&self) -> f64 {
+        relative_loss(self.fp32, self.quantized)
+    }
+
+    /// Pass under the default 1 % criterion.
+    pub fn passes(&self) -> bool {
+        passes_criterion(self.fp32, self.quantized, DEFAULT_CRITERION)
+    }
+
+    /// The paper's Figure-5 size class: tiny ≤ 32 MB < small ≤ 384 < medium
+    /// ≤ 512 < large.
+    pub fn size_class(&self) -> &'static str {
+        match self.size_mb {
+            s if s <= 32.0 => "tiny",
+            s if s <= 384.0 => "small",
+            s if s <= 512.0 => "medium",
+            _ => "large",
+        }
+    }
+}
+
+/// Five-number summary used for the Figure-4 box plots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quartiles {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Quartiles {
+    /// Compute the five-number summary of a sample. Returns `None` for an
+    /// empty sample.
+    pub fn of(values: &[f64]) -> Option<Quartiles> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in quartile input"));
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        };
+        Some(Quartiles {
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *v.last().expect("nonempty"),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Aggregated pass rates for one quantization configuration (a Table-2 row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PassRateSummary {
+    /// Pass rate over CV workloads (0..1), `None` if none were evaluated.
+    pub cv: Option<f64>,
+    /// Pass rate over NLP workloads.
+    pub nlp: Option<f64>,
+    /// Pass rate over all workloads.
+    pub all: f64,
+    /// Number of workloads evaluated.
+    pub n: usize,
+    /// Per-domain loss quartiles (for Figure 4).
+    pub cv_loss: Option<Quartiles>,
+    /// Per-domain loss quartiles (for Figure 4).
+    pub nlp_loss: Option<Quartiles>,
+}
+
+impl PassRateSummary {
+    /// Aggregate a batch of workload results under the default criterion.
+    pub fn of(results: &[WorkloadResult]) -> PassRateSummary {
+        Self::with_criterion(results, DEFAULT_CRITERION)
+    }
+
+    /// Aggregate with an explicit criterion.
+    pub fn with_criterion(results: &[WorkloadResult], criterion: f64) -> PassRateSummary {
+        let rate = |dom: Option<Domain>| -> Option<f64> {
+            let sel: Vec<&WorkloadResult> = results
+                .iter()
+                .filter(|r| dom.map_or(true, |d| r.domain == d))
+                .collect();
+            if sel.is_empty() {
+                return None;
+            }
+            let pass = sel
+                .iter()
+                .filter(|r| passes_criterion(r.fp32, r.quantized, criterion))
+                .count();
+            Some(pass as f64 / sel.len() as f64)
+        };
+        let losses = |d: Domain| -> Vec<f64> {
+            results
+                .iter()
+                .filter(|r| r.domain == d)
+                .map(|r| r.loss())
+                .collect()
+        };
+        PassRateSummary {
+            cv: rate(Some(Domain::Cv)),
+            nlp: rate(Some(Domain::Nlp)),
+            all: rate(None).unwrap_or(0.0),
+            n: results.len(),
+            cv_loss: Quartiles::of(&losses(Domain::Cv)),
+            nlp_loss: Quartiles::of(&losses(Domain::Nlp)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wr(domain: Domain, fp32: f64, q: f64) -> WorkloadResult {
+        WorkloadResult {
+            workload: "w".into(),
+            domain,
+            fp32,
+            quantized: q,
+            size_mb: 10.0,
+        }
+    }
+
+    #[test]
+    fn criterion_boundary() {
+        assert!(passes_criterion(0.80, 0.792, DEFAULT_CRITERION)); // exactly 1%
+        assert!(!passes_criterion(0.80, 0.7919, DEFAULT_CRITERION));
+        // Improvement always passes.
+        assert!(passes_criterion(0.80, 0.85, DEFAULT_CRITERION));
+        assert!(relative_loss(0.80, 0.85) < 0.0);
+    }
+
+    #[test]
+    fn degenerate_baseline() {
+        assert!(passes_criterion(0.0, 0.0, DEFAULT_CRITERION));
+        assert!(!passes_criterion(0.0, -0.5, DEFAULT_CRITERION));
+    }
+
+    #[test]
+    fn pass_rate_split_by_domain() {
+        let results = vec![
+            wr(Domain::Cv, 0.8, 0.8),
+            wr(Domain::Cv, 0.8, 0.5),
+            wr(Domain::Nlp, 0.9, 0.9),
+            wr(Domain::Nlp, 0.9, 0.895),
+        ];
+        let s = PassRateSummary::of(&results);
+        assert_eq!(s.cv, Some(0.5));
+        assert_eq!(s.nlp, Some(1.0));
+        assert_eq!(s.all, 0.75);
+        assert_eq!(s.n, 4);
+    }
+
+    #[test]
+    fn pass_rate_empty_domains() {
+        let results = vec![wr(Domain::Cv, 0.8, 0.8)];
+        let s = PassRateSummary::of(&results);
+        assert_eq!(s.nlp, None);
+        assert!(s.nlp_loss.is_none());
+        assert_eq!(s.all, 1.0);
+    }
+
+    #[test]
+    fn quartiles_of_known_sample() {
+        let q = Quartiles::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(q.min, 1.0);
+        assert_eq!(q.median, 3.0);
+        assert_eq!(q.max, 5.0);
+        assert_eq!(q.q1, 2.0);
+        assert_eq!(q.q3, 4.0);
+        assert_eq!(q.iqr(), 2.0);
+        assert!(Quartiles::of(&[]).is_none());
+    }
+
+    #[test]
+    fn size_classes_match_figure5() {
+        let mut r = wr(Domain::Cv, 1.0, 1.0);
+        r.size_mb = 10.0;
+        assert_eq!(r.size_class(), "tiny");
+        r.size_mb = 100.0;
+        assert_eq!(r.size_class(), "small");
+        r.size_mb = 400.0;
+        assert_eq!(r.size_class(), "medium");
+        r.size_mb = 600.0;
+        assert_eq!(r.size_class(), "large");
+    }
+}

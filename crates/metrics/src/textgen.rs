@@ -1,0 +1,84 @@
+//! Text-generation quality measures.
+//!
+//! Table 4 / Appendix A.3 of the paper contrast generated continuations:
+//! the INT8 model degenerates into loops ("She saw many strange …") while
+//! the FP8 models produce varied text. The standard quantitative proxies
+//! for that failure mode are the repeated-n-gram rate and distinct-n.
+
+use std::collections::HashSet;
+
+/// Fraction of n-grams that are repeats of an earlier n-gram in the same
+/// sequence. 0 = all distinct; → 1 as the output degenerates into a loop.
+///
+/// Returns 0 when the sequence has fewer than `n` tokens.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn repeated_ngram_rate(tokens: &[usize], n: usize) -> f64 {
+    assert!(n > 0, "n must be positive");
+    if tokens.len() < n {
+        return 0.0;
+    }
+    let total = tokens.len() - n + 1;
+    let mut seen: HashSet<&[usize]> = HashSet::with_capacity(total);
+    let mut repeats = 0usize;
+    for w in tokens.windows(n) {
+        if !seen.insert(w) {
+            repeats += 1;
+        }
+    }
+    repeats as f64 / total as f64
+}
+
+/// Number of distinct n-grams divided by the number of n-grams
+/// (distinct-n; higher is more diverse).
+///
+/// Returns 0 when the sequence has fewer than `n` tokens.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn distinct_n(tokens: &[usize], n: usize) -> f64 {
+    assert!(n > 0, "n must be positive");
+    if tokens.len() < n {
+        return 0.0;
+    }
+    let total = tokens.len() - n + 1;
+    let distinct: HashSet<&[usize]> = tokens.windows(n).collect();
+    distinct.len() as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_detected() {
+        // "a b c" looped 8 times: only 3 distinct trigrams among 22 windows.
+        let t: Vec<usize> = (0..24).map(|i| i % 3).collect();
+        assert!(repeated_ngram_rate(&t, 3) > 0.8);
+        assert!(distinct_n(&t, 3) < 0.2);
+    }
+
+    #[test]
+    fn distinct_sequence_has_no_repeats() {
+        let t: Vec<usize> = (0..50).collect();
+        assert_eq!(repeated_ngram_rate(&t, 2), 0.0);
+        assert_eq!(distinct_n(&t, 2), 1.0);
+    }
+
+    #[test]
+    fn short_sequences() {
+        assert_eq!(repeated_ngram_rate(&[1], 3), 0.0);
+        assert_eq!(distinct_n(&[], 2), 0.0);
+    }
+
+    #[test]
+    fn rates_complementary() {
+        let t = [5, 5, 5, 5, 5, 5];
+        // All bigrams identical: 1 distinct out of 5, 4 repeats out of 5.
+        assert!((repeated_ngram_rate(&t, 2) - 0.8).abs() < 1e-12);
+        assert!((distinct_n(&t, 2) - 0.2).abs() < 1e-12);
+    }
+}

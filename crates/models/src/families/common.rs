@@ -1,0 +1,456 @@
+//! Shared configuration types and graph-building helpers for the families.
+
+use ptq_nn::{GraphBuilder, ValueId};
+use ptq_tensor::ops::Conv2dParams;
+use ptq_tensor::{Tensor, TensorRng};
+
+/// Configuration of a convolutional workload.
+#[derive(Debug, Clone, Copy)]
+pub struct CvConfig {
+    /// Input image side (H = W).
+    pub img: usize,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Base channel width.
+    pub width: usize,
+    /// Number of blocks.
+    pub depth: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// Weight/data seed.
+    pub seed: u64,
+    /// BatchNorm gain amplification applied to a few channels — the
+    /// mechanism that gives MobileNet/EfficientNet/ViT-style models the
+    /// wide activation tails that hurt per-tensor INT8 (0.0 = benign).
+    pub hostility: f32,
+}
+
+impl Default for CvConfig {
+    fn default() -> Self {
+        CvConfig {
+            img: 16,
+            in_ch: 3,
+            width: 12,
+            depth: 3,
+            classes: 10,
+            seed: 0,
+            hostility: 0.0,
+        }
+    }
+}
+
+/// Configuration of a transformer workload.
+#[derive(Debug, Clone, Copy)]
+pub struct NlpConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Sequence length (static; one sequence per forward).
+    pub seq: usize,
+    /// Model width.
+    pub d: usize,
+    /// Attention heads (must divide `d`).
+    pub heads: usize,
+    /// Encoder/decoder blocks.
+    pub layers: usize,
+    /// FFN expansion factor.
+    pub ffn_mult: usize,
+    /// Weight/data seed.
+    pub seed: u64,
+    /// LayerNorm gain applied to a few channels — reproduces the
+    /// transformer activation outliers of the paper's Figure 3. Real LLMs
+    /// span roughly 10×–1000×; the zoo samples this range.
+    pub outlier_gain: f32,
+    /// How many channels get the amplified gain.
+    pub outlier_channels: usize,
+    /// Log-normal σ of the LayerNorm gain distribution: heavy-tailed
+    /// channel scales spreading activations across many binades (the
+    /// "range-bounded" property of Figure 3). E3M4's ~2·10³ dynamic-range
+    /// window starts losing the low tail around σ ≳ 1.2, while E4M3's
+    /// ~2·10⁵ window does not — the mechanism behind the paper's
+    /// E4M3-for-NLP recommendation.
+    pub gamma_sigma: f32,
+}
+
+impl Default for NlpConfig {
+    fn default() -> Self {
+        NlpConfig {
+            vocab: 64,
+            seq: 16,
+            d: 32,
+            heads: 4,
+            layers: 2,
+            ffn_mult: 2,
+            seed: 0,
+            outlier_gain: 1.0,
+            outlier_channels: 0,
+            gamma_sigma: 0.3,
+        }
+    }
+}
+
+/// Task head attached to an encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Head {
+    /// K-way classification (`[1, K]` logits).
+    Classes(usize),
+    /// Binary decision (`[1, 2]` logits).
+    Binary,
+    /// Scalar regression (`[1, 1]`).
+    Regression,
+}
+
+impl Head {
+    /// Output width of the head.
+    pub fn width(self) -> usize {
+        match self {
+            Head::Classes(k) => k,
+            Head::Binary => 2,
+            Head::Regression => 1,
+        }
+    }
+}
+
+/// Conv → BatchNorm → ReLU block. Returns the activated value.
+///
+/// `hostility > 1` amplifies the BN gain of one channel (rotating through
+/// channels by `block_idx`), creating the per-channel activation outliers
+/// that stretch per-tensor INT8 grids.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_bn_relu(
+    b: &mut GraphBuilder,
+    rng: &mut TensorRng,
+    x: ValueId,
+    cin: usize,
+    cout: usize,
+    k: usize,
+    stride: usize,
+    hostility: f32,
+    block_idx: usize,
+) -> ValueId {
+    let w = b.param(rng.kaiming(&[cout, cin, k, k]));
+    let p = Conv2dParams {
+        stride,
+        padding: k / 2,
+    };
+    let c = b.conv2d(x, w, None, p);
+    let bn = batchnorm_with_hostility(b, rng, c, cout, hostility, block_idx);
+    b.relu(bn)
+}
+
+/// Attach an inference BatchNorm with near-trained statistics and optional
+/// amplified gain channels.
+pub fn batchnorm_with_hostility(
+    b: &mut GraphBuilder,
+    rng: &mut TensorRng,
+    x: ValueId,
+    c: usize,
+    hostility: f32,
+    block_idx: usize,
+) -> ValueId {
+    let mut gamma = rng.uniform(&[c], 0.8, 1.2);
+    if hostility > 1.0 {
+        // One amplified channel per block, rotating so different blocks hit
+        // different channels.
+        let ch = block_idx % c;
+        gamma.data_mut()[ch] *= hostility;
+    }
+    let beta = rng.normal(&[c], 0.0, 0.1);
+    // Running stats roughly matching a unit-variance pre-activation: the
+    // interpreter's BN then keeps activations in a sane range, as trained
+    // BN would.
+    let mean = rng.normal(&[c], 0.0, 0.05);
+    let var = rng.uniform(&[c], 0.7, 1.3);
+    let gamma = b.param(gamma);
+    let beta = b.param(beta);
+    let mean = b.param(mean);
+    let var = b.param(var);
+    b.batchnorm(x, gamma, beta, mean, var, 1e-5)
+}
+
+/// LayerNorm whose gain has `outlier_channels` channels amplified by
+/// `outlier_gain` — the Figure-3 NLP activation-outlier generator.
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_with_outliers(
+    b: &mut GraphBuilder,
+    rng: &mut TensorRng,
+    x: ValueId,
+    d: usize,
+    outlier_gain: f32,
+    outlier_channels: usize,
+    layer_idx: usize,
+    gamma_sigma: f32,
+) -> (ValueId, Vec<f32>) {
+    // Heavy-tailed channel scales: log-normal gains spread activation
+    // magnitudes across binades (Figure 3's "range-bounded" NLP tensors).
+    let mut gamma = rng.uniform(&[d], 0.8, 1.2);
+    if gamma_sigma > 0.0 {
+        let ln = rng.normal(&[d], 0.0, gamma_sigma);
+        for (g, l) in gamma.data_mut().iter_mut().zip(ln.data()) {
+            *g *= l.exp();
+        }
+    }
+    for i in 0..outlier_channels.min(d) {
+        // Deterministic channel choice, varying per layer.
+        let ch = (layer_idx * 7 + i * 13) % d;
+        gamma.data_mut()[ch] *= outlier_gain;
+    }
+    let mags: Vec<f32> = gamma.data().iter().map(|g| g.abs()).collect();
+    let beta = rng.normal(&[d], 0.0, 0.05);
+    let gamma = b.param(gamma);
+    let beta = b.param(beta);
+    (b.layernorm(x, gamma, beta, 1e-5), mags)
+}
+
+/// Column scales that *co-adapt* a weight to its input's per-channel
+/// magnitudes: a trained layer keeps each input channel's contribution
+/// comparable, so weights multiplying outlier channels are
+/// correspondingly small (the structure Xiao et al. 2022 report in real
+/// transformers — and the reason activation outliers, not weights, are
+/// the INT8 bottleneck). Returns `median(|mag|)/|mag_j|`, clamped to
+/// [1/1024, 1024].
+///
+/// Full compensation means a consuming weight's *column spread equals the
+/// activation outlier ratio* — the property that separates the formats:
+/// per-channel FP8 weight rows then span γ, which E4M3's ~2·10⁵
+/// dynamic-range window absorbs, E3M4's ~2·10³ window loses to subnormals
+/// for extreme γ, and a 127-level uniform grid loses far earlier.
+pub fn coadapt_scales(mags: &[f32]) -> Vec<f32> {
+    let mut sorted: Vec<f32> = mags.iter().map(|m| m.max(1e-9)).collect();
+    sorted.sort_by(f32::total_cmp);
+    let med = sorted[sorted.len() / 2].max(1e-9);
+    mags.iter()
+        .map(|&m| (med / m.max(1e-9)).clamp(1.0 / 1024.0, 1024.0))
+        .collect()
+}
+
+/// Apply per-input-channel scales to a `[out, in]` weight.
+pub fn scale_columns(w: &mut Tensor, scales: &[f32]) {
+    let (rows, cols) = (w.dim(0), w.dim(1));
+    assert_eq!(cols, scales.len(), "column-scale length");
+    let data = w.data_mut();
+    for r in 0..rows {
+        for (j, &s) in scales.iter().enumerate() {
+            data[r * cols + j] *= s;
+        }
+    }
+}
+
+/// Multi-head self-attention over a `[seq, d]` activation; returns the
+/// projected context. `causal` inserts the decoder mask.
+#[allow(clippy::too_many_arguments)]
+pub fn self_attention(
+    b: &mut GraphBuilder,
+    rng: &mut TensorRng,
+    x: ValueId,
+    seq: usize,
+    d: usize,
+    heads: usize,
+    causal: bool,
+    in_scales: Option<&[f32]>,
+) -> ValueId {
+    assert_eq!(d % heads, 0, "heads must divide model width");
+    let dh = d / heads;
+    let mk = |rng: &mut TensorRng| {
+        let mut w = rng.kaiming(&[d, d]);
+        if let Some(s) = in_scales {
+            scale_columns(&mut w, s);
+        }
+        w
+    };
+    let wq = mk(rng);
+    let wk = mk(rng);
+    let wv = mk(rng);
+    let wq = b.param(wq);
+    let wk = b.param(wk);
+    let wv = b.param(wv);
+    let wo = b.param(rng.kaiming(&[d, d]));
+    let q = b.linear(x, wq, None);
+    let k = b.linear(x, wk, None);
+    let v = b.linear(x, wv, None);
+    // [seq, d] -> [heads, seq, dh]
+    let qh = b.reshape(q, &[seq, heads, dh]);
+    let qh = b.permute(qh, &[1, 0, 2]);
+    let kh = b.reshape(k, &[seq, heads, dh]);
+    let kh = b.permute(kh, &[1, 2, 0]); // [heads, dh, seq]
+    let vh = b.reshape(v, &[seq, heads, dh]);
+    let vh = b.permute(vh, &[1, 0, 2]);
+    let scores = b.batch_matmul(qh, kh); // [heads, seq, seq]
+    let scores = b.scale(scores, 1.0 / (dh as f32).sqrt());
+    let scores = if causal { b.causal_mask(scores) } else { scores };
+    let probs = b.softmax(scores);
+    let ctx = b.batch_matmul(probs, vh); // [heads, seq, dh]
+    let ctx = b.permute(ctx, &[1, 0, 2]);
+    let ctx = b.reshape(ctx, &[seq, d]);
+    b.linear(ctx, wo, None)
+}
+
+/// One pre-norm transformer block (LN → MHA → +res → LN → FFN → +res).
+#[allow(clippy::too_many_arguments)]
+pub fn transformer_block(
+    b: &mut GraphBuilder,
+    rng: &mut TensorRng,
+    x: ValueId,
+    cfg: &NlpConfig,
+    layer_idx: usize,
+    causal: bool,
+) -> ValueId {
+    let (ln1, mags1) = layernorm_with_outliers(
+        b,
+        rng,
+        x,
+        cfg.d,
+        cfg.outlier_gain,
+        cfg.outlier_channels,
+        layer_idx * 2,
+        cfg.gamma_sigma,
+    );
+    let s1 = coadapt_scales(&mags1);
+    let attn = self_attention(b, rng, ln1, cfg.seq, cfg.d, cfg.heads, causal, Some(&s1));
+    let x = b.add(x, attn);
+    let (ln2, mags2) = layernorm_with_outliers(
+        b,
+        rng,
+        x,
+        cfg.d,
+        cfg.outlier_gain,
+        cfg.outlier_channels,
+        layer_idx * 2 + 1,
+        cfg.gamma_sigma,
+    );
+    let s2 = coadapt_scales(&mags2);
+    let h = cfg.d * cfg.ffn_mult;
+    let mut w1t = rng.kaiming(&[h, cfg.d]);
+    scale_columns(&mut w1t, &s2);
+    let w1 = b.param(w1t);
+    let w2 = b.param(rng.kaiming(&[cfg.d, h]));
+    let f = b.linear(ln2, w1, None);
+    let f = b.gelu(f);
+    let f = b.linear(f, w2, None);
+    b.add(x, f)
+}
+
+/// Token-embedding front end: ids (`[seq]` as f32) → `[seq, d]` with
+/// learned positional embeddings added.
+///
+/// The three highest vocabulary ids are *spike tokens*: their embedding
+/// rows are scaled by `~sqrt(outlier_gain)` (floored at 8×). Sequences
+/// containing them carry token-dependent activation spikes — the
+/// "attention-sink"-style rare outliers of real LLMs. Dynamic per-tensor
+/// INT8 rescales the whole tensor around such a spike and crushes every
+/// other channel into a handful of levels, while log-spaced FP8 keeps
+/// small values representable — the asymmetry behind the paper's NLP
+/// coverage gap.
+pub fn embed_tokens(
+    b: &mut GraphBuilder,
+    rng: &mut TensorRng,
+    ids: ValueId,
+    cfg: &NlpConfig,
+) -> ValueId {
+    let mut table = rng.normal(&[cfg.vocab, cfg.d], 0.0, 1.0);
+    if cfg.outlier_gain > 1.0 && cfg.vocab > 8 {
+        let spike = cfg.outlier_gain.sqrt().max(8.0);
+        for r in cfg.vocab - 3..cfg.vocab {
+            for v in &mut table.data_mut()[r * cfg.d..(r + 1) * cfg.d] {
+                *v *= spike;
+            }
+        }
+    }
+    let table = b.param(table);
+    let e = b.embedding(ids, table);
+    let pos = b.param(rng.normal(&[cfg.seq, cfg.d], 0.0, 0.5));
+    b.add_param(e, pos)
+}
+
+/// Randomly replace each token with a uniform one with probability `p`
+/// (the NLP eval perturbation).
+pub fn perturb_tokens(ids: &[usize], vocab: usize, p: f32, rng: &mut TensorRng) -> Vec<usize> {
+    ids.iter()
+        .map(|&t| {
+            if rng.unit() < p {
+                rng.below(vocab)
+            } else {
+                t
+            }
+        })
+        .collect()
+}
+
+/// Convert token ids to the f32 tensor the graph consumes.
+pub fn ids_tensor(ids: &[usize]) -> Tensor {
+    Tensor::from_vec(ids.iter().map(|&i| i as f32).collect(), &[ids.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptq_nn::GraphBuilder;
+
+    #[test]
+    fn attention_block_runs() {
+        let cfg = NlpConfig::default();
+        let mut rng = TensorRng::seed(1);
+        let mut b = GraphBuilder::new();
+        let ids = b.input();
+        let x = embed_tokens(&mut b, &mut rng, ids, &cfg);
+        let x = transformer_block(&mut b, &mut rng, x, &cfg, 0, false);
+        let g = b.finish(vec![x]);
+        let ids = ids_tensor(&TensorRng::seed(2).token_ids(cfg.seq, cfg.vocab));
+        let y = g.infer(&[ids]);
+        assert_eq!(y[0].shape(), &[cfg.seq, cfg.d]);
+        assert!(y[0].data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn causal_block_ignores_future_tokens() {
+        // With the causal mask, changing the last token must not change the
+        // first position's representation.
+        let cfg = NlpConfig {
+            layers: 1,
+            ..NlpConfig::default()
+        };
+        let mut rng = TensorRng::seed(3);
+        let mut b = GraphBuilder::new();
+        let ids = b.input();
+        let x = embed_tokens(&mut b, &mut rng, ids, &cfg);
+        let x = transformer_block(&mut b, &mut rng, x, &cfg, 0, true);
+        let g = b.finish(vec![x]);
+        let mut toks = TensorRng::seed(4).token_ids(cfg.seq, cfg.vocab);
+        let y1 = g.infer(&[ids_tensor(&toks)]);
+        toks[cfg.seq - 1] = (toks[cfg.seq - 1] + 1) % cfg.vocab;
+        let y2 = g.infer(&[ids_tensor(&toks)]);
+        for j in 0..cfg.d {
+            assert!((y1[0].at(&[0, j]) - y2[0].at(&[0, j])).abs() < 1e-5);
+        }
+        // ...but the last position does change.
+        let mut diff = 0.0f32;
+        for j in 0..cfg.d {
+            diff += (y1[0].at(&[cfg.seq - 1, j]) - y2[0].at(&[cfg.seq - 1, j])).abs();
+        }
+        assert!(diff > 1e-3);
+    }
+
+    #[test]
+    fn outlier_gamma_produces_outlier_activations() {
+        let mut rng = TensorRng::seed(5);
+        let mut b = GraphBuilder::new();
+        let x_in = b.input();
+        let (y, mags) = layernorm_with_outliers(&mut b, &mut rng, x_in, 16, 100.0, 1, 0, 0.0);
+        assert_eq!(mags.len(), 16);
+        let g = b.finish(vec![y]);
+        let x = TensorRng::seed(6).normal(&[8, 16], 0.0, 1.0);
+        let out = g.infer(&[x]);
+        let absmax = out[0].data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        // RMS of a LayerNorm output row is ~1; the amplified channel
+        // dominates by ~2 orders of magnitude.
+        assert!(absmax > 50.0, "absmax {absmax}");
+    }
+
+    #[test]
+    fn perturbation_rate() {
+        let mut rng = TensorRng::seed(7);
+        let ids: Vec<usize> = (0..1000).map(|i| i % 50).collect();
+        let p = perturb_tokens(&ids, 50, 0.1, &mut rng);
+        let changed = ids.iter().zip(&p).filter(|(a, b)| a != b).count();
+        assert!((60..160).contains(&changed), "changed {changed}");
+    }
+}

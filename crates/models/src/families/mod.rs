@@ -1,0 +1,13 @@
+//! Architecture family builders.
+//!
+//! Each family mirrors a class of networks from the paper's workload list
+//! (§4.1). Builders produce complete [`crate::Workload`]s: graph, seeded
+//! weights with the family's characteristic distributions, synthetic
+//! calibration/eval data and a task metric.
+
+pub mod common;
+pub mod cv;
+pub mod misc;
+pub mod nlp;
+
+pub use common::{CvConfig, Head, NlpConfig};

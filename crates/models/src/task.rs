@@ -1,0 +1,340 @@
+//! Task definitions: metrics over graph outputs, calibration-data sources
+//! and the augmentation transforms used by the BatchNorm-calibration study.
+
+use ptq_metrics::{accuracy, f1_binary, feature_moments, frechet_distance, matthews_corr, pearson, FeatureMoments};
+use ptq_tensor::{Tensor, TensorRng};
+
+/// How to score a workload's eval outputs (one output tensor per eval
+/// batch, concatenated semantics depending on the variant). Labels/targets
+/// are baked into the metric at workload construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Row-wise argmax vs labels; outputs are `[n, classes]` (possibly
+    /// split across batches).
+    Top1 {
+        /// Ground-truth class per row.
+        labels: Vec<usize>,
+    },
+    /// Binary F1 on thresholded scores; outputs `[n, 2]`, positive iff
+    /// `logit[1] > logit[0]` (the MRPC-style metric).
+    BinaryF1 {
+        /// Ground-truth positives.
+        labels: Vec<bool>,
+    },
+    /// Matthews correlation on thresholded scores (the CoLA metric).
+    Matthews {
+        /// Ground-truth positives.
+        labels: Vec<bool>,
+    },
+    /// Pearson correlation of a scalar head output vs targets
+    /// (the STS-B metric); outputs `[n, 1]`.
+    Pearson {
+        /// Regression targets.
+        targets: Vec<f32>,
+    },
+    /// Per-sequence last-token prediction: each eval batch output is
+    /// `[seq, vocab]`; the last row's argmax is compared to the label
+    /// (the LAMBADA-style metric).
+    LastTokenTop1 {
+        /// Target token per sequence.
+        labels: Vec<usize>,
+    },
+    /// Dense per-pixel classification; each output is `[n, classes, h, w]`
+    /// and labels are flattened per-pixel classes (the U-Net metric).
+    PixelTop1 {
+        /// Per-pixel labels, length `n*h*w` accumulated over batches.
+        labels: Vec<usize>,
+    },
+    /// Generation quality: outputs are feature tensors `[n, d]`; the score
+    /// is `1 / (1 + FID)` against the FP32 reference moments so that
+    /// *higher is better*, matching pass-rate semantics.
+    FidScore {
+        /// Feature moments of the FP32 generator's outputs.
+        reference: FeatureMoments,
+    },
+}
+
+impl Metric {
+    /// Score a full eval run (one output tensor per eval batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if output shapes are inconsistent with the metric's labels.
+    pub fn score(&self, outputs: &[Tensor]) -> f64 {
+        match self {
+            Metric::Top1 { labels } => {
+                let preds = collect_row_argmax(outputs);
+                assert_eq!(preds.len(), labels.len(), "Top1 label count");
+                accuracy(&preds, labels)
+            }
+            Metric::BinaryF1 { labels } => {
+                let preds = collect_binary(outputs);
+                assert_eq!(preds.len(), labels.len(), "F1 label count");
+                f1_binary(&preds, labels)
+            }
+            Metric::Matthews { labels } => {
+                let preds = collect_binary(outputs);
+                assert_eq!(preds.len(), labels.len(), "Matthews label count");
+                matthews_corr(&preds, labels)
+            }
+            Metric::Pearson { targets } => {
+                let scores: Vec<f32> = outputs
+                    .iter()
+                    .flat_map(|t| t.data().iter().copied())
+                    .collect();
+                assert_eq!(scores.len(), targets.len(), "Pearson target count");
+                pearson(&scores, targets)
+            }
+            Metric::LastTokenTop1 { labels } => {
+                assert_eq!(outputs.len(), labels.len(), "LastToken output count");
+                let preds: Vec<usize> = outputs
+                    .iter()
+                    .map(|o| {
+                        assert_eq!(o.ndim(), 2, "LastToken output must be [seq, vocab]");
+                        let last = o.dim(0) - 1;
+                        Tensor::from_slice(o.row(last)).argmax()
+                    })
+                    .collect();
+                accuracy(&preds, labels)
+            }
+            Metric::PixelTop1 { labels } => {
+                let mut preds = Vec::with_capacity(labels.len());
+                for o in outputs {
+                    assert_eq!(o.ndim(), 4, "PixelTop1 output must be [n,c,h,w]");
+                    let (n, c, h, w) = (o.dim(0), o.dim(1), o.dim(2), o.dim(3));
+                    for ni in 0..n {
+                        for y in 0..h {
+                            for x in 0..w {
+                                let mut best = 0;
+                                let mut best_v = f32::NEG_INFINITY;
+                                for ci in 0..c {
+                                    let v = o.at(&[ni, ci, y, x]);
+                                    if v > best_v {
+                                        best_v = v;
+                                        best = ci;
+                                    }
+                                }
+                                preds.push(best);
+                            }
+                        }
+                    }
+                }
+                assert_eq!(preds.len(), labels.len(), "PixelTop1 label count");
+                accuracy(&preds, labels)
+            }
+            Metric::FidScore { reference } => {
+                let all = Tensor::concat0(&outputs.iter().collect::<Vec<_>>());
+                let m = feature_moments(&all);
+                1.0 / (1.0 + frechet_distance(reference, &m))
+            }
+        }
+    }
+}
+
+fn collect_row_argmax(outputs: &[Tensor]) -> Vec<usize> {
+    let mut preds = Vec::new();
+    for o in outputs {
+        assert_eq!(o.ndim(), 2, "classification output must be 2-D");
+        preds.extend(o.argmax_rows());
+    }
+    preds
+}
+
+fn collect_binary(outputs: &[Tensor]) -> Vec<bool> {
+    let mut preds = Vec::new();
+    for o in outputs {
+        assert_eq!(o.ndim(), 2, "binary output must be 2-D");
+        assert_eq!(o.dim(1), 2, "binary output must have 2 logits");
+        for i in 0..o.dim(0) {
+            let r = o.row(i);
+            preds.push(r[1] > r[0]);
+        }
+    }
+    preds
+}
+
+/// Calibration-data transform, the Figure-7 variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transform {
+    /// Training-style augmentation: random spatial shift, horizontal flip
+    /// and additive noise — the paper's recommended choice.
+    Train,
+    /// Inference-style: the clean images as-is.
+    Inference,
+}
+
+/// A pool of clean calibration images from which augmented calibration
+/// batches of any size can be drawn (CV workloads only; used by the
+/// BatchNorm-calibration experiment).
+#[derive(Debug, Clone)]
+pub struct CalibSource {
+    /// Clean pool `[pool, c, h, w]`.
+    pub pool: Tensor,
+    /// Std of the additive train-transform noise, relative to data std.
+    pub noise: f32,
+    /// Batch size used when materializing calibration batches.
+    pub batch: usize,
+}
+
+impl CalibSource {
+    /// Draw `n` calibration samples (with replacement) under the given
+    /// transform, packed into batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty or not 4-D.
+    pub fn sample(&self, n: usize, transform: Transform, seed: u64) -> Vec<Vec<Tensor>> {
+        assert_eq!(self.pool.ndim(), 4, "calibration pool must be NCHW");
+        let pool_n = self.pool.dim(0);
+        assert!(pool_n > 0, "empty calibration pool");
+        let (c, h, w) = (self.pool.dim(1), self.pool.dim(2), self.pool.dim(3));
+        let mut rng = TensorRng::seed(seed);
+        let mut batches = Vec::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let b = remaining.min(self.batch);
+            let mut batch = Tensor::zeros(&[b, c, h, w]);
+            for i in 0..b {
+                let img = self.pool.index_axis0(rng.below(pool_n));
+                let img = match transform {
+                    Transform::Inference => img,
+                    Transform::Train => augment(&img, &mut rng, self.noise),
+                };
+                let dst = &mut batch.data_mut()[i * c * h * w..(i + 1) * c * h * w];
+                dst.copy_from_slice(img.data());
+            }
+            batches.push(vec![batch]);
+            remaining -= b;
+        }
+        batches
+    }
+}
+
+/// Training-style augmentation of one `[c, h, w]` image: random shift by up
+/// to 2 pixels, horizontal flip with probability ½, and additive Gaussian
+/// noise.
+pub fn augment(img: &Tensor, rng: &mut TensorRng, noise: f32) -> Tensor {
+    assert_eq!(img.ndim(), 3, "augment expects [c,h,w]");
+    let (c, h, w) = (img.dim(0), img.dim(1), img.dim(2));
+    let dy = rng.below(5) as isize - 2;
+    let dx = rng.below(5) as isize - 2;
+    let flip = rng.unit() < 0.5;
+    let mut out = Tensor::zeros(&[c, h, w]);
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let sy = y as isize + dy;
+                let sx = x as isize + dx;
+                if sy < 0 || sy >= h as isize || sx < 0 || sx >= w as isize {
+                    continue;
+                }
+                let sx = if flip { w - 1 - sx as usize } else { sx as usize };
+                *out.at_mut(&[ci, y, x]) = img.at(&[ci, sy as usize, sx]);
+            }
+        }
+    }
+    if noise > 0.0 {
+        let n = rng.normal(&[c, h, w], 0.0, noise);
+        out = out.add(&n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top1_metric() {
+        let m = Metric::Top1 {
+            labels: vec![1, 0, 2],
+        };
+        let o = Tensor::from_vec(
+            vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+            &[3, 3],
+        );
+        assert_eq!(m.score(&[o]), 1.0);
+    }
+
+    #[test]
+    fn top1_across_batches() {
+        let m = Metric::Top1 {
+            labels: vec![0, 1],
+        };
+        let a = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        assert_eq!(m.score(&[a, b]), 0.5);
+    }
+
+    #[test]
+    fn binary_f1_metric() {
+        let m = Metric::BinaryF1 {
+            labels: vec![true, false],
+        };
+        let o = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]);
+        assert_eq!(m.score(&[o]), 1.0);
+    }
+
+    #[test]
+    fn pearson_metric() {
+        let m = Metric::Pearson {
+            targets: vec![1.0, 2.0, 3.0],
+        };
+        let o = Tensor::from_vec(vec![2.0, 4.0, 6.0], &[3, 1]);
+        assert!((m.score(&[o]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_token_metric() {
+        let m = Metric::LastTokenTop1 { labels: vec![2] };
+        let o = Tensor::from_vec(vec![9.0, 0.0, 0.0, 0.0, 0.0, 9.0], &[2, 3]);
+        assert_eq!(m.score(&[o]), 1.0);
+    }
+
+    #[test]
+    fn pixel_metric() {
+        let m = Metric::PixelTop1 {
+            labels: vec![0, 1, 1, 0],
+        };
+        // [1, 2, 2, 2]: channel 0 wins at (0,0) and (1,1).
+        let o = Tensor::from_vec(vec![9., 0., 0., 9., 0., 9., 9., 0.], &[1, 2, 2, 2]);
+        assert_eq!(m.score(&[o]), 1.0);
+    }
+
+    #[test]
+    fn fid_score_is_one_for_reference() {
+        let f = TensorRng::seed(1).normal(&[200, 4], 0.0, 1.0);
+        let m = Metric::FidScore {
+            reference: ptq_metrics::feature_moments(&f),
+        };
+        assert!((m.score(&[f]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn augment_preserves_shape_and_adds_noise() {
+        let img = TensorRng::seed(2).normal(&[3, 8, 8], 0.0, 1.0);
+        let mut rng = TensorRng::seed(3);
+        let a = augment(&img, &mut rng, 0.1);
+        assert_eq!(a.shape(), img.shape());
+        assert_ne!(a, img);
+    }
+
+    #[test]
+    fn calib_source_sizes_and_transforms() {
+        let pool = TensorRng::seed(4).normal(&[10, 3, 8, 8], 0.0, 1.0);
+        let src = CalibSource {
+            pool,
+            noise: 0.1,
+            batch: 16,
+        };
+        let batches = src.sample(40, Transform::Train, 7);
+        let total: usize = batches.iter().map(|b| b[0].dim(0)).sum();
+        assert_eq!(total, 40);
+        // Deterministic given the seed.
+        let again = src.sample(40, Transform::Train, 7);
+        assert_eq!(batches[0][0], again[0][0]);
+        // Inference transform draws images verbatim from the pool.
+        let inf = src.sample(4, Transform::Inference, 1);
+        assert_eq!(inf[0][0].dim(0), 4);
+    }
+}

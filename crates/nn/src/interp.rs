@@ -1,0 +1,409 @@
+//! Graph interpreter with quantization interception hooks.
+
+use crate::graph::{Graph, Node, Op};
+use ptq_tensor::ops;
+use ptq_tensor::ops::BatchNormParams;
+use ptq_tensor::Tensor;
+
+/// Interception points during graph execution.
+///
+/// All PTQ machinery is implemented as hooks over an unchanged FP32 graph,
+/// mirroring how software-emulation toolkits wrap framework modules:
+///
+/// * **calibration** observes tensors in [`ExecHook::before_node`] /
+///   [`ExecHook::after_node`],
+/// * **quantized inference** fake-quantizes activation inputs in
+///   `before_node` and substitutes fake-quantized weights in
+///   [`ExecHook::weight`],
+/// * **BatchNorm calibration** measures pre-BN activations and rewrites the
+///   running statistics between runs.
+pub trait ExecHook {
+    /// Called before a node executes; may mutate (e.g. fake-quantize) the
+    /// activation inputs.
+    fn before_node(&mut self, _node: &Node, _inputs: &mut [Tensor]) {}
+
+    /// Called after a node executes; may observe or mutate the output.
+    fn after_node(&mut self, _node: &Node, _output: &mut Tensor) {}
+
+    /// Called when a node fetches a parameter tensor. Return `Some` to
+    /// substitute (e.g. a fake-quantized weight); `None` uses the bound
+    /// parameter unchanged.
+    fn weight(&mut self, _node: &Node, _value: crate::graph::ValueId, _w: &Tensor) -> Option<Tensor> {
+        None
+    }
+}
+
+/// A hook that does nothing: plain FP32 inference.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopHook;
+
+impl ExecHook for NoopHook {}
+
+impl Graph {
+    /// Execute the graph on `inputs` (bound to [`Graph::input_ids`] in
+    /// order), returning the output tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs is wrong or an operator receives
+    /// tensors of incompatible shapes.
+    pub fn run(&self, inputs: &[Tensor], hook: &mut dyn ExecHook) -> Vec<Tensor> {
+        assert_eq!(
+            inputs.len(),
+            self.inputs.len(),
+            "graph expects {} inputs, got {}",
+            self.inputs.len(),
+            inputs.len()
+        );
+        let mut values: Vec<Option<Tensor>> = vec![None; self.n_values];
+        for (&id, t) in self.inputs.iter().zip(inputs) {
+            values[id] = Some(t.clone());
+        }
+
+        for node in &self.nodes {
+            let mut ins: Vec<Tensor> = node
+                .inputs
+                .iter()
+                .map(|&i| {
+                    values[i]
+                        .clone()
+                        .unwrap_or_else(|| panic!("value {i} missing for node {}", node.name))
+                })
+                .collect();
+            hook.before_node(node, &mut ins);
+            let mut out = self.eval_node(node, &ins, hook);
+            hook.after_node(node, &mut out);
+            values[node.output] = Some(out);
+        }
+
+        self.outputs
+            .iter()
+            .map(|&o| {
+                values[o]
+                    .clone()
+                    .unwrap_or_else(|| panic!("output value {o} was not produced"))
+            })
+            .collect()
+    }
+
+    /// Convenience: run with no hook (pure FP32 inference).
+    pub fn infer(&self, inputs: &[Tensor]) -> Vec<Tensor> {
+        self.run(inputs, &mut NoopHook)
+    }
+
+    /// Fetch a parameter through the hook's substitution point.
+    fn fetch(&self, node: &Node, id: crate::graph::ValueId, hook: &mut dyn ExecHook) -> Tensor {
+        let w = self
+            .params
+            .get(&id)
+            .unwrap_or_else(|| panic!("parameter {id} not bound (node {})", node.name));
+        hook.weight(node, id, w).unwrap_or_else(|| w.clone())
+    }
+
+    fn eval_node(&self, node: &Node, ins: &[Tensor], hook: &mut dyn ExecHook) -> Tensor {
+        match &node.op {
+            Op::Conv2d {
+                weight,
+                bias,
+                params,
+                depthwise,
+            } => {
+                let w = self.fetch(node, *weight, hook);
+                let b = bias.map(|b| self.fetch(node, b, hook));
+                if *depthwise {
+                    ops::depthwise_conv2d(&ins[0], &w, b.as_ref(), *params)
+                } else {
+                    ops::conv2d(&ins[0], &w, b.as_ref(), *params)
+                }
+            }
+            Op::Linear { weight, bias } => {
+                let w = self.fetch(node, *weight, hook);
+                let b = bias.map(|b| self.fetch(node, b, hook));
+                ops::linear(&ins[0], &w, b.as_ref())
+            }
+            Op::MatMul => ops::matmul(&ins[0], &ins[1]),
+            Op::BatchMatMul => ops::batch_matmul(&ins[0], &ins[1]),
+            Op::Embedding { table } => {
+                let t = self.fetch(node, *table, hook);
+                let ids: Vec<usize> = ins[0].data().iter().map(|&x| x as usize).collect();
+                ops::embedding(&t, &ids)
+            }
+            Op::BatchNorm {
+                gamma,
+                beta,
+                mean,
+                var,
+                eps,
+            } => {
+                let p = BatchNormParams {
+                    gamma: self.fetch(node, *gamma, hook),
+                    beta: self.fetch(node, *beta, hook),
+                    mean: self.fetch(node, *mean, hook),
+                    var: self.fetch(node, *var, hook),
+                    eps: *eps,
+                };
+                ops::batchnorm2d(&ins[0], &p)
+            }
+            Op::LayerNorm { gamma, beta, eps } => {
+                let g = self.fetch(node, *gamma, hook);
+                let b = self.fetch(node, *beta, hook);
+                ops::layernorm(&ins[0], &g, &b, *eps)
+            }
+            Op::Add => ins[0].add(&ins[1]),
+            Op::Mul => ins[0].mul(&ins[1]),
+            Op::AddParam { param } => {
+                let p = self.fetch(node, *param, hook);
+                ins[0].add(&p)
+            }
+            Op::Relu => ops::relu(&ins[0]),
+            Op::Gelu => ops::gelu(&ins[0]),
+            Op::Silu => ops::silu(&ins[0]),
+            Op::Sigmoid => ops::sigmoid(&ins[0]),
+            Op::Tanh => ops::tanh(&ins[0]),
+            Op::Softmax => ops::softmax_lastdim(&ins[0]),
+            Op::MaxPool { k } => ops::max_pool2d(&ins[0], *k),
+            Op::AvgPool { k } => ops::avg_pool2d(&ins[0], *k),
+            Op::GlobalAvgPool => ops::global_avg_pool2d(&ins[0]),
+            Op::MeanRows => {
+                let x = &ins[0];
+                assert_eq!(x.ndim(), 2, "MeanRows expects a 2-D tensor");
+                let (r, d) = (x.dim(0), x.dim(1));
+                let mut out = Tensor::zeros(&[1, d]);
+                for i in 0..r {
+                    for j in 0..d {
+                        out.data_mut()[j] += x.at(&[i, j]);
+                    }
+                }
+                let inv = 1.0 / r.max(1) as f32;
+                out.map_inplace(|v| v * inv);
+                out
+            }
+            Op::Reshape(shape) => ins[0].clone().reshape(shape),
+            Op::Permute(perm) => ins[0].permute(perm),
+            Op::Scale(s) => ins[0].scale(*s),
+            Op::Upsample2x => {
+                let x = &ins[0];
+                assert_eq!(x.ndim(), 4, "Upsample2x expects NCHW");
+                let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+                let mut out = Tensor::zeros(&[n, c, 2 * h, 2 * w]);
+                for ni in 0..n {
+                    for ci in 0..c {
+                        for y in 0..2 * h {
+                            for xx in 0..2 * w {
+                                *out.at_mut(&[ni, ci, y, xx]) = x.at(&[ni, ci, y / 2, xx / 2]);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            Op::CausalMask => {
+                let x = &ins[0];
+                assert_eq!(x.ndim(), 3, "CausalMask expects [batch, seq, seq]");
+                let (b, s1, s2) = (x.dim(0), x.dim(1), x.dim(2));
+                assert_eq!(s1, s2, "CausalMask expects square score matrices");
+                let mut out = x.clone();
+                for bi in 0..b {
+                    for i in 0..s1 {
+                        for j in (i + 1)..s2 {
+                            *out.at_mut(&[bi, i, j]) = -1e9;
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::{OpClass, ValueId};
+    use ptq_tensor::ops::Conv2dParams;
+    use ptq_tensor::TensorRng;
+
+    /// A tiny conv -> bn -> relu -> gap -> linear CNN for tests.
+    fn tiny_cnn() -> Graph {
+        let mut rng = TensorRng::seed(42);
+        let mut b = GraphBuilder::new();
+        let x = b.input();
+        let w1 = b.param(rng.kaiming(&[4, 3, 3, 3]));
+        let c1 = b.conv2d(x, w1, None, Conv2dParams::same(3));
+        let gamma = b.param(ptq_tensor::Tensor::ones(&[4]));
+        let beta = b.param(ptq_tensor::Tensor::zeros(&[4]));
+        let mean = b.param(ptq_tensor::Tensor::zeros(&[4]));
+        let var = b.param(ptq_tensor::Tensor::ones(&[4]));
+        let bn = b.batchnorm(c1, gamma, beta, mean, var, 1e-5);
+        let r = b.relu(bn);
+        let g = b.global_avg_pool(r);
+        let w2 = b.param(rng.kaiming(&[10, 4]));
+        let out = b.linear(g, w2, None);
+        b.finish(vec![out])
+    }
+
+    #[test]
+    fn run_tiny_cnn_shapes() {
+        let g = tiny_cnn();
+        let x = TensorRng::seed(1).normal(&[2, 3, 8, 8], 0.0, 1.0);
+        let y = g.infer(&[x]);
+        assert_eq!(y.len(), 1);
+        assert_eq!(y[0].shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn deterministic_inference() {
+        let g = tiny_cnn();
+        let x = TensorRng::seed(1).normal(&[1, 3, 8, 8], 0.0, 1.0);
+        assert_eq!(g.infer(&[x.clone()]), g.infer(&[x]));
+    }
+
+    #[test]
+    fn node_classes_and_first_last() {
+        let g = tiny_cnn();
+        assert_eq!(g.nodes_of_class(OpClass::Conv2d).len(), 1);
+        assert_eq!(g.nodes_of_class(OpClass::Linear).len(), 1);
+        assert_eq!(g.nodes_of_class(OpClass::BatchNorm).len(), 1);
+        let (first, last) = g.first_last_compute();
+        assert_eq!(first, Some(0));
+        assert_eq!(g.nodes()[last.unwrap()].op.class(), OpClass::Linear);
+    }
+
+    #[test]
+    fn hook_observes_every_node() {
+        struct Counter {
+            before: usize,
+            after: usize,
+        }
+        impl ExecHook for Counter {
+            fn before_node(&mut self, _n: &Node, _i: &mut [Tensor]) {
+                self.before += 1;
+            }
+            fn after_node(&mut self, _n: &Node, _o: &mut Tensor) {
+                self.after += 1;
+            }
+        }
+        let g = tiny_cnn();
+        let mut h = Counter {
+            before: 0,
+            after: 0,
+        };
+        let x = TensorRng::seed(1).normal(&[1, 3, 8, 8], 0.0, 1.0);
+        g.run(&[x], &mut h);
+        assert_eq!(h.before, g.nodes().len());
+        assert_eq!(h.after, g.nodes().len());
+    }
+
+    #[test]
+    fn weight_substitution_changes_output() {
+        struct ZeroWeights;
+        impl ExecHook for ZeroWeights {
+            fn weight(&mut self, node: &Node, value: ValueId, w: &Tensor) -> Option<Tensor> {
+                // Zero only the quantizable weight, not norm params.
+                if node.op.weight_value() == Some(value) {
+                    Some(Tensor::zeros(w.shape()))
+                } else {
+                    None
+                }
+            }
+        }
+        let g = tiny_cnn();
+        let x = TensorRng::seed(1).normal(&[1, 3, 8, 8], 0.0, 1.0);
+        let y = g.run(&[x], &mut ZeroWeights);
+        assert!(y[0].data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn input_mutation_hook_applies() {
+        struct Doubler;
+        impl ExecHook for Doubler {
+            fn before_node(&mut self, node: &Node, inputs: &mut [Tensor]) {
+                if node.id == 0 {
+                    for t in inputs {
+                        t.map_inplace(|v| v * 2.0);
+                    }
+                }
+            }
+        }
+        // Single linear layer: doubling the input doubles the output.
+        let mut b = GraphBuilder::new();
+        let x = b.input();
+        let w = b.param(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+        let y = b.linear(x, w, None);
+        let g = b.finish(vec![y]);
+        let input = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let base = g.infer(&[input.clone()]);
+        let doubled = g.run(&[input], &mut Doubler);
+        assert_eq!(doubled[0].data()[0], 2.0 * base[0].data()[0]);
+    }
+
+    #[test]
+    fn embedding_graph_roundtrip() {
+        let mut b = GraphBuilder::new();
+        let ids = b.input();
+        let table = b.param(Tensor::from_vec(
+            vec![0., 0., 1., 1., 2., 2.],
+            &[3, 2],
+        ));
+        let e = b.embedding(ids, table);
+        let g = b.finish(vec![e]);
+        let out = g.infer(&[Tensor::from_slice(&[2.0, 0.0])]);
+        assert_eq!(out[0].data(), &[2., 2., 0., 0.]);
+    }
+
+    #[test]
+    fn attention_shaped_subgraph() {
+        // q,k,v [seq=4, d=6] with 2 heads of dim 3: full BatchMatMul path.
+        let mut rng = TensorRng::seed(9);
+        let mut b = GraphBuilder::new();
+        let x = b.input();
+        let wq = b.param(rng.kaiming(&[6, 6]));
+        let wk = b.param(rng.kaiming(&[6, 6]));
+        let wv = b.param(rng.kaiming(&[6, 6]));
+        let q = b.linear(x, wq, None);
+        let k = b.linear(x, wk, None);
+        let v = b.linear(x, wv, None);
+        // [4,6] -> [4,2,3] -> [2,4,3]
+        let qh = b.reshape(q, &[4, 2, 3]);
+        let qh = b.permute(qh, &[1, 0, 2]);
+        let kh = b.reshape(k, &[4, 2, 3]);
+        let kh = b.permute(kh, &[1, 2, 0]); // [2,3,4]
+        let vh = b.reshape(v, &[4, 2, 3]);
+        let vh = b.permute(vh, &[1, 0, 2]);
+        let scores = b.batch_matmul(qh, kh); // [2,4,4]
+        let scores = b.scale(scores, 1.0 / 3f32.sqrt());
+        let probs = b.softmax(scores);
+        let ctx = b.batch_matmul(probs, vh); // [2,4,3]
+        let ctx = b.permute(ctx, &[1, 0, 2]); // [4,2,3]
+        let ctx = b.reshape(ctx, &[4, 6]);
+        let g = b.finish(vec![ctx]);
+        let x = TensorRng::seed(3).normal(&[4, 6], 0.0, 1.0);
+        let y = g.infer(&[x]);
+        assert_eq!(y[0].shape(), &[4, 6]);
+        assert!(y[0].data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "graph expects 1 inputs")]
+    fn wrong_input_count_panics() {
+        tiny_cnn().infer(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not produced")]
+    fn builder_rejects_future_value() {
+        let mut b = GraphBuilder::new();
+        let x = b.input();
+        // Using a made-up id should panic.
+        b.add(x, 999);
+    }
+
+    #[test]
+    fn param_count_and_size() {
+        let g = tiny_cnn();
+        // conv 4*3*3*3 + bn 4*4 + linear 10*4 = 108 + 16 + 40 = 164.
+        assert_eq!(g.param_count(), 164);
+        assert!(g.size_mb() > 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # ptq-nn — graph IR and interpreter for PTQ
+//!
+//! Post-training quantization operates on a *model graph*: it observes the
+//! tensors flowing between operators during calibration, replaces weights
+//! with fake-quantized copies, and wraps selected operators' inputs with
+//! quantize/dequantize steps. This crate provides the minimal substrate for
+//! that, mirroring the role Neural Compressor's framework adaptors play in
+//! the paper's stack:
+//!
+//! * [`Graph`] / [`Node`] / [`Op`] — a flat, topologically-ordered IR whose
+//!   op set matches the paper's quantized-operator list (Conv2d, Linear,
+//!   MatMul, BatchMatMul, Embedding, BatchNorm, LayerNorm, Add, Mul) plus
+//!   FP32 glue (activations, softmax, pooling, reshapes).
+//! * [`GraphBuilder`] — ergonomic construction.
+//! * [`Graph::run`] with an [`ExecHook`] — execution with interception
+//!   points *before* each node (observe/fake-quant inputs), *on weight
+//!   fetch* (substitute quantized weights) and *after* each node (observe
+//!   outputs). Calibration, quantized inference and BatchNorm recalibration
+//!   are all hooks; the graph itself never changes.
+
+pub mod builder;
+pub mod graph;
+pub mod interp;
+
+pub use builder::GraphBuilder;
+pub use graph::{Graph, Node, NodeId, Op, OpClass, ValueId};
+pub use interp::{ExecHook, NoopHook};

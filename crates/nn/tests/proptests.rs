@@ -1,0 +1,128 @@
+//! Property-based tests for the graph IR and interpreter.
+
+use proptest::prelude::*;
+use ptq_nn::{ExecHook, GraphBuilder, Node, NoopHook};
+use ptq_tensor::{Tensor, TensorRng};
+
+/// Build a random MLP graph from a shape spec: layer widths + activation
+/// choices.
+fn mlp(widths: &[usize], acts: &[u8], seed: u64) -> ptq_nn::Graph {
+    let mut rng = TensorRng::seed(seed);
+    let mut b = GraphBuilder::new();
+    let x = b.input();
+    let mut cur = x;
+    for i in 1..widths.len() {
+        let w = b.param(rng.kaiming(&[widths[i], widths[i - 1]]));
+        cur = b.linear(cur, w, None);
+        match acts[(i - 1) % acts.len()] % 4 {
+            0 => cur = b.relu(cur),
+            1 => cur = b.gelu(cur),
+            2 => cur = b.tanh(cur),
+            _ => {}
+        }
+    }
+    b.finish(vec![cur])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The interpreter is deterministic and shape-correct for arbitrary
+    /// MLPs.
+    #[test]
+    fn mlp_inference_deterministic(
+        widths in proptest::collection::vec(1usize..12, 2..5),
+        acts in proptest::collection::vec(0u8..4, 1..4),
+        seed in 0u64..1000,
+        rows in 1usize..4,
+    ) {
+        let g = mlp(&widths, &acts, seed);
+        let x = TensorRng::seed(seed ^ 1).normal(&[rows, widths[0]], 0.0, 1.0);
+        let y1 = g.infer(&[x.clone()]);
+        let y2 = g.infer(&[x]);
+        prop_assert_eq!(&y1, &y2);
+        prop_assert_eq!(y1[0].shape(), &[rows, *widths.last().expect("nonempty")]);
+        prop_assert!(y1[0].data().iter().all(|v| v.is_finite()));
+    }
+
+    /// Hooks observe every node exactly once per run, in topological order.
+    #[test]
+    fn hooks_fire_once_per_node_in_order(
+        widths in proptest::collection::vec(1usize..10, 2..6),
+        seed in 0u64..1000,
+    ) {
+        struct Order(Vec<usize>);
+        impl ExecHook for Order {
+            fn before_node(&mut self, node: &Node, _i: &mut [Tensor]) {
+                self.0.push(node.id);
+            }
+        }
+        let g = mlp(&widths, &[0], seed);
+        let mut h = Order(Vec::new());
+        let x = TensorRng::seed(seed).normal(&[1, widths[0]], 0.0, 1.0);
+        g.run(&[x], &mut h);
+        prop_assert_eq!(h.0.len(), g.nodes().len());
+        for (i, &id) in h.0.iter().enumerate() {
+            prop_assert_eq!(id, i);
+        }
+    }
+
+    /// Weight substitution with the identity transformation leaves the
+    /// output bit-identical.
+    #[test]
+    fn identity_weight_hook_is_noop(
+        widths in proptest::collection::vec(1usize..10, 2..5),
+        seed in 0u64..1000,
+    ) {
+        struct Identity;
+        impl ExecHook for Identity {
+            fn weight(&mut self, _n: &Node, _v: usize, w: &Tensor) -> Option<Tensor> {
+                Some(w.clone())
+            }
+        }
+        let g = mlp(&widths, &[3], seed);
+        let x = TensorRng::seed(seed ^ 2).normal(&[2, widths[0]], 0.0, 1.0);
+        let base = g.run(&[x.clone()], &mut NoopHook);
+        let subst = g.run(&[x], &mut Identity);
+        prop_assert_eq!(base, subst);
+    }
+
+    /// Scaling the single linear layer's weight scales the output linearly.
+    #[test]
+    fn linear_graph_is_homogeneous(
+        w_in in 1usize..8,
+        w_out in 1usize..8,
+        seed in 0u64..1000,
+        k in 0.25f32..4.0,
+    ) {
+        struct Scale(f32);
+        impl ExecHook for Scale {
+            fn weight(&mut self, _n: &Node, _v: usize, w: &Tensor) -> Option<Tensor> {
+                Some(w.scale(self.0))
+            }
+        }
+        let mut rng = TensorRng::seed(seed);
+        let mut b = GraphBuilder::new();
+        let x = b.input();
+        let w = b.param(rng.kaiming(&[w_out, w_in]));
+        let y = b.linear(x, w, None);
+        let g = b.finish(vec![y]);
+        let input = TensorRng::seed(seed ^ 3).normal(&[1, w_in], 0.0, 1.0);
+        let base = g.run(&[input.clone()], &mut NoopHook);
+        let scaled = g.run(&[input], &mut Scale(k));
+        for (a, b) in base[0].data().iter().zip(scaled[0].data()) {
+            prop_assert!((a * k - b).abs() <= 1e-4 * (a.abs() * k + 1.0));
+        }
+    }
+
+    /// Param counts are consistent with the builder's inputs.
+    #[test]
+    fn param_count_matches(
+        widths in proptest::collection::vec(1usize..10, 2..6),
+        seed in 0u64..1000,
+    ) {
+        let g = mlp(&widths, &[3], seed);
+        let expected: usize = widths.windows(2).map(|w| w[0] * w[1]).sum();
+        prop_assert_eq!(g.param_count(), expected);
+    }
+}

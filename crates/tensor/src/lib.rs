@@ -1,0 +1,26 @@
+//! # ptq-tensor — compute substrate for the FP8 PTQ study
+//!
+//! A deliberately small dense-tensor library providing exactly what
+//! post-training quantization needs:
+//!
+//! * a contiguous row-major `f32` [`Tensor`] with shape/reshape/permute and
+//!   broadcasting elementwise arithmetic,
+//! * reference (and rayon-parallel) kernels for the operator set the paper
+//!   quantizes — `Conv2d`, `Linear`/`MatMul`/`BatchMatMul`, `Embedding`,
+//!   `BatchNorm`, `LayerNorm`, `Add`, `Mul` — plus the non-quantized glue
+//!   (activations, softmax, pooling),
+//! * the observer statistics PTQ calibration is built from (absmax, min/max,
+//!   moments, percentiles, histograms, MSE/SQNR),
+//! * seeded random initializers used by the synthetic model zoo.
+//!
+//! The paper's experiments ran FP8 *emulation* on FP32 hardware; this crate
+//! is the FP32 side of that emulation.
+
+pub mod ops;
+pub mod rng;
+pub mod stats;
+pub mod tensor;
+
+pub use rng::TensorRng;
+pub use stats::{ChannelStats, Histogram, TensorStats};
+pub use tensor::Tensor;

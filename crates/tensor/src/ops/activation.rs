@@ -1,0 +1,105 @@
+//! Pointwise activations and softmax.
+//!
+//! These remain FP32 in the paper's schemes (they are neither compute-bound
+//! nor memory-dominant after fusion), but they shape the activation
+//! distributions the quantized operators see.
+
+use crate::tensor::Tensor;
+
+/// Rectified linear unit.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Gaussian error linear unit (tanh approximation, as used by BERT/GPT).
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(|v| {
+        let c = (2.0 / std::f32::consts::PI).sqrt();
+        0.5 * v * (1.0 + (c * (v + 0.044715 * v * v * v)).tanh())
+    })
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// SiLU / swish (`x * sigmoid(x)`), the EfficientNet activation.
+pub fn silu(x: &Tensor) -> Tensor {
+    x.map(|v| v / (1.0 + (-v).exp()))
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(x: &Tensor) -> Tensor {
+    x.map(f32::tanh)
+}
+
+/// Numerically-stable softmax over the last dimension.
+pub fn softmax_lastdim(x: &Tensor) -> Tensor {
+    let d = *x.shape().last().expect("softmax needs >=1-D input");
+    let rows = x.len() / d;
+    let mut out = x.clone();
+    let data = out.data_mut();
+    for r in 0..rows {
+        let row = &mut data[r * d..(r + 1) * d];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clips_negatives() {
+        let y = relu(&Tensor::from_slice(&[-1.0, 0.0, 2.0]));
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gelu_reference_points() {
+        let y = gelu(&Tensor::from_slice(&[0.0, 1.0, -1.0, 3.0]));
+        assert_eq!(y.data()[0], 0.0);
+        assert!((y.data()[1] - 0.8412).abs() < 1e-3);
+        assert!((y.data()[2] + 0.1588).abs() < 1e-3);
+        assert!((y.data()[3] - 2.9964).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sigmoid_and_silu() {
+        let y = sigmoid(&Tensor::from_slice(&[0.0]));
+        assert_eq!(y.data(), &[0.5]);
+        let s = silu(&Tensor::from_slice(&[0.0, 10.0]));
+        assert_eq!(s.data()[0], 0.0);
+        assert!((s.data()[1] - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 1000., 1000., 1000.], &[2, 3]);
+        let y = softmax_lastdim(&x);
+        for r in 0..2 {
+            let s: f32 = y.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Large equal logits stay stable (no NaN) and uniform.
+        assert!((y.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_monotone_in_logits() {
+        let y = softmax_lastdim(&Tensor::from_vec(vec![0.0, 1.0, 2.0], &[1, 3]));
+        assert!(y.data()[0] < y.data()[1] && y.data()[1] < y.data()[2]);
+    }
+}

@@ -1,0 +1,265 @@
+//! 2-D convolution kernels (NCHW layout).
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Stride/padding configuration for [`conv2d`] and [`depthwise_conv2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Stride along H and W.
+    pub stride: usize,
+    /// Zero padding along H and W.
+    pub padding: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams {
+            stride: 1,
+            padding: 0,
+        }
+    }
+}
+
+impl Conv2dParams {
+    /// "Same" padding for odd kernel sizes at stride 1.
+    pub fn same(kernel: usize) -> Self {
+        Conv2dParams {
+            stride: 1,
+            padding: kernel / 2,
+        }
+    }
+
+    /// Output spatial size for an input of size `n` and kernel `k`.
+    pub fn out_size(&self, n: usize, k: usize) -> usize {
+        (n + 2 * self.padding).saturating_sub(k) / self.stride + 1
+    }
+}
+
+/// Standard convolution: input `[N, Cin, H, W]`, weight
+/// `[Cout, Cin, Kh, Kw]`, optional bias `[Cout]` → `[N, Cout, H', W']`.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches, or if the kernel does not fit the
+/// padded input.
+pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: Conv2dParams) -> Tensor {
+    assert_eq!(x.ndim(), 4, "conv2d input must be NCHW, got {:?}", x.shape());
+    assert_eq!(weight.ndim(), 4, "conv2d weight must be [Cout,Cin,Kh,Kw]");
+    let (n, cin, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (cout, cin2, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    assert_eq!(cin, cin2, "conv2d channel mismatch {cin} vs {cin2}");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), cout, "bias length vs out channels");
+    }
+    let oh = p.out_size(h, kh);
+    let ow = p.out_size(w, kw);
+    assert!(oh > 0 && ow > 0, "kernel does not fit input");
+
+    let xd = x.data();
+    let wd = weight.data();
+    let mut out = vec![0.0f32; n * cout * oh * ow];
+    let pad = p.padding as isize;
+    let stride = p.stride;
+
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane, oplane)| {
+        let ni = plane / cout;
+        let co = plane % cout;
+        let b0 = bias.map(|b| b.data()[co]).unwrap_or(0.0);
+        let wbase = co * cin * kh * kw;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b0;
+                let iy0 = (oy * stride) as isize - pad;
+                let ix0 = (ox * stride) as isize - pad;
+                for ci in 0..cin {
+                    let xbase = (ni * cin + ci) * h * w;
+                    let wcbase = wbase + ci * kh * kw;
+                    for ky in 0..kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let xrow = xbase + iy as usize * w;
+                        let wrow = wcbase + ky * kw;
+                        for kx in 0..kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += xd[xrow + ix as usize] * wd[wrow + kx];
+                        }
+                    }
+                }
+                oplane[oy * ow + ox] = acc;
+            }
+        }
+    });
+    Tensor::from_vec(out, &[n, cout, oh, ow])
+}
+
+/// Depthwise convolution: input `[N, C, H, W]`, weight `[C, 1, Kh, Kw]`
+/// (each channel convolved with its own filter) — the MobileNet/EfficientNet
+/// building block.
+///
+/// # Panics
+///
+/// Panics on rank/channel mismatches.
+pub fn depthwise_conv2d(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+) -> Tensor {
+    assert_eq!(x.ndim(), 4, "depthwise input must be NCHW");
+    assert_eq!(weight.ndim(), 4, "depthwise weight must be [C,1,Kh,Kw]");
+    assert_eq!(weight.dim(1), 1, "depthwise weight dim 1 must be 1");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert_eq!(weight.dim(0), c, "depthwise channels mismatch");
+    let (kh, kw) = (weight.dim(2), weight.dim(3));
+    let oh = p.out_size(h, kh);
+    let ow = p.out_size(w, kw);
+    assert!(oh > 0 && ow > 0, "kernel does not fit input");
+
+    let xd = x.data();
+    let wd = weight.data();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let pad = p.padding as isize;
+
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane, oplane)| {
+        let ni = plane / c;
+        let ci = plane % c;
+        let b0 = bias.map(|b| b.data()[ci]).unwrap_or(0.0);
+        let xbase = (ni * c + ci) * h * w;
+        let wbase = ci * kh * kw;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b0;
+                let iy0 = (oy * p.stride) as isize - pad;
+                let ix0 = (ox * p.stride) as isize - pad;
+                for ky in 0..kh {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = ix0 + kx as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        acc += xd[xbase + iy as usize * w + ix as usize] * wd[wbase + ky * kw + kx];
+                    }
+                }
+                oplane[oy * ow + ox] = acc;
+            }
+        }
+    });
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 kernel of value 1 copies the input.
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let w = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]);
+        let y = conv2d(&x, &w, None, Conv2dParams::default());
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_hand_computed_3x3() {
+        // All-ones 3x3 kernel on a 3x3 input of ones: valid conv -> 9.
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv2d(&x, &w, None, Conv2dParams::default());
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[9.0]);
+    }
+
+    #[test]
+    fn conv_same_padding_shape() {
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        let w = Tensor::ones(&[4, 3, 3, 3]);
+        let y = conv2d(&x, &w, None, Conv2dParams::same(3));
+        assert_eq!(y.shape(), &[2, 4, 8, 8]);
+        // Center pixels see all 27 inputs; corners see 12.
+        assert_eq!(y.at(&[0, 0, 4, 4]), 27.0);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 12.0);
+    }
+
+    #[test]
+    fn conv_stride2_downsamples() {
+        let x = Tensor::ones(&[1, 1, 8, 8]);
+        let w = Tensor::ones(&[1, 1, 2, 2]);
+        let y = conv2d(
+            &x,
+            &w,
+            None,
+            Conv2dParams {
+                stride: 2,
+                padding: 0,
+            },
+        );
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        assert!(y.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn conv_bias_added_per_channel() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::ones(&[2, 1, 1, 1]);
+        let b = Tensor::from_slice(&[5.0, -1.0]);
+        let y = conv2d(&x, &w, Some(&b), Conv2dParams::default());
+        assert_eq!(y.at(&[0, 0, 1, 1]), 5.0);
+        assert_eq!(y.at(&[0, 1, 0, 0]), -1.0);
+    }
+
+    #[test]
+    fn depthwise_keeps_channels_separate() {
+        let mut x = Tensor::zeros(&[1, 2, 2, 2]);
+        for i in 0..4 {
+            x.data_mut()[i] = 1.0; // channel 0 = ones, channel 1 = zeros
+        }
+        let w = Tensor::from_vec(vec![2.0, 3.0], &[2, 1, 1, 1]);
+        let y = depthwise_conv2d(&x, &w, None, Conv2dParams::default());
+        assert_eq!(y.at(&[0, 0, 0, 0]), 2.0);
+        assert_eq!(y.at(&[0, 1, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn depthwise_matches_grouped_full_conv() {
+        // Depthwise == full conv with block-diagonal weights.
+        let mut rng = crate::rng::TensorRng::seed(3);
+        let x = rng.normal(&[1, 2, 5, 5], 0.0, 1.0);
+        let wd = rng.normal(&[2, 1, 3, 3], 0.0, 1.0);
+        let y1 = depthwise_conv2d(&x, &wd, None, Conv2dParams::same(3));
+        // Build equivalent full conv weight [2, 2, 3, 3].
+        let mut wf = Tensor::zeros(&[2, 2, 3, 3]);
+        for c in 0..2 {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    *wf.at_mut(&[c, c, ky, kx]) = wd.at(&[c, 0, ky, kx]);
+                }
+            }
+        }
+        let y2 = conv2d(&x, &wf, None, Conv2dParams::same(3));
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv_channel_mismatch() {
+        conv2d(
+            &Tensor::zeros(&[1, 3, 4, 4]),
+            &Tensor::zeros(&[1, 2, 3, 3]),
+            None,
+            Conv2dParams::default(),
+        );
+    }
+}

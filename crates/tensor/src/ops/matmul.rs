@@ -1,0 +1,184 @@
+//! Matrix-multiply family: `Linear`, `MatMul`, `BatchMatMul`.
+//!
+//! These are the compute-bound quantized operators of the paper's standard
+//! scheme. Kernels are straightforward triple loops with a rayon-parallel
+//! outer dimension — correctness and determinism over raw speed, as in the
+//! paper's own FP32-emulation setup.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+///
+/// # Panics
+///
+/// Panics if the operands are not 2-D or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D, got {:?}", a.shape());
+    assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (j, r) in row.iter_mut().enumerate() {
+                *r += av * brow[j];
+            }
+        }
+    });
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Fully-connected layer: `y[m,n] = x[m,k] · Wᵀ + b`, with weight stored as
+/// `[out_features, in_features]` (PyTorch convention, which is what
+/// per-output-channel weight scaling is defined over).
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches (including a bias whose length
+/// differs from `out_features`).
+pub fn linear(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
+    assert_eq!(x.ndim(), 2, "linear input must be 2-D, got {:?}", x.shape());
+    assert_eq!(weight.ndim(), 2, "linear weight must be 2-D");
+    let (m, k) = (x.dim(0), x.dim(1));
+    let (n, k2) = (weight.dim(0), weight.dim(1));
+    assert_eq!(k, k2, "linear in_features {k} vs weight {k2}");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), n, "bias length {} vs out_features {n}", b.len());
+    }
+    let xd = x.data();
+    let wd = weight.data();
+    let mut out = vec![0.0f32; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let xrow = &xd[i * k..(i + 1) * k];
+        for (j, r) in row.iter_mut().enumerate() {
+            let wrow = &wd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (xv, wv) in xrow.iter().zip(wrow) {
+                acc += xv * wv;
+            }
+            *r = acc;
+        }
+    });
+    let mut y = Tensor::from_vec(out, &[m, n]);
+    if let Some(b) = bias {
+        y = y.add(b);
+    }
+    y
+}
+
+/// Batched matrix multiply: `C[b,m,n] = A[b,m,k] · B[b,k,n]` — the
+/// attention-score and attention-context operator (`BatchMatMul` in the
+/// paper's extended op list).
+///
+/// # Panics
+///
+/// Panics if operands are not 3-D or batch/inner dims disagree.
+pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 3, "batch_matmul lhs must be 3-D");
+    assert_eq!(b.ndim(), 3, "batch_matmul rhs must be 3-D");
+    let (ba, m, k) = (a.dim(0), a.dim(1), a.dim(2));
+    let (bb, k2, n) = (b.dim(0), b.dim(1), b.dim(2));
+    assert_eq!(ba, bb, "batch dims {ba} vs {bb}");
+    assert_eq!(k, k2, "inner dims {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; ba * m * n];
+    out.par_chunks_mut(m * n).enumerate().for_each(|(bi, obatch)| {
+        let abatch = &ad[bi * m * k..(bi + 1) * m * k];
+        let bbatch = &bd[bi * k * n..(bi + 1) * k * n];
+        for i in 0..m {
+            let arow = &abatch[i * k..(i + 1) * k];
+            let orow = &mut obatch[i * n..(i + 1) * n];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bbatch[kk * n..(kk + 1) * n];
+                for (j, r) in orow.iter_mut().enumerate() {
+                    *r += av * brow[j];
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, &[ba, m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+        let i = Tensor::from_vec(vec![1., 0., 0., 1.], &[2, 2]);
+        assert_eq!(matmul(&a, &i), a);
+    }
+
+    #[test]
+    fn matmul_hand_computed() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = Tensor::from_vec(vec![7., 8., 9., 10., 11., 12.], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn linear_matches_matmul_transpose() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+        let w = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.0], &[2, 2]);
+        let y = linear(&x, &w, None);
+        let y2 = matmul(&x, &w.transpose2());
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn linear_bias() {
+        let x = Tensor::from_vec(vec![1., 0.], &[1, 2]);
+        let w = Tensor::from_vec(vec![1., 0., 0., 1.], &[2, 2]);
+        let b = Tensor::from_slice(&[10., 20.]);
+        let y = linear(&x, &w, Some(&b));
+        assert_eq!(y.data(), &[11., 20.]);
+    }
+
+    #[test]
+    fn batch_matmul_per_batch() {
+        let a = Tensor::from_vec(vec![1., 0., 0., 1., 2., 0., 0., 2.], &[2, 2, 2]);
+        let b = Tensor::from_vec(vec![1., 2., 3., 4., 1., 2., 3., 4.], &[2, 2, 2]);
+        let c = batch_matmul(&a, &b);
+        assert_eq!(c.index_axis0(0).data(), &[1., 2., 3., 4.]);
+        assert_eq!(c.index_axis0(1).data(), &[2., 4., 6., 8.]);
+    }
+
+    #[test]
+    fn matmul_large_consistency() {
+        // Parallel path agrees with a serial reference.
+        let mut rng = crate::rng::TensorRng::seed(11);
+        let a = rng.normal(&[33, 17], 0.0, 1.0);
+        let b = rng.normal(&[17, 29], 0.0, 1.0);
+        let c = matmul(&a, &b);
+        for i in [0usize, 16, 32] {
+            for j in [0usize, 14, 28] {
+                let mut acc = 0.0f32;
+                for k in 0..17 {
+                    acc += a.at(&[i, k]) * b.at(&[k, j]);
+                }
+                assert!((c.at(&[i, j]) - acc).abs() < 1e-4);
+            }
+        }
+    }
+}

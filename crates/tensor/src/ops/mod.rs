@@ -1,0 +1,20 @@
+//! Neural-network operator kernels.
+//!
+//! Each kernel is a pure function over [`crate::Tensor`]s. The set covers
+//! the paper's quantized operators (Conv2d, Linear, MatMul, BatchMatMul,
+//! Embedding, BatchNorm, LayerNorm, Add, Mul) and the FP32 glue ops that
+//! surround them in real networks.
+
+pub mod activation;
+pub mod conv;
+pub mod embedding;
+pub mod matmul;
+pub mod norm;
+pub mod pool;
+
+pub use activation::{gelu, relu, sigmoid, silu, softmax_lastdim, tanh};
+pub use conv::{conv2d, depthwise_conv2d, Conv2dParams};
+pub use embedding::embedding;
+pub use matmul::{batch_matmul, linear, matmul};
+pub use norm::{batchnorm2d, layernorm, BatchNormParams};
+pub use pool::{avg_pool2d, global_avg_pool2d, max_pool2d};

@@ -1,0 +1,231 @@
+//! Deterministic, seeded tensor initializers.
+//!
+//! All randomness in the workspace flows through [`TensorRng`] (ChaCha8),
+//! so every experiment is reproducible bit-for-bit from its seed. The
+//! distribution constructors mirror what the synthetic model zoo needs to
+//! mimic the paper's Figure-3 tensor distributions.
+
+use crate::tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// A seeded random source for tensor initialization.
+///
+/// ```
+/// use ptq_tensor::TensorRng;
+/// let mut rng = TensorRng::seed(7);
+/// let w = rng.normal(&[4, 4], 0.0, 0.02);
+/// assert_eq!(w.shape(), &[4, 4]);
+/// // Same seed, same tensor:
+/// assert_eq!(TensorRng::seed(7).normal(&[4, 4], 0.0, 0.02), w);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorRng {
+    rng: ChaCha8Rng,
+}
+
+impl TensorRng {
+    /// Create from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        TensorRng {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream (used to give each layer of a
+    /// model its own reproducible stream regardless of construction order).
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s: u64 = self.rng.gen::<u64>() ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+        TensorRng::seed(s)
+    }
+
+    /// Normal(mean, std) tensor.
+    pub fn normal(&mut self, shape: &[usize], mean: f32, std: f32) -> Tensor {
+        let d = Normal::new(mean, std.max(1e-12)).expect("valid normal");
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| d.sample(&mut self.rng)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Uniform(lo, hi) tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+        assert!(lo <= hi, "uniform requires lo <= hi");
+        let d = Uniform::new_inclusive(lo, hi);
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| d.sample(&mut self.rng)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Kaiming/He-style initialization for a weight of shape
+    /// `[fan_out, fan_in, ...]`: Normal(0, sqrt(2 / fan_in_total)).
+    pub fn kaiming(&mut self, shape: &[usize]) -> Tensor {
+        let fan_in: usize = shape[1..].iter().product::<usize>().max(1);
+        let std = (2.0 / fan_in as f32).sqrt();
+        self.normal(shape, 0.0, std)
+    }
+
+    /// Uniform integer indices in `[0, vocab)`, e.g. token ids.
+    pub fn token_ids(&mut self, n: usize, vocab: usize) -> Vec<usize> {
+        (0..n).map(|_| self.rng.gen_range(0..vocab)).collect()
+    }
+
+    /// A single uniform f32 in [0, 1).
+    pub fn unit(&mut self) -> f32 {
+        self.rng.gen::<f32>()
+    }
+
+    /// A single uniform usize in [0, n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Normal sample scalar.
+    pub fn normal_scalar(&mut self, mean: f32, std: f32) -> f32 {
+        Normal::new(mean, std.max(1e-12))
+            .expect("valid normal")
+            .sample(&mut self.rng)
+    }
+
+    /// Inject outliers: with probability `p`, replace an element by a draw
+    /// from `Uniform(-mag, mag)`. Models the long-tail activations of NLP
+    /// workloads (paper Figure 1 / Figure 3).
+    pub fn inject_outliers(&mut self, t: &mut Tensor, p: f32, mag: f32) {
+        let d = Uniform::new_inclusive(-mag, mag);
+        for x in t.data_mut() {
+            if self.rng.gen::<f32>() < p {
+                *x = d.sample(&mut self.rng);
+            }
+        }
+    }
+
+    /// Multiply a fixed random subset of `k` channels (axis `axis` of an
+    /// n-D tensor viewed as `[outer, channels, inner]`) by `gain`. Models
+    /// the per-channel outlier structure LayerNorm induces in transformer
+    /// activations (Wei et al. 2022, cited by the paper).
+    ///
+    /// Returns the chosen channel indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= t.ndim()`.
+    pub fn amplify_channels(&mut self, t: &mut Tensor, axis: usize, k: usize, gain: f32) -> Vec<usize> {
+        let shape = t.shape().to_vec();
+        assert!(axis < shape.len(), "axis out of range");
+        let channels = shape[axis];
+        let inner: usize = shape[axis + 1..].iter().product();
+        let outer: usize = shape[..axis].iter().product();
+        let k = k.min(channels);
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let c = self.rng.gen_range(0..channels);
+            if !chosen.contains(&c) {
+                chosen.push(c);
+            }
+        }
+        let data = t.data_mut();
+        for o in 0..outer {
+            for &c in &chosen {
+                let base = (o * channels + c) * inner;
+                for x in &mut data[base..base + inner] {
+                    *x *= gain;
+                }
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let a = TensorRng::seed(1).normal(&[16], 0.0, 1.0);
+        let b = TensorRng::seed(1).normal(&[16], 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = TensorRng::seed(2).normal(&[16], 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_but_reproducible() {
+        let mut r1 = TensorRng::seed(9);
+        let mut r2 = TensorRng::seed(9);
+        let a = r1.fork(3).normal(&[8], 0.0, 1.0);
+        let b = r2.fork(3).normal(&[8], 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = r1.fork(4).normal(&[8], 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let t = TensorRng::seed(5).normal(&[20_000], 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let t = TensorRng::seed(5).uniform(&[1000], -3.0, 7.0);
+        for &x in t.data() {
+            assert!((-3.0..=7.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn kaiming_std_matches_fan_in() {
+        let t = TensorRng::seed(5).kaiming(&[64, 128]);
+        let var = t.data().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        assert!((var - 2.0 / 128.0).abs() < 0.003, "var {var}");
+    }
+
+    #[test]
+    fn outlier_injection_rate() {
+        let mut rng = TensorRng::seed(5);
+        let mut t = Tensor::zeros(&[50_000]);
+        rng.inject_outliers(&mut t, 0.01, 6.0);
+        let n_out = t.data().iter().filter(|x| **x != 0.0).count();
+        assert!((400..=600).contains(&n_out), "n_out {n_out}");
+        assert!(t.data().iter().all(|x| x.abs() <= 6.0));
+    }
+
+    #[test]
+    fn amplify_channels_touches_only_selected() {
+        let mut rng = TensorRng::seed(5);
+        let mut t = Tensor::ones(&[2, 8, 3]);
+        let chosen = rng.amplify_channels(&mut t, 1, 2, 50.0);
+        assert_eq!(chosen.len(), 2);
+        for b in 0..2 {
+            for c in 0..8 {
+                for i in 0..3 {
+                    let v = t.at(&[b, c, i]);
+                    if chosen.contains(&c) {
+                        assert_eq!(v, 50.0);
+                    } else {
+                        assert_eq!(v, 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn token_ids_in_range() {
+        let ids = TensorRng::seed(3).token_ids(100, 17);
+        assert!(ids.iter().all(|&i| i < 17));
+    }
+}

@@ -1,0 +1,356 @@
+//! Observer statistics: the measurements PTQ calibration is built on.
+//!
+//! Range calibration in the paper (§3, Appendix A.1) uses the calibrated
+//! absmax by default and compares against percentile, KL-divergence and
+//! MSE-sweep methods. All of those reduce to the statistics implemented
+//! here: running min/max/absmax, moments, percentiles and histograms.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Running summary statistics of everything an observer has seen.
+///
+/// `update` is associative, so statistics can be accumulated across
+/// calibration batches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TensorStats {
+    /// Minimum finite value observed.
+    pub min: f32,
+    /// Maximum finite value observed.
+    pub max: f32,
+    /// Largest absolute value observed.
+    pub absmax: f32,
+    /// Running sum (for the mean).
+    pub sum: f64,
+    /// Running sum of squares (for variance / RMS).
+    pub sum_sq: f64,
+    /// Number of finite elements observed.
+    pub count: usize,
+}
+
+impl Default for TensorStats {
+    fn default() -> Self {
+        TensorStats {
+            min: f32::INFINITY,
+            max: f32::NEG_INFINITY,
+            absmax: 0.0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            count: 0,
+        }
+    }
+}
+
+impl TensorStats {
+    /// Stats of a single slice.
+    pub fn of(data: &[f32]) -> Self {
+        let mut s = TensorStats::default();
+        s.update(data);
+        s
+    }
+
+    /// Fold a batch of values into the running stats (non-finite values are
+    /// ignored).
+    pub fn update(&mut self, data: &[f32]) {
+        for &x in data {
+            if !x.is_finite() {
+                continue;
+            }
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+            self.absmax = self.absmax.max(x.abs());
+            self.sum += x as f64;
+            self.sum_sq += (x as f64) * (x as f64);
+            self.count += 1;
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &TensorStats) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.absmax = self.absmax.max(other.absmax);
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.count += other.count;
+    }
+
+    /// Mean of observed values (0 if nothing observed).
+    pub fn mean(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum / self.count as f64) as f32
+        }
+    }
+
+    /// Population variance of observed values.
+    pub fn variance(&self) -> f32 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let m = self.sum / n;
+        ((self.sum_sq / n) - m * m).max(0.0) as f32
+    }
+
+    /// True if any finite value has been observed.
+    pub fn is_calibrated(&self) -> bool {
+        self.count > 0
+    }
+}
+
+/// Per-channel stats for a tensor viewed as `[channels, inner]` (weights)
+/// or `[outer, channels, inner]` (activations).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// One accumulator per channel.
+    pub channels: Vec<TensorStats>,
+}
+
+impl ChannelStats {
+    /// Observe a tensor with channels on `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= t.ndim()`.
+    pub fn observe(&mut self, t: &Tensor, axis: usize) {
+        let shape = t.shape();
+        assert!(axis < shape.len(), "axis out of range");
+        let c = shape[axis];
+        let inner: usize = shape[axis + 1..].iter().product();
+        let outer: usize = shape[..axis].iter().product();
+        if self.channels.len() < c {
+            self.channels.resize_with(c, TensorStats::default);
+        }
+        let data = t.data();
+        for o in 0..outer {
+            for ch in 0..c {
+                let base = (o * c + ch) * inner;
+                self.channels[ch].update(&data[base..base + inner]);
+            }
+        }
+    }
+
+    /// Per-channel absmax values.
+    pub fn absmax(&self) -> Vec<f32> {
+        self.channels.iter().map(|s| s.absmax).collect()
+    }
+}
+
+/// A fixed-width histogram over `[-bound, bound]`, the data structure
+/// behind the KL and percentile calibrators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    bound: f32,
+}
+
+impl Histogram {
+    /// Create a histogram of |x| values with `bins` buckets covering
+    /// `[0, bound]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `bound <= 0`.
+    pub fn new(bins: usize, bound: f32) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(bound > 0.0, "bound must be positive");
+        Histogram {
+            bins: vec![0; bins],
+            bound,
+        }
+    }
+
+    /// Histogram of the absolute values of `data` with `bins` buckets,
+    /// bound set to the data's absmax.
+    pub fn of_abs(data: &[f32], bins: usize) -> Self {
+        let absmax = data
+            .iter()
+            .filter(|x| x.is_finite())
+            .fold(0.0f32, |m, &x| m.max(x.abs()));
+        let mut h = Histogram::new(bins, if absmax > 0.0 { absmax } else { 1.0 });
+        h.update_abs(data);
+        h
+    }
+
+    /// Add |x| values (values above the bound clamp into the last bin).
+    pub fn update_abs(&mut self, data: &[f32]) {
+        let n = self.bins.len();
+        let scale = n as f32 / self.bound;
+        for &x in data {
+            if !x.is_finite() {
+                continue;
+            }
+            let b = ((x.abs() * scale) as usize).min(n - 1);
+            self.bins[b] += 1;
+        }
+    }
+
+    /// The bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Upper bound of the histogram's range.
+    pub fn bound(&self) -> f32 {
+        self.bound
+    }
+
+    /// Upper edge of bin `i`.
+    pub fn edge(&self, i: usize) -> f32 {
+        self.bound * (i + 1) as f32 / self.bins.len() as f32
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Smallest threshold `t` such that at least `q` fraction of |x| mass
+    /// lies at or below `t` (the percentile calibrator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn percentile(&self, q: f64) -> f32 {
+        assert!(q > 0.0 && q <= 1.0, "percentile must be in (0, 1]");
+        let total = self.total();
+        if total == 0 {
+            return self.bound;
+        }
+        let target = (q * total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.edge(i);
+            }
+        }
+        self.bound
+    }
+}
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mut s = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = (x - y) as f64;
+        s += d * d;
+    }
+    s / a.len() as f64
+}
+
+/// Signal-to-quantization-noise ratio in dB: `10 log10(E[x²] / MSE)`.
+/// Returns +inf for a perfect reconstruction.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sqnr_db(reference: &[f32], quantized: &[f32]) -> f64 {
+    let err = mse(reference, quantized);
+    if err == 0.0 {
+        return f64::INFINITY;
+    }
+    let power: f64 = reference.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()
+        / reference.len().max(1) as f64;
+    10.0 * (power / err).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let s = TensorStats::of(&[1.0, -3.0, 2.0]);
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.absmax, 3.0);
+        assert_eq!(s.mean(), 0.0);
+        assert!((s.variance() - 14.0 / 3.0).abs() < 1e-5);
+        assert!(s.is_calibrated());
+    }
+
+    #[test]
+    fn stats_ignore_nonfinite() {
+        let s = TensorStats::of(&[1.0, f32::NAN, f32::INFINITY, -2.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.absmax, 2.0);
+    }
+
+    #[test]
+    fn stats_merge_equals_single_pass() {
+        let all = [0.5f32, -1.5, 2.5, 0.0, 3.0, -0.25];
+        let mut a = TensorStats::of(&all[..3]);
+        let b = TensorStats::of(&all[3..]);
+        a.merge(&b);
+        let whole = TensorStats::of(&all);
+        assert_eq!(a.min, whole.min);
+        assert_eq!(a.absmax, whole.absmax);
+        assert_eq!(a.count, whole.count);
+        assert!((a.mean() - whole.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn channel_stats_axis1() {
+        // [batch=2, channels=2, inner=2]
+        let t = Tensor::from_vec(vec![1., 2., 10., 20., 3., 4., 30., 40.], &[2, 2, 2]);
+        let mut cs = ChannelStats::default();
+        cs.observe(&t, 1);
+        assert_eq!(cs.absmax(), vec![4.0, 40.0]);
+    }
+
+    #[test]
+    fn channel_stats_weights_axis0() {
+        let w = Tensor::from_vec(vec![1., -2., 0.5, 8.], &[2, 2]);
+        let mut cs = ChannelStats::default();
+        cs.observe(&w, 0);
+        assert_eq!(cs.absmax(), vec![2.0, 8.0]);
+    }
+
+    #[test]
+    fn histogram_percentile() {
+        // 99 small values and 1 huge outlier.
+        let mut data = vec![0.1f32; 99];
+        data.push(10.0);
+        let h = Histogram::of_abs(&data, 1000);
+        assert!(h.percentile(0.99) < 0.2);
+        assert_eq!(h.percentile(1.0), 10.0);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let h = Histogram::of_abs(&[0.0, 0.5, -0.5, 1.0], 4);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.bound(), 1.0);
+        // |0.5| lands in bin 2 of [0,0.25,0.5,0.75,1.0].
+        assert_eq!(h.bins()[2], 2);
+        assert_eq!(h.bins()[3], 1);
+    }
+
+    #[test]
+    fn mse_and_sqnr() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [1.0f32, 2.0, 3.0];
+        assert_eq!(mse(&a, &b), 0.0);
+        assert_eq!(sqnr_db(&a, &b), f64::INFINITY);
+        let c = [1.1f32, 1.9, 3.1];
+        assert!((mse(&a, &c) - 0.01).abs() < 1e-6);
+        assert!(sqnr_db(&a, &c) > 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_length_mismatch() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+}

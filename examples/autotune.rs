@@ -1,0 +1,42 @@
+//! Accuracy-driven automatic tuning (paper Appendix A.1).
+//!
+//! The tuner walks the recipe lattice — formats, static/dynamic, mixed
+//! formats, operator fallbacks — evaluating candidates until the 1 %
+//! criterion is met, and reports the trace.
+//!
+//! Run with: `cargo run --release --example autotune`
+
+use fp8_ptq::core::AutoTuner;
+use fp8_ptq::models::{build_zoo, ZooFilter};
+
+fn main() {
+    let zoo = build_zoo(ZooFilter::Quick);
+    let tuner = AutoTuner::new();
+
+    for w in &zoo {
+        println!(
+            "\n=== {} (fp32 {:.4}, {:?}) ===",
+            w.spec.name, w.fp32_score, w.spec.domain
+        );
+        let outcome = tuner.tune(w);
+        for (i, step) in outcome.trace.iter().enumerate() {
+            let mark = if Some(i) == outcome.accepted {
+                "  <- accepted"
+            } else if step.passed {
+                "  (passes)"
+            } else {
+                ""
+            };
+            println!(
+                "  {:<28} score {:.4}  loss {:+.2}%{}",
+                step.name,
+                step.score,
+                step.loss * 100.0,
+                mark
+            );
+        }
+        if outcome.accepted.is_none() {
+            println!("  -> no recipe met the 1% criterion; model needs FP32 fallbacks");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: quantize one model to FP8 end-to-end.
+//!
+//! Builds a ResNet-style workload from the synthetic zoo, runs the
+//! paper's E4M3 recipe (calibrate → quantize → BatchNorm-recalibrate →
+//! evaluate) and prints the accuracy comparison across all formats.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fp8_ptq::core::config::{Approach, DataFormat};
+use fp8_ptq::core::{paper_recipe, quantize_workload};
+use fp8_ptq::fp8::Fp8Format;
+use fp8_ptq::models::{build_zoo, ZooFilter};
+
+fn main() {
+    // A small representative slice of the 75-workload zoo.
+    let zoo = build_zoo(ZooFilter::Quick);
+    let workload = &zoo[1]; // resnet-style image classifier
+    println!(
+        "workload: {} ({} params, fp32 accuracy {:.4})\n",
+        workload.spec.name,
+        workload.graph.param_count(),
+        workload.fp32_score
+    );
+
+    println!("{:<10} {:>10} {:>10} {:>7}", "format", "accuracy", "loss", "pass");
+    for format in [
+        DataFormat::Fp8(Fp8Format::E5M2),
+        DataFormat::Fp8(Fp8Format::E4M3),
+        DataFormat::Fp8(Fp8Format::E3M4),
+        DataFormat::Int8,
+    ] {
+        // The paper's per-domain recipe: per-channel weight scaling,
+        // absmax activation calibration (E5M2 direct), BatchNorm
+        // recalibration for CV models.
+        let cfg = paper_recipe(format, Approach::Static, workload.spec.domain);
+        let outcome = quantize_workload(workload, &cfg);
+        println!(
+            "{:<10} {:>10.4} {:>9.2}% {:>7}",
+            format.to_string(),
+            outcome.score,
+            outcome.result.loss() * 100.0,
+            if outcome.result.passes() { "yes" } else { "no" }
+        );
+    }
+    println!("\npass = within 1% relative loss of FP32 (the paper's criterion)");
+}

@@ -1,0 +1,56 @@
+//! Text generation under quantization (paper Table 4 / Appendix A.3).
+//!
+//! Greedy-decodes a GPT-style model under each format and compares the
+//! continuations against FP32's, plus repetition diagnostics.
+//!
+//! Run with: `cargo run --release --example textgen`
+
+use fp8_ptq::core::config::{Approach, DataFormat};
+use fp8_ptq::core::{paper_recipe, quantize_workload};
+use fp8_ptq::fp8::Fp8Format;
+use fp8_ptq::metrics::{distinct_n, repeated_ngram_rate};
+use fp8_ptq::models::families::common::NlpConfig;
+use fp8_ptq::models::families::nlp::{decoder_workload, generate_greedy};
+use fp8_ptq::nn::NoopHook;
+
+fn main() {
+    let cfg = NlpConfig {
+        vocab: 48,
+        seq: 16,
+        d: 64,
+        heads: 4,
+        layers: 2,
+        ffn_mult: 2,
+        seed: 1234,
+        outlier_gain: 300.0,
+        outlier_channels: 1,
+        gamma_sigma: 0.8,
+    };
+    let w = decoder_workload("gpt_like", &cfg);
+    let prompt = [3usize, 14, 15, 9, 2, 6];
+    let steps = 60;
+
+    let reference = generate_greedy(&w.graph, &cfg, &prompt, steps, &mut NoopHook);
+    println!("FP32 continuation: {:?}\n", &reference[..20]);
+
+    for fmt in [
+        DataFormat::Fp8(Fp8Format::E5M2),
+        DataFormat::Fp8(Fp8Format::E4M3),
+        DataFormat::Fp8(Fp8Format::E3M4),
+        DataFormat::Int8,
+    ] {
+        let qcfg = paper_recipe(fmt, Approach::Static, w.spec.domain);
+        let out = quantize_workload(&w, &qcfg);
+        let toks = generate_greedy(&out.model.graph, &cfg, &prompt, steps, &mut out.model.hook());
+        let fidelity = toks.iter().zip(&reference).filter(|(a, b)| a == b).count();
+        println!(
+            "{:<6} first tokens {:?}…  fidelity {:>2}/{steps}  repeated-4gram {:.2}  distinct-2 {:.2}",
+            fmt.to_string(),
+            &toks[..8],
+            fidelity,
+            repeated_ngram_rate(&toks, 4),
+            distinct_n(&toks, 2)
+        );
+    }
+    println!("\n(The paper's Table 4: FP8 continuations stay close to FP32; INT8 drifts and loops.)");
+}

@@ -1,0 +1,41 @@
+//! # fp8-ptq — post-training quantization with FP8 formats
+//!
+//! A full Rust reproduction of *"Efficient Post-training Quantization
+//! with FP8 Formats"* (MLSys 2024): bit-exact E5M2/E4M3/E3M4 codecs, a
+//! graph-based inference substrate with quantization hooks, the paper's
+//! standard/extended quantization schemes (per-channel weight scaling,
+//! absmax range calibration, SmoothQuant, BatchNorm calibration, mixed
+//! formats, static/dynamic approaches, accuracy-driven tuning), a
+//! 75-workload synthetic model zoo, and a bench harness regenerating
+//! every table and figure of the paper's evaluation.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`fp8`] | `ptq-fp8` | FP8/INT8 numeric codecs (Table 1 formats) |
+//! | [`tensor`] | `ptq-tensor` | dense tensors, NN kernels, observer stats |
+//! | [`nn`] | `ptq-nn` | graph IR, builder, hooked interpreter |
+//! | [`metrics`] | `ptq-metrics` | task metrics, FID proxy, pass rates |
+//! | [`models`] | `ptq-models` | the synthetic 75-workload zoo |
+//! | [`core`] | `ptq-core` | the PTQ framework (the paper's contribution) |
+//!
+//! ## Quantize a model in five lines
+//!
+//! ```no_run
+//! use fp8_ptq::core::{paper_recipe, quantize_workload, config::{Approach, DataFormat}};
+//! use fp8_ptq::fp8::Fp8Format;
+//! use fp8_ptq::models::{build_zoo, ZooFilter};
+//!
+//! let zoo = build_zoo(ZooFilter::Quick);
+//! let cfg = paper_recipe(DataFormat::Fp8(Fp8Format::E4M3), Approach::Static, zoo[0].spec.domain);
+//! let out = quantize_workload(&zoo[0], &cfg);
+//! println!("fp32 {:.4} -> E4M3 {:.4}", zoo[0].fp32_score, out.score);
+//! ```
+
+pub use ptq_core as core;
+pub use ptq_fp8 as fp8;
+pub use ptq_metrics as metrics;
+pub use ptq_models as models;
+pub use ptq_nn as nn;
+pub use ptq_tensor as tensor;

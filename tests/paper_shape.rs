@@ -1,0 +1,130 @@
+//! Paper-shape integration tests: the qualitative claims of the paper
+//! checked on purpose-built micro-workloads (fast, deterministic).
+//!
+//! The full quantitative reproduction lives in the bench binaries; these
+//! tests pin the *mechanisms* so refactors cannot silently lose them.
+
+use fp8_ptq::core::config::{Approach, DataFormat};
+use fp8_ptq::core::observer::clip_quant_mse;
+use fp8_ptq::core::{paper_recipe, quantize_workload};
+use fp8_ptq::fp8::{fake_quant_fp8, fake_quant_int8, fp8_scale, Fp8Codec, Fp8Format, Int8Codec, Int8Mode};
+use fp8_ptq::models::families::common::{Head, NlpConfig};
+use fp8_ptq::models::families::nlp::encoder_workload;
+use fp8_ptq::tensor::TensorRng;
+
+fn outlier_tensor(mag: f32) -> Vec<f32> {
+    let mut rng = TensorRng::seed(0x5eed);
+    let mut v = rng.normal(&[20_000], 0.0, 0.5f32.sqrt()).into_vec();
+    for i in (0..v.len()).step_by(100) {
+        v[i] = mag * (rng.unit() * 2.0 - 1.0);
+    }
+    v
+}
+
+/// Figure 1: INT8's MSE degrades ~quadratically with outlier magnitude;
+/// max-scaled FP8's barely moves.
+#[test]
+fn int8_mse_quadratic_in_outliers_fp8_flat() {
+    let mse_of = |mag: f32| {
+        let data = outlier_tensor(mag);
+        let absmax = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let mut d1 = data.clone();
+        let int8 = Int8Codec::from_range(-absmax, absmax, Int8Mode::Symmetric);
+        let i8_mse = fake_quant_int8(&mut d1, &int8).mse;
+        let mut d2 = data.clone();
+        let codec = Fp8Codec::new(Fp8Format::E4M3);
+        let fp8_mse = fake_quant_fp8(&mut d2, &codec, fp8_scale(Fp8Format::E4M3, absmax)).mse;
+        (i8_mse, fp8_mse)
+    };
+    let (i8_a, fp8_a) = mse_of(6.0);
+    let (i8_b, fp8_b) = mse_of(24.0);
+    assert!(i8_b / i8_a > 8.0, "INT8 growth {}", i8_b / i8_a);
+    assert!(fp8_b / fp8_a < 6.0, "FP8 growth {}", fp8_b / fp8_a);
+    assert!(fp8_b < i8_b, "at 24x: fp8 {fp8_b} vs int8 {i8_b}");
+}
+
+/// Appendix A.1 / Figure 9: clipping the range helps INT8's bulk
+/// precision but not FP8's.
+#[test]
+fn clipping_asymmetry() {
+    let data = outlier_tensor(6.0);
+    let bulk: Vec<f32> = data.iter().copied().filter(|x| x.abs() <= 2.0).collect();
+    let absmax = 6.0;
+    let int8_gain = clip_quant_mse(&bulk, absmax, DataFormat::Int8)
+        / clip_quant_mse(&bulk, 2.0, DataFormat::Int8);
+    let fp8_gain = clip_quant_mse(&bulk, absmax, DataFormat::Fp8(Fp8Format::E4M3))
+        / clip_quant_mse(&bulk, 2.0, DataFormat::Fp8(Fp8Format::E4M3));
+    assert!(int8_gain > 4.0, "INT8 bulk gain from clipping: {int8_gain}");
+    assert!(fp8_gain < 1.5, "FP8 bulk gain from clipping: {fp8_gain}");
+}
+
+/// §4.2/§3.2: on a heavy-tailed (range-bound) encoder, E4M3's wider
+/// dynamic-range window loses less accuracy than E3M4's.
+#[test]
+fn e4m3_window_beats_e3m4_on_heavy_tails() {
+    let cfg = NlpConfig {
+        vocab: 48,
+        seq: 16,
+        d: 64,
+        heads: 4,
+        layers: 2,
+        ffn_mult: 2,
+        seed: 77,
+        outlier_gain: 300.0,
+        outlier_channels: 1,
+        gamma_sigma: 1.6, // heavy tail: spreads past E3M4's ~2e3 window
+    };
+    let w = encoder_workload("funnel_like", "mrpc_syn", &cfg, Head::Binary);
+    let e4 = quantize_workload(
+        &w,
+        &paper_recipe(DataFormat::Fp8(Fp8Format::E4M3), Approach::Static, w.spec.domain),
+    );
+    let e3 = quantize_workload(
+        &w,
+        &paper_recipe(DataFormat::Fp8(Fp8Format::E3M4), Approach::Static, w.spec.domain),
+    );
+    assert!(
+        e4.result.loss() <= e3.result.loss() + 1e-9,
+        "E4M3 loss {} vs E3M4 loss {}",
+        e4.result.loss(),
+        e3.result.loss()
+    );
+}
+
+/// §4.2.1: SmoothQuant recovers INT8 accuracy on outlier-heavy encoders.
+#[test]
+fn smoothquant_recovers_int8() {
+    let cfg = NlpConfig {
+        vocab: 48,
+        seq: 16,
+        d: 64,
+        heads: 4,
+        layers: 2,
+        ffn_mult: 2,
+        seed: 78,
+        outlier_gain: 600.0,
+        outlier_channels: 1,
+        gamma_sigma: 0.6,
+    };
+    let w = encoder_workload("bert_like", "sst2_syn", &cfg, Head::Classes(6));
+    let with_sq = paper_recipe(DataFormat::Int8, Approach::Dynamic, w.spec.domain);
+    let mut no_sq = with_sq.clone();
+    no_sq.smoothquant_alpha = None;
+    let s_with = quantize_workload(&w, &with_sq).score;
+    let s_without = quantize_workload(&w, &no_sq).score;
+    assert!(
+        s_with >= s_without - 1e-9,
+        "SQ {} vs no-SQ {}",
+        s_with,
+        s_without
+    );
+}
+
+/// Table-1 constants are load-bearing for everything above.
+#[test]
+fn table1_constants() {
+    assert_eq!(Fp8Format::E5M2.max_value(), 57344.0);
+    assert_eq!(Fp8Format::E4M3.max_value(), 448.0);
+    assert_eq!(Fp8Format::E3M4.max_value(), 30.0);
+    assert!(Fp8Format::E5M2.direct_quantization());
+}
