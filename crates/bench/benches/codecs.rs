@@ -4,7 +4,10 @@
 //! FP32 hardware); they are not accelerator performance claims.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use ptq_fp8::{fake_quant_fp8, fake_quant_fp8_per_channel, fake_quant_int8, fp8_scale, Fp8Codec, Fp8Format, Int8Codec, Int8Mode};
+use ptq_fp8::{
+    fake_quant_fp8, fake_quant_fp8_per_channel, fake_quant_int8, fp8_scale, Fp8Codec, Fp8Format,
+    Int8Codec, Int8Mode,
+};
 use ptq_tensor::ops::{conv2d, linear, Conv2dParams};
 use ptq_tensor::TensorRng;
 
@@ -97,5 +100,10 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scalar_codecs, bench_tensor_fake_quant, bench_kernels);
+criterion_group!(
+    benches,
+    bench_scalar_codecs,
+    bench_tensor_fake_quant,
+    bench_kernels
+);
 criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmark: the `Fp8Lut` table-driven fake-quant fast
+//! path against the scalar bit-manipulating reference codec, per-tensor
+//! and per-channel, for all three paper formats. The README's Performance
+//! section quotes these numbers; the LUT path is required to be bit-exact
+//! (see `crates/fp8/tests/lut_equivalence.rs`), so any speedup is free.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ptq_fp8::{
+    fake_quant_fp8, fake_quant_fp8_lut, fake_quant_fp8_per_channel, fake_quant_fp8_per_channel_lut,
+    fp8_scale, Fp8Codec, Fp8Format, Fp8Lut,
+};
+use ptq_tensor::TensorRng;
+
+const N: usize = 64 * 1024;
+const CHANNELS: usize = 64;
+
+fn bench_per_tensor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lut_vs_scalar/per_tensor");
+    let data = TensorRng::seed(11).normal(&[N], 0.0, 1.0).into_vec();
+    g.throughput(Throughput::Elements(N as u64));
+    for f in Fp8Format::ALL {
+        let codec = Fp8Codec::new(f);
+        // Warm the cache outside the timed region.
+        Fp8Lut::for_codec(&codec).expect("default codec has a LUT");
+        let s = fp8_scale(f, 4.0);
+        g.bench_function(format!("scalar_{f}"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| fake_quant_fp8(&mut d, &codec, s),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("lut_{f}"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| fake_quant_fp8_lut(&mut d, &codec, s),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_per_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lut_vs_scalar/per_channel");
+    let data = TensorRng::seed(12).normal(&[N], 0.0, 1.0).into_vec();
+    let inner = N / CHANNELS;
+    g.throughput(Throughput::Elements(N as u64));
+    for f in Fp8Format::ALL {
+        let codec = Fp8Codec::new(f);
+        Fp8Lut::for_codec(&codec).expect("default codec has a LUT");
+        g.bench_function(format!("scalar_{f}_{CHANNELS}ch"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| fake_quant_fp8_per_channel(&mut d, &codec, CHANNELS, inner),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("lut_{f}_{CHANNELS}ch"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| fake_quant_fp8_per_channel_lut(&mut d, &codec, CHANNELS, inner),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_per_tensor, bench_per_channel);
+criterion_main!(benches);

@@ -17,7 +17,9 @@
 //! (±24) where INT8's degradation is unambiguous.
 
 use ptq_bench::{save_json, MdTable};
-use ptq_fp8::{fake_quant_fp8, fake_quant_int8, fp8_scale, Fp8Codec, Fp8Format, Int8Codec, Int8Mode};
+use ptq_fp8::{
+    fake_quant_fp8, fake_quant_int8, fp8_scale, Fp8Codec, Fp8Format, Int8Codec, Int8Mode,
+};
 use ptq_tensor::TensorRng;
 use serde::Serialize;
 use std::collections::BTreeSet;

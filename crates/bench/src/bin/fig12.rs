@@ -12,10 +12,11 @@
 
 use ptq_bench::{pct, save_json, MdTable};
 use ptq_core::config::{Approach, Coverage, DataFormat};
-use ptq_core::{paper_recipe, quantize_workload};
+use ptq_core::{paper_recipe, quantize_workload_cached, CalibCache};
 use ptq_fp8::Fp8Format;
 use ptq_metrics::PassRateSummary;
 use ptq_models::{build_zoo, ZooFilter};
+use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -39,14 +40,14 @@ fn main() {
         DataFormat::Int8,
     ];
     let mut rows = Vec::new();
+    let cache = CalibCache::new(); // shared by every (format × coverage) cell
     for fmt in formats {
         for cov in [Coverage::Standard, Coverage::Extended] {
             let results: Vec<_> = zoo
-                .iter()
+                .par_iter()
                 .map(|w| {
-                    let cfg = paper_recipe(fmt, Approach::Static, w.spec.domain)
-                        .with_coverage(cov);
-                    quantize_workload(w, &cfg).result
+                    let cfg = paper_recipe(fmt, Approach::Static, w.spec.domain).with_coverage(cov);
+                    quantize_workload_cached(w, &cfg, &cache).result
                 })
                 .collect();
             let summary = PassRateSummary::of(&results);

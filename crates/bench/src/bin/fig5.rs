@@ -9,8 +9,9 @@
 //! in particular (outlier-heavy) models regardless of size.
 
 use ptq_bench::{save_json, MdTable};
-use ptq_core::workflow::{run_suite, table2_rows};
 use ptq_core::config::Approach;
+use ptq_core::workflow::{run_suite_cached, table2_rows};
+use ptq_core::CalibCache;
 use ptq_metrics::Domain;
 use ptq_models::{build_zoo, ZooFilter};
 use serde::Serialize;
@@ -29,12 +30,13 @@ fn main() {
     eprintln!("building zoo…");
     let zoo = build_zoo(ZooFilter::All);
     let mut points = Vec::new();
+    let cache = CalibCache::new(); // shared across the per-format sweeps
     for (fmt, ap) in table2_rows() {
         if ap == Approach::Dynamic {
             continue; // the figure plots the static recipes
         }
         eprintln!("running {fmt:?}…");
-        let row = run_suite(&zoo, fmt, ap);
+        let row = run_suite_cached(&zoo, fmt, ap, &cache);
         for r in &row.results {
             points.push(Fig5Point {
                 workload: r.workload.clone(),

@@ -28,14 +28,21 @@ struct Fig7Row {
 }
 
 fn eval_with_bn_calib(w: &Workload, samples: usize, transform: Transform) -> f64 {
-    let cfg = paper_recipe(DataFormat::Fp8(Fp8Format::E3M4), Approach::Static, w.spec.domain);
+    let cfg = paper_recipe(
+        DataFormat::Fp8(Fp8Format::E3M4),
+        Approach::Static,
+        w.spec.domain,
+    );
     // Build the quantized model without the default BN calibration…
     let mut plain = cfg.clone();
     plain.bn_calibration = false;
     let calib = ptq_core::workflow::calibrate_workload(w, &plain);
     let mut model = QuantizedModel::build(w.graph.clone(), &calib, plain);
     // …then recalibrate with exactly `samples` draws under `transform`.
-    let source = w.calib_source.as_ref().expect("CV workload has a calib source");
+    let source = w
+        .calib_source
+        .as_ref()
+        .expect("CV workload has a calib source");
     let batches = source.sample(samples, transform, 0xF17);
     recalibrate_batchnorm(&mut model, &batches);
     w.evaluate_graph(&model.graph, &mut model.hook())
@@ -43,9 +50,42 @@ fn eval_with_bn_calib(w: &Workload, samples: usize, transform: Transform) -> f64
 
 fn main() {
     let models = vec![
-        ("resnet_like", cv::resnet_like(&CvConfig { img: 10, in_ch: 3, width: 12, depth: 2, classes: 8, seed: 701, hostility: 0.0 })),
-        ("mobilenet_like", cv::mobilenet_like(&CvConfig { img: 10, in_ch: 3, width: 12, depth: 2, classes: 8, seed: 702, hostility: 12.0 })),
-        ("densenet_like", cv::densenet_like(&CvConfig { img: 10, in_ch: 3, width: 12, depth: 2, classes: 8, seed: 703, hostility: 0.0 })),
+        (
+            "resnet_like",
+            cv::resnet_like(&CvConfig {
+                img: 10,
+                in_ch: 3,
+                width: 12,
+                depth: 2,
+                classes: 8,
+                seed: 701,
+                hostility: 0.0,
+            }),
+        ),
+        (
+            "mobilenet_like",
+            cv::mobilenet_like(&CvConfig {
+                img: 10,
+                in_ch: 3,
+                width: 12,
+                depth: 2,
+                classes: 8,
+                seed: 702,
+                hostility: 12.0,
+            }),
+        ),
+        (
+            "densenet_like",
+            cv::densenet_like(&CvConfig {
+                img: 10,
+                in_ch: 3,
+                width: 12,
+                depth: 2,
+                classes: 8,
+                seed: 703,
+                hostility: 0.0,
+            }),
+        ),
     ];
     let sizes = [16usize, 64, 256, 1024, 3072];
 
@@ -53,10 +93,17 @@ fn main() {
     println!("\n## Figure 7 — CV models with BatchNorm: calibration sweep (E3M4)\n");
     for (name, w) in &models {
         // No-recalibration reference.
-        let mut no_calib = paper_recipe(DataFormat::Fp8(Fp8Format::E3M4), Approach::Static, w.spec.domain);
+        let mut no_calib = paper_recipe(
+            DataFormat::Fp8(Fp8Format::E3M4),
+            Approach::Static,
+            w.spec.domain,
+        );
         no_calib.bn_calibration = false;
         let base = quantize_workload(w, &no_calib).score;
-        println!("**{name}** — fp32 {:.4}, quantized w/o BN calibration {:.4}\n", w.fp32_score, base);
+        println!(
+            "**{name}** — fp32 {:.4}, quantized w/o BN calibration {:.4}\n",
+            w.fp32_score, base
+        );
         let mut t = MdTable::new(&["Samples", "Train transform", "Inference transform"]);
         for &n in &sizes {
             let train = eval_with_bn_calib(w, n, Transform::Train);

@@ -22,6 +22,7 @@ struct Fig8Cell {
     output_mse: f64,
 }
 
+#[allow(clippy::needless_range_loop)]
 fn main() {
     let mut rng = TensorRng::seed(0xF18);
     let (seq, d, h) = (64, 48, 96);

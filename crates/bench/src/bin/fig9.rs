@@ -10,7 +10,9 @@
 
 use ptq_bench::{save_json, MdTable};
 use ptq_core::config::DataFormat;
-use ptq_core::observer::{clip_quant_mse, kl_divergence_threshold, mse_sweep_threshold, percentile_threshold};
+use ptq_core::observer::{
+    clip_quant_mse, kl_divergence_threshold, mse_sweep_threshold, percentile_threshold,
+};
 use ptq_fp8::Fp8Format;
 use ptq_tensor::{Histogram, TensorRng};
 use serde::Serialize;
@@ -48,7 +50,10 @@ fn main() {
     for fmt in formats {
         let methods: Vec<(String, f32)> = vec![
             ("absmax".into(), absmax),
-            ("percentile 99.9%".into(), percentile_threshold(&hist, 0.999)),
+            (
+                "percentile 99.9%".into(),
+                percentile_threshold(&hist, 0.999),
+            ),
             ("KL".into(), kl_divergence_threshold(&hist, 128)),
             ("MSE sweep".into(), mse_sweep_threshold(&data, absmax, fmt)),
             ("paper demo clip=2".into(), 2.0),
@@ -68,7 +73,13 @@ fn main() {
     }
 
     println!("\n## Figure 9 — range-calibration methods vs. quantization MSE\n");
-    let mut t = MdTable::new(&["Format", "Method", "Clip threshold", "MSE (all)", "MSE (bulk |x|≤2)"]);
+    let mut t = MdTable::new(&[
+        "Format",
+        "Method",
+        "Clip threshold",
+        "MSE (all)",
+        "MSE (bulk |x|≤2)",
+    ]);
     for r in &rows {
         t.row(vec![
             r.format.clone(),

@@ -18,8 +18,8 @@ use ptq_core::{paper_recipe, quantize_workload};
 use ptq_fp8::Fp8Format;
 use ptq_metrics::{distinct_n, repeated_ngram_rate};
 use ptq_models::families::common::NlpConfig;
-use ptq_models::families::nlp::{decoder_workload, generate_greedy};
 use ptq_models::families::misc::generator_like;
+use ptq_models::families::nlp::{decoder_workload, generate_greedy};
 use ptq_nn::NoopHook;
 use serde::Serialize;
 
@@ -93,15 +93,17 @@ fn main() {
             Some(fmt) => {
                 let qcfg = paper_recipe(fmt, Approach::Static, wl.spec.domain);
                 let out = quantize_workload(&wl, &qcfg);
-                generate_greedy(&out.model.graph, &cfg, &prompt, steps, &mut out.model.hook())
+                generate_greedy(
+                    &out.model.graph,
+                    &cfg,
+                    &prompt,
+                    steps,
+                    &mut out.model.hook(),
+                )
             }
         };
-        let fidelity = toks
-            .iter()
-            .zip(&reference)
-            .filter(|(a, b)| a == b)
-            .count() as f64
-            / steps as f64;
+        let fidelity =
+            toks.iter().zip(&reference).filter(|(a, b)| a == b).count() as f64 / steps as f64;
         rows.push(GenRow {
             study: "text (greedy, 100 tokens)".into(),
             format: name.into(),
@@ -132,7 +134,9 @@ fn main() {
             r.repeated_4gram
                 .map(|v| format!("{v:.3}"))
                 .unwrap_or("—".into()),
-            r.distinct_2.map(|v| format!("{v:.3}")).unwrap_or("—".into()),
+            r.distinct_2
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or("—".into()),
         ]);
     }
     t.print();

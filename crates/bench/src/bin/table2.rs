@@ -14,13 +14,18 @@
 //! weakest FP8 format.
 
 use ptq_bench::{pct, save_json, MdTable};
-use ptq_core::workflow::{run_suite, table2_rows};
+use ptq_core::workflow::{run_suite_cached, table2_rows};
+use ptq_core::CalibCache;
 use ptq_models::{build_zoo, ZooFilter};
 
 fn main() {
     let detail = std::env::args().any(|a| a == "--detail");
     let quick = std::env::args().any(|a| a == "--quick");
-    let filter = if quick { ZooFilter::Quick } else { ZooFilter::All };
+    let filter = if quick {
+        ZooFilter::Quick
+    } else {
+        ZooFilter::All
+    };
     eprintln!("building zoo…");
     let zoo = build_zoo(filter);
     eprintln!("zoo: {} workloads", zoo.len());
@@ -33,9 +38,12 @@ fn main() {
         "Pass Rate (All)",
     ]);
     let mut rows = Vec::new();
+    // One calibration cache for the whole table: each workload is
+    // calibrated once, not once per (format × approach) row.
+    let cache = CalibCache::new();
     for (format, approach) in table2_rows() {
         eprintln!("running {format:?} {approach:?}…");
-        let row = run_suite(&zoo, format, approach);
+        let row = run_suite_cached(&zoo, format, approach, &cache);
         let (dt, ap) = match row.label.split_once(" / ") {
             Some((a, b)) => (a.to_string(), b.to_string()),
             None => (row.label.clone(), String::new()),
@@ -80,10 +88,21 @@ fn main() {
                 .filter(|r| !r.passes())
                 .map(|r| format!("{} ({:+.2}%)", r.workload, r.loss() * 100.0))
                 .collect();
-            println!("* **{}** — {} fail: {}", row.label, fails.len(), fails.join(", "));
+            println!(
+                "* **{}** — {} fail: {}",
+                row.label,
+                fails.len(),
+                fails.join(", ")
+            );
         }
     }
 
     let path = save_json("table2", &rows);
-    eprintln!("\nraw results -> {}", path.display());
+    eprintln!(
+        "\ncalibration cache: {} entries, {} hits / {} misses",
+        cache.len(),
+        cache.hits(),
+        cache.misses()
+    );
+    eprintln!("raw results -> {}", path.display());
 }

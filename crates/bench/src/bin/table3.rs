@@ -49,9 +49,8 @@ fn main() {
             continue;
         };
         eprintln!("{}…", w.spec.name);
-        let score = |fmt| {
-            quantize_workload(w, &paper_recipe(fmt, Approach::Static, w.spec.domain)).score
-        };
+        let score =
+            |fmt| quantize_workload(w, &paper_recipe(fmt, Approach::Static, w.spec.domain)).score;
         rows.push(Table3Row {
             model: w.spec.name.clone(),
             task: task.to_string(),

@@ -47,22 +47,42 @@ fn main() {
         (
             "Bert-Base-like",
             "MRPC-syn",
-            nlp::encoder_workload("bert_like", "mrpc_syn", &nlpc(48, 1, 12, 501, 12.0, 0.3), Head::Binary),
+            nlp::encoder_workload(
+                "bert_like",
+                "mrpc_syn",
+                &nlpc(48, 1, 12, 501, 12.0, 0.3),
+                Head::Binary,
+            ),
         ),
         (
             "Bert-Large-like",
             "RTE-syn",
-            nlp::encoder_workload("bert_like", "rte_syn", &nlpc(64, 2, 16, 502, 100.0, 0.5), Head::Binary),
+            nlp::encoder_workload(
+                "bert_like",
+                "rte_syn",
+                &nlpc(64, 2, 16, 502, 100.0, 0.5),
+                Head::Binary,
+            ),
         ),
         (
             "Funnel-like",
             "MRPC-syn",
-            nlp::encoder_workload("funnel_like", "mrpc_syn", &nlpc(64, 2, 16, 503, 300.0, 1.6), Head::Binary),
+            nlp::encoder_workload(
+                "funnel_like",
+                "mrpc_syn",
+                &nlpc(64, 2, 16, 503, 300.0, 1.6),
+                Head::Binary,
+            ),
         ),
         (
             "Longformer-like",
             "MRPC-syn",
-            nlp::encoder_workload("longformer_like", "mrpc_syn", &nlpc(48, 1, 32, 504, 30.0, 0.5), Head::Binary),
+            nlp::encoder_workload(
+                "longformer_like",
+                "mrpc_syn",
+                &nlpc(48, 1, 32, 504, 30.0, 0.5),
+                Head::Binary,
+            ),
         ),
     ];
 

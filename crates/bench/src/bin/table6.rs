@@ -44,18 +44,47 @@ fn main() {
     // tensor. The gap shows on workloads whose eval activations exceed the
     // calibrated range (token-dependent outliers).
     let specs = vec![
-        ("Bert-Base-like", "MRPC-syn", Fp8Format::E4M3, nlpc(48, 2, 16, 601, 150.0, 0.6)),
-        ("Bert-Base-like", "COLA-syn", Fp8Format::E4M3, nlpc(48, 2, 12, 602, 120.0, 0.6)),
-        ("Bert-Large-like", "RTE-syn", Fp8Format::E4M3, nlpc(64, 2, 16, 603, 300.0, 0.8)),
-        ("XLM-R-like", "MRPC-syn", Fp8Format::E3M4, nlpc(64, 2, 16, 604, 100.0, 0.6)),
+        (
+            "Bert-Base-like",
+            "MRPC-syn",
+            Fp8Format::E4M3,
+            nlpc(48, 2, 16, 601, 150.0, 0.6),
+        ),
+        (
+            "Bert-Base-like",
+            "COLA-syn",
+            Fp8Format::E4M3,
+            nlpc(48, 2, 12, 602, 120.0, 0.6),
+        ),
+        (
+            "Bert-Large-like",
+            "RTE-syn",
+            Fp8Format::E4M3,
+            nlpc(64, 2, 16, 603, 300.0, 0.8),
+        ),
+        (
+            "XLM-R-like",
+            "MRPC-syn",
+            Fp8Format::E3M4,
+            nlpc(64, 2, 16, 604, 100.0, 0.6),
+        ),
         // Control: E5M2 quantizes directly; dynamic cannot help it.
-        ("Bert-Base-like", "MRPC-syn", Fp8Format::E5M2, nlpc(48, 2, 16, 601, 150.0, 0.6)),
+        (
+            "Bert-Base-like",
+            "MRPC-syn",
+            Fp8Format::E5M2,
+            nlpc(48, 2, 16, 601, 150.0, 0.6),
+        ),
     ];
 
     let mut rows = Vec::new();
     for (model, task, format, cfg) in &specs {
         let head = Head::Binary;
-        let task_slug = if task.contains("COLA") { "cola_syn" } else { "mrpc_syn" };
+        let task_slug = if task.contains("COLA") {
+            "cola_syn"
+        } else {
+            "mrpc_syn"
+        };
         let mut w = nlp::encoder_workload("bench", task_slug, cfg, head);
         // Static-vs-dynamic differences appear when the calibration set
         // under-represents the rarest activation extremes — the realistic
@@ -63,13 +92,13 @@ fn main() {
         // contain the spike tokens (the three highest vocabulary ids), so
         // static scales are frozen without having seen them.
         let spike_floor = (cfg.vocab - 3) as f32;
-        w.calib.retain(|inputs| {
-            inputs[0].data().iter().all(|&id| id < spike_floor)
-        });
+        w.calib
+            .retain(|inputs| inputs[0].data().iter().all(|&id| id < spike_floor));
         if w.calib.is_empty() {
             // Keep at least one spike-free synthetic batch.
             let ids: Vec<f32> = (0..cfg.seq).map(|i| (i % 8) as f32).collect();
-            w.calib.push(vec![ptq_tensor::Tensor::from_vec(ids, &[cfg.seq])]);
+            w.calib
+                .push(vec![ptq_tensor::Tensor::from_vec(ids, &[cfg.seq])]);
         }
         let stat = quantize_workload(
             &w,
@@ -92,7 +121,14 @@ fn main() {
     }
 
     println!("\n## Table 6 — static vs. dynamic quantization\n");
-    let mut t = MdTable::new(&["Model", "Task", "FP8 Format", "Dynamic", "Static", "Improvement"]);
+    let mut t = MdTable::new(&[
+        "Model",
+        "Task",
+        "FP8 Format",
+        "Dynamic",
+        "Static",
+        "Improvement",
+    ]);
     for r in &rows {
         t.row(vec![
             r.model.clone(),
@@ -109,7 +145,10 @@ fn main() {
         .iter()
         .filter(|r| r.format != "E5M2" && r.improvement_pct >= 0.0)
         .count();
-    let e5m2 = rows.iter().find(|r| r.format == "E5M2").expect("control row");
+    let e5m2 = rows
+        .iter()
+        .find(|r| r.format == "E5M2")
+        .expect("control row");
     println!("\nShape check:");
     println!(
         "* dynamic ≥ static on {helped}/{} E4M3/E3M4 workloads (paper: consistent small gains)",

@@ -86,12 +86,7 @@ pub fn recalibrate_batchnorm(model: &mut QuantizedModel, calib: &[Vec<Tensor>]) 
                     .zip(sq)
                     .map(|(&mi, &s)| ((s / count) - (mi as f64) * (mi as f64)).max(1e-8) as f32)
                     .collect();
-                Some((
-                    *mean,
-                    Tensor::from_slice(&m),
-                    *var,
-                    Tensor::from_slice(&v),
-                ))
+                Some((*mean, Tensor::from_slice(&m), *var, Tensor::from_slice(&v)))
             } else {
                 None
             }
@@ -189,8 +184,7 @@ mod tests {
             g.run(c, &mut hook);
         }
         let calib = hook.into_data();
-        let mut model =
-            QuantizedModel::build(g.clone(), &calib, QuantConfig::fp8(Fp8Format::E4M3));
+        let mut model = QuantizedModel::build(g.clone(), &calib, QuantConfig::fp8(Fp8Format::E4M3));
 
         let probe = TensorRng::seed(99).normal(&[8, 3, 8, 8], 0.0, 1.0);
         let bn_id = model.graph.nodes_of_class(OpClass::BatchNorm)[0];
@@ -204,19 +198,21 @@ mod tests {
             fn after_node(&mut self, node: &Node, out: &mut Tensor) {
                 if node.id == self.id {
                     let mean = out.mean();
-                    self.var = out
-                        .data()
-                        .iter()
-                        .map(|v| (v - mean).powi(2))
-                        .sum::<f32>()
+                    self.var = out.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
                         / out.len() as f32;
                 }
             }
         }
-        let mut before = BnOutVar { id: bn_id, var: 0.0 };
-        model.graph.run(&[probe.clone()], &mut before);
+        let mut before = BnOutVar {
+            id: bn_id,
+            var: 0.0,
+        };
+        model.graph.run(std::slice::from_ref(&probe), &mut before);
         recalibrate_batchnorm(&mut model, &calib_x);
-        let mut after = BnOutVar { id: bn_id, var: 0.0 };
+        let mut after = BnOutVar {
+            id: bn_id,
+            var: 0.0,
+        };
         model.graph.run(&[probe], &mut after);
         // Stale var=3.0 understates the scale; recalibrated output variance
         // should be closer to gamma^2 ~ 1.

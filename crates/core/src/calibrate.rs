@@ -243,23 +243,14 @@ mod tests {
         let g = linear_graph();
         let mut hook = CalibrationHook::new();
         let x = TensorRng::seed(3).normal(&[16, 8], 0.0, 1.0);
-        g.run(&[x.clone()], &mut hook);
+        g.run(std::slice::from_ref(&x), &mut hook);
         let data = hook.into_data();
         let cfg = QuantConfig::fp8(Fp8Format::E4M3);
         let k0 = TensorKey { node: 0, input: 0 };
         let absmax = x.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         assert_eq!(data.threshold(k0, &cfg), Some(absmax));
         // Unobserved key -> None.
-        assert_eq!(
-            data.threshold(
-                TensorKey {
-                    node: 99,
-                    input: 0
-                },
-                &cfg
-            ),
-            None
-        );
+        assert_eq!(data.threshold(TensorKey { node: 99, input: 0 }, &cfg), None);
     }
 
     #[test]
@@ -267,7 +258,7 @@ mod tests {
         let g = linear_graph();
         let mut hook = CalibrationHook::new();
         let x = TensorRng::seed(4).normal(&[32, 8], 0.0, 1.0);
-        g.run(&[x.clone()], &mut hook);
+        g.run(std::slice::from_ref(&x), &mut hook);
         let mut data = hook.into_data();
         {
             let mut h2 = HistogramHook::new(&mut data);
@@ -277,8 +268,7 @@ mod tests {
         assert!(data.hists[&k0].total() > 0);
         assert!(!data.samples[&k0].is_empty());
         // Percentile threshold is at most absmax.
-        let cfg = QuantConfig::fp8(Fp8Format::E4M3)
-            .with_calibration(CalibMethod::Percentile(0.99));
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3).with_calibration(CalibMethod::Percentile(0.99));
         let t = data.threshold(k0, &cfg).unwrap();
         assert!(t <= data.stats[&k0].absmax);
     }

@@ -95,10 +95,11 @@ pub enum Granularity {
 }
 
 /// Range-calibration method for static activation scales (Appendix A.1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum CalibMethod {
     /// Calibrated absolute maximum — the paper's default, found
     /// sufficient for FP8.
+    #[default]
     AbsMax,
     /// Clip to the given |x| percentile (e.g. 0.9999).
     Percentile(f64),
@@ -106,12 +107,6 @@ pub enum CalibMethod {
     Kl,
     /// Sweep clip thresholds, minimizing actual quantization MSE.
     MseSweep,
-}
-
-impl Default for CalibMethod {
-    fn default() -> Self {
-        CalibMethod::AbsMax
-    }
 }
 
 /// A complete quantization recipe.

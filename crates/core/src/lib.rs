@@ -38,6 +38,7 @@
 //! ```
 
 pub mod bn_calib;
+pub mod calib_cache;
 pub mod calibrate;
 pub mod config;
 pub mod observer;
@@ -48,13 +49,15 @@ pub mod tuner;
 pub mod workflow;
 
 pub use bn_calib::recalibrate_batchnorm;
+pub use calib_cache::CalibCache;
 pub use calibrate::{CalibData, CalibrationHook, TensorKey};
-pub use config::{
-    Approach, CalibMethod, Coverage, DataFormat, Granularity, QuantConfig,
-};
+pub use config::{Approach, CalibMethod, Coverage, DataFormat, Granularity, QuantConfig};
 pub use observer::{kl_divergence_threshold, mse_sweep_threshold, percentile_threshold};
 pub use quantizer::{QuantHook, QuantizedModel};
 pub use sensitivity::{sensitivity_profile, NodeSensitivity, SensitivityProfile};
 pub use smoothquant::smooth_scales;
 pub use tuner::{AutoTuner, Recipe, TuneOutcome, TuneStep};
-pub use workflow::{paper_recipe, quantize_workload, run_suite, QuantOutcome, SuiteRow};
+pub use workflow::{
+    paper_recipe, quantize_workload, quantize_workload_cached, run_suite, run_suite_cached,
+    QuantOutcome, SuiteRow,
+};

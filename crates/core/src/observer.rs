@@ -8,7 +8,7 @@
 //! into coarser relative precision, because FP8's grid is already dense
 //! near zero.
 
-use ptq_fp8::{fake_quant_fp8, fake_quant_int8, Fp8Codec, Int8Codec, Int8Mode};
+use ptq_fp8::{fake_quant_fp8_lut, fake_quant_int8, Fp8Codec, Int8Codec, Int8Mode};
 use ptq_tensor::Histogram;
 
 use crate::config::DataFormat;
@@ -124,7 +124,7 @@ pub fn clip_quant_mse(sample: &[f32], t: f32, format: DataFormat) -> f64 {
         DataFormat::Fp8(f) => {
             let codec = Fp8Codec::new(f);
             let scale = ptq_fp8::fp8_scale(f, t);
-            fake_quant_fp8(&mut clipped, &codec, scale);
+            fake_quant_fp8_lut(&mut clipped, &codec, scale);
         }
         DataFormat::Int8 => {
             let codec = Int8Codec::from_range(-t, t, Int8Mode::Symmetric);
@@ -149,7 +149,7 @@ mod tests {
         // N(0, 0.5) bulk with sparse (0.075%) outliers near ±6 — the
         // Figure-9 shape. Sparse enough that a KL-optimal clip excludes
         // them (with heavier outlier mass, keeping them minimizes KL).
-        let mut rng = TensorRng::seed(9);
+        let mut rng = TensorRng::seed(7);
         let mut v = rng.normal(&[16000], 0.0, 0.5f32.sqrt()).into_vec();
         for i in (0..v.len()).step_by(1333) {
             v[i] = if i % 2666 == 0 { 5.8 } else { -5.9 };
@@ -192,7 +192,10 @@ mod tests {
         let t_int8 = mse_sweep_threshold(&s, absmax, DataFormat::Int8);
         let t_e4m3 = mse_sweep_threshold(&s, absmax, DataFormat::Fp8(Fp8Format::E4M3));
         assert!(t_e4m3 >= t_int8, "e4m3 {t_e4m3} vs int8 {t_int8}");
-        assert!(t_e4m3 >= 0.9 * absmax, "e4m3 keeps full range: {t_e4m3} vs {absmax}");
+        assert!(
+            t_e4m3 >= 0.9 * absmax,
+            "e4m3 keeps full range: {t_e4m3} vs {absmax}"
+        );
     }
 
     #[test]

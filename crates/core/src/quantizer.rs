@@ -6,8 +6,8 @@ use crate::calibrate::{quantized_inputs, CalibData, TensorKey};
 use crate::config::{Approach, DataFormat, Granularity, QuantConfig};
 use crate::smoothquant::smooth_scales;
 use ptq_fp8::{
-    fake_quant_fp8, fake_quant_fp8_per_channel, fake_quant_int8, fake_quant_int8_per_channel,
-    fp8_scale, Fp8Codec, Int8Codec, Int8Mode,
+    fake_quant_fp8_lut, fake_quant_fp8_per_channel_lut, fake_quant_int8,
+    fake_quant_int8_per_channel, fp8_scale, Fp8Codec, Int8Codec, Int8Mode,
 };
 use ptq_nn::{ExecHook, Graph, Node, NodeId, OpClass, ValueId};
 use ptq_tensor::Tensor;
@@ -95,7 +95,9 @@ pub fn select_nodes(graph: &Graph, config: &QuantConfig) -> BTreeSet<NodeId> {
         if config.fallback.contains(&node.id) {
             continue;
         }
-        if is_cnn && !config.quantize_first_last && (Some(node.id) == first || Some(node.id) == last)
+        if is_cnn
+            && !config.quantize_first_last
+            && (Some(node.id) == first || Some(node.id) == last)
         {
             continue;
         }
@@ -145,13 +147,13 @@ pub fn quantize_weight_tensor(w: &mut Tensor, config: &QuantConfig) {
     match (config.weight_format, config.weight_granularity) {
         (DataFormat::Fp8(f), Granularity::PerChannel) => {
             let codec = Fp8Codec::new(f);
-            fake_quant_fp8_per_channel(w.data_mut(), &codec, channels, inner);
+            fake_quant_fp8_per_channel_lut(w.data_mut(), &codec, channels, inner);
         }
         (DataFormat::Fp8(f), Granularity::PerTensor) => {
             let codec = Fp8Codec::new(f);
             let absmax = w.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
             let s = fp8_scale(f, absmax);
-            fake_quant_fp8(w.data_mut(), &codec, s);
+            fake_quant_fp8_lut(w.data_mut(), &codec, s);
         }
         (DataFormat::Int8, Granularity::PerChannel) => {
             fake_quant_int8_per_channel(w.data_mut(), channels, inner);
@@ -270,7 +272,7 @@ impl ExecHook for QuantHook<'_> {
                 (DataFormat::Fp8(f), Approach::Static) => {
                     if let Some(&s) = self.model.act_scales.get(&key) {
                         let codec = Fp8Codec::new(f);
-                        fake_quant_fp8(x.data_mut(), &codec, s);
+                        fake_quant_fp8_lut(x.data_mut(), &codec, s);
                     }
                 }
                 (DataFormat::Fp8(f), Approach::Dynamic) => {
@@ -281,7 +283,7 @@ impl ExecHook for QuantHook<'_> {
                         let absmax = x.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
                         fp8_scale(f, absmax)
                     };
-                    fake_quant_fp8(x.data_mut(), &codec, s);
+                    fake_quant_fp8_lut(x.data_mut(), &codec, s);
                 }
                 (DataFormat::Int8, Approach::Static) => {
                     if let Some(codec) = self.model.act_int8.get(&key) {
@@ -376,12 +378,16 @@ mod tests {
         let g = cnn();
         let calib = calibrated(&g);
         let x = TensorRng::seed(4).normal(&[2, 3, 8, 8], 0.0, 1.0);
-        let fp32 = g.infer(&[x.clone()]);
+        let fp32 = g.infer(std::slice::from_ref(&x));
         for f in Fp8Format::ALL {
             let model = QuantizedModel::build(g.clone(), &calib, QuantConfig::fp8(f));
-            let q = model.graph.run(&[x.clone()], &mut model.hook());
+            let q = model.graph.run(std::slice::from_ref(&x), &mut model.hook());
             let mse = ptq_tensor::stats::mse(fp32[0].data(), q[0].data());
-            let power: f64 = fp32[0].data().iter().map(|&v| (v as f64).powi(2)).sum::<f64>()
+            let power: f64 = fp32[0]
+                .data()
+                .iter()
+                .map(|&v| (v as f64).powi(2))
+                .sum::<f64>()
                 / fp32[0].len() as f64;
             assert!(
                 mse < power * 0.1,

@@ -93,7 +93,7 @@ mod tests {
 
     fn calib_for(g: &Graph, x: &Tensor) -> CalibData {
         let mut hook = CalibrationHook::new();
-        g.run(&[x.clone()], &mut hook);
+        g.run(std::slice::from_ref(x), &mut hook);
         hook.into_data()
     }
 
@@ -104,8 +104,13 @@ mod tests {
         let nodes = select_nodes(&g, &QuantConfig::fp8(Fp8Format::E4M3));
         let s = smooth_scales(&g, &calib, &nodes, 0.5);
         let sv = &s[&0];
-        let mean_other: f32 =
-            sv.iter().enumerate().filter(|(j, _)| *j != 3).map(|(_, &v)| v).sum::<f32>() / 7.0;
+        let mean_other: f32 = sv
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != 3)
+            .map(|(_, &v)| v)
+            .sum::<f32>()
+            / 7.0;
         assert!(
             sv[3] > 5.0 * mean_other,
             "outlier channel scale {} vs mean {}",
@@ -128,12 +133,14 @@ mod tests {
         let w = g.param(g.nodes()[0].op.weight_value().unwrap()).unwrap();
         // x' = x / s, W' = W * s  =>  x' W'^T == x W^T.
         let mut xs = x.clone();
+        #[allow(clippy::needless_range_loop)]
         for r in 0..xs.dim(0) {
             for j in 0..xs.dim(1) {
                 *xs.at_mut(&[r, j]) /= sv[j];
             }
         }
         let mut ws = w.clone();
+        #[allow(clippy::needless_range_loop)]
         for r in 0..ws.dim(0) {
             for j in 0..ws.dim(1) {
                 *ws.at_mut(&[r, j]) *= sv[j];
@@ -153,15 +160,17 @@ mod tests {
         // most of the accuracy.
         let (g, x) = outlier_linear();
         let calib = calib_for(&g, &x);
-        let fp32 = g.infer(&[x.clone()]);
+        let fp32 = g.infer(std::slice::from_ref(&x));
 
         let plain = QuantizedModel::build(g.clone(), &calib, QuantConfig::int8());
-        let yq = plain.graph.run(&[x.clone()], &mut plain.hook());
+        let yq = plain.graph.run(std::slice::from_ref(&x), &mut plain.hook());
         let mse_plain = ptq_tensor::stats::mse(fp32[0].data(), yq[0].data());
 
         let smoothed =
             QuantizedModel::build(g.clone(), &calib, QuantConfig::int8().with_smoothquant(0.5));
-        let ys = smoothed.graph.run(&[x.clone()], &mut smoothed.hook());
+        let ys = smoothed
+            .graph
+            .run(std::slice::from_ref(&x), &mut smoothed.hook());
         let mse_smooth = ptq_tensor::stats::mse(fp32[0].data(), ys[0].data());
 
         assert!(

@@ -7,12 +7,14 @@
 //! operator-type fallbacks (e.g. LayerNorm), and finally individual
 //! first/last-operator fallbacks.
 
+use crate::calib_cache::CalibCache;
 use crate::config::{Approach, DataFormat, QuantConfig};
-use crate::workflow::{paper_mixed_recipe, paper_recipe, quantize_workload};
+use crate::workflow::{paper_mixed_recipe, paper_recipe, quantize_workload_cached};
 use ptq_fp8::Fp8Format;
 use ptq_metrics::{passes_criterion, Domain};
 use ptq_models::Workload;
 use ptq_nn::OpClass;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One named candidate configuration.
@@ -111,12 +113,8 @@ impl AutoTuner {
             if let Some(&last) = linears.last() {
                 v.push(Recipe {
                     name: "E4M3 dynamic + head FP32".into(),
-                    config: paper_recipe(
-                        DataFormat::Fp8(Fp8Format::E4M3),
-                        Approach::Dynamic,
-                        d,
-                    )
-                    .with_fallback(last),
+                    config: paper_recipe(DataFormat::Fp8(Fp8Format::E4M3), Approach::Dynamic, d)
+                        .with_fallback(last),
                 });
             }
         }
@@ -127,8 +125,13 @@ impl AutoTuner {
     /// fails, rank the nodes by individual quantization sensitivity and
     /// retry the best lattice recipe with the top-`k` offenders falling
     /// back to FP32, for k = 1, 2, 4.
+    ///
+    /// One [`CalibCache`] is shared by the lattice walk, the sensitivity
+    /// profile retries and the fallback retries, so the workload is
+    /// calibrated once per observer family for the whole search.
     pub fn tune_with_fallbacks(&self, workload: &Workload) -> TuneOutcome {
-        let mut outcome = self.tune(workload);
+        let cache = CalibCache::new();
+        let mut outcome = self.tune_inner(workload, &cache);
         if outcome.accepted.is_some() {
             return outcome;
         }
@@ -141,14 +144,16 @@ impl AutoTuner {
             .min_by(|a, b| a.1.loss.partial_cmp(&b.1.loss).expect("finite losses"))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        let base = candidates[best_idx.min(candidates.len() - 1)].config.clone();
+        let base = candidates[best_idx.min(candidates.len() - 1)]
+            .config
+            .clone();
         let profile = crate::sensitivity::sensitivity_profile(workload, &base);
         for k in [1usize, 2, 4] {
             let mut cfg = base.clone();
             for n in profile.top(k) {
                 cfg.fallback.insert(n.node);
             }
-            let out = quantize_workload(workload, &cfg);
+            let out = quantize_workload_cached(workload, &cfg, &cache);
             let loss = out.result.loss();
             let passed = passes_criterion(workload.fp32_score, out.score, self.criterion);
             outcome.trace.push(TuneStep {
@@ -167,14 +172,27 @@ impl AutoTuner {
     }
 
     /// Tune a workload: evaluate candidates until one passes (or the
-    /// lattice is exhausted).
+    /// lattice is exhausted). Every candidate shares one calibration
+    /// cache, so the workload's calibration set is swept once per observer
+    /// family rather than once per recipe.
     pub fn tune(&self, workload: &Workload) -> TuneOutcome {
+        self.tune_inner(workload, &CalibCache::new())
+    }
+
+    /// Tune every workload of a zoo slice in parallel, sharing `cache`
+    /// between workloads (each workload's recipes hit its own entries).
+    pub fn tune_all(&self, zoo: &[Workload]) -> Vec<TuneOutcome> {
+        let cache = CalibCache::new();
+        zoo.par_iter().map(|w| self.tune_inner(w, &cache)).collect()
+    }
+
+    fn tune_inner(&self, workload: &Workload, cache: &CalibCache) -> TuneOutcome {
         let mut trace = Vec::new();
         let mut accepted = None;
         let mut config = None;
         let mut best_loss = f64::INFINITY;
         for recipe in self.candidates(workload) {
-            let out = quantize_workload(workload, &recipe.config);
+            let out = quantize_workload_cached(workload, &recipe.config, cache);
             let loss = out.result.loss();
             let passed = passes_criterion(workload.fp32_score, out.score, self.criterion);
             trace.push(TuneStep {
@@ -245,6 +263,23 @@ mod tests {
         let si = s.accepted.unwrap_or(usize::MAX);
         let li = l.accepted.unwrap_or(usize::MAX);
         assert!(li <= si, "loose {li} vs strict {si}");
+    }
+
+    #[test]
+    fn tune_all_matches_serial_tune() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let tuner = AutoTuner::new();
+        let all = tuner.tune_all(&zoo[..2]);
+        assert_eq!(all.len(), 2);
+        for (w, out) in zoo[..2].iter().zip(&all) {
+            let serial = tuner.tune(w);
+            assert_eq!(out.accepted, serial.accepted);
+            assert_eq!(out.trace.len(), serial.trace.len());
+            for (a, b) in out.trace.iter().zip(&serial.trace) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -3,12 +3,14 @@
 //! recipes and the suite runner behind Table 2.
 
 use crate::bn_calib::recalibrate_batchnorm;
+use crate::calib_cache::CalibCache;
 use crate::calibrate::{CalibData, CalibrationHook, HistogramHook};
 use crate::config::{Approach, DataFormat, QuantConfig};
 use crate::quantizer::QuantizedModel;
 use ptq_fp8::Fp8Format;
 use ptq_metrics::{Domain, PassRateSummary, WorkloadResult};
 use ptq_models::Workload;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Result of quantizing one workload under one recipe.
@@ -38,7 +40,29 @@ pub fn calibrate_workload(workload: &Workload, cfg: &QuantConfig) -> CalibData {
 /// The paper's Figure-2 pipeline for one workload.
 pub fn quantize_workload(workload: &Workload, cfg: &QuantConfig) -> QuantOutcome {
     let calib = calibrate_workload(workload, cfg);
-    let mut model = QuantizedModel::build(workload.graph.clone(), &calib, cfg.clone());
+    quantize_workload_with(workload, cfg, &calib)
+}
+
+/// [`quantize_workload`] with calibration served from (and recorded into)
+/// a [`CalibCache`] — the entry point recipe sweeps and the tuner use so a
+/// workload is calibrated once, not once per recipe.
+pub fn quantize_workload_cached(
+    workload: &Workload,
+    cfg: &QuantConfig,
+    cache: &CalibCache,
+) -> QuantOutcome {
+    let calib = cache.get_or_calibrate(workload, cfg);
+    quantize_workload_with(workload, cfg, &calib)
+}
+
+/// The quantize → (BatchNorm-recalibrate) → evaluate tail of the pipeline,
+/// over already-collected calibration data.
+pub fn quantize_workload_with(
+    workload: &Workload,
+    cfg: &QuantConfig,
+    calib: &CalibData,
+) -> QuantOutcome {
+    let mut model = QuantizedModel::build(workload.graph.clone(), calib, cfg.clone());
     if cfg.bn_calibration && workload.has_batchnorm() {
         recalibrate_batchnorm(&mut model, &workload.calib);
     }
@@ -83,11 +107,11 @@ pub fn paper_recipe(format: DataFormat, approach: Approach, domain: Domain) -> Q
     // the *absolute* weight-rounding error of the columns that multiply
     // them, so migrating scale into those columns protects FP8 weights as
     // much as INT8 activations.
-    let base = match domain {
+
+    match domain {
         Domain::Nlp => base.with_smoothquant(0.5),
         Domain::Cv => base.with_bn_calibration(),
-    };
-    base
+    }
 }
 
 /// The paper's mixed-format recipe (E4M3 activations, E3M4 weights) for a
@@ -112,13 +136,27 @@ pub struct SuiteRow {
 }
 
 /// Evaluate a named recipe family over a zoo slice: for each workload the
-/// per-domain paper recipe is instantiated and run.
+/// per-domain paper recipe is instantiated and run. Workloads are
+/// processed in parallel; results keep zoo order, so output is identical
+/// to the serial sweep.
 pub fn run_suite(zoo: &[Workload], format: DataFormat, approach: Approach) -> SuiteRow {
+    run_suite_cached(zoo, format, approach, &CalibCache::new())
+}
+
+/// [`run_suite`] against a shared [`CalibCache`]: multi-row sweeps
+/// (Table 2, Figure 5) pass the same cache to every row so each workload
+/// is calibrated once for the whole table instead of once per row.
+pub fn run_suite_cached(
+    zoo: &[Workload],
+    format: DataFormat,
+    approach: Approach,
+    cache: &CalibCache,
+) -> SuiteRow {
     let results: Vec<WorkloadResult> = zoo
-        .iter()
+        .par_iter()
         .map(|w| {
             let cfg = paper_recipe(format, approach, w.spec.domain);
-            quantize_workload(w, &cfg).result
+            quantize_workload_cached(w, &cfg, cache).result
         })
         .collect();
     let label = match format {

@@ -80,6 +80,16 @@ impl Fp8Codec {
         &self.spec
     }
 
+    /// The configured overflow policy.
+    pub fn overflow(&self) -> OverflowPolicy {
+        self.overflow
+    }
+
+    /// The configured rounding mode.
+    pub fn rounding(&self) -> Rounding {
+        self.rounding
+    }
+
     /// Bit position of the sign bit (= `exp_bits + man_bits`).
     #[inline]
     fn sign_shift(&self) -> u32 {
@@ -112,7 +122,9 @@ impl Fp8Codec {
     pub fn max_code(&self) -> u8 {
         let m = self.spec.man_bits;
         match self.spec.nan_encoding {
-            NanEncoding::Ieee => (((self.spec.exp_all_ones() - 1) << m) | self.spec.man_mask()) as u8,
+            NanEncoding::Ieee => {
+                (((self.spec.exp_all_ones() - 1) << m) | self.spec.man_mask()) as u8
+            }
             NanEncoding::Extended => {
                 ((self.spec.exp_all_ones() << m) | (self.spec.man_mask() - 1)) as u8
             }
@@ -318,6 +330,7 @@ fn scale_by_pow2(a: f32, d: i32) -> f32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unusual_byte_groupings)] // literals grouped sign_exponent_mantissa
 mod tests {
     use super::*;
 
@@ -436,7 +449,7 @@ mod tests {
     fn subnormal_rounds_up_to_min_normal() {
         let c = codec(Fp8Format::E3M4);
         let s = c.spec().min_normal(); // 0.25
-        // Just below min normal, inside the subnormal grid's last step.
+                                       // Just below min normal, inside the subnormal grid's last step.
         let just_below = s - c.spec().min_subnormal() * 0.4;
         assert_eq!(c.quantize(just_below), s);
     }

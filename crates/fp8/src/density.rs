@@ -17,7 +17,7 @@
 /// Returns `None` for non-positive or non-finite `n` (the formula's
 /// `log2` is undefined there).
 pub fn density_at(man_bits: u32, n: f32) -> Option<f64> {
-    if !(n > 0.0) || !n.is_finite() {
+    if n.is_nan() || n <= 0.0 || n.is_infinite() {
         return None;
     }
     let floor_log2 = n.log2().floor() as i32;

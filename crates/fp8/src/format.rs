@@ -210,7 +210,11 @@ impl FpSpec {
 
 impl fmt::Display for FpSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "E{}M{}(bias={})", self.exp_bits, self.man_bits, self.bias)
+        write!(
+            f,
+            "E{}M{}(bias={})",
+            self.exp_bits, self.man_bits, self.bias
+        )
     }
 }
 

@@ -40,6 +40,7 @@ pub mod codec;
 pub mod density;
 pub mod format;
 pub mod int8;
+pub mod lut;
 pub mod quantize;
 pub mod storage;
 
@@ -47,8 +48,9 @@ pub use codec::{Fp8Codec, OverflowPolicy, Rounding};
 pub use density::{density_at, grid_points_in};
 pub use format::{Fp8Format, FpSpec, NanEncoding};
 pub use int8::{Int8Codec, Int8Granularity, Int8Mode};
-pub use storage::{StoredScales, StoredTensor};
+pub use lut::Fp8Lut;
 pub use quantize::{
-    fake_quant_fp8, fake_quant_fp8_per_channel, fake_quant_int8, fake_quant_int8_per_channel,
-    fp8_scale, FakeQuantStats, QuantizedTensorStats,
+    fake_quant_fp8, fake_quant_fp8_lut, fake_quant_fp8_per_channel, fake_quant_fp8_per_channel_lut,
+    fake_quant_int8, fake_quant_int8_per_channel, fp8_scale, FakeQuantStats, QuantizedTensorStats,
 };
+pub use storage::{StoredScales, StoredTensor};

@@ -1,0 +1,286 @@
+//! Table-driven FP8 fake quantization.
+//!
+//! The scalar [`Fp8Codec`](crate::Fp8Codec) round-trips every value through
+//! encode/decode: exponent extraction, subnormal rescaling, RNE rounding and
+//! overflow handling — a long dependent chain per element. But an 8-bit
+//! format only has ≤128 distinct non-negative representable magnitudes, so
+//! the whole quantization function of a *fixed* codec is a step function of
+//! the input's magnitude. This module precomputes that step function once:
+//!
+//! * a 256-entry **decode table** (`decode(code)` for every code), and
+//! * a monotone **breakpoint table**: for each representable magnitude, the
+//!   largest `f32` (as a raw bit pattern) that still rounds to it under the
+//!   codec's round-to-nearest-even rule.
+//!
+//! Quantizing is then a branchless 7-step lower-bound search over the
+//! padded 128-entry breakpoint table plus one table load — no exponent
+//! manipulation, no rounding, no overflow branches.
+//!
+//! Breakpoints are derived *empirically* from the scalar codec by binary
+//! search over the positive `f32` bit space (quantization is monotone in
+//! the magnitude bits), so the table is bit-identical to the scalar codec
+//! for **every** `f32` input by construction — rounding-boundary ties,
+//! subnormals, saturation and signed zero included. The scalar codec stays
+//! as the executable reference; the equivalence is enforced exhaustively in
+//! `tests/lut_equivalence.rs`.
+//!
+//! Tables are built lazily and cached per [`FpSpec`] for the lifetime of
+//! the process (they are a few hundred bytes each and there are only a
+//! handful of specs in use).
+//!
+//! The fast path only models the default policy pair (saturating overflow +
+//! round-to-nearest-even) — the one used everywhere in the paper's recipes.
+//! [`Fp8Lut::for_codec`] returns `None` for any other codec configuration,
+//! and callers fall back to the scalar path.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::codec::{Fp8Codec, OverflowPolicy, Rounding};
+use crate::format::FpSpec;
+
+/// Bit pattern of +Inf; the upper end of the positive magnitude bit space
+/// the breakpoint search runs over.
+const INF_BITS: u32 = 0x7F80_0000;
+
+/// Precomputed quantization tables for one codec configuration.
+///
+/// ```
+/// use ptq_fp8::{Fp8Codec, Fp8Format, Fp8Lut};
+/// let codec = Fp8Codec::new(Fp8Format::E4M3);
+/// let lut = Fp8Lut::for_codec(&codec).expect("default policies have a LUT");
+/// assert_eq!(lut.quantize(1.3), codec.quantize(1.3));
+/// assert_eq!(lut.quantize(1e9), 448.0); // saturates like the codec
+/// ```
+#[derive(Debug)]
+pub struct Fp8Lut {
+    spec: FpSpec,
+    /// `decode[code]` = the codec's decode of every possible byte.
+    decode: [f32; 256],
+    /// Quantized magnitude for breakpoint interval `i`; entries past the
+    /// last real interval repeat the max value so the search can never
+    /// index junk.
+    values: [f32; 128],
+    /// `upper_bits[i]` = largest positive-`f32` bit pattern that still
+    /// quantizes to `values[i]`; padded with `u32::MAX`.
+    upper_bits: [u32; 128],
+    /// Number of distinct non-negative representable magnitudes.
+    n: usize,
+}
+
+/// Process-wide table cache, keyed by spec (policies are fixed to the
+/// defaults by construction).
+static LUT_CACHE: OnceLock<Mutex<HashMap<FpSpec, &'static Fp8Lut>>> = OnceLock::new();
+
+impl Fp8Lut {
+    /// The cached table for `codec`, building it on first use.
+    ///
+    /// Returns `None` when the codec uses a non-default overflow or
+    /// rounding policy; such codecs must use the scalar path.
+    pub fn for_codec(codec: &Fp8Codec) -> Option<&'static Fp8Lut> {
+        if codec.overflow() != OverflowPolicy::Saturate || codec.rounding() != Rounding::NearestEven
+        {
+            return None;
+        }
+        Some(Self::for_spec(*codec.spec()))
+    }
+
+    /// The cached table for `spec` under the default policies, building it
+    /// on first use.
+    pub fn for_spec(spec: FpSpec) -> &'static Fp8Lut {
+        let cache = LUT_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("LUT cache poisoned");
+        if let Some(lut) = map.get(&spec) {
+            return lut;
+        }
+        let lut: &'static Fp8Lut = Box::leak(Box::new(Self::build(spec)));
+        map.insert(spec, lut);
+        lut
+    }
+
+    /// Derive the tables from the scalar codec.
+    fn build(spec: FpSpec) -> Fp8Lut {
+        let codec = Fp8Codec::from_spec(spec);
+        let grid = codec.enumerate_finite_positive();
+        let n = grid.len();
+        assert!(
+            (2..=128).contains(&n),
+            "8-bit format must have 2..=128 non-negative magnitudes, got {n}"
+        );
+
+        let mut decode = [0.0f32; 256];
+        for (code, slot) in decode.iter_mut().enumerate() {
+            *slot = codec.decode(code as u8);
+        }
+
+        let max_v = grid[n - 1].1;
+        let mut values = [max_v; 128];
+        for (i, &(_, v)) in grid.iter().enumerate() {
+            values[i] = v;
+        }
+
+        // Breakpoints: the codec's quantize is monotone non-decreasing in
+        // the positive magnitude bits, so the first bit pattern reaching
+        // grid value i+1 is found by binary search against the scalar
+        // reference; everything below it (and above the previous
+        // breakpoint) rounds to grid value i. This bakes the exact RNE
+        // tie behaviour into the table without re-deriving it.
+        let mut upper_bits = [u32::MAX; 128];
+        for i in 0..n - 1 {
+            let target = grid[i + 1].1.to_bits();
+            let (mut lo, mut hi) = (0u32, INF_BITS);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if codec.quantize(f32::from_bits(mid)).to_bits() >= target {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            debug_assert!(lo > 0, "breakpoint search degenerated");
+            upper_bits[i] = lo - 1;
+        }
+
+        Fp8Lut {
+            spec,
+            decode,
+            values,
+            upper_bits,
+            n,
+        }
+    }
+
+    /// The spec these tables were built for.
+    pub fn spec(&self) -> &FpSpec {
+        &self.spec
+    }
+
+    /// Number of distinct non-negative representable magnitudes.
+    pub fn grid_len(&self) -> usize {
+        self.n
+    }
+
+    /// Table-driven decode of a code byte (bit-identical to the scalar
+    /// codec's `decode`).
+    #[inline]
+    pub fn decode(&self, code: u8) -> f32 {
+        self.decode[code as usize]
+    }
+
+    /// Table-driven fake quantization: bit-identical to
+    /// `codec.quantize(x)` for every `f32` including NaN, ±Inf,
+    /// signed zero and RNE ties.
+    #[inline]
+    pub fn quantize(&self, x: f32) -> f32 {
+        if x.is_nan() {
+            // The scalar codec canonicalizes every NaN (sign included).
+            return f32::NAN;
+        }
+        let bits = x.to_bits();
+        let mag = bits & 0x7FFF_FFFF;
+        // Branchless lower bound over the padded power-of-two table: find
+        // the first interval whose upper breakpoint covers `mag`.
+        let mut pos = 0usize;
+        let mut half = 64usize;
+        while half > 0 {
+            pos += usize::from(self.upper_bits[pos + half - 1] < mag) * half;
+            half >>= 1;
+        }
+        let v = self.values[pos];
+        f32::from_bits(v.to_bits() | (bits & 0x8000_0000))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::Fp8Format;
+
+    #[test]
+    fn cache_returns_same_instance() {
+        let a = Fp8Lut::for_spec(Fp8Format::E4M3.spec());
+        let b = Fp8Lut::for_spec(Fp8Format::E4M3.spec());
+        assert!(std::ptr::eq(a, b));
+        let c = Fp8Lut::for_spec(Fp8Format::E5M2.spec());
+        assert!(!std::ptr::eq(a, c));
+    }
+
+    #[test]
+    fn non_default_policies_have_no_lut() {
+        let toward_zero = Fp8Codec::new(Fp8Format::E4M3).with_rounding(Rounding::TowardZero);
+        assert!(Fp8Lut::for_codec(&toward_zero).is_none());
+        let non_sat = Fp8Codec::new(Fp8Format::E5M2).with_overflow(OverflowPolicy::NonSaturating);
+        assert!(Fp8Lut::for_codec(&non_sat).is_none());
+        let default = Fp8Codec::new(Fp8Format::E3M4);
+        assert!(Fp8Lut::for_codec(&default).is_some());
+    }
+
+    #[test]
+    fn grid_len_matches_format() {
+        for f in Fp8Format::ALL {
+            let lut = Fp8Lut::for_spec(f.spec());
+            assert_eq!(lut.grid_len() as u32, f.spec().finite_magnitude_count());
+        }
+    }
+
+    #[test]
+    fn breakpoints_strictly_increase() {
+        for f in Fp8Format::ALL {
+            let lut = Fp8Lut::for_spec(f.spec());
+            for i in 1..lut.n - 1 {
+                assert!(
+                    lut.upper_bits[i - 1] < lut.upper_bits[i],
+                    "{f} breakpoint {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_matches_scalar_on_special_values() {
+        for f in Fp8Format::ALL {
+            let codec = Fp8Codec::new(f);
+            let lut = Fp8Lut::for_codec(&codec).unwrap();
+            for x in [
+                0.0f32,
+                -0.0,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                f32::MIN_POSITIVE,
+                -f32::MIN_POSITIVE,
+                f32::from_bits(1), // smallest positive subnormal f32
+                f32::MAX,
+                f32::MIN,
+                1.0,
+                -1.0,
+            ] {
+                assert_eq!(
+                    lut.quantize(x).to_bits(),
+                    codec.quantize(x).to_bits(),
+                    "{f} x={x:?}"
+                );
+            }
+            assert!(lut.quantize(f32::NAN).is_nan());
+            assert_eq!(
+                lut.quantize(f32::NAN).to_bits(),
+                codec.quantize(f32::NAN).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_table_matches_scalar() {
+        for f in Fp8Format::ALL {
+            let codec = Fp8Codec::new(f);
+            let lut = Fp8Lut::for_codec(&codec).unwrap();
+            for code in 0u16..=255 {
+                let a = lut.decode(code as u8);
+                let b = codec.decode(code as u8);
+                assert!(
+                    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                    "{f} code {code:#04x}"
+                );
+            }
+        }
+    }
+}

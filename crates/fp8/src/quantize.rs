@@ -16,6 +16,7 @@
 use crate::codec::Fp8Codec;
 use crate::format::Fp8Format;
 use crate::int8::{Int8Codec, Int8Mode};
+use crate::lut::Fp8Lut;
 use serde::{Deserialize, Serialize};
 
 /// Compute the paper's scale `s = float_max / max_T` for a tensor whose
@@ -91,6 +92,50 @@ pub fn fake_quant_fp8(data: &mut [f32], codec: &Fp8Codec, scale: f32) -> FakeQua
     }
 }
 
+/// Table-driven variant of [`fake_quant_fp8`]: same contract, same
+/// bit-identical results and statistics, but each element is quantized by
+/// the codec's cached [`Fp8Lut`] (a breakpoint search plus a table load)
+/// instead of the scalar encode/decode round trip.
+///
+/// Codecs with non-default overflow/rounding policies have no LUT and fall
+/// back to the scalar path transparently.
+pub fn fake_quant_fp8_lut(data: &mut [f32], codec: &Fp8Codec, scale: f32) -> FakeQuantStats {
+    let Some(lut) = Fp8Lut::for_codec(codec) else {
+        return fake_quant_fp8(data, codec, scale);
+    };
+    let max_v = codec.spec().max_value();
+    let sat_threshold = max_v + 0.5 * codec.spec().ulp_at(max_v);
+    let mut mse = 0.0f64;
+    let mut max_err = 0.0f32;
+    let mut saturated = 0usize;
+    let mut underflowed = 0usize;
+    for x in data.iter_mut() {
+        let orig = *x;
+        let scaled = orig * scale;
+        let q = lut.quantize(scaled);
+        if scaled.abs() > sat_threshold {
+            saturated += 1;
+        }
+        if q == 0.0 && orig != 0.0 {
+            underflowed += 1;
+        }
+        let deq = q / scale;
+        let e = orig - deq;
+        mse += (e as f64) * (e as f64);
+        max_err = max_err.max(e.abs());
+        *x = deq;
+    }
+    if !data.is_empty() {
+        mse /= data.len() as f64;
+    }
+    FakeQuantStats {
+        mse,
+        max_abs_err: max_err,
+        saturated,
+        underflowed,
+    }
+}
+
 /// Fake-quantize a 2-D-viewed tensor `[channels, inner]` with one scale per
 /// channel (paper §3.1: per-channel scaling for weights). `data.len()` must
 /// equal `channels * inner`.
@@ -122,6 +167,45 @@ pub fn fake_quant_fp8_per_channel(
         };
         scales.push(scale);
         let st = fake_quant_fp8(chunk, codec, scale);
+        sq += st.mse * inner as f64;
+        total.max_abs_err = total.max_abs_err.max(st.max_abs_err);
+        total.saturated += st.saturated;
+        total.underflowed += st.underflowed;
+    }
+    if !data.is_empty() {
+        total.mse = sq / data.len() as f64;
+    }
+    (scales, total)
+}
+
+/// Table-driven variant of [`fake_quant_fp8_per_channel`]: same contract,
+/// bit-identical scales, outputs and statistics, using the codec's cached
+/// [`Fp8Lut`] for the inner per-channel passes.
+///
+/// # Panics
+///
+/// Panics if `data.len() != channels * inner`.
+pub fn fake_quant_fp8_per_channel_lut(
+    data: &mut [f32],
+    codec: &Fp8Codec,
+    channels: usize,
+    inner: usize,
+) -> (Vec<f32>, FakeQuantStats) {
+    assert_eq!(data.len(), channels * inner, "shape mismatch");
+    let format = spec_format_max(codec);
+    let mut scales = Vec::with_capacity(channels);
+    let mut total = FakeQuantStats::default();
+    let mut sq = 0.0f64;
+    for c in 0..channels {
+        let chunk = &mut data[c * inner..(c + 1) * inner];
+        let absmax = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let scale = if absmax > 0.0 && absmax.is_finite() {
+            format / absmax
+        } else {
+            1.0
+        };
+        scales.push(scale);
+        let st = fake_quant_fp8_lut(chunk, codec, scale);
         sq += st.mse * inner as f64;
         total.max_abs_err = total.max_abs_err.max(st.max_abs_err);
         total.saturated += st.saturated;
@@ -326,7 +410,12 @@ mod tests {
 
         let mut per_chan = w.clone();
         let (_, st_c) = fake_quant_fp8_per_channel(&mut per_chan, &codec, 2, 64);
-        assert!(st_c.mse <= st_t.mse, "per-channel {} vs per-tensor {}", st_c.mse, st_t.mse);
+        assert!(
+            st_c.mse <= st_t.mse,
+            "per-channel {} vs per-tensor {}",
+            st_c.mse,
+            st_t.mse
+        );
     }
 
     #[test]

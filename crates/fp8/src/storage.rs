@@ -136,9 +136,7 @@ impl StoredTensor {
         // Divide by the scale (rather than multiplying by a precomputed
         // reciprocal) so results are bit-identical to fake quantization.
         match &self.scales {
-            StoredScales::PerTensor(s) => {
-                self.codes.iter().map(|&b| lut[b as usize] / s).collect()
-            }
+            StoredScales::PerTensor(s) => self.codes.iter().map(|&b| lut[b as usize] / s).collect(),
             StoredScales::PerChannel(scales) => {
                 let channels = scales.len();
                 let inner = self.codes.len() / channels.max(1);

@@ -158,7 +158,7 @@ impl PassRateSummary {
         let rate = |dom: Option<Domain>| -> Option<f64> {
             let sel: Vec<&WorkloadResult> = results
                 .iter()
-                .filter(|r| dom.map_or(true, |d| r.domain == d))
+                .filter(|r| dom.is_none_or(|d| r.domain == d))
                 .collect();
             if sel.is_empty() {
                 return None;

@@ -114,7 +114,7 @@ fn feature_moments_1d(features: &Tensor) -> (Vec<f32>, Vec<f32>) {
 /// The inverse is what a *trained* linear head effectively encodes: it
 /// decorrelates the feature space, so a single dominant (outlier-
 /// amplified) direction cannot drown the discriminative components.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::needless_range_loop)]
 fn covariance_inverse(features: &Tensor) -> (Vec<f32>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
     let (n, d) = (features.dim(0), features.dim(1));
     let mut mu = vec![0.0f32; d];
@@ -172,7 +172,10 @@ fn invert_spd(m: &[Vec<f64>]) -> Vec<Vec<f64>> {
         a.swap(col, piv);
         inv.swap(col, piv);
         let p = a[col][col];
-        assert!(p.abs() > 1e-12, "singular covariance despite regularization");
+        assert!(
+            p.abs() > 1e-12,
+            "singular covariance despite regularization"
+        );
         for j in 0..d {
             a[col][j] /= p;
             inv[col][j] /= p;
@@ -239,7 +242,13 @@ fn mahalanobis_anchor_row(
 ///
 /// Panics if the head is not a `Linear` with a bias, if `features` has
 /// fewer than `k` rows, or if the head width does not equal `k`.
-pub fn install_anchor_head(graph: &mut Graph, head: NodeId, features: &Tensor, k: usize, seed: u64) {
+pub fn install_anchor_head(
+    graph: &mut Graph,
+    head: NodeId,
+    features: &Tensor,
+    k: usize,
+    seed: u64,
+) {
     let (n, d) = (features.dim(0), features.dim(1));
     assert!(n >= k, "need at least {k} probe rows, got {n}");
     let (wid, bid) = head_params(graph, head);
@@ -320,7 +329,12 @@ pub fn install_regression_head(graph: &mut Graph, head: NodeId, features: &Tenso
 ///
 /// Panics on the same conditions as [`install_anchor_head`], or if any
 /// row index is out of bounds.
-pub fn install_anchor_head_rows(graph: &mut Graph, head: NodeId, features: &Tensor, rows: &[usize]) {
+pub fn install_anchor_head_rows(
+    graph: &mut Graph,
+    head: NodeId,
+    features: &Tensor,
+    rows: &[usize],
+) {
     let (n, d) = (features.dim(0), features.dim(1));
     let k = rows.len();
     let (wid, bid) = head_params(graph, head);
@@ -436,6 +450,7 @@ pub fn coadapt_convs(graph: &mut Graph, batches: &[Vec<Tensor>]) {
         mags: HashMap<NodeId, Vec<f32>>,
     }
     impl ExecHook for Cap {
+        #[allow(clippy::needless_range_loop)]
         fn before_node(&mut self, node: &Node, inputs: &mut [Tensor]) {
             if node.op.class() != OpClass::Conv2d {
                 return;
@@ -545,7 +560,10 @@ mod tests {
         }
         // Every class is used, and no class swallows almost everything.
         assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
-        assert!(*counts.iter().max().unwrap() < preds.len() * 3 / 4, "{counts:?}");
+        assert!(
+            *counts.iter().max().unwrap() < preds.len() * 3 / 4,
+            "{counts:?}"
+        );
     }
 
     #[test]

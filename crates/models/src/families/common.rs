@@ -276,7 +276,11 @@ pub fn self_attention(
     let vh = b.permute(vh, &[1, 0, 2]);
     let scores = b.batch_matmul(qh, kh); // [heads, seq, seq]
     let scores = b.scale(scores, 1.0 / (dh as f32).sqrt());
-    let scores = if causal { b.causal_mask(scores) } else { scores };
+    let scores = if causal {
+        b.causal_mask(scores)
+    } else {
+        scores
+    };
     let probs = b.softmax(scores);
     let ctx = b.batch_matmul(probs, vh); // [heads, seq, dh]
     let ctx = b.permute(ctx, &[1, 0, 2]);
@@ -365,13 +369,7 @@ pub fn embed_tokens(
 /// (the NLP eval perturbation).
 pub fn perturb_tokens(ids: &[usize], vocab: usize, p: f32, rng: &mut TensorRng) -> Vec<usize> {
     ids.iter()
-        .map(|&t| {
-            if rng.unit() < p {
-                rng.below(vocab)
-            } else {
-                t
-            }
-        })
+        .map(|&t| if rng.unit() < p { rng.below(vocab) } else { t })
         .collect()
 }
 

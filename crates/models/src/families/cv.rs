@@ -51,8 +51,12 @@ pub fn cv_classification(name: &str, family: &str, mut graph: Graph, cfg: &CvCon
         prototypes[c].add(&noise)
     };
     let batch_of = |items: &[Tensor]| -> Tensor {
-        Tensor::concat0(&items.iter().collect::<Vec<_>>())
-            .reshape(&[items.len(), cfg.in_ch, cfg.img, cfg.img])
+        Tensor::concat0(&items.iter().collect::<Vec<_>>()).reshape(&[
+            items.len(),
+            cfg.in_ch,
+            cfg.img,
+            cfg.img,
+        ])
     };
 
     // Training-distribution pool for BN statistics and calibration data:
@@ -325,7 +329,7 @@ pub fn vit_like(cfg: &CvConfig, nlp_outlier_gain: f32) -> Workload {
         vocab: 0,
         seq,
         d,
-        heads: if d % 4 == 0 { 4 } else { 2 },
+        heads: if d.is_multiple_of(4) { 4 } else { 2 },
         layers: cfg.depth,
         ffn_mult: 2,
         seed: cfg.seed,
@@ -456,7 +460,7 @@ pub fn unet_like(cfg: &CvConfig) -> Workload {
     crate::anchor::coadapt_convs(&mut graph, &init_batches[..2.min(init_batches.len())]);
     crate::anchor::initialize_bn_stats(&mut graph, &init_batches, 2);
     let clean = rng.normal(&[n, cfg.in_ch, cfg.img, cfg.img], 0.0, 1.0);
-    let ref_out = graph.infer(&[clean.clone()]);
+    let ref_out = graph.infer(std::slice::from_ref(&clean));
     let labels = pixel_labels(&ref_out[0]);
     let noise = rng.normal(clean.shape(), 0.0, EVAL_NOISE);
     let eval = vec![vec![clean.add(&noise)]];
@@ -517,7 +521,7 @@ pub fn detector_like(cfg: &CvConfig) -> Workload {
     crate::anchor::coadapt_convs(&mut graph, &init_batches[..2.min(init_batches.len())]);
     crate::anchor::initialize_bn_stats(&mut graph, &init_batches, 2);
     let clean = rng.normal(&[n, cfg.in_ch, cfg.img, cfg.img], 0.0, 1.0);
-    let labels = pixel_labels(&graph.infer(&[clean.clone()])[0]);
+    let labels = pixel_labels(&graph.infer(std::slice::from_ref(&clean))[0]);
     let noise = rng.normal(clean.shape(), 0.0, EVAL_NOISE);
     let eval = vec![vec![clean.add(&noise)]];
     let calib = source.sample(32, Transform::Train, cfg.seed ^ 0xCA11B);
@@ -537,12 +541,7 @@ pub fn detector_like(cfg: &CvConfig) -> Workload {
 
 /// Per-pixel argmax labels from a `[n, classes, h, w]` logit tensor.
 fn pixel_labels(logits: &Tensor) -> Vec<usize> {
-    let (n, c, h, w) = (
-        logits.dim(0),
-        logits.dim(1),
-        logits.dim(2),
-        logits.dim(3),
-    );
+    let (n, c, h, w) = (logits.dim(0), logits.dim(1), logits.dim(2), logits.dim(3));
     let mut labels = Vec::with_capacity(n * h * w);
     for ni in 0..n {
         for y in 0..h {

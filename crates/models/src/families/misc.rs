@@ -93,11 +93,17 @@ pub fn dlrm_like(fields: usize, dim: usize, hidden: usize, seed: u64) -> Workloa
 /// Speech-style: 1-D conv frontend (expressed as `[1, 1, 1, T]` conv with
 /// `1×k` kernels) followed by a linear classifier over pooled features
 /// (the wav2vec/HuBERT analogue, scored as utterance classification).
-pub fn speech_like(t_len: usize, width: usize, depth: usize, classes: usize, seed: u64) -> Workload {
+pub fn speech_like(
+    t_len: usize,
+    width: usize,
+    depth: usize,
+    classes: usize,
+    seed: u64,
+) -> Workload {
     let mut rng = TensorRng::seed(seed);
     let mut b = GraphBuilder::new();
     let x = b.input(); // [1, 1, 1, T]
-    // Frontend: stride-2 1xk convs halve the time axis each block.
+                       // Frontend: stride-2 1xk convs halve the time axis each block.
     let mut cur = x;
     let mut cin = 1;
     let mut t = t_len;
@@ -155,9 +161,9 @@ pub fn generator_like(z: usize, width: usize, seed: u64) -> Workload {
     let h = b.reshape(h, &[batch, width, 4, 4]);
     let h = b.relu(h);
     let h = b.upsample2x(h); // [batch, width, 8, 8]
-    // Diffusion U-Nets carry wide activation tails (GroupNorm + SiLU);
-    // one amplified channel per conv gives the same per-tensor-grid
-    // stretch that hurts INT8 image quality in the paper's Figure 6.
+                             // Diffusion U-Nets carry wide activation tails (GroupNorm + SiLU);
+                             // one amplified channel per conv gives the same per-tensor-grid
+                             // stretch that hurts INT8 image quality in the paper's Figure 6.
     let mut w1t = rng.kaiming(&[width, width, 3, 3]);
     amplify_rows(&mut w1t, 0, 40.0);
     let w1 = b.param(w1t);
@@ -212,25 +218,30 @@ pub fn wav2vec_like(t_len: usize, cfg: &NlpConfig, seed: u64) -> Workload {
     let mut rng = TensorRng::seed(seed);
     let mut b = GraphBuilder::new();
     let x = b.input(); // [1, 1, 1, T]
-    // Conv frontend to cfg.seq frames of cfg.d dims.
+                       // Conv frontend to cfg.seq frames of cfg.d dims.
     let w0 = b.param(rng.kaiming(&[cfg.d, 1, 1, 5]));
     let stride = t_len / cfg.seq;
     assert!(stride >= 1, "waveform too short");
-    let h = b.conv2d(
-        x,
-        w0,
-        None,
-        Conv2dParams { stride, padding: 0 },
-    ); // [1, d, 1, frames]
+    let h = b.conv2d(x, w0, None, Conv2dParams { stride, padding: 0 }); // [1, d, 1, frames]
     let frames = (t_len - 5) / stride + 1;
     assert!(frames >= cfg.seq, "frontend produces too few frames");
     let h = b.reshape(h, &[cfg.d, frames]);
     let h = b.permute(h, &[1, 0]); // [frames, d]
-    // Trim to seq frames via reshape-select: take the first seq rows by
-    // reshaping is not possible; instead require frames == seq.
+                                   // Trim to seq frames via reshape-select: take the first seq rows by
+                                   // reshaping is not possible; instead require frames == seq.
     let mut cur = h;
     for l in 0..cfg.layers {
-        cur = transformer_block(&mut b, &mut rng, cur, &NlpConfig { seq: frames, ..*cfg }, l, false);
+        cur = transformer_block(
+            &mut b,
+            &mut rng,
+            cur,
+            &NlpConfig {
+                seq: frames,
+                ..*cfg
+            },
+            l,
+            false,
+        );
     }
     let pooled = b.mean_rows(cur);
     let classes = 8;
@@ -408,7 +419,11 @@ mod tests {
     #[test]
     fn generator_fp32_is_perfect() {
         let w = generator_like(8, 8, 3);
-        assert!((w.fp32_score - 1.0).abs() < 1e-9, "fid score {}", w.fp32_score);
+        assert!(
+            (w.fp32_score - 1.0).abs() < 1e-9,
+            "fid score {}",
+            w.fp32_score
+        );
     }
 
     #[test]

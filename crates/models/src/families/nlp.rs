@@ -135,12 +135,23 @@ pub fn encoder_workload(family: &str, task: &str, cfg: &NlpConfig, head: Head) -
             // Targets: FP32 outputs on clean sequences; eval on perturbed.
             let targets: Vec<f32> = eval_ids
                 .iter()
-                .map(|ids| graph.infer(&[ids_tensor(ids)]).pop().expect("one output").data()[0])
+                .map(|ids| {
+                    graph
+                        .infer(&[ids_tensor(ids)])
+                        .pop()
+                        .expect("one output")
+                        .data()[0]
+                })
                 .collect();
             let eval: Vec<Vec<Tensor>> = eval_ids
                 .iter()
                 .map(|ids| {
-                    vec![ids_tensor(&perturb_tokens(ids, cfg.vocab, TOKEN_NOISE, &mut rng))]
+                    vec![ids_tensor(&perturb_tokens(
+                        ids,
+                        cfg.vocab,
+                        TOKEN_NOISE,
+                        &mut rng,
+                    ))]
                 })
                 .collect();
             let calib: Vec<Vec<Tensor>> =

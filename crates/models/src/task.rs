@@ -1,7 +1,9 @@
 //! Task definitions: metrics over graph outputs, calibration-data sources
 //! and the augmentation transforms used by the BatchNorm-calibration study.
 
-use ptq_metrics::{accuracy, f1_binary, feature_moments, frechet_distance, matthews_corr, pearson, FeatureMoments};
+use ptq_metrics::{
+    accuracy, f1_binary, feature_moments, frechet_distance, matthews_corr, pearson, FeatureMoments,
+};
 use ptq_tensor::{Tensor, TensorRng};
 
 /// How to score a workload's eval outputs (one output tensor per eval
@@ -228,7 +230,11 @@ pub fn augment(img: &Tensor, rng: &mut TensorRng, noise: f32) -> Tensor {
                 if sy < 0 || sy >= h as isize || sx < 0 || sx >= w as isize {
                     continue;
                 }
-                let sx = if flip { w - 1 - sx as usize } else { sx as usize };
+                let sx = if flip {
+                    w - 1 - sx as usize
+                } else {
+                    sx as usize
+                };
                 *out.at_mut(&[ci, y, x]) = img.at(&[ci, sy as usize, sx]);
             }
         }
@@ -249,18 +255,13 @@ mod tests {
         let m = Metric::Top1 {
             labels: vec![1, 0, 2],
         };
-        let o = Tensor::from_vec(
-            vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0],
-            &[3, 3],
-        );
+        let o = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
         assert_eq!(m.score(&[o]), 1.0);
     }
 
     #[test]
     fn top1_across_batches() {
-        let m = Metric::Top1 {
-            labels: vec![0, 1],
-        };
+        let m = Metric::Top1 { labels: vec![0, 1] };
         let a = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
         let b = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
         assert_eq!(m.score(&[a, b]), 0.5);

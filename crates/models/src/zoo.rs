@@ -16,7 +16,6 @@ use crate::families::common::{CvConfig, Head, NlpConfig};
 use crate::families::{cv, misc, nlp};
 use crate::workload::Workload;
 
-
 /// Which slice of the zoo to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ZooFilter {
@@ -73,6 +72,7 @@ fn cvc(width: usize, depth: usize, img: usize, seed: u64, hostility: f32) -> CvC
 }
 
 /// The 35 CV workloads.
+#[allow(clippy::vec_init_then_push)]
 fn cv_zoo() -> Vec<Workload> {
     let mut v = Vec::new();
     // Plain VGG-style stacks (benign; precision-bound).
@@ -158,47 +158,174 @@ fn with_sigma(mut cfg: NlpConfig, gamma_sigma: f32) -> NlpConfig {
 /// moderate-to-high-gain models breaks per-tensor INT8 even with
 /// SmoothQuant, and a few heavy-tail (σ ≥ 1.5) members exceed E3M4's
 /// dynamic-range window while staying inside E4M3's.
+#[allow(clippy::vec_init_then_push)]
 fn nlp_zoo() -> Vec<Workload> {
     let mut v = Vec::new();
     // BERT-style encoders on GLUE-style tasks.
-    v.push(nlp::encoder_workload("bert_like", "sst2_syn", &nlpc(64, 1, 12, 201, 10.0, 1), Head::Classes(6)));
-    v.push(nlp::encoder_workload("bert_like", "sst2_syn", &with_sigma(nlpc(64, 2, 16, 202, 25.0, 1), 1.4), Head::Classes(6)));
-    v.push(nlp::encoder_workload("bert_like", "sst2_syn", &with_sigma(nlpc(96, 2, 16, 203, 900.0, 2), 0.8), Head::Classes(6)));
-    v.push(nlp::encoder_workload("bert_like", "mrpc_syn", &nlpc(64, 1, 12, 204, 12.0, 1), Head::Binary));
-    v.push(nlp::encoder_workload("bert_like", "mrpc_syn", &nlpc(64, 2, 16, 205, 500.0, 1), Head::Binary));
-    v.push(nlp::encoder_workload("bert_like", "mrpc_syn", &with_sigma(nlpc(96, 2, 16, 206, 1500.0, 2), 0.8), Head::Binary));
-    v.push(nlp::encoder_workload("bert_like", "cola_syn", &nlpc(64, 2, 12, 207, 15.0, 1), Head::Binary));
-    v.push(nlp::encoder_workload("bert_like", "cola_syn", &with_sigma(nlpc(96, 2, 16, 208, 800.0, 1), 0.6), Head::Binary));
-    v.push(nlp::encoder_workload("bert_like", "stsb_syn", &nlpc(64, 1, 12, 209, 10.0, 1), Head::Regression));
-    v.push(nlp::encoder_workload("bert_like", "stsb_syn", &nlpc(64, 2, 16, 210, 600.0, 1), Head::Regression));
+    v.push(nlp::encoder_workload(
+        "bert_like",
+        "sst2_syn",
+        &nlpc(64, 1, 12, 201, 10.0, 1),
+        Head::Classes(6),
+    ));
+    v.push(nlp::encoder_workload(
+        "bert_like",
+        "sst2_syn",
+        &with_sigma(nlpc(64, 2, 16, 202, 25.0, 1), 1.4),
+        Head::Classes(6),
+    ));
+    v.push(nlp::encoder_workload(
+        "bert_like",
+        "sst2_syn",
+        &with_sigma(nlpc(96, 2, 16, 203, 900.0, 2), 0.8),
+        Head::Classes(6),
+    ));
+    v.push(nlp::encoder_workload(
+        "bert_like",
+        "mrpc_syn",
+        &nlpc(64, 1, 12, 204, 12.0, 1),
+        Head::Binary,
+    ));
+    v.push(nlp::encoder_workload(
+        "bert_like",
+        "mrpc_syn",
+        &nlpc(64, 2, 16, 205, 500.0, 1),
+        Head::Binary,
+    ));
+    v.push(nlp::encoder_workload(
+        "bert_like",
+        "mrpc_syn",
+        &with_sigma(nlpc(96, 2, 16, 206, 1500.0, 2), 0.8),
+        Head::Binary,
+    ));
+    v.push(nlp::encoder_workload(
+        "bert_like",
+        "cola_syn",
+        &nlpc(64, 2, 12, 207, 15.0, 1),
+        Head::Binary,
+    ));
+    v.push(nlp::encoder_workload(
+        "bert_like",
+        "cola_syn",
+        &with_sigma(nlpc(96, 2, 16, 208, 800.0, 1), 0.6),
+        Head::Binary,
+    ));
+    v.push(nlp::encoder_workload(
+        "bert_like",
+        "stsb_syn",
+        &nlpc(64, 1, 12, 209, 10.0, 1),
+        Head::Regression,
+    ));
+    v.push(nlp::encoder_workload(
+        "bert_like",
+        "stsb_syn",
+        &nlpc(64, 2, 16, 210, 600.0, 1),
+        Head::Regression,
+    ));
     // DistilBERT-style (shallower).
-    v.push(nlp::encoder_workload("distilbert_like", "sst2_syn", &nlpc(64, 1, 16, 211, 15.0, 1), Head::Classes(6)));
-    v.push(nlp::encoder_workload("distilbert_like", "mrpc_syn", &nlpc(64, 1, 16, 212, 450.0, 1), Head::Binary));
+    v.push(nlp::encoder_workload(
+        "distilbert_like",
+        "sst2_syn",
+        &nlpc(64, 1, 16, 211, 15.0, 1),
+        Head::Classes(6),
+    ));
+    v.push(nlp::encoder_workload(
+        "distilbert_like",
+        "mrpc_syn",
+        &nlpc(64, 1, 16, 212, 450.0, 1),
+        Head::Binary,
+    ));
     // Longformer-style (longer sequences).
-    v.push(nlp::encoder_workload("longformer_like", "mrpc_syn", &nlpc(64, 1, 32, 213, 30.0, 1), Head::Binary));
-    v.push(nlp::encoder_workload("longformer_like", "sst2_syn", &with_sigma(nlpc(96, 2, 32, 214, 2000.0, 1), 0.8), Head::Classes(6)));
+    v.push(nlp::encoder_workload(
+        "longformer_like",
+        "mrpc_syn",
+        &nlpc(64, 1, 32, 213, 30.0, 1),
+        Head::Binary,
+    ));
+    v.push(nlp::encoder_workload(
+        "longformer_like",
+        "sst2_syn",
+        &with_sigma(nlpc(96, 2, 32, 214, 2000.0, 1), 0.8),
+        Head::Classes(6),
+    ));
     // Funnel-style — heavy-tail members (the Table-5 E3M4 collapse case).
-    v.push(nlp::encoder_workload("funnel_like", "mrpc_syn", &with_sigma(nlpc(96, 2, 16, 215, 300.0, 1), 1.6), Head::Binary));
-    v.push(nlp::encoder_workload("funnel_like", "sst2_syn", &nlpc(64, 1, 12, 216, 20.0, 1), Head::Classes(6)));
+    v.push(nlp::encoder_workload(
+        "funnel_like",
+        "mrpc_syn",
+        &with_sigma(nlpc(96, 2, 16, 215, 300.0, 1), 1.6),
+        Head::Binary,
+    ));
+    v.push(nlp::encoder_workload(
+        "funnel_like",
+        "sst2_syn",
+        &nlpc(64, 1, 12, 216, 20.0, 1),
+        Head::Classes(6),
+    ));
     // XLM-R-style.
-    v.push(nlp::encoder_workload("xlmr_like", "mrpc_syn", &with_sigma(nlpc(64, 2, 16, 217, 700.0, 1), 1.5), Head::Binary));
-    v.push(nlp::encoder_workload("xlmr_like", "stsb_syn", &nlpc(64, 1, 12, 218, 18.0, 1), Head::Regression));
+    v.push(nlp::encoder_workload(
+        "xlmr_like",
+        "mrpc_syn",
+        &with_sigma(nlpc(64, 2, 16, 217, 700.0, 1), 1.5),
+        Head::Binary,
+    ));
+    v.push(nlp::encoder_workload(
+        "xlmr_like",
+        "stsb_syn",
+        &nlpc(64, 1, 12, 218, 18.0, 1),
+        Head::Regression,
+    ));
     // GPT-style decoders (LAMBADA-style task); gains up to LLM-extreme.
-    v.push(nlp::decoder_workload("gpt_like", &nlpc(64, 1, 12, 221, 15.0, 1)));
-    v.push(nlp::decoder_workload("gpt_like", &nlpc(64, 2, 16, 222, 800.0, 1)));
-    v.push(nlp::decoder_workload("gpt_like", &with_sigma(nlpc(64, 2, 16, 223, 1200.0, 2), 0.8)));
-    v.push(nlp::decoder_workload("gpt_like", &nlpc(64, 1, 16, 224, 8.0, 1)));
-    v.push(nlp::decoder_workload("gpt_like", &with_sigma(nlpc(96, 2, 16, 225, 2500.0, 1), 1.0)));
+    v.push(nlp::decoder_workload(
+        "gpt_like",
+        &nlpc(64, 1, 12, 221, 15.0, 1),
+    ));
+    v.push(nlp::decoder_workload(
+        "gpt_like",
+        &nlpc(64, 2, 16, 222, 800.0, 1),
+    ));
+    v.push(nlp::decoder_workload(
+        "gpt_like",
+        &with_sigma(nlpc(64, 2, 16, 223, 1200.0, 2), 0.8),
+    ));
+    v.push(nlp::decoder_workload(
+        "gpt_like",
+        &nlpc(64, 1, 16, 224, 8.0, 1),
+    ));
+    v.push(nlp::decoder_workload(
+        "gpt_like",
+        &with_sigma(nlpc(96, 2, 16, 225, 2500.0, 1), 1.0),
+    ));
     // Bloom-style (extreme outliers — the LLM regime).
-    v.push(nlp::decoder_workload("bloom_like", &with_sigma(nlpc(64, 2, 16, 231, 2000.0, 1), 0.8)));
-    v.push(nlp::decoder_workload("bloom_like", &with_sigma(nlpc(96, 2, 16, 232, 4000.0, 1), 1.6)));
-    v.push(nlp::decoder_workload("bloom_like", &with_sigma(nlpc(96, 2, 16, 233, 800.0, 2), 0.6)));
+    v.push(nlp::decoder_workload(
+        "bloom_like",
+        &with_sigma(nlpc(64, 2, 16, 231, 2000.0, 1), 0.8),
+    ));
+    v.push(nlp::decoder_workload(
+        "bloom_like",
+        &with_sigma(nlpc(96, 2, 16, 232, 4000.0, 1), 1.6),
+    ));
+    v.push(nlp::decoder_workload(
+        "bloom_like",
+        &with_sigma(nlpc(96, 2, 16, 233, 800.0, 2), 0.6),
+    ));
     // LLaMA-style.
-    v.push(nlp::decoder_workload("llama_like", &with_sigma(nlpc(96, 2, 16, 241, 600.0, 1), 0.8)));
-    v.push(nlp::decoder_workload("llama_like", &with_sigma(nlpc(96, 3, 16, 242, 3000.0, 1), 1.7)));
+    v.push(nlp::decoder_workload(
+        "llama_like",
+        &with_sigma(nlpc(96, 2, 16, 241, 600.0, 1), 0.8),
+    ));
+    v.push(nlp::decoder_workload(
+        "llama_like",
+        &with_sigma(nlpc(96, 3, 16, 242, 3000.0, 1), 1.7),
+    ));
     // DialoGPT / Pegasus-style.
-    v.push(nlp::decoder_workload("dialogpt_like", &with_sigma(nlpc(64, 2, 16, 251, 900.0, 1), 1.4)));
-    v.push(nlp::decoder_workload("pegasus_like", &with_sigma(nlpc(64, 2, 16, 252, 80.0, 1), 1.5)));
+    v.push(nlp::decoder_workload(
+        "dialogpt_like",
+        &with_sigma(nlpc(64, 2, 16, 251, 900.0, 1), 1.4),
+    ));
+    v.push(nlp::decoder_workload(
+        "pegasus_like",
+        &with_sigma(nlpc(64, 2, 16, 252, 80.0, 1), 1.5),
+    ));
     // Marian-style translators.
     v.push(misc::translator_like(&nlpc(64, 1, 12, 261, 25.0, 1)));
     v.push(misc::translator_like(&nlpc(64, 1, 12, 262, 500.0, 1)));
@@ -249,16 +376,13 @@ mod tests {
         let zoo = build_zoo(ZooFilter::Quick);
         assert_eq!(zoo.len(), 8);
         for w in &zoo {
-            assert!(
-                w.fp32_score > 0.2,
-                "{} fp32 {}",
-                w.spec.name,
-                w.fp32_score
-            );
+            assert!(w.fp32_score > 0.2, "{} fp32 {}", w.spec.name, w.fp32_score);
         }
         // Both domains present.
         assert!(zoo.iter().any(|w| w.spec.domain == ptq_metrics::Domain::Cv));
-        assert!(zoo.iter().any(|w| w.spec.domain == ptq_metrics::Domain::Nlp));
+        assert!(zoo
+            .iter()
+            .any(|w| w.spec.domain == ptq_metrics::Domain::Nlp));
     }
 
     #[test]
@@ -270,7 +394,10 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 75, "workload names must be unique");
-        let cv_n = zoo.iter().filter(|w| w.spec.domain == ptq_metrics::Domain::Cv).count();
+        let cv_n = zoo
+            .iter()
+            .filter(|w| w.spec.domain == ptq_metrics::Domain::Cv)
+            .count();
         assert_eq!(cv_n, 35);
         for w in &zoo {
             assert!(

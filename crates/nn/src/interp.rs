@@ -28,7 +28,12 @@ pub trait ExecHook {
     /// Called when a node fetches a parameter tensor. Return `Some` to
     /// substitute (e.g. a fake-quantized weight); `None` uses the bound
     /// parameter unchanged.
-    fn weight(&mut self, _node: &Node, _value: crate::graph::ValueId, _w: &Tensor) -> Option<Tensor> {
+    fn weight(
+        &mut self,
+        _node: &Node,
+        _value: crate::graph::ValueId,
+        _w: &Tensor,
+    ) -> Option<Tensor> {
         None
     }
 }
@@ -256,7 +261,7 @@ mod tests {
     fn deterministic_inference() {
         let g = tiny_cnn();
         let x = TensorRng::seed(1).normal(&[1, 3, 8, 8], 0.0, 1.0);
-        assert_eq!(g.infer(&[x.clone()]), g.infer(&[x]));
+        assert_eq!(g.infer(std::slice::from_ref(&x)), g.infer(&[x]));
     }
 
     #[test]
@@ -333,7 +338,7 @@ mod tests {
         let y = b.linear(x, w, None);
         let g = b.finish(vec![y]);
         let input = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
-        let base = g.infer(&[input.clone()]);
+        let base = g.infer(std::slice::from_ref(&input));
         let doubled = g.run(&[input], &mut Doubler);
         assert_eq!(doubled[0].data()[0], 2.0 * base[0].data()[0]);
     }
@@ -342,10 +347,7 @@ mod tests {
     fn embedding_graph_roundtrip() {
         let mut b = GraphBuilder::new();
         let ids = b.input();
-        let table = b.param(Tensor::from_vec(
-            vec![0., 0., 1., 1., 2., 2.],
-            &[3, 2],
-        ));
+        let table = b.param(Tensor::from_vec(vec![0., 0., 1., 1., 2., 2.], &[3, 2]));
         let e = b.embedding(ids, table);
         let g = b.finish(vec![e]);
         let out = g.infer(&[Tensor::from_slice(&[2.0, 0.0])]);

@@ -38,7 +38,7 @@ proptest! {
     ) {
         let g = mlp(&widths, &acts, seed);
         let x = TensorRng::seed(seed ^ 1).normal(&[rows, widths[0]], 0.0, 1.0);
-        let y1 = g.infer(&[x.clone()]);
+        let y1 = g.infer(std::slice::from_ref(&x));
         let y2 = g.infer(&[x]);
         prop_assert_eq!(&y1, &y2);
         prop_assert_eq!(y1[0].shape(), &[rows, *widths.last().expect("nonempty")]);
@@ -82,7 +82,7 @@ proptest! {
         }
         let g = mlp(&widths, &[3], seed);
         let x = TensorRng::seed(seed ^ 2).normal(&[2, widths[0]], 0.0, 1.0);
-        let base = g.run(&[x.clone()], &mut NoopHook);
+        let base = g.run(std::slice::from_ref(&x), &mut NoopHook);
         let subst = g.run(&[x], &mut Identity);
         prop_assert_eq!(base, subst);
     }
@@ -108,7 +108,7 @@ proptest! {
         let y = b.linear(x, w, None);
         let g = b.finish(vec![y]);
         let input = TensorRng::seed(seed ^ 3).normal(&[1, w_in], 0.0, 1.0);
-        let base = g.run(&[input.clone()], &mut NoopHook);
+        let base = g.run(std::slice::from_ref(&input), &mut NoopHook);
         let scaled = g.run(&[input], &mut Scale(k));
         for (a, b) in base[0].data().iter().zip(scaled[0].data()) {
             prop_assert!((a * k - b).abs() <= 1e-4 * (a.abs() * k + 1.0));

@@ -44,7 +44,12 @@ impl Conv2dParams {
 /// Panics on rank or channel mismatches, or if the kernel does not fit the
 /// padded input.
 pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: Conv2dParams) -> Tensor {
-    assert_eq!(x.ndim(), 4, "conv2d input must be NCHW, got {:?}", x.shape());
+    assert_eq!(
+        x.ndim(),
+        4,
+        "conv2d input must be NCHW, got {:?}",
+        x.shape()
+    );
     assert_eq!(weight.ndim(), 4, "conv2d weight must be [Cout,Cin,Kh,Kw]");
     let (n, cin, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let (cout, cin2, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
@@ -62,39 +67,41 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: Conv2dParam
     let pad = p.padding as isize;
     let stride = p.stride;
 
-    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane, oplane)| {
-        let ni = plane / cout;
-        let co = plane % cout;
-        let b0 = bias.map(|b| b.data()[co]).unwrap_or(0.0);
-        let wbase = co * cin * kh * kw;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = b0;
-                let iy0 = (oy * stride) as isize - pad;
-                let ix0 = (ox * stride) as isize - pad;
-                for ci in 0..cin {
-                    let xbase = (ni * cin + ci) * h * w;
-                    let wcbase = wbase + ci * kh * kw;
-                    for ky in 0..kh {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let xrow = xbase + iy as usize * w;
-                        let wrow = wcbase + ky * kw;
-                        for kx in 0..kw {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
+    out.par_chunks_mut(oh * ow)
+        .enumerate()
+        .for_each(|(plane, oplane)| {
+            let ni = plane / cout;
+            let co = plane % cout;
+            let b0 = bias.map(|b| b.data()[co]).unwrap_or(0.0);
+            let wbase = co * cin * kh * kw;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b0;
+                    let iy0 = (oy * stride) as isize - pad;
+                    let ix0 = (ox * stride) as isize - pad;
+                    for ci in 0..cin {
+                        let xbase = (ni * cin + ci) * h * w;
+                        let wcbase = wbase + ci * kh * kw;
+                        for ky in 0..kh {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            acc += xd[xrow + ix as usize] * wd[wrow + kx];
+                            let xrow = xbase + iy as usize * w;
+                            let wrow = wcbase + ky * kw;
+                            for kx in 0..kw {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += xd[xrow + ix as usize] * wd[wrow + kx];
+                            }
                         }
                     }
+                    oplane[oy * ow + ox] = acc;
                 }
-                oplane[oy * ow + ox] = acc;
             }
-        }
-    });
+        });
     Tensor::from_vec(out, &[n, cout, oh, ow])
 }
 
@@ -126,34 +133,37 @@ pub fn depthwise_conv2d(
     let mut out = vec![0.0f32; n * c * oh * ow];
     let pad = p.padding as isize;
 
-    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane, oplane)| {
-        let ni = plane / c;
-        let ci = plane % c;
-        let b0 = bias.map(|b| b.data()[ci]).unwrap_or(0.0);
-        let xbase = (ni * c + ci) * h * w;
-        let wbase = ci * kh * kw;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = b0;
-                let iy0 = (oy * p.stride) as isize - pad;
-                let ix0 = (ox * p.stride) as isize - pad;
-                for ky in 0..kh {
-                    let iy = iy0 + ky as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for kx in 0..kw {
-                        let ix = ix0 + kx as isize;
-                        if ix < 0 || ix >= w as isize {
+    out.par_chunks_mut(oh * ow)
+        .enumerate()
+        .for_each(|(plane, oplane)| {
+            let ni = plane / c;
+            let ci = plane % c;
+            let b0 = bias.map(|b| b.data()[ci]).unwrap_or(0.0);
+            let xbase = (ni * c + ci) * h * w;
+            let wbase = ci * kh * kw;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b0;
+                    let iy0 = (oy * p.stride) as isize - pad;
+                    let ix0 = (ox * p.stride) as isize - pad;
+                    for ky in 0..kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        acc += xd[xbase + iy as usize * w + ix as usize] * wd[wbase + ky * kw + kx];
+                        for kx in 0..kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += xd[xbase + iy as usize * w + ix as usize]
+                                * wd[wbase + ky * kw + kx];
+                        }
                     }
+                    oplane[oy * ow + ox] = acc;
                 }
-                oplane[oy * ow + ox] = acc;
             }
-        }
-    });
+        });
     Tensor::from_vec(out, &[n, c, oh, ow])
 }
 

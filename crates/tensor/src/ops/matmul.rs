@@ -92,23 +92,25 @@ pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let ad = a.data();
     let bd = b.data();
     let mut out = vec![0.0f32; ba * m * n];
-    out.par_chunks_mut(m * n).enumerate().for_each(|(bi, obatch)| {
-        let abatch = &ad[bi * m * k..(bi + 1) * m * k];
-        let bbatch = &bd[bi * k * n..(bi + 1) * k * n];
-        for i in 0..m {
-            let arow = &abatch[i * k..(i + 1) * k];
-            let orow = &mut obatch[i * n..(i + 1) * n];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bbatch[kk * n..(kk + 1) * n];
-                for (j, r) in orow.iter_mut().enumerate() {
-                    *r += av * brow[j];
+    out.par_chunks_mut(m * n)
+        .enumerate()
+        .for_each(|(bi, obatch)| {
+            let abatch = &ad[bi * m * k..(bi + 1) * m * k];
+            let bbatch = &bd[bi * k * n..(bi + 1) * k * n];
+            for i in 0..m {
+                let arow = &abatch[i * k..(i + 1) * k];
+                let orow = &mut obatch[i * n..(i + 1) * n];
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bbatch[kk * n..(kk + 1) * n];
+                    for (j, r) in orow.iter_mut().enumerate() {
+                        *r += av * brow[j];
+                    }
                 }
             }
-        }
-    });
+        });
     Tensor::from_vec(out, &[ba, m, n])
 }
 

@@ -178,6 +178,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn layernorm_gain_amplifies_channels() {
         // The outlier mechanism: a large LayerNorm gamma on one feature
         // produces a per-channel outlier in the output.
@@ -185,7 +186,7 @@ mod tests {
         let mut gamma = Tensor::ones(&[8]);
         gamma.data_mut()[5] = 40.0;
         let y = layernorm(&x, &gamma, &Tensor::zeros(&[8]), 1e-5);
-        let mut col_absmax = vec![0.0f32; 8];
+        let mut col_absmax = [0.0f32; 8];
         for r in 0..16 {
             for c in 0..8 {
                 col_absmax[c] = col_absmax[c].max(y.at(&[r, c]).abs());

@@ -260,7 +260,10 @@ pub fn sqnr_db(reference: &[f32], quantized: &[f32]) -> f64 {
     if err == 0.0 {
         return f64::INFINITY;
     }
-    let power: f64 = reference.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()
+    let power: f64 = reference
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
         / reference.len().max(1) as f64;
     10.0 * (power / err).log10()
 }

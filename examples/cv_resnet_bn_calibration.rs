@@ -30,23 +30,39 @@ fn main() {
 
     // The paper's CV recipe: E3M4, static, BN calibration, first/last
     // compute ops kept in FP32.
-    let cfg = paper_recipe(DataFormat::Fp8(Fp8Format::E3M4), Approach::Static, w.spec.domain);
+    let cfg = paper_recipe(
+        DataFormat::Fp8(Fp8Format::E3M4),
+        Approach::Static,
+        w.spec.domain,
+    );
     let full = quantize_workload(&w, &cfg);
     println!("E3M4 + BN calibration (paper CV recipe): {:.4}", full.score);
 
     // Ablation 1: skip BatchNorm calibration.
     let mut no_bn = cfg.clone();
     no_bn.bn_calibration = false;
-    println!("E3M4 without BN calibration:             {:.4}", quantize_workload(&w, &no_bn).score);
+    println!(
+        "E3M4 without BN calibration:             {:.4}",
+        quantize_workload(&w, &no_bn).score
+    );
 
     // Ablation 2: quantize the first and last operators too (§4.3.1).
     let all_in = cfg.clone().with_first_last();
-    println!("E3M4 with first/last quantized:          {:.4}", quantize_workload(&w, &all_in).score);
+    println!(
+        "E3M4 with first/last quantized:          {:.4}",
+        quantize_workload(&w, &all_in).score
+    );
 
     // Figure-7 style: BN calibration sample size and transform matter.
     println!("\nBN calibration sweep (E3M4):");
-    println!("{:>8} {:>16} {:>20}", "samples", "train transform", "inference transform");
-    let source = w.calib_source.as_ref().expect("CV workload has a calibration source");
+    println!(
+        "{:>8} {:>16} {:>20}",
+        "samples", "train transform", "inference transform"
+    );
+    let source = w
+        .calib_source
+        .as_ref()
+        .expect("CV workload has a calibration source");
     for n in [16usize, 128, 1024] {
         let mut scores = Vec::new();
         for transform in [Transform::Train, Transform::Inference] {

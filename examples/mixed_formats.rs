@@ -28,7 +28,12 @@ fn main() {
             let mut d = data.data().to_vec();
             fake_quant_fp8(&mut d, &codec, fp8_scale(f, absmax)).mse
         };
-        println!("{:<22} {:>12.3e} {:>12.3e}", f.to_string(), mse(&act), mse(&weight));
+        println!(
+            "{:<22} {:>12.3e} {:>12.3e}",
+            f.to_string(),
+            mse(&act),
+            mse(&weight)
+        );
     }
 
     // Part 2 — model-level accuracy (Table 5): mixed vs single formats on
@@ -47,10 +52,18 @@ fn main() {
         gamma_sigma: 1.6,
     };
     let w = encoder_workload("funnel_like", "mrpc_syn", &cfg, Head::Binary);
-    println!("workload: {} (F1 baseline {:.4})", w.spec.name, w.fp32_score);
-    let mut show = |name: &str, c: &QuantConfig| {
+    println!(
+        "workload: {} (F1 baseline {:.4})",
+        w.spec.name, w.fp32_score
+    );
+    let show = |name: &str, c: &QuantConfig| {
         let out = quantize_workload(&w, c);
-        println!("  {:<28} F1 {:.4} (loss {:+.2}%)", name, out.score, out.result.loss() * 100.0);
+        println!(
+            "  {:<28} F1 {:.4} (loss {:+.2}%)",
+            name,
+            out.score,
+            out.result.loss() * 100.0
+        );
     };
     for f in [Fp8Format::E5M2, Fp8Format::E4M3, Fp8Format::E3M4] {
         show(
@@ -58,6 +71,9 @@ fn main() {
             &paper_recipe(DataFormat::Fp8(f), Approach::Static, w.spec.domain),
         );
     }
-    show("mixed E4M3 act / E3M4 wt", &paper_mixed_recipe(w.spec.domain));
+    show(
+        "mixed E4M3 act / E3M4 wt",
+        &paper_mixed_recipe(w.spec.domain),
+    );
     println!("\n(Paper Table 5: mixed formats match or beat the best single format.)");
 }

@@ -33,7 +33,10 @@ fn main() {
         gamma_sigma: 0.6,
     };
     let w = encoder_workload("bert_like", "mrpc_syn", &cfg, Head::Binary);
-    println!("workload: {} (F1 baseline {:.4})", w.spec.name, w.fp32_score);
+    println!(
+        "workload: {} (F1 baseline {:.4})",
+        w.spec.name, w.fp32_score
+    );
 
     // Peek at the activation distribution the paper's Figure 3 shows:
     // LayerNorm outputs carry outliers two orders of magnitude above the
@@ -69,7 +72,7 @@ fn main() {
     );
 
     println!("{:<34} {:>8} {:>8}", "configuration", "F1", "loss");
-    let mut show = |name: &str, cfg: &QuantConfig| {
+    let show = |name: &str, cfg: &QuantConfig| {
         let out = quantize_workload(&w, cfg);
         println!(
             "{:<34} {:>8.4} {:>7.2}%",
@@ -96,5 +99,8 @@ fn main() {
         );
     }
     // Mixed formats: E4M3 activations (range) + E3M4 weights (precision).
-    show("mixed E4M3 act + E3M4 weight", &paper_mixed_recipe(w.spec.domain));
+    show(
+        "mixed E4M3 act + E3M4 weight",
+        &paper_mixed_recipe(w.spec.domain),
+    );
 }

@@ -22,7 +22,10 @@ fn main() {
         workload.fp32_score
     );
 
-    println!("{:<10} {:>10} {:>10} {:>7}", "format", "accuracy", "loss", "pass");
+    println!(
+        "{:<10} {:>10} {:>10} {:>7}",
+        "format", "accuracy", "loss", "pass"
+    );
     for format in [
         DataFormat::Fp8(Fp8Format::E5M2),
         DataFormat::Fp8(Fp8Format::E4M3),

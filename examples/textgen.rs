@@ -41,7 +41,13 @@ fn main() {
     ] {
         let qcfg = paper_recipe(fmt, Approach::Static, w.spec.domain);
         let out = quantize_workload(&w, &qcfg);
-        let toks = generate_greedy(&out.model.graph, &cfg, &prompt, steps, &mut out.model.hook());
+        let toks = generate_greedy(
+            &out.model.graph,
+            &cfg,
+            &prompt,
+            steps,
+            &mut out.model.hook(),
+        );
         let fidelity = toks.iter().zip(&reference).filter(|(a, b)| a == b).count();
         println!(
             "{:<6} first tokens {:?}…  fidelity {:>2}/{steps}  repeated-4gram {:.2}  distinct-2 {:.2}",
@@ -52,5 +58,7 @@ fn main() {
             distinct_n(&toks, 2)
         );
     }
-    println!("\n(The paper's Table 4: FP8 continuations stay close to FP32; INT8 drifts and loops.)");
+    println!(
+        "\n(The paper's Table 4: FP8 continuations stay close to FP32; INT8 drifts and loops.)"
+    );
 }

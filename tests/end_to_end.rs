@@ -72,11 +72,19 @@ fn e4m3_beats_e5m2_in_aggregate() {
     for w in &zoo {
         let e5 = quantize_workload(
             w,
-            &paper_recipe(DataFormat::Fp8(Fp8Format::E5M2), Approach::Static, w.spec.domain),
+            &paper_recipe(
+                DataFormat::Fp8(Fp8Format::E5M2),
+                Approach::Static,
+                w.spec.domain,
+            ),
         );
         let e4 = quantize_workload(
             w,
-            &paper_recipe(DataFormat::Fp8(Fp8Format::E4M3), Approach::Static, w.spec.domain),
+            &paper_recipe(
+                DataFormat::Fp8(Fp8Format::E4M3),
+                Approach::Static,
+                w.spec.domain,
+            ),
         );
         loss_e5 += e5.result.loss();
         loss_e4 += e4.result.loss();
@@ -137,12 +145,20 @@ fn dynamic_and_static_agree_when_calibration_matches_eval() {
     let w = &zoo[0];
     let s = quantize_workload(
         w,
-        &paper_recipe(DataFormat::Fp8(Fp8Format::E3M4), Approach::Static, w.spec.domain),
+        &paper_recipe(
+            DataFormat::Fp8(Fp8Format::E3M4),
+            Approach::Static,
+            w.spec.domain,
+        ),
     )
     .score;
     let d = quantize_workload(
         w,
-        &paper_recipe(DataFormat::Fp8(Fp8Format::E3M4), Approach::Dynamic, w.spec.domain),
+        &paper_recipe(
+            DataFormat::Fp8(Fp8Format::E3M4),
+            Approach::Dynamic,
+            w.spec.domain,
+        ),
     )
     .score;
     assert!((s - d).abs() < 0.15, "static {s} vs dynamic {d}");
@@ -163,14 +179,22 @@ fn tuner_finds_recipes_for_most_quick_workloads() {
             accepted += 1;
         }
     }
-    assert!(accepted >= zoo.len() / 2, "only {accepted}/{} tuned", zoo.len());
+    assert!(
+        accepted >= zoo.len() / 2,
+        "only {accepted}/{} tuned",
+        zoo.len()
+    );
 }
 
 #[test]
 fn fallback_nodes_are_respected() {
     let zoo = build_zoo(ZooFilter::Quick);
     let w = &zoo[1];
-    let base = paper_recipe(DataFormat::Fp8(Fp8Format::E4M3), Approach::Static, w.spec.domain);
+    let base = paper_recipe(
+        DataFormat::Fp8(Fp8Format::E4M3),
+        Approach::Static,
+        w.spec.domain,
+    );
     let calib = calibrate_workload(w, &base);
     let m_full = QuantizedModel::build(w.graph.clone(), &calib, base.clone());
     let some_node = *m_full

@@ -7,7 +7,9 @@
 use fp8_ptq::core::config::{Approach, DataFormat};
 use fp8_ptq::core::observer::clip_quant_mse;
 use fp8_ptq::core::{paper_recipe, quantize_workload};
-use fp8_ptq::fp8::{fake_quant_fp8, fake_quant_int8, fp8_scale, Fp8Codec, Fp8Format, Int8Codec, Int8Mode};
+use fp8_ptq::fp8::{
+    fake_quant_fp8, fake_quant_int8, fp8_scale, Fp8Codec, Fp8Format, Int8Codec, Int8Mode,
+};
 use fp8_ptq::models::families::common::{Head, NlpConfig};
 use fp8_ptq::models::families::nlp::encoder_workload;
 use fp8_ptq::tensor::TensorRng;
@@ -62,32 +64,50 @@ fn clipping_asymmetry() {
 /// dynamic-range window loses less accuracy than E3M4's.
 #[test]
 fn e4m3_window_beats_e3m4_on_heavy_tails() {
-    let cfg = NlpConfig {
-        vocab: 48,
-        seq: 16,
-        d: 64,
-        heads: 4,
-        layers: 2,
-        ffn_mult: 2,
-        seed: 77,
-        outlier_gain: 300.0,
-        outlier_channels: 1,
-        gamma_sigma: 1.6, // heavy tail: spreads past E3M4's ~2e3 window
-    };
-    let w = encoder_workload("funnel_like", "mrpc_syn", &cfg, Head::Binary);
-    let e4 = quantize_workload(
-        &w,
-        &paper_recipe(DataFormat::Fp8(Fp8Format::E4M3), Approach::Static, w.spec.domain),
-    );
-    let e3 = quantize_workload(
-        &w,
-        &paper_recipe(DataFormat::Fp8(Fp8Format::E3M4), Approach::Static, w.spec.domain),
+    // Aggregated over two seeds so a single lucky/unlucky eval sample
+    // cannot decide the comparison.
+    let (mut e4_total, mut e3_total, mut e3_max) = (0.0f64, 0.0f64, 0.0f64);
+    for seed in [77u64, 79] {
+        let cfg = NlpConfig {
+            vocab: 48,
+            seq: 16,
+            d: 64,
+            heads: 4,
+            layers: 2,
+            ffn_mult: 2,
+            seed,
+            outlier_gain: 3000.0,
+            outlier_channels: 2,
+            gamma_sigma: 2.6, // heavy tail: spreads past E3M4's ~2e3 window
+        };
+        let w = encoder_workload("funnel_like", "mrpc_syn", &cfg, Head::Binary);
+        let e4 = quantize_workload(
+            &w,
+            &paper_recipe(
+                DataFormat::Fp8(Fp8Format::E4M3),
+                Approach::Static,
+                w.spec.domain,
+            ),
+        );
+        let e3 = quantize_workload(
+            &w,
+            &paper_recipe(
+                DataFormat::Fp8(Fp8Format::E3M4),
+                Approach::Static,
+                w.spec.domain,
+            ),
+        );
+        e4_total += e4.result.loss();
+        e3_total += e3.result.loss();
+        e3_max = e3_max.max(e3.result.loss());
+    }
+    assert!(
+        e3_max > 0.0,
+        "tail never left E3M4's window; the comparison is vacuous"
     );
     assert!(
-        e4.result.loss() <= e3.result.loss() + 1e-9,
-        "E4M3 loss {} vs E3M4 loss {}",
-        e4.result.loss(),
-        e3.result.loss()
+        e4_total <= e3_total + 1e-9,
+        "E4M3 total loss {e4_total} vs E3M4 total loss {e3_total}"
     );
 }
 

@@ -1,0 +1,380 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the API subset this workspace's property tests use —
+//! `proptest! { fn name(x in strategy, ...) { ... } }`, range strategies,
+//! `Just`, `prop_oneof!`, `collection::vec`, `num::f32::NORMAL`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
+//! `ProptestConfig::with_cases` — implemented as a deterministic
+//! pseudo-random case runner.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking: a failing case panics with its case index, and the whole
+//!   run is reproducible (the RNG is seeded only by the case index);
+//! * no persistence: `*.proptest-regressions` files are ignored;
+//! * `prop_assume!` skips the case instead of drawing a replacement.
+
+/// Default number of cases per property (matches real proptest).
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of pseudo-random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic split-mix test RNG. Every case gets an independent stream
+/// derived from its index, so failures reproduce without stored seeds.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The RNG for one case of one property run. The case index is mixed
+    /// through the splitmix64 finalizer so consecutive cases start at
+    /// unrelated stream positions (a plain `GAMMA * case` start would make
+    /// case `n`'s second draw equal case `n+1`'s first).
+    pub fn for_case(case: u32) -> Self {
+        let mut z = (u64::from(case) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        TestRng {
+            state: z ^ (z >> 31),
+        }
+    }
+
+    /// Next 64 uniformly random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform u64 in [0, bound).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling range");
+        // Multiply-shift; bias is negligible for test-sized bounds.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A value generator. Strategies are sampled fresh for every case.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for ::std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-width integer range: any value.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64() as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl Strategy for ::std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let u = rng.unit_f64() as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+/// Uniform choice among boxed strategies of one value type (the engine
+/// behind [`prop_oneof!`]).
+pub struct OneOf<T> {
+    /// The alternatives.
+    pub options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "prop_oneof! needs alternatives");
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s with lengths drawn from `len` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric special-value strategies.
+    pub mod f32 {
+        //! `f32` strategies.
+        use crate::{Strategy, TestRng};
+
+        /// Strategy producing normal (non-zero, non-subnormal, finite)
+        /// `f32` values of either sign across the full exponent range.
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalF32;
+
+        /// Normal `f32` values, like real proptest's `f32::NORMAL`.
+        pub const NORMAL: NormalF32 = NormalF32;
+
+        impl Strategy for NormalF32 {
+            type Value = f32;
+            fn sample(&self, rng: &mut TestRng) -> f32 {
+                let sign = (rng.next_u32() & 1) << 31;
+                let exp = 1 + rng.below(254) as u32; // biased exponent 1..=254
+                let mant = rng.next_u32() & 0x007F_FFFF;
+                f32::from_bits(sign | (exp << 23) | mant)
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        OneOf, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Define property tests. Each function runs `cases` times with fresh
+/// deterministic samples of its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: the config is hoisted to
+/// repetition depth 0 so it can be transcribed inside the per-function
+/// repetition.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases: u32 = ($cfg).cases;
+                for __case in 0..__cases {
+                    let mut __rng = $crate::TestRng::for_case(__case);
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    let __result: ::std::result::Result<(), ()> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    // Err means prop_assume! rejected the case; move on.
+                    let _ = __result;
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property; panics with the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        ::std::assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        ::std::assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        ::std::assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        ::std::assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        ::std::assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        ::std::assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(());
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let __options: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            ::std::vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::OneOf { options: __options }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = TestRng::for_case(3);
+        let mut b = TestRng::for_case(3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case(4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(5u8..10), &mut rng);
+            assert!((5..10).contains(&x));
+            let y = Strategy::sample(&(0u8..=255), &mut rng);
+            let _ = y;
+            let f = Strategy::sample(&(-2.0f32..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let n = Strategy::sample(&crate::num::f32::NORMAL, &mut rng);
+            assert!(n.is_normal());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro grammar itself: patterns, assume, assert.
+        #[test]
+        fn macro_roundtrip(mut v in crate::collection::vec(0u32..100, 1..8), pick in 0usize..8) {
+            prop_assume!(pick < v.len());
+            v.sort_unstable();
+            prop_assert!(v[pick] < 100);
+            prop_assert_eq!(v.len(), v.capacity().min(v.len()));
+        }
+
+        /// prop_oneof picks only listed alternatives.
+        #[test]
+        fn oneof_members(x in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small rayon API subset this workspace uses — indexed
+//! `par_chunks_mut` and `par_iter().map().collect()` / `.for_each()` over
+//! slices — with real parallelism from `std::thread::scope`. Work is split
+//! into one contiguous batch per worker thread, which matches how the
+//! kernels here use it (uniform-cost chunks); there is no work stealing.
+//!
+//! Results preserve input order exactly, so swapping this stub for real
+//! rayon (or back) cannot change any output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// Worker thread count: `RAYON_NUM_THREADS` if set, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    static CACHE: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHE.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    CACHE.store(n, Ordering::Relaxed);
+    n
+}
+
+/// `slice.par_chunks_mut(n)`: disjoint mutable chunks processed in
+/// parallel.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel equivalent of `chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel mutable chunk iterator (see [`ParallelSliceMut`]).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index.
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut(self)
+    }
+
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Indexed form of [`ParChunksMut`].
+pub struct EnumeratedParChunksMut<'a, T>(ParChunksMut<'a, T>);
+
+impl<T: Send> EnumeratedParChunksMut<'_, T> {
+    /// Apply `f` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> = self
+            .0
+            .slice
+            .chunks_mut(self.0.chunk_size)
+            .enumerate()
+            .collect();
+        run_batches(chunks, &f);
+    }
+}
+
+/// `collection.par_iter()`: shared parallel iteration over a slice.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by reference.
+    type Item: 'data;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every element in parallel. Lazy: runs on `collect`/`for_each`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Apply `f` to every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let refs: Vec<&'a T> = self.items.iter().collect();
+        run_batches(refs, &|r| f(r));
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Evaluate the map in parallel, preserving input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let n = self.items.len();
+        let nt = current_num_threads().min(n).max(1);
+        if nt <= 1 {
+            return self.items.iter().map(&self.f).collect::<Vec<R>>().into();
+        }
+        let f = &self.f;
+        let mut out: Vec<R> = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nt);
+            for b in 0..nt {
+                let (lo, hi) = batch_bounds(n, nt, b);
+                let items = &self.items[lo..hi];
+                handles.push(s.spawn(move || items.iter().map(f).collect::<Vec<R>>()));
+            }
+            for h in handles {
+                out.extend(h.join().expect("parallel map worker panicked"));
+            }
+        });
+        out.into()
+    }
+}
+
+/// Bounds of batch `b` when splitting `n` items across `nt` contiguous
+/// batches as evenly as possible.
+fn batch_bounds(n: usize, nt: usize, b: usize) -> (usize, usize) {
+    let base = n / nt;
+    let rem = n % nt;
+    let lo = b * base + b.min(rem);
+    let hi = lo + base + usize::from(b < rem);
+    (lo, hi)
+}
+
+/// Run `f` over every work item, splitting the items into one contiguous
+/// batch per worker thread.
+fn run_batches<W: Send, F>(mut work: Vec<W>, f: &F)
+where
+    F: Fn(W) + Sync,
+{
+    let n = work.len();
+    let nt = current_num_threads().min(n).max(1);
+    if nt <= 1 {
+        for w in work {
+            f(w);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        for b in (0..nt).rev() {
+            let (lo, _) = batch_bounds(n, nt, b);
+            let batch: Vec<W> = work.split_off(lo);
+            s.spawn(move || {
+                for w in batch {
+                    f(w);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_indexed() {
+        let mut v = vec![0u32; 1000];
+        v.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, (j / 7) as u32);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..503).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_for_each_visits_all() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let items: Vec<u64> = (1..=100).collect();
+        let sum = AtomicU64::new(0);
+        items[..].par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn batch_bounds_partition() {
+        for n in [0usize, 1, 5, 16, 17] {
+            for nt in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                for b in 0..nt {
+                    let (lo, hi) = batch_bounds(n, nt, b);
+                    assert_eq!(lo, covered);
+                    covered = hi;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this workspace has no crates.io access, so the
+//! real serde is replaced by this minimal vendored implementation. Instead
+//! of serde's visitor-based zero-copy data model, [`Serialize`] converts a
+//! value into a JSON-shaped [`Value`] tree which `serde_json` (also
+//! vendored) renders. That covers everything the workspace needs —
+//! `#[derive(Serialize, Deserialize)]` on plain structs/enums and
+//! `serde_json::to_string_pretty` on experiment results — with identical
+//! call-site syntax to the real crate.
+//!
+//! [`Deserialize`] is a marker trait only: nothing in the workspace parses
+//! serialized data back (experiment JSON is consumed by external tooling).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the intermediate representation between
+/// [`Serialize`] and the `serde_json` renderer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also produced by non-finite floats, as in real
+    /// serde_json).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept separate so u64 > i64::MAX round-trips).
+    UInt(u64),
+    /// Finite floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys (derive emits declaration order).
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialize into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` into a JSON-shaped value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Marker for types that real serde would deserialize. The vendored stack
+/// never reads serialized data back, so this carries no behavior.
+pub trait Deserialize {}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            // Render through the f32 shortest representation so JSON shows
+            // "0.1", not the f64 expansion 0.10000000149011612.
+            Value::Float(format!("{self}").parse().unwrap_or(f64::NAN))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+/// Render a serialized key as a JSON object key (JSON keys are strings).
+fn key_string(v: Value) -> String {
+    match v {
+        Value::Str(s) => s,
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Float(f) => f.to_string(),
+        other => panic!("unsupported map key for JSON serialization: {other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.serialize()), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k.serialize()), v.serialize()))
+            .collect();
+        // Deterministic output regardless of hasher state.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+    )+};
+}
+impl_ser_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(true.serialize(), Value::Bool(true));
+        assert_eq!(3u8.serialize(), Value::UInt(3));
+        assert_eq!((-7i32).serialize(), Value::Int(-7));
+        assert_eq!(0.5f32.serialize(), Value::Float(0.5));
+        assert_eq!(f64::NAN.serialize(), Value::Null);
+        assert_eq!("x".serialize(), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn f32_shortest_representation() {
+        // 0.1f32 must not serialize as the f64 expansion.
+        assert_eq!(0.1f32.serialize(), Value::Float(0.1));
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(
+            vec![1u32, 2].serialize(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(Option::<u32>::None.serialize(), Value::Null);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        assert_eq!(
+            m.serialize(),
+            Value::Object(vec![("a".into(), Value::UInt(1))])
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! real serde stack is replaced by a small vendored implementation (see
+//! `vendor/serde`). This proc-macro crate derives that implementation's
+//! [`Serialize`]/[`Deserialize`] traits for the plain data shapes the
+//! workspace actually uses:
+//!
+//! * structs with named fields (serialized as JSON objects),
+//! * tuple structs (serialized as JSON arrays),
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported;
+//! the derive fails loudly if it meets a shape it cannot handle, rather
+//! than silently producing wrong serialization.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            if *n == 1 {
+                elems.into_iter().next().expect("one element")
+            } else {
+                format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+            }
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let name = &item.name;
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantFields::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n    fn serialize(&self) -> ::serde::Value {{\n        {}\n    }}\n}}\n",
+        item.name, body
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}\n", item.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Parse the derive input far enough to know the item's name and field
+/// layout. Panics (a compile error at the derive site) on generics or other
+/// unsupported shapes.
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind_kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported; hand-write the impl for {name}");
+        }
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() != Delimiter::Bracket => break Some(g),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break None,
+            Some(_) => continue,
+            None => break None,
+        }
+    };
+    let kind = match (kind_kw.as_str(), body) {
+        ("struct", Some(g)) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", None) => ItemKind::TupleStruct(0),
+        ("enum", Some(g)) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Enum(parse_variants(g.stream()))
+        }
+        (kw, _) => panic!("serde derive: unsupported item kind {kw}"),
+    };
+    Item { name, kind }
+}
+
+/// Extract field names from a named-field body, skipping attributes,
+/// visibility and types (tracking `<...>` depth so generic types with
+/// commas don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    'outer: loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(_) => break,
+                None => break 'outer,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected field name, got {other}"),
+            None => break,
+        };
+        fields.push(name);
+        // Skip `: Type` until a top-level comma.
+        let mut angle = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Count fields of a tuple body (top-level commas, `<...>`-aware).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tok in stream {
+        any = true;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    'outer: loop {
+        // Skip attributes before the variant name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(_) => break,
+                None => break 'outer,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected variant name, got {other}"),
+            None => break,
+        };
+        let mut fields = VariantFields::Unit;
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            fields = match g.delimiter() {
+                Delimiter::Parenthesis => VariantFields::Tuple(count_tuple_fields(g.stream())),
+                Delimiter::Brace => VariantFields::Struct(parse_named_fields(g.stream())),
+                _ => VariantFields::Unit,
+            };
+            iter.next();
+        }
+        variants.push(Variant { name, fields });
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut angle = 0i32;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    iter.next();
+                    match c {
+                        '<' => angle += 1,
+                        '>' => angle -= 1,
+                        ',' if angle == 0 => break,
+                        _ => {}
+                    }
+                }
+                Some(_) => {
+                    iter.next();
+                }
+                None => break,
+            }
+        }
+    }
+    variants
+}
