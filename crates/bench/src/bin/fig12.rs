@@ -12,7 +12,7 @@
 
 use ptq_bench::{pct, save_json, MdTable};
 use ptq_core::config::{Approach, Coverage, DataFormat};
-use ptq_core::{paper_recipe, quantize_workload_cached, CalibCache};
+use ptq_core::{paper_recipe, try_quantize_workload_cached, CalibCache, SweepError};
 use ptq_fp8::Fp8Format;
 use ptq_metrics::PassRateSummary;
 use ptq_models::{build_zoo, ZooFilter};
@@ -26,6 +26,7 @@ struct Fig12Row {
     pass_rate: f64,
     mean_loss_pct: f64,
     worst_loss_pct: f64,
+    errors: Vec<SweepError>,
 }
 
 fn main() {
@@ -43,25 +44,41 @@ fn main() {
     let cache = CalibCache::new(); // shared by every (format × coverage) cell
     for fmt in formats {
         for cov in [Coverage::Standard, Coverage::Extended] {
-            let results: Vec<_> = zoo
+            // Fail-soft: a workload that errors becomes an error row in
+            // the JSON instead of aborting the whole figure.
+            let attempts: Vec<_> = zoo
                 .par_iter()
                 .map(|w| {
                     let cfg = paper_recipe(fmt, Approach::Static, w.spec.domain).with_coverage(cov);
-                    quantize_workload_cached(w, &cfg, &cache).result
+                    try_quantize_workload_cached(w, &cfg, &cache)
+                        .map(|out| out.result)
+                        .map_err(|e| SweepError {
+                            workload: w.spec.name.clone(),
+                            error: e.to_string(),
+                        })
                 })
                 .collect();
+            let mut results = Vec::new();
+            let mut errors = Vec::new();
+            for a in attempts {
+                match a {
+                    Ok(r) => results.push(r),
+                    Err(e) => errors.push(e),
+                }
+            }
             let summary = PassRateSummary::of(&results);
             let losses: Vec<f64> = results.iter().map(|r| r.loss()).collect();
-            let mean = losses.iter().sum::<f64>() / losses.len() as f64;
+            let mean = losses.iter().sum::<f64>() / losses.len().max(1) as f64;
             let worst = losses.iter().cloned().fold(f64::MIN, f64::max);
+            eprintln!("{fmt} {cov:?} done ({} errors)", errors.len());
             rows.push(Fig12Row {
                 format: format!("{fmt}"),
                 coverage: format!("{cov:?}"),
                 pass_rate: summary.all,
                 mean_loss_pct: mean * 100.0,
                 worst_loss_pct: worst * 100.0,
+                errors,
             });
-            eprintln!("{fmt} {cov:?} done");
         }
     }
 

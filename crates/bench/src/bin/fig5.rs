@@ -37,6 +37,9 @@ fn main() {
         }
         eprintln!("running {fmt:?}…");
         let row = run_suite_cached(&zoo, fmt, ap, &cache);
+        for e in &row.errors {
+            eprintln!("  skipped {}: {}", e.workload, e.error);
+        }
         for r in &row.results {
             points.push(Fig5Point {
                 workload: r.workload.clone(),

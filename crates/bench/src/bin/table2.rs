@@ -44,6 +44,9 @@ fn main() {
     for (format, approach) in table2_rows() {
         eprintln!("running {format:?} {approach:?}…");
         let row = run_suite_cached(&zoo, format, approach, &cache);
+        for e in &row.errors {
+            eprintln!("  skipped {}: {}", e.workload, e.error);
+        }
         let (dt, ap) = match row.label.split_once(" / ") {
             Some((a, b)) => (a.to_string(), b.to_string()),
             None => (row.label.clone(), String::new()),

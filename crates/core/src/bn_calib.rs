@@ -3,7 +3,7 @@
 //! shift quantization introduces (Sun et al. 2019).
 
 use crate::quantizer::QuantizedModel;
-use ptq_nn::{ExecHook, Node, Op, OpClass, ValueId};
+use ptq_nn::{ExecHook, Node, Op, OpClass, PtqError, ValueId};
 use ptq_tensor::Tensor;
 use std::collections::HashMap;
 
@@ -57,7 +57,10 @@ impl ExecHook for BnMomentHook<'_> {
 /// in a framework gets this consistency for free by normalizing with batch
 /// statistics during the calibration forward; an inference-mode emulation
 /// has to schedule it explicitly.
-pub fn recalibrate_batchnorm(model: &mut QuantizedModel, calib: &[Vec<Tensor>]) -> usize {
+pub fn try_recalibrate_batchnorm(
+    model: &mut QuantizedModel,
+    calib: &[Vec<Tensor>],
+) -> Result<usize, PtqError> {
     let bn_nodes = model.graph.nodes_of_class(OpClass::BatchNorm);
     let mut updated = 0;
     for &target in &bn_nodes {
@@ -67,7 +70,7 @@ pub fn recalibrate_batchnorm(model: &mut QuantizedModel, calib: &[Vec<Tensor>]) 
                 acc: HashMap::new(),
             };
             for inputs in calib {
-                model.graph.run(inputs, &mut hook);
+                model.graph.try_run(inputs, &mut hook)?;
             }
             hook.acc
         };
@@ -92,12 +95,24 @@ pub fn recalibrate_batchnorm(model: &mut QuantizedModel, calib: &[Vec<Tensor>]) 
             }
         };
         if let Some((mid, m, vid, v)) = update {
-            model.graph.set_param(mid, m);
-            model.graph.set_param(vid, v);
+            model.graph.try_set_param(mid, m)?;
+            model.graph.try_set_param(vid, v)?;
             updated += 1;
         }
     }
-    updated
+    Ok(updated)
+}
+
+/// Recalibrate BatchNorm running statistics.
+///
+/// # Panics
+///
+/// Panicking wrapper over [`try_recalibrate_batchnorm`].
+pub fn recalibrate_batchnorm(model: &mut QuantizedModel, calib: &[Vec<Tensor>]) -> usize {
+    match try_recalibrate_batchnorm(model, calib) {
+        Ok(n) => n,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]

@@ -18,12 +18,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::calibrate::CalibData;
 use crate::config::QuantConfig;
-use crate::workflow::calibrate_workload;
+use crate::workflow::try_calibrate_workload;
 use ptq_models::Workload;
+use ptq_nn::PtqError;
 
 /// The full dependency set of [`CalibData`] on `(workload, config)`: the
 /// observer method enters only through the histogram requirement, and
@@ -50,28 +51,56 @@ impl CalibCache {
         Self::default()
     }
 
+    /// Lock the map, recovering from poisoning. The map only ever holds
+    /// completed calibrations (insertion is a single `HashMap` write with
+    /// no user code under the lock), so a panic elsewhere on a sweep
+    /// thread cannot leave it half-updated — recovering the guard is
+    /// always sound, and one worker's failure never wedges the cache for
+    /// the rest of the fleet.
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<CalibKey, Arc<CalibData>>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The calibration data for `workload` under `cfg`, calibrating on
-    /// first use and returning the memoized result afterwards.
+    /// first use and returning the memoized result afterwards. Calibration
+    /// failures (malformed graph, bad shapes) surface as typed errors and
+    /// are *not* cached, so a transiently broken workload can be retried.
     ///
     /// Two racing misses on the same key both calibrate (deterministically
     /// to the same data); the first insertion wins and both callers get
     /// the same `Arc`.
-    pub fn get_or_calibrate(&self, workload: &Workload, cfg: &QuantConfig) -> Arc<CalibData> {
+    pub fn try_get_or_calibrate(
+        &self,
+        workload: &Workload,
+        cfg: &QuantConfig,
+    ) -> Result<Arc<CalibData>, PtqError> {
         let key = CalibKey {
             workload: workload.spec.name.clone(),
             needs_histograms: CalibData::needs_histograms(cfg),
         };
-        if let Some(hit) = self.map.lock().expect("calib cache poisoned").get(&key) {
+        if let Some(hit) = self.lock_map().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            return Ok(Arc::clone(hit));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Calibrate outside the lock so misses on different workloads run
         // concurrently.
-        let data = Arc::new(calibrate_workload(workload, cfg));
-        let mut map = self.map.lock().expect("calib cache poisoned");
+        let data = Arc::new(try_calibrate_workload(workload, cfg)?);
+        let mut map = self.lock_map();
         let entry = map.entry(key).or_insert(data);
-        Arc::clone(entry)
+        Ok(Arc::clone(entry))
+    }
+
+    /// [`CalibCache::try_get_or_calibrate`], panicking on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if calibration fails.
+    pub fn get_or_calibrate(&self, workload: &Workload, cfg: &QuantConfig) -> Arc<CalibData> {
+        match self.try_get_or_calibrate(workload, cfg) {
+            Ok(data) => data,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of lookups served from the cache.
@@ -86,7 +115,7 @@ impl CalibCache {
 
     /// Number of distinct calibrations held.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("calib cache poisoned").len()
+        self.lock_map().len()
     }
 
     /// True if nothing has been calibrated yet.
@@ -156,7 +185,7 @@ mod tests {
             w.spec.domain,
         );
         let cached = cache.get_or_calibrate(w, &cfg);
-        let direct = calibrate_workload(w, &cfg);
+        let direct = crate::workflow::calibrate_workload(w, &cfg);
         assert_eq!(cached.stats.len(), direct.stats.len());
         for (k, s) in &direct.stats {
             let c = cached.stats.get(k).expect("key present");

@@ -48,16 +48,20 @@ pub mod smoothquant;
 pub mod tuner;
 pub mod workflow;
 
-pub use bn_calib::recalibrate_batchnorm;
+pub use bn_calib::{recalibrate_batchnorm, try_recalibrate_batchnorm};
 pub use calib_cache::CalibCache;
 pub use calibrate::{CalibData, CalibrationHook, TensorKey};
 pub use config::{Approach, CalibMethod, Coverage, DataFormat, Granularity, QuantConfig};
 pub use observer::{kl_divergence_threshold, mse_sweep_threshold, percentile_threshold};
+pub use ptq_nn::PtqError;
 pub use quantizer::{QuantHook, QuantizedModel};
-pub use sensitivity::{sensitivity_profile, NodeSensitivity, SensitivityProfile};
+pub use sensitivity::{
+    sensitivity_profile, try_sensitivity_profile, NodeSensitivity, SensitivityProfile,
+};
 pub use smoothquant::smooth_scales;
 pub use tuner::{AutoTuner, Recipe, TuneOutcome, TuneStep};
 pub use workflow::{
     paper_recipe, quantize_workload, quantize_workload_cached, run_suite, run_suite_cached,
-    QuantOutcome, SuiteRow,
+    try_calibrate_workload, try_quantize_workload, try_quantize_workload_cached,
+    try_quantize_workload_with, QuantOutcome, SuiteRow, SweepError,
 };

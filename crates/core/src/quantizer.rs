@@ -9,7 +9,7 @@ use ptq_fp8::{
     fake_quant_fp8_lut, fake_quant_fp8_per_channel_lut, fake_quant_int8,
     fake_quant_int8_per_channel, fp8_scale, Fp8Codec, Int8Codec, Int8Mode,
 };
-use ptq_nn::{ExecHook, Graph, Node, NodeId, OpClass, ValueId};
+use ptq_nn::{ExecHook, Graph, Node, NodeId, OpClass, PtqError, ValueId};
 use ptq_tensor::Tensor;
 use std::collections::{BTreeSet, HashMap};
 
@@ -36,19 +36,26 @@ pub struct QuantizedModel {
 
 impl QuantizedModel {
     /// Build a quantized model from a graph, its calibration data and a
-    /// recipe. (Use [`crate::workflow::quantize_workload`] for the full
+    /// recipe, reporting malformed graphs (unbound weights, structural
+    /// defects) as typed errors. (Use
+    /// [`crate::workflow::try_quantize_workload`] for the full
     /// calibrate-quantize-evaluate pipeline.)
-    pub fn build(graph: Graph, calib: &CalibData, config: QuantConfig) -> Self {
+    pub fn try_build(
+        graph: Graph,
+        calib: &CalibData,
+        config: QuantConfig,
+    ) -> Result<Self, PtqError> {
+        graph.validate_structure()?;
         let quantized_nodes = select_nodes(&graph, &config);
         let smooth = if let Some(alpha) = config.smoothquant_alpha {
             smooth_scales(&graph, calib, &quantized_nodes, alpha)
         } else {
             HashMap::new()
         };
-        let weights = prepare_weights(&graph, &config, &quantized_nodes, &smooth);
+        let weights = prepare_weights(&graph, &config, &quantized_nodes, &smooth)?;
         let (act_scales, act_int8) =
             prepare_act_scales(&graph, calib, &config, &quantized_nodes, &smooth);
-        QuantizedModel {
+        Ok(QuantizedModel {
             graph,
             config,
             quantized_nodes,
@@ -56,6 +63,18 @@ impl QuantizedModel {
             act_int8,
             weights,
             smooth,
+        })
+    }
+
+    /// Build a quantized model.
+    ///
+    /// # Panics
+    ///
+    /// Panicking wrapper over [`QuantizedModel::try_build`].
+    pub fn build(graph: Graph, calib: &CalibData, config: QuantConfig) -> Self {
+        match Self::try_build(graph, calib, config) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -113,30 +132,39 @@ fn prepare_weights(
     config: &QuantConfig,
     nodes: &BTreeSet<NodeId>,
     smooth: &HashMap<NodeId, Vec<f32>>,
-) -> HashMap<ValueId, Tensor> {
+) -> Result<HashMap<ValueId, Tensor>, PtqError> {
     let mut out = HashMap::new();
     for &id in nodes {
         let node = &graph.nodes()[id];
         let Some(wid) = node.op.weight_value() else {
             continue;
         };
-        let mut w = graph.param(wid).expect("weight bound").clone();
+        let mut w = graph
+            .param(wid)
+            .ok_or_else(|| PtqError::UnboundParam {
+                value: wid,
+                node: node.name.clone(),
+            })?
+            .clone();
         // SmoothQuant: multiply column j by s_j (activations are divided
         // by s_j at run time; the FP32 product is unchanged).
         if let Some(s) = smooth.get(&id) {
             let (rows, cols) = (w.dim(0), w.dim(1));
-            assert_eq!(s.len(), cols, "smooth scale length");
-            let data = w.data_mut();
-            for r in 0..rows {
-                for (j, &sj) in s.iter().enumerate() {
-                    data[r * cols + j] *= sj;
+            // smooth_scales only emits scales matching the weight's column
+            // count; anything else would silently corrupt the weight.
+            if s.len() == cols {
+                let data = w.data_mut();
+                for r in 0..rows {
+                    for (j, &sj) in s.iter().enumerate() {
+                        data[r * cols + j] *= sj;
+                    }
                 }
             }
         }
         quantize_weight_tensor(&mut w, config);
         out.insert(wid, w);
     }
-    out
+    Ok(out)
 }
 
 /// In-place fake quantization of a weight tensor under the config's weight
@@ -214,8 +242,12 @@ fn prepare_act_scales(
                 }
                 DataFormat::Int8 => {
                     // Asymmetric activation codec from calibrated min/max
-                    // (clipped to the threshold).
-                    let st = calib.stats.get(&key).expect("threshold implies stats");
+                    // (clipped to the threshold). A threshold implies stats
+                    // were collected for this key; if not, leave the input
+                    // unquantized rather than abort.
+                    let Some(st) = calib.stats.get(&key) else {
+                        continue;
+                    };
                     let lo = st.min.max(-threshold);
                     let hi = st.max.min(threshold);
                     int8.insert(key, Int8Codec::from_range(lo, hi, Int8Mode::Asymmetric));
@@ -245,7 +277,7 @@ impl ExecHook for QuantHook<'_> {
         // SmoothQuant: divide the Linear input's channels by s.
         if let Some(s) = self.model.smooth.get(&node.id) {
             let x = &mut inputs[0];
-            let d = *x.shape().last().expect("nonempty shape");
+            let d = x.shape().last().copied().unwrap_or(0);
             if d == s.len() {
                 let rows = x.len() / d;
                 let data = x.data_mut();
@@ -280,7 +312,21 @@ impl ExecHook for QuantHook<'_> {
                     let s = if cfg.direct_activation_quant() {
                         1.0
                     } else {
-                        let absmax = x.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                        // `f32::max` silently drops NaN, so a plain absmax
+                        // fold over a NaN-bearing activation would compute
+                        // a scale from the remaining values. Propagate any
+                        // non-finite value into the absmax instead:
+                        // `fp8_scale` then falls back to 1.0, and the NaN
+                        // itself maps to the format's Table-1 NaN encoding
+                        // inside the LUT quantizer.
+                        let absmax = x.data().iter().fold(0.0f32, |m, &v| {
+                            let a = v.abs();
+                            if a > m || !a.is_finite() {
+                                a
+                            } else {
+                                m
+                            }
+                        });
                         fp8_scale(f, absmax)
                     };
                     fake_quant_fp8_lut(x.data_mut(), &codec, s);
@@ -448,6 +494,51 @@ mod tests {
         let model = QuantizedModel::build(g, &calib, QuantConfig::fp8(Fp8Format::E5M2));
         for &s in model.act_scales.values() {
             assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn dynamic_nonfinite_activation_falls_back_to_unit_scale() {
+        // Regression: the dynamic absmax fold used `f32::max`, which drops
+        // NaN — a NaN-bearing activation got a scale computed from the
+        // remaining values. With the fix, any non-finite input forces
+        // scale 1.0; NaN then passes through as the format's NaN encoding
+        // and the finite values quantize on the unscaled grid.
+        let g = cnn();
+        let calib = calibrated(&g);
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3)
+            .with_approach(Approach::Dynamic)
+            .with_first_last();
+        let model = QuantizedModel::build(g, &calib, cfg);
+        let mut hook = model.hook();
+        let node = &model.graph.nodes()[0];
+        assert!(model.quantized_nodes.contains(&node.id));
+
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut x = TensorRng::seed(7).normal(&[1, 3, 8, 8], 0.0, 300.0);
+            x.data_mut()[5] = poison;
+            let clean: Vec<f32> = x.data().to_vec();
+            let mut inputs = vec![x];
+            hook.before_node(node, &mut inputs);
+            let out = inputs[0].data();
+            // Finite values were quantized with scale exactly 1.0.
+            let codec = Fp8Codec::new(Fp8Format::E4M3);
+            let mut expected = clean.clone();
+            fake_quant_fp8_lut(&mut expected, &codec, 1.0);
+            for (i, (&got, &want)) in out.iter().zip(&expected).enumerate() {
+                if i == 5 {
+                    continue;
+                }
+                assert_eq!(got.to_bits(), want.to_bits(), "index {i} ({poison})");
+            }
+            // NaN maps to NaN (E4M3's all-ones Table-1 encoding decodes to
+            // NaN); ±Inf saturates to the format maximum.
+            if poison.is_nan() {
+                assert!(out[5].is_nan());
+            } else {
+                assert_eq!(out[5].abs(), Fp8Format::E4M3.max_value());
+                assert_eq!(out[5].is_sign_negative(), poison.is_sign_negative());
+            }
         }
     }
 

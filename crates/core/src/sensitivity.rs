@@ -9,9 +9,9 @@
 use crate::calibrate::CalibData;
 use crate::config::QuantConfig;
 use crate::quantizer::{select_nodes, QuantizedModel};
-use crate::workflow::calibrate_workload;
+use crate::workflow::try_calibrate_workload;
 use ptq_models::Workload;
-use ptq_nn::NodeId;
+use ptq_nn::{NodeId, PtqError};
 use serde::{Deserialize, Serialize};
 
 /// Sensitivity of one node: the score drop when only this node is
@@ -52,17 +52,20 @@ impl SensitivityProfile {
 /// Measure per-node sensitivity: for each node the config would quantize,
 /// evaluate the workload with *only* that node quantized. `O(nodes ×
 /// eval)` — intended for tuning sessions, not inner loops.
-pub fn sensitivity_profile(workload: &Workload, cfg: &QuantConfig) -> SensitivityProfile {
-    let calib = calibrate_workload(workload, cfg);
-    sensitivity_profile_with(workload, cfg, &calib)
+pub fn try_sensitivity_profile(
+    workload: &Workload,
+    cfg: &QuantConfig,
+) -> Result<SensitivityProfile, PtqError> {
+    let calib = try_calibrate_workload(workload, cfg)?;
+    try_sensitivity_profile_with(workload, cfg, &calib)
 }
 
-/// As [`sensitivity_profile`], reusing existing calibration data.
-pub fn sensitivity_profile_with(
+/// As [`try_sensitivity_profile`], reusing existing calibration data.
+pub fn try_sensitivity_profile_with(
     workload: &Workload,
     cfg: &QuantConfig,
     calib: &CalibData,
-) -> SensitivityProfile {
+) -> Result<SensitivityProfile, PtqError> {
     let all = select_nodes(&workload.graph, cfg);
     let mut nodes = Vec::with_capacity(all.len());
     for &keep in &all {
@@ -72,8 +75,8 @@ pub fn sensitivity_profile_with(
                 only_one.fallback.insert(id);
             }
         }
-        let model = QuantizedModel::build(workload.graph.clone(), calib, only_one);
-        let score = workload.evaluate_graph(&model.graph, &mut model.hook());
+        let model = QuantizedModel::try_build(workload.graph.clone(), calib, only_one)?;
+        let score = workload.try_evaluate_graph(&model.graph, &mut model.hook())?;
         let node = &workload.graph.nodes()[keep];
         nodes.push(NodeSensitivity {
             node: keep,
@@ -83,8 +86,36 @@ pub fn sensitivity_profile_with(
             loss: ptq_metrics::relative_loss(workload.fp32_score, score),
         });
     }
-    nodes.sort_by(|a, b| b.loss.partial_cmp(&a.loss).expect("finite losses"));
-    SensitivityProfile { nodes }
+    nodes.sort_by(|a, b| b.loss.total_cmp(&a.loss));
+    Ok(SensitivityProfile { nodes })
+}
+
+/// Per-node sensitivity profile.
+///
+/// # Panics
+///
+/// Panicking wrapper over [`try_sensitivity_profile`].
+pub fn sensitivity_profile(workload: &Workload, cfg: &QuantConfig) -> SensitivityProfile {
+    match try_sensitivity_profile(workload, cfg) {
+        Ok(p) => p,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// As [`sensitivity_profile`], reusing existing calibration data.
+///
+/// # Panics
+///
+/// Panicking wrapper over [`try_sensitivity_profile_with`].
+pub fn sensitivity_profile_with(
+    workload: &Workload,
+    cfg: &QuantConfig,
+    calib: &CalibData,
+) -> SensitivityProfile {
+    match try_sensitivity_profile_with(workload, cfg, calib) {
+        Ok(p) => p,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]

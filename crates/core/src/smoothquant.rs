@@ -36,7 +36,9 @@ pub fn smooth_scales(
         let Some(wid) = node.op.weight_value() else {
             continue;
         };
-        let w = graph.param(wid).expect("weight bound");
+        let Some(w) = graph.param(wid) else {
+            continue;
+        };
         let (rows, cols) = (w.dim(0), w.dim(1));
         if cols != act_absmax.len() {
             continue;

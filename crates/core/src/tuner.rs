@@ -9,7 +9,7 @@
 
 use crate::calib_cache::CalibCache;
 use crate::config::{Approach, DataFormat, QuantConfig};
-use crate::workflow::{paper_mixed_recipe, paper_recipe, quantize_workload_cached};
+use crate::workflow::{paper_mixed_recipe, paper_recipe, try_quantize_workload_cached};
 use ptq_fp8::Fp8Format;
 use ptq_metrics::{passes_criterion, Domain};
 use ptq_models::Workload;
@@ -27,16 +27,23 @@ pub struct Recipe {
 }
 
 /// One evaluated tuning step.
+///
+/// A candidate whose evaluation *fails* (malformed graph, shape error,
+/// kernel panic) is still recorded — with `score` NaN, `loss` infinite,
+/// `passed` false and `error` set — so the lattice walk continues past it
+/// instead of unwinding the whole tuning run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TuneStep {
     /// Candidate name.
     pub name: String,
-    /// Quantized score.
+    /// Quantized score (NaN if the candidate failed to evaluate).
     pub score: f64,
-    /// Relative loss vs FP32.
+    /// Relative loss vs FP32 (infinite if the candidate failed).
     pub loss: f64,
     /// Whether the criterion was met.
     pub passed: bool,
+    /// Why the candidate failed to evaluate, if it did.
+    pub error: Option<String>,
 }
 
 /// Tuning outcome: the trace and the first (cheapest) passing recipe.
@@ -137,31 +144,61 @@ impl AutoTuner {
         }
         // Best config so far (lowest loss in the trace order of candidates).
         let candidates = self.candidates(workload);
+        // Failed candidates carry loss = +inf, so total_cmp naturally ranks
+        // them last (and a trace of nothing but failures picks index 0).
         let best_idx = outcome
             .trace
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.loss.partial_cmp(&b.1.loss).expect("finite losses"))
+            .min_by(|a, b| a.1.loss.total_cmp(&b.1.loss))
             .map(|(i, _)| i)
             .unwrap_or(0);
         let base = candidates[best_idx.min(candidates.len() - 1)]
             .config
             .clone();
-        let profile = crate::sensitivity::sensitivity_profile(workload, &base);
+        let profile = match crate::sensitivity::try_sensitivity_profile(workload, &base) {
+            Ok(p) => p,
+            Err(e) => {
+                // The workload cannot even be profiled (malformed graph,
+                // broken eval set): record why and stop — the lattice
+                // trace already carries the per-candidate failures.
+                outcome.trace.push(TuneStep {
+                    name: "sensitivity profile".to_string(),
+                    score: f64::NAN,
+                    loss: f64::INFINITY,
+                    passed: false,
+                    error: Some(e.to_string()),
+                });
+                return outcome;
+            }
+        };
         for k in [1usize, 2, 4] {
             let mut cfg = base.clone();
             for n in profile.top(k) {
                 cfg.fallback.insert(n.node);
             }
-            let out = quantize_workload_cached(workload, &cfg, &cache);
-            let loss = out.result.loss();
-            let passed = passes_criterion(workload.fp32_score, out.score, self.criterion);
-            outcome.trace.push(TuneStep {
-                name: format!("{} + top-{k} sensitive ops FP32", candidates[best_idx].name),
-                score: out.score,
-                loss,
-                passed,
-            });
+            let step = match try_quantize_workload_cached(workload, &cfg, &cache) {
+                Ok(out) => {
+                    let loss = out.result.loss();
+                    let passed = passes_criterion(workload.fp32_score, out.score, self.criterion);
+                    TuneStep {
+                        name: format!("{} + top-{k} sensitive ops FP32", candidates[best_idx].name),
+                        score: out.score,
+                        loss,
+                        passed,
+                        error: None,
+                    }
+                }
+                Err(e) => TuneStep {
+                    name: format!("{} + top-{k} sensitive ops FP32", candidates[best_idx].name),
+                    score: f64::NAN,
+                    loss: f64::INFINITY,
+                    passed: false,
+                    error: Some(e.to_string()),
+                },
+            };
+            let passed = step.passed;
+            outcome.trace.push(step);
             if passed {
                 outcome.accepted = Some(outcome.trace.len() - 1);
                 outcome.config = Some(cfg);
@@ -181,6 +218,10 @@ impl AutoTuner {
 
     /// Tune every workload of a zoo slice in parallel, sharing `cache`
     /// between workloads (each workload's recipes hit its own entries).
+    ///
+    /// Fail-soft: a workload whose candidates all fail to evaluate still
+    /// yields a [`TuneOutcome`] (every trace step carrying an `error`,
+    /// `accepted` none) — one broken workload never unwinds the batch.
     pub fn tune_all(&self, zoo: &[Workload]) -> Vec<TuneOutcome> {
         let cache = CalibCache::new();
         zoo.par_iter().map(|w| self.tune_inner(w, &cache)).collect()
@@ -192,14 +233,19 @@ impl AutoTuner {
         let mut config = None;
         let mut best_loss = f64::INFINITY;
         for recipe in self.candidates(workload) {
-            let out = quantize_workload_cached(workload, &recipe.config, cache);
-            let loss = out.result.loss();
-            let passed = passes_criterion(workload.fp32_score, out.score, self.criterion);
+            let (score, loss, error) =
+                match try_quantize_workload_cached(workload, &recipe.config, cache) {
+                    Ok(out) => (out.score, out.result.loss(), None),
+                    Err(e) => (f64::NAN, f64::INFINITY, Some(e.to_string())),
+                };
+            let passed =
+                error.is_none() && passes_criterion(workload.fp32_score, score, self.criterion);
             trace.push(TuneStep {
                 name: recipe.name.clone(),
-                score: out.score,
+                score,
                 loss,
                 passed,
+                error,
             });
             let better = loss < best_loss;
             if passed && accepted.is_none() {
@@ -280,6 +326,40 @@ mod tests {
                 assert_eq!(a.score.to_bits(), b.score.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn tuner_is_fail_soft_on_broken_workloads() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let mut broken = zoo[0].clone();
+        broken.spec.name = format!("{}/broken", broken.spec.name);
+        broken.eval = vec![vec![]]; // no eval inputs -> arity error
+        let tuner = AutoTuner::new();
+
+        // Every candidate fails but is recorded; nothing is accepted and
+        // nothing panics — not even the post-lattice fallback search.
+        let out = tuner.tune_with_fallbacks(&broken);
+        assert!(out.accepted.is_none());
+        assert!(!out.trace.is_empty());
+        for s in &out.trace {
+            assert!(s.error.is_some(), "step {} should carry an error", s.name);
+            assert!(s.score.is_nan());
+            assert!(s.loss.is_infinite());
+            assert!(!s.passed);
+        }
+
+        // A batch containing the broken workload still tunes the healthy
+        // one identically to tuning it alone.
+        let batch = vec![zoo[0].clone(), broken];
+        let all = tuner.tune_all(&batch);
+        assert_eq!(all.len(), 2);
+        let solo = tuner.tune(&zoo[0]);
+        assert_eq!(all[0].accepted, solo.accepted);
+        for (a, b) in all[0].trace.iter().zip(&solo.trace) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        assert!(all[1].accepted.is_none());
+        assert!(all[1].trace.iter().all(|s| s.error.is_some()));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! (BatchNorm-calibrate) → evaluate, plus the paper's per-domain preset
 //! recipes and the suite runner behind Table 2.
 
-use crate::bn_calib::recalibrate_batchnorm;
+use crate::bn_calib::try_recalibrate_batchnorm;
 use crate::calib_cache::CalibCache;
 use crate::calibrate::{CalibData, CalibrationHook, HistogramHook};
 use crate::config::{Approach, DataFormat, QuantConfig};
@@ -10,8 +10,10 @@ use crate::quantizer::QuantizedModel;
 use ptq_fp8::Fp8Format;
 use ptq_metrics::{Domain, PassRateSummary, WorkloadResult};
 use ptq_models::Workload;
+use ptq_nn::PtqError;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Result of quantizing one workload under one recipe.
 #[derive(Debug)]
@@ -24,54 +26,150 @@ pub struct QuantOutcome {
     pub result: WorkloadResult,
 }
 
-/// Run full calibration for a workload's graph under a config (absmax
-/// pass, plus the histogram pass when the calibrator needs it).
-pub fn calibrate_workload(workload: &Workload, cfg: &QuantConfig) -> CalibData {
-    let mut hook = CalibrationHook::new();
-    workload.calibrate(&mut hook);
-    let mut data = hook.into_data();
-    if CalibData::needs_histograms(cfg) {
-        let mut h2 = HistogramHook::new(&mut data);
-        workload.calibrate_graph(&workload.graph, &mut h2);
+/// A per-workload failure recorded by a fail-soft sweep instead of
+/// unwinding the whole suite.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepError {
+    /// Failing workload's `spec.name`.
+    pub workload: String,
+    /// The rendered [`PtqError`].
+    pub error: String,
+}
+
+/// Run `f` with a last-resort panic boundary: typed errors pass through,
+/// and any *residual* panic (a kernel assert or arithmetic edge the typed
+/// layer missed) is converted to [`PtqError::Internal`] so one workload's
+/// failure cannot unwind a whole sweep or poison shared state.
+fn run_guarded<T>(f: impl FnOnce() -> Result<T, PtqError>) -> Result<T, PtqError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("panic with non-string payload");
+            Err(PtqError::Internal(msg.to_string()))
+        }
     }
-    data
+}
+
+/// Run full calibration for a workload's graph under a config (absmax
+/// pass, plus the histogram pass when the calibrator needs it), surfacing
+/// malformed-graph failures as typed errors.
+pub fn try_calibrate_workload(
+    workload: &Workload,
+    cfg: &QuantConfig,
+) -> Result<CalibData, PtqError> {
+    run_guarded(|| {
+        let mut hook = CalibrationHook::new();
+        workload.try_calibrate_graph(&workload.graph, &mut hook)?;
+        let mut data = hook.into_data();
+        if CalibData::needs_histograms(cfg) {
+            let mut h2 = HistogramHook::new(&mut data);
+            workload.try_calibrate_graph(&workload.graph, &mut h2)?;
+        }
+        Ok(data)
+    })
+}
+
+/// Run full calibration for a workload's graph under a config.
+///
+/// # Panics
+///
+/// Panicking wrapper over [`try_calibrate_workload`].
+pub fn calibrate_workload(workload: &Workload, cfg: &QuantConfig) -> CalibData {
+    match try_calibrate_workload(workload, cfg) {
+        Ok(data) => data,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The paper's Figure-2 pipeline for one workload, with typed errors.
+pub fn try_quantize_workload(
+    workload: &Workload,
+    cfg: &QuantConfig,
+) -> Result<QuantOutcome, PtqError> {
+    let calib = try_calibrate_workload(workload, cfg)?;
+    try_quantize_workload_with(workload, cfg, &calib)
 }
 
 /// The paper's Figure-2 pipeline for one workload.
+///
+/// # Panics
+///
+/// Panicking wrapper over [`try_quantize_workload`].
 pub fn quantize_workload(workload: &Workload, cfg: &QuantConfig) -> QuantOutcome {
-    let calib = calibrate_workload(workload, cfg);
-    quantize_workload_with(workload, cfg, &calib)
+    match try_quantize_workload(workload, cfg) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
 }
 
-/// [`quantize_workload`] with calibration served from (and recorded into)
-/// a [`CalibCache`] — the entry point recipe sweeps and the tuner use so a
-/// workload is calibrated once, not once per recipe.
+/// [`try_quantize_workload`] with calibration served from (and recorded
+/// into) a [`CalibCache`] — the entry point recipe sweeps and the tuner
+/// use so a workload is calibrated once, not once per recipe.
+pub fn try_quantize_workload_cached(
+    workload: &Workload,
+    cfg: &QuantConfig,
+    cache: &CalibCache,
+) -> Result<QuantOutcome, PtqError> {
+    let calib = cache.try_get_or_calibrate(workload, cfg)?;
+    try_quantize_workload_with(workload, cfg, &calib)
+}
+
+/// [`quantize_workload`] against a [`CalibCache`].
+///
+/// # Panics
+///
+/// Panicking wrapper over [`try_quantize_workload_cached`].
 pub fn quantize_workload_cached(
     workload: &Workload,
     cfg: &QuantConfig,
     cache: &CalibCache,
 ) -> QuantOutcome {
-    let calib = cache.get_or_calibrate(workload, cfg);
-    quantize_workload_with(workload, cfg, &calib)
+    match try_quantize_workload_cached(workload, cfg, cache) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The quantize → (BatchNorm-recalibrate) → evaluate tail of the pipeline,
+/// over already-collected calibration data, with typed errors.
+pub fn try_quantize_workload_with(
+    workload: &Workload,
+    cfg: &QuantConfig,
+    calib: &CalibData,
+) -> Result<QuantOutcome, PtqError> {
+    run_guarded(|| {
+        let mut model = QuantizedModel::try_build(workload.graph.clone(), calib, cfg.clone())?;
+        if cfg.bn_calibration && workload.has_batchnorm() {
+            try_recalibrate_batchnorm(&mut model, &workload.calib)?;
+        }
+        let score = workload.try_evaluate_graph(&model.graph, &mut model.hook())?;
+        let result = workload.result(score);
+        Ok(QuantOutcome {
+            model,
+            score,
+            result,
+        })
+    })
 }
 
 /// The quantize → (BatchNorm-recalibrate) → evaluate tail of the pipeline,
 /// over already-collected calibration data.
+///
+/// # Panics
+///
+/// Panicking wrapper over [`try_quantize_workload_with`].
 pub fn quantize_workload_with(
     workload: &Workload,
     cfg: &QuantConfig,
     calib: &CalibData,
 ) -> QuantOutcome {
-    let mut model = QuantizedModel::build(workload.graph.clone(), calib, cfg.clone());
-    if cfg.bn_calibration && workload.has_batchnorm() {
-        recalibrate_batchnorm(&mut model, &workload.calib);
-    }
-    let score = workload.evaluate_graph(&model.graph, &mut model.hook());
-    let result = workload.result(score);
-    QuantOutcome {
-        model,
-        score,
-        result,
+    match try_quantize_workload_with(workload, cfg, calib) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -129,16 +227,24 @@ pub fn paper_mixed_recipe(domain: Domain) -> QuantConfig {
 pub struct SuiteRow {
     /// Row label, e.g. `E4M3 / Static`.
     pub label: String,
-    /// Aggregated pass rates and loss quartiles.
+    /// Aggregated pass rates and loss quartiles (healthy workloads only).
     pub summary: PassRateSummary,
     /// Every per-workload record (for Figures 4 and 5).
     pub results: Vec<WorkloadResult>,
+    /// Workloads that failed to quantize, recorded instead of aborting
+    /// the sweep (empty when every workload succeeded).
+    pub errors: Vec<SweepError>,
 }
 
 /// Evaluate a named recipe family over a zoo slice: for each workload the
 /// per-domain paper recipe is instantiated and run. Workloads are
 /// processed in parallel; results keep zoo order, so output is identical
 /// to the serial sweep.
+///
+/// The sweep is **fail-soft**: a workload whose quantization fails (or
+/// panics) contributes a [`SweepError`] row and every other workload's
+/// result is unaffected — bit-identical to a run without the broken
+/// workload.
 pub fn run_suite(zoo: &[Workload], format: DataFormat, approach: Approach) -> SuiteRow {
     run_suite_cached(zoo, format, approach, &CalibCache::new())
 }
@@ -152,13 +258,26 @@ pub fn run_suite_cached(
     approach: Approach,
     cache: &CalibCache,
 ) -> SuiteRow {
-    let results: Vec<WorkloadResult> = zoo
+    let attempts: Vec<Result<WorkloadResult, SweepError>> = zoo
         .par_iter()
         .map(|w| {
             let cfg = paper_recipe(format, approach, w.spec.domain);
-            quantize_workload_cached(w, &cfg, cache).result
+            try_quantize_workload_cached(w, &cfg, cache)
+                .map(|out| out.result)
+                .map_err(|e| SweepError {
+                    workload: w.spec.name.clone(),
+                    error: e.to_string(),
+                })
         })
         .collect();
+    let mut results = Vec::with_capacity(attempts.len());
+    let mut errors = Vec::new();
+    for attempt in attempts {
+        match attempt {
+            Ok(r) => results.push(r),
+            Err(e) => errors.push(e),
+        }
+    }
     let label = match format {
         DataFormat::Int8 => "INT8 / Static CV Dynamic NLP".to_string(),
         _ => format!("{format} / {approach}"),
@@ -167,6 +286,7 @@ pub fn run_suite_cached(
         label,
         summary: PassRateSummary::of(&results),
         results,
+        errors,
     }
 }
 
@@ -250,6 +370,84 @@ mod tests {
             Approach::Static,
         );
         assert_eq!(row.results.len(), 4);
+        assert!(row.errors.is_empty());
         assert!(row.summary.all >= 0.0 && row.summary.all <= 1.0);
+    }
+
+    #[test]
+    fn suite_is_fail_soft_and_healthy_results_are_bit_identical() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let healthy = &zoo[..3];
+        let clean = run_suite(healthy, DataFormat::Fp8(Fp8Format::E4M3), Approach::Static);
+
+        // A poisoned clone: no eval inputs at all, so evaluation hits the
+        // graph's arity validation. Renamed so it cannot share a CalibCache
+        // entry with its healthy twin.
+        let mut broken = zoo[1].clone();
+        broken.spec.name = format!("{}/broken", broken.spec.name);
+        broken.eval = vec![vec![]];
+        let mixed = vec![
+            healthy[0].clone(),
+            broken,
+            healthy[1].clone(),
+            healthy[2].clone(),
+        ];
+        let row = run_suite(&mixed, DataFormat::Fp8(Fp8Format::E4M3), Approach::Static);
+
+        // Exactly one error row, naming the poisoned workload with a typed
+        // error message, not a panic.
+        assert_eq!(row.errors.len(), 1);
+        assert!(row.errors[0].workload.ends_with("/broken"));
+        assert!(
+            row.errors[0].error.contains("inputs"),
+            "unexpected error: {}",
+            row.errors[0].error
+        );
+
+        // Healthy workloads are untouched: same order, bit-identical
+        // scores, identical summary.
+        assert_eq!(row.results.len(), clean.results.len());
+        for (a, b) in row.results.iter().zip(&clean.results) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.quantized.to_bits(), b.quantized.to_bits());
+            assert_eq!(a.fp32.to_bits(), b.fp32.to_bits());
+        }
+        assert_eq!(row.summary.all.to_bits(), clean.summary.all.to_bits());
+    }
+
+    #[test]
+    fn suite_survives_panicking_workloads() {
+        // A graph assembled via the raw constructor with an unbound weight
+        // parameter: structural validation rejects it before any kernel
+        // runs, and the sweep records the error instead of unwinding.
+        let zoo = build_zoo(ZooFilter::Quick);
+        let mut broken = zoo[0].clone();
+        broken.spec.name = "unbound/param".to_string();
+        broken.graph = {
+            let mut g = ptq_nn::GraphBuilder::new();
+            let x = g.input();
+            let w = g.param(ptq_tensor::Tensor::zeros(&[4, 4]));
+            let y = g.linear(x, w, None);
+            let graph = g.finish(vec![y]);
+            ptq_nn::Graph::from_parts(
+                graph.nodes().to_vec(),
+                std::collections::HashMap::new(), // drop every binding
+                vec![x],
+                vec![y],
+                graph.n_values(),
+            )
+        };
+        let row = run_suite(
+            std::slice::from_ref(&broken),
+            DataFormat::Fp8(Fp8Format::E4M3),
+            Approach::Static,
+        );
+        assert!(row.results.is_empty());
+        assert_eq!(row.errors.len(), 1);
+        assert!(
+            row.errors[0].error.contains("not bound"),
+            "unexpected error: {}",
+            row.errors[0].error
+        );
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::task::{CalibSource, Metric};
 use ptq_metrics::{Domain, WorkloadResult};
-use ptq_nn::{ExecHook, Graph, NoopHook};
+use ptq_nn::{ExecHook, Graph, NoopHook, PtqError};
 use ptq_tensor::Tensor;
 
 /// Static description of a workload, independent of any quantization
@@ -73,18 +73,38 @@ impl Workload {
     }
 
     /// Evaluate with a *different* graph (e.g. one whose BatchNorm running
-    /// stats were recalibrated) under `hook`.
+    /// stats were recalibrated) under `hook`, surfacing malformed-graph and
+    /// shape failures as typed errors instead of panicking.
+    pub fn try_evaluate_graph(
+        &self,
+        graph: &Graph,
+        hook: &mut dyn ExecHook,
+    ) -> Result<f64, PtqError> {
+        let mut outputs: Vec<Tensor> = Vec::with_capacity(self.eval.len());
+        for inputs in &self.eval {
+            let mut out = graph.try_run(inputs, hook)?;
+            match (out.pop(), out.is_empty()) {
+                (Some(t), true) => outputs.push(t),
+                _ => {
+                    return Err(PtqError::Internal(
+                        "workloads are single-output".to_string(),
+                    ))
+                }
+            }
+        }
+        Ok(self.metric.score(&outputs))
+    }
+
+    /// Evaluate with a *different* graph under `hook`.
+    ///
+    /// # Panics
+    ///
+    /// Panicking wrapper over [`Workload::try_evaluate_graph`].
     pub fn evaluate_graph(&self, graph: &Graph, hook: &mut dyn ExecHook) -> f64 {
-        let outputs: Vec<Tensor> = self
-            .eval
-            .iter()
-            .map(|inputs| {
-                let mut out = graph.run(inputs, hook);
-                assert_eq!(out.len(), 1, "workloads are single-output");
-                out.pop().expect("one output")
-            })
-            .collect();
-        self.metric.score(&outputs)
+        match self.try_evaluate_graph(graph, hook) {
+            Ok(score) => score,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Feed every calibration batch through the graph under `hook`
@@ -93,10 +113,27 @@ impl Workload {
         self.calibrate_graph(&self.graph, hook);
     }
 
-    /// Calibrate against a different graph instance.
-    pub fn calibrate_graph(&self, graph: &Graph, hook: &mut dyn ExecHook) {
+    /// Calibrate against a different graph instance, surfacing failures as
+    /// typed errors.
+    pub fn try_calibrate_graph(
+        &self,
+        graph: &Graph,
+        hook: &mut dyn ExecHook,
+    ) -> Result<(), PtqError> {
         for inputs in &self.calib {
-            graph.run(inputs, hook);
+            graph.try_run(inputs, hook)?;
+        }
+        Ok(())
+    }
+
+    /// Calibrate against a different graph instance.
+    ///
+    /// # Panics
+    ///
+    /// Panicking wrapper over [`Workload::try_calibrate_graph`].
+    pub fn calibrate_graph(&self, graph: &Graph, hook: &mut dyn ExecHook) {
+        if let Err(e) = self.try_calibrate_graph(graph, hook) {
+            panic!("{e}");
         }
     }
 

@@ -254,6 +254,22 @@ impl GraphBuilder {
         self.push(Op::CausalMask, vec![x])
     }
 
+    /// Finish, declaring the graph outputs. Errors (via
+    /// [`Graph::validate_structure`]) if the graph has no nodes, an output
+    /// id was never produced, or an operator references an unbound
+    /// parameter.
+    pub fn try_finish(self, outputs: Vec<ValueId>) -> Result<Graph, crate::error::PtqError> {
+        let g = Graph::from_parts(
+            self.nodes,
+            self.params,
+            self.inputs,
+            outputs,
+            self.next_value,
+        );
+        g.validate_structure()?;
+        Ok(g)
+    }
+
     /// Finish, declaring the graph outputs.
     ///
     /// # Panics
@@ -267,13 +283,13 @@ impl GraphBuilder {
                 "output value {o} is never produced"
             );
         }
-        Graph {
-            nodes: self.nodes,
-            params: self.params,
-            inputs: self.inputs,
+        Graph::from_parts(
+            self.nodes,
+            self.params,
+            self.inputs,
             outputs,
-            n_values: self.next_value,
-        }
+            self.next_value,
+        )
     }
 }
 

@@ -1,0 +1,100 @@
+//! The typed error surface of the inference and PTQ stack.
+//!
+//! Every failure a malformed graph, bad binding, or hostile input can
+//! provoke is represented here, so callers running fleets of workloads
+//! (the paper sweeps 75 architectures over 200+ tasks) can record one
+//! workload's failure and keep going instead of unwinding the process.
+
+use crate::graph::ValueId;
+use std::fmt;
+
+/// A tensor shape, as used by [`crate::Graph::validate`].
+pub type Shape = ptq_tensor::shape::Shape;
+
+/// Why a graph could not be validated or executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PtqError {
+    /// The caller supplied the wrong number of runtime inputs.
+    InputArity {
+        /// Inputs the graph declares.
+        expected: usize,
+        /// Inputs the caller supplied.
+        got: usize,
+    },
+    /// An operator references a parameter value with no bound tensor.
+    UnboundParam {
+        /// The dangling value id.
+        value: ValueId,
+        /// Name of the referencing node.
+        node: String,
+    },
+    /// A node reads a value that no input, parameter, or earlier node
+    /// produces.
+    UseBeforeDef {
+        /// The undefined value id.
+        value: ValueId,
+        /// Name of the reading node.
+        node: String,
+    },
+    /// A declared graph output is never produced.
+    UnproducedOutput {
+        /// The missing output value id.
+        value: ValueId,
+    },
+    /// An operator's shape preconditions are violated.
+    ShapeMismatch {
+        /// Name of the offending node.
+        node: String,
+        /// Human-readable rule violation (from `ptq_tensor::shape`).
+        detail: String,
+    },
+    /// Runtime data fails an operator's value-level contract (e.g.
+    /// negative, fractional, or out-of-range embedding ids).
+    InvalidInput {
+        /// Name of the offending node.
+        node: String,
+        /// What was wrong with the data.
+        detail: String,
+    },
+    /// The graph has no nodes.
+    EmptyGraph,
+    /// An operation targeted the wrong kind of value or node (e.g.
+    /// re-binding a non-parameter, reading BatchNorm params off a Conv).
+    InvalidTarget {
+        /// What the caller did wrong.
+        detail: String,
+    },
+    /// An unclassified failure, e.g. a panic caught at a fail-soft
+    /// boundary.
+    Internal(String),
+}
+
+impl fmt::Display for PtqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtqError::InputArity { expected, got } => {
+                write!(f, "graph expects {expected} inputs, got {got}")
+            }
+            PtqError::UnboundParam { value, node } => {
+                write!(f, "parameter {value} not bound (node {node})")
+            }
+            PtqError::UseBeforeDef { value, node } => {
+                write!(f, "value {value} is not produced before node {node}")
+            }
+            PtqError::UnproducedOutput { value } => {
+                write!(f, "output value {value} was not produced")
+            }
+            PtqError::ShapeMismatch { node, detail } => {
+                write!(f, "shape error at node {node}: {detail}")
+            }
+            PtqError::InvalidInput { node, detail } => {
+                write!(f, "invalid input at node {node}: {detail}")
+            }
+            PtqError::EmptyGraph => write!(f, "graph has no nodes"),
+            PtqError::InvalidTarget { detail } => write!(f, "invalid target: {detail}"),
+            PtqError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PtqError {}

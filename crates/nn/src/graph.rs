@@ -1,5 +1,6 @@
 //! The model graph: nodes, operators and parameter storage.
 
+use crate::error::PtqError;
 use ptq_tensor::ops::{BatchNormParams, Conv2dParams};
 use ptq_tensor::Tensor;
 use std::collections::HashMap;
@@ -243,6 +244,26 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Assemble a graph directly from raw parts, with **no validity
+    /// checks**. [`crate::GraphBuilder`] is the checked construction path;
+    /// this escape hatch exists so tests and loaders can materialize
+    /// deliberately malformed graphs and exercise [`Graph::validate`].
+    pub fn from_parts(
+        nodes: Vec<Node>,
+        params: HashMap<ValueId, Tensor>,
+        inputs: Vec<ValueId>,
+        outputs: Vec<ValueId>,
+        n_values: usize,
+    ) -> Self {
+        Graph {
+            nodes,
+            params,
+            inputs,
+            outputs,
+            n_values,
+        }
+    }
+
     /// Nodes in execution order.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
@@ -258,23 +279,35 @@ impl Graph {
         &self.outputs
     }
 
+    /// Total number of value slots (inputs + params + node outputs).
+    pub fn n_values(&self) -> usize {
+        self.n_values
+    }
+
     /// A bound parameter tensor.
     pub fn param(&self, id: ValueId) -> Option<&Tensor> {
         self.params.get(&id)
     }
 
     /// Replace a bound parameter (used by BatchNorm calibration and weight
-    /// pre-quantization).
+    /// pre-quantization). Errors if `id` is not a bound parameter.
+    pub fn try_set_param(&mut self, id: ValueId, t: Tensor) -> Result<(), PtqError> {
+        let old = self.params.get_mut(&id).ok_or(PtqError::InvalidTarget {
+            detail: format!("value {id} is not a bound parameter"),
+        })?;
+        *old = t;
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`Graph::try_set_param`].
     ///
     /// # Panics
     ///
     /// Panics if `id` is not a bound parameter.
     pub fn set_param(&mut self, id: ValueId, t: Tensor) {
-        let old = self
-            .params
-            .get_mut(&id)
-            .unwrap_or_else(|| panic!("value {id} is not a bound parameter"));
-        *old = t;
+        if let Err(e) = self.try_set_param(id, t) {
+            panic!("{e}");
+        }
     }
 
     /// Iterate over `(ValueId, &Tensor)` parameter bindings.
@@ -318,27 +351,50 @@ impl Graph {
         (first, last)
     }
 
-    /// Reconstruct [`BatchNormParams`] for a BatchNorm node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is not a BatchNorm node.
-    pub fn batchnorm_params(&self, id: NodeId) -> BatchNormParams {
-        match &self.nodes[id].op {
+    /// Reconstruct [`BatchNormParams`] for a BatchNorm node. Errors if
+    /// `id` is out of range, not a BatchNorm node, or has unbound
+    /// parameters.
+    pub fn try_batchnorm_params(&self, id: NodeId) -> Result<BatchNormParams, PtqError> {
+        let node = self.nodes.get(id).ok_or(PtqError::InvalidTarget {
+            detail: format!("node {id} is out of range"),
+        })?;
+        match &node.op {
             Op::BatchNorm {
                 gamma,
                 beta,
                 mean,
                 var,
                 eps,
-            } => BatchNormParams {
-                gamma: self.params[gamma].clone(),
-                beta: self.params[beta].clone(),
-                mean: self.params[mean].clone(),
-                var: self.params[var].clone(),
-                eps: *eps,
-            },
-            other => panic!("node {id} is {other:?}, not BatchNorm"),
+            } => {
+                let get = |v: &ValueId| {
+                    self.params.get(v).cloned().ok_or(PtqError::UnboundParam {
+                        value: *v,
+                        node: node.name.clone(),
+                    })
+                };
+                Ok(BatchNormParams {
+                    gamma: get(gamma)?,
+                    beta: get(beta)?,
+                    mean: get(mean)?,
+                    var: get(var)?,
+                    eps: *eps,
+                })
+            }
+            other => Err(PtqError::InvalidTarget {
+                detail: format!("node {id} is {other:?}, not BatchNorm"),
+            }),
+        }
+    }
+
+    /// Panicking wrapper over [`Graph::try_batchnorm_params`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a BatchNorm node.
+    pub fn batchnorm_params(&self, id: NodeId) -> BatchNormParams {
+        match self.try_batchnorm_params(id) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Graph interpreter with quantization interception hooks.
 
+use crate::error::PtqError;
 use crate::graph::{Graph, Node, Op};
 use ptq_tensor::ops;
 use ptq_tensor::ops::BatchNormParams;
@@ -48,35 +49,33 @@ impl Graph {
     /// Execute the graph on `inputs` (bound to [`Graph::input_ids`] in
     /// order), returning the output tensors.
     ///
-    /// # Panics
-    ///
-    /// Panics if the number of inputs is wrong or an operator receives
-    /// tensors of incompatible shapes.
-    pub fn run(&self, inputs: &[Tensor], hook: &mut dyn ExecHook) -> Vec<Tensor> {
-        assert_eq!(
-            inputs.len(),
-            self.inputs.len(),
-            "graph expects {} inputs, got {}",
-            self.inputs.len(),
-            inputs.len()
-        );
+    /// Validates the whole graph against the input shapes first (see
+    /// [`Graph::validate`]), so a malformed graph or incompatible shape is
+    /// reported as a typed [`PtqError`] *before* any kernel runs rather
+    /// than panicking mid-execution. After validation, the only runtime
+    /// failures are data-dependent contracts (embedding id values).
+    pub fn try_run(
+        &self,
+        inputs: &[Tensor],
+        hook: &mut dyn ExecHook,
+    ) -> Result<Vec<Tensor>, PtqError> {
+        let in_shapes: Vec<Vec<usize>> = inputs.iter().map(|t| t.shape().to_vec()).collect();
+        self.validate(&in_shapes)?;
         let mut values: Vec<Option<Tensor>> = vec![None; self.n_values];
         for (&id, t) in self.inputs.iter().zip(inputs) {
             values[id] = Some(t.clone());
         }
 
         for node in &self.nodes {
-            let mut ins: Vec<Tensor> = node
-                .inputs
-                .iter()
-                .map(|&i| {
-                    values[i]
-                        .clone()
-                        .unwrap_or_else(|| panic!("value {i} missing for node {}", node.name))
-                })
-                .collect();
+            let mut ins = Vec::with_capacity(node.inputs.len());
+            for &i in &node.inputs {
+                ins.push(values[i].clone().ok_or_else(|| PtqError::UseBeforeDef {
+                    value: i,
+                    node: node.name.clone(),
+                })?);
+            }
             hook.before_node(node, &mut ins);
-            let mut out = self.eval_node(node, &ins, hook);
+            let mut out = self.eval_node(node, &ins, hook)?;
             hook.after_node(node, &mut out);
             values[node.output] = Some(out);
         }
@@ -86,35 +85,73 @@ impl Graph {
             .map(|&o| {
                 values[o]
                     .clone()
-                    .unwrap_or_else(|| panic!("output value {o} was not produced"))
+                    .ok_or(PtqError::UnproducedOutput { value: o })
             })
             .collect()
     }
 
+    /// Convenience: [`Graph::try_run`] with no hook (pure FP32 inference).
+    pub fn try_infer(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, PtqError> {
+        self.try_run(inputs, &mut NoopHook)
+    }
+
+    /// Execute the graph, panicking on any [`PtqError`].
+    ///
+    /// Thin compatibility wrapper over [`Graph::try_run`]; new code should
+    /// prefer the `try_` form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs is wrong, the graph is malformed, or
+    /// an operator receives tensors of incompatible shapes.
+    pub fn run(&self, inputs: &[Tensor], hook: &mut dyn ExecHook) -> Vec<Tensor> {
+        match self.try_run(inputs, hook) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     /// Convenience: run with no hook (pure FP32 inference).
+    ///
+    /// # Panics
+    ///
+    /// As [`Graph::run`].
     pub fn infer(&self, inputs: &[Tensor]) -> Vec<Tensor> {
         self.run(inputs, &mut NoopHook)
     }
 
     /// Fetch a parameter through the hook's substitution point.
-    fn fetch(&self, node: &Node, id: crate::graph::ValueId, hook: &mut dyn ExecHook) -> Tensor {
-        let w = self
-            .params
-            .get(&id)
-            .unwrap_or_else(|| panic!("parameter {id} not bound (node {})", node.name));
-        hook.weight(node, id, w).unwrap_or_else(|| w.clone())
+    fn fetch(
+        &self,
+        node: &Node,
+        id: crate::graph::ValueId,
+        hook: &mut dyn ExecHook,
+    ) -> Result<Tensor, PtqError> {
+        let w = self.params.get(&id).ok_or_else(|| PtqError::UnboundParam {
+            value: id,
+            node: node.name.clone(),
+        })?;
+        Ok(hook.weight(node, id, w).unwrap_or_else(|| w.clone()))
     }
 
-    fn eval_node(&self, node: &Node, ins: &[Tensor], hook: &mut dyn ExecHook) -> Tensor {
-        match &node.op {
+    fn eval_node(
+        &self,
+        node: &Node,
+        ins: &[Tensor],
+        hook: &mut dyn ExecHook,
+    ) -> Result<Tensor, PtqError> {
+        let out = match &node.op {
             Op::Conv2d {
                 weight,
                 bias,
                 params,
                 depthwise,
             } => {
-                let w = self.fetch(node, *weight, hook);
-                let b = bias.map(|b| self.fetch(node, b, hook));
+                let w = self.fetch(node, *weight, hook)?;
+                let b = match bias {
+                    Some(b) => Some(self.fetch(node, *b, hook)?),
+                    None => None,
+                };
                 if *depthwise {
                     ops::depthwise_conv2d(&ins[0], &w, b.as_ref(), *params)
                 } else {
@@ -122,15 +159,39 @@ impl Graph {
                 }
             }
             Op::Linear { weight, bias } => {
-                let w = self.fetch(node, *weight, hook);
-                let b = bias.map(|b| self.fetch(node, b, hook));
+                let w = self.fetch(node, *weight, hook)?;
+                let b = match bias {
+                    Some(b) => Some(self.fetch(node, *b, hook)?),
+                    None => None,
+                };
                 ops::linear(&ins[0], &w, b.as_ref())
             }
             Op::MatMul => ops::matmul(&ins[0], &ins[1]),
             Op::BatchMatMul => ops::batch_matmul(&ins[0], &ins[1]),
             Op::Embedding { table } => {
-                let t = self.fetch(node, *table, hook);
-                let ids: Vec<usize> = ins[0].data().iter().map(|&x| x as usize).collect();
+                let t = self.fetch(node, *table, hook)?;
+                let vocab = t.dim(0);
+                let mut ids = Vec::with_capacity(ins[0].len());
+                for &x in ins[0].data() {
+                    // Ids arrive as f32; only finite non-negative integers
+                    // inside the table are valid. `as usize` would silently
+                    // saturate negatives/NaN to 0 and out-of-range ids
+                    // would blow up inside the kernel.
+                    if !x.is_finite() || x < 0.0 || x.fract() != 0.0 {
+                        return Err(PtqError::InvalidInput {
+                            node: node.name.clone(),
+                            detail: format!("embedding id {x} is not a non-negative integer"),
+                        });
+                    }
+                    let id = x as usize;
+                    if id >= vocab {
+                        return Err(PtqError::InvalidInput {
+                            node: node.name.clone(),
+                            detail: format!("embedding id {id} out of range (vocab {vocab})"),
+                        });
+                    }
+                    ids.push(id);
+                }
                 ops::embedding(&t, &ids)
             }
             Op::BatchNorm {
@@ -141,23 +202,23 @@ impl Graph {
                 eps,
             } => {
                 let p = BatchNormParams {
-                    gamma: self.fetch(node, *gamma, hook),
-                    beta: self.fetch(node, *beta, hook),
-                    mean: self.fetch(node, *mean, hook),
-                    var: self.fetch(node, *var, hook),
+                    gamma: self.fetch(node, *gamma, hook)?,
+                    beta: self.fetch(node, *beta, hook)?,
+                    mean: self.fetch(node, *mean, hook)?,
+                    var: self.fetch(node, *var, hook)?,
                     eps: *eps,
                 };
                 ops::batchnorm2d(&ins[0], &p)
             }
             Op::LayerNorm { gamma, beta, eps } => {
-                let g = self.fetch(node, *gamma, hook);
-                let b = self.fetch(node, *beta, hook);
+                let g = self.fetch(node, *gamma, hook)?;
+                let b = self.fetch(node, *beta, hook)?;
                 ops::layernorm(&ins[0], &g, &b, *eps)
             }
             Op::Add => ins[0].add(&ins[1]),
             Op::Mul => ins[0].mul(&ins[1]),
             Op::AddParam { param } => {
-                let p = self.fetch(node, *param, hook);
+                let p = self.fetch(node, *param, hook)?;
                 ins[0].add(&p)
             }
             Op::Relu => ops::relu(&ins[0]),
@@ -171,7 +232,6 @@ impl Graph {
             Op::GlobalAvgPool => ops::global_avg_pool2d(&ins[0]),
             Op::MeanRows => {
                 let x = &ins[0];
-                assert_eq!(x.ndim(), 2, "MeanRows expects a 2-D tensor");
                 let (r, d) = (x.dim(0), x.dim(1));
                 let mut out = Tensor::zeros(&[1, d]);
                 for i in 0..r {
@@ -188,7 +248,6 @@ impl Graph {
             Op::Scale(s) => ins[0].scale(*s),
             Op::Upsample2x => {
                 let x = &ins[0];
-                assert_eq!(x.ndim(), 4, "Upsample2x expects NCHW");
                 let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
                 let mut out = Tensor::zeros(&[n, c, 2 * h, 2 * w]);
                 for ni in 0..n {
@@ -203,21 +262,24 @@ impl Graph {
                 out
             }
             Op::CausalMask => {
+                // A true -inf (not the old -1e9 magic constant) so that no
+                // attention mass can leak through the mask however large
+                // the score scale is; softmax_lastdim turns fully masked
+                // rows into zeros rather than NaN.
                 let x = &ins[0];
-                assert_eq!(x.ndim(), 3, "CausalMask expects [batch, seq, seq]");
                 let (b, s1, s2) = (x.dim(0), x.dim(1), x.dim(2));
-                assert_eq!(s1, s2, "CausalMask expects square score matrices");
                 let mut out = x.clone();
                 for bi in 0..b {
                     for i in 0..s1 {
                         for j in (i + 1)..s2 {
-                            *out.at_mut(&[bi, i, j]) = -1e9;
+                            *out.at_mut(&[bi, i, j]) = f32::NEG_INFINITY;
                         }
                     }
                 }
                 out
             }
-        }
+        };
+        Ok(out)
     }
 }
 

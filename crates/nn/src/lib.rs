@@ -17,11 +17,19 @@
 //!   fetch* (substitute quantized weights) and *after* each node (observe
 //!   outputs). Calibration, quantized inference and BatchNorm recalibration
 //!   are all hooks; the graph itself never changes.
+//! * [`Graph::validate`] + [`Graph::try_run`] / [`Graph::try_infer`] — the
+//!   panic-free execution surface: arity, parameter binding, def-before-use
+//!   and per-operator shape rules are proven up front and violations are
+//!   reported as typed [`PtqError`]s, so one malformed model cannot take
+//!   down a whole sweep.
 
 pub mod builder;
+pub mod error;
 pub mod graph;
 pub mod interp;
+pub mod validate;
 
 pub use builder::GraphBuilder;
+pub use error::{PtqError, Shape};
 pub use graph::{Graph, Node, NodeId, Op, OpClass, ValueId};
 pub use interp::{ExecHook, NoopHook};

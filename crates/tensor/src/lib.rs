@@ -18,9 +18,11 @@
 
 pub mod ops;
 pub mod rng;
+pub mod shape;
 pub mod stats;
 pub mod tensor;
 
 pub use rng::TensorRng;
+pub use shape::{Shape, ShapeError};
 pub use stats::{ChannelStats, Histogram, TensorStats};
 pub use tensor::Tensor;

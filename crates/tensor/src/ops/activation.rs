@@ -35,6 +35,11 @@ pub fn tanh(x: &Tensor) -> Tensor {
 }
 
 /// Numerically-stable softmax over the last dimension.
+///
+/// Rows with no finite maximum — e.g. fully masked attention rows where
+/// every score is `-inf` — produce all-zero probabilities rather than NaN
+/// (`exp(-inf - -inf)` is undefined), so a causal mask can use a true
+/// `-inf` without poisoning downstream ops.
 pub fn softmax_lastdim(x: &Tensor) -> Tensor {
     let d = *x.shape().last().expect("softmax needs >=1-D input");
     let rows = x.len() / d;
@@ -43,6 +48,10 @@ pub fn softmax_lastdim(x: &Tensor) -> Tensor {
     for r in 0..rows {
         let row = &mut data[r * d..(r + 1) * d];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if !max.is_finite() {
+            row.fill(0.0);
+            continue;
+        }
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
             *v = (*v - max).exp();
@@ -95,6 +104,17 @@ mod tests {
         }
         // Large equal logits stay stable (no NaN) and uniform.
         assert!((y.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_zero_not_nan() {
+        let ninf = f32::NEG_INFINITY;
+        let x = Tensor::from_vec(vec![ninf, ninf, ninf, 0.0, ninf, ninf], &[2, 3]);
+        let y = softmax_lastdim(&x);
+        assert_eq!(&y.data()[..3], &[0.0, 0.0, 0.0]);
+        // The partially masked row still normalizes over its finite entry.
+        assert_eq!(&y.data()[3..], &[1.0, 0.0, 0.0]);
+        assert!(y.data().iter().all(|v| v.is_finite()));
     }
 
     #[test]
