@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Per-test wall-time guard: fails if any single test exceeds the limit
+# (default 60s, override with TEST_TIME_LIMIT=<seconds>).
+#
+# libtest's own --report-time is nightly-only, so on stable we enumerate
+# every test in every workspace test binary and run each one individually
+# under `timeout`. Pass a cargo profile flag (default --release) so CI can
+# reuse the artifacts from its build step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LIMIT="${TEST_TIME_LIMIT:-60}"
+PROFILE_FLAG="${1:---release}"
+
+mapfile -t BINARIES < <(
+  cargo test --workspace "$PROFILE_FLAG" --no-run --message-format=json 2>/dev/null |
+    python3 -c '
+import json, sys
+for line in sys.stdin:
+    try:
+        m = json.loads(line)
+    except ValueError:
+        continue
+    if (m.get("reason") == "compiler-artifact"
+            and m.get("profile", {}).get("test")
+            and m.get("executable")):
+        print(m["executable"])
+' | sort -u
+)
+
+if [ "${#BINARIES[@]}" -eq 0 ]; then
+  echo "error: no test binaries found" >&2
+  exit 1
+fi
+
+slow=0
+failed=0
+total=0
+for bin in "${BINARIES[@]}"; do
+  mapfile -t TESTS < <("$bin" --list --format terse 2>/dev/null | sed -n 's/: test$//p')
+  for t in ${TESTS[@]+"${TESTS[@]}"}; do
+    total=$((total + 1))
+    start=$(date +%s%N)
+    rc=0
+    timeout "$LIMIT" "$bin" --exact "$t" --test-threads=1 -q >/dev/null 2>&1 || rc=$?
+    dur_ms=$((($(date +%s%N) - start) / 1000000))
+    name="$(basename "$bin" | sed 's/-[0-9a-f]*$//')::$t"
+    if [ "$rc" -eq 124 ]; then
+      echo "TOO SLOW  ${name} exceeded ${LIMIT}s"
+      slow=$((slow + 1))
+    elif [ "$rc" -ne 0 ]; then
+      echo "FAILED    ${name} (exit $rc)"
+      failed=$((failed + 1))
+    else
+      printf 'ok %6sms  %s\n' "$dur_ms" "$name"
+    fi
+  done
+done
+
+echo "---"
+echo "${total} tests timed, limit ${LIMIT}s: ${slow} too slow, ${failed} failed"
+[ "$slow" -eq 0 ] && [ "$failed" -eq 0 ]

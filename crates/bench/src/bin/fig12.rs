@@ -30,6 +30,8 @@ struct Fig12Row {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace = ptq_bench::tracing::init_from_args(&args);
     eprintln!("building NLP zoo…");
     let zoo = build_zoo(ZooFilter::Nlp);
     eprintln!("{} workloads", zoo.len());
@@ -116,5 +118,8 @@ fn main() {
          the problem."
     );
     let path = save_json("fig12", &rows);
+    if let Some(t) = trace {
+        ptq_bench::tracing::finish(t, "fig12");
+    }
     eprintln!("raw results -> {}", path.display());
 }

@@ -27,6 +27,8 @@ struct Fig5Point {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace = ptq_bench::tracing::init_from_args(&args);
     eprintln!("building zoo…");
     let zoo = build_zoo(ZooFilter::All);
     let mut points = Vec::new();
@@ -111,5 +113,8 @@ fn main() {
         q1, q2, q3
     );
     let path = save_json("fig5", &points);
+    if let Some(t) = trace {
+        ptq_bench::tracing::finish(t, "fig5");
+    }
     eprintln!("raw results -> {}", path.display());
 }

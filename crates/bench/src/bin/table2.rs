@@ -16,18 +16,24 @@
 use ptq_bench::{pct, save_json, MdTable};
 use ptq_core::workflow::{run_suite_cached, table2_rows};
 use ptq_core::CalibCache;
-use ptq_models::{build_zoo, ZooFilter};
+use ptq_models::{build_zoo, build_zoo_limited, ZooFilter};
 
 fn main() {
-    let detail = std::env::args().any(|a| a == "--detail");
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let detail = args.iter().any(|a| a == "--detail");
+    let quick = args.iter().any(|a| a == "--quick");
+    let limit: Option<usize> = ptq_bench::flag_value(&args, "--limit").and_then(|v| v.parse().ok());
+    let trace = ptq_bench::tracing::init_from_args(&args);
     let filter = if quick {
         ZooFilter::Quick
     } else {
         ZooFilter::All
     };
     eprintln!("building zoo…");
-    let zoo = build_zoo(filter);
+    let zoo = match limit {
+        Some(n) => build_zoo_limited(filter, n),
+        None => build_zoo(filter),
+    };
     eprintln!("zoo: {} workloads", zoo.len());
 
     let mut table = MdTable::new(&[
@@ -101,6 +107,9 @@ fn main() {
     }
 
     let path = save_json("table2", &rows);
+    if let Some(t) = trace {
+        ptq_bench::tracing::finish(t, "table2");
+    }
     eprintln!(
         "\ncalibration cache: {} entries, {} hits / {} misses",
         cache.len(),

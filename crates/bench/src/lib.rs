@@ -28,6 +28,72 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
     path
 }
 
+/// Value of a `--flag <value>` pair in `args`, if present.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// `--trace <path>` support shared by the bench binaries: installs the
+/// NDJSON + in-memory sinks at startup and distills a
+/// [`ptq_trace::TraceReport`] at exit.
+pub mod tracing {
+    use crate::RESULTS_DIR;
+    use ptq_trace::{Level, MemorySink, NdjsonSink, TraceReport};
+    use std::path::Path;
+    use std::sync::Arc;
+
+    /// A live trace for one binary run. Created by [`init_from_args`],
+    /// consumed by [`finish`].
+    pub struct TraceSession {
+        memory: Arc<MemorySink>,
+    }
+
+    /// When `--trace <path>` is present, start recording: NDJSON streams
+    /// to `path` while an in-memory sink feeds the exit-time report. The
+    /// level comes from `PTQ_TRACE` (default `info`). Returns `None` —
+    /// and records nothing — without the flag, so untraced runs stay on
+    /// the disabled hot path.
+    pub fn init_from_args(args: &[String]) -> Option<TraceSession> {
+        let path = crate::flag_value(args, "--trace")?;
+        let level = Level::from_env().unwrap_or(Level::Info);
+        let ndjson = match NdjsonSink::create(Path::new(&path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trace: cannot create {path}: {e} (tracing disabled)");
+                return None;
+            }
+        };
+        let memory = Arc::new(MemorySink::new());
+        ptq_trace::install(vec![Arc::new(ndjson), memory.clone()], level);
+        eprintln!("tracing at level {level} -> {path}");
+        Some(TraceSession { memory })
+    }
+
+    /// Stop recording, flush the NDJSON file, write the aggregated report
+    /// to `bench_results/<name>_trace_report.json` and print a top-ops
+    /// profile table. The report lives in its own file so the experiment's
+    /// main JSON stays byte-identical with tracing off or on.
+    pub fn finish(session: TraceSession, name: &str) {
+        ptq_trace::uninstall();
+        let report = TraceReport::from_events(&session.memory.events());
+        let dir = Path::new(RESULTS_DIR);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("trace: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}_trace_report.json"));
+        match std::fs::write(&path, report.to_json().render_pretty()) {
+            Ok(()) => eprintln!("trace report -> {}", path.display()),
+            Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
+        }
+        println!("\n### Trace profile (top ops by wall-time)\n");
+        print!("{}", report.render_top_ops_markdown(10));
+    }
+}
+
 /// Format an `Option<f64>` rate as a percentage cell.
 pub fn pct(x: Option<f64>) -> String {
     match x {

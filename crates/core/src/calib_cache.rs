@@ -80,12 +80,30 @@ impl CalibCache {
         };
         if let Some(hit) = self.lock_map().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            ptq_trace::counter(
+                ptq_trace::Level::Info,
+                "calib_cache.hit",
+                1,
+                &[("workload", key.workload.as_str().into())],
+            );
             return Ok(Arc::clone(hit));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        ptq_trace::counter(
+            ptq_trace::Level::Info,
+            "calib_cache.miss",
+            1,
+            &[("workload", key.workload.as_str().into())],
+        );
         // Calibrate outside the lock so misses on different workloads run
         // concurrently.
+        let mut sp = ptq_trace::span(ptq_trace::Level::Info, "calibrate");
+        if sp.active() {
+            sp.record_str("workload", &key.workload);
+            sp.record_int("needs_histograms", i64::from(key.needs_histograms));
+        }
         let data = Arc::new(try_calibrate_workload(workload, cfg)?);
+        drop(sp);
         let mut map = self.lock_map();
         let entry = map.entry(key).or_insert(data);
         Ok(Arc::clone(entry))

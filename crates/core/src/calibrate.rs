@@ -66,7 +66,21 @@ impl CalibData {
                 .map(|s| mse_sweep_threshold(s, absmax, cfg.act_format))
                 .unwrap_or(absmax),
         };
-        Some(if t > 0.0 { t } else { absmax.max(1e-12) })
+        let chosen = if t > 0.0 { t } else { absmax.max(1e-12) };
+        if ptq_trace::enabled(ptq_trace::Level::Debug) {
+            ptq_trace::gauge(
+                ptq_trace::Level::Debug,
+                "calib.threshold",
+                f64::from(chosen),
+                &[
+                    ("node", (key.node as i64).into()),
+                    ("input", (key.input as i64).into()),
+                    ("method", format!("{:?}", cfg.calibration).into()),
+                    ("absmax", f64::from(absmax).into()),
+                ],
+            );
+        }
+        Some(chosen)
     }
 
     /// True if a second (histogram) calibration pass is required.

@@ -161,7 +161,25 @@ fn prepare_weights(
                 }
             }
         }
+        // Keep the pre-quantization copy only when tracing wants the
+        // per-layer error; the clone is off the disabled hot path.
+        let fp32 = if ptq_trace::enabled(ptq_trace::Level::Info) {
+            Some(w.clone())
+        } else {
+            None
+        };
         quantize_weight_tensor(&mut w, config);
+        if let Some(fp32) = fp32 {
+            ptq_trace::gauge(
+                ptq_trace::Level::Info,
+                "quant.weight_mse",
+                ptq_tensor::stats::mse(fp32.data(), w.data()),
+                &[
+                    ("layer", node.name.as_str().into()),
+                    ("elems", w.len().into()),
+                ],
+            );
+        }
         out.insert(wid, w);
     }
     Ok(out)
@@ -238,6 +256,18 @@ fn prepare_act_scales(
                     } else {
                         fp8_scale(f, threshold)
                     };
+                    if ptq_trace::enabled(ptq_trace::Level::Info) {
+                        ptq_trace::gauge(
+                            ptq_trace::Level::Info,
+                            "quant.act_scale",
+                            f64::from(s),
+                            &[
+                                ("layer", node.name.as_str().into()),
+                                ("input", (idx as i64).into()),
+                                ("threshold", f64::from(threshold).into()),
+                            ],
+                        );
+                    }
                     scales.insert(key, s);
                 }
                 DataFormat::Int8 => {

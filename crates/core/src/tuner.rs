@@ -233,6 +233,7 @@ impl AutoTuner {
         let mut config = None;
         let mut best_loss = f64::INFINITY;
         for recipe in self.candidates(workload) {
+            let mut sp = ptq_trace::span(ptq_trace::Level::Info, "tune.candidate");
             let (score, loss, error) =
                 match try_quantize_workload_cached(workload, &recipe.config, cache) {
                     Ok(out) => (out.score, out.result.loss(), None),
@@ -240,6 +241,14 @@ impl AutoTuner {
                 };
             let passed =
                 error.is_none() && passes_criterion(workload.fp32_score, score, self.criterion);
+            if sp.active() {
+                sp.record_str("workload", &workload.spec.name);
+                sp.record_str("recipe", &recipe.name);
+                sp.record_f64("score", score);
+                sp.record_f64("loss", loss);
+                sp.record_int("passed", i64::from(passed));
+            }
+            drop(sp);
             trace.push(TuneStep {
                 name: recipe.name.clone(),
                 score,

@@ -142,12 +142,18 @@ pub fn try_quantize_workload_with(
     calib: &CalibData,
 ) -> Result<QuantOutcome, PtqError> {
     run_guarded(|| {
+        let mut sp = ptq_trace::span(ptq_trace::Level::Info, "quantize");
+        if sp.active() {
+            sp.record_str("workload", &workload.spec.name);
+            sp.record_str("format", &cfg.act_format.to_string());
+        }
         let mut model = QuantizedModel::try_build(workload.graph.clone(), calib, cfg.clone())?;
         if cfg.bn_calibration && workload.has_batchnorm() {
             try_recalibrate_batchnorm(&mut model, &workload.calib)?;
         }
         let score = workload.try_evaluate_graph(&model.graph, &mut model.hook())?;
         let result = workload.result(score);
+        sp.record_f64("score", score);
         Ok(QuantOutcome {
             model,
             score,
@@ -258,6 +264,12 @@ pub fn run_suite_cached(
     approach: Approach,
     cache: &CalibCache,
 ) -> SuiteRow {
+    let mut sp = ptq_trace::span(ptq_trace::Level::Info, "suite");
+    if sp.active() {
+        sp.record_str("format", &format.to_string());
+        sp.record_str("approach", &approach.to_string());
+        sp.record_int("workloads", zoo.len() as i64);
+    }
     let attempts: Vec<Result<WorkloadResult, SweepError>> = zoo
         .par_iter()
         .map(|w| {
@@ -278,6 +290,8 @@ pub fn run_suite_cached(
             Err(e) => errors.push(e),
         }
     }
+    sp.record_int("errors", errors.len() as i64);
+    drop(sp);
     let label = match format {
         DataFormat::Int8 => "INT8 / Static CV Dynamic NLP".to_string(),
         _ => format!("{format} / {approach}"),

@@ -1,0 +1,96 @@
+//! Edge-case tests for the calibration observers: degenerate inputs
+//! (constant tensors, single elements, all-negative data) must yield
+//! finite, non-negative thresholds — these are exactly the inputs a real
+//! zoo produces from zero-initialized biases, masks and ReLU-dead
+//! channels, and a NaN/negative threshold would poison every scale
+//! derived from it.
+
+use ptq_core::config::DataFormat;
+use ptq_core::observer::{kl_divergence_threshold, mse_sweep_threshold, percentile_threshold};
+use ptq_fp8::Fp8Format;
+use ptq_tensor::Histogram;
+
+const FORMATS: [DataFormat; 4] = [
+    DataFormat::Fp8(Fp8Format::E5M2),
+    DataFormat::Fp8(Fp8Format::E4M3),
+    DataFormat::Fp8(Fp8Format::E3M4),
+    DataFormat::Int8,
+];
+
+fn assert_sane(t: f32, what: &str) {
+    assert!(t.is_finite(), "{what}: threshold {t} must be finite");
+    assert!(t >= 0.0, "{what}: threshold {t} must be non-negative");
+}
+
+#[test]
+fn constant_input_thresholds_are_sane() {
+    let data = [2.5f32; 64];
+    let hist = Histogram::of_abs(&data, 128);
+    for q in [0.5, 0.99, 0.9999, 1.0] {
+        let t = percentile_threshold(&hist, q);
+        assert_sane(t, "percentile(constant)");
+        assert!(t <= 2.5 + 1e-6, "percentile cannot exceed the absmax");
+    }
+    assert_sane(kl_divergence_threshold(&hist, 128), "kl(constant)");
+    for f in FORMATS {
+        let t = mse_sweep_threshold(&data, 2.5, f);
+        assert_sane(t, "mse(constant)");
+        assert!(t > 0.0, "a non-zero constant must keep a positive clip");
+    }
+}
+
+#[test]
+fn all_zero_input_thresholds_are_sane() {
+    let data = [0.0f32; 32];
+    let hist = Histogram::of_abs(&data, 64);
+    assert_sane(percentile_threshold(&hist, 0.9999), "percentile(zeros)");
+    assert_sane(kl_divergence_threshold(&hist, 64), "kl(zeros)");
+    for f in FORMATS {
+        let t = mse_sweep_threshold(&data, 0.0, f);
+        assert_sane(t, "mse(zeros)");
+        assert!(t > 0.0, "zero data still needs a usable (positive) clip");
+    }
+}
+
+#[test]
+fn single_element_thresholds_are_sane() {
+    for v in [1e-20f32, 1.0, 3e4] {
+        let data = [v];
+        let hist = Histogram::of_abs(&data, 16);
+        assert_sane(percentile_threshold(&hist, 0.9999), "percentile(single)");
+        assert_sane(kl_divergence_threshold(&hist, 16), "kl(single)");
+        for f in FORMATS {
+            let t = mse_sweep_threshold(&data, v, f);
+            assert_sane(t, "mse(single)");
+        }
+    }
+}
+
+#[test]
+fn all_negative_input_thresholds_are_sane() {
+    let data: Vec<f32> = (1..=48).map(|i| -(i as f32) / 8.0).collect();
+    let absmax = 6.0;
+    let hist = Histogram::of_abs(&data, 128);
+    let p = percentile_threshold(&hist, 0.9999);
+    assert_sane(p, "percentile(negative)");
+    assert!(p > 0.0, "thresholds are magnitudes, not signed values");
+    let k = kl_divergence_threshold(&hist, 64);
+    assert_sane(k, "kl(negative)");
+    assert!(k > 0.0);
+    for f in FORMATS {
+        let t = mse_sweep_threshold(&data, absmax, f);
+        assert_sane(t, "mse(negative)");
+        assert!(t > 0.0);
+        assert!(t <= absmax + 1e-6, "sweep never widens past absmax");
+    }
+}
+
+#[test]
+fn empty_sample_mse_sweep_falls_back() {
+    for f in FORMATS {
+        let t = mse_sweep_threshold(&[], 3.0, f);
+        assert_sane(t, "mse(empty)");
+        // Documented fallback: an empty sample keeps the absmax clip.
+        assert!((t - 3.0).abs() < 1e-6 || t > 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! The observability no-op guarantee: enabling tracing must not change a
+//! single bit of the pipeline's numerics, and the NDJSON stream it
+//! produces must be parseable with consistent span nesting.
+
+use ptq_core::config::{Approach, DataFormat};
+use ptq_core::{paper_recipe, try_quantize_workload, CalibCache};
+use ptq_fp8::Fp8Format;
+use ptq_models::{build_zoo_limited, Workload, ZooFilter};
+use ptq_tensor::Tensor;
+use ptq_trace::{EventKind, Level, MemorySink, NdjsonSink};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The trace recorder is process-global; tests that install one must not
+/// interleave (same pattern as the recorder's own unit tests).
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn quick_workload() -> Workload {
+    let mut zoo = build_zoo_limited(ZooFilter::Quick, 1);
+    zoo.remove(0)
+}
+
+/// Quantize and evaluate, returning the score plus the quantized model's
+/// outputs on the first eval batch — the full observable surface.
+fn run_pipeline(w: &Workload) -> (f64, Vec<Tensor>) {
+    let cfg = paper_recipe(
+        DataFormat::Fp8(Fp8Format::E4M3),
+        Approach::Static,
+        w.spec.domain,
+    );
+    let out = try_quantize_workload(w, &cfg).expect("pipeline runs");
+    let mut hook = out.model.hook();
+    let ys = out
+        .model
+        .graph
+        .try_run(&w.eval[0], &mut hook)
+        .expect("quantized inference runs");
+    (out.score, ys)
+}
+
+fn assert_bit_identical(a: &(f64, Vec<Tensor>), b: &(f64, Vec<Tensor>), what: &str) {
+    assert_eq!(a.0.to_bits(), b.0.to_bits(), "{what}: scores differ");
+    assert_eq!(a.1.len(), b.1.len());
+    for (x, y) in a.1.iter().zip(&b.1) {
+        assert_eq!(x.shape(), y.shape());
+        for (va, vb) in x.data().iter().zip(y.data()) {
+            assert_eq!(va.to_bits(), vb.to_bits(), "{what}: outputs differ");
+        }
+    }
+}
+
+#[test]
+fn tracing_on_is_bit_identical_to_off() {
+    let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+    let w = quick_workload();
+
+    ptq_trace::uninstall();
+    let off1 = run_pipeline(&w);
+    let off2 = run_pipeline(&w);
+    assert_bit_identical(&off1, &off2, "untraced runs must be deterministic");
+
+    let sink = Arc::new(MemorySink::new());
+    ptq_trace::install(vec![sink.clone()], Level::Debug);
+    let on = run_pipeline(&w);
+    ptq_trace::uninstall();
+
+    assert_bit_identical(&off1, &on, "tracing must be observation-only");
+
+    // The traced run actually recorded the pipeline.
+    let evs = sink.events();
+    assert!(!evs.is_empty(), "debug tracing captured events");
+    assert!(
+        evs.iter().any(|e| {
+            e.name == "op"
+                && matches!(e.kind, EventKind::SpanExit { .. })
+                && e.field("kind").is_some()
+        }),
+        "per-op spans recorded"
+    );
+    assert!(
+        evs.iter()
+            .any(|e| e.name == "quant.weight_mse" && matches!(e.kind, EventKind::Gauge { .. })),
+        "per-layer weight error gauges recorded"
+    );
+    assert!(
+        evs.iter()
+            .any(|e| e.name == "quantize" && matches!(e.kind, EventKind::SpanExit { .. })),
+        "pipeline span recorded"
+    );
+}
+
+#[test]
+fn ndjson_stream_parses_with_consistent_nesting() {
+    let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+    let w = quick_workload();
+    let dir = std::env::temp_dir().join(format!("ptq_trace_noop_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("pipeline.ndjson");
+
+    let ndjson = Arc::new(NdjsonSink::create(&path).expect("create ndjson sink"));
+    ptq_trace::install(vec![ndjson], Level::Debug);
+    let cfg = paper_recipe(
+        DataFormat::Fp8(Fp8Format::E4M3),
+        Approach::Static,
+        w.spec.domain,
+    );
+    let cache = CalibCache::new();
+    ptq_core::try_quantize_workload_cached(&w, &cfg, &cache).expect("pipeline runs");
+    ptq_core::try_quantize_workload_cached(&w, &cfg, &cache).expect("cached rerun");
+    ptq_trace::uninstall();
+
+    let body = std::fs::read_to_string(&path).expect("trace file written");
+    let mut parsed = 0usize;
+    let mut saw_hit = false;
+    // Per-thread stacks of (span name, depth): enters push, exits must
+    // match the top — the "monotonically consistent nesting" contract.
+    let mut stacks: std::collections::HashMap<i64, Vec<(String, i64)>> =
+        std::collections::HashMap::new();
+    // seq is assigned before the sink lock is taken, so cross-thread line
+    // order can race; per-thread order cannot.
+    let mut last_seq: std::collections::HashMap<i64, i64> = std::collections::HashMap::new();
+    for line in body.lines() {
+        let v = ptq_trace::json::Value::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable NDJSON line: {e:?}: {line}"));
+        parsed += 1;
+        let f = |k: &str| v.get(k).and_then(ptq_trace::json::Value::as_f64);
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(ptq_trace::json::Value::as_str)
+                .map(str::to_string)
+        };
+        let seq = f("seq").expect("seq field") as i64;
+        let thread = f("thread").expect("thread field") as i64;
+        let prev = last_seq.insert(thread, seq).unwrap_or(-1);
+        assert!(seq > prev, "seq must increase within a single thread");
+        let depth = f("depth").expect("depth field") as i64;
+        let name = s("name").expect("name field");
+        let stack = stacks.entry(thread).or_default();
+        match s("ev").expect("ev field").as_str() {
+            "span_enter" => {
+                assert_eq!(
+                    depth,
+                    stack.len() as i64,
+                    "span {name} enters at its thread's current depth"
+                );
+                stack.push((name, depth));
+            }
+            "span_exit" => {
+                let (top_name, top_depth) = stack.pop().expect("exit without open span");
+                assert_eq!(name, top_name, "exits close the innermost span");
+                assert_eq!(depth, top_depth, "exit depth matches its enter");
+                assert!(f("dur_ns").expect("dur_ns") >= 0.0);
+            }
+            "counter" => {
+                if name == "calib_cache.hit" {
+                    saw_hit = true;
+                }
+                assert!(f("delta").expect("delta") >= 1.0);
+            }
+            "gauge" => {
+                assert!(f("value").is_some());
+            }
+            other => panic!("unknown event kind {other}"),
+        }
+    }
+    assert!(parsed > 0, "trace stream is non-empty");
+    assert!(saw_hit, "second cached run must record a cache hit");
+    for (t, stack) in &stacks {
+        assert!(stack.is_empty(), "thread {t} left spans open: {stack:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,124 @@
+//! Property tests for `ptq-metrics` invariants: every metric here feeds
+//! the pass/fail verdicts of the Table-2 sweeps, so the mathematical
+//! contracts (bounds, symmetry, degenerate-input conventions) are pinned
+//! by random search rather than hand-picked examples.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ptq_metrics::{
+    accuracy, feature_moments, frechet_distance, matthews_corr, pearson, relative_loss,
+    top_k_accuracy,
+};
+use ptq_tensor::Tensor;
+
+/// Bounded, well-behaved floats: avoids the overflow-prone extremes of
+/// `num::f32::NORMAL` while still exercising both signs and many scales.
+fn bounded_f32() -> std::ops::RangeInclusive<f32> {
+    -1e4f32..=1e4
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pearson is a correlation: always inside [-1, 1] (0 for degenerate
+    /// data by this crate's convention).
+    #[test]
+    fn pearson_is_bounded(xs in vec(bounded_f32(), 0..40), ys in vec(bounded_f32(), 0..40)) {
+        prop_assume!(xs.len() == ys.len());
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r), "pearson {r} out of range");
+    }
+
+    /// Exactly-linear data correlates at +1, anti-linear at -1 (up to
+    /// float rounding).
+    #[test]
+    fn pearson_of_linear_data_is_unit(
+        xs in vec(bounded_f32(), 3..30),
+        a in 0.25f32..8.0,
+        b in -100.0f32..100.0,
+    ) {
+        let spread = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+            - xs.iter().cloned().fold(f32::INFINITY, f32::min);
+        prop_assume!(spread > 1.0); // constant-ish inputs are the degenerate case
+        let up: Vec<f32> = xs.iter().map(|&x| a * x + b).collect();
+        let down: Vec<f32> = xs.iter().map(|&x| -a * x + b).collect();
+        prop_assert!((pearson(&xs, &up) - 1.0).abs() < 1e-3);
+        prop_assert!((pearson(&xs, &down) + 1.0).abs() < 1e-3);
+    }
+
+    /// Matthews correlation is symmetric in (prediction, label) and
+    /// bounded in [-1, 1].
+    #[test]
+    fn matthews_is_symmetric_and_bounded(
+        pred in vec(prop_oneof![Just(false), Just(true)], 1..40),
+        label in vec(prop_oneof![Just(false), Just(true)], 1..40),
+    ) {
+        prop_assume!(pred.len() == label.len());
+        let ab = matthews_corr(&pred, &label);
+        let ba = matthews_corr(&label, &pred);
+        prop_assert!((-1.0..=1.0).contains(&ab), "mcc {ab} out of range");
+        prop_assert_eq!(ab.to_bits(), ba.to_bits(), "mcc must be symmetric");
+    }
+
+    /// Accuracy lives in [0, 1]; perfect agreement is exactly 1.
+    #[test]
+    fn accuracy_is_bounded(pred in vec(0usize..8, 1..40), label in vec(0usize..8, 1..40)) {
+        prop_assume!(pred.len() == label.len());
+        let acc = accuracy(&pred, &label);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert_eq!(accuracy(&pred, &pred), 1.0);
+    }
+
+    /// Top-1 over one-hot-by-argmax logits equals plain accuracy, and
+    /// top-k is monotone in k up to top-classes == 1.
+    #[test]
+    fn top_1_matches_accuracy(
+        pred in vec(0usize..6, 1..25),
+        label in vec(0usize..6, 1..25),
+    ) {
+        prop_assume!(pred.len() == label.len());
+        let classes = 6;
+        // Logits whose strict argmax is the predicted class.
+        let mut logits = vec![0.0f32; pred.len() * classes];
+        for (i, &p) in pred.iter().enumerate() {
+            logits[i * classes + p] = 1.0;
+        }
+        let top1 = top_k_accuracy(&logits, classes, &label, 1);
+        prop_assert_eq!(top1.to_bits(), accuracy(&pred, &label).to_bits());
+        let mut prev = top1;
+        for k in 2..=classes {
+            let tk = top_k_accuracy(&logits, classes, &label, k);
+            prop_assert!(tk >= prev, "top-k must be monotone in k");
+            prev = tk;
+        }
+        prop_assert_eq!(top_k_accuracy(&logits, classes, &label, classes), 1.0);
+    }
+
+    /// Sign conventions of relative loss: degradation is positive,
+    /// improvement negative, unchanged zero; non-positive baselines use
+    /// the documented 0-or-1 convention.
+    #[test]
+    fn relative_loss_signs(fp32 in 0.05f64..1.0, delta in 0.0f64..0.5) {
+        prop_assert_eq!(relative_loss(fp32, fp32), 0.0);
+        prop_assert!(relative_loss(fp32, fp32 - delta) >= 0.0);
+        prop_assert!(relative_loss(fp32, fp32 + delta) <= 0.0);
+        // Non-positive baseline: quantized >= baseline is "no loss".
+        prop_assert_eq!(relative_loss(0.0, delta), 0.0);
+        prop_assert_eq!(relative_loss(-fp32, -fp32 - delta - 1e-12), 1.0);
+    }
+
+    /// A feature set is at Fréchet distance 0 from itself, and the
+    /// distance is never negative.
+    #[test]
+    fn frechet_distance_identity(
+        data in vec(-50.0f32..=50.0, 4..48),
+        other in vec(-50.0f32..=50.0, 4..48),
+    ) {
+        let rows = data.len() / 4;
+        let a = feature_moments(&Tensor::from_vec(data[..rows * 4].to_vec(), &[rows, 4]));
+        prop_assert_eq!(frechet_distance(&a, &a), 0.0);
+        let orows = other.len() / 4;
+        let b = feature_moments(&Tensor::from_vec(other[..orows * 4].to_vec(), &[orows, 4]));
+        prop_assert!(frechet_distance(&a, &b) >= 0.0);
+    }
+}

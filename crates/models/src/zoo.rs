@@ -345,26 +345,54 @@ fn nlp_zoo() -> Vec<Workload> {
 /// A fast 8-workload subset covering both domains, BatchNorm and
 /// LayerNorm models, and the outlier-severity range.
 fn quick_zoo() -> Vec<Workload> {
+    quick_thunks().into_iter().map(|t| t()).collect()
+}
+
+/// The quick zoo as unevaluated constructors, so a limited build (see
+/// [`build_zoo_limited`]) pays only for the workloads it returns —
+/// building (weights + FP32 baseline eval) dominates short runs.
+fn quick_thunks() -> Vec<Box<dyn Fn() -> Workload>> {
     vec![
-        cv::vgg_like(&cvc(10, 2, 10, 101, 0.0)),
-        cv::resnet_like(&cvc(12, 2, 10, 112, 0.0)),
-        cv::mobilenet_like(&cvc(12, 2, 10, 121, 12.0)),
-        cv::vit_like(&cvc(32, 1, 8, 161, 0.0), 12.0),
-        nlp::encoder_workload(
-            "bert_like",
-            "mrpc_syn",
-            &nlpc(64, 1, 12, 204, 12.0, 1),
-            Head::Binary,
-        ),
-        nlp::encoder_workload(
-            "funnel_like",
-            "mrpc_syn",
-            &with_sigma(nlpc(96, 2, 16, 215, 300.0, 1), 1.6),
-            Head::Binary,
-        ),
-        nlp::decoder_workload("gpt_like", &nlpc(64, 1, 12, 221, 15.0, 1)),
-        misc::dlrm_like(6, 16, 48, 271),
+        Box::new(|| cv::vgg_like(&cvc(10, 2, 10, 101, 0.0))),
+        Box::new(|| cv::resnet_like(&cvc(12, 2, 10, 112, 0.0))),
+        Box::new(|| cv::mobilenet_like(&cvc(12, 2, 10, 121, 12.0))),
+        Box::new(|| cv::vit_like(&cvc(32, 1, 8, 161, 0.0), 12.0)),
+        Box::new(|| {
+            nlp::encoder_workload(
+                "bert_like",
+                "mrpc_syn",
+                &nlpc(64, 1, 12, 204, 12.0, 1),
+                Head::Binary,
+            )
+        }),
+        Box::new(|| {
+            nlp::encoder_workload(
+                "funnel_like",
+                "mrpc_syn",
+                &with_sigma(nlpc(96, 2, 16, 215, 300.0, 1), 1.6),
+                Head::Binary,
+            )
+        }),
+        Box::new(|| nlp::decoder_workload("gpt_like", &nlpc(64, 1, 12, 221, 15.0, 1))),
+        Box::new(|| misc::dlrm_like(6, 16, 48, 271)),
     ]
+}
+
+/// Build at most `limit` workloads of the filtered zoo, identical to a
+/// prefix of [`build_zoo`]'s output. For [`ZooFilter::Quick`] only the
+/// returned workloads are constructed at all, which is what makes the
+/// bench binaries' `--limit N` flag cheap.
+pub fn build_zoo_limited(filter: ZooFilter, limit: usize) -> Vec<Workload> {
+    if filter == ZooFilter::Quick {
+        return quick_thunks()
+            .into_iter()
+            .take(limit)
+            .map(|t| t())
+            .collect();
+    }
+    let mut zoo = build_zoo(filter);
+    zoo.truncate(limit);
+    zoo
 }
 
 #[cfg(test)]

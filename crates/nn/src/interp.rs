@@ -74,9 +74,17 @@ impl Graph {
                     node: node.name.clone(),
                 })?);
             }
+            let mut sp = ptq_trace::span(ptq_trace::Level::Debug, "op");
             hook.before_node(node, &mut ins);
             let mut out = self.eval_node(node, &ins, hook)?;
             hook.after_node(node, &mut out);
+            if sp.active() {
+                sp.record_str("node", &node.name);
+                sp.record_str("kind", &node.op.class().to_string());
+                sp.record_str("out_shape", &format!("{:?}", out.shape()));
+                sp.record_int("elems", out.len() as i64);
+            }
+            drop(sp);
             values[node.output] = Some(out);
         }
 

@@ -1,0 +1,206 @@
+//! The structured event model: what one trace line carries.
+
+use crate::json::Value;
+use crate::Level;
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Text (op kinds, workload names, shapes).
+    Str(String),
+    /// Signed integer (node ids, element counts).
+    Int(i64),
+    /// Floating scalar (thresholds, scales, errors).
+    F64(f64),
+}
+
+impl From<&str> for FieldValue {
+    fn from(s: &str) -> Self {
+        FieldValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(s: String) -> Self {
+        FieldValue::Str(s)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Int(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        FieldValue::F64(f64::from(v))
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Value {
+        match self {
+            FieldValue::Str(s) => Value::Str(s.clone()),
+            FieldValue::Int(i) => Value::Num(*i as f64),
+            FieldValue::F64(v) => Value::Num(*v),
+        }
+    }
+}
+
+/// What kind of event a line is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A span opened (depth is the nesting level *after* opening).
+    SpanEnter,
+    /// A span closed; carries its wall-clock duration in nanoseconds.
+    SpanExit {
+        /// Nanoseconds between enter and exit.
+        dur_ns: u64,
+    },
+    /// A monotonic counter increment.
+    Counter {
+        /// Increment amount.
+        delta: u64,
+    },
+    /// A scalar observation.
+    Gauge {
+        /// Observed value.
+        value: f64,
+    },
+}
+
+impl EventKind {
+    /// Wire name of the kind (the `ev` NDJSON field).
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            EventKind::SpanEnter => "span_enter",
+            EventKind::SpanExit { .. } => "span_exit",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Gauge { .. } => "gauge",
+        }
+    }
+}
+
+/// One recorded event. Sinks receive these fully formed; the NDJSON sink
+/// renders them with [`TraceEvent::to_ndjson`].
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// Nanoseconds since the recorder was installed.
+    pub ts_ns: u64,
+    /// Small per-thread ordinal (assigned on a thread's first event).
+    pub thread: u64,
+    /// Span nesting depth on the emitting thread (0 = top level).
+    pub depth: u32,
+    /// Severity level.
+    pub level: Level,
+    /// Event name (span name, counter name, gauge name).
+    pub name: String,
+    /// Kind plus kind-specific payload.
+    pub kind: EventKind,
+    /// Attached key/value fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Look up a field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Render as one NDJSON line (no trailing newline). Keys are emitted
+    /// in a fixed order so lines are stable and grep-friendly.
+    pub fn to_ndjson(&self) -> String {
+        let mut obj: Vec<(String, Value)> = vec![
+            ("seq".into(), Value::Num(self.seq as f64)),
+            ("ts_ns".into(), Value::Num(self.ts_ns as f64)),
+            ("thread".into(), Value::Num(self.thread as f64)),
+            ("depth".into(), Value::Num(f64::from(self.depth))),
+            ("level".into(), Value::Str(self.level.name().into())),
+            ("ev".into(), Value::Str(self.kind.wire_name().into())),
+            ("name".into(), Value::Str(self.name.clone())),
+        ];
+        match self.kind {
+            EventKind::SpanExit { dur_ns } => {
+                obj.push(("dur_ns".into(), Value::Num(dur_ns as f64)));
+            }
+            EventKind::Counter { delta } => {
+                obj.push(("delta".into(), Value::Num(delta as f64)));
+            }
+            EventKind::Gauge { value } => {
+                obj.push(("value".into(), Value::Num(value)));
+            }
+            EventKind::SpanEnter => {}
+        }
+        if !self.fields.is_empty() {
+            let fields: Vec<(String, Value)> = self
+                .fields
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect();
+            obj.push(("fields".into(), Value::Object(fields)));
+        }
+        Value::Object(obj).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_line_parses_back() {
+        let e = TraceEvent {
+            seq: 7,
+            ts_ns: 1234,
+            thread: 1,
+            depth: 2,
+            level: Level::Debug,
+            name: "op".into(),
+            kind: EventKind::SpanExit { dur_ns: 999 },
+            fields: vec![
+                ("kind".into(), FieldValue::Str("Conv2d".into())),
+                ("elems".into(), FieldValue::Int(64)),
+                ("mse".into(), FieldValue::F64(1.5e-4)),
+            ],
+        };
+        let line = e.to_ndjson();
+        let v = Value::parse(&line).expect("line parses");
+        assert_eq!(v.get("ev").and_then(Value::as_str), Some("span_exit"));
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("op"));
+        assert_eq!(v.get("dur_ns").and_then(Value::as_f64), Some(999.0));
+        let fields = v.get("fields").expect("fields object");
+        assert_eq!(fields.get("kind").and_then(Value::as_str), Some("Conv2d"));
+        assert_eq!(fields.get("elems").and_then(Value::as_f64), Some(64.0));
+    }
+
+    #[test]
+    fn field_lookup() {
+        let e = TraceEvent {
+            seq: 0,
+            ts_ns: 0,
+            thread: 0,
+            depth: 0,
+            level: Level::Info,
+            name: "g".into(),
+            kind: EventKind::Gauge { value: 1.0 },
+            fields: vec![("a".into(), FieldValue::Int(3))],
+        };
+        assert_eq!(e.field("a"), Some(&FieldValue::Int(3)));
+        assert_eq!(e.field("b"), None);
+    }
+}

@@ -1,0 +1,136 @@
+//! # ptq-trace — pipeline observability
+//!
+//! A lightweight, zero-dependency structured event recorder for the PTQ
+//! stack: **spans** (named durations, e.g. one interpreter op or one tuner
+//! candidate), **counters** (monotonic tallies, e.g. calibration-cache
+//! hits) and **gauges** (scalar observations, e.g. a layer's fake-quant
+//! MSE or an observer's chosen clip threshold).
+//!
+//! ## Design
+//!
+//! * **Off by default, and off means off.** Events flow only while a
+//!   recorder is installed ([`install`]); every entry point first checks
+//!   one relaxed atomic ([`enabled`]), so a disabled trace call is a load
+//!   and a predictable branch — nothing allocates, formats or locks. The
+//!   LUT fake-quant hot loops are not instrumented at all; instrumentation
+//!   sits at op/layer/candidate granularity.
+//! * **Level-filtered via `PTQ_TRACE`.** `error < warn < info < debug <
+//!   trace`; [`Level::from_env`] reads `PTQ_TRACE`. Pipeline-level spans,
+//!   cache counters and per-layer error gauges are `info`; per-op spans
+//!   and per-tensor-key observer decisions are `debug`.
+//! * **Thread-safe, poison-tolerant.** The global recorder and the NDJSON
+//!   sink use the same mutex-poison-recovery pattern as `CalibCache`: a
+//!   panicking sweep thread can never wedge tracing for the rest of the
+//!   fleet.
+//! * **Two sinks.** [`NdjsonSink`] streams one JSON object per line to a
+//!   file (the `--trace <path>` flag of the bench binaries);
+//!   [`MemorySink`] buffers events for tests and for the
+//!   [`report::TraceReport`] aggregator.
+//!
+//! ## Example
+//!
+//! ```
+//! use ptq_trace::{install, uninstall, Level, MemorySink};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! install(vec![sink.clone()], Level::Debug);
+//! {
+//!     let mut sp = ptq_trace::span(Level::Info, "calibrate");
+//!     sp.record_str("workload", "resnet_like_8");
+//!     ptq_trace::counter(Level::Info, "calib_cache.miss", 1, &[]);
+//! }
+//! uninstall();
+//! assert!(sink.events().iter().any(|e| e.name == "calib_cache.miss"));
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod recorder;
+pub mod report;
+pub mod sink;
+
+pub use event::{EventKind, FieldValue, TraceEvent};
+pub use recorder::{counter, enabled, gauge, install, span, uninstall, SpanGuard};
+pub use report::{CounterTotal, LayerError, OpProfile, TraceReport};
+pub use sink::{MemorySink, NdjsonSink, Sink};
+
+/// Event severity / verbosity level, ordered `Error < Warn < Info < Debug
+/// < Trace`. A recorder installed at level `L` keeps every event with
+/// level ≤ `L`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Failures worth recording even in quiet traces.
+    Error = 1,
+    /// Suspicious-but-nonfatal conditions.
+    Warn = 2,
+    /// Pipeline milestones: calibrations, candidates, suite rows, cache
+    /// counters, per-layer error gauges.
+    Info = 3,
+    /// High-volume detail: per-op spans, per-tensor-key observer
+    /// decisions.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parse a level name (case-insensitive). `None` for unknown names and
+    /// the explicit off spellings (`off`, `0`, `none`, empty).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" | "1" | "on" | "true" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// The level selected by the `PTQ_TRACE` environment variable, if any.
+    pub fn from_env() -> Option<Level> {
+        std::env::var("PTQ_TRACE")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+    }
+
+    /// Lowercase name (`info`, `debug`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_roundtrip() {
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::parse(l.name()), Some(l));
+        }
+        assert_eq!(Level::parse("OFF"), None);
+        assert_eq!(Level::parse(""), None);
+        assert_eq!(Level::parse("1"), Some(Level::Info));
+        assert!(Level::Info < Level::Debug);
+    }
+}

@@ -1,0 +1,347 @@
+//! The global recorder: level gate, sink fan-out, span bookkeeping.
+//!
+//! Hot-path contract: with no recorder installed, every public entry point
+//! reduces to one relaxed atomic load and a branch — no allocation, no
+//! formatting, no locking. [`SpanGuard`]s created while disabled are inert
+//! (`active() == false`), so call sites can gate any expensive field
+//! formatting on the guard itself.
+
+use crate::event::{EventKind, FieldValue, TraceEvent};
+use crate::sink::Sink;
+use crate::Level;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Current max level as a u8 (0 = disabled). The *only* state touched on
+/// the disabled path.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// Installed recorder (sinks + epoch). Locked only while cloning the Arc.
+static RECORDER: Mutex<Option<Arc<Recorder>>> = Mutex::new(None);
+
+/// Global event sequence.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Next per-thread ordinal.
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Small stable id for the current thread (first-event order).
+    static THREAD_ID: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Open-span nesting depth on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+struct Recorder {
+    sinks: Vec<Arc<dyn Sink>>,
+    epoch: Instant,
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Install `sinks` at `level`, replacing any previous recorder (the old
+/// one is flushed). Tracing is globally enabled until [`uninstall`].
+pub fn install(sinks: Vec<Arc<dyn Sink>>, level: Level) {
+    let rec = Arc::new(Recorder {
+        sinks,
+        epoch: Instant::now(),
+    });
+    let old = relock(&RECORDER).replace(rec);
+    LEVEL.store(level as u8, Ordering::Release);
+    if let Some(old) = old {
+        for s in &old.sinks {
+            s.flush();
+        }
+    }
+}
+
+/// Disable tracing and flush every sink. Idempotent.
+pub fn uninstall() {
+    LEVEL.store(0, Ordering::Release);
+    let old = relock(&RECORDER).take();
+    if let Some(old) = old {
+        for s in &old.sinks {
+            s.flush();
+        }
+    }
+}
+
+/// True if an event at `level` would currently be recorded. This is the
+/// one check every instrumentation site makes first; when false the site
+/// must do no further work.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    LEVEL.load(Ordering::Relaxed) >= level as u8
+}
+
+fn current_recorder(level: Level) -> Option<Arc<Recorder>> {
+    if !enabled(level) {
+        return None;
+    }
+    relock(&RECORDER).clone()
+}
+
+fn thread_ordinal() -> u64 {
+    THREAD_ID.with(|id| match id.get() {
+        Some(t) => t,
+        None => {
+            let t = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            id.set(Some(t));
+            t
+        }
+    })
+}
+
+fn dispatch(
+    rec: &Recorder,
+    level: Level,
+    name: &str,
+    kind: EventKind,
+    fields: Vec<(String, FieldValue)>,
+    depth: Option<u32>,
+) {
+    let event = TraceEvent {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        ts_ns: rec.epoch.elapsed().as_nanos() as u64,
+        thread: thread_ordinal(),
+        depth: depth.unwrap_or_else(|| DEPTH.with(Cell::get)),
+        level,
+        name: name.to_string(),
+        kind,
+        fields,
+    };
+    for s in &rec.sinks {
+        s.emit(&event);
+    }
+}
+
+/// Increment a named counter by `delta`.
+pub fn counter(level: Level, name: &str, delta: u64, fields: &[(&str, FieldValue)]) {
+    let Some(rec) = current_recorder(level) else {
+        return;
+    };
+    let fields = fields
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), v.clone()))
+        .collect();
+    dispatch(
+        &rec,
+        level,
+        name,
+        EventKind::Counter { delta },
+        fields,
+        None,
+    );
+}
+
+/// Record a scalar observation.
+pub fn gauge(level: Level, name: &str, value: f64, fields: &[(&str, FieldValue)]) {
+    let Some(rec) = current_recorder(level) else {
+        return;
+    };
+    let fields = fields
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), v.clone()))
+        .collect();
+    dispatch(&rec, level, name, EventKind::Gauge { value }, fields, None);
+}
+
+/// Open a span. Returns an RAII guard; the span closes (and its
+/// `span_exit` event, carrying the duration and any [`SpanGuard::record`]ed
+/// fields, is emitted) when the guard drops. Inert when tracing is
+/// disabled at `level`.
+pub fn span(level: Level, name: &str) -> SpanGuard {
+    let Some(rec) = current_recorder(level) else {
+        return SpanGuard { inner: None };
+    };
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    // Enter and exit both report the span's *own* nesting level (outer
+    // span = 0), so the two lines of a pair agree.
+    let inner = SpanInner {
+        rec,
+        level,
+        name: name.to_string(),
+        fields: Vec::new(),
+        start: Instant::now(),
+        depth,
+    };
+    dispatch(
+        &inner.rec,
+        level,
+        &inner.name,
+        EventKind::SpanEnter,
+        Vec::new(),
+        Some(depth),
+    );
+    SpanGuard { inner: Some(inner) }
+}
+
+struct SpanInner {
+    rec: Arc<Recorder>,
+    level: Level,
+    name: String,
+    fields: Vec<(String, FieldValue)>,
+    start: Instant,
+    depth: u32,
+}
+
+/// RAII handle for an open span. Fields recorded on the guard are attached
+/// to the `span_exit` event.
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// True if this span is live (tracing was enabled when it opened).
+    /// Gate expensive field formatting on this.
+    pub fn active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach a field to the exit event.
+    pub fn record(&mut self, key: &str, value: FieldValue) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key.to_string(), value));
+        }
+    }
+
+    /// Attach a string field (convenience).
+    pub fn record_str(&mut self, key: &str, value: &str) {
+        self.record(key, FieldValue::Str(value.to_string()));
+    }
+
+    /// Attach a float field (convenience).
+    pub fn record_f64(&mut self, key: &str, value: f64) {
+        self.record(key, FieldValue::F64(value));
+    }
+
+    /// Attach an integer field (convenience).
+    pub fn record_int(&mut self, key: &str, value: i64) {
+        self.record(key, FieldValue::Int(value));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        DEPTH.with(|d| d.set(inner.depth));
+        let dur_ns = inner.start.elapsed().as_nanos() as u64;
+        // Emit at the span's own depth (the exit pairs with the enter).
+        let event = TraceEvent {
+            seq: SEQ.fetch_add(1, Ordering::Relaxed),
+            ts_ns: inner.rec.epoch.elapsed().as_nanos() as u64,
+            thread: thread_ordinal(),
+            depth: inner.depth,
+            level: inner.level,
+            name: inner.name.clone(),
+            kind: EventKind::SpanExit { dur_ns },
+            fields: inner.fields.clone(),
+        };
+        for s in &inner.rec.sinks {
+            s.emit(&event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    /// Recorder state is process-global; tests that install must not
+    /// interleave.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_is_inert() {
+        let _g = relock(&GUARD);
+        uninstall();
+        assert!(!enabled(Level::Error));
+        let mut sp = span(Level::Info, "x");
+        assert!(!sp.active());
+        sp.record_str("k", "v"); // no-op, no panic
+        counter(Level::Info, "c", 1, &[]);
+        gauge(Level::Info, "g", 1.0, &[]);
+    }
+
+    #[test]
+    fn level_filtering() {
+        let _g = relock(&GUARD);
+        let sink = Arc::new(MemorySink::new());
+        install(vec![sink.clone()], Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        counter(Level::Info, "kept", 1, &[]);
+        counter(Level::Debug, "dropped", 1, &[]);
+        uninstall();
+        let names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
+        assert!(names.contains(&"kept".to_string()));
+        assert!(!names.contains(&"dropped".to_string()));
+        assert!(!enabled(Level::Error));
+    }
+
+    #[test]
+    fn spans_nest_and_time() {
+        let _g = relock(&GUARD);
+        let sink = Arc::new(MemorySink::new());
+        install(vec![sink.clone()], Level::Debug);
+        {
+            let mut outer = span(Level::Info, "outer");
+            outer.record_int("n", 1);
+            {
+                let _inner = span(Level::Debug, "inner");
+            }
+        }
+        uninstall();
+        let evs = sink.events();
+        // enter(outer), enter(inner), exit(inner), exit(outer)
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].name, "outer");
+        assert_eq!(evs[0].depth, 0);
+        assert_eq!(evs[1].name, "inner");
+        assert_eq!(evs[1].depth, 1);
+        assert_eq!(evs[2].name, "inner");
+        assert!(matches!(evs[2].kind, EventKind::SpanExit { .. }));
+        assert_eq!(evs[3].name, "outer");
+        assert_eq!(evs[3].depth, 0);
+        assert_eq!(
+            evs[3].field("n"),
+            Some(&FieldValue::Int(1)),
+            "recorded field on exit"
+        );
+        // Sequence strictly increasing, timestamps monotone per emission.
+        for w in evs.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn depth_restored_after_guard_drop() {
+        let _g = relock(&GUARD);
+        let sink = Arc::new(MemorySink::new());
+        install(vec![sink.clone()], Level::Info);
+        {
+            let _a = span(Level::Info, "a");
+        }
+        {
+            let _b = span(Level::Info, "b");
+        }
+        uninstall();
+        let evs = sink.events();
+        assert!(
+            evs.iter().all(|e| e.depth == 0),
+            "sequential spans at depth 0"
+        );
+    }
+}

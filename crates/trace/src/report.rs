@@ -1,0 +1,280 @@
+//! Aggregating raw events into a flat profile: top ops by wall-time,
+//! per-layer quantization error, counter totals.
+
+use crate::event::{EventKind, FieldValue, TraceEvent};
+use crate::json::Value;
+
+/// Aggregated timing for one span group (same name + `kind` field).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpProfile {
+    /// Group key: the `kind` field of `op` spans (e.g. `Conv2d`), or the
+    /// span name for non-op spans.
+    pub key: String,
+    /// Number of closed spans in the group.
+    pub count: u64,
+    /// Total wall-time across the group, nanoseconds.
+    pub total_ns: u64,
+    /// Total elements processed (sum of `elems` fields), if recorded.
+    pub elems: u64,
+}
+
+/// One per-layer quantization-error observation (a `quant.weight_mse`
+/// gauge).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerError {
+    /// Workload the layer belongs to, when recorded.
+    pub workload: String,
+    /// Layer (node) name.
+    pub layer: String,
+    /// Fake-quant MSE vs the FP32 weight.
+    pub mse: f64,
+}
+
+/// Final total of one counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTotal {
+    /// Counter name.
+    pub name: String,
+    /// Sum of all deltas.
+    pub total: u64,
+}
+
+/// A flat profile distilled from a trace: what dominated wall-time, which
+/// layers carry the most quantization error, and how the caches behaved.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceReport {
+    /// Span groups, descending by total time.
+    pub ops: Vec<OpProfile>,
+    /// Per-layer weight fake-quant error, descending by MSE.
+    pub layer_errors: Vec<LayerError>,
+    /// Counter totals, by name.
+    pub counters: Vec<CounterTotal>,
+    /// Number of events aggregated.
+    pub events: usize,
+}
+
+fn str_field(e: &TraceEvent, key: &str) -> Option<String> {
+    match e.field(key) {
+        Some(FieldValue::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+impl TraceReport {
+    /// Aggregate a batch of events (typically a [`crate::MemorySink`]
+    /// snapshot).
+    pub fn from_events(events: &[TraceEvent]) -> TraceReport {
+        let mut ops: Vec<OpProfile> = Vec::new();
+        let mut layer_errors: Vec<LayerError> = Vec::new();
+        let mut counters: Vec<CounterTotal> = Vec::new();
+        for e in events {
+            match e.kind {
+                EventKind::SpanExit { dur_ns } => {
+                    let key = str_field(e, "kind").unwrap_or_else(|| e.name.clone());
+                    let elems = match e.field("elems") {
+                        Some(FieldValue::Int(n)) => (*n).max(0) as u64,
+                        _ => 0,
+                    };
+                    match ops.iter_mut().find(|o| o.key == key) {
+                        Some(o) => {
+                            o.count += 1;
+                            o.total_ns += dur_ns;
+                            o.elems += elems;
+                        }
+                        None => ops.push(OpProfile {
+                            key,
+                            count: 1,
+                            total_ns: dur_ns,
+                            elems,
+                        }),
+                    }
+                }
+                EventKind::Gauge { value } if e.name == "quant.weight_mse" => {
+                    layer_errors.push(LayerError {
+                        workload: str_field(e, "workload").unwrap_or_default(),
+                        layer: str_field(e, "layer").unwrap_or_default(),
+                        mse: value,
+                    });
+                }
+                EventKind::Counter { delta } => {
+                    match counters.iter_mut().find(|c| c.name == e.name) {
+                        Some(c) => c.total += delta,
+                        None => counters.push(CounterTotal {
+                            name: e.name.clone(),
+                            total: delta,
+                        }),
+                    }
+                }
+                _ => {}
+            }
+        }
+        ops.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.key.cmp(&b.key)));
+        layer_errors.sort_by(|a, b| {
+            b.mse
+                .total_cmp(&a.mse)
+                .then_with(|| a.layer.cmp(&b.layer))
+                .then_with(|| a.workload.cmp(&b.workload))
+        });
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        TraceReport {
+            ops,
+            layer_errors,
+            counters,
+            events: events.len(),
+        }
+    }
+
+    /// The `n` heaviest span groups by total wall-time.
+    pub fn top_ops(&self, n: usize) -> &[OpProfile] {
+        &self.ops[..self.ops.len().min(n)]
+    }
+
+    /// Serialize to a JSON tree (rendered with
+    /// [`crate::json::Value::render_pretty`] by callers writing files).
+    pub fn to_json(&self) -> Value {
+        let ops = self
+            .ops
+            .iter()
+            .map(|o| {
+                Value::Object(vec![
+                    ("key".into(), Value::Str(o.key.clone())),
+                    ("count".into(), Value::Num(o.count as f64)),
+                    ("total_ms".into(), Value::Num(o.total_ns as f64 / 1e6)),
+                    ("elems".into(), Value::Num(o.elems as f64)),
+                ])
+            })
+            .collect();
+        let layers = self
+            .layer_errors
+            .iter()
+            .map(|l| {
+                Value::Object(vec![
+                    ("workload".into(), Value::Str(l.workload.clone())),
+                    ("layer".into(), Value::Str(l.layer.clone())),
+                    ("mse".into(), Value::Num(l.mse)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(c.name.clone())),
+                    ("total".into(), Value::Num(c.total as f64)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("events".into(), Value::Num(self.events as f64)),
+            ("ops_by_time".into(), Value::Array(ops)),
+            ("layer_errors".into(), Value::Array(layers)),
+            ("counters".into(), Value::Array(counters)),
+        ])
+    }
+
+    /// Render the top-`n` ops as a Markdown profile table.
+    pub fn render_top_ops_markdown(&self, n: usize) -> String {
+        let mut out = String::from("| op | count | total ms | elems |\n|---|---|---|---|\n");
+        for o in self.top_ops(n) {
+            out.push_str(&format!(
+                "| {} | {} | {:.3} | {} |\n",
+                o.key,
+                o.count,
+                o.total_ns as f64 / 1e6,
+                o.elems
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Level;
+
+    fn exit(name: &str, kind: Option<&str>, dur_ns: u64, elems: i64) -> TraceEvent {
+        let mut fields: Vec<(String, FieldValue)> = vec![("elems".into(), FieldValue::Int(elems))];
+        if let Some(k) = kind {
+            fields.push(("kind".into(), FieldValue::Str(k.into())));
+        }
+        TraceEvent {
+            seq: 0,
+            ts_ns: 0,
+            thread: 0,
+            depth: 0,
+            level: Level::Debug,
+            name: name.into(),
+            kind: EventKind::SpanExit { dur_ns },
+            fields,
+        }
+    }
+
+    #[test]
+    fn aggregates_and_ranks() {
+        let mut evs = vec![
+            exit("op", Some("Conv2d"), 500, 10),
+            exit("op", Some("Conv2d"), 700, 10),
+            exit("op", Some("Linear"), 100, 5),
+            exit("calibrate", None, 5000, 0),
+        ];
+        evs.push(TraceEvent {
+            seq: 0,
+            ts_ns: 0,
+            thread: 0,
+            depth: 0,
+            level: Level::Info,
+            name: "quant.weight_mse".into(),
+            kind: EventKind::Gauge { value: 2e-4 },
+            fields: vec![
+                ("workload".into(), FieldValue::Str("w".into())),
+                ("layer".into(), FieldValue::Str("conv1".into())),
+            ],
+        });
+        for _ in 0..3 {
+            evs.push(TraceEvent {
+                seq: 0,
+                ts_ns: 0,
+                thread: 0,
+                depth: 0,
+                level: Level::Info,
+                name: "calib_cache.hit".into(),
+                kind: EventKind::Counter { delta: 1 },
+                fields: vec![],
+            });
+        }
+        let r = TraceReport::from_events(&evs);
+        assert_eq!(r.events, evs.len());
+        assert_eq!(r.ops[0].key, "calibrate");
+        assert_eq!(r.ops[1].key, "Conv2d");
+        assert_eq!(r.ops[1].count, 2);
+        assert_eq!(r.ops[1].total_ns, 1200);
+        assert_eq!(r.ops[1].elems, 20);
+        assert_eq!(r.layer_errors.len(), 1);
+        assert_eq!(r.layer_errors[0].layer, "conv1");
+        assert_eq!(
+            r.counters,
+            vec![CounterTotal {
+                name: "calib_cache.hit".into(),
+                total: 3
+            }]
+        );
+        // JSON serialization parses back.
+        let js = r.to_json().render_pretty();
+        let v = crate::json::Value::parse(&js).unwrap();
+        assert_eq!(v.get("ops_by_time").unwrap().as_array().unwrap().len(), 3);
+        // Markdown table mentions the top op.
+        let md = r.render_top_ops_markdown(2);
+        assert!(md.contains("calibrate"));
+        assert!(!md.contains("Linear"), "top-2 excludes the lightest op");
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = TraceReport::from_events(&[]);
+        assert!(r.ops.is_empty());
+        assert!(r.top_ops(5).is_empty());
+        assert_eq!(r.events, 0);
+    }
+}

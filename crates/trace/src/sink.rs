@@ -1,0 +1,152 @@
+//! Event sinks: where recorded events go.
+
+use crate::event::TraceEvent;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// A destination for trace events. Implementations must be cheap enough to
+/// sit behind the recorder's fan-out and tolerant of concurrent callers.
+pub trait Sink: Send + Sync {
+    /// Receive one event.
+    fn emit(&self, event: &TraceEvent);
+
+    /// Flush buffered output (called by `uninstall`/shutdown).
+    fn flush(&self) {}
+}
+
+/// Poison-tolerant lock: a panicking worker thread mid-emit cannot wedge
+/// the sink for everyone else (same pattern as `CalibCache`).
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Buffers every event in memory. The test sink, and the input to
+/// [`crate::report::TraceReport`].
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// Fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        relock(&self.events).clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        relock(&self.events).len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        relock(&self.events).clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &TraceEvent) {
+        relock(&self.events).push(event.clone());
+    }
+}
+
+/// Streams events as NDJSON (one JSON object per line) to a file — the
+/// sink behind the bench binaries' `--trace <path>` flag.
+#[derive(Debug)]
+pub struct NdjsonSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl NdjsonSink {
+    /// Create (truncate) `path` and stream events into it.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(NdjsonSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for NdjsonSink {
+    fn emit(&self, event: &TraceEvent) {
+        let line = event.to_ndjson();
+        let mut w = relock(&self.writer);
+        // I/O errors are swallowed by design: observability must never
+        // fail the pipeline it observes.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = relock(&self.writer).flush();
+    }
+}
+
+impl Drop for NdjsonSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::json::Value;
+    use crate::Level;
+
+    fn ev(name: &str) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            ts_ns: 0,
+            thread: 0,
+            depth: 0,
+            level: Level::Info,
+            name: name.into(),
+            kind: EventKind::Counter { delta: 1 },
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn memory_sink_buffers() {
+        let s = MemorySink::new();
+        assert!(s.is_empty());
+        s.emit(&ev("a"));
+        s.emit(&ev("b"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events()[1].name, "b");
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ndjson_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join(format!("ptq_trace_sink_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.ndjson");
+        {
+            let s = NdjsonSink::create(&path).unwrap();
+            s.emit(&ev("x"));
+            s.emit(&ev("y"));
+        } // drop flushes
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            Value::parse(l).expect("valid NDJSON line");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -12,6 +12,7 @@ use fp8_ptq::core::{paper_recipe, quantize_workload, AutoTuner, QuantizedModel};
 use fp8_ptq::fp8::Fp8Format;
 use fp8_ptq::metrics::{Domain, PassRateSummary};
 use fp8_ptq::models::{build_zoo, ZooFilter};
+use rayon::prelude::*;
 
 #[test]
 fn quick_zoo_has_sane_baselines() {
@@ -39,9 +40,15 @@ fn every_format_quantizes_every_quick_workload() {
         DataFormat::Fp8(Fp8Format::E3M4),
         DataFormat::Int8,
     ];
-    let mut results = Vec::new();
-    for w in &zoo {
-        for fmt in formats {
+    // One (workload, format) cell per parallel job: this is the biggest
+    // test in the suite, and the 60s-per-test CI guard times it serially.
+    let cells: Vec<(usize, DataFormat)> = (0..zoo.len())
+        .flat_map(|i| formats.iter().map(move |&f| (i, f)))
+        .collect();
+    let results: Vec<_> = cells
+        .par_iter()
+        .map(|&(i, fmt)| {
+            let w = &zoo[i];
             let cfg = paper_recipe(fmt, Approach::Static, w.spec.domain);
             let out = quantize_workload(w, &cfg);
             assert!(
@@ -54,9 +61,9 @@ fn every_format_quantizes_every_quick_workload() {
             // quantized and some weights were substituted.
             assert!(!out.model.quantized_nodes.is_empty(), "{}", w.spec.name);
             assert!(!out.model.weights.is_empty(), "{}", w.spec.name);
-            results.push(out.result);
-        }
-    }
+            out.result
+        })
+        .collect();
     let summary = PassRateSummary::of(&results);
     assert!(summary.n == zoo.len() * formats.len());
     // Quantization is lossy but not catastrophic in aggregate.
@@ -67,27 +74,35 @@ fn every_format_quantizes_every_quick_workload() {
 fn e4m3_beats_e5m2_in_aggregate() {
     // The headline precision ordering, over the quick zoo.
     let zoo = build_zoo(ZooFilter::Quick);
+    // Parallel over workloads; collect preserves input order, so the
+    // accumulation below sums in the same order as a serial loop.
+    let losses: Vec<(f64, f64)> = zoo
+        .par_iter()
+        .map(|w| {
+            let e5 = quantize_workload(
+                w,
+                &paper_recipe(
+                    DataFormat::Fp8(Fp8Format::E5M2),
+                    Approach::Static,
+                    w.spec.domain,
+                ),
+            );
+            let e4 = quantize_workload(
+                w,
+                &paper_recipe(
+                    DataFormat::Fp8(Fp8Format::E4M3),
+                    Approach::Static,
+                    w.spec.domain,
+                ),
+            );
+            (e5.result.loss(), e4.result.loss())
+        })
+        .collect();
     let mut loss_e5 = 0.0;
     let mut loss_e4 = 0.0;
-    for w in &zoo {
-        let e5 = quantize_workload(
-            w,
-            &paper_recipe(
-                DataFormat::Fp8(Fp8Format::E5M2),
-                Approach::Static,
-                w.spec.domain,
-            ),
-        );
-        let e4 = quantize_workload(
-            w,
-            &paper_recipe(
-                DataFormat::Fp8(Fp8Format::E4M3),
-                Approach::Static,
-                w.spec.domain,
-            ),
-        );
-        loss_e5 += e5.result.loss();
-        loss_e4 += e4.result.loss();
+    for (l5, l4) in &losses {
+        loss_e5 += l5;
+        loss_e4 += l4;
     }
     assert!(
         loss_e4 < loss_e5,
