@@ -12,7 +12,7 @@
 
 use ptq_bench::{pct, save_json, MdTable};
 use ptq_core::config::{Approach, Coverage, DataFormat};
-use ptq_core::{paper_recipe, try_quantize_workload_cached, CalibCache, SweepError};
+use ptq_core::{paper_recipe, CalibCache, PtqSession, SweepError};
 use ptq_fp8::Fp8Format;
 use ptq_metrics::PassRateSummary;
 use ptq_models::{build_zoo, ZooFilter};
@@ -52,7 +52,9 @@ fn main() {
                 .par_iter()
                 .map(|w| {
                     let cfg = paper_recipe(fmt, Approach::Static, w.spec.domain).with_coverage(cov);
-                    try_quantize_workload_cached(w, &cfg, &cache)
+                    PtqSession::new(cfg.clone())
+                        .cache(&cache)
+                        .quantize(w)
                         .map(|out| out.result)
                         .map_err(|e| SweepError {
                             workload: w.spec.name.clone(),

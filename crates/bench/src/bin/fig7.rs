@@ -12,11 +12,12 @@
 
 use ptq_bench::{save_json, MdTable};
 use ptq_core::config::{Approach, DataFormat};
-use ptq_core::{paper_recipe, quantize_workload, recalibrate_batchnorm, QuantizedModel};
+use ptq_core::{paper_recipe, recalibrate_batchnorm, PtqSession, QuantizedModel};
 use ptq_fp8::Fp8Format;
 use ptq_models::families::common::CvConfig;
 use ptq_models::families::cv;
 use ptq_models::{Transform, Workload};
+use ptq_nn::UnwrapOk;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -36,16 +37,17 @@ fn eval_with_bn_calib(w: &Workload, samples: usize, transform: Transform) -> f64
     // Build the quantized model without the default BN calibration…
     let mut plain = cfg.clone();
     plain.bn_calibration = false;
-    let calib = ptq_core::workflow::calibrate_workload(w, &plain);
-    let mut model = QuantizedModel::build(w.graph.clone(), &calib, plain);
+    let calib = ptq_core::workflow::calibrate_workload(w, &plain).unwrap_ok();
+    let mut model = QuantizedModel::build(w.graph.clone(), &calib, plain).unwrap_ok();
     // …then recalibrate with exactly `samples` draws under `transform`.
     let source = w
         .calib_source
         .as_ref()
         .expect("CV workload has a calib source");
     let batches = source.sample(samples, transform, 0xF17);
-    recalibrate_batchnorm(&mut model, &batches);
+    recalibrate_batchnorm(&mut model, &batches).unwrap_ok();
     w.evaluate_graph(&model.graph, &mut model.hook())
+        .unwrap_ok()
 }
 
 fn main() {
@@ -99,7 +101,10 @@ fn main() {
             w.spec.domain,
         );
         no_calib.bn_calibration = false;
-        let base = quantize_workload(w, &no_calib).score;
+        let base = PtqSession::new(no_calib.clone())
+            .quantize(w)
+            .unwrap_ok()
+            .score;
         println!(
             "**{name}** — fp32 {:.4}, quantized w/o BN calibration {:.4}\n",
             w.fp32_score, base

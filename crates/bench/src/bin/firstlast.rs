@@ -9,10 +9,11 @@
 
 use ptq_bench::{pct, save_json, MdTable};
 use ptq_core::config::{Approach, DataFormat};
-use ptq_core::{paper_recipe, quantize_workload};
+use ptq_core::{paper_recipe, PtqSession};
 use ptq_fp8::Fp8Format;
 use ptq_metrics::PassRateSummary;
 use ptq_models::{build_zoo, ZooFilter};
+use ptq_nn::UnwrapOk;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -35,9 +36,14 @@ fn main() {
         let mut quantized = Vec::new();
         for w in &zoo {
             let base = paper_recipe(fmt, Approach::Static, w.spec.domain);
-            excepted.push(quantize_workload(w, &base).result);
+            excepted.push(PtqSession::new(base.clone()).quantize(w).unwrap_ok().result);
             let all_in = base.clone().with_first_last();
-            quantized.push(quantize_workload(w, &all_in).result);
+            quantized.push(
+                PtqSession::new(all_in.clone())
+                    .quantize(w)
+                    .unwrap_ok()
+                    .result,
+            );
         }
         let pe = PassRateSummary::of(&excepted).all;
         let pq = PassRateSummary::of(&quantized).all;

@@ -14,13 +14,14 @@
 
 use ptq_bench::{save_json, MdTable};
 use ptq_core::config::{Approach, DataFormat};
-use ptq_core::{paper_recipe, quantize_workload};
+use ptq_core::{paper_recipe, PtqSession};
 use ptq_fp8::Fp8Format;
 use ptq_metrics::{distinct_n, repeated_ngram_rate};
 use ptq_models::families::common::NlpConfig;
 use ptq_models::families::misc::generator_like;
 use ptq_models::families::nlp::{decoder_workload, generate_greedy};
 use ptq_nn::NoopHook;
+use ptq_nn::UnwrapOk;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -54,7 +55,10 @@ fn main() {
             None => 0.0,
             Some(fmt) => {
                 let cfg = paper_recipe(fmt, Approach::Static, gen.spec.domain);
-                let score = quantize_workload(&gen, &cfg).score;
+                let score = PtqSession::new(cfg.clone())
+                    .quantize(&gen)
+                    .unwrap_ok()
+                    .score;
                 // Metric is 1/(1+FID) -> invert.
                 (1.0 / score) - 1.0
             }
@@ -92,7 +96,7 @@ fn main() {
             None => reference.clone(),
             Some(fmt) => {
                 let qcfg = paper_recipe(fmt, Approach::Static, wl.spec.domain);
-                let out = quantize_workload(&wl, &qcfg);
+                let out = PtqSession::new(qcfg.clone()).quantize(&wl).unwrap_ok();
                 generate_greedy(
                     &out.model.graph,
                     &cfg,

@@ -12,9 +12,10 @@
 use ptq_bench::MdTable;
 use ptq_core::config::{Approach, DataFormat, QuantConfig};
 use ptq_core::workflow::paper_mixed_recipe;
-use ptq_core::{paper_recipe, quantize_workload, sensitivity_profile, AutoTuner};
+use ptq_core::{paper_recipe, sensitivity_profile, AutoTuner, PtqSession};
 use ptq_fp8::Fp8Format;
 use ptq_models::{build_zoo, Workload, ZooFilter};
+use ptq_nn::UnwrapOk;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -97,7 +98,7 @@ fn cmd_quantize(args: &[String]) {
     );
     let mut t = MdTable::new(&["Config", "Score", "Loss", "Pass (1%)"]);
     let mut run = |label: String, cfg: &QuantConfig| {
-        let out = quantize_workload(w, cfg);
+        let out = PtqSession::new(cfg.clone()).quantize(w).unwrap_ok();
         t.row(vec![
             label,
             format!("{:.4}", out.score),
@@ -138,7 +139,7 @@ fn cmd_sensitivity(args: &[String]) {
         w.spec.domain,
     );
     eprintln!("measuring per-operator sensitivity (E4M3 static)…");
-    let profile = sensitivity_profile(w, &cfg);
+    let profile = sensitivity_profile(w, &cfg).unwrap_ok();
     let mut t = MdTable::new(&["Rank", "Node", "Class", "Score (only this op)", "Loss"]);
     for (i, n) in profile.nodes.iter().enumerate() {
         t.row(vec![

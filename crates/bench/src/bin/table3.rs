@@ -9,9 +9,10 @@
 use ptq_bench::{save_json, MdTable};
 use ptq_core::config::Approach;
 use ptq_core::config::DataFormat;
-use ptq_core::{paper_recipe, quantize_workload};
+use ptq_core::{paper_recipe, PtqSession};
 use ptq_fp8::Fp8Format;
 use ptq_models::{build_zoo, ZooFilter};
+use ptq_nn::UnwrapOk;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -49,8 +50,12 @@ fn main() {
             continue;
         };
         eprintln!("{}…", w.spec.name);
-        let score =
-            |fmt| quantize_workload(w, &paper_recipe(fmt, Approach::Static, w.spec.domain)).score;
+        let score = |fmt| {
+            PtqSession::new(paper_recipe(fmt, Approach::Static, w.spec.domain))
+                .quantize(w)
+                .unwrap_ok()
+                .score
+        };
         rows.push(Table3Row {
             model: w.spec.name.clone(),
             task: task.to_string(),

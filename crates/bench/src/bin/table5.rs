@@ -10,10 +10,11 @@
 
 use ptq_bench::{save_json, MdTable};
 use ptq_core::config::QuantConfig;
-use ptq_core::quantize_workload;
+use ptq_core::PtqSession;
 use ptq_fp8::Fp8Format;
 use ptq_models::families::common::{Head, NlpConfig};
 use ptq_models::families::nlp;
+use ptq_nn::UnwrapOk;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -92,7 +93,7 @@ fn main() {
         // recipes, no SmoothQuant, so each format faces the raw Figure-3
         // distributions. (The Table-2 pass-rate sweep uses the full
         // production recipes instead.)
-        let score = |cfg: QuantConfig| quantize_workload(w, &cfg).score;
+        let score = |cfg: QuantConfig| PtqSession::new(cfg).quantize(w).unwrap_ok().score;
         let e5m2 = score(QuantConfig::fp8(Fp8Format::E5M2));
         let e4m3 = score(QuantConfig::fp8(Fp8Format::E4M3));
         let e3m4 = score(QuantConfig::fp8(Fp8Format::E3M4));

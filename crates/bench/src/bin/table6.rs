@@ -8,10 +8,11 @@
 
 use ptq_bench::{save_json, MdTable};
 use ptq_core::config::{Approach, DataFormat};
-use ptq_core::{paper_recipe, quantize_workload};
+use ptq_core::{paper_recipe, PtqSession};
 use ptq_fp8::Fp8Format;
 use ptq_models::families::common::{Head, NlpConfig};
 use ptq_models::families::nlp;
+use ptq_nn::UnwrapOk;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -100,15 +101,21 @@ fn main() {
             w.calib
                 .push(vec![ptq_tensor::Tensor::from_vec(ids, &[cfg.seq])]);
         }
-        let stat = quantize_workload(
-            &w,
-            &paper_recipe(DataFormat::Fp8(*format), Approach::Static, w.spec.domain),
-        )
+        let stat = PtqSession::new(paper_recipe(
+            DataFormat::Fp8(*format),
+            Approach::Static,
+            w.spec.domain,
+        ))
+        .quantize(&w)
+        .unwrap_ok()
         .score;
-        let dynm = quantize_workload(
-            &w,
-            &paper_recipe(DataFormat::Fp8(*format), Approach::Dynamic, w.spec.domain),
-        )
+        let dynm = PtqSession::new(paper_recipe(
+            DataFormat::Fp8(*format),
+            Approach::Dynamic,
+            w.spec.domain,
+        ))
+        .quantize(&w)
+        .unwrap_ok()
         .score;
         rows.push(Table6Row {
             model: model.to_string(),

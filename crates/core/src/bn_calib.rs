@@ -45,6 +45,10 @@ impl ExecHook for BnMomentHook<'_> {
     fn weight(&mut self, node: &Node, value: ValueId, w: &Tensor) -> Option<Tensor> {
         self.quant.weight(node, value, w)
     }
+
+    fn weight_ref<'a>(&'a self, node: &Node, value: ValueId, w: &'a Tensor) -> Option<&'a Tensor> {
+        self.quant.weight_ref(node, value, w)
+    }
 }
 
 /// Run `calib` batches through the quantized model, measure each
@@ -57,7 +61,7 @@ impl ExecHook for BnMomentHook<'_> {
 /// in a framework gets this consistency for free by normalizing with batch
 /// statistics during the calibration forward; an inference-mode emulation
 /// has to schedule it explicitly.
-pub fn try_recalibrate_batchnorm(
+pub fn recalibrate_batchnorm(
     model: &mut QuantizedModel,
     calib: &[Vec<Tensor>],
 ) -> Result<usize, PtqError> {
@@ -69,8 +73,12 @@ pub fn try_recalibrate_batchnorm(
                 quant: model.hook(),
                 acc: HashMap::new(),
             };
+            // Planned execution: the measurement passes reuse one cached
+            // plan (and its arena) per calibration-batch shape. The
+            // `set_param` rewrites below keep the same parameter shapes,
+            // so cached plans stay valid across the sequential BN fixes.
             for inputs in calib {
-                model.graph.try_run(inputs, &mut hook)?;
+                model.plans.run(&model.graph, inputs, &mut hook)?;
             }
             hook.acc
         };
@@ -95,24 +103,21 @@ pub fn try_recalibrate_batchnorm(
             }
         };
         if let Some((mid, m, vid, v)) = update {
-            model.graph.try_set_param(mid, m)?;
-            model.graph.try_set_param(vid, v)?;
+            model.graph.set_param(mid, m)?;
+            model.graph.set_param(vid, v)?;
             updated += 1;
         }
     }
     Ok(updated)
 }
 
-/// Recalibrate BatchNorm running statistics.
-///
-/// # Panics
-///
-/// Panicking wrapper over [`try_recalibrate_batchnorm`].
-pub fn recalibrate_batchnorm(model: &mut QuantizedModel, calib: &[Vec<Tensor>]) -> usize {
-    match try_recalibrate_batchnorm(model, calib) {
-        Ok(n) => n,
-        Err(e) => panic!("{e}"),
-    }
+/// Deprecated alias of [`recalibrate_batchnorm`].
+#[deprecated(since = "0.2.0", note = "renamed to `recalibrate_batchnorm`")]
+pub fn try_recalibrate_batchnorm(
+    model: &mut QuantizedModel,
+    calib: &[Vec<Tensor>],
+) -> Result<usize, PtqError> {
+    recalibrate_batchnorm(model, calib)
 }
 
 #[cfg(test)]
@@ -122,7 +127,7 @@ mod tests {
     use crate::config::QuantConfig;
     use crate::quantizer::QuantizedModel;
     use ptq_fp8::Fp8Format;
-    use ptq_nn::GraphBuilder;
+    use ptq_nn::{GraphBuilder, UnwrapOk};
     use ptq_tensor::ops::Conv2dParams;
     use ptq_tensor::TensorRng;
 
@@ -158,24 +163,25 @@ mod tests {
             .collect();
         let mut hook = CalibrationHook::new();
         for c in &calib_x {
-            g.run(c, &mut hook);
+            g.run(c, &mut hook).unwrap_ok();
         }
         let calib = hook.into_data();
-        let mut model = QuantizedModel::build(g, &calib, QuantConfig::fp8(Fp8Format::E4M3));
-        let n = recalibrate_batchnorm(&mut model, &calib_x);
+        let mut model =
+            QuantizedModel::build(g, &calib, QuantConfig::fp8(Fp8Format::E4M3)).unwrap_ok();
+        let n = recalibrate_batchnorm(&mut model, &calib_x).unwrap_ok();
         assert_eq!(n, 1);
 
         // After recalibration the BN node's input moments under the
         // quantized model must match the stored running stats.
         let bn_id = model.graph.nodes_of_class(OpClass::BatchNorm)[0];
-        let params = model.graph.batchnorm_params(bn_id);
+        let params = model.graph.batchnorm_params(bn_id).unwrap_ok();
         // Re-measure.
         let mut hook2 = BnMomentHook {
             quant: model.hook(),
             acc: HashMap::new(),
         };
         for c in &calib_x {
-            model.graph.run(c, &mut hook2);
+            model.graph.run(c, &mut hook2).unwrap_ok();
         }
         let (sum, sq, count) = &hook2.acc[&bn_id];
         for ci in 0..4 {
@@ -196,10 +202,11 @@ mod tests {
             .collect();
         let mut hook = CalibrationHook::new();
         for c in &calib_x {
-            g.run(c, &mut hook);
+            g.run(c, &mut hook).unwrap_ok();
         }
         let calib = hook.into_data();
-        let mut model = QuantizedModel::build(g.clone(), &calib, QuantConfig::fp8(Fp8Format::E4M3));
+        let mut model =
+            QuantizedModel::build(g.clone(), &calib, QuantConfig::fp8(Fp8Format::E4M3)).unwrap_ok();
 
         let probe = TensorRng::seed(99).normal(&[8, 3, 8, 8], 0.0, 1.0);
         let bn_id = model.graph.nodes_of_class(OpClass::BatchNorm)[0];
@@ -222,13 +229,16 @@ mod tests {
             id: bn_id,
             var: 0.0,
         };
-        model.graph.run(std::slice::from_ref(&probe), &mut before);
-        recalibrate_batchnorm(&mut model, &calib_x);
+        model
+            .graph
+            .run(std::slice::from_ref(&probe), &mut before)
+            .unwrap_ok();
+        recalibrate_batchnorm(&mut model, &calib_x).unwrap_ok();
         let mut after = BnOutVar {
             id: bn_id,
             var: 0.0,
         };
-        model.graph.run(&[probe], &mut after);
+        model.graph.run(&[probe], &mut after).unwrap_ok();
         // Stale var=3.0 understates the scale; recalibrated output variance
         // should be closer to gamma^2 ~ 1.
         assert!(

@@ -22,7 +22,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::calibrate::CalibData;
 use crate::config::QuantConfig;
-use crate::workflow::try_calibrate_workload;
+use crate::workflow::calibrate_workload;
 use ptq_models::Workload;
 use ptq_nn::PtqError;
 
@@ -69,7 +69,7 @@ impl CalibCache {
     /// Two racing misses on the same key both calibrate (deterministically
     /// to the same data); the first insertion wins and both callers get
     /// the same `Arc`.
-    pub fn try_get_or_calibrate(
+    pub fn get_or_calibrate(
         &self,
         workload: &Workload,
         cfg: &QuantConfig,
@@ -102,23 +102,21 @@ impl CalibCache {
             sp.record_str("workload", &key.workload);
             sp.record_int("needs_histograms", i64::from(key.needs_histograms));
         }
-        let data = Arc::new(try_calibrate_workload(workload, cfg)?);
+        let data = Arc::new(calibrate_workload(workload, cfg)?);
         drop(sp);
         let mut map = self.lock_map();
         let entry = map.entry(key).or_insert(data);
         Ok(Arc::clone(entry))
     }
 
-    /// [`CalibCache::try_get_or_calibrate`], panicking on failure.
-    ///
-    /// # Panics
-    ///
-    /// Panics if calibration fails.
-    pub fn get_or_calibrate(&self, workload: &Workload, cfg: &QuantConfig) -> Arc<CalibData> {
-        match self.try_get_or_calibrate(workload, cfg) {
-            Ok(data) => data,
-            Err(e) => panic!("{e}"),
-        }
+    /// Deprecated alias of [`CalibCache::get_or_calibrate`].
+    #[deprecated(since = "0.2.0", note = "renamed to `get_or_calibrate`")]
+    pub fn try_get_or_calibrate(
+        &self,
+        workload: &Workload,
+        cfg: &QuantConfig,
+    ) -> Result<Arc<CalibData>, PtqError> {
+        self.get_or_calibrate(workload, cfg)
     }
 
     /// Number of lookups served from the cache.
@@ -150,6 +148,7 @@ mod tests {
     use crate::Approach;
     use ptq_fp8::Fp8Format;
     use ptq_models::{build_zoo, ZooFilter};
+    use ptq_nn::UnwrapOk;
 
     #[test]
     fn same_recipe_family_calibrates_once() {
@@ -166,8 +165,8 @@ mod tests {
             Approach::Static,
             w.spec.domain,
         );
-        let a = cache.get_or_calibrate(w, &e4);
-        let b = cache.get_or_calibrate(w, &e3);
+        let a = cache.get_or_calibrate(w, &e4).unwrap_ok();
+        let b = cache.get_or_calibrate(w, &e3).unwrap_ok();
         assert!(Arc::ptr_eq(&a, &b), "formats share calibration");
         assert_eq!(cache.len(), 1);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
@@ -185,8 +184,8 @@ mod tests {
         );
         let mut pct = absmax.clone();
         pct.calibration = CalibMethod::Percentile(99.99);
-        let a = cache.get_or_calibrate(w, &absmax);
-        let b = cache.get_or_calibrate(w, &pct);
+        let a = cache.get_or_calibrate(w, &absmax).unwrap_ok();
+        let b = cache.get_or_calibrate(w, &pct).unwrap_ok();
         assert!(!Arc::ptr_eq(&a, &b), "histogram pass differs");
         assert_eq!(cache.len(), 2);
         assert!(b.hists.len() >= a.hists.len());
@@ -202,8 +201,8 @@ mod tests {
             Approach::Static,
             w.spec.domain,
         );
-        let cached = cache.get_or_calibrate(w, &cfg);
-        let direct = crate::workflow::calibrate_workload(w, &cfg);
+        let cached = cache.get_or_calibrate(w, &cfg).unwrap_ok();
+        let direct = crate::workflow::calibrate_workload(w, &cfg).unwrap_ok();
         assert_eq!(cached.stats.len(), direct.stats.len());
         for (k, s) in &direct.stats {
             let c = cached.stats.get(k).expect("key present");

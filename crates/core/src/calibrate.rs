@@ -222,7 +222,7 @@ mod tests {
     use super::*;
     use crate::config::QuantConfig;
     use ptq_fp8::Fp8Format;
-    use ptq_nn::GraphBuilder;
+    use ptq_nn::{GraphBuilder, UnwrapOk};
     use ptq_tensor::TensorRng;
 
     fn linear_graph() -> ptq_nn::Graph {
@@ -241,7 +241,7 @@ mod tests {
         let g = linear_graph();
         let mut hook = CalibrationHook::new();
         let x = TensorRng::seed(2).normal(&[16, 8], 0.0, 1.0);
-        g.run(&[x], &mut hook);
+        g.run(&[x], &mut hook).unwrap_ok();
         let data = hook.into_data();
         let k0 = TensorKey { node: 0, input: 0 };
         let k1 = TensorKey { node: 1, input: 0 };
@@ -256,7 +256,7 @@ mod tests {
         let g = linear_graph();
         let mut hook = CalibrationHook::new();
         let x = TensorRng::seed(3).normal(&[16, 8], 0.0, 1.0);
-        g.run(std::slice::from_ref(&x), &mut hook);
+        g.run(std::slice::from_ref(&x), &mut hook).unwrap_ok();
         let data = hook.into_data();
         let cfg = QuantConfig::fp8(Fp8Format::E4M3);
         let k0 = TensorKey { node: 0, input: 0 };
@@ -271,11 +271,11 @@ mod tests {
         let g = linear_graph();
         let mut hook = CalibrationHook::new();
         let x = TensorRng::seed(4).normal(&[32, 8], 0.0, 1.0);
-        g.run(std::slice::from_ref(&x), &mut hook);
+        g.run(std::slice::from_ref(&x), &mut hook).unwrap_ok();
         let mut data = hook.into_data();
         {
             let mut h2 = HistogramHook::new(&mut data);
-            g.run(&[x], &mut h2);
+            g.run(&[x], &mut h2).unwrap_ok();
         }
         let k0 = TensorKey { node: 0, input: 0 };
         assert!(data.hists[&k0].total() > 0);

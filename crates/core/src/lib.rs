@@ -24,16 +24,22 @@
 //!   walks the (format × approach × coverage × fallback) lattice until the
 //!   1 % criterion is met.
 //!
+//! The entry point is [`PtqSession`]: configure once, quantize any number
+//! of workloads, share calibration through a [`CalibCache`]. Model graphs
+//! execute through cached [`ptq_nn::ExecPlan`]s, so repeated calibration
+//! and evaluation passes reuse preallocated tensor arenas.
+//!
 //! ## Quick example
 //!
 //! ```no_run
-//! use ptq_core::{quantize_workload, QuantConfig};
+//! use ptq_core::prelude::*;
 //! use ptq_fp8::Fp8Format;
 //! use ptq_models::{build_zoo, ZooFilter};
 //!
 //! let zoo = build_zoo(ZooFilter::Quick);
-//! let cfg = QuantConfig::fp8(Fp8Format::E4M3);
-//! let outcome = quantize_workload(&zoo[0], &cfg);
+//! let cache = CalibCache::new();
+//! let mut session = PtqSession::new(QuantConfig::fp8(Fp8Format::E4M3)).cache(&cache);
+//! let outcome = session.quantize(&zoo[0]).unwrap_ok();
 //! println!("fp32 {:.4} -> quantized {:.4}", zoo[0].fp32_score, outcome.score);
 //! ```
 
@@ -44,24 +50,62 @@ pub mod config;
 pub mod observer;
 pub mod quantizer;
 pub mod sensitivity;
+pub mod session;
 pub mod smoothquant;
 pub mod tuner;
 pub mod workflow;
 
-pub use bn_calib::{recalibrate_batchnorm, try_recalibrate_batchnorm};
+pub use bn_calib::recalibrate_batchnorm;
 pub use calib_cache::CalibCache;
 pub use calibrate::{CalibData, CalibrationHook, TensorKey};
 pub use config::{Approach, CalibMethod, Coverage, DataFormat, Granularity, QuantConfig};
 pub use observer::{kl_divergence_threshold, mse_sweep_threshold, percentile_threshold};
-pub use ptq_nn::PtqError;
+pub use ptq_nn::{PtqError, UnwrapOk};
 pub use quantizer::{QuantHook, QuantizedModel};
 pub use sensitivity::{
-    sensitivity_profile, try_sensitivity_profile, NodeSensitivity, SensitivityProfile,
+    sensitivity_profile, sensitivity_profile_with, NodeSensitivity, SensitivityProfile,
 };
+pub use session::{PtqSession, QuantOutcome};
 pub use smoothquant::smooth_scales;
 pub use tuner::{AutoTuner, Recipe, TuneOutcome, TuneStep};
 pub use workflow::{
-    paper_recipe, quantize_workload, quantize_workload_cached, run_suite, run_suite_cached,
-    try_calibrate_workload, try_quantize_workload, try_quantize_workload_cached,
-    try_quantize_workload_with, QuantOutcome, SuiteRow, SweepError,
+    calibrate_workload, paper_mixed_recipe, paper_recipe, run_suite, run_suite_cached, table2_rows,
+    SuiteRow, SweepError,
 };
+
+// Deprecated pre-`PtqSession` surface, kept importable from the crate root
+// so downstream code migrates on its own schedule.
+#[allow(deprecated)]
+pub use bn_calib::try_recalibrate_batchnorm;
+#[allow(deprecated)]
+pub use sensitivity::{try_sensitivity_profile, try_sensitivity_profile_with};
+#[allow(deprecated)]
+pub use workflow::{
+    quantize_workload, quantize_workload_cached, quantize_workload_with, try_calibrate_workload,
+    try_quantize_workload, try_quantize_workload_cached, try_quantize_workload_with,
+};
+
+/// The blessed import surface: everything a typical PTQ driver needs.
+///
+/// ```no_run
+/// use ptq_core::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::bn_calib::recalibrate_batchnorm;
+    pub use crate::calib_cache::CalibCache;
+    pub use crate::calibrate::{CalibData, CalibrationHook, TensorKey};
+    pub use crate::config::{
+        Approach, CalibMethod, Coverage, DataFormat, Granularity, QuantConfig,
+    };
+    pub use crate::quantizer::{QuantHook, QuantizedModel};
+    pub use crate::sensitivity::{
+        sensitivity_profile, sensitivity_profile_with, SensitivityProfile,
+    };
+    pub use crate::session::{PtqSession, QuantOutcome};
+    pub use crate::tuner::{AutoTuner, TuneOutcome};
+    pub use crate::workflow::{
+        calibrate_workload, paper_mixed_recipe, paper_recipe, run_suite, run_suite_cached,
+        table2_rows, SuiteRow, SweepError,
+    };
+    pub use ptq_nn::{ExecHook, ExecPlan, Graph, NoopHook, PlanSet, PtqError, UnwrapOk};
+}

@@ -9,7 +9,7 @@ use ptq_fp8::{
     fake_quant_fp8_lut, fake_quant_fp8_per_channel_lut, fake_quant_int8,
     fake_quant_int8_per_channel, fp8_scale, Fp8Codec, Int8Codec, Int8Mode,
 };
-use ptq_nn::{ExecHook, Graph, Node, NodeId, OpClass, PtqError, ValueId};
+use ptq_nn::{ExecHook, Graph, Node, NodeId, OpClass, PlanSet, PtqError, ValueId};
 use ptq_tensor::Tensor;
 use std::collections::{BTreeSet, HashMap};
 
@@ -32,19 +32,19 @@ pub struct QuantizedModel {
     pub weights: HashMap<ValueId, Tensor>,
     /// SmoothQuant per-input-channel *divisors* for Linear activations.
     pub smooth: HashMap<NodeId, Vec<f32>>,
+    /// Execution plans for [`Self::graph`], keyed by input shape (used by
+    /// BatchNorm recalibration and quantized evaluation). `Clone` yields a
+    /// fresh empty set.
+    pub plans: PlanSet,
 }
 
 impl QuantizedModel {
     /// Build a quantized model from a graph, its calibration data and a
     /// recipe, reporting malformed graphs (unbound weights, structural
     /// defects) as typed errors. (Use
-    /// [`crate::workflow::try_quantize_workload`] for the full
-    /// calibrate-quantize-evaluate pipeline.)
-    pub fn try_build(
-        graph: Graph,
-        calib: &CalibData,
-        config: QuantConfig,
-    ) -> Result<Self, PtqError> {
+    /// [`crate::PtqSession`] for the full calibrate-quantize-evaluate
+    /// pipeline.)
+    pub fn build(graph: Graph, calib: &CalibData, config: QuantConfig) -> Result<Self, PtqError> {
         graph.validate_structure()?;
         let quantized_nodes = select_nodes(&graph, &config);
         let smooth = if let Some(alpha) = config.smoothquant_alpha {
@@ -63,19 +63,20 @@ impl QuantizedModel {
             act_int8,
             weights,
             smooth,
+            plans: PlanSet::new(),
         })
     }
 
-    /// Build a quantized model.
-    ///
-    /// # Panics
-    ///
-    /// Panicking wrapper over [`QuantizedModel::try_build`].
-    pub fn build(graph: Graph, calib: &CalibData, config: QuantConfig) -> Self {
-        match Self::try_build(graph, calib, config) {
-            Ok(m) => m,
-            Err(e) => panic!("{e}"),
-        }
+    /// Deprecated alias of [`QuantizedModel::build`] (the
+    /// `Result`-returning methods now carry the canonical, unprefixed
+    /// names).
+    #[deprecated(since = "0.2.0", note = "renamed to `build`")]
+    pub fn try_build(
+        graph: Graph,
+        calib: &CalibData,
+        config: QuantConfig,
+    ) -> Result<Self, PtqError> {
+        Self::build(graph, calib, config)
     }
 
     /// An execution hook for quantized inference over [`Self::graph`].
@@ -300,6 +301,18 @@ impl ExecHook for QuantHook<'_> {
         self.model.weights.get(&value).cloned()
     }
 
+    fn weight_ref<'a>(
+        &'a self,
+        _node: &Node,
+        value: ValueId,
+        _w: &'a Tensor,
+    ) -> Option<&'a Tensor> {
+        // Zero-copy protocol for planned execution: pre-quantized weights
+        // are borrowed straight out of the model instead of cloned per
+        // fetch (agrees with `weight()` above by construction).
+        self.model.weights.get(&value)
+    }
+
     fn before_node(&mut self, node: &Node, inputs: &mut [Tensor]) {
         if !self.model.quantized_nodes.contains(&node.id) {
             return;
@@ -381,6 +394,7 @@ mod tests {
     use crate::calibrate::CalibrationHook;
     use ptq_fp8::Fp8Format;
     use ptq_nn::GraphBuilder;
+    use ptq_nn::UnwrapOk;
     use ptq_tensor::ops::Conv2dParams;
     use ptq_tensor::TensorRng;
 
@@ -403,7 +417,7 @@ mod tests {
     fn calibrated(g: &Graph) -> CalibData {
         let mut hook = CalibrationHook::new();
         let x = TensorRng::seed(2).normal(&[4, 3, 8, 8], 0.0, 1.0);
-        g.run(&[x], &mut hook);
+        g.run(&[x], &mut hook).unwrap_ok();
         hook.into_data()
     }
 
@@ -454,10 +468,13 @@ mod tests {
         let g = cnn();
         let calib = calibrated(&g);
         let x = TensorRng::seed(4).normal(&[2, 3, 8, 8], 0.0, 1.0);
-        let fp32 = g.infer(std::slice::from_ref(&x));
+        let fp32 = g.infer(std::slice::from_ref(&x)).unwrap_ok();
         for f in Fp8Format::ALL {
-            let model = QuantizedModel::build(g.clone(), &calib, QuantConfig::fp8(f));
-            let q = model.graph.run(std::slice::from_ref(&x), &mut model.hook());
+            let model = QuantizedModel::build(g.clone(), &calib, QuantConfig::fp8(f)).unwrap_ok();
+            let q = model
+                .graph
+                .run(std::slice::from_ref(&x), &mut model.hook())
+                .unwrap_ok();
             let mse = ptq_tensor::stats::mse(fp32[0].data(), q[0].data());
             let power: f64 = fp32[0]
                 .data()
@@ -479,7 +496,7 @@ mod tests {
         let g = cnn();
         let calib = calibrated(&g);
         let cfg = QuantConfig::fp8(Fp8Format::E4M3).with_first_last();
-        let model = QuantizedModel::build(g, &calib, cfg);
+        let model = QuantizedModel::build(g, &calib, cfg).unwrap_ok();
         assert_eq!(model.weights.len(), 3);
         // Quantized weights differ from the originals but are close.
         for (vid, qw) in &model.weights {
@@ -495,11 +512,11 @@ mod tests {
         let g = cnn();
         let calib = calibrated(&g);
         let cfg = QuantConfig::fp8(Fp8Format::E4M3).with_approach(Approach::Dynamic);
-        let model = QuantizedModel::build(g, &calib, cfg);
+        let model = QuantizedModel::build(g, &calib, cfg).unwrap_ok();
         assert!(model.act_scales.is_empty());
         // Still runs.
         let x = TensorRng::seed(5).normal(&[1, 3, 8, 8], 0.0, 1.0);
-        let y = model.graph.run(&[x], &mut model.hook());
+        let y = model.graph.run(&[x], &mut model.hook()).unwrap_ok();
         assert!(y[0].data().iter().all(|v| v.is_finite()));
     }
 
@@ -507,13 +524,14 @@ mod tests {
     fn int8_static_uses_asymmetric_codecs() {
         let g = cnn();
         let calib = calibrated(&g);
-        let model = QuantizedModel::build(g, &calib, QuantConfig::int8().with_first_last());
+        let model =
+            QuantizedModel::build(g, &calib, QuantConfig::int8().with_first_last()).unwrap_ok();
         assert!(!model.act_int8.is_empty());
         for codec in model.act_int8.values() {
             assert_eq!(codec.mode(), Int8Mode::Asymmetric);
         }
         let x = TensorRng::seed(6).normal(&[1, 3, 8, 8], 0.0, 1.0);
-        let y = model.graph.run(&[x], &mut model.hook());
+        let y = model.graph.run(&[x], &mut model.hook()).unwrap_ok();
         assert!(y[0].data().iter().all(|v| v.is_finite()));
     }
 
@@ -521,7 +539,7 @@ mod tests {
     fn e5m2_direct_scale_is_unity() {
         let g = cnn();
         let calib = calibrated(&g);
-        let model = QuantizedModel::build(g, &calib, QuantConfig::fp8(Fp8Format::E5M2));
+        let model = QuantizedModel::build(g, &calib, QuantConfig::fp8(Fp8Format::E5M2)).unwrap_ok();
         for &s in model.act_scales.values() {
             assert_eq!(s, 1.0);
         }
@@ -539,7 +557,7 @@ mod tests {
         let cfg = QuantConfig::fp8(Fp8Format::E4M3)
             .with_approach(Approach::Dynamic)
             .with_first_last();
-        let model = QuantizedModel::build(g, &calib, cfg);
+        let model = QuantizedModel::build(g, &calib, cfg).unwrap_ok();
         let mut hook = model.hook();
         let node = &model.graph.nodes()[0];
         assert!(model.quantized_nodes.contains(&node.id));
@@ -580,9 +598,11 @@ mod tests {
             g.clone(),
             &calib,
             QuantConfig::fp8(Fp8Format::E4M3).with_first_last(),
-        );
+        )
+        .unwrap_ok();
         assert_eq!(full.quantized_fraction(), 1.0);
-        let partial = QuantizedModel::build(g, &calib, QuantConfig::fp8(Fp8Format::E4M3));
+        let partial =
+            QuantizedModel::build(g, &calib, QuantConfig::fp8(Fp8Format::E4M3)).unwrap_ok();
         assert!(partial.quantized_fraction() < 1.0);
     }
 }

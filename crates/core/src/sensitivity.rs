@@ -9,7 +9,7 @@
 use crate::calibrate::CalibData;
 use crate::config::QuantConfig;
 use crate::quantizer::{select_nodes, QuantizedModel};
-use crate::workflow::try_calibrate_workload;
+use crate::workflow::calibrate_workload;
 use ptq_models::Workload;
 use ptq_nn::{NodeId, PtqError};
 use serde::{Deserialize, Serialize};
@@ -52,16 +52,16 @@ impl SensitivityProfile {
 /// Measure per-node sensitivity: for each node the config would quantize,
 /// evaluate the workload with *only* that node quantized. `O(nodes ×
 /// eval)` — intended for tuning sessions, not inner loops.
-pub fn try_sensitivity_profile(
+pub fn sensitivity_profile(
     workload: &Workload,
     cfg: &QuantConfig,
 ) -> Result<SensitivityProfile, PtqError> {
-    let calib = try_calibrate_workload(workload, cfg)?;
-    try_sensitivity_profile_with(workload, cfg, &calib)
+    let calib = calibrate_workload(workload, cfg)?;
+    sensitivity_profile_with(workload, cfg, &calib)
 }
 
-/// As [`try_sensitivity_profile`], reusing existing calibration data.
-pub fn try_sensitivity_profile_with(
+/// As [`sensitivity_profile`], reusing existing calibration data.
+pub fn sensitivity_profile_with(
     workload: &Workload,
     cfg: &QuantConfig,
     calib: &CalibData,
@@ -75,8 +75,8 @@ pub fn try_sensitivity_profile_with(
                 only_one.fallback.insert(id);
             }
         }
-        let model = QuantizedModel::try_build(workload.graph.clone(), calib, only_one)?;
-        let score = workload.try_evaluate_graph(&model.graph, &mut model.hook())?;
+        let model = QuantizedModel::build(workload.graph.clone(), calib, only_one)?;
+        let score = workload.evaluate_graph(&model.graph, &mut model.hook())?;
         let node = &workload.graph.nodes()[keep];
         nodes.push(NodeSensitivity {
             node: keep,
@@ -90,32 +90,23 @@ pub fn try_sensitivity_profile_with(
     Ok(SensitivityProfile { nodes })
 }
 
-/// Per-node sensitivity profile.
-///
-/// # Panics
-///
-/// Panicking wrapper over [`try_sensitivity_profile`].
-pub fn sensitivity_profile(workload: &Workload, cfg: &QuantConfig) -> SensitivityProfile {
-    match try_sensitivity_profile(workload, cfg) {
-        Ok(p) => p,
-        Err(e) => panic!("{e}"),
-    }
+/// Deprecated alias of [`sensitivity_profile`].
+#[deprecated(since = "0.2.0", note = "renamed to `sensitivity_profile`")]
+pub fn try_sensitivity_profile(
+    workload: &Workload,
+    cfg: &QuantConfig,
+) -> Result<SensitivityProfile, PtqError> {
+    sensitivity_profile(workload, cfg)
 }
 
-/// As [`sensitivity_profile`], reusing existing calibration data.
-///
-/// # Panics
-///
-/// Panicking wrapper over [`try_sensitivity_profile_with`].
-pub fn sensitivity_profile_with(
+/// Deprecated alias of [`sensitivity_profile_with`].
+#[deprecated(since = "0.2.0", note = "renamed to `sensitivity_profile_with`")]
+pub fn try_sensitivity_profile_with(
     workload: &Workload,
     cfg: &QuantConfig,
     calib: &CalibData,
-) -> SensitivityProfile {
-    match try_sensitivity_profile_with(workload, cfg, calib) {
-        Ok(p) => p,
-        Err(e) => panic!("{e}"),
-    }
+) -> Result<SensitivityProfile, PtqError> {
+    sensitivity_profile_with(workload, cfg, calib)
 }
 
 #[cfg(test)]
@@ -124,13 +115,14 @@ mod tests {
     use crate::config::QuantConfig;
     use ptq_fp8::Fp8Format;
     use ptq_models::{build_zoo, ZooFilter};
+    use ptq_nn::UnwrapOk;
 
     #[test]
     fn profile_covers_all_quantizable_nodes_sorted() {
         let zoo = build_zoo(ZooFilter::Quick);
         let w = &zoo[0];
         let cfg = QuantConfig::fp8(Fp8Format::E4M3);
-        let profile = sensitivity_profile(w, &cfg);
+        let profile = sensitivity_profile(w, &cfg).unwrap_ok();
         let expected = select_nodes(&w.graph, &cfg).len();
         assert_eq!(profile.nodes.len(), expected);
         for pair in profile.nodes.windows(2) {
@@ -149,8 +141,8 @@ mod tests {
         let zoo = build_zoo(ZooFilter::Quick);
         let w = &zoo[1];
         let cfg = QuantConfig::fp8(Fp8Format::E5M2);
-        let profile = sensitivity_profile(w, &cfg);
-        let full = crate::quantize_workload(w, &cfg);
+        let profile = sensitivity_profile(w, &cfg).unwrap_ok();
+        let full = crate::PtqSession::new(cfg.clone()).quantize(w).unwrap_ok();
         let max_single = profile.nodes.first().map(|n| n.loss).unwrap_or(0.0);
         assert!(
             max_single <= full.result.loss() + 0.1,

@@ -1,0 +1,276 @@
+//! The consolidated PTQ entry point: [`PtqSession`].
+//!
+//! One builder replaces the old six-way `quantize_workload` /
+//! `try_quantize_workload` / `*_cached` / `*_with` free-function family:
+//! construct a session from a [`QuantConfig`], optionally attach a shared
+//! [`CalibCache`], pre-collected [`CalibData`] or an observer hook, then
+//! call [`PtqSession::quantize`] on any number of workloads. The pipeline
+//! is the paper's Figure-2 flow — calibrate → quantize → (BatchNorm
+//! recalibrate) → evaluate — and is fail-soft: typed errors (and residual
+//! panics, converted to [`PtqError::Internal`]) surface per workload
+//! instead of unwinding a sweep.
+
+use crate::bn_calib::recalibrate_batchnorm;
+use crate::calib_cache::CalibCache;
+use crate::calibrate::CalibData;
+use crate::config::QuantConfig;
+use crate::quantizer::{QuantHook, QuantizedModel};
+use crate::workflow::{calibrate_workload, run_guarded};
+use ptq_metrics::WorkloadResult;
+use ptq_models::Workload;
+use ptq_nn::{ExecHook, Node, PtqError, ValueId};
+use ptq_tensor::Tensor;
+
+/// Result of quantizing one workload under one recipe.
+#[derive(Debug)]
+pub struct QuantOutcome {
+    /// The quantized model (graph + hook tables).
+    pub model: QuantizedModel,
+    /// Quantized eval score.
+    pub score: f64,
+    /// Pass-rate record (baseline vs quantized).
+    pub result: WorkloadResult,
+}
+
+/// Chains the quantizing hook with a caller-supplied observer: the
+/// observer sees each node's inputs *after* fake-quantization (what the
+/// quantized operator actually consumes) and each output after any
+/// dynamic requantization. Weight fetches stay with the quantizer so the
+/// observer cannot perturb the arithmetic.
+struct ObservedQuant<'m, 'o> {
+    quant: QuantHook<'m>,
+    obs: &'o mut dyn ExecHook,
+}
+
+impl ExecHook for ObservedQuant<'_, '_> {
+    fn before_node(&mut self, node: &Node, inputs: &mut [Tensor]) {
+        self.quant.before_node(node, inputs);
+        self.obs.before_node(node, inputs);
+    }
+
+    fn after_node(&mut self, node: &Node, out: &mut Tensor) {
+        self.quant.after_node(node, out);
+        self.obs.after_node(node, out);
+    }
+
+    fn weight(&mut self, node: &Node, value: ValueId, w: &Tensor) -> Option<Tensor> {
+        self.quant.weight(node, value, w)
+    }
+
+    fn weight_ref<'a>(&'a self, node: &Node, value: ValueId, w: &'a Tensor) -> Option<&'a Tensor> {
+        self.quant.weight_ref(node, value, w)
+    }
+}
+
+/// A configured PTQ pipeline, reusable across workloads.
+///
+/// ```no_run
+/// use ptq_core::{CalibCache, PtqSession, QuantConfig};
+/// use ptq_fp8::Fp8Format;
+/// use ptq_models::{build_zoo, ZooFilter};
+/// use ptq_nn::UnwrapOk;
+///
+/// let zoo = build_zoo(ZooFilter::Quick);
+/// let cache = CalibCache::new();
+/// let mut session = PtqSession::new(QuantConfig::fp8(Fp8Format::E4M3)).cache(&cache);
+/// for w in &zoo {
+///     let outcome = session.quantize(w).unwrap_ok();
+///     println!("{}: {:.4} -> {:.4}", w.spec.name, w.fp32_score, outcome.score);
+/// }
+/// ```
+pub struct PtqSession<'a> {
+    cfg: QuantConfig,
+    cache: Option<&'a CalibCache>,
+    calib: Option<&'a CalibData>,
+    observer: Option<&'a mut dyn ExecHook>,
+}
+
+impl std::fmt::Debug for PtqSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PtqSession")
+            .field("cfg", &self.cfg)
+            .field("cache", &self.cache.is_some())
+            .field("calib", &self.calib.is_some())
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl<'a> PtqSession<'a> {
+    /// A session running the given configuration.
+    pub fn new(cfg: QuantConfig) -> Self {
+        PtqSession {
+            cfg,
+            cache: None,
+            calib: None,
+            observer: None,
+        }
+    }
+
+    /// Serve calibration from (and record it into) a shared
+    /// [`CalibCache`], so sweeps calibrate each workload once per observer
+    /// family instead of once per recipe.
+    pub fn cache(mut self, cache: &'a CalibCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Quantize against pre-collected calibration data, skipping the
+    /// calibration pass entirely. Takes precedence over
+    /// [`PtqSession::cache`].
+    pub fn with_calibration(mut self, calib: &'a CalibData) -> Self {
+        self.calib = Some(calib);
+        self
+    }
+
+    /// Attach an observer hook that rides along during the quantized
+    /// evaluation pass (e.g. to record per-node activations). The observer
+    /// runs after the quantizer's own staging, so it sees exactly what the
+    /// quantized operators see; it cannot substitute weights.
+    pub fn hook(mut self, observer: &'a mut dyn ExecHook) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &QuantConfig {
+        &self.cfg
+    }
+
+    /// Run the full pipeline on one workload: calibrate (or fetch/reuse
+    /// calibration), quantize, recalibrate BatchNorm statistics when the
+    /// recipe asks for it, and evaluate on the workload's eval set.
+    pub fn quantize(&mut self, workload: &Workload) -> Result<QuantOutcome, PtqError> {
+        let cached;
+        let owned;
+        let calib: &CalibData = if let Some(c) = self.calib {
+            c
+        } else if let Some(cache) = self.cache {
+            cached = cache.get_or_calibrate(workload, &self.cfg)?;
+            &cached
+        } else {
+            owned = calibrate_workload(workload, &self.cfg)?;
+            &owned
+        };
+        self.quantize_calibrated(workload, calib)
+    }
+
+    /// The quantize → (BatchNorm-recalibrate) → evaluate tail of
+    /// [`PtqSession::quantize`], over explicit calibration data (ignores
+    /// any data attached via [`PtqSession::with_calibration`]).
+    pub fn quantize_calibrated(
+        &mut self,
+        workload: &Workload,
+        calib: &CalibData,
+    ) -> Result<QuantOutcome, PtqError> {
+        let cfg = &self.cfg;
+        let observer = self.observer.as_deref_mut();
+        run_guarded(|| {
+            let mut sp = ptq_trace::span(ptq_trace::Level::Info, "quantize");
+            if sp.active() {
+                sp.record_str("workload", &workload.spec.name);
+                sp.record_str("format", &cfg.act_format.to_string());
+            }
+            let mut model = QuantizedModel::build(workload.graph.clone(), calib, cfg.clone())?;
+            if cfg.bn_calibration && workload.has_batchnorm() {
+                recalibrate_batchnorm(&mut model, &workload.calib)?;
+            }
+            let score = match observer {
+                Some(obs) => {
+                    let mut chained = ObservedQuant {
+                        quant: model.hook(),
+                        obs,
+                    };
+                    workload.evaluate_graph(&model.graph, &mut chained)?
+                }
+                None => workload.evaluate_graph(&model.graph, &mut model.hook())?,
+            };
+            let result = workload.result(score);
+            sp.record_f64("score", score);
+            Ok(QuantOutcome {
+                model,
+                score,
+                result,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptq_fp8::Fp8Format;
+    use ptq_models::{build_zoo, ZooFilter};
+    use ptq_nn::UnwrapOk;
+
+    #[test]
+    fn session_quantizes_and_scores() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let w = &zoo[0];
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+        let out = PtqSession::new(cfg).quantize(w).unwrap_ok();
+        assert!(out.score.is_finite());
+        assert_eq!(out.result.workload, w.spec.name);
+    }
+
+    #[test]
+    fn cached_session_is_bit_identical_to_uncached() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let w = &zoo[1];
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+        let cache = CalibCache::new();
+        let a = PtqSession::new(cfg.clone())
+            .cache(&cache)
+            .quantize(w)
+            .unwrap_ok();
+        let b = PtqSession::new(cfg).quantize(w).unwrap_ok();
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn explicit_calibration_skips_the_calibration_pass() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let w = &zoo[0];
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+        let calib = calibrate_workload(w, &cfg).unwrap_ok();
+        let a = PtqSession::new(cfg.clone())
+            .with_calibration(&calib)
+            .quantize(w)
+            .unwrap_ok();
+        let b = PtqSession::new(cfg).quantize(w).unwrap_ok();
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+    }
+
+    #[test]
+    fn observer_hook_rides_along_without_changing_scores() {
+        struct CountNodes(usize);
+        impl ExecHook for CountNodes {
+            fn before_node(&mut self, _node: &Node, _inputs: &mut [Tensor]) {
+                self.0 += 1;
+            }
+        }
+        let zoo = build_zoo(ZooFilter::Quick);
+        let w = &zoo[0];
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+        let base = PtqSession::new(cfg.clone()).quantize(w).unwrap_ok();
+        let mut counter = CountNodes(0);
+        let observed = PtqSession::new(cfg)
+            .hook(&mut counter)
+            .quantize(w)
+            .unwrap_ok();
+        assert_eq!(base.score.to_bits(), observed.score.to_bits());
+        assert!(counter.0 > 0, "observer never fired");
+    }
+
+    #[test]
+    fn session_surfaces_typed_errors() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let mut broken = zoo[0].clone();
+        broken.eval = vec![vec![]];
+        let err = PtqSession::new(QuantConfig::fp8(Fp8Format::E4M3))
+            .quantize(&broken)
+            .unwrap_err();
+        assert!(err.to_string().contains("inputs"), "got: {err}");
+    }
+}

@@ -74,7 +74,7 @@ mod tests {
     use crate::config::QuantConfig;
     use crate::quantizer::{select_nodes, QuantizedModel};
     use ptq_fp8::Fp8Format;
-    use ptq_nn::GraphBuilder;
+    use ptq_nn::{GraphBuilder, UnwrapOk};
     use ptq_tensor::{Tensor, TensorRng};
 
     /// A Linear layer fed activations with one huge channel.
@@ -95,7 +95,7 @@ mod tests {
 
     fn calib_for(g: &Graph, x: &Tensor) -> CalibData {
         let mut hook = CalibrationHook::new();
-        g.run(std::slice::from_ref(x), &mut hook);
+        g.run(std::slice::from_ref(x), &mut hook).unwrap_ok();
         hook.into_data()
     }
 
@@ -162,17 +162,22 @@ mod tests {
         // most of the accuracy.
         let (g, x) = outlier_linear();
         let calib = calib_for(&g, &x);
-        let fp32 = g.infer(std::slice::from_ref(&x));
+        let fp32 = g.infer(std::slice::from_ref(&x)).unwrap_ok();
 
-        let plain = QuantizedModel::build(g.clone(), &calib, QuantConfig::int8());
-        let yq = plain.graph.run(std::slice::from_ref(&x), &mut plain.hook());
+        let plain = QuantizedModel::build(g.clone(), &calib, QuantConfig::int8()).unwrap_ok();
+        let yq = plain
+            .graph
+            .run(std::slice::from_ref(&x), &mut plain.hook())
+            .unwrap_ok();
         let mse_plain = ptq_tensor::stats::mse(fp32[0].data(), yq[0].data());
 
         let smoothed =
-            QuantizedModel::build(g.clone(), &calib, QuantConfig::int8().with_smoothquant(0.5));
+            QuantizedModel::build(g.clone(), &calib, QuantConfig::int8().with_smoothquant(0.5))
+                .unwrap_ok();
         let ys = smoothed
             .graph
-            .run(std::slice::from_ref(&x), &mut smoothed.hook());
+            .run(std::slice::from_ref(&x), &mut smoothed.hook())
+            .unwrap_ok();
         let mse_smooth = ptq_tensor::stats::mse(fp32[0].data(), ys[0].data());
 
         assert!(

@@ -9,7 +9,8 @@
 
 use crate::calib_cache::CalibCache;
 use crate::config::{Approach, DataFormat, QuantConfig};
-use crate::workflow::{paper_mixed_recipe, paper_recipe, try_quantize_workload_cached};
+use crate::session::PtqSession;
+use crate::workflow::{paper_mixed_recipe, paper_recipe};
 use ptq_fp8::Fp8Format;
 use ptq_metrics::{passes_criterion, Domain};
 use ptq_models::Workload;
@@ -156,7 +157,7 @@ impl AutoTuner {
         let base = candidates[best_idx.min(candidates.len() - 1)]
             .config
             .clone();
-        let profile = match crate::sensitivity::try_sensitivity_profile(workload, &base) {
+        let profile = match crate::sensitivity::sensitivity_profile(workload, &base) {
             Ok(p) => p,
             Err(e) => {
                 // The workload cannot even be profiled (malformed graph,
@@ -177,7 +178,10 @@ impl AutoTuner {
             for n in profile.top(k) {
                 cfg.fallback.insert(n.node);
             }
-            let step = match try_quantize_workload_cached(workload, &cfg, &cache) {
+            let step = match PtqSession::new(cfg.clone())
+                .cache(&cache)
+                .quantize(workload)
+            {
                 Ok(out) => {
                     let loss = out.result.loss();
                     let passed = passes_criterion(workload.fp32_score, out.score, self.criterion);
@@ -234,11 +238,13 @@ impl AutoTuner {
         let mut best_loss = f64::INFINITY;
         for recipe in self.candidates(workload) {
             let mut sp = ptq_trace::span(ptq_trace::Level::Info, "tune.candidate");
-            let (score, loss, error) =
-                match try_quantize_workload_cached(workload, &recipe.config, cache) {
-                    Ok(out) => (out.score, out.result.loss(), None),
-                    Err(e) => (f64::NAN, f64::INFINITY, Some(e.to_string())),
-                };
+            let (score, loss, error) = match PtqSession::new(recipe.config.clone())
+                .cache(cache)
+                .quantize(workload)
+            {
+                Ok(out) => (out.score, out.result.loss(), None),
+                Err(e) => (f64::NAN, f64::INFINITY, Some(e.to_string())),
+            };
             let passed =
                 error.is_none() && passes_criterion(workload.fp32_score, score, self.criterion);
             if sp.active() {

@@ -2,29 +2,19 @@
 //! (BatchNorm-calibrate) → evaluate, plus the paper's per-domain preset
 //! recipes and the suite runner behind Table 2.
 
-use crate::bn_calib::try_recalibrate_batchnorm;
 use crate::calib_cache::CalibCache;
 use crate::calibrate::{CalibData, CalibrationHook, HistogramHook};
 use crate::config::{Approach, DataFormat, QuantConfig};
-use crate::quantizer::QuantizedModel;
+use crate::session::PtqSession;
 use ptq_fp8::Fp8Format;
-use ptq_metrics::{Domain, PassRateSummary, WorkloadResult};
+use ptq_metrics::{Domain, PassRateSummary};
 use ptq_models::Workload;
 use ptq_nn::PtqError;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Result of quantizing one workload under one recipe.
-#[derive(Debug)]
-pub struct QuantOutcome {
-    /// The quantized model (graph + hook tables).
-    pub model: QuantizedModel,
-    /// Quantized eval score.
-    pub score: f64,
-    /// Pass-rate record (baseline vs quantized).
-    pub result: WorkloadResult,
-}
+pub use crate::session::QuantOutcome;
 
 /// A per-workload failure recorded by a fail-soft sweep instead of
 /// unwinding the whole suite.
@@ -40,7 +30,7 @@ pub struct SweepError {
 /// and any *residual* panic (a kernel assert or arithmetic edge the typed
 /// layer missed) is converted to [`PtqError::Internal`] so one workload's
 /// failure cannot unwind a whole sweep or poison shared state.
-fn run_guarded<T>(f: impl FnOnce() -> Result<T, PtqError>) -> Result<T, PtqError> {
+pub(crate) fn run_guarded<T>(f: impl FnOnce() -> Result<T, PtqError>) -> Result<T, PtqError> {
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(r) => r,
         Err(payload) => {
@@ -57,123 +47,120 @@ fn run_guarded<T>(f: impl FnOnce() -> Result<T, PtqError>) -> Result<T, PtqError
 /// Run full calibration for a workload's graph under a config (absmax
 /// pass, plus the histogram pass when the calibrator needs it), surfacing
 /// malformed-graph failures as typed errors.
-pub fn try_calibrate_workload(
-    workload: &Workload,
-    cfg: &QuantConfig,
-) -> Result<CalibData, PtqError> {
+pub fn calibrate_workload(workload: &Workload, cfg: &QuantConfig) -> Result<CalibData, PtqError> {
     run_guarded(|| {
         let mut hook = CalibrationHook::new();
-        workload.try_calibrate_graph(&workload.graph, &mut hook)?;
+        workload.calibrate_graph(&workload.graph, &mut hook)?;
         let mut data = hook.into_data();
         if CalibData::needs_histograms(cfg) {
             let mut h2 = HistogramHook::new(&mut data);
-            workload.try_calibrate_graph(&workload.graph, &mut h2)?;
+            workload.calibrate_graph(&workload.graph, &mut h2)?;
         }
         Ok(data)
     })
 }
 
-/// Run full calibration for a workload's graph under a config.
-///
-/// # Panics
-///
-/// Panicking wrapper over [`try_calibrate_workload`].
-pub fn calibrate_workload(workload: &Workload, cfg: &QuantConfig) -> CalibData {
-    match try_calibrate_workload(workload, cfg) {
-        Ok(data) => data,
-        Err(e) => panic!("{e}"),
-    }
+/// Deprecated alias of [`calibrate_workload`].
+#[deprecated(since = "0.2.0", note = "renamed to `calibrate_workload`")]
+pub fn try_calibrate_workload(
+    workload: &Workload,
+    cfg: &QuantConfig,
+) -> Result<CalibData, PtqError> {
+    calibrate_workload(workload, cfg)
 }
 
-/// The paper's Figure-2 pipeline for one workload, with typed errors.
+/// Deprecated shim over [`PtqSession`]: the paper's Figure-2 pipeline for
+/// one workload, with typed errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PtqSession::new(cfg.clone()).quantize(workload)`"
+)]
 pub fn try_quantize_workload(
     workload: &Workload,
     cfg: &QuantConfig,
 ) -> Result<QuantOutcome, PtqError> {
-    let calib = try_calibrate_workload(workload, cfg)?;
-    try_quantize_workload_with(workload, cfg, &calib)
+    PtqSession::new(cfg.clone()).quantize(workload)
 }
 
-/// The paper's Figure-2 pipeline for one workload.
+/// Deprecated shim over [`PtqSession`]: the paper's Figure-2 pipeline for
+/// one workload.
 ///
 /// # Panics
 ///
-/// Panicking wrapper over [`try_quantize_workload`].
+/// Panics (with the error's `Display` text) if the pipeline fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PtqSession::new(cfg.clone()).quantize(workload)` with `.unwrap_ok()`"
+)]
 pub fn quantize_workload(workload: &Workload, cfg: &QuantConfig) -> QuantOutcome {
-    match try_quantize_workload(workload, cfg) {
+    match PtqSession::new(cfg.clone()).quantize(workload) {
         Ok(out) => out,
         Err(e) => panic!("{e}"),
     }
 }
 
-/// [`try_quantize_workload`] with calibration served from (and recorded
-/// into) a [`CalibCache`] — the entry point recipe sweeps and the tuner
-/// use so a workload is calibrated once, not once per recipe.
+/// Deprecated shim over [`PtqSession`] with a shared [`CalibCache`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PtqSession::new(cfg.clone()).cache(cache).quantize(workload)`"
+)]
 pub fn try_quantize_workload_cached(
     workload: &Workload,
     cfg: &QuantConfig,
     cache: &CalibCache,
 ) -> Result<QuantOutcome, PtqError> {
-    let calib = cache.try_get_or_calibrate(workload, cfg)?;
-    try_quantize_workload_with(workload, cfg, &calib)
+    PtqSession::new(cfg.clone()).cache(cache).quantize(workload)
 }
 
-/// [`quantize_workload`] against a [`CalibCache`].
+/// Deprecated shim over [`PtqSession`] with a shared [`CalibCache`].
 ///
 /// # Panics
 ///
-/// Panicking wrapper over [`try_quantize_workload_cached`].
+/// Panics (with the error's `Display` text) if the pipeline fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PtqSession::new(cfg.clone()).cache(cache).quantize(workload)` with `.unwrap_ok()`"
+)]
 pub fn quantize_workload_cached(
     workload: &Workload,
     cfg: &QuantConfig,
     cache: &CalibCache,
 ) -> QuantOutcome {
-    match try_quantize_workload_cached(workload, cfg, cache) {
+    match PtqSession::new(cfg.clone()).cache(cache).quantize(workload) {
         Ok(out) => out,
         Err(e) => panic!("{e}"),
     }
 }
 
-/// The quantize → (BatchNorm-recalibrate) → evaluate tail of the pipeline,
-/// over already-collected calibration data, with typed errors.
+/// Deprecated shim over [`PtqSession::quantize_calibrated`]: the tail of
+/// the pipeline over already-collected calibration data.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PtqSession::new(cfg.clone()).quantize_calibrated(workload, calib)`"
+)]
 pub fn try_quantize_workload_with(
     workload: &Workload,
     cfg: &QuantConfig,
     calib: &CalibData,
 ) -> Result<QuantOutcome, PtqError> {
-    run_guarded(|| {
-        let mut sp = ptq_trace::span(ptq_trace::Level::Info, "quantize");
-        if sp.active() {
-            sp.record_str("workload", &workload.spec.name);
-            sp.record_str("format", &cfg.act_format.to_string());
-        }
-        let mut model = QuantizedModel::try_build(workload.graph.clone(), calib, cfg.clone())?;
-        if cfg.bn_calibration && workload.has_batchnorm() {
-            try_recalibrate_batchnorm(&mut model, &workload.calib)?;
-        }
-        let score = workload.try_evaluate_graph(&model.graph, &mut model.hook())?;
-        let result = workload.result(score);
-        sp.record_f64("score", score);
-        Ok(QuantOutcome {
-            model,
-            score,
-            result,
-        })
-    })
+    PtqSession::new(cfg.clone()).quantize_calibrated(workload, calib)
 }
 
-/// The quantize → (BatchNorm-recalibrate) → evaluate tail of the pipeline,
-/// over already-collected calibration data.
+/// Deprecated shim over [`PtqSession::quantize_calibrated`].
 ///
 /// # Panics
 ///
-/// Panicking wrapper over [`try_quantize_workload_with`].
+/// Panics (with the error's `Display` text) if the pipeline fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PtqSession::new(cfg.clone()).quantize_calibrated(workload, calib)` with `.unwrap_ok()`"
+)]
 pub fn quantize_workload_with(
     workload: &Workload,
     cfg: &QuantConfig,
     calib: &CalibData,
 ) -> QuantOutcome {
-    match try_quantize_workload_with(workload, cfg, calib) {
+    match PtqSession::new(cfg.clone()).quantize_calibrated(workload, calib) {
         Ok(out) => out,
         Err(e) => panic!("{e}"),
     }
@@ -236,7 +223,7 @@ pub struct SuiteRow {
     /// Aggregated pass rates and loss quartiles (healthy workloads only).
     pub summary: PassRateSummary,
     /// Every per-workload record (for Figures 4 and 5).
-    pub results: Vec<WorkloadResult>,
+    pub results: Vec<ptq_metrics::WorkloadResult>,
     /// Workloads that failed to quantize, recorded instead of aborting
     /// the sweep (empty when every workload succeeded).
     pub errors: Vec<SweepError>,
@@ -270,11 +257,13 @@ pub fn run_suite_cached(
         sp.record_str("approach", &approach.to_string());
         sp.record_int("workloads", zoo.len() as i64);
     }
-    let attempts: Vec<Result<WorkloadResult, SweepError>> = zoo
+    let attempts: Vec<Result<ptq_metrics::WorkloadResult, SweepError>> = zoo
         .par_iter()
         .map(|w| {
             let cfg = paper_recipe(format, approach, w.spec.domain);
-            try_quantize_workload_cached(w, &cfg, cache)
+            PtqSession::new(cfg)
+                .cache(cache)
+                .quantize(w)
                 .map(|out| out.result)
                 .map_err(|e| SweepError {
                     workload: w.spec.name.clone(),
@@ -320,6 +309,7 @@ pub fn table2_rows() -> Vec<(DataFormat, Approach)> {
 mod tests {
     use super::*;
     use ptq_models::{build_zoo, ZooFilter};
+    use ptq_nn::UnwrapOk;
 
     #[test]
     fn paper_recipes_follow_the_text() {
@@ -363,7 +353,7 @@ mod tests {
                 Approach::Static,
                 w.spec.domain,
             );
-            let out = quantize_workload(w, &cfg);
+            let out = PtqSession::new(cfg).quantize(w).unwrap_ok();
             let loss = out.result.loss();
             assert!(
                 loss < 0.25,

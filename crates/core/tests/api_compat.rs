@@ -1,0 +1,137 @@
+//! API-compat regression: every deprecated pre-[`PtqSession`] free
+//! function must produce bit-identical results to the session path it
+//! shims over. This is what lets downstream code migrate on its own
+//! schedule: the old names are slower to type, not different.
+
+#![allow(deprecated)]
+
+use ptq_core::config::{Approach, DataFormat};
+use ptq_core::{
+    calibrate_workload, paper_recipe, quantize_workload, quantize_workload_cached,
+    quantize_workload_with, run_suite, try_calibrate_workload, try_quantize_workload,
+    try_quantize_workload_cached, try_quantize_workload_with, CalibCache, PtqSession, QuantOutcome,
+    UnwrapOk,
+};
+use ptq_fp8::Fp8Format;
+use ptq_models::{build_zoo, Workload, ZooFilter};
+
+fn assert_outcomes_identical(a: &QuantOutcome, b: &QuantOutcome, what: &str) {
+    assert_eq!(a.score.to_bits(), b.score.to_bits(), "{what}: score");
+    assert_eq!(a.result.workload, b.result.workload, "{what}: workload");
+    assert_eq!(
+        a.result.quantized.to_bits(),
+        b.result.quantized.to_bits(),
+        "{what}: result.quantized"
+    );
+    assert_eq!(
+        a.result.fp32.to_bits(),
+        b.result.fp32.to_bits(),
+        "{what}: result.fp32"
+    );
+    assert_eq!(
+        a.model.quantized_nodes, b.model.quantized_nodes,
+        "{what}: quantized node set"
+    );
+    assert_eq!(
+        a.model.weights.len(),
+        b.model.weights.len(),
+        "{what}: substituted weight count"
+    );
+    for (id, wa) in &a.model.weights {
+        let wb = b.model.weights.get(id).expect("same weight ids");
+        assert_eq!(wa.shape(), wb.shape(), "{what}: weight {id} shape");
+        for (x, y) in wa.data().iter().zip(wb.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: weight {id} bits");
+        }
+    }
+}
+
+fn workloads() -> Vec<Workload> {
+    // Three quick-zoo members spanning CV and NLP keep this fast while
+    // still exercising BN recalibration and SmoothQuant recipe paths.
+    let mut zoo = build_zoo(ZooFilter::Quick);
+    zoo.truncate(3);
+    zoo
+}
+
+#[test]
+fn deprecated_shims_match_session_bit_for_bit() {
+    for w in &workloads() {
+        let cfg = paper_recipe(
+            DataFormat::Fp8(Fp8Format::E4M3),
+            Approach::Static,
+            w.spec.domain,
+        );
+
+        let session = PtqSession::new(cfg.clone()).quantize(w).unwrap_ok();
+
+        // The plain pair.
+        let shim = try_quantize_workload(w, &cfg).unwrap_ok();
+        assert_outcomes_identical(&session, &shim, "try_quantize_workload");
+        let shim = quantize_workload(w, &cfg);
+        assert_outcomes_identical(&session, &shim, "quantize_workload");
+
+        // The cached pair (cold cache, then warm).
+        let cache = CalibCache::new();
+        let shim = try_quantize_workload_cached(w, &cfg, &cache).unwrap_ok();
+        assert_outcomes_identical(&session, &shim, "try_quantize_workload_cached");
+        let shim = quantize_workload_cached(w, &cfg, &cache);
+        assert_outcomes_identical(&session, &shim, "quantize_workload_cached (warm)");
+        let cached_session = PtqSession::new(cfg.clone())
+            .cache(&cache)
+            .quantize(w)
+            .unwrap_ok();
+        assert_outcomes_identical(&session, &cached_session, "session with cache");
+
+        // The explicit-calibration pair, over the same data both ways.
+        let calib = calibrate_workload(w, &cfg).unwrap_ok();
+        let calib_shim = try_calibrate_workload(w, &cfg).unwrap_ok();
+        assert_eq!(calib.stats.len(), calib_shim.stats.len());
+        for (k, s) in &calib.stats {
+            let t = calib_shim.stats.get(k).expect("same calibration keys");
+            assert_eq!(s.absmax.to_bits(), t.absmax.to_bits());
+        }
+        let with_session = PtqSession::new(cfg.clone())
+            .quantize_calibrated(w, &calib)
+            .unwrap_ok();
+        let shim = try_quantize_workload_with(w, &cfg, &calib).unwrap_ok();
+        assert_outcomes_identical(&with_session, &shim, "try_quantize_workload_with");
+        let shim = quantize_workload_with(w, &cfg, &calib);
+        assert_outcomes_identical(&with_session, &shim, "quantize_workload_with");
+        assert_outcomes_identical(&session, &with_session, "with vs end-to-end");
+    }
+}
+
+#[test]
+fn suite_rows_are_reproducible_through_the_session_path() {
+    // run_suite executes through PtqSession internally; a second run (and
+    // a run against a pre-warmed cache) must be bit-identical row-wise.
+    let zoo = workloads();
+    let a = run_suite(&zoo, DataFormat::Fp8(Fp8Format::E4M3), Approach::Static);
+    let b = run_suite(&zoo, DataFormat::Fp8(Fp8Format::E4M3), Approach::Static);
+    assert_eq!(a.label, b.label);
+    assert!(
+        a.errors.is_empty(),
+        "quick workloads quantize: {:?}",
+        a.errors
+    );
+    assert_eq!(a.results.len(), b.results.len());
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.workload, y.workload);
+        assert_eq!(x.quantized.to_bits(), y.quantized.to_bits());
+        assert_eq!(x.fp32.to_bits(), y.fp32.to_bits());
+    }
+    assert_eq!(a.summary.all.to_bits(), b.summary.all.to_bits());
+
+    // And per-row, each suite entry equals a standalone session run under
+    // the same per-domain recipe.
+    for (w, row) in zoo.iter().zip(&a.results) {
+        let cfg = paper_recipe(
+            DataFormat::Fp8(Fp8Format::E4M3),
+            Approach::Static,
+            w.spec.domain,
+        );
+        let solo = PtqSession::new(cfg).quantize(w).unwrap_ok();
+        assert_eq!(row.quantized.to_bits(), solo.result.quantized.to_bits());
+    }
+}

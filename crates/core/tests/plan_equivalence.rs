@@ -1,0 +1,103 @@
+//! Planned execution vs the legacy interpreter, across the quick zoo and
+//! every hook family the PTQ pipeline uses: ahead-of-time planning with
+//! arena-reused buffers must be a pure performance transform — zero
+//! numeric or observer-visible difference.
+
+use ptq_core::config::{Approach, DataFormat};
+use ptq_core::{paper_recipe, CalibrationHook, PtqSession, UnwrapOk};
+use ptq_fp8::Fp8Format;
+use ptq_models::{build_zoo, ZooFilter};
+use ptq_nn::{ExecPlan, Graph, NoopHook};
+use ptq_tensor::Tensor;
+
+fn plan_for(graph: &Graph, inputs: &[Tensor]) -> ExecPlan {
+    let shapes: Vec<Vec<usize>> = inputs.iter().map(|t| t.shape().to_vec()).collect();
+    graph.plan(&shapes).unwrap_ok()
+}
+
+fn assert_tensors_identical(a: &[Tensor], b: &[Tensor], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: output count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.shape(), y.shape(), "{what}: shape");
+        for (va, vb) in x.data().iter().zip(y.data()) {
+            assert_eq!(va.to_bits(), vb.to_bits(), "{what}: bits");
+        }
+    }
+}
+
+#[test]
+fn plan_matches_interpreter_under_noop_across_zoo() {
+    for w in &build_zoo(ZooFilter::Quick) {
+        let inputs = &w.eval[0];
+        let plan = plan_for(&w.graph, inputs);
+        let interp = w.graph.run(inputs, &mut NoopHook).unwrap_ok();
+        // Twice: the second pass runs on warmed (reused) arena buffers.
+        for pass in 0..2 {
+            let planned = plan.run(&w.graph, inputs, &mut NoopHook).unwrap_ok();
+            assert_tensors_identical(
+                &interp,
+                &planned,
+                &format!("{} noop pass {pass}", w.spec.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_drives_calibration_identically_across_zoo() {
+    for w in &build_zoo(ZooFilter::Quick) {
+        let inputs = &w.calib[0];
+        let mut hi = CalibrationHook::new();
+        w.graph.run(inputs, &mut hi).unwrap_ok();
+        let plan = plan_for(&w.graph, inputs);
+        let mut hp = CalibrationHook::new();
+        plan.run(&w.graph, inputs, &mut hp).unwrap_ok();
+        let (di, dp) = (hi.into_data(), hp.into_data());
+        assert_eq!(di.stats.len(), dp.stats.len(), "{}", w.spec.name);
+        for (k, si) in &di.stats {
+            let sp = dp.stats.get(k).expect("same observed keys");
+            assert_eq!(
+                si.absmax.to_bits(),
+                sp.absmax.to_bits(),
+                "{} node {} input {}",
+                w.spec.name,
+                k.node,
+                k.input
+            );
+        }
+        assert_eq!(di.channel_absmax.len(), dp.channel_absmax.len());
+        for (n, ci) in &di.channel_absmax {
+            let cp = &dp.channel_absmax[n];
+            for (a, b) in ci.iter().zip(cp) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} channel absmax", w.spec.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_matches_interpreter_under_quantized_hooks_across_zoo() {
+    for w in &build_zoo(ZooFilter::Quick) {
+        let cfg = paper_recipe(
+            DataFormat::Fp8(Fp8Format::E4M3),
+            Approach::Static,
+            w.spec.domain,
+        );
+        let model = PtqSession::new(cfg).quantize(w).unwrap_ok().model;
+        let inputs = &w.eval[0];
+        let interp = model.graph.run(inputs, &mut model.hook()).unwrap_ok();
+        let plan = plan_for(&model.graph, inputs);
+        // Twice: quantized weight substitution goes through the zero-copy
+        // `weight_ref` protocol; a warmed arena must not change that.
+        for pass in 0..2 {
+            let planned = plan
+                .run(&model.graph, inputs, &mut model.hook())
+                .unwrap_ok();
+            assert_tensors_identical(
+                &interp,
+                &planned,
+                &format!("{} quantized pass {pass}", w.spec.name),
+            );
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! produces must be parseable with consistent span nesting.
 
 use ptq_core::config::{Approach, DataFormat};
-use ptq_core::{paper_recipe, try_quantize_workload, CalibCache};
+use ptq_core::{paper_recipe, CalibCache, PtqSession};
 use ptq_fp8::Fp8Format;
 use ptq_models::{build_zoo_limited, Workload, ZooFilter};
 use ptq_tensor::Tensor;
@@ -27,12 +27,12 @@ fn run_pipeline(w: &Workload) -> (f64, Vec<Tensor>) {
         Approach::Static,
         w.spec.domain,
     );
-    let out = try_quantize_workload(w, &cfg).expect("pipeline runs");
+    let out = PtqSession::new(cfg).quantize(w).expect("pipeline runs");
     let mut hook = out.model.hook();
     let ys = out
         .model
         .graph
-        .try_run(&w.eval[0], &mut hook)
+        .run(&w.eval[0], &mut hook)
         .expect("quantized inference runs");
     (out.score, ys)
 }
@@ -104,8 +104,9 @@ fn ndjson_stream_parses_with_consistent_nesting() {
         w.spec.domain,
     );
     let cache = CalibCache::new();
-    ptq_core::try_quantize_workload_cached(&w, &cfg, &cache).expect("pipeline runs");
-    ptq_core::try_quantize_workload_cached(&w, &cfg, &cache).expect("cached rerun");
+    let mut session = PtqSession::new(cfg).cache(&cache);
+    session.quantize(&w).expect("pipeline runs");
+    session.quantize(&w).expect("cached rerun");
     ptq_trace::uninstall();
 
     let body = std::fs::read_to_string(&path).expect("trace file written");

@@ -16,7 +16,7 @@
 //! near-margin samples — the mechanism behind realistic accuracy
 //! degradation.
 
-use ptq_nn::{ExecHook, Graph, Node, NodeId, Op};
+use ptq_nn::{ExecHook, Graph, Node, NodeId, Op, UnwrapOk};
 use ptq_tensor::{Tensor, TensorRng};
 
 /// Capture the activation input of one node across runs.
@@ -63,7 +63,7 @@ impl ExecHook for CaptureInput {
 pub fn capture_features(graph: &Graph, batches: &[Vec<Tensor>], head_node: NodeId) -> Tensor {
     let mut cap = CaptureInput::new(head_node);
     for inputs in batches {
-        graph.run(inputs, &mut cap);
+        graph.run(inputs, &mut cap).unwrap_ok();
     }
     cap.stacked()
 }
@@ -275,8 +275,8 @@ pub fn install_anchor_head(
         w.data_mut()[c * d..(c + 1) * d].copy_from_slice(&wr);
         b.data_mut()[c] = bias;
     }
-    graph.set_param(wid, w);
-    graph.set_param(bid, b);
+    graph.set_param(wid, w).unwrap_ok();
+    graph.set_param(bid, b).unwrap_ok();
 }
 
 /// Replace a `[1, d] → [1, 1]` regression head with a centered random
@@ -317,8 +317,12 @@ pub fn install_regression_head(graph: &mut Graph, head: NodeId, features: &Tenso
         *x *= scale;
     }
     let bias = -v.iter().zip(&mu).map(|(vi, mi)| vi * mi).sum::<f32>();
-    graph.set_param(wid, Tensor::from_vec(v, &[1, d]));
-    graph.set_param(bid, Tensor::from_slice(&[bias]));
+    graph
+        .set_param(wid, Tensor::from_vec(v, &[1, d]))
+        .unwrap_ok();
+    graph
+        .set_param(bid, Tensor::from_slice(&[bias]))
+        .unwrap_ok();
 }
 
 /// Like [`install_anchor_head`], but with explicitly chosen anchor rows
@@ -350,8 +354,8 @@ pub fn install_anchor_head_rows(
         w.data_mut()[c * d..(c + 1) * d].copy_from_slice(&wr);
         b.data_mut()[c] = bias;
     }
-    graph.set_param(wid, w);
-    graph.set_param(bid, b);
+    graph.set_param(wid, w).unwrap_ok();
+    graph.set_param(bid, b).unwrap_ok();
 }
 
 /// Initialize BatchNorm running statistics from the network's *actual*
@@ -407,7 +411,7 @@ pub fn initialize_bn_stats(graph: &mut Graph, batches: &[Vec<Tensor>], iteration
     for &target in &bn_nodes {
         let mut hook = Moments::default();
         for inputs in batches {
-            graph.run(inputs, &mut hook);
+            graph.run(inputs, &mut hook).unwrap_ok();
         }
         let Some((sum, sq, count)) = hook.acc.get(&target) else {
             continue;
@@ -425,8 +429,8 @@ pub fn initialize_bn_stats(graph: &mut Graph, batches: &[Vec<Tensor>], iteration
             .zip(sq)
             .map(|(&mi, &s)| ((s / count) - (mi as f64) * (mi as f64)).max(1e-6) as f32)
             .collect();
-        graph.set_param(mid, Tensor::from_slice(&m));
-        graph.set_param(vid, Tensor::from_slice(&v));
+        graph.set_param(mid, Tensor::from_slice(&m)).unwrap_ok();
+        graph.set_param(vid, Tensor::from_slice(&v)).unwrap_ok();
     }
 }
 
@@ -472,7 +476,7 @@ pub fn coadapt_convs(graph: &mut Graph, batches: &[Vec<Tensor>]) {
 
     let mut cap = Cap::default();
     for inputs in batches {
-        graph.run(inputs, &mut cap);
+        graph.run(inputs, &mut cap).unwrap_ok();
     }
     let updates: Vec<(NodeId, Vec<f32>)> = cap.mags.into_iter().collect();
     for (id, mags) in updates {
@@ -505,7 +509,7 @@ pub fn coadapt_convs(graph: &mut Graph, batches: &[Vec<Tensor>]) {
                 }
             }
         }
-        graph.set_param(wid, w);
+        graph.set_param(wid, w).unwrap_ok();
     }
 }
 
@@ -552,7 +556,7 @@ mod tests {
         install_anchor_head(&mut g, head, &feats, 4, 7);
         let mut preds = Vec::new();
         for inp in &batches {
-            preds.extend(g.infer(inp)[0].argmax_rows());
+            preds.extend(g.infer(inp).unwrap_ok()[0].argmax_rows());
         }
         let mut counts = vec![0usize; 4];
         for &p in &preds {
@@ -575,11 +579,11 @@ mod tests {
         // Predictions on the probe set are spread and deterministic.
         let p1: Vec<usize> = batches
             .iter()
-            .flat_map(|inp| g.infer(inp)[0].argmax_rows())
+            .flat_map(|inp| g.infer(inp).unwrap_ok()[0].argmax_rows())
             .collect();
         let p2: Vec<usize> = batches
             .iter()
-            .flat_map(|inp| g.infer(inp)[0].argmax_rows())
+            .flat_map(|inp| g.infer(inp).unwrap_ok()[0].argmax_rows())
             .collect();
         assert_eq!(p1, p2);
     }
@@ -592,7 +596,7 @@ mod tests {
         install_regression_head(&mut g, head, &feats, 5);
         let mut outs = Vec::new();
         for inp in &batches {
-            outs.extend(g.infer(inp)[0].data().to_vec());
+            outs.extend(g.infer(inp).unwrap_ok()[0].data().to_vec());
         }
         let m = outs.iter().sum::<f32>() / outs.len() as f32;
         let v = outs.iter().map(|x| (x - m).powi(2)).sum::<f32>() / outs.len() as f32;

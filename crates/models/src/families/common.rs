@@ -381,7 +381,7 @@ pub fn ids_tensor(ids: &[usize]) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ptq_nn::GraphBuilder;
+    use ptq_nn::{GraphBuilder, UnwrapOk};
 
     #[test]
     fn attention_block_runs() {
@@ -393,7 +393,7 @@ mod tests {
         let x = transformer_block(&mut b, &mut rng, x, &cfg, 0, false);
         let g = b.finish(vec![x]);
         let ids = ids_tensor(&TensorRng::seed(2).token_ids(cfg.seq, cfg.vocab));
-        let y = g.infer(&[ids]);
+        let y = g.infer(&[ids]).unwrap_ok();
         assert_eq!(y[0].shape(), &[cfg.seq, cfg.d]);
         assert!(y[0].data().iter().all(|v| v.is_finite()));
     }
@@ -413,9 +413,9 @@ mod tests {
         let x = transformer_block(&mut b, &mut rng, x, &cfg, 0, true);
         let g = b.finish(vec![x]);
         let mut toks = TensorRng::seed(4).token_ids(cfg.seq, cfg.vocab);
-        let y1 = g.infer(&[ids_tensor(&toks)]);
+        let y1 = g.infer(&[ids_tensor(&toks)]).unwrap_ok();
         toks[cfg.seq - 1] = (toks[cfg.seq - 1] + 1) % cfg.vocab;
-        let y2 = g.infer(&[ids_tensor(&toks)]);
+        let y2 = g.infer(&[ids_tensor(&toks)]).unwrap_ok();
         for j in 0..cfg.d {
             assert!((y1[0].at(&[0, j]) - y2[0].at(&[0, j])).abs() < 1e-5);
         }
@@ -436,7 +436,7 @@ mod tests {
         assert_eq!(mags.len(), 16);
         let g = b.finish(vec![y]);
         let x = TensorRng::seed(6).normal(&[8, 16], 0.0, 1.0);
-        let out = g.infer(&[x]);
+        let out = g.infer(&[x]).unwrap_ok();
         let absmax = out[0].data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         // RMS of a LayerNorm output row is ~1; the amplified channel
         // dominates by ~2 orders of magnitude.

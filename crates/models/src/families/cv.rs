@@ -13,7 +13,7 @@ use crate::families::common::{batchnorm_with_hostility, conv_bn_relu, CvConfig};
 use crate::task::{CalibSource, Metric, Transform};
 use crate::workload::{Workload, WorkloadSpec};
 use ptq_metrics::Domain;
-use ptq_nn::{Graph, GraphBuilder, NoopHook};
+use ptq_nn::{Graph, GraphBuilder, NoopHook, UnwrapOk};
 use ptq_tensor::ops::Conv2dParams;
 use ptq_tensor::{Tensor, TensorRng};
 
@@ -460,7 +460,7 @@ pub fn unet_like(cfg: &CvConfig) -> Workload {
     crate::anchor::coadapt_convs(&mut graph, &init_batches[..2.min(init_batches.len())]);
     crate::anchor::initialize_bn_stats(&mut graph, &init_batches, 2);
     let clean = rng.normal(&[n, cfg.in_ch, cfg.img, cfg.img], 0.0, 1.0);
-    let ref_out = graph.infer(std::slice::from_ref(&clean));
+    let ref_out = graph.infer(std::slice::from_ref(&clean)).unwrap_ok();
     let labels = pixel_labels(&ref_out[0]);
     let noise = rng.normal(clean.shape(), 0.0, EVAL_NOISE);
     let eval = vec![vec![clean.add(&noise)]];
@@ -521,7 +521,7 @@ pub fn detector_like(cfg: &CvConfig) -> Workload {
     crate::anchor::coadapt_convs(&mut graph, &init_batches[..2.min(init_batches.len())]);
     crate::anchor::initialize_bn_stats(&mut graph, &init_batches, 2);
     let clean = rng.normal(&[n, cfg.in_ch, cfg.img, cfg.img], 0.0, 1.0);
-    let labels = pixel_labels(&graph.infer(std::slice::from_ref(&clean))[0]);
+    let labels = pixel_labels(&graph.infer(std::slice::from_ref(&clean)).unwrap_ok()[0]);
     let noise = rng.normal(clean.shape(), 0.0, EVAL_NOISE);
     let eval = vec![vec![clean.add(&noise)]];
     let calib = source.sample(32, Transform::Train, cfg.seed ^ 0xCA11B);
@@ -565,7 +565,7 @@ fn pixel_labels(logits: &Tensor) -> Vec<usize> {
 /// Sanity hook used by tests: FP32 re-evaluation must match the stored
 /// baseline.
 pub fn fp32_rescore(w: &Workload) -> f64 {
-    w.evaluate(&mut NoopHook)
+    w.evaluate(&mut NoopHook).unwrap_ok()
 }
 
 #[cfg(test)]
@@ -646,9 +646,9 @@ mod tests {
             }
         }
         let mut hb = AbsMax(0.0);
-        benign.graph.run(&benign.eval[0], &mut hb);
+        benign.graph.run(&benign.eval[0], &mut hb).unwrap_ok();
         let mut hh = AbsMax(0.0);
-        hostile.graph.run(&hostile.eval[0], &mut hh);
+        hostile.graph.run(&hostile.eval[0], &mut hh).unwrap_ok();
         assert!(hh.0 > 3.0 * hb.0, "hostile {} vs benign {}", hh.0, hb.0);
     }
 

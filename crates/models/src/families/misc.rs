@@ -6,7 +6,7 @@ use crate::families::common::{ids_tensor, perturb_tokens, NlpConfig};
 use crate::task::Metric;
 use crate::workload::{Workload, WorkloadSpec};
 use ptq_metrics::{feature_moments, Domain};
-use ptq_nn::{GraphBuilder, NoopHook};
+use ptq_nn::{GraphBuilder, NoopHook, UnwrapOk};
 use ptq_tensor::ops::Conv2dParams;
 use ptq_tensor::{Tensor, TensorRng};
 
@@ -192,7 +192,13 @@ pub fn generator_like(z: usize, width: usize, seed: u64) -> Workload {
     // Reference moments from the FP32 generator on the eval latents.
     let feats: Vec<Tensor> = eval
         .iter()
-        .map(|inp| graph.run(inp, &mut NoopHook).pop().expect("one output"))
+        .map(|inp| {
+            graph
+                .run(inp, &mut NoopHook)
+                .unwrap_ok()
+                .pop()
+                .expect("one output")
+        })
         .collect();
     let all = Tensor::concat0(&feats.iter().collect::<Vec<_>>());
     let reference = feature_moments(&all);
@@ -352,7 +358,11 @@ pub fn translator_like(cfg: &NlpConfig) -> Workload {
         .iter()
         .enumerate()
         .map(|(i, ids)| {
-            let out = graph.infer(&[ids_tensor(ids)]).pop().expect("one output");
+            let out = graph
+                .infer(&[ids_tensor(ids)])
+                .unwrap_ok()
+                .pop()
+                .expect("one output");
             let last = out.row(out.dim(0) - 1);
             let mut top1 = f32::NEG_INFINITY;
             let mut top2 = f32::NEG_INFINITY;

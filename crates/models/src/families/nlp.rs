@@ -16,7 +16,7 @@ use crate::families::common::{
 use crate::task::Metric;
 use crate::workload::{Workload, WorkloadSpec};
 use ptq_metrics::Domain;
-use ptq_nn::{Graph, GraphBuilder};
+use ptq_nn::{Graph, GraphBuilder, UnwrapOk};
 use ptq_tensor::{Tensor, TensorRng};
 
 /// Eval sequences per NLP workload.
@@ -138,6 +138,7 @@ pub fn encoder_workload(family: &str, task: &str, cfg: &NlpConfig, head: Head) -
                 .map(|ids| {
                     graph
                         .infer(&[ids_tensor(ids)])
+                        .unwrap_ok()
                         .pop()
                         .expect("one output")
                         .data()[0]
@@ -196,7 +197,11 @@ pub fn decoder_workload(family: &str, cfg: &NlpConfig) -> Workload {
         .iter()
         .enumerate()
         .map(|(i, ids)| {
-            let out = graph.infer(&[ids_tensor(ids)]).pop().expect("one output");
+            let out = graph
+                .infer(&[ids_tensor(ids)])
+                .unwrap_ok()
+                .pop()
+                .expect("one output");
             let last = out.row(out.dim(0) - 1);
             let mut top1 = f32::NEG_INFINITY;
             let mut top2 = f32::NEG_INFINITY;
@@ -268,6 +273,7 @@ pub fn generate_greedy(
     for _ in 0..steps {
         let logits = graph
             .run(&[ids_tensor(&window)], hook)
+            .unwrap_ok()
             .pop()
             .expect("one output");
         let last = logits.dim(0) - 1;
@@ -360,9 +366,9 @@ mod tests {
             }
         }
         let mut hm = AbsMax(0.0);
-        mild.graph.run(&mild.eval[0], &mut hm);
+        mild.graph.run(&mild.eval[0], &mut hm).unwrap_ok();
         let mut he = AbsMax(0.0);
-        extreme.graph.run(&extreme.eval[0], &mut he);
+        extreme.graph.run(&extreme.eval[0], &mut he).unwrap_ok();
         assert!(he.0 > 5.0 * hm.0, "extreme {} vs mild {}", he.0, hm.0);
     }
 }

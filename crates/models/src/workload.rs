@@ -2,7 +2,7 @@
 
 use crate::task::{CalibSource, Metric};
 use ptq_metrics::{Domain, WorkloadResult};
-use ptq_nn::{ExecHook, Graph, NoopHook, PtqError};
+use ptq_nn::{ExecHook, Graph, NoopHook, PlanSet, PtqError, UnwrapOk};
 use ptq_tensor::Tensor;
 
 /// Static description of a workload, independent of any quantization
@@ -41,6 +41,11 @@ pub struct Workload {
     pub fp32_score: f64,
     /// Optional augmentable calibration pool (CV only; Figure 7).
     pub calib_source: Option<CalibSource>,
+    /// Lazily-built execution plans, keyed by input shape. Serves both
+    /// `self.graph` and structurally-identical clones of it (e.g. a
+    /// quantized model's graph with recalibrated BatchNorm statistics).
+    /// `Clone` yields a fresh empty set.
+    pub plans: PlanSet,
 }
 
 impl Workload {
@@ -61,28 +66,29 @@ impl Workload {
             metric,
             fp32_score: 0.0,
             calib_source,
+            plans: PlanSet::new(),
         };
-        w.fp32_score = w.evaluate(&mut NoopHook);
+        w.fp32_score = w.evaluate(&mut NoopHook).unwrap_ok();
         w
     }
 
     /// Run every eval batch through the graph under `hook` and score the
     /// outputs.
-    pub fn evaluate(&self, hook: &mut dyn ExecHook) -> f64 {
+    pub fn evaluate(&self, hook: &mut dyn ExecHook) -> Result<f64, PtqError> {
         self.evaluate_graph(&self.graph, hook)
     }
 
     /// Evaluate with a *different* graph (e.g. one whose BatchNorm running
     /// stats were recalibrated) under `hook`, surfacing malformed-graph and
     /// shape failures as typed errors instead of panicking.
-    pub fn try_evaluate_graph(
-        &self,
-        graph: &Graph,
-        hook: &mut dyn ExecHook,
-    ) -> Result<f64, PtqError> {
+    ///
+    /// Executes through cached [`ExecPlan`](ptq_nn::ExecPlan)s (one per
+    /// eval-batch shape), so repeated evaluation reuses arena buffers
+    /// instead of re-validating and re-allocating every pass.
+    pub fn evaluate_graph(&self, graph: &Graph, hook: &mut dyn ExecHook) -> Result<f64, PtqError> {
         let mut outputs: Vec<Tensor> = Vec::with_capacity(self.eval.len());
         for inputs in &self.eval {
-            let mut out = graph.try_run(inputs, hook)?;
+            let mut out = self.plans.run(graph, inputs, hook)?;
             match (out.pop(), out.is_empty()) {
                 (Some(t), true) => outputs.push(t),
                 _ => {
@@ -95,46 +101,41 @@ impl Workload {
         Ok(self.metric.score(&outputs))
     }
 
-    /// Evaluate with a *different* graph under `hook`.
-    ///
-    /// # Panics
-    ///
-    /// Panicking wrapper over [`Workload::try_evaluate_graph`].
-    pub fn evaluate_graph(&self, graph: &Graph, hook: &mut dyn ExecHook) -> f64 {
-        match self.try_evaluate_graph(graph, hook) {
-            Ok(score) => score,
-            Err(e) => panic!("{e}"),
-        }
+    /// Deprecated alias of [`Workload::evaluate_graph`] (the
+    /// `Result`-returning methods now carry the canonical, unprefixed
+    /// names).
+    #[deprecated(since = "0.2.0", note = "renamed to `evaluate_graph`")]
+    pub fn try_evaluate_graph(
+        &self,
+        graph: &Graph,
+        hook: &mut dyn ExecHook,
+    ) -> Result<f64, PtqError> {
+        self.evaluate_graph(graph, hook)
     }
 
     /// Feed every calibration batch through the graph under `hook`
     /// (outputs are discarded — the hook's observers are the point).
-    pub fn calibrate(&self, hook: &mut dyn ExecHook) {
-        self.calibrate_graph(&self.graph, hook);
+    pub fn calibrate(&self, hook: &mut dyn ExecHook) -> Result<(), PtqError> {
+        self.calibrate_graph(&self.graph, hook)
     }
 
     /// Calibrate against a different graph instance, surfacing failures as
-    /// typed errors.
+    /// typed errors. Planned execution, like [`Workload::evaluate_graph`].
+    pub fn calibrate_graph(&self, graph: &Graph, hook: &mut dyn ExecHook) -> Result<(), PtqError> {
+        for inputs in &self.calib {
+            self.plans.run(graph, inputs, hook)?;
+        }
+        Ok(())
+    }
+
+    /// Deprecated alias of [`Workload::calibrate_graph`].
+    #[deprecated(since = "0.2.0", note = "renamed to `calibrate_graph`")]
     pub fn try_calibrate_graph(
         &self,
         graph: &Graph,
         hook: &mut dyn ExecHook,
     ) -> Result<(), PtqError> {
-        for inputs in &self.calib {
-            graph.try_run(inputs, hook)?;
-        }
-        Ok(())
-    }
-
-    /// Calibrate against a different graph instance.
-    ///
-    /// # Panics
-    ///
-    /// Panicking wrapper over [`Workload::try_calibrate_graph`].
-    pub fn calibrate_graph(&self, graph: &Graph, hook: &mut dyn ExecHook) {
-        if let Err(e) = self.try_calibrate_graph(graph, hook) {
-            panic!("{e}");
-        }
+        self.calibrate_graph(graph, hook)
     }
 
     /// Package a quantized score into the pass-rate record.

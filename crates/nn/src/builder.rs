@@ -258,7 +258,7 @@ impl GraphBuilder {
     /// [`Graph::validate_structure`]) if the graph has no nodes, an output
     /// id was never produced, or an operator references an unbound
     /// parameter.
-    pub fn try_finish(self, outputs: Vec<ValueId>) -> Result<Graph, crate::error::PtqError> {
+    pub fn build(self, outputs: Vec<ValueId>) -> Result<Graph, crate::error::PtqError> {
         let g = Graph::from_parts(
             self.nodes,
             self.params,
@@ -268,6 +268,12 @@ impl GraphBuilder {
         );
         g.validate_structure()?;
         Ok(g)
+    }
+
+    /// Deprecated alias of [`GraphBuilder::build`].
+    #[deprecated(since = "0.2.0", note = "renamed to `build`")]
+    pub fn try_finish(self, outputs: Vec<ValueId>) -> Result<Graph, crate::error::PtqError> {
+        self.build(outputs)
     }
 
     /// Finish, declaring the graph outputs.

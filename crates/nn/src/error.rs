@@ -98,3 +98,24 @@ impl fmt::Display for PtqError {
 }
 
 impl std::error::Error for PtqError {}
+
+/// The single blessed panicking escape hatch for [`PtqError`] results.
+///
+/// The canonical API surface is `Result`-returning; code that genuinely
+/// wants abort-on-error semantics (examples, tests, one-shot binaries)
+/// writes `graph.run(&inputs, &mut hook).unwrap_ok()` instead of relying
+/// on separate panicking method variants. The panic message is the
+/// error's `Display` form, matching the old `panic!("{e}")` wrappers.
+pub trait UnwrapOk<T> {
+    /// Unwrap the `Ok` value, panicking with the error's `Display` text.
+    fn unwrap_ok(self) -> T;
+}
+
+impl<T> UnwrapOk<T> for Result<T, PtqError> {
+    fn unwrap_ok(self) -> T {
+        match self {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}

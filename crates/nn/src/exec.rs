@@ -1,0 +1,202 @@
+//! The single shared per-node compute path.
+//!
+//! Both the legacy interpreter ([`Graph::run`](crate::Graph::run)) and the
+//! ahead-of-time planner ([`crate::ExecPlan`]) evaluate nodes through
+//! [`eval_node_into`], so planned execution is bit-identical to interpreted
+//! execution by construction: there is exactly one implementation of every
+//! operator's evaluation, and it writes through the allocation-reusing
+//! `*_into` kernels of `ptq_tensor::ops`.
+
+use crate::error::PtqError;
+use crate::graph::{Node, Op};
+use ptq_tensor::ops;
+use ptq_tensor::Tensor;
+
+/// Upper bound on parameters any single operator references (BatchNorm's
+/// gamma/beta/mean/var is the maximum).
+pub(crate) const MAX_OP_PARAMS: usize = 4;
+
+/// Borrowed parameter tensors for one node, in
+/// [`Op::param_values`](crate::Op::param_values) order. Fixed-size so the
+/// executor resolves parameters with zero heap traffic per node.
+pub(crate) struct ParamsRef<'a> {
+    items: [Option<&'a Tensor>; MAX_OP_PARAMS],
+}
+
+impl<'a> ParamsRef<'a> {
+    pub(crate) fn new() -> Self {
+        ParamsRef {
+            items: [None; MAX_OP_PARAMS],
+        }
+    }
+
+    pub(crate) fn set(&mut self, i: usize, t: &'a Tensor) {
+        self.items[i] = Some(t);
+    }
+
+    fn get(&self, node: &Node, i: usize) -> Result<&'a Tensor, PtqError> {
+        self.items.get(i).copied().flatten().ok_or_else(|| {
+            PtqError::Internal(format!("missing parameter {i} for node {}", node.name))
+        })
+    }
+}
+
+/// Reusable non-tensor scratch buffers for [`eval_node_into`].
+#[derive(Debug, Default)]
+pub(crate) struct EvalScratch {
+    /// Decoded embedding ids (cleared per use, capacity reused).
+    pub ids: Vec<usize>,
+}
+
+/// Evaluate one node into `out`, reusing `out`'s allocation.
+///
+/// `ins` are the (possibly hook-mutated) activation inputs and `params`
+/// the resolved parameter tensors in `param_values()` order. Arity and
+/// shapes must already be validated; the only runtime failures left are
+/// data-dependent contracts (embedding id values) and internal
+/// inconsistencies.
+pub(crate) fn eval_node_into(
+    node: &Node,
+    ins: &[Tensor],
+    params: &ParamsRef<'_>,
+    scratch: &mut EvalScratch,
+    out: &mut Tensor,
+) -> Result<(), PtqError> {
+    match &node.op {
+        Op::Conv2d {
+            bias,
+            params: cp,
+            depthwise,
+            ..
+        } => {
+            let w = params.get(node, 0)?;
+            let b = match bias {
+                Some(_) => Some(params.get(node, 1)?),
+                None => None,
+            };
+            if *depthwise {
+                ops::depthwise_conv2d_into(&ins[0], w, b, *cp, out);
+            } else {
+                ops::conv2d_into(&ins[0], w, b, *cp, out);
+            }
+        }
+        Op::Linear { bias, .. } => {
+            let w = params.get(node, 0)?;
+            let b = match bias {
+                Some(_) => Some(params.get(node, 1)?),
+                None => None,
+            };
+            ops::linear_into(&ins[0], w, b, out);
+        }
+        Op::MatMul => ops::matmul_into(&ins[0], &ins[1], out),
+        Op::BatchMatMul => ops::batch_matmul_into(&ins[0], &ins[1], out),
+        Op::Embedding { .. } => {
+            let t = params.get(node, 0)?;
+            let vocab = t.dim(0);
+            scratch.ids.clear();
+            for &x in ins[0].data() {
+                // Ids arrive as f32; only finite non-negative integers
+                // inside the table are valid. `as usize` would silently
+                // saturate negatives/NaN to 0 and out-of-range ids
+                // would blow up inside the kernel.
+                if !x.is_finite() || x < 0.0 || x.fract() != 0.0 {
+                    return Err(PtqError::InvalidInput {
+                        node: node.name.clone(),
+                        detail: format!("embedding id {x} is not a non-negative integer"),
+                    });
+                }
+                let id = x as usize;
+                if id >= vocab {
+                    return Err(PtqError::InvalidInput {
+                        node: node.name.clone(),
+                        detail: format!("embedding id {id} out of range (vocab {vocab})"),
+                    });
+                }
+                scratch.ids.push(id);
+            }
+            ops::embedding_into(t, &scratch.ids, out);
+        }
+        Op::BatchNorm { eps, .. } => {
+            let gamma = params.get(node, 0)?;
+            let beta = params.get(node, 1)?;
+            let mean = params.get(node, 2)?;
+            let var = params.get(node, 3)?;
+            ops::batchnorm2d_parts_into(&ins[0], gamma, beta, mean, var, *eps, out);
+        }
+        Op::LayerNorm { eps, .. } => {
+            let g = params.get(node, 0)?;
+            let b = params.get(node, 1)?;
+            ops::layernorm_into(&ins[0], g, b, *eps, out);
+        }
+        Op::Add => ins[0].zip_broadcast_into(&ins[1], |a, b| a + b, out),
+        Op::Mul => ins[0].zip_broadcast_into(&ins[1], |a, b| a * b, out),
+        Op::AddParam { .. } => {
+            let p = params.get(node, 0)?;
+            ins[0].zip_broadcast_into(p, |a, b| a + b, out);
+        }
+        Op::Relu => ops::relu_into(&ins[0], out),
+        Op::Gelu => ops::gelu_into(&ins[0], out),
+        Op::Silu => ops::silu_into(&ins[0], out),
+        Op::Sigmoid => ops::sigmoid_into(&ins[0], out),
+        Op::Tanh => ops::tanh_into(&ins[0], out),
+        Op::Softmax => ops::softmax_lastdim_into(&ins[0], out),
+        Op::MaxPool { k } => ops::max_pool2d_into(&ins[0], *k, out),
+        Op::AvgPool { k } => ops::avg_pool2d_into(&ins[0], *k, out),
+        Op::GlobalAvgPool => ops::global_avg_pool2d_into(&ins[0], out),
+        Op::MeanRows => {
+            let x = &ins[0];
+            let (r, d) = (x.dim(0), x.dim(1));
+            out.reuse_as(&[1, d]);
+            out.zero_fill();
+            for i in 0..r {
+                for j in 0..d {
+                    out.data_mut()[j] += x.at(&[i, j]);
+                }
+            }
+            let inv = 1.0 / r.max(1) as f32;
+            out.map_inplace(|v| v * inv);
+        }
+        Op::Reshape(shape) => {
+            // Element counts were proven equal by shape validation, so this
+            // is a straight copy under the target shape.
+            out.copy_from(&ins[0]);
+            out.reuse_as(shape);
+        }
+        Op::Permute(perm) => ins[0].permute_into(perm, out),
+        Op::Scale(s) => {
+            let s = *s;
+            ins[0].map_into(|x| x * s, out);
+        }
+        Op::Upsample2x => {
+            let x = &ins[0];
+            let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+            out.reuse_as(&[n, c, 2 * h, 2 * w]);
+            for ni in 0..n {
+                for ci in 0..c {
+                    for y in 0..2 * h {
+                        for xx in 0..2 * w {
+                            *out.at_mut(&[ni, ci, y, xx]) = x.at(&[ni, ci, y / 2, xx / 2]);
+                        }
+                    }
+                }
+            }
+        }
+        Op::CausalMask => {
+            // A true -inf (not the old -1e9 magic constant) so that no
+            // attention mass can leak through the mask however large
+            // the score scale is; softmax_lastdim turns fully masked
+            // rows into zeros rather than NaN.
+            let x = &ins[0];
+            let (b, s1, s2) = (x.dim(0), x.dim(1), x.dim(2));
+            out.copy_from(x);
+            for bi in 0..b {
+                for i in 0..s1 {
+                    for j in (i + 1)..s2 {
+                        *out.at_mut(&[bi, i, j]) = f32::NEG_INFINITY;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -291,7 +291,7 @@ impl Graph {
 
     /// Replace a bound parameter (used by BatchNorm calibration and weight
     /// pre-quantization). Errors if `id` is not a bound parameter.
-    pub fn try_set_param(&mut self, id: ValueId, t: Tensor) -> Result<(), PtqError> {
+    pub fn set_param(&mut self, id: ValueId, t: Tensor) -> Result<(), PtqError> {
         let old = self.params.get_mut(&id).ok_or(PtqError::InvalidTarget {
             detail: format!("value {id} is not a bound parameter"),
         })?;
@@ -299,15 +299,11 @@ impl Graph {
         Ok(())
     }
 
-    /// Panicking wrapper over [`Graph::try_set_param`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is not a bound parameter.
-    pub fn set_param(&mut self, id: ValueId, t: Tensor) {
-        if let Err(e) = self.try_set_param(id, t) {
-            panic!("{e}");
-        }
+    /// Deprecated alias of [`Graph::set_param`] (the `Result`-returning
+    /// methods now carry the canonical, unprefixed names).
+    #[deprecated(since = "0.2.0", note = "renamed to `set_param`")]
+    pub fn try_set_param(&mut self, id: ValueId, t: Tensor) -> Result<(), PtqError> {
+        self.set_param(id, t)
     }
 
     /// Iterate over `(ValueId, &Tensor)` parameter bindings.
@@ -354,7 +350,7 @@ impl Graph {
     /// Reconstruct [`BatchNormParams`] for a BatchNorm node. Errors if
     /// `id` is out of range, not a BatchNorm node, or has unbound
     /// parameters.
-    pub fn try_batchnorm_params(&self, id: NodeId) -> Result<BatchNormParams, PtqError> {
+    pub fn batchnorm_params(&self, id: NodeId) -> Result<BatchNormParams, PtqError> {
         let node = self.nodes.get(id).ok_or(PtqError::InvalidTarget {
             detail: format!("node {id} is out of range"),
         })?;
@@ -386,15 +382,9 @@ impl Graph {
         }
     }
 
-    /// Panicking wrapper over [`Graph::try_batchnorm_params`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is not a BatchNorm node.
-    pub fn batchnorm_params(&self, id: NodeId) -> BatchNormParams {
-        match self.try_batchnorm_params(id) {
-            Ok(p) => p,
-            Err(e) => panic!("{e}"),
-        }
+    /// Deprecated alias of [`Graph::batchnorm_params`].
+    #[deprecated(since = "0.2.0", note = "renamed to `batchnorm_params`")]
+    pub fn try_batchnorm_params(&self, id: NodeId) -> Result<BatchNormParams, PtqError> {
+        self.batchnorm_params(id)
     }
 }

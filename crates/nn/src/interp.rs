@@ -1,9 +1,7 @@
 //! Graph interpreter with quantization interception hooks.
 
 use crate::error::PtqError;
-use crate::graph::{Graph, Node, Op};
-use ptq_tensor::ops;
-use ptq_tensor::ops::BatchNormParams;
+use crate::graph::{Graph, Node};
 use ptq_tensor::Tensor;
 
 /// Interception points during graph execution.
@@ -37,6 +35,26 @@ pub trait ExecHook {
     ) -> Option<Tensor> {
         None
     }
+
+    /// Zero-copy variant of [`ExecHook::weight`] used by planned execution
+    /// ([`crate::ExecPlan`]): return `Some(&substitute)` to borrow an
+    /// already-materialized replacement (e.g. a pre-quantized weight held
+    /// by the hook) without cloning it every pass.
+    ///
+    /// Contract: this must be a pure lookup — no side effects, and it must
+    /// agree with what [`ExecHook::weight`] would return for the same
+    /// `(node, value)` — because the executor may probe it more than once
+    /// per fetch and falls back to `weight()` only when this returns
+    /// `None`. The default implementation returns `None`, which preserves
+    /// the legacy `weight()` protocol for existing hooks.
+    fn weight_ref<'a>(
+        &'a self,
+        _node: &Node,
+        _value: crate::graph::ValueId,
+        _w: &'a Tensor,
+    ) -> Option<&'a Tensor> {
+        None
+    }
 }
 
 /// A hook that does nothing: plain FP32 inference.
@@ -54,11 +72,7 @@ impl Graph {
     /// reported as a typed [`PtqError`] *before* any kernel runs rather
     /// than panicking mid-execution. After validation, the only runtime
     /// failures are data-dependent contracts (embedding id values).
-    pub fn try_run(
-        &self,
-        inputs: &[Tensor],
-        hook: &mut dyn ExecHook,
-    ) -> Result<Vec<Tensor>, PtqError> {
+    pub fn run(&self, inputs: &[Tensor], hook: &mut dyn ExecHook) -> Result<Vec<Tensor>, PtqError> {
         let in_shapes: Vec<Vec<usize>> = inputs.iter().map(|t| t.shape().to_vec()).collect();
         self.validate(&in_shapes)?;
         let mut values: Vec<Option<Tensor>> = vec![None; self.n_values];
@@ -98,34 +112,28 @@ impl Graph {
             .collect()
     }
 
-    /// Convenience: [`Graph::try_run`] with no hook (pure FP32 inference).
-    pub fn try_infer(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, PtqError> {
-        self.try_run(inputs, &mut NoopHook)
-    }
-
-    /// Execute the graph, panicking on any [`PtqError`].
-    ///
-    /// Thin compatibility wrapper over [`Graph::try_run`]; new code should
-    /// prefer the `try_` form.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the number of inputs is wrong, the graph is malformed, or
-    /// an operator receives tensors of incompatible shapes.
-    pub fn run(&self, inputs: &[Tensor], hook: &mut dyn ExecHook) -> Vec<Tensor> {
-        match self.try_run(inputs, hook) {
-            Ok(out) => out,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Convenience: run with no hook (pure FP32 inference).
-    ///
-    /// # Panics
-    ///
-    /// As [`Graph::run`].
-    pub fn infer(&self, inputs: &[Tensor]) -> Vec<Tensor> {
+    /// Convenience: [`Graph::run`] with no hook (pure FP32 inference).
+    pub fn infer(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, PtqError> {
         self.run(inputs, &mut NoopHook)
+    }
+
+    /// Deprecated alias of [`Graph::run`] (the `Result`-returning methods
+    /// now carry the canonical, unprefixed names). Use
+    /// `run(..).unwrap_ok()` (see [`crate::UnwrapOk`]) where the old
+    /// panicking behavior is wanted.
+    #[deprecated(since = "0.2.0", note = "renamed to `run`")]
+    pub fn try_run(
+        &self,
+        inputs: &[Tensor],
+        hook: &mut dyn ExecHook,
+    ) -> Result<Vec<Tensor>, PtqError> {
+        self.run(inputs, hook)
+    }
+
+    /// Deprecated alias of [`Graph::infer`].
+    #[deprecated(since = "0.2.0", note = "renamed to `infer`")]
+    pub fn try_infer(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, PtqError> {
+        self.infer(inputs)
     }
 
     /// Fetch a parameter through the hook's substitution point.
@@ -148,145 +156,21 @@ impl Graph {
         ins: &[Tensor],
         hook: &mut dyn ExecHook,
     ) -> Result<Tensor, PtqError> {
-        let out = match &node.op {
-            Op::Conv2d {
-                weight,
-                bias,
-                params,
-                depthwise,
-            } => {
-                let w = self.fetch(node, *weight, hook)?;
-                let b = match bias {
-                    Some(b) => Some(self.fetch(node, *b, hook)?),
-                    None => None,
-                };
-                if *depthwise {
-                    ops::depthwise_conv2d(&ins[0], &w, b.as_ref(), *params)
-                } else {
-                    ops::conv2d(&ins[0], &w, b.as_ref(), *params)
-                }
-            }
-            Op::Linear { weight, bias } => {
-                let w = self.fetch(node, *weight, hook)?;
-                let b = match bias {
-                    Some(b) => Some(self.fetch(node, *b, hook)?),
-                    None => None,
-                };
-                ops::linear(&ins[0], &w, b.as_ref())
-            }
-            Op::MatMul => ops::matmul(&ins[0], &ins[1]),
-            Op::BatchMatMul => ops::batch_matmul(&ins[0], &ins[1]),
-            Op::Embedding { table } => {
-                let t = self.fetch(node, *table, hook)?;
-                let vocab = t.dim(0);
-                let mut ids = Vec::with_capacity(ins[0].len());
-                for &x in ins[0].data() {
-                    // Ids arrive as f32; only finite non-negative integers
-                    // inside the table are valid. `as usize` would silently
-                    // saturate negatives/NaN to 0 and out-of-range ids
-                    // would blow up inside the kernel.
-                    if !x.is_finite() || x < 0.0 || x.fract() != 0.0 {
-                        return Err(PtqError::InvalidInput {
-                            node: node.name.clone(),
-                            detail: format!("embedding id {x} is not a non-negative integer"),
-                        });
-                    }
-                    let id = x as usize;
-                    if id >= vocab {
-                        return Err(PtqError::InvalidInput {
-                            node: node.name.clone(),
-                            detail: format!("embedding id {id} out of range (vocab {vocab})"),
-                        });
-                    }
-                    ids.push(id);
-                }
-                ops::embedding(&t, &ids)
-            }
-            Op::BatchNorm {
-                gamma,
-                beta,
-                mean,
-                var,
-                eps,
-            } => {
-                let p = BatchNormParams {
-                    gamma: self.fetch(node, *gamma, hook)?,
-                    beta: self.fetch(node, *beta, hook)?,
-                    mean: self.fetch(node, *mean, hook)?,
-                    var: self.fetch(node, *var, hook)?,
-                    eps: *eps,
-                };
-                ops::batchnorm2d(&ins[0], &p)
-            }
-            Op::LayerNorm { gamma, beta, eps } => {
-                let g = self.fetch(node, *gamma, hook)?;
-                let b = self.fetch(node, *beta, hook)?;
-                ops::layernorm(&ins[0], &g, &b, *eps)
-            }
-            Op::Add => ins[0].add(&ins[1]),
-            Op::Mul => ins[0].mul(&ins[1]),
-            Op::AddParam { param } => {
-                let p = self.fetch(node, *param, hook)?;
-                ins[0].add(&p)
-            }
-            Op::Relu => ops::relu(&ins[0]),
-            Op::Gelu => ops::gelu(&ins[0]),
-            Op::Silu => ops::silu(&ins[0]),
-            Op::Sigmoid => ops::sigmoid(&ins[0]),
-            Op::Tanh => ops::tanh(&ins[0]),
-            Op::Softmax => ops::softmax_lastdim(&ins[0]),
-            Op::MaxPool { k } => ops::max_pool2d(&ins[0], *k),
-            Op::AvgPool { k } => ops::avg_pool2d(&ins[0], *k),
-            Op::GlobalAvgPool => ops::global_avg_pool2d(&ins[0]),
-            Op::MeanRows => {
-                let x = &ins[0];
-                let (r, d) = (x.dim(0), x.dim(1));
-                let mut out = Tensor::zeros(&[1, d]);
-                for i in 0..r {
-                    for j in 0..d {
-                        out.data_mut()[j] += x.at(&[i, j]);
-                    }
-                }
-                let inv = 1.0 / r.max(1) as f32;
-                out.map_inplace(|v| v * inv);
-                out
-            }
-            Op::Reshape(shape) => ins[0].clone().reshape(shape),
-            Op::Permute(perm) => ins[0].permute(perm),
-            Op::Scale(s) => ins[0].scale(*s),
-            Op::Upsample2x => {
-                let x = &ins[0];
-                let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-                let mut out = Tensor::zeros(&[n, c, 2 * h, 2 * w]);
-                for ni in 0..n {
-                    for ci in 0..c {
-                        for y in 0..2 * h {
-                            for xx in 0..2 * w {
-                                *out.at_mut(&[ni, ci, y, xx]) = x.at(&[ni, ci, y / 2, xx / 2]);
-                            }
-                        }
-                    }
-                }
-                out
-            }
-            Op::CausalMask => {
-                // A true -inf (not the old -1e9 magic constant) so that no
-                // attention mass can leak through the mask however large
-                // the score scale is; softmax_lastdim turns fully masked
-                // rows into zeros rather than NaN.
-                let x = &ins[0];
-                let (b, s1, s2) = (x.dim(0), x.dim(1), x.dim(2));
-                let mut out = x.clone();
-                for bi in 0..b {
-                    for i in 0..s1 {
-                        for j in (i + 1)..s2 {
-                            *out.at_mut(&[bi, i, j]) = f32::NEG_INFINITY;
-                        }
-                    }
-                }
-                out
-            }
-        };
+        // Fetch parameters through the hook in `param_values()` order (the
+        // same order the old inline match used), then evaluate through the
+        // shared `exec` path that the planner also uses.
+        let pids = node.op.param_values();
+        let mut owned: Vec<Tensor> = Vec::with_capacity(pids.len());
+        for id in &pids {
+            owned.push(self.fetch(node, *id, hook)?);
+        }
+        let mut pr = crate::exec::ParamsRef::new();
+        for (i, t) in owned.iter().enumerate() {
+            pr.set(i, t);
+        }
+        let mut scratch = crate::exec::EvalScratch::default();
+        let mut out = Tensor::default();
+        crate::exec::eval_node_into(node, ins, &pr, &mut scratch, &mut out)?;
         Ok(out)
     }
 }
@@ -295,6 +179,7 @@ impl Graph {
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
+    use crate::error::UnwrapOk;
     use crate::graph::{OpClass, ValueId};
     use ptq_tensor::ops::Conv2dParams;
     use ptq_tensor::TensorRng;
@@ -322,7 +207,7 @@ mod tests {
     fn run_tiny_cnn_shapes() {
         let g = tiny_cnn();
         let x = TensorRng::seed(1).normal(&[2, 3, 8, 8], 0.0, 1.0);
-        let y = g.infer(&[x]);
+        let y = g.infer(&[x]).unwrap_ok();
         assert_eq!(y.len(), 1);
         assert_eq!(y[0].shape(), &[2, 10]);
     }
@@ -331,7 +216,10 @@ mod tests {
     fn deterministic_inference() {
         let g = tiny_cnn();
         let x = TensorRng::seed(1).normal(&[1, 3, 8, 8], 0.0, 1.0);
-        assert_eq!(g.infer(std::slice::from_ref(&x)), g.infer(&[x]));
+        assert_eq!(
+            g.infer(std::slice::from_ref(&x)).unwrap_ok(),
+            g.infer(&[x]).unwrap_ok()
+        );
     }
 
     #[test]
@@ -365,7 +253,7 @@ mod tests {
             after: 0,
         };
         let x = TensorRng::seed(1).normal(&[1, 3, 8, 8], 0.0, 1.0);
-        g.run(&[x], &mut h);
+        g.run(&[x], &mut h).unwrap_ok();
         assert_eq!(h.before, g.nodes().len());
         assert_eq!(h.after, g.nodes().len());
     }
@@ -385,7 +273,7 @@ mod tests {
         }
         let g = tiny_cnn();
         let x = TensorRng::seed(1).normal(&[1, 3, 8, 8], 0.0, 1.0);
-        let y = g.run(&[x], &mut ZeroWeights);
+        let y = g.run(&[x], &mut ZeroWeights).unwrap_ok();
         assert!(y[0].data().iter().all(|&v| v == 0.0));
     }
 
@@ -408,8 +296,8 @@ mod tests {
         let y = b.linear(x, w, None);
         let g = b.finish(vec![y]);
         let input = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
-        let base = g.infer(std::slice::from_ref(&input));
-        let doubled = g.run(&[input], &mut Doubler);
+        let base = g.infer(std::slice::from_ref(&input)).unwrap_ok();
+        let doubled = g.run(&[input], &mut Doubler).unwrap_ok();
         assert_eq!(doubled[0].data()[0], 2.0 * base[0].data()[0]);
     }
 
@@ -420,7 +308,7 @@ mod tests {
         let table = b.param(Tensor::from_vec(vec![0., 0., 1., 1., 2., 2.], &[3, 2]));
         let e = b.embedding(ids, table);
         let g = b.finish(vec![e]);
-        let out = g.infer(&[Tensor::from_slice(&[2.0, 0.0])]);
+        let out = g.infer(&[Tensor::from_slice(&[2.0, 0.0])]).unwrap_ok();
         assert_eq!(out[0].data(), &[2., 2., 0., 0.]);
     }
 
@@ -451,7 +339,7 @@ mod tests {
         let ctx = b.reshape(ctx, &[4, 6]);
         let g = b.finish(vec![ctx]);
         let x = TensorRng::seed(3).normal(&[4, 6], 0.0, 1.0);
-        let y = g.infer(&[x]);
+        let y = g.infer(&[x]).unwrap_ok();
         assert_eq!(y[0].shape(), &[4, 6]);
         assert!(y[0].data().iter().all(|v| v.is_finite()));
     }
@@ -459,7 +347,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "graph expects 1 inputs")]
     fn wrong_input_count_panics() {
-        tiny_cnn().infer(&[]);
+        tiny_cnn().infer(&[]).unwrap_ok();
     }
 
     #[test]

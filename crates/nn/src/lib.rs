@@ -17,19 +17,31 @@
 //!   fetch* (substitute quantized weights) and *after* each node (observe
 //!   outputs). Calibration, quantized inference and BatchNorm recalibration
 //!   are all hooks; the graph itself never changes.
-//! * [`Graph::validate`] + [`Graph::try_run`] / [`Graph::try_infer`] — the
+//! * [`Graph::validate`] + [`Graph::run`] / [`Graph::infer`] — the
 //!   panic-free execution surface: arity, parameter binding, def-before-use
 //!   and per-operator shape rules are proven up front and violations are
 //!   reported as typed [`PtqError`]s, so one malformed model cannot take
-//!   down a whole sweep.
+//!   down a whole sweep. Use [`UnwrapOk::unwrap_ok`] where abort-on-error
+//!   semantics are genuinely wanted.
+//! * [`Graph::plan`] → [`ExecPlan`] — ahead-of-time planned execution:
+//!   validation, scheduling and buffer-lifetime analysis happen once per
+//!   (graph, input shape), then [`ExecPlan::run`] executes with
+//!   arena-reused intermediates (zero steady-state allocations) and
+//!   [`ExecPlan::run_batch`] fans batches out across worker threads.
+//!   Planned execution is bit-identical to [`Graph::run`] — both evaluate
+//!   through one shared per-node kernel path. [`PlanSet`] caches plans per
+//!   input shape.
 
 pub mod builder;
 pub mod error;
+mod exec;
 pub mod graph;
 pub mod interp;
+pub mod plan;
 pub mod validate;
 
 pub use builder::GraphBuilder;
-pub use error::{PtqError, Shape};
+pub use error::{PtqError, Shape, UnwrapOk};
 pub use graph::{Graph, Node, NodeId, Op, OpClass, ValueId};
 pub use interp::{ExecHook, NoopHook};
+pub use plan::{ExecPlan, PlanSet, TensorArena};

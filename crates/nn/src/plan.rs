@@ -1,0 +1,757 @@
+//! Ahead-of-time execution plans with arena-allocated intermediates.
+//!
+//! [`Graph::run`] re-does a lot of shape-independent work every call:
+//! full validation, per-node input cloning, and a fresh allocation for
+//! every intermediate tensor. PTQ hammers the same graph with the same
+//! input shape hundreds of times (calibration passes, sensitivity sweeps,
+//! BatchNorm re-estimation, suite evaluation), so this module moves all of
+//! that work to a *plan-once, run-many* split:
+//!
+//! * [`Graph::plan`] validates the graph against one set of input shapes,
+//!   resolves every value's static shape, topologically schedules the
+//!   nodes, and runs a buffer-lifetime analysis that maps intermediate
+//!   values onto a small set of reusable arena slots.
+//! * [`ExecPlan::run`] executes the schedule against a [`TensorArena`]
+//!   drawn from an internal pool: after the first pass warms the arena,
+//!   steady-state execution performs **zero intermediate-tensor
+//!   allocations** — every node writes into a pre-sized slot through the
+//!   `*_into` kernels.
+//! * [`ExecPlan::run_batch`] runs many inputs in parallel, one pooled
+//!   arena + one hook per worker.
+//!
+//! Planned execution is *bit-identical* to [`Graph::run`]: both paths
+//! evaluate nodes through the single shared implementation in
+//! [`crate::exec`], and the staged-inputs + hook protocol is replicated
+//! exactly (see `tests/proptests.rs` for the zoo-wide equivalence
+//! property).
+//!
+//! A plan deliberately holds **no reference to the graph**. PTQ rewrites
+//! parameters between passes (BatchNorm calibration, weight
+//! pre-quantization) without changing graph structure, so the plan stays
+//! valid; each [`ExecPlan::run`] call takes the graph explicitly and
+//! cheaply re-checks the structural fingerprint and parameter shapes it
+//! was built against.
+
+use crate::error::{PtqError, Shape};
+use crate::exec::{EvalScratch, ParamsRef, MAX_OP_PARAMS};
+use crate::graph::{Graph, ValueId};
+use crate::interp::ExecHook;
+use ptq_tensor::Tensor;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Where a value's bytes live at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    /// The `k`-th runtime input tensor.
+    Input(usize),
+    /// An arena slot written by an earlier step.
+    Slot(usize),
+}
+
+/// One scheduled node execution.
+#[derive(Debug, Clone)]
+struct Step {
+    /// Index into [`Graph::nodes`].
+    node: usize,
+    /// Source of each activation input, in node-input order.
+    srcs: Vec<Src>,
+    /// Arena slot receiving the output.
+    out_slot: usize,
+}
+
+/// Reusable per-worker tensor storage for planned execution.
+///
+/// Holds one tensor per plan slot (intermediates), the staging buffers
+/// hook-visible inputs are copied into, and scratch space for owned
+/// parameter substitutions. All buffers keep their capacity across runs,
+/// so a warmed arena executes passes without touching the allocator.
+#[derive(Debug, Default)]
+pub struct TensorArena {
+    /// One tensor per plan slot; capacity grows to the slot's peak size.
+    slots: Vec<Tensor>,
+    /// Hook-visible input staging buffers, shared across nodes by
+    /// position; capacity grows to the widest node's inputs.
+    staging: Vec<Tensor>,
+    /// Owned parameter substitutions returned by [`ExecHook::weight`]
+    /// for the node currently executing.
+    owned: [Option<Tensor>; MAX_OP_PARAMS],
+    /// Non-tensor scratch (embedding id decode buffer).
+    scratch: EvalScratch,
+}
+
+impl TensorArena {
+    /// Total bytes of tensor storage currently held (slot + staging
+    /// capacities). Stable across steady-state runs; reported through the
+    /// `arena.bytes_reused` gauge.
+    pub fn capacity_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .chain(self.staging.iter())
+            .map(Tensor::capacity_bytes)
+            .sum()
+    }
+
+    /// Size the arena for `plan`: materialize every slot at its peak
+    /// element count so the first pass allocates each buffer exactly once.
+    fn prepare(&mut self, plan: &ExecPlan) {
+        if self.slots.len() < plan.slot_elems.len() {
+            self.slots
+                .resize_with(plan.slot_elems.len(), Tensor::default);
+        }
+        if self.staging.len() < plan.max_arity {
+            self.staging.resize_with(plan.max_arity, Tensor::default);
+        }
+        for (slot, &elems) in plan.slot_elems.iter().enumerate() {
+            if self.slots[slot].len() < elems {
+                self.slots[slot].reuse_as(&[elems]);
+            }
+        }
+    }
+}
+
+/// A small free-list pool of [`TensorArena`]s, so repeated
+/// [`ExecPlan::run`] calls (and concurrent [`ExecPlan::run_batch`]
+/// workers) reuse warmed buffers instead of re-allocating.
+#[derive(Debug, Default)]
+struct ArenaPool {
+    arenas: Mutex<Vec<TensorArena>>,
+}
+
+impl ArenaPool {
+    fn acquire(&self) -> TensorArena {
+        self.arenas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn release(&self, arena: TensorArena) {
+        self.arenas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(arena);
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        self.arenas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(TensorArena::capacity_bytes)
+            .sum()
+    }
+}
+
+/// An ahead-of-time execution plan: validated schedule + arena layout for
+/// one graph structure at one set of input shapes.
+///
+/// Build with [`Graph::plan`]; execute with [`ExecPlan::run`] /
+/// [`ExecPlan::run_batch`]. Cache per input shape with [`PlanSet`].
+#[derive(Debug)]
+pub struct ExecPlan {
+    /// Input shapes the plan was built for (run-time inputs must match).
+    in_shapes: Vec<Shape>,
+    /// Structural fingerprint: node count of the planned graph.
+    n_nodes: usize,
+    /// Structural fingerprint: value count of the planned graph.
+    n_values: usize,
+    /// Parameter shapes at build time, sorted by value id. Re-checked per
+    /// run so a plan cannot be run against an incompatibly re-bound graph.
+    param_shapes: Vec<(ValueId, Shape)>,
+    /// The schedule, in execution order.
+    steps: Vec<Step>,
+    /// Source of each graph output.
+    outputs: Vec<Src>,
+    /// Peak element count per arena slot.
+    slot_elems: Vec<usize>,
+    /// Widest node input arity (sizes the staging buffers).
+    max_arity: usize,
+    /// Warm arenas, reused across runs and shared by batch workers.
+    pool: ArenaPool,
+}
+
+impl Graph {
+    /// Build an [`ExecPlan`] for this graph at the given input shapes.
+    ///
+    /// Runs full validation ([`Graph::validate`] semantics), resolves
+    /// every intermediate shape, and assigns node outputs to arena slots
+    /// by a linear-scan lifetime analysis: a slot is recycled once the
+    /// last reader of its value has executed (graph outputs are pinned for
+    /// the whole run). Peak arena footprint is therefore bounded by the
+    /// graph's maximum live set, not its total intermediate count.
+    pub fn plan(&self, inputs: &[Shape]) -> Result<ExecPlan, PtqError> {
+        let mut sp = ptq_trace::span(ptq_trace::Level::Info, "plan.build");
+        let shapes = self.value_shapes(inputs)?;
+
+        // Last node index reading each value; outputs stay live forever.
+        let mut last_use: Vec<usize> = vec![0; self.n_values];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &v in &node.inputs {
+                last_use[v] = last_use[v].max(i);
+            }
+            last_use[node.output] = last_use[node.output].max(i);
+        }
+        for &o in &self.outputs {
+            last_use[o] = usize::MAX;
+        }
+
+        let mut src: Vec<Option<Src>> = vec![None; self.n_values];
+        for (k, &id) in self.inputs.iter().enumerate() {
+            src[id] = Some(Src::Input(k));
+        }
+
+        let mut steps = Vec::with_capacity(self.nodes.len());
+        let mut slot_elems: Vec<usize> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        let mut active: Vec<(usize, usize)> = Vec::new(); // (last_use, slot)
+        let mut max_arity = 0usize;
+        for (i, node) in self.nodes.iter().enumerate() {
+            // Expire slots whose value has no reader at or after this
+            // node. `< i` (not `<= i`) keeps every input of the current
+            // node out of the free list, so an output slot can never
+            // alias a live input.
+            active.retain(|&(lu, slot)| {
+                if lu < i {
+                    free.push(slot);
+                    false
+                } else {
+                    true
+                }
+            });
+
+            let mut srcs = Vec::with_capacity(node.inputs.len());
+            for &v in &node.inputs {
+                // Values that are neither runtime inputs nor node outputs
+                // (i.e. parameters used as activations) fail here with
+                // the same error the interpreter reports at run time.
+                srcs.push(src[v].ok_or_else(|| PtqError::UseBeforeDef {
+                    value: v,
+                    node: node.name.clone(),
+                })?);
+            }
+            max_arity = max_arity.max(srcs.len());
+
+            let elems: usize = shapes[node.output]
+                .as_ref()
+                .map(|s| s.iter().product())
+                .unwrap_or(0);
+            let slot = free.pop().unwrap_or_else(|| {
+                slot_elems.push(0);
+                slot_elems.len() - 1
+            });
+            slot_elems[slot] = slot_elems[slot].max(elems);
+            active.push((last_use[node.output], slot));
+            src[node.output] = Some(Src::Slot(slot));
+            steps.push(Step {
+                node: i,
+                srcs,
+                out_slot: slot,
+            });
+        }
+
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|&o| src[o].ok_or(PtqError::UnproducedOutput { value: o }))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut param_shapes: Vec<(ValueId, Shape)> = self
+            .params
+            .iter()
+            .map(|(&id, t)| (id, t.shape().to_vec()))
+            .collect();
+        param_shapes.sort();
+
+        if sp.active() {
+            sp.record_int("nodes", self.nodes.len() as i64);
+            sp.record_int("slots", slot_elems.len() as i64);
+            sp.record_int("peak_elems", slot_elems.iter().sum::<usize>() as i64);
+            sp.record_str("in_shapes", &format!("{inputs:?}"));
+        }
+        drop(sp);
+
+        Ok(ExecPlan {
+            in_shapes: inputs.to_vec(),
+            n_nodes: self.nodes.len(),
+            n_values: self.n_values,
+            param_shapes,
+            steps,
+            outputs,
+            slot_elems,
+            max_arity,
+            pool: ArenaPool::default(),
+        })
+    }
+}
+
+impl ExecPlan {
+    /// Number of arena slots the plan's intermediates share.
+    pub fn n_slots(&self) -> usize {
+        self.slot_elems.len()
+    }
+
+    /// Peak arena footprint in f32 elements (sum of slot peaks) — by
+    /// construction no larger, and for any graph with dead-after-use
+    /// intermediates strictly smaller, than one allocation per node.
+    pub fn peak_elems(&self) -> usize {
+        self.slot_elems.iter().sum()
+    }
+
+    /// Input shapes the plan was built for.
+    pub fn input_shapes(&self) -> &[Shape] {
+        &self.in_shapes
+    }
+
+    /// Execute the plan against `graph` (which must match the structure
+    /// and parameter shapes the plan was built from) with an interception
+    /// hook, reusing a pooled arena. Bit-identical to
+    /// [`Graph::run`] on the same graph and inputs.
+    pub fn run(
+        &self,
+        graph: &Graph,
+        inputs: &[Tensor],
+        hook: &mut dyn ExecHook,
+    ) -> Result<Vec<Tensor>, PtqError> {
+        let mut arena = self.pool.acquire();
+        let cap_before = arena.capacity_bytes();
+        let result = self.run_with_arena(graph, inputs, hook, &mut arena);
+        if ptq_trace::enabled(ptq_trace::Level::Debug) {
+            let cap_after = arena.capacity_bytes();
+            ptq_trace::gauge(
+                ptq_trace::Level::Debug,
+                "arena.bytes_reused",
+                cap_before as f64,
+                &[],
+            );
+            if cap_after > cap_before {
+                ptq_trace::counter(
+                    ptq_trace::Level::Debug,
+                    "arena.bytes_alloc",
+                    (cap_after - cap_before) as u64,
+                    &[],
+                );
+            }
+        }
+        self.pool.release(arena);
+        result
+    }
+
+    /// Execute the plan over many independent input sets in parallel, one
+    /// pooled arena and one fresh hook (from `make_hook`) per batch.
+    /// Returns each batch's outputs together with its finished hook so
+    /// observer state can be merged by the caller. Batches are evaluated
+    /// in input order in the result, and each batch is bit-identical to a
+    /// sequential [`ExecPlan::run`] with the same hook.
+    pub fn run_batch<H, F>(
+        &self,
+        graph: &Graph,
+        batches: &[Vec<Tensor>],
+        make_hook: F,
+    ) -> Result<Vec<(Vec<Tensor>, H)>, PtqError>
+    where
+        H: ExecHook + Send,
+        F: Fn() -> H + Sync,
+    {
+        let results: Vec<Result<(Vec<Tensor>, H), PtqError>> = batches
+            .par_iter()
+            .map(|inputs| {
+                let mut hook = make_hook();
+                let mut arena = self.pool.acquire();
+                let r = self.run_with_arena(graph, inputs, &mut hook, &mut arena);
+                self.pool.release(arena);
+                r.map(|outs| (outs, hook))
+            })
+            .collect();
+        if ptq_trace::enabled(ptq_trace::Level::Debug) {
+            ptq_trace::gauge(
+                ptq_trace::Level::Debug,
+                "arena.bytes_reused",
+                self.pool.capacity_bytes() as f64,
+                &[],
+            );
+        }
+        results.into_iter().collect()
+    }
+
+    /// Cheap per-run compatibility checks: input shapes, structural
+    /// fingerprint, and parameter shapes must match what the plan was
+    /// built against.
+    fn check_compat(&self, graph: &Graph, inputs: &[Tensor]) -> Result<(), PtqError> {
+        if inputs.len() != self.in_shapes.len() {
+            return Err(PtqError::InputArity {
+                expected: self.in_shapes.len(),
+                got: inputs.len(),
+            });
+        }
+        for (t, s) in inputs.iter().zip(&self.in_shapes) {
+            if t.shape() != &s[..] {
+                return Err(PtqError::InvalidTarget {
+                    detail: format!(
+                        "plan was built for input shapes {:?}, got {:?}",
+                        self.in_shapes,
+                        inputs
+                            .iter()
+                            .map(|t| t.shape().to_vec())
+                            .collect::<Vec<_>>()
+                    ),
+                });
+            }
+        }
+        if graph.nodes.len() != self.n_nodes || graph.n_values != self.n_values {
+            return Err(PtqError::InvalidTarget {
+                detail: format!(
+                    "plan was built for a graph with {} nodes / {} values, got {} / {}",
+                    self.n_nodes,
+                    self.n_values,
+                    graph.nodes.len(),
+                    graph.n_values
+                ),
+            });
+        }
+        for (id, shape) in &self.param_shapes {
+            let t = graph.params.get(id).ok_or(PtqError::InvalidTarget {
+                detail: format!("parameter {id} was unbound after planning"),
+            })?;
+            if t.shape() != &shape[..] {
+                return Err(PtqError::InvalidTarget {
+                    detail: format!(
+                        "parameter {id} changed shape after planning: {:?} -> {:?}",
+                        shape,
+                        t.shape()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn run_with_arena(
+        &self,
+        graph: &Graph,
+        inputs: &[Tensor],
+        hook: &mut dyn ExecHook,
+        arena: &mut TensorArena,
+    ) -> Result<Vec<Tensor>, PtqError> {
+        self.check_compat(graph, inputs)?;
+        arena.prepare(self);
+        let TensorArena {
+            slots,
+            staging,
+            owned,
+            scratch,
+        } = arena;
+
+        for step in &self.steps {
+            let node = &graph.nodes[step.node];
+            let arity = step.srcs.len();
+            for (j, s) in step.srcs.iter().enumerate() {
+                match s {
+                    Src::Input(k) => staging[j].copy_from(&inputs[*k]),
+                    Src::Slot(s) => staging[j].copy_from(&slots[*s]),
+                }
+            }
+
+            let mut sp = ptq_trace::span(ptq_trace::Level::Debug, "op");
+            hook.before_node(node, &mut staging[..arity]);
+
+            // Resolve parameters. Priority per parameter: an owned
+            // substitution from `weight()` (legacy protocol), a borrowed
+            // substitution from `weight_ref()` (zero-copy protocol), then
+            // the graph's bound tensor. `weight()` is only consulted when
+            // `weight_ref()` declines, so hooks implementing the borrowed
+            // protocol never clone.
+            let pids = node.op.param_values();
+            if pids.len() > MAX_OP_PARAMS {
+                return Err(PtqError::Internal(format!(
+                    "node {} has {} parameters (max {MAX_OP_PARAMS})",
+                    node.name,
+                    pids.len()
+                )));
+            }
+            let mut ws: [Option<&Tensor>; MAX_OP_PARAMS] = [None; MAX_OP_PARAMS];
+            for o in owned.iter_mut() {
+                *o = None;
+            }
+            for (i, id) in pids.iter().enumerate() {
+                let w = graph.params.get(id).ok_or_else(|| PtqError::UnboundParam {
+                    value: *id,
+                    node: node.name.clone(),
+                })?;
+                ws[i] = Some(w);
+                if (*hook).weight_ref(node, *id, w).is_none() {
+                    owned[i] = hook.weight(node, *id, w);
+                }
+            }
+            let frozen: &dyn ExecHook = &*hook;
+            let mut pr = ParamsRef::new();
+            for (i, id) in pids.iter().enumerate() {
+                let w = match ws[i] {
+                    Some(w) => w,
+                    None => {
+                        return Err(PtqError::Internal(format!(
+                            "unresolved parameter {i} for node {}",
+                            node.name
+                        )))
+                    }
+                };
+                let t = if let Some(o) = owned[i].as_ref() {
+                    o
+                } else if let Some(r) = frozen.weight_ref(node, *id, w) {
+                    r
+                } else {
+                    w
+                };
+                pr.set(i, t);
+            }
+
+            let out = &mut slots[step.out_slot];
+            crate::exec::eval_node_into(node, &staging[..arity], &pr, scratch, out)?;
+            hook.after_node(node, out);
+            if sp.active() {
+                sp.record_str("node", &node.name);
+                sp.record_str("kind", &node.op.class().to_string());
+                sp.record_str("out_shape", &format!("{:?}", out.shape()));
+                sp.record_int("elems", out.len() as i64);
+            }
+            drop(sp);
+        }
+
+        Ok(self
+            .outputs
+            .iter()
+            .map(|s| match s {
+                Src::Input(k) => inputs[*k].clone(),
+                Src::Slot(s) => slots[*s].clone(),
+            })
+            .collect())
+    }
+}
+
+/// A lazily-built, shape-keyed cache of [`ExecPlan`]s for one graph
+/// structure.
+///
+/// Workloads see a handful of distinct input shapes (calibration batch,
+/// evaluation batch, single-sample probes); `PlanSet` builds one plan per
+/// shape on first use and reuses it afterwards. Thread-safe; `Clone`
+/// yields a fresh empty set (plans are cheap to rebuild and must not leak
+/// across structurally different graph copies).
+#[derive(Default)]
+pub struct PlanSet {
+    plans: Mutex<HashMap<Vec<Shape>, Arc<ExecPlan>>>,
+}
+
+impl PlanSet {
+    /// An empty plan cache.
+    pub fn new() -> Self {
+        PlanSet::default()
+    }
+
+    /// The plan for `inputs`' shapes, building (and caching) it on first
+    /// use.
+    pub fn plan_for(&self, graph: &Graph, inputs: &[Tensor]) -> Result<Arc<ExecPlan>, PtqError> {
+        let key: Vec<Shape> = inputs.iter().map(|t| t.shape().to_vec()).collect();
+        if let Some(p) = self
+            .plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            return Ok(Arc::clone(p));
+        }
+        // Build outside the lock; on a race the first insert wins so all
+        // callers share one plan (and its arena pool).
+        let built = Arc::new(graph.plan(&key)?);
+        let mut m = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(Arc::clone(m.entry(key).or_insert(built)))
+    }
+
+    /// Planned equivalent of [`Graph::run`]: fetch-or-build the plan for
+    /// these input shapes and execute it.
+    pub fn run(
+        &self,
+        graph: &Graph,
+        inputs: &[Tensor],
+        hook: &mut dyn ExecHook,
+    ) -> Result<Vec<Tensor>, PtqError> {
+        self.plan_for(graph, inputs)?.run(graph, inputs, hook)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True if no plan has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all cached plans (e.g. after a structural graph rewrite).
+    pub fn clear(&self) {
+        self.plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+}
+
+impl Clone for PlanSet {
+    fn clone(&self) -> Self {
+        PlanSet::new()
+    }
+}
+
+impl std::fmt::Debug for PlanSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanSet")
+            .field("plans", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::error::UnwrapOk;
+    use crate::interp::NoopHook;
+    use ptq_tensor::ops::Conv2dParams;
+    use ptq_tensor::TensorRng;
+
+    fn tiny_cnn() -> Graph {
+        let mut rng = TensorRng::seed(42);
+        let mut b = GraphBuilder::new();
+        let x = b.input();
+        let w1 = b.param(rng.kaiming(&[4, 3, 3, 3]));
+        let c1 = b.conv2d(x, w1, None, Conv2dParams::same(3));
+        let r = b.relu(c1);
+        let g = b.global_avg_pool(r);
+        let w2 = b.param(rng.kaiming(&[10, 4]));
+        let out = b.linear(g, w2, None);
+        b.finish(vec![out])
+    }
+
+    #[test]
+    fn plan_matches_interpreter_bitwise() {
+        let g = tiny_cnn();
+        let x = TensorRng::seed(7).normal(&[2, 3, 8, 8], 0.0, 1.0);
+        let plan = g.plan(&[x.shape().to_vec()]).unwrap_ok();
+        let interp = g.infer(std::slice::from_ref(&x)).unwrap_ok();
+        let planned = plan.run(&g, &[x], &mut NoopHook).unwrap_ok();
+        assert_eq!(interp, planned);
+    }
+
+    #[test]
+    fn slots_are_fewer_than_nodes_on_chains() {
+        // A pure chain needs at most 2 slots however deep it is.
+        let mut b = GraphBuilder::new();
+        let x = b.input();
+        let mut v = x;
+        for _ in 0..10 {
+            v = b.relu(v);
+        }
+        let g = b.finish(vec![v]);
+        let plan = g.plan(&[vec![4, 4]]).unwrap_ok();
+        assert!(plan.n_slots() <= 2, "chain used {} slots", plan.n_slots());
+    }
+
+    #[test]
+    fn peak_elems_not_above_naive_sum() {
+        let g = tiny_cnn();
+        let shapes = vec![vec![2usize, 3, 8, 8]];
+        let plan = g.plan(&shapes).unwrap_ok();
+        let naive: usize = {
+            let per_value = g.value_shapes(&shapes).unwrap_ok();
+            g.nodes()
+                .iter()
+                .map(|n| {
+                    per_value[n.output]
+                        .as_ref()
+                        .map(|s| s.iter().product::<usize>())
+                        .unwrap_or(0)
+                })
+                .sum()
+        };
+        assert!(plan.peak_elems() <= naive);
+        assert!(plan.n_slots() < g.nodes().len());
+    }
+
+    #[test]
+    fn arena_capacity_stable_after_warmup() {
+        let g = tiny_cnn();
+        let x = TensorRng::seed(8).normal(&[2, 3, 8, 8], 0.0, 1.0);
+        let plan = g.plan(&[x.shape().to_vec()]).unwrap_ok();
+        let mut arena = TensorArena::default();
+        plan.run_with_arena(&g, std::slice::from_ref(&x), &mut NoopHook, &mut arena)
+            .unwrap_ok();
+        let warmed = arena.capacity_bytes();
+        assert!(warmed > 0);
+        for _ in 0..3 {
+            plan.run_with_arena(&g, std::slice::from_ref(&x), &mut NoopHook, &mut arena)
+                .unwrap_ok();
+            assert_eq!(arena.capacity_bytes(), warmed);
+        }
+    }
+
+    #[test]
+    fn plan_rejects_wrong_input_shape() {
+        let g = tiny_cnn();
+        let plan = g.plan(&[vec![2, 3, 8, 8]]).unwrap_ok();
+        let bad = Tensor::zeros(&[1, 3, 8, 8]);
+        assert!(matches!(
+            plan.run(&g, &[bad], &mut NoopHook),
+            Err(PtqError::InvalidTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_survives_param_rewrite_same_shape() {
+        let mut g = tiny_cnn();
+        let x = TensorRng::seed(9).normal(&[1, 3, 8, 8], 0.0, 1.0);
+        let plan = g.plan(&[x.shape().to_vec()]).unwrap_ok();
+        let before = plan.run(&g, std::slice::from_ref(&x), &mut NoopHook).unwrap_ok();
+        // Rewrite the conv weight in place (BatchNorm-calibration style).
+        let wid = g.nodes()[0].op.weight_value().expect("conv weight");
+        let zeros = Tensor::zeros(g.param(wid).expect("bound").shape());
+        g.set_param(wid, zeros).unwrap_ok();
+        let after = plan.run(&g, &[x], &mut NoopHook).unwrap_ok();
+        assert_ne!(before, after);
+        assert!(after[0].data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn run_batch_matches_sequential() {
+        let g = tiny_cnn();
+        let mut rng = TensorRng::seed(11);
+        let batches: Vec<Vec<Tensor>> = (0..6)
+            .map(|_| vec![rng.normal(&[2, 3, 8, 8], 0.0, 1.0)])
+            .collect();
+        let plan = g.plan(&[vec![2, 3, 8, 8]]).unwrap_ok();
+        let par = plan.run_batch(&g, &batches, || NoopHook).unwrap_ok();
+        for (inputs, (outs, _)) in batches.iter().zip(&par) {
+            let seq = g.infer(inputs).unwrap_ok();
+            assert_eq!(&seq, outs);
+        }
+    }
+
+    #[test]
+    fn planset_caches_per_shape() {
+        let g = tiny_cnn();
+        let set = PlanSet::new();
+        let a = Tensor::zeros(&[1, 3, 8, 8]);
+        let b = Tensor::zeros(&[2, 3, 8, 8]);
+        set.run(&g, std::slice::from_ref(&a), &mut NoopHook).unwrap_ok();
+        set.run(&g, &[a], &mut NoopHook).unwrap_ok();
+        assert_eq!(set.len(), 1);
+        set.run(&g, &[b], &mut NoopHook).unwrap_ok();
+        assert_eq!(set.len(), 2);
+        set.clear();
+        assert!(set.is_empty());
+    }
+}

@@ -1,5 +1,5 @@
 //! Graph validation and shape inference: the checks that make
-//! [`Graph::try_run`](crate::Graph::try_run) panic-free.
+//! [`Graph::run`](crate::Graph::run) panic-free.
 //!
 //! The contract is *validate-then-run*: [`Graph::validate`] walks the node
 //! list once, proving input arity, parameter binding, def-before-use, and
@@ -69,6 +69,19 @@ impl Graph {
     /// Returns the inferred output shapes on success; the first violated
     /// arity/binding/shape rule otherwise.
     pub fn validate(&self, inputs: &[Shape]) -> Result<Vec<Shape>, PtqError> {
+        let shapes = self.value_shapes(inputs)?;
+        Ok(self
+            .outputs
+            .iter()
+            .map(|&o| shapes[o].clone().unwrap_or_default())
+            .collect())
+    }
+
+    /// The full per-value shape table behind [`Graph::validate`]: runs the
+    /// same structural + shape checks and returns the inferred shape of
+    /// *every* value (indexed by `ValueId`). The planner uses this to size
+    /// arena slots ahead of time.
+    pub(crate) fn value_shapes(&self, inputs: &[Shape]) -> Result<Vec<Option<Shape>>, PtqError> {
         if inputs.len() != self.inputs.len() {
             return Err(PtqError::InputArity {
                 expected: self.inputs.len(),
@@ -87,11 +100,7 @@ impl Graph {
             let out = self.infer_node_shape(node, &shapes)?;
             shapes[node.output] = Some(out);
         }
-        Ok(self
-            .outputs
-            .iter()
-            .map(|&o| shapes[o].clone().unwrap_or_default())
-            .collect())
+        Ok(shapes)
     }
 
     /// Shape-infer one node. `shapes` must already hold the shapes of the

@@ -1,5 +1,5 @@
 //! Exhaustive error-path suite for the validation pass: every class of
-//! malformed graph must surface as a typed `PtqError` from `try_run`,
+//! malformed graph must surface as a typed `PtqError` from `run`,
 //! never as a panic.
 
 use ptq_nn::{Graph, GraphBuilder, Node, Op, PtqError};
@@ -16,10 +16,10 @@ fn linear_graph() -> Graph {
     b.finish(vec![y])
 }
 
-/// Assert `try_run` (not just `validate`) fails — and, being a `Result`,
+/// Assert `run` (not just `validate`) fails — and, being a `Result`,
 /// by construction does not panic.
 fn expect_err(g: &Graph, inputs: &[Tensor]) -> PtqError {
-    g.try_infer(inputs).expect_err("malformed case must fail")
+    g.infer(inputs).expect_err("malformed case must fail")
 }
 
 #[test]
@@ -109,13 +109,13 @@ fn empty_graph() {
 }
 
 #[test]
-fn builder_try_finish_catches_unbound_param() {
+fn builder_build_catches_unbound_param() {
     let mut b = GraphBuilder::new();
     let x = b.input();
     // `999` is a dangling weight id the builder cannot know about.
     let y = b.linear(x, 999, None);
     // (builder only checks *activation* inputs, so construction succeeds)
-    let r = b.try_finish(vec![y]);
+    let r = b.build(vec![y]);
     assert!(
         matches!(r, Err(PtqError::UnboundParam { value: 999, .. })),
         "{r:?}"
@@ -123,14 +123,14 @@ fn builder_try_finish_catches_unbound_param() {
 }
 
 #[test]
-fn builder_try_finish_ok_on_healthy_graph() {
+fn builder_build_ok_on_healthy_graph() {
     let mut b = GraphBuilder::new();
     let x = b.input();
     let w = b.param(Tensor::ones(&[2, 2]));
     let y = b.linear(x, w, None);
-    let g = b.try_finish(vec![y]).unwrap();
+    let g = b.build(vec![y]).unwrap();
     assert_eq!(
-        g.try_infer(&[Tensor::ones(&[1, 2])]).unwrap()[0].shape(),
+        g.infer(&[Tensor::ones(&[1, 2])]).unwrap()[0].shape(),
         &[1, 2]
     );
 }
@@ -311,12 +311,12 @@ fn embedding_rejects_bad_ids() {
     let g = embedding_graph();
     for bad in [-1.0f32, 0.5, 3.0, f32::NAN, f32::INFINITY] {
         let e = g
-            .try_infer(&[Tensor::from_slice(&[bad])])
+            .infer(&[Tensor::from_slice(&[bad])])
             .expect_err("bad id must fail");
         assert!(matches!(e, PtqError::InvalidInput { .. }), "id {bad}: {e}");
     }
     // Valid boundary id still works.
-    let ok = g.try_infer(&[Tensor::from_slice(&[2.0])]).unwrap();
+    let ok = g.infer(&[Tensor::from_slice(&[2.0])]).unwrap();
     assert_eq!(ok[0].data(), &[2.0, 2.0]);
 }
 
@@ -350,7 +350,7 @@ fn causal_mask_blocks_all_mass_even_at_huge_scale() {
         vec![1e9, 2e9, 3e9, 4e9, 5e9, 6e9, 7e9, 8e9, 9e9],
         &[1, 3, 3],
     );
-    let p = &g.try_infer(&[scores]).unwrap()[0];
+    let p = &g.infer(&[scores]).unwrap()[0];
     // Strictly-upper-triangular entries carry exactly zero probability.
     assert_eq!(p.at(&[0, 0, 1]), 0.0);
     assert_eq!(p.at(&[0, 0, 2]), 0.0);

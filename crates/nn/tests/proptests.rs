@@ -1,7 +1,7 @@
 //! Property-based tests for the graph IR and interpreter.
 
 use proptest::prelude::*;
-use ptq_nn::{ExecHook, GraphBuilder, Node, NoopHook};
+use ptq_nn::{ExecHook, GraphBuilder, Node, NoopHook, UnwrapOk};
 use ptq_tensor::{Tensor, TensorRng};
 
 /// Build a random MLP graph from a shape spec: layer widths + activation
@@ -38,8 +38,8 @@ proptest! {
     ) {
         let g = mlp(&widths, &acts, seed);
         let x = TensorRng::seed(seed ^ 1).normal(&[rows, widths[0]], 0.0, 1.0);
-        let y1 = g.infer(std::slice::from_ref(&x));
-        let y2 = g.infer(&[x]);
+        let y1 = g.infer(std::slice::from_ref(&x)).unwrap_ok();
+        let y2 = g.infer(&[x]).unwrap_ok();
         prop_assert_eq!(&y1, &y2);
         prop_assert_eq!(y1[0].shape(), &[rows, *widths.last().expect("nonempty")]);
         prop_assert!(y1[0].data().iter().all(|v| v.is_finite()));
@@ -60,7 +60,7 @@ proptest! {
         let g = mlp(&widths, &[0], seed);
         let mut h = Order(Vec::new());
         let x = TensorRng::seed(seed).normal(&[1, widths[0]], 0.0, 1.0);
-        g.run(&[x], &mut h);
+        g.run(&[x], &mut h).unwrap_ok();
         prop_assert_eq!(h.0.len(), g.nodes().len());
         for (i, &id) in h.0.iter().enumerate() {
             prop_assert_eq!(id, i);
@@ -82,8 +82,8 @@ proptest! {
         }
         let g = mlp(&widths, &[3], seed);
         let x = TensorRng::seed(seed ^ 2).normal(&[2, widths[0]], 0.0, 1.0);
-        let base = g.run(std::slice::from_ref(&x), &mut NoopHook);
-        let subst = g.run(&[x], &mut Identity);
+        let base = g.run(std::slice::from_ref(&x), &mut NoopHook).unwrap_ok();
+        let subst = g.run(&[x], &mut Identity).unwrap_ok();
         prop_assert_eq!(base, subst);
     }
 
@@ -108,8 +108,8 @@ proptest! {
         let y = b.linear(x, w, None);
         let g = b.finish(vec![y]);
         let input = TensorRng::seed(seed ^ 3).normal(&[1, w_in], 0.0, 1.0);
-        let base = g.run(std::slice::from_ref(&input), &mut NoopHook);
-        let scaled = g.run(&[input], &mut Scale(k));
+        let base = g.run(std::slice::from_ref(&input), &mut NoopHook).unwrap_ok();
+        let scaled = g.run(&[input], &mut Scale(k)).unwrap_ok();
         for (a, b) in base[0].data().iter().zip(scaled[0].data()) {
             prop_assert!((a * k - b).abs() <= 1e-4 * (a.abs() * k + 1.0));
         }
@@ -124,5 +124,59 @@ proptest! {
         let g = mlp(&widths, &[3], seed);
         let expected: usize = widths.windows(2).map(|w| w[0] * w[1]).sum();
         prop_assert_eq!(g.param_count(), expected);
+    }
+
+    /// Planned execution is bit-identical to the interpreter for
+    /// arbitrary MLPs under a no-op hook.
+    #[test]
+    fn plan_matches_interpreter(
+        widths in proptest::collection::vec(1usize..12, 2..6),
+        acts in proptest::collection::vec(0u8..4, 1..4),
+        seed in 0u64..1000,
+        rows in 1usize..4,
+    ) {
+        let g = mlp(&widths, &acts, seed);
+        let x = TensorRng::seed(seed ^ 5).normal(&[rows, widths[0]], 0.0, 1.0);
+        let plan = g.plan(&[x.shape().to_vec()]).unwrap_ok();
+        let interp = g.infer(std::slice::from_ref(&x)).unwrap_ok();
+        // Run the plan twice so the second pass exercises warmed (reused)
+        // arena buffers, not just fresh ones.
+        let p1 = plan.run(&g, std::slice::from_ref(&x), &mut NoopHook).unwrap_ok();
+        let p2 = plan.run(&g, &[x], &mut NoopHook).unwrap_ok();
+        prop_assert_eq!(&interp, &p1);
+        prop_assert_eq!(&interp, &p2);
+    }
+
+    /// Planned execution drives hooks identically to the interpreter:
+    /// same node order, same (mutable) input views, same weight fetches.
+    #[test]
+    fn plan_drives_hooks_identically(
+        widths in proptest::collection::vec(1usize..10, 2..5),
+        seed in 0u64..1000,
+        k in 0.25f32..4.0,
+    ) {
+        /// Scales weights via the owned protocol, perturbs inputs in
+        /// `before_node`, and logs every callback.
+        struct Mangler { k: f32, log: Vec<(usize, usize)> }
+        impl ExecHook for Mangler {
+            fn before_node(&mut self, node: &Node, inputs: &mut [Tensor]) {
+                self.log.push((node.id, inputs.len()));
+                for t in inputs {
+                    t.map_inplace(|v| v + 0.125);
+                }
+            }
+            fn weight(&mut self, _n: &Node, _v: usize, w: &Tensor) -> Option<Tensor> {
+                Some(w.scale(self.k))
+            }
+        }
+        let g = mlp(&widths, &[0, 1], seed);
+        let x = TensorRng::seed(seed ^ 7).normal(&[2, widths[0]], 0.0, 1.0);
+        let mut hi = Mangler { k, log: Vec::new() };
+        let yi = g.run(std::slice::from_ref(&x), &mut hi).unwrap_ok();
+        let plan = g.plan(&[x.shape().to_vec()]).unwrap_ok();
+        let mut hp = Mangler { k, log: Vec::new() };
+        let yp = plan.run(&g, &[x], &mut hp).unwrap_ok();
+        prop_assert_eq!(yi, yp);
+        prop_assert_eq!(hi.log, hp.log);
     }
 }

@@ -11,12 +11,25 @@ pub fn relu(x: &Tensor) -> Tensor {
     x.map(|v| v.max(0.0))
 }
 
+/// Out-param [`relu`] (bit-identical, reuses `out`'s allocation).
+pub fn relu_into(x: &Tensor, out: &mut Tensor) {
+    x.map_into(|v| v.max(0.0), out)
+}
+
 /// Gaussian error linear unit (tanh approximation, as used by BERT/GPT).
 pub fn gelu(x: &Tensor) -> Tensor {
-    x.map(|v| {
-        let c = (2.0 / std::f32::consts::PI).sqrt();
-        0.5 * v * (1.0 + (c * (v + 0.044715 * v * v * v)).tanh())
-    })
+    x.map(gelu_scalar)
+}
+
+/// Out-param [`gelu`] (bit-identical, reuses `out`'s allocation).
+pub fn gelu_into(x: &Tensor, out: &mut Tensor) {
+    x.map_into(gelu_scalar, out)
+}
+
+#[inline]
+fn gelu_scalar(v: f32) -> f32 {
+    let c = (2.0 / std::f32::consts::PI).sqrt();
+    0.5 * v * (1.0 + (c * (v + 0.044715 * v * v * v)).tanh())
 }
 
 /// Logistic sigmoid.
@@ -24,14 +37,29 @@ pub fn sigmoid(x: &Tensor) -> Tensor {
     x.map(|v| 1.0 / (1.0 + (-v).exp()))
 }
 
+/// Out-param [`sigmoid`] (bit-identical, reuses `out`'s allocation).
+pub fn sigmoid_into(x: &Tensor, out: &mut Tensor) {
+    x.map_into(|v| 1.0 / (1.0 + (-v).exp()), out)
+}
+
 /// SiLU / swish (`x * sigmoid(x)`), the EfficientNet activation.
 pub fn silu(x: &Tensor) -> Tensor {
     x.map(|v| v / (1.0 + (-v).exp()))
 }
 
+/// Out-param [`silu`] (bit-identical, reuses `out`'s allocation).
+pub fn silu_into(x: &Tensor, out: &mut Tensor) {
+    x.map_into(|v| v / (1.0 + (-v).exp()), out)
+}
+
 /// Hyperbolic tangent.
 pub fn tanh(x: &Tensor) -> Tensor {
     x.map(f32::tanh)
+}
+
+/// Out-param [`tanh`] (bit-identical, reuses `out`'s allocation).
+pub fn tanh_into(x: &Tensor, out: &mut Tensor) {
+    x.map_into(f32::tanh, out)
 }
 
 /// Numerically-stable softmax over the last dimension.
@@ -41,9 +69,17 @@ pub fn tanh(x: &Tensor) -> Tensor {
 /// (`exp(-inf - -inf)` is undefined), so a causal mask can use a true
 /// `-inf` without poisoning downstream ops.
 pub fn softmax_lastdim(x: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    softmax_lastdim_into(x, &mut out);
+    out
+}
+
+/// Out-param variant of [`softmax_lastdim`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`softmax_lastdim`] (which delegates here).
+pub fn softmax_lastdim_into(x: &Tensor, out: &mut Tensor) {
     let d = *x.shape().last().expect("softmax needs >=1-D input");
     let rows = x.len() / d;
-    let mut out = x.clone();
+    out.copy_from(x);
     let data = out.data_mut();
     for r in 0..rows {
         let row = &mut data[r * d..(r + 1) * d];
@@ -63,7 +99,6 @@ pub fn softmax_lastdim(x: &Tensor) -> Tensor {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! 2-D convolution kernels (NCHW layout).
 
+use super::for_each_chunk;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
 /// Stride/padding configuration for [`conv2d`] and [`depthwise_conv2d`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +44,25 @@ impl Conv2dParams {
 /// Panics on rank or channel mismatches, or if the kernel does not fit the
 /// padded input.
 pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: Conv2dParams) -> Tensor {
+    let mut out = Tensor::default();
+    conv2d_into(x, weight, bias, p, &mut out);
+    out
+}
+
+/// Out-param variant of [`conv2d`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`conv2d`] (which delegates here).
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches, or if the kernel does not fit the
+/// padded input.
+pub fn conv2d_into(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+    out: &mut Tensor,
+) {
     assert_eq!(
         x.ndim(),
         4,
@@ -63,46 +82,44 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: Conv2dParam
 
     let xd = x.data();
     let wd = weight.data();
-    let mut out = vec![0.0f32; n * cout * oh * ow];
+    out.reuse_as(&[n, cout, oh, ow]);
     let pad = p.padding as isize;
     let stride = p.stride;
 
-    out.par_chunks_mut(oh * ow)
-        .enumerate()
-        .for_each(|(plane, oplane)| {
-            let ni = plane / cout;
-            let co = plane % cout;
-            let b0 = bias.map(|b| b.data()[co]).unwrap_or(0.0);
-            let wbase = co * cin * kh * kw;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = b0;
-                    let iy0 = (oy * stride) as isize - pad;
-                    let ix0 = (ox * stride) as isize - pad;
-                    for ci in 0..cin {
-                        let xbase = (ni * cin + ci) * h * w;
-                        let wcbase = wbase + ci * kh * kw;
-                        for ky in 0..kh {
-                            let iy = iy0 + ky as isize;
-                            if iy < 0 || iy >= h as isize {
+    let macs = n * cout * oh * ow * cin * kh * kw;
+    for_each_chunk(out.data_mut(), oh * ow, macs, |plane, oplane| {
+        let ni = plane / cout;
+        let co = plane % cout;
+        let b0 = bias.map(|b| b.data()[co]).unwrap_or(0.0);
+        let wbase = co * cin * kh * kw;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b0;
+                let iy0 = (oy * stride) as isize - pad;
+                let ix0 = (ox * stride) as isize - pad;
+                for ci in 0..cin {
+                    let xbase = (ni * cin + ci) * h * w;
+                    let wcbase = wbase + ci * kh * kw;
+                    for ky in 0..kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let xrow = xbase + iy as usize * w;
+                        let wrow = wcbase + ky * kw;
+                        for kx in 0..kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            let xrow = xbase + iy as usize * w;
-                            let wrow = wcbase + ky * kw;
-                            for kx in 0..kw {
-                                let ix = ix0 + kx as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                acc += xd[xrow + ix as usize] * wd[wrow + kx];
-                            }
+                            acc += xd[xrow + ix as usize] * wd[wrow + kx];
                         }
                     }
-                    oplane[oy * ow + ox] = acc;
                 }
+                oplane[oy * ow + ox] = acc;
             }
-        });
-    Tensor::from_vec(out, &[n, cout, oh, ow])
+        }
+    });
 }
 
 /// Depthwise convolution: input `[N, C, H, W]`, weight `[C, 1, Kh, Kw]`
@@ -118,6 +135,24 @@ pub fn depthwise_conv2d(
     bias: Option<&Tensor>,
     p: Conv2dParams,
 ) -> Tensor {
+    let mut out = Tensor::default();
+    depthwise_conv2d_into(x, weight, bias, p, &mut out);
+    out
+}
+
+/// Out-param variant of [`depthwise_conv2d`]: writes into `out`, reusing
+/// its allocation. Bit-identical to [`depthwise_conv2d`].
+///
+/// # Panics
+///
+/// Panics on rank/channel mismatches.
+pub fn depthwise_conv2d_into(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+    out: &mut Tensor,
+) {
     assert_eq!(x.ndim(), 4, "depthwise input must be NCHW");
     assert_eq!(weight.ndim(), 4, "depthwise weight must be [C,1,Kh,Kw]");
     assert_eq!(weight.dim(1), 1, "depthwise weight dim 1 must be 1");
@@ -130,41 +165,38 @@ pub fn depthwise_conv2d(
 
     let xd = x.data();
     let wd = weight.data();
-    let mut out = vec![0.0f32; n * c * oh * ow];
+    out.reuse_as(&[n, c, oh, ow]);
     let pad = p.padding as isize;
 
-    out.par_chunks_mut(oh * ow)
-        .enumerate()
-        .for_each(|(plane, oplane)| {
-            let ni = plane / c;
-            let ci = plane % c;
-            let b0 = bias.map(|b| b.data()[ci]).unwrap_or(0.0);
-            let xbase = (ni * c + ci) * h * w;
-            let wbase = ci * kh * kw;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = b0;
-                    let iy0 = (oy * p.stride) as isize - pad;
-                    let ix0 = (ox * p.stride) as isize - pad;
-                    for ky in 0..kh {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
+    let macs = n * c * oh * ow * kh * kw;
+    for_each_chunk(out.data_mut(), oh * ow, macs, |plane, oplane| {
+        let ni = plane / c;
+        let ci = plane % c;
+        let b0 = bias.map(|b| b.data()[ci]).unwrap_or(0.0);
+        let xbase = (ni * c + ci) * h * w;
+        let wbase = ci * kh * kw;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b0;
+                let iy0 = (oy * p.stride) as isize - pad;
+                let ix0 = (ox * p.stride) as isize - pad;
+                for ky in 0..kh {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = ix0 + kx as isize;
+                        if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        for kx in 0..kw {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            acc += xd[xbase + iy as usize * w + ix as usize]
-                                * wd[wbase + ky * kw + kx];
-                        }
+                        acc += xd[xbase + iy as usize * w + ix as usize] * wd[wbase + ky * kw + kx];
                     }
-                    oplane[oy * ow + ox] = acc;
                 }
+                oplane[oy * ow + ox] = acc;
             }
-        });
-    Tensor::from_vec(out, &[n, c, oh, ow])
+        }
+    });
 }
 
 #[cfg(test)]

@@ -10,14 +10,24 @@ use crate::tensor::Tensor;
 ///
 /// Panics if the table is not 2-D or any id is out of range.
 pub fn embedding(table: &Tensor, ids: &[usize]) -> Tensor {
+    let mut out = Tensor::default();
+    embedding_into(table, ids, &mut out);
+    out
+}
+
+/// Out-param [`embedding`] (bit-identical, reuses `out`'s allocation).
+///
+/// # Panics
+///
+/// Panics if the table is not 2-D or any id is out of range.
+pub fn embedding_into(table: &Tensor, ids: &[usize], out: &mut Tensor) {
     assert_eq!(table.ndim(), 2, "embedding table must be 2-D");
     let (vocab, dim) = (table.dim(0), table.dim(1));
-    let mut out = Tensor::zeros(&[ids.len(), dim]);
+    out.reuse_as(&[ids.len(), dim]);
     for (i, &id) in ids.iter().enumerate() {
         assert!(id < vocab, "token id {id} out of vocab {vocab}");
         out.data_mut()[i * dim..(i + 1) * dim].copy_from_slice(table.row(id));
     }
-    out
 }
 
 #[cfg(test)]

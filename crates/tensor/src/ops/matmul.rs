@@ -6,7 +6,8 @@
 //! paper's own FP32-emulation setup.
 
 use crate::tensor::Tensor;
-use rayon::prelude::*;
+
+use super::for_each_chunk;
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 ///
@@ -14,15 +15,28 @@ use rayon::prelude::*;
 ///
 /// Panics if the operands are not 2-D or the inner dimensions disagree.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    matmul_into(a, b, &mut out);
+    out
+}
+
+/// Out-param variant of [`matmul`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`matmul`] (which delegates here).
+///
+/// # Panics
+///
+/// Panics if the operands are not 2-D or the inner dimensions disagree.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D, got {:?}", a.shape());
     assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
     let (m, k) = (a.dim(0), a.dim(1));
     let (k2, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
+    out.reuse_as(&[m, n]);
+    out.zero_fill();
     let ad = a.data();
     let bd = b.data();
-    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+    for_each_chunk(out.data_mut(), n, m * k * n, |i, row| {
         let arow = &ad[i * k..(i + 1) * k];
         for (kk, &av) in arow.iter().enumerate() {
             if av == 0.0 {
@@ -34,7 +48,6 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Fully-connected layer: `y[m,n] = x[m,k] · Wᵀ + b`, with weight stored as
@@ -46,6 +59,20 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// Panics on rank or dimension mismatches (including a bias whose length
 /// differs from `out_features`).
 pub fn linear(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
+    let mut out = Tensor::default();
+    linear_into(x, weight, bias, &mut out);
+    out
+}
+
+/// Out-param variant of [`linear`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`linear`] (which delegates here): the bias
+/// is added to the stored matmul result exactly as the broadcast `add` did.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches (including a bias whose length
+/// differs from `out_features`).
+pub fn linear_into(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, out: &mut Tensor) {
     assert_eq!(x.ndim(), 2, "linear input must be 2-D, got {:?}", x.shape());
     assert_eq!(weight.ndim(), 2, "linear weight must be 2-D");
     let (m, k) = (x.dim(0), x.dim(1));
@@ -56,8 +83,9 @@ pub fn linear(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
     }
     let xd = x.data();
     let wd = weight.data();
-    let mut out = vec![0.0f32; m * n];
-    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+    let bd = bias.map(|b| b.data());
+    out.reuse_as(&[m, n]);
+    for_each_chunk(out.data_mut(), n, m * k * n, |i, row| {
         let xrow = &xd[i * k..(i + 1) * k];
         for (j, r) in row.iter_mut().enumerate() {
             let wrow = &wd[j * k..(j + 1) * k];
@@ -66,13 +94,11 @@ pub fn linear(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
                 acc += xv * wv;
             }
             *r = acc;
+            if let Some(b) = bd {
+                *r += b[j];
+            }
         }
     });
-    let mut y = Tensor::from_vec(out, &[m, n]);
-    if let Some(b) = bias {
-        y = y.add(b);
-    }
-    y
 }
 
 /// Batched matrix multiply: `C[b,m,n] = A[b,m,k] · B[b,k,n]` — the
@@ -83,6 +109,18 @@ pub fn linear(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
 ///
 /// Panics if operands are not 3-D or batch/inner dims disagree.
 pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    batch_matmul_into(a, b, &mut out);
+    out
+}
+
+/// Out-param variant of [`batch_matmul`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`batch_matmul`] (which delegates here).
+///
+/// # Panics
+///
+/// Panics if operands are not 3-D or batch/inner dims disagree.
+pub fn batch_matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     assert_eq!(a.ndim(), 3, "batch_matmul lhs must be 3-D");
     assert_eq!(b.ndim(), 3, "batch_matmul rhs must be 3-D");
     let (ba, m, k) = (a.dim(0), a.dim(1), a.dim(2));
@@ -91,27 +129,25 @@ pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "inner dims {k} vs {k2}");
     let ad = a.data();
     let bd = b.data();
-    let mut out = vec![0.0f32; ba * m * n];
-    out.par_chunks_mut(m * n)
-        .enumerate()
-        .for_each(|(bi, obatch)| {
-            let abatch = &ad[bi * m * k..(bi + 1) * m * k];
-            let bbatch = &bd[bi * k * n..(bi + 1) * k * n];
-            for i in 0..m {
-                let arow = &abatch[i * k..(i + 1) * k];
-                let orow = &mut obatch[i * n..(i + 1) * n];
-                for (kk, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &bbatch[kk * n..(kk + 1) * n];
-                    for (j, r) in orow.iter_mut().enumerate() {
-                        *r += av * brow[j];
-                    }
+    out.reuse_as(&[ba, m, n]);
+    out.zero_fill();
+    for_each_chunk(out.data_mut(), m * n, ba * m * k * n, |bi, obatch| {
+        let abatch = &ad[bi * m * k..(bi + 1) * m * k];
+        let bbatch = &bd[bi * k * n..(bi + 1) * k * n];
+        for i in 0..m {
+            let arow = &abatch[i * k..(i + 1) * k];
+            let orow = &mut obatch[i * n..(i + 1) * n];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bbatch[kk * n..(kk + 1) * n];
+                for (j, r) in orow.iter_mut().enumerate() {
+                    *r += av * brow[j];
                 }
             }
-        });
-    Tensor::from_vec(out, &[ba, m, n])
+        }
+    });
 }
 
 #[cfg(test)]

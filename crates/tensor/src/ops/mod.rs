@@ -12,9 +12,50 @@ pub mod matmul;
 pub mod norm;
 pub mod pool;
 
-pub use activation::{gelu, relu, sigmoid, silu, softmax_lastdim, tanh};
-pub use conv::{conv2d, depthwise_conv2d, Conv2dParams};
-pub use embedding::embedding;
-pub use matmul::{batch_matmul, linear, matmul};
-pub use norm::{batchnorm2d, layernorm, BatchNormParams};
-pub use pool::{avg_pool2d, global_avg_pool2d, max_pool2d};
+pub use activation::{
+    gelu, gelu_into, relu, relu_into, sigmoid, sigmoid_into, silu, silu_into, softmax_lastdim,
+    softmax_lastdim_into, tanh, tanh_into,
+};
+pub use conv::{conv2d, conv2d_into, depthwise_conv2d, depthwise_conv2d_into, Conv2dParams};
+pub use embedding::{embedding, embedding_into};
+pub use matmul::{batch_matmul, batch_matmul_into, linear, linear_into, matmul, matmul_into};
+pub use norm::{
+    batchnorm2d, batchnorm2d_into, batchnorm2d_parts_into, layernorm, layernorm_into,
+    BatchNormParams,
+};
+pub use pool::{
+    avg_pool2d, avg_pool2d_into, global_avg_pool2d, global_avg_pool2d_into, max_pool2d,
+    max_pool2d_into,
+};
+
+use rayon::prelude::*;
+
+/// Multiply-accumulate count below which a chunked kernel loop runs on
+/// the calling thread instead of fanning out. The workspace's `rayon` is
+/// a scoped-thread stand-in that spawns OS threads per call, so a small
+/// operator (a narrow Linear, an attention head) pays far more in
+/// spawn/join than the split recovers; above the cutoff the split cost is
+/// noise. Serial and parallel execute the same per-chunk closure over the
+/// same disjoint chunks, so the choice is bit-invisible.
+const PAR_MACS_MIN: usize = 1 << 20;
+
+/// Run `f(chunk_index, chunk)` over `data` split into `chunk`-sized
+/// pieces — in parallel when `macs` (the kernel's total
+/// multiply-accumulate count) is large enough to amortize the fan-out,
+/// serially otherwise. Bit-identical either way.
+pub(crate) fn for_each_chunk(
+    data: &mut [f32],
+    chunk: usize,
+    macs: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if macs < PAR_MACS_MIN {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+    } else {
+        data.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(i, c)| f(i, c));
+    }
+}

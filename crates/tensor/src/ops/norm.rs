@@ -49,18 +49,50 @@ impl BatchNormParams {
 ///
 /// Panics if the input is not 4-D or the channel counts disagree.
 pub fn batchnorm2d(x: &Tensor, p: &BatchNormParams) -> Tensor {
+    let mut out = Tensor::default();
+    batchnorm2d_into(x, p, &mut out);
+    out
+}
+
+/// Out-param variant of [`batchnorm2d`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`batchnorm2d`] (which delegates here).
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or the channel counts disagree.
+pub fn batchnorm2d_into(x: &Tensor, p: &BatchNormParams, out: &mut Tensor) {
+    batchnorm2d_parts_into(x, &p.gamma, &p.beta, &p.mean, &p.var, p.eps, out)
+}
+
+/// [`batchnorm2d_into`] with the parameters passed as individual borrowed
+/// tensors (so planned execution can feed hook-substituted parameters
+/// without assembling an owned [`BatchNormParams`]). Bit-identical to
+/// [`batchnorm2d`].
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or the channel counts disagree.
+pub fn batchnorm2d_parts_into(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    mean: &Tensor,
+    var: &Tensor,
+    eps: f32,
+    out: &mut Tensor,
+) {
     assert_eq!(x.ndim(), 4, "batchnorm2d expects NCHW");
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    assert_eq!(c, p.channels(), "batchnorm channels mismatch");
-    let mut out = x.clone();
-    let g = p.gamma.data();
-    let b = p.beta.data();
-    let m = p.mean.data();
-    let v = p.var.data();
+    assert_eq!(c, gamma.len(), "batchnorm channels mismatch");
+    out.copy_from(x);
+    let g = gamma.data();
+    let b = beta.data();
+    let m = mean.data();
+    let v = var.data();
     let data = out.data_mut();
     for ni in 0..n {
         for ci in 0..c {
-            let scale = g[ci] / (v[ci] + p.eps).sqrt();
+            let scale = g[ci] / (v[ci] + eps).sqrt();
             let shift = b[ci] - m[ci] * scale;
             let base = (ni * c + ci) * h * w;
             for x in &mut data[base..base + h * w] {
@@ -68,7 +100,6 @@ pub fn batchnorm2d(x: &Tensor, p: &BatchNormParams) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// LayerNorm over the last dimension:
@@ -78,11 +109,23 @@ pub fn batchnorm2d(x: &Tensor, p: &BatchNormParams) -> Tensor {
 ///
 /// Panics if `gamma`/`beta` lengths differ from the last dimension.
 pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+    let mut out = Tensor::default();
+    layernorm_into(x, gamma, beta, eps, &mut out);
+    out
+}
+
+/// Out-param variant of [`layernorm`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`layernorm`] (which delegates here).
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from the last dimension.
+pub fn layernorm_into(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32, out: &mut Tensor) {
     let d = *x.shape().last().expect("layernorm needs >=1-D input");
     assert_eq!(gamma.len(), d, "layernorm gamma length");
     assert_eq!(beta.len(), d, "layernorm beta length");
     let rows = x.len() / d;
-    let mut out = x.clone();
+    out.copy_from(x);
     let g = gamma.data();
     let b = beta.data();
     let data = out.data_mut();
@@ -95,7 +138,6 @@ pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor 
             *x = (*x - mean) * inv * g[i] + b[i];
         }
     }
-    out
 }
 
 /// Estimate per-channel mean and variance of NCHW activations — the

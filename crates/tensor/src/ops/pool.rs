@@ -8,7 +8,21 @@ use crate::tensor::Tensor;
 ///
 /// Panics if the input is not 4-D or smaller than the window.
 pub fn max_pool2d(x: &Tensor, k: usize) -> Tensor {
-    pool2d(x, k, |acc, v| acc.max(v), f32::NEG_INFINITY, |acc, _| acc)
+    let mut out = Tensor::default();
+    max_pool2d_into(x, k, &mut out);
+    out
+}
+
+/// Out-param [`max_pool2d`] (bit-identical, reuses `out`'s allocation).
+pub fn max_pool2d_into(x: &Tensor, k: usize, out: &mut Tensor) {
+    pool2d_into(
+        x,
+        k,
+        |acc, v| acc.max(v),
+        f32::NEG_INFINITY,
+        |acc, _| acc,
+        out,
+    )
 }
 
 /// Average pooling with square window `k` and stride `k`.
@@ -17,7 +31,14 @@ pub fn max_pool2d(x: &Tensor, k: usize) -> Tensor {
 ///
 /// Panics if the input is not 4-D or smaller than the window.
 pub fn avg_pool2d(x: &Tensor, k: usize) -> Tensor {
-    pool2d(x, k, |acc, v| acc + v, 0.0, |acc, n| acc / n as f32)
+    let mut out = Tensor::default();
+    avg_pool2d_into(x, k, &mut out);
+    out
+}
+
+/// Out-param [`avg_pool2d`] (bit-identical, reuses `out`'s allocation).
+pub fn avg_pool2d_into(x: &Tensor, k: usize, out: &mut Tensor) {
+    pool2d_into(x, k, |acc, v| acc + v, 0.0, |acc, n| acc / n as f32, out)
 }
 
 /// Global average pooling: `[N, C, H, W]` → `[N, C]`.
@@ -26,9 +47,17 @@ pub fn avg_pool2d(x: &Tensor, k: usize) -> Tensor {
 ///
 /// Panics if the input is not 4-D.
 pub fn global_avg_pool2d(x: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    global_avg_pool2d_into(x, &mut out);
+    out
+}
+
+/// Out-param [`global_avg_pool2d`] (bit-identical, reuses `out`'s
+/// allocation).
+pub fn global_avg_pool2d_into(x: &Tensor, out: &mut Tensor) {
     assert_eq!(x.ndim(), 4, "global_avg_pool2d expects NCHW");
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    let mut out = Tensor::zeros(&[n, c]);
+    out.reuse_as(&[n, c]);
     let data = x.data();
     for ni in 0..n {
         for ci in 0..c {
@@ -37,22 +66,22 @@ pub fn global_avg_pool2d(x: &Tensor) -> Tensor {
             *out.at_mut(&[ni, ci]) = s / (h * w) as f32;
         }
     }
-    out
 }
 
-fn pool2d(
+fn pool2d_into(
     x: &Tensor,
     k: usize,
     fold: impl Fn(f32, f32) -> f32,
     init: f32,
     finish: impl Fn(f32, usize) -> f32,
-) -> Tensor {
+    out: &mut Tensor,
+) {
     assert_eq!(x.ndim(), 4, "pool2d expects NCHW");
     assert!(k > 0, "window must be positive");
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     assert!(h >= k && w >= k, "input smaller than pooling window");
     let (oh, ow) = (h / k, w / k);
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    out.reuse_as(&[n, c, oh, ow]);
     let data = x.data();
     for ni in 0..n {
         for ci in 0..c {
@@ -70,7 +99,6 @@ fn pool2d(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

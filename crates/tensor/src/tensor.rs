@@ -70,6 +70,39 @@ impl Tensor {
         }
     }
 
+    /// Resize in place to `shape`, reusing the existing heap allocation
+    /// whenever its capacity suffices. Element values are unspecified
+    /// afterwards (callers must overwrite or [`Tensor::zero_fill`]).
+    ///
+    /// This is the arena primitive behind the `*_into` kernels: in steady
+    /// state (same shapes pass after pass) it never allocates.
+    pub fn reuse_as(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        self.data.resize(n, 0.0);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Set every element to `0.0` without changing shape or capacity.
+    #[inline]
+    pub fn zero_fill(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Overwrite `self` with a copy of `src` (shape and data), reusing the
+    /// existing allocation when possible.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.reuse_as(&src.shape);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Heap capacity of the underlying buffer, in bytes. Used by the
+    /// execution-arena instrumentation to report buffer reuse.
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+
     /// The tensor's shape.
     #[inline]
     pub fn shape(&self) -> &[usize] {
@@ -192,6 +225,18 @@ impl Tensor {
     ///
     /// Panics if `perm` is not a valid permutation.
     pub fn permute(&self, perm: &[usize]) -> Self {
+        let mut out = Tensor::default();
+        self.permute_into(perm, &mut out);
+        out
+    }
+
+    /// Out-param variant of [`Tensor::permute`]: writes the permuted copy
+    /// into `out`, reusing its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a valid permutation.
+    pub fn permute_into(&self, perm: &[usize], out: &mut Tensor) {
         assert_eq!(perm.len(), self.ndim(), "permutation rank mismatch");
         let mut seen = vec![false; perm.len()];
         for &p in perm {
@@ -199,7 +244,7 @@ impl Tensor {
             seen[p] = true;
         }
         let new_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
-        let mut out = Tensor::zeros(&new_shape);
+        out.reuse_as(&new_shape);
         let old_strides = strides_of(&self.shape);
         let new_strides = strides_of(&new_shape);
         let n = self.len();
@@ -214,7 +259,6 @@ impl Tensor {
             }
             out.data[flat] = self.data[old_off];
         }
-        out
     }
 
     /// Map every element through `f`, returning a new tensor.
@@ -222,6 +266,15 @@ impl Tensor {
         Tensor {
             data: self.data.iter().map(|&x| f(x)).collect(),
             shape: self.shape.clone(),
+        }
+    }
+
+    /// Map every element through `f` into `out`, reusing its allocation.
+    /// Produces bit-identical results to [`Tensor::map`].
+    pub fn map_into(&self, f: impl Fn(f32) -> f32, out: &mut Tensor) {
+        out.reuse_as(&self.shape);
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
         }
     }
 
@@ -243,22 +296,29 @@ impl Tensor {
     ///
     /// Panics if the shapes are not broadcast-compatible.
     pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
+        let mut out = Tensor::default();
+        self.zip_broadcast_into(other, f, &mut out);
+        out
+    }
+
+    /// Out-param variant of [`Tensor::zip_broadcast`]: writes the result
+    /// into `out`, reusing its allocation. Every output element is written.
+    pub fn zip_broadcast_into(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+        out: &mut Tensor,
+    ) {
+        out.reuse_as(&self.shape);
         if self.shape == other.shape {
-            let data = self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect();
-            return Tensor {
-                data,
-                shape: self.shape.clone(),
-            };
+            for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+                *o = f(a, b);
+            }
+            return;
         }
         // Strip trailing 1s from other's shape, then require a suffix match
         // possibly followed by ones (channel-broadcast pattern).
         let (repeat, period, inner) = broadcast_layout(&self.shape, &other.shape);
-        let mut out = Tensor::zeros(&self.shape);
         for r in 0..repeat {
             for p in 0..period {
                 let b = other.data[p];
@@ -268,7 +328,6 @@ impl Tensor {
                 }
             }
         }
-        out
     }
 
     /// Elementwise add with broadcasting (see [`Tensor::zip_broadcast`]).
@@ -436,6 +495,17 @@ fn broadcast_layout(big: &[usize], small: &[usize]) -> (usize, usize, usize) {
     let period: usize = eff.iter().product::<usize>().max(1);
     let repeat: usize = big[..start].iter().product::<usize>().max(1);
     (repeat, period, trailing)
+}
+
+impl Default for Tensor {
+    /// An empty tensor (shape `[0]`). Useful as an arena placeholder that
+    /// the `*_into` kernels resize on first use.
+    fn default() -> Self {
+        Tensor {
+            data: Vec::new(),
+            shape: vec![0],
+        }
+    }
 }
 
 impl fmt::Debug for Tensor {

@@ -5,11 +5,12 @@
 
 use fp8_ptq::core::config::{Approach, DataFormat};
 use fp8_ptq::core::workflow::calibrate_workload;
-use fp8_ptq::core::{paper_recipe, quantize_workload, recalibrate_batchnorm, QuantizedModel};
+use fp8_ptq::core::{paper_recipe, recalibrate_batchnorm, PtqSession, QuantizedModel};
 use fp8_ptq::fp8::Fp8Format;
 use fp8_ptq::models::families::common::CvConfig;
 use fp8_ptq::models::families::cv::resnet_like;
 use fp8_ptq::models::Transform;
+use fp8_ptq::nn::UnwrapOk;
 
 fn main() {
     let w = resnet_like(&CvConfig {
@@ -35,7 +36,7 @@ fn main() {
         Approach::Static,
         w.spec.domain,
     );
-    let full = quantize_workload(&w, &cfg);
+    let full = PtqSession::new(cfg.clone()).quantize(&w).unwrap_ok();
     println!("E3M4 + BN calibration (paper CV recipe): {:.4}", full.score);
 
     // Ablation 1: skip BatchNorm calibration.
@@ -43,14 +44,14 @@ fn main() {
     no_bn.bn_calibration = false;
     println!(
         "E3M4 without BN calibration:             {:.4}",
-        quantize_workload(&w, &no_bn).score
+        PtqSession::new(no_bn).quantize(&w).unwrap_ok().score
     );
 
     // Ablation 2: quantize the first and last operators too (§4.3.1).
     let all_in = cfg.clone().with_first_last();
     println!(
         "E3M4 with first/last quantized:          {:.4}",
-        quantize_workload(&w, &all_in).score
+        PtqSession::new(all_in).quantize(&w).unwrap_ok().score
     );
 
     // Figure-7 style: BN calibration sample size and transform matter.
@@ -68,11 +69,14 @@ fn main() {
         for transform in [Transform::Train, Transform::Inference] {
             let mut plain = cfg.clone();
             plain.bn_calibration = false;
-            let calib = calibrate_workload(&w, &plain);
-            let mut model = QuantizedModel::build(w.graph.clone(), &calib, plain);
+            let calib = calibrate_workload(&w, &plain).unwrap_ok();
+            let mut model = QuantizedModel::build(w.graph.clone(), &calib, plain).unwrap_ok();
             let batches = source.sample(n, transform, 99);
-            recalibrate_batchnorm(&mut model, &batches);
-            scores.push(w.evaluate_graph(&model.graph, &mut model.hook()));
+            recalibrate_batchnorm(&mut model, &batches).unwrap_ok();
+            scores.push(
+                w.evaluate_graph(&model.graph, &mut model.hook())
+                    .unwrap_ok(),
+            );
         }
         println!("{:>8} {:>16.4} {:>20.4}", n, scores[0], scores[1]);
     }

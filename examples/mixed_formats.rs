@@ -5,10 +5,11 @@
 
 use fp8_ptq::core::config::{Approach, DataFormat, QuantConfig};
 use fp8_ptq::core::workflow::paper_mixed_recipe;
-use fp8_ptq::core::{paper_recipe, quantize_workload};
+use fp8_ptq::core::{paper_recipe, PtqSession};
 use fp8_ptq::fp8::{fake_quant_fp8, fp8_scale, Fp8Codec, Fp8Format};
 use fp8_ptq::models::families::common::{Head, NlpConfig};
 use fp8_ptq::models::families::nlp::encoder_workload;
+use fp8_ptq::nn::UnwrapOk;
 use fp8_ptq::tensor::TensorRng;
 
 fn main() {
@@ -57,7 +58,7 @@ fn main() {
         w.spec.name, w.fp32_score
     );
     let show = |name: &str, c: &QuantConfig| {
-        let out = quantize_workload(&w, c);
+        let out = PtqSession::new(c.clone()).quantize(&w).unwrap_ok();
         println!(
             "  {:<28} F1 {:.4} (loss {:+.2}%)",
             name,

@@ -10,10 +10,11 @@
 
 use fp8_ptq::core::config::{Approach, DataFormat, QuantConfig};
 use fp8_ptq::core::workflow::paper_mixed_recipe;
-use fp8_ptq::core::{paper_recipe, quantize_workload};
+use fp8_ptq::core::{paper_recipe, PtqSession};
 use fp8_ptq::fp8::Fp8Format;
 use fp8_ptq::models::families::common::{Head, NlpConfig};
 use fp8_ptq::models::families::nlp::encoder_workload;
+use fp8_ptq::nn::UnwrapOk;
 use fp8_ptq::nn::{ExecHook, Node, OpClass};
 use fp8_ptq::tensor::Tensor;
 
@@ -62,7 +63,7 @@ fn main() {
         rms: 0.0,
         n: 0,
     };
-    w.graph.run(&w.eval[0], &mut stats);
+    w.graph.run(&w.eval[0], &mut stats).unwrap_ok();
     let rms = (stats.rms / stats.n as f64).sqrt();
     println!(
         "LayerNorm outputs: absmax {:.1}, rms {:.2} — outlier ratio {:.0}x (Figure 3, range-bound)\n",
@@ -73,7 +74,7 @@ fn main() {
 
     println!("{:<34} {:>8} {:>8}", "configuration", "F1", "loss");
     let show = |name: &str, cfg: &QuantConfig| {
-        let out = quantize_workload(&w, cfg);
+        let out = PtqSession::new(cfg.clone()).quantize(&w).unwrap_ok();
         println!(
             "{:<34} {:>8.4} {:>7.2}%",
             name,

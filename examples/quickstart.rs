@@ -7,9 +7,10 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use fp8_ptq::core::config::{Approach, DataFormat};
-use fp8_ptq::core::{paper_recipe, quantize_workload};
+use fp8_ptq::core::{paper_recipe, PtqSession};
 use fp8_ptq::fp8::Fp8Format;
 use fp8_ptq::models::{build_zoo, ZooFilter};
+use fp8_ptq::nn::UnwrapOk;
 
 fn main() {
     // A small representative slice of the 75-workload zoo.
@@ -36,7 +37,7 @@ fn main() {
         // absmax activation calibration (E5M2 direct), BatchNorm
         // recalibration for CV models.
         let cfg = paper_recipe(format, Approach::Static, workload.spec.domain);
-        let outcome = quantize_workload(workload, &cfg);
+        let outcome = PtqSession::new(cfg).quantize(workload).unwrap_ok();
         println!(
             "{:<10} {:>10.4} {:>9.2}% {:>7}",
             format.to_string(),

@@ -6,12 +6,13 @@
 //! Run with: `cargo run --release --example textgen`
 
 use fp8_ptq::core::config::{Approach, DataFormat};
-use fp8_ptq::core::{paper_recipe, quantize_workload};
+use fp8_ptq::core::{paper_recipe, PtqSession};
 use fp8_ptq::fp8::Fp8Format;
 use fp8_ptq::metrics::{distinct_n, repeated_ngram_rate};
 use fp8_ptq::models::families::common::NlpConfig;
 use fp8_ptq::models::families::nlp::{decoder_workload, generate_greedy};
 use fp8_ptq::nn::NoopHook;
+use fp8_ptq::nn::UnwrapOk;
 
 fn main() {
     let cfg = NlpConfig {
@@ -40,7 +41,7 @@ fn main() {
         DataFormat::Int8,
     ] {
         let qcfg = paper_recipe(fmt, Approach::Static, w.spec.domain);
-        let out = quantize_workload(&w, &qcfg);
+        let out = PtqSession::new(qcfg.clone()).quantize(&w).unwrap_ok();
         let toks = generate_greedy(
             &out.model.graph,
             &cfg,

@@ -23,13 +23,14 @@
 //! ## Quantize a model in five lines
 //!
 //! ```no_run
-//! use fp8_ptq::core::{paper_recipe, quantize_workload, config::{Approach, DataFormat}};
+//! use fp8_ptq::core::{paper_recipe, PtqSession, config::{Approach, DataFormat}};
 //! use fp8_ptq::fp8::Fp8Format;
 //! use fp8_ptq::models::{build_zoo, ZooFilter};
+//! use fp8_ptq::nn::UnwrapOk;
 //!
 //! let zoo = build_zoo(ZooFilter::Quick);
 //! let cfg = paper_recipe(DataFormat::Fp8(Fp8Format::E4M3), Approach::Static, zoo[0].spec.domain);
-//! let out = quantize_workload(&zoo[0], &cfg);
+//! let out = PtqSession::new(cfg).quantize(&zoo[0]).unwrap_ok();
 //! println!("fp32 {:.4} -> E4M3 {:.4}", zoo[0].fp32_score, out.score);
 //! ```
 

@@ -8,10 +8,11 @@
 
 use fp8_ptq::core::config::{Approach, Coverage, DataFormat, QuantConfig};
 use fp8_ptq::core::workflow::calibrate_workload;
-use fp8_ptq::core::{paper_recipe, quantize_workload, AutoTuner, QuantizedModel};
+use fp8_ptq::core::{paper_recipe, AutoTuner, PtqSession, QuantizedModel};
 use fp8_ptq::fp8::Fp8Format;
 use fp8_ptq::metrics::{Domain, PassRateSummary};
 use fp8_ptq::models::{build_zoo, ZooFilter};
+use fp8_ptq::nn::UnwrapOk;
 use rayon::prelude::*;
 
 #[test]
@@ -26,7 +27,7 @@ fn quick_zoo_has_sane_baselines() {
             w.fp32_score
         );
         // Re-evaluation is deterministic.
-        let again = w.evaluate(&mut fp8_ptq::nn::NoopHook);
+        let again = w.evaluate(&mut fp8_ptq::nn::NoopHook).unwrap_ok();
         assert_eq!(again, w.fp32_score, "{}", w.spec.name);
     }
 }
@@ -50,7 +51,7 @@ fn every_format_quantizes_every_quick_workload() {
         .map(|&(i, fmt)| {
             let w = &zoo[i];
             let cfg = paper_recipe(fmt, Approach::Static, w.spec.domain);
-            let out = quantize_workload(w, &cfg);
+            let out = PtqSession::new(cfg).quantize(w).unwrap_ok();
             assert!(
                 out.score.is_finite() && out.score >= -1.0 && out.score <= 1.0 + 1e-9,
                 "{} {fmt}: score {}",
@@ -79,22 +80,20 @@ fn e4m3_beats_e5m2_in_aggregate() {
     let losses: Vec<(f64, f64)> = zoo
         .par_iter()
         .map(|w| {
-            let e5 = quantize_workload(
-                w,
-                &paper_recipe(
-                    DataFormat::Fp8(Fp8Format::E5M2),
-                    Approach::Static,
-                    w.spec.domain,
-                ),
-            );
-            let e4 = quantize_workload(
-                w,
-                &paper_recipe(
-                    DataFormat::Fp8(Fp8Format::E4M3),
-                    Approach::Static,
-                    w.spec.domain,
-                ),
-            );
+            let e5 = PtqSession::new(paper_recipe(
+                DataFormat::Fp8(Fp8Format::E5M2),
+                Approach::Static,
+                w.spec.domain,
+            ))
+            .quantize(w)
+            .unwrap_ok();
+            let e4 = PtqSession::new(paper_recipe(
+                DataFormat::Fp8(Fp8Format::E4M3),
+                Approach::Static,
+                w.spec.domain,
+            ))
+            .quantize(w)
+            .unwrap_ok();
             (e5.result.loss(), e4.result.loss())
         })
         .collect();
@@ -123,7 +122,7 @@ fn bn_calibration_applies_only_to_bn_models() {
     assert!(cfg.bn_calibration);
     for w in zoo.iter().filter(|w| w.spec.domain == Domain::Cv) {
         // Must run without panicking whether or not the model has BN.
-        let out = quantize_workload(w, &cfg);
+        let out = PtqSession::new(cfg.clone()).quantize(w).unwrap_ok();
         assert!(out.score.is_finite());
     }
 }
@@ -137,9 +136,9 @@ fn extended_coverage_quantizes_more_nodes() {
         .expect("quick zoo has a bert-like member");
     let std_cfg = QuantConfig::fp8(Fp8Format::E4M3);
     let ext_cfg = std_cfg.clone().with_coverage(Coverage::Extended);
-    let calib = calibrate_workload(w, &std_cfg);
-    let m_std = QuantizedModel::build(w.graph.clone(), &calib, std_cfg);
-    let m_ext = QuantizedModel::build(w.graph.clone(), &calib, ext_cfg);
+    let calib = calibrate_workload(w, &std_cfg).unwrap_ok();
+    let m_std = QuantizedModel::build(w.graph.clone(), &calib, std_cfg).unwrap_ok();
+    let m_ext = QuantizedModel::build(w.graph.clone(), &calib, ext_cfg).unwrap_ok();
     assert!(
         m_ext.quantized_nodes.len() > m_std.quantized_nodes.len(),
         "extended {} vs standard {}",
@@ -147,7 +146,9 @@ fn extended_coverage_quantizes_more_nodes() {
         m_std.quantized_nodes.len()
     );
     // Extended still evaluates to a finite score.
-    let s = w.evaluate_graph(&m_ext.graph, &mut m_ext.hook());
+    let s = w
+        .evaluate_graph(&m_ext.graph, &mut m_ext.hook())
+        .unwrap_ok();
     assert!(s.is_finite());
 }
 
@@ -158,23 +159,21 @@ fn dynamic_and_static_agree_when_calibration_matches_eval() {
     // scores should be close (not necessarily equal).
     let zoo = build_zoo(ZooFilter::Quick);
     let w = &zoo[0];
-    let s = quantize_workload(
-        w,
-        &paper_recipe(
-            DataFormat::Fp8(Fp8Format::E3M4),
-            Approach::Static,
-            w.spec.domain,
-        ),
-    )
+    let s = PtqSession::new(paper_recipe(
+        DataFormat::Fp8(Fp8Format::E3M4),
+        Approach::Static,
+        w.spec.domain,
+    ))
+    .quantize(w)
+    .unwrap_ok()
     .score;
-    let d = quantize_workload(
-        w,
-        &paper_recipe(
-            DataFormat::Fp8(Fp8Format::E3M4),
-            Approach::Dynamic,
-            w.spec.domain,
-        ),
-    )
+    let d = PtqSession::new(paper_recipe(
+        DataFormat::Fp8(Fp8Format::E3M4),
+        Approach::Dynamic,
+        w.spec.domain,
+    ))
+    .quantize(w)
+    .unwrap_ok()
     .score;
     assert!((s - d).abs() < 0.15, "static {s} vs dynamic {d}");
 }
@@ -210,8 +209,8 @@ fn fallback_nodes_are_respected() {
         Approach::Static,
         w.spec.domain,
     );
-    let calib = calibrate_workload(w, &base);
-    let m_full = QuantizedModel::build(w.graph.clone(), &calib, base.clone());
+    let calib = calibrate_workload(w, &base).unwrap_ok();
+    let m_full = QuantizedModel::build(w.graph.clone(), &calib, base.clone()).unwrap_ok();
     let some_node = *m_full
         .quantized_nodes
         .iter()
@@ -221,7 +220,8 @@ fn fallback_nodes_are_respected() {
         w.graph.clone(),
         &calib,
         base.clone().with_fallback(some_node),
-    );
+    )
+    .unwrap_ok();
     assert!(!m_fb.quantized_nodes.contains(&some_node));
     assert_eq!(m_fb.quantized_nodes.len() + 1, m_full.quantized_nodes.len());
 }

@@ -6,12 +6,13 @@
 
 use fp8_ptq::core::config::{Approach, DataFormat};
 use fp8_ptq::core::observer::clip_quant_mse;
-use fp8_ptq::core::{paper_recipe, quantize_workload};
+use fp8_ptq::core::{paper_recipe, PtqSession};
 use fp8_ptq::fp8::{
     fake_quant_fp8, fake_quant_int8, fp8_scale, Fp8Codec, Fp8Format, Int8Codec, Int8Mode,
 };
 use fp8_ptq::models::families::common::{Head, NlpConfig};
 use fp8_ptq::models::families::nlp::encoder_workload;
+use fp8_ptq::nn::UnwrapOk;
 use fp8_ptq::tensor::TensorRng;
 
 fn outlier_tensor(mag: f32) -> Vec<f32> {
@@ -81,22 +82,20 @@ fn e4m3_window_beats_e3m4_on_heavy_tails() {
             gamma_sigma: 2.6, // heavy tail: spreads past E3M4's ~2e3 window
         };
         let w = encoder_workload("funnel_like", "mrpc_syn", &cfg, Head::Binary);
-        let e4 = quantize_workload(
-            &w,
-            &paper_recipe(
-                DataFormat::Fp8(Fp8Format::E4M3),
-                Approach::Static,
-                w.spec.domain,
-            ),
-        );
-        let e3 = quantize_workload(
-            &w,
-            &paper_recipe(
-                DataFormat::Fp8(Fp8Format::E3M4),
-                Approach::Static,
-                w.spec.domain,
-            ),
-        );
+        let e4 = PtqSession::new(paper_recipe(
+            DataFormat::Fp8(Fp8Format::E4M3),
+            Approach::Static,
+            w.spec.domain,
+        ))
+        .quantize(&w)
+        .unwrap_ok();
+        let e3 = PtqSession::new(paper_recipe(
+            DataFormat::Fp8(Fp8Format::E3M4),
+            Approach::Static,
+            w.spec.domain,
+        ))
+        .quantize(&w)
+        .unwrap_ok();
         e4_total += e4.result.loss();
         e3_total += e3.result.loss();
         e3_max = e3_max.max(e3.result.loss());
@@ -130,8 +129,8 @@ fn smoothquant_recovers_int8() {
     let with_sq = paper_recipe(DataFormat::Int8, Approach::Dynamic, w.spec.domain);
     let mut no_sq = with_sq.clone();
     no_sq.smoothquant_alpha = None;
-    let s_with = quantize_workload(&w, &with_sq).score;
-    let s_without = quantize_workload(&w, &no_sq).score;
+    let s_with = PtqSession::new(with_sq).quantize(&w).unwrap_ok().score;
+    let s_without = PtqSession::new(no_sq).quantize(&w).unwrap_ok().score;
     assert!(
         s_with >= s_without - 1e-9,
         "SQ {} vs no-SQ {}",
