@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Panic lint: forbid unwrap()/expect(/panic!( in non-test library code of
-# the panic-free crates (crates/nn, crates/core).
+# the panic-free crates (crates/fp8, crates/nn, crates/core).
 #
 # The inference/PTQ stack guarantees a panic-free Result-based surface
 # (see DESIGN.md "Error handling"). This gate keeps it that way: any new
-# `unwrap()`, `.expect(...)` or `panic!(...)` in crates/nn/src or
-# crates/core/src outside `#[cfg(test)]` modules fails CI unless the line
-# contains an allowlisted substring (ci/panic_allowlist.txt) — in
-# practice only the documented `panic!("{e}")` wrapper form.
+# `unwrap()`, `.expect(...)` or `panic!(...)` in crates/fp8/src,
+# crates/nn/src or crates/core/src outside `#[cfg(test)]` modules fails
+# CI unless the line contains an allowlisted substring
+# (ci/panic_allowlist.txt) — in practice only the documented
+# `panic!("{e}")` wrapper form.
 #
 # Notes on scope:
 #   * `#[cfg(test)]` is assumed to start the trailing test module of a
@@ -22,7 +23,7 @@ allowlist=ci/panic_allowlist.txt
 fail=0
 
 # shellcheck disable=SC2044
-for f in $(find crates/nn/src crates/core/src -name '*.rs' | sort); do
+for f in $(find crates/fp8/src crates/nn/src crates/core/src -name '*.rs' | sort); do
     # Strip the trailing #[cfg(test)] module, then scan for forbidden
     # patterns, keeping real line numbers.
     matches=$(awk '/^#\[cfg\(test\)\]/{exit} /unwrap\(\)|\.expect\(|panic!\(/{print FILENAME":"FNR": "$0}' "$f" || true)
@@ -42,10 +43,10 @@ done
 
 if [ "$fail" -ne 0 ]; then
     echo >&2
-    echo "crates/nn and crates/core library code must stay panic-free:" >&2
-    echo "return Result<_, PtqError> instead, or (for a documented" >&2
-    echo "panicking wrapper) re-raise a typed error as panic!(\"{e}\")." >&2
-    echo "See ci/panic_allowlist.txt." >&2
+    echo "crates/fp8, crates/nn and crates/core library code must stay" >&2
+    echo "panic-free: return Result<_, Fp8Error/PtqError> instead, or (for" >&2
+    echo "a documented panicking wrapper) re-raise a typed error as" >&2
+    echo "panic!(\"{e}\"). See ci/panic_allowlist.txt." >&2
     exit 1
 fi
-echo "panic lint OK: no stray unwrap()/expect(/panic!( in crates/nn, crates/core"
+echo "panic lint OK: no stray unwrap()/expect(/panic!( in crates/fp8, crates/nn, crates/core"

@@ -42,6 +42,14 @@ fn main() {
         for e in &row.errors {
             eprintln!("  skipped {}: {}", e.workload, e.error);
         }
+        // Weight memory to stderr only: fig5.json's point schema is a
+        // stable plotting contract and stays unchanged.
+        eprintln!(
+            "  resident weights: {} bytes vs {} bytes f32 ({:.2}x)",
+            row.weight_bytes,
+            row.weight_bytes_f32,
+            row.weight_bytes_f32 as f64 / row.weight_bytes.max(1) as f64
+        );
         for r in &row.results {
             points.push(Fig5Point {
                 workload: r.workload.clone(),

@@ -70,6 +70,25 @@ fn main() {
     println!("\n## Table 2 — Workload Pass Rate (1% relative-loss criterion)\n");
     table.print();
 
+    // Resident weight memory per row: FP8 rows store weights as 1-byte
+    // codes + scales (the fused-kernel datapath), INT8 rows keep
+    // fake-quant f32 weights, so only FP8 rows show the ~4x reduction.
+    println!("\n### Resident weight memory (healthy workloads)\n");
+    let kib = |b: usize| format!("{:.1} KiB", b as f64 / 1024.0);
+    let mut wt = MdTable::new(&["Config", "Stored", "FP32 baseline", "Reduction"]);
+    for row in &rows {
+        wt.row(vec![
+            row.label.clone(),
+            kib(row.weight_bytes),
+            kib(row.weight_bytes_f32),
+            format!(
+                "{:.2}x",
+                row.weight_bytes_f32 as f64 / row.weight_bytes.max(1) as f64
+            ),
+        ]);
+    }
+    wt.print();
+
     if detail {
         println!("\n### Loss quartiles (Figure 4 data)\n");
         let mut qt = MdTable::new(&["Config", "Domain", "min", "q1", "median", "q3", "max"]);

@@ -94,6 +94,35 @@ pub enum Granularity {
     PerTensor,
 }
 
+/// How quantized weights are *held and executed* after PTQ.
+///
+/// Orthogonal to format/granularity: both modes compute identical scales
+/// and identical quantized values; they differ only in the memory layout
+/// the model keeps resident and the kernels that consume it. Execution is
+/// bit-identical between the two (enforced zoo-wide in
+/// `tests/plan_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WeightStorage {
+    /// Real FP8 storage: weights kept as 1-byte codes plus scales
+    /// (`QTensor`) and executed by the fused dequant kernels — the ~4×
+    /// weight-memory reduction 8-bit deployment is for. Applies when the
+    /// weight format is FP8; INT8 weights always use fake-quant f32.
+    #[default]
+    Fp8,
+    /// Legacy emulation storage: weights dequantized back to dense f32 at
+    /// build time (quantize → dequantize), executed by the f32 kernels.
+    FakeQuantF32,
+}
+
+impl fmt::Display for WeightStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightStorage::Fp8 => write!(f, "fp8"),
+            WeightStorage::FakeQuantF32 => write!(f, "fakequant-f32"),
+        }
+    }
+}
+
 /// Range-calibration method for static activation scales (Appendix A.1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum CalibMethod {
@@ -137,6 +166,9 @@ pub struct QuantConfig {
     pub bn_calibration: bool,
     /// Node ids forced to FP32 (the tuner's fallback mechanism).
     pub fallback: BTreeSet<NodeId>,
+    /// How quantized weights are stored and executed (defaults to real
+    /// FP8 storage).
+    pub weight_storage: WeightStorage,
 }
 
 impl QuantConfig {
@@ -155,6 +187,7 @@ impl QuantConfig {
             calibration: CalibMethod::AbsMax,
             bn_calibration: false,
             fallback: BTreeSet::new(),
+            weight_storage: WeightStorage::default(),
         }
     }
 
@@ -218,6 +251,20 @@ impl QuantConfig {
         self
     }
 
+    /// Builder-style: set the weight storage mode.
+    pub fn with_weight_storage(mut self, storage: WeightStorage) -> Self {
+        self.weight_storage = storage;
+        self
+    }
+
+    /// True when this config stores weights as real FP8 bytes (the
+    /// storage knob is `Fp8` *and* the weight format is an FP8 format —
+    /// INT8 weights always stay fake-quant f32).
+    pub fn stores_fp8_weights(&self) -> bool {
+        self.weight_storage == WeightStorage::Fp8
+            && matches!(self.weight_format, DataFormat::Fp8(_))
+    }
+
     /// True if activations of this config use *direct* quantization (no
     /// range calibration): the paper's E5M2 rule.
     pub fn direct_activation_quant(&self) -> bool {
@@ -265,6 +312,32 @@ mod tests {
         assert!(QuantConfig::fp8(Fp8Format::E5M2).direct_activation_quant());
         assert!(!QuantConfig::fp8(Fp8Format::E4M3).direct_activation_quant());
         assert!(!QuantConfig::int8().direct_activation_quant());
+    }
+
+    #[test]
+    fn weight_storage_knob() {
+        let c = QuantConfig::fp8(Fp8Format::E4M3);
+        assert_eq!(c.weight_storage, WeightStorage::Fp8);
+        assert!(c.stores_fp8_weights());
+        assert!(!c
+            .with_weight_storage(WeightStorage::FakeQuantF32)
+            .stores_fp8_weights());
+        // INT8 weights never use FP8 storage regardless of the knob.
+        assert!(!QuantConfig::int8().stores_fp8_weights());
+        // The knob serializes under a stable label (sweep configs and
+        // bench JSON embed it).
+        let serde::Value::Object(fields) = QuantConfig::mixed_fp8().serialize() else {
+            panic!("config serializes as an object");
+        };
+        let storage = fields
+            .iter()
+            .find(|(k, _)| k == "weight_storage")
+            .map(|(_, v)| v.clone());
+        assert_eq!(
+            storage,
+            Some(serde::Value::Str("Fp8".to_string())),
+            "weight_storage must serialize under a stable label"
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@ use ptq_fp8::{
     fake_quant_fp8_lut, fake_quant_fp8_per_channel_lut, fake_quant_int8,
     fake_quant_int8_per_channel, fp8_scale, Fp8Codec, Int8Codec, Int8Mode,
 };
-use ptq_nn::{ExecHook, Graph, Node, NodeId, OpClass, PlanSet, PtqError, ValueId};
-use ptq_tensor::Tensor;
+use ptq_nn::{ExecHook, Graph, Node, NodeId, Op, OpClass, PlanSet, PtqError, ValueId};
+use ptq_tensor::{QTensor, Tensor};
 use std::collections::{BTreeSet, HashMap};
 
 /// A quantized model: the (possibly BN-recalibrated) graph plus everything
@@ -28,8 +28,15 @@ pub struct QuantizedModel {
     pub act_scales: HashMap<TensorKey, f32>,
     /// Static INT8 activation codecs per (node, input).
     pub act_int8: HashMap<TensorKey, Int8Codec>,
-    /// Pre-quantized weight tensors by parameter value id.
+    /// Fake-quantized f32 weight tensors by parameter value id. Under the
+    /// default [`crate::WeightStorage::Fp8`] policy this only holds weights
+    /// the fused kernels cannot execute (INT8 recipes, embedding tables);
+    /// Conv2d/Linear FP8 weights live in [`Self::qweights`] instead.
     pub weights: HashMap<ValueId, Tensor>,
+    /// FP8-stored weight tensors (1 byte/element + scales) by parameter
+    /// value id, executed directly by the fused `*_q` kernels. Populated
+    /// only when [`QuantConfig::stores_fp8_weights`] holds.
+    pub qweights: HashMap<ValueId, QTensor>,
     /// SmoothQuant per-input-channel *divisors* for Linear activations.
     pub smooth: HashMap<NodeId, Vec<f32>>,
     /// Execution plans for [`Self::graph`], keyed by input shape (used by
@@ -52,7 +59,7 @@ impl QuantizedModel {
         } else {
             HashMap::new()
         };
-        let weights = prepare_weights(&graph, &config, &quantized_nodes, &smooth)?;
+        let (weights, qweights) = prepare_weights(&graph, &config, &quantized_nodes, &smooth)?;
         let (act_scales, act_int8) =
             prepare_act_scales(&graph, calib, &config, &quantized_nodes, &smooth);
         Ok(QuantizedModel {
@@ -62,6 +69,7 @@ impl QuantizedModel {
             act_scales,
             act_int8,
             weights,
+            qweights,
             smooth,
             plans: PlanSet::new(),
         })
@@ -98,6 +106,35 @@ impl QuantizedModel {
         }
         self.quantized_nodes.len() as f64 / eligible as f64
     }
+
+    /// Resident bytes of all pre-quantized weights as actually stored:
+    /// 1 byte/element plus scale storage for FP8-stored tensors, 4
+    /// bytes/element for fake-quantized f32 tensors.
+    pub fn weight_bytes(&self) -> usize {
+        let q: usize = self.qweights.values().map(QTensor::storage_bytes).sum();
+        let f: usize = self
+            .weights
+            .values()
+            .map(|w| w.len() * std::mem::size_of::<f32>())
+            .sum();
+        q + f
+    }
+
+    /// Bytes the same pre-quantized weights would occupy as dense f32 —
+    /// the baseline for the weight-memory-reduction ratio.
+    pub fn weight_bytes_f32(&self) -> usize {
+        let q: usize = self
+            .qweights
+            .values()
+            .map(|w| w.len() * std::mem::size_of::<f32>())
+            .sum();
+        let f: usize = self
+            .weights
+            .values()
+            .map(|w| w.len() * std::mem::size_of::<f32>())
+            .sum();
+        q + f
+    }
 }
 
 /// Decide which nodes run quantized under a config: coverage class,
@@ -126,15 +163,24 @@ pub fn select_nodes(graph: &Graph, config: &QuantConfig) -> BTreeSet<NodeId> {
     set
 }
 
-/// Fake-quantize all weights of the quantized nodes, folding SmoothQuant
+/// Quantize all weights of the quantized nodes, folding SmoothQuant
 /// scales into Linear weights first.
+///
+/// Returns `(weights, qweights)`: fake-quantized f32 tensors and
+/// FP8-stored tensors respectively. A weight lands in `qweights` when the
+/// config stores FP8 weights and the node is a Conv2d/Linear (the ops the
+/// fused `*_q` kernels execute); everything else — INT8 recipes, embedding
+/// tables, the explicit [`crate::WeightStorage::FakeQuantF32`] mode — goes
+/// through the in-place fake-quant path unchanged.
+#[allow(clippy::type_complexity)]
 fn prepare_weights(
     graph: &Graph,
     config: &QuantConfig,
     nodes: &BTreeSet<NodeId>,
     smooth: &HashMap<NodeId, Vec<f32>>,
-) -> Result<HashMap<ValueId, Tensor>, PtqError> {
+) -> Result<(HashMap<ValueId, Tensor>, HashMap<ValueId, QTensor>), PtqError> {
     let mut out = HashMap::new();
+    let mut qout = HashMap::new();
     for &id in nodes {
         let node = &graph.nodes()[id];
         let Some(wid) = node.op.weight_value() else {
@@ -162,13 +208,27 @@ fn prepare_weights(
                 }
             }
         }
+        let trace = ptq_trace::enabled(ptq_trace::Level::Info);
+        if config.stores_fp8_weights() && matches!(node.op, Op::Conv2d { .. } | Op::Linear { .. }) {
+            if let Some(q) = quantize_weight_stored(&w, config) {
+                if trace {
+                    ptq_trace::gauge(
+                        ptq_trace::Level::Info,
+                        "quant.weight_mse",
+                        ptq_tensor::stats::mse(w.data(), &q.stored().dequantize()),
+                        &[
+                            ("layer", node.name.as_str().into()),
+                            ("elems", w.len().into()),
+                        ],
+                    );
+                }
+                qout.insert(wid, q);
+                continue;
+            }
+        }
         // Keep the pre-quantization copy only when tracing wants the
         // per-layer error; the clone is off the disabled hot path.
-        let fp32 = if ptq_trace::enabled(ptq_trace::Level::Info) {
-            Some(w.clone())
-        } else {
-            None
-        };
+        let fp32 = if trace { Some(w.clone()) } else { None };
         quantize_weight_tensor(&mut w, config);
         if let Some(fp32) = fp32 {
             ptq_trace::gauge(
@@ -183,7 +243,26 @@ fn prepare_weights(
         }
         out.insert(wid, w);
     }
-    Ok(out)
+    Ok((out, qout))
+}
+
+/// FP8-store one weight tensor under the config's format and granularity.
+///
+/// The scale computation inside [`QTensor::quantize`] /
+/// [`QTensor::quantize_per_channel`] is the same NaN-propagating absmax
+/// fold + `fp8_scale` used by the fake-quant path, so decoding the stored
+/// bytes reproduces the fake-quantized f32 weight bit-for-bit (proven in
+/// `crates/fp8/tests/storage_equivalence.rs`). Returns `None` for
+/// degenerate shapes the per-channel layout cannot represent (scalars,
+/// empty leading axis); the caller then falls back to fake-quant f32.
+fn quantize_weight_stored(w: &Tensor, config: &QuantConfig) -> Option<QTensor> {
+    let DataFormat::Fp8(f) = config.weight_format else {
+        return None;
+    };
+    match config.weight_granularity {
+        Granularity::PerChannel => QTensor::quantize_per_channel(w, f).ok(),
+        Granularity::PerTensor => QTensor::quantize(w, f).ok(),
+    }
 }
 
 /// In-place fake quantization of a weight tensor under the config's weight
@@ -198,7 +277,18 @@ pub fn quantize_weight_tensor(w: &mut Tensor, config: &QuantConfig) {
         }
         (DataFormat::Fp8(f), Granularity::PerTensor) => {
             let codec = Fp8Codec::new(f);
-            let absmax = w.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            // NaN-propagating absmax (`f32::max` drops NaN): a non-finite
+            // weight forces scale 1.0, matching both the dynamic-activation
+            // fold and `StoredTensor::quantize` — the two storage modes
+            // must compute identical scales to stay bit-identical.
+            let absmax = w.data().iter().fold(0.0f32, |m, &x| {
+                let a = x.abs();
+                if a > m || !a.is_finite() {
+                    a
+                } else {
+                    m
+                }
+            });
             let s = fp8_scale(f, absmax);
             fake_quant_fp8_lut(w.data_mut(), &codec, s);
         }
@@ -298,6 +388,13 @@ pub struct QuantHook<'a> {
 
 impl ExecHook for QuantHook<'_> {
     fn weight(&mut self, _node: &Node, value: ValueId, _w: &Tensor) -> Option<Tensor> {
+        // Legacy owned protocol: FP8-stored weights decode to exactly the
+        // fake-quantized f32 tensor (bit-identical by the storage
+        // round-trip contract), so executors that cannot consume a
+        // `QTensor` still see the same arithmetic.
+        if let Some(q) = self.model.qweights.get(&value) {
+            return Some(q.dequantize());
+        }
         self.model.weights.get(&value).cloned()
     }
 
@@ -309,8 +406,16 @@ impl ExecHook for QuantHook<'_> {
     ) -> Option<&'a Tensor> {
         // Zero-copy protocol for planned execution: pre-quantized weights
         // are borrowed straight out of the model instead of cloned per
-        // fetch (agrees with `weight()` above by construction).
+        // fetch (agrees with `weight()` above by construction). FP8-stored
+        // weights are not served here — `weight_q` binds them without
+        // materializing f32.
         self.model.weights.get(&value)
+    }
+
+    fn weight_q<'a>(&'a self, _node: &Node, value: ValueId, _w: &Tensor) -> Option<&'a QTensor> {
+        // Fused-kernel protocol: executors probe this first and run the
+        // `*_q` kernels straight off the FP8 bytes.
+        self.model.qweights.get(&value)
     }
 
     fn before_node(&mut self, node: &Node, inputs: &mut [Tensor]) {
@@ -392,6 +497,7 @@ impl ExecHook for QuantHook<'_> {
 mod tests {
     use super::*;
     use crate::calibrate::CalibrationHook;
+    use crate::config::WeightStorage;
     use ptq_fp8::Fp8Format;
     use ptq_nn::GraphBuilder;
     use ptq_nn::UnwrapOk;
@@ -495,16 +601,74 @@ mod tests {
     fn weights_are_prequantized_once() {
         let g = cnn();
         let calib = calibrated(&g);
+        // Default policy: FP8 weights are stored as bytes, not f32.
         let cfg = QuantConfig::fp8(Fp8Format::E4M3).with_first_last();
-        let model = QuantizedModel::build(g, &calib, cfg).unwrap_ok();
-        assert_eq!(model.weights.len(), 3);
-        // Quantized weights differ from the originals but are close.
-        for (vid, qw) in &model.weights {
+        let model = QuantizedModel::build(g.clone(), &calib, cfg.clone()).unwrap_ok();
+        assert_eq!(model.qweights.len(), 3);
+        assert!(model.weights.is_empty());
+        // Stored weights decode to values that differ from the originals
+        // but are close.
+        for (vid, qw) in &model.qweights {
             let orig = model.graph.param(*vid).unwrap();
-            assert_ne!(orig, qw);
-            let mse = ptq_tensor::stats::mse(orig.data(), qw.data());
+            let deq = qw.dequantize();
+            assert_ne!(orig, &deq);
+            let mse = ptq_tensor::stats::mse(orig.data(), deq.data());
             assert!(mse < 1e-3);
         }
+        // Opting out keeps the legacy fake-quant f32 tensors.
+        let cfg_f32 = cfg.with_weight_storage(WeightStorage::FakeQuantF32);
+        let legacy = QuantizedModel::build(g, &calib, cfg_f32).unwrap_ok();
+        assert_eq!(legacy.weights.len(), 3);
+        assert!(legacy.qweights.is_empty());
+    }
+
+    #[test]
+    fn fp8_storage_is_bit_identical_to_fake_quant() {
+        // The tentpole contract: decoding the stored bytes reproduces the
+        // fake-quantized f32 weights exactly, so both storage modes run
+        // the same arithmetic.
+        let g = cnn();
+        let calib = calibrated(&g);
+        for granularity in [Granularity::PerTensor, Granularity::PerChannel] {
+            for f in Fp8Format::ALL {
+                let mut cfg = QuantConfig::fp8(f).with_first_last();
+                cfg.weight_granularity = granularity;
+                let stored = QuantizedModel::build(g.clone(), &calib, cfg.clone()).unwrap_ok();
+                let legacy = QuantizedModel::build(
+                    g.clone(),
+                    &calib,
+                    cfg.with_weight_storage(WeightStorage::FakeQuantF32),
+                )
+                .unwrap_ok();
+                assert_eq!(stored.qweights.len(), legacy.weights.len(), "{f}");
+                for (vid, qw) in &stored.qweights {
+                    let fake = &legacy.weights[vid];
+                    assert_eq!(&qw.dequantize(), fake, "{f} {granularity:?} weight {vid:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_bytes_report_the_fp8_reduction() {
+        let g = cnn();
+        let calib = calibrated(&g);
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3).with_first_last();
+        let model = QuantizedModel::build(g.clone(), &calib, cfg.clone()).unwrap_ok();
+        let elems: usize = model.qweights.values().map(|q| q.len()).sum();
+        assert_eq!(model.weight_bytes_f32(), elems * 4);
+        // 1 byte/element + per-channel scales: strictly between 1/4 and
+        // 1/3 of the f32 footprint for these shapes.
+        assert!(model.weight_bytes() >= elems);
+        assert!(model.weight_bytes() * 3 < model.weight_bytes_f32());
+        // Fake-quant f32 mode reports no reduction.
+        let legacy = QuantizedModel::build(
+            g,
+            &calib,
+            cfg.with_weight_storage(WeightStorage::FakeQuantF32),
+        )
+        .unwrap_ok();
+        assert_eq!(legacy.weight_bytes(), legacy.weight_bytes_f32());
     }
 
     #[test]

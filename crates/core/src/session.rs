@@ -13,13 +13,13 @@
 use crate::bn_calib::recalibrate_batchnorm;
 use crate::calib_cache::CalibCache;
 use crate::calibrate::CalibData;
-use crate::config::QuantConfig;
+use crate::config::{QuantConfig, WeightStorage};
 use crate::quantizer::{QuantHook, QuantizedModel};
 use crate::workflow::{calibrate_workload, run_guarded};
 use ptq_metrics::WorkloadResult;
 use ptq_models::Workload;
 use ptq_nn::{ExecHook, Node, PtqError, ValueId};
-use ptq_tensor::Tensor;
+use ptq_tensor::{QTensor, Tensor};
 
 /// Result of quantizing one workload under one recipe.
 #[derive(Debug)]
@@ -30,6 +30,13 @@ pub struct QuantOutcome {
     pub score: f64,
     /// Pass-rate record (baseline vs quantized).
     pub result: WorkloadResult,
+    /// Resident bytes of the pre-quantized weights as stored (FP8 bytes +
+    /// scales, or dense f32 under
+    /// [`WeightStorage::FakeQuantF32`]).
+    pub weight_bytes: usize,
+    /// Bytes the same weights would occupy as dense f32 — the baseline
+    /// for the memory-reduction ratio.
+    pub weight_bytes_f32: usize,
 }
 
 /// Chains the quantizing hook with a caller-supplied observer: the
@@ -59,6 +66,10 @@ impl ExecHook for ObservedQuant<'_, '_> {
 
     fn weight_ref<'a>(&'a self, node: &Node, value: ValueId, w: &'a Tensor) -> Option<&'a Tensor> {
         self.quant.weight_ref(node, value, w)
+    }
+
+    fn weight_q<'a>(&'a self, node: &Node, value: ValueId, w: &Tensor) -> Option<&'a QTensor> {
+        self.quant.weight_q(node, value, w)
     }
 }
 
@@ -132,6 +143,15 @@ impl<'a> PtqSession<'a> {
         self
     }
 
+    /// Select how FP8 weights are materialized: real FP8 byte storage
+    /// executed by the fused kernels (the default) or legacy fake-quantized
+    /// f32 tensors. Both modes are bit-identical in arithmetic; the knob
+    /// trades weight memory for kernel choice.
+    pub fn weight_storage(mut self, storage: WeightStorage) -> Self {
+        self.cfg = self.cfg.with_weight_storage(storage);
+        self
+    }
+
     /// The session's configuration.
     pub fn config(&self) -> &QuantConfig {
         &self.cfg
@@ -187,10 +207,14 @@ impl<'a> PtqSession<'a> {
             };
             let result = workload.result(score);
             sp.record_f64("score", score);
+            let weight_bytes = model.weight_bytes();
+            let weight_bytes_f32 = model.weight_bytes_f32();
             Ok(QuantOutcome {
                 model,
                 score,
                 result,
+                weight_bytes,
+                weight_bytes_f32,
             })
         })
     }
@@ -261,6 +285,28 @@ mod tests {
             .unwrap_ok();
         assert_eq!(base.score.to_bits(), observed.score.to_bits());
         assert!(counter.0 > 0, "observer never fired");
+    }
+
+    #[test]
+    fn weight_storage_knob_is_score_identical_and_shrinks_weights() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let w = &zoo[0];
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+        let stored = PtqSession::new(cfg.clone()).quantize(w).unwrap_ok();
+        let legacy = PtqSession::new(cfg)
+            .weight_storage(WeightStorage::FakeQuantF32)
+            .quantize(w)
+            .unwrap_ok();
+        // Same arithmetic either way; only the storage differs.
+        assert_eq!(stored.score.to_bits(), legacy.score.to_bits());
+        assert_eq!(stored.weight_bytes_f32, legacy.weight_bytes_f32);
+        assert_eq!(legacy.weight_bytes, legacy.weight_bytes_f32);
+        assert!(
+            stored.weight_bytes * 3 < stored.weight_bytes_f32,
+            "fp8 storage should be well under 1/3 of f32 ({} vs {})",
+            stored.weight_bytes,
+            stored.weight_bytes_f32
+        );
     }
 
     #[test]

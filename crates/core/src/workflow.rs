@@ -227,6 +227,13 @@ pub struct SuiteRow {
     /// Workloads that failed to quantize, recorded instead of aborting
     /// the sweep (empty when every workload succeeded).
     pub errors: Vec<SweepError>,
+    /// Total resident weight bytes across the row's healthy workloads, as
+    /// actually stored (FP8 bytes + scales under the default
+    /// [`crate::WeightStorage::Fp8`] policy, dense f32 otherwise).
+    pub weight_bytes: usize,
+    /// What those same weights would occupy as dense f32 — the baseline
+    /// for the row's weight-memory-reduction ratio.
+    pub weight_bytes_f32: usize,
 }
 
 /// Evaluate a named recipe family over a zoo slice: for each workload the
@@ -257,14 +264,15 @@ pub fn run_suite_cached(
         sp.record_str("approach", &approach.to_string());
         sp.record_int("workloads", zoo.len() as i64);
     }
-    let attempts: Vec<Result<ptq_metrics::WorkloadResult, SweepError>> = zoo
+    type Attempt = Result<(ptq_metrics::WorkloadResult, usize, usize), SweepError>;
+    let attempts: Vec<Attempt> = zoo
         .par_iter()
         .map(|w| {
             let cfg = paper_recipe(format, approach, w.spec.domain);
             PtqSession::new(cfg)
                 .cache(cache)
                 .quantize(w)
-                .map(|out| out.result)
+                .map(|out| (out.result, out.weight_bytes, out.weight_bytes_f32))
                 .map_err(|e| SweepError {
                     workload: w.spec.name.clone(),
                     error: e.to_string(),
@@ -273,9 +281,14 @@ pub fn run_suite_cached(
         .collect();
     let mut results = Vec::with_capacity(attempts.len());
     let mut errors = Vec::new();
+    let (mut weight_bytes, mut weight_bytes_f32) = (0usize, 0usize);
     for attempt in attempts {
         match attempt {
-            Ok(r) => results.push(r),
+            Ok((r, wb, wb32)) => {
+                results.push(r);
+                weight_bytes += wb;
+                weight_bytes_f32 += wb32;
+            }
             Err(e) => errors.push(e),
         }
     }
@@ -290,6 +303,8 @@ pub fn run_suite_cached(
         summary: PassRateSummary::of(&results),
         results,
         errors,
+        weight_bytes,
+        weight_bytes_f32,
     }
 }
 
@@ -376,6 +391,13 @@ mod tests {
         assert_eq!(row.results.len(), 4);
         assert!(row.errors.is_empty());
         assert!(row.summary.all >= 0.0 && row.summary.all <= 1.0);
+        // FP8 rows store weights as bytes: well under 1/3 of the f32
+        // footprint (1 byte/element + scales).
+        assert!(row.weight_bytes > 0);
+        assert!(row.weight_bytes * 3 < row.weight_bytes_f32);
+        // INT8 rows keep fake-quant f32 weights: no reduction.
+        let int8 = run_suite(&zoo[..2], DataFormat::Int8, Approach::Static);
+        assert_eq!(int8.weight_bytes, int8.weight_bytes_f32);
     }
 
     #[test]

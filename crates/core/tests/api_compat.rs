@@ -44,6 +44,20 @@ fn assert_outcomes_identical(a: &QuantOutcome, b: &QuantOutcome, what: &str) {
             assert_eq!(x.to_bits(), y.to_bits(), "{what}: weight {id} bits");
         }
     }
+    assert_eq!(
+        a.model.qweights.len(),
+        b.model.qweights.len(),
+        "{what}: fp8-stored weight count"
+    );
+    for (id, qa) in &a.model.qweights {
+        let qb = b.model.qweights.get(id).expect("same qweight ids");
+        assert_eq!(qa, qb, "{what}: qweight {id} codes/scales");
+    }
+    assert_eq!(a.weight_bytes, b.weight_bytes, "{what}: weight_bytes");
+    assert_eq!(
+        a.weight_bytes_f32, b.weight_bytes_f32,
+        "{what}: weight_bytes_f32"
+    );
 }
 
 fn workloads() -> Vec<Workload> {
@@ -99,6 +113,72 @@ fn deprecated_shims_match_session_bit_for_bit() {
         let shim = quantize_workload_with(w, &cfg, &calib);
         assert_outcomes_identical(&with_session, &shim, "quantize_workload_with");
         assert_outcomes_identical(&session, &with_session, "with vs end-to-end");
+    }
+}
+
+#[test]
+fn deprecated_shims_respect_the_weight_storage_knob() {
+    // The shims forward the whole config, so the PR's weight-storage knob
+    // rides through them unchanged: both storage modes produce the same
+    // scores via the shims as via the session, and the two modes agree
+    // with each other bit-for-bit.
+    use ptq_core::WeightStorage;
+    for w in &workloads() {
+        let base = paper_recipe(
+            DataFormat::Fp8(Fp8Format::E4M3),
+            Approach::Static,
+            w.spec.domain,
+        );
+        for storage in [WeightStorage::Fp8, WeightStorage::FakeQuantF32] {
+            let cfg = base.clone().with_weight_storage(storage);
+            let session = PtqSession::new(cfg.clone()).quantize(w).unwrap_ok();
+            let shim = quantize_workload(w, &cfg);
+            assert_outcomes_identical(&session, &shim, &format!("{storage} quantize_workload"));
+            let shim = try_quantize_workload(w, &cfg).unwrap_ok();
+            assert_outcomes_identical(&session, &shim, &format!("{storage} try_quantize_workload"));
+        }
+        // Same arithmetic in both modes: identical scores, only the
+        // resident weight representation differs.
+        let stored = quantize_workload(w, &base.clone().with_weight_storage(WeightStorage::Fp8));
+        let legacy = quantize_workload(
+            w,
+            &base
+                .clone()
+                .with_weight_storage(WeightStorage::FakeQuantF32),
+        );
+        assert_eq!(
+            stored.score.to_bits(),
+            legacy.score.to_bits(),
+            "{}: storage modes diverge",
+            w.spec.name
+        );
+    }
+}
+
+#[test]
+fn fp8_storage_reports_4x_weight_reduction_on_cv_and_nlp() {
+    use ptq_metrics::Domain;
+    let zoo = build_zoo(ZooFilter::Quick);
+    for domain in [Domain::Cv, Domain::Nlp] {
+        let w = zoo
+            .iter()
+            .find(|w| w.spec.domain == domain)
+            .expect("quick zoo covers both domains");
+        let cfg = paper_recipe(DataFormat::Fp8(Fp8Format::E4M3), Approach::Static, domain);
+        let out = PtqSession::new(cfg).quantize(w).unwrap_ok();
+        assert!(
+            !out.model.qweights.is_empty(),
+            "{}: no fp8-stored weights",
+            w.spec.name
+        );
+        let ratio = out.weight_bytes_f32 as f64 / out.weight_bytes as f64;
+        assert!(
+            ratio > 3.0 && ratio <= 4.0,
+            "{}: expected ~4x weight reduction, got {ratio:.2}x ({} -> {} bytes)",
+            w.spec.name,
+            out.weight_bytes_f32,
+            out.weight_bytes
+        );
     }
 }
 

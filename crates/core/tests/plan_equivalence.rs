@@ -3,8 +3,8 @@
 //! arena-reused buffers must be a pure performance transform — zero
 //! numeric or observer-visible difference.
 
-use ptq_core::config::{Approach, DataFormat};
-use ptq_core::{paper_recipe, CalibrationHook, PtqSession, UnwrapOk};
+use ptq_core::config::{Approach, DataFormat, Granularity, QuantConfig, WeightStorage};
+use ptq_core::{paper_recipe, CalibrationHook, PtqSession, QuantizedModel, UnwrapOk};
 use ptq_fp8::Fp8Format;
 use ptq_models::{build_zoo, ZooFilter};
 use ptq_nn::{ExecPlan, Graph, NoopHook};
@@ -70,6 +70,54 @@ fn plan_drives_calibration_identically_across_zoo() {
             let cp = &dp.channel_absmax[n];
             for (a, b) in ci.iter().zip(cp) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{} channel absmax", w.spec.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn fp8_stored_weights_match_fake_quant_across_zoo() {
+    // The weight-storage knob is a pure memory transform: executing
+    // FP8-stored weights through the fused `*_q` kernels must be
+    // bit-identical to the legacy fake-quant f32 path — for every quick-zoo
+    // workload, all three FP8 formats, per-tensor and per-channel weight
+    // scales, on both the interpreter and the planned executor.
+    for w in &build_zoo(ZooFilter::Quick) {
+        let base = QuantConfig::fp8(Fp8Format::E4M3);
+        let calib = ptq_core::calibrate_workload(w, &base).unwrap_ok();
+        let inputs = &w.eval[0];
+        for f in Fp8Format::ALL {
+            for granularity in [Granularity::PerTensor, Granularity::PerChannel] {
+                let mut cfg = QuantConfig::fp8(f);
+                cfg.weight_granularity = granularity;
+                let stored =
+                    QuantizedModel::build(w.graph.clone(), &calib, cfg.clone()).unwrap_ok();
+                let legacy = QuantizedModel::build(
+                    w.graph.clone(),
+                    &calib,
+                    cfg.with_weight_storage(WeightStorage::FakeQuantF32),
+                )
+                .unwrap_ok();
+                let what = format!("{} {f} {granularity:?}", w.spec.name);
+                let has_fused_weights = stored.graph.nodes().iter().any(|n| {
+                    stored.quantized_nodes.contains(&n.id)
+                        && matches!(n.op, ptq_nn::Op::Conv2d { .. } | ptq_nn::Op::Linear { .. })
+                });
+                assert_eq!(
+                    !stored.qweights.is_empty(),
+                    has_fused_weights,
+                    "{what}: fp8 storage engaged exactly for fused-kernel ops"
+                );
+                assert!(legacy.qweights.is_empty(), "{what}: legacy mode is f32");
+
+                let ref_out = legacy.graph.run(inputs, &mut legacy.hook()).unwrap_ok();
+                let interp = stored.graph.run(inputs, &mut stored.hook()).unwrap_ok();
+                assert_tensors_identical(&ref_out, &interp, &format!("{what} interp"));
+                let plan = plan_for(&stored.graph, inputs);
+                let planned = plan
+                    .run(&stored.graph, inputs, &mut stored.hook())
+                    .unwrap_ok();
+                assert_tensors_identical(&ref_out, &planned, &format!("{what} planned"));
             }
         }
     }

@@ -295,7 +295,10 @@ impl Fp8Codec {
         match self.overflow {
             OverflowPolicy::Saturate => self.max_code(),
             OverflowPolicy::NonSaturating => match self.spec.nan_encoding {
-                NanEncoding::Ieee => self.inf_code().expect("IEEE format has Inf"),
+                // IEEE formats always have an Inf code; extended formats
+                // reclaim it, so overflow lands on the NaN pattern either
+                // way if the lookup ever came back empty.
+                NanEncoding::Ieee => self.inf_code().unwrap_or_else(|| self.nan_code()),
                 NanEncoding::Extended => self.nan_code(),
             },
         }

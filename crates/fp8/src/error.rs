@@ -1,0 +1,44 @@
+//! Typed errors for the fallible parts of the FP8 crate.
+//!
+//! Mirrors the PR 2 convention in `ptq-nn`: constructors that used to
+//! `assert!`/`expect` now return `Result<_, Fp8Error>` so callers can
+//! fail soft instead of unwinding through a sweep.
+
+use std::fmt;
+
+/// Errors from quantized-storage constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fp8Error {
+    /// `data.len()` does not match the product of the requested shape.
+    ShapeMismatch {
+        /// Number of f32 elements supplied.
+        data_len: usize,
+        /// The requested logical shape.
+        shape: Vec<usize>,
+    },
+    /// Per-channel quantization needs at least one axis to scale over.
+    ScalarShape,
+    /// Per-channel quantization over an empty leading axis.
+    EmptyLeadingAxis,
+}
+
+impl fmt::Display for Fp8Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fp8Error::ShapeMismatch { data_len, shape } => write!(
+                f,
+                "shape/product mismatch: {data_len} elements vs shape {shape:?} \
+                 (product {})",
+                shape.iter().product::<usize>()
+            ),
+            Fp8Error::ScalarShape => {
+                write!(f, "per-channel quantization needs a non-scalar shape")
+            }
+            Fp8Error::EmptyLeadingAxis => {
+                write!(f, "per-channel quantization over an empty leading axis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fp8Error {}

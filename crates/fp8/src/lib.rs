@@ -38,6 +38,7 @@
 
 pub mod codec;
 pub mod density;
+pub mod error;
 pub mod format;
 pub mod int8;
 pub mod lut;
@@ -46,6 +47,7 @@ pub mod storage;
 
 pub use codec::{Fp8Codec, OverflowPolicy, Rounding};
 pub use density::{density_at, grid_points_in};
+pub use error::Fp8Error;
 pub use format::{Fp8Format, FpSpec, NanEncoding};
 pub use int8::{Int8Codec, Int8Granularity, Int8Mode};
 pub use lut::Fp8Lut;

@@ -34,7 +34,7 @@
 //! and callers fall back to the scalar path.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 use crate::codec::{Fp8Codec, OverflowPolicy, Rounding};
 use crate::format::FpSpec;
@@ -48,7 +48,7 @@ const INF_BITS: u32 = 0x7F80_0000;
 /// ```
 /// use ptq_fp8::{Fp8Codec, Fp8Format, Fp8Lut};
 /// let codec = Fp8Codec::new(Fp8Format::E4M3);
-/// let lut = Fp8Lut::for_codec(&codec).expect("default policies have a LUT");
+/// let lut = Fp8Lut::for_spec(Fp8Format::E4M3.spec());
 /// assert_eq!(lut.quantize(1.3), codec.quantize(1.3));
 /// assert_eq!(lut.quantize(1e9), 448.0); // saturates like the codec
 /// ```
@@ -89,7 +89,9 @@ impl Fp8Lut {
     /// on first use.
     pub fn for_spec(spec: FpSpec) -> &'static Fp8Lut {
         let cache = LUT_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        let mut map = cache.lock().expect("LUT cache poisoned");
+        // The map only ever grows with leaked 'static entries, so a
+        // poisoned lock still holds a consistent map — recover it.
+        let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(lut) = map.get(&spec) {
             return lut;
         }

@@ -159,7 +159,16 @@ pub fn fake_quant_fp8_per_channel(
     let mut sq = 0.0f64;
     for c in 0..channels {
         let chunk = &mut data[c * inner..(c + 1) * inner];
-        let absmax = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        // NaN-propagating absmax (PR 2 convention): a non-finite magnitude
+        // wins the fold so the guard below falls back to unit scale.
+        let absmax = chunk.iter().fold(0.0f32, |m, &x| {
+            let a = x.abs();
+            if a > m || !a.is_finite() {
+                a
+            } else {
+                m
+            }
+        });
         let scale = if absmax > 0.0 && absmax.is_finite() {
             format / absmax
         } else {
@@ -198,7 +207,15 @@ pub fn fake_quant_fp8_per_channel_lut(
     let mut sq = 0.0f64;
     for c in 0..channels {
         let chunk = &mut data[c * inner..(c + 1) * inner];
-        let absmax = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        // NaN-propagating absmax, identical to the non-LUT variant above.
+        let absmax = chunk.iter().fold(0.0f32, |m, &x| {
+            let a = x.abs();
+            if a > m || !a.is_finite() {
+                a
+            } else {
+                m
+            }
+        });
         let scale = if absmax > 0.0 && absmax.is_finite() {
             format / absmax
         } else {

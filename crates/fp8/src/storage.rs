@@ -8,7 +8,9 @@
 //! inference in the first place.
 
 use crate::codec::Fp8Codec;
+use crate::error::Fp8Error;
 use crate::format::Fp8Format;
+use crate::lut::Fp8Lut;
 use crate::quantize::fp8_scale;
 use serde::{Deserialize, Serialize};
 
@@ -21,15 +23,70 @@ pub enum StoredScales {
     PerChannel(Vec<f32>),
 }
 
+impl StoredScales {
+    /// Number of stored scale values.
+    pub fn len(&self) -> usize {
+        match self {
+            StoredScales::PerTensor(_) => 1,
+            StoredScales::PerChannel(v) => v.len(),
+        }
+    }
+
+    /// Always false: even per-tensor storage carries one scale.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The scale applied to leading-axis channel `c`.
+    ///
+    /// Per-tensor storage returns the single scale for every channel;
+    /// out-of-range per-channel lookups fall back to unit scale.
+    #[inline]
+    pub fn scale_for_channel(&self, c: usize) -> f32 {
+        match self {
+            StoredScales::PerTensor(s) => *s,
+            StoredScales::PerChannel(v) => v.get(c).copied().unwrap_or(1.0),
+        }
+    }
+}
+
+/// Absmax that propagates NaN/Inf: any non-finite magnitude wins the fold
+/// so that [`fp8_scale`] sees it and falls back to unit scale — the same
+/// convention as the dynamic-activation path in `ptq-core` (PR 2).
+#[inline]
+fn absmax_nan_aware(data: &[f32]) -> f32 {
+    data.iter().fold(0.0f32, |m, &v| {
+        let a = v.abs();
+        if a > m || !a.is_finite() {
+            a
+        } else {
+            m
+        }
+    })
+}
+
+fn check_shape(data_len: usize, shape: &[usize]) -> Result<(), Fp8Error> {
+    if data_len != shape.iter().product::<usize>() {
+        return Err(Fp8Error::ShapeMismatch {
+            data_len,
+            shape: shape.to_vec(),
+        });
+    }
+    Ok(())
+}
+
 /// An FP8 tensor stored as raw byte codes plus scales.
 ///
 /// ```
+/// # fn main() -> Result<(), ptq_fp8::Fp8Error> {
 /// use ptq_fp8::{Fp8Format, StoredTensor};
 /// let data = vec![0.5_f32, -1.25, 3.0, 0.0];
-/// let st = StoredTensor::quantize(&data, &[4], Fp8Format::E4M3);
+/// let st = StoredTensor::quantize(&data, &[4], Fp8Format::E4M3)?;
 /// assert_eq!(st.bytes().len(), 4);                 // 1 byte/element
 /// let back = st.dequantize();
 /// assert!((back[1] + 1.25).abs() < 0.05);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoredTensor {
@@ -42,58 +99,62 @@ pub struct StoredTensor {
 impl StoredTensor {
     /// Quantize `data` (row-major, any shape) with a per-tensor max scale.
     ///
-    /// # Panics
+    /// A NaN/Inf absmax falls back to unit scale (non-finite values then
+    /// round-trip through the codec's own NaN/saturation rules), matching
+    /// the dynamic-quantization convention in `ptq-core`.
     ///
-    /// Panics if `data.len()` does not match the product of `shape`.
-    pub fn quantize(data: &[f32], shape: &[usize], format: Fp8Format) -> Self {
-        assert_eq!(
-            data.len(),
-            shape.iter().product::<usize>(),
-            "shape/product mismatch"
-        );
+    /// # Errors
+    ///
+    /// Returns [`Fp8Error::ShapeMismatch`] if `data.len()` does not match
+    /// the product of `shape`.
+    pub fn quantize(data: &[f32], shape: &[usize], format: Fp8Format) -> Result<Self, Fp8Error> {
+        check_shape(data.len(), shape)?;
         let codec = Fp8Codec::new(format);
-        let absmax = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-        let scale = fp8_scale(format, absmax);
+        let scale = fp8_scale(format, absmax_nan_aware(data));
         let codes = data.iter().map(|&x| codec.encode(x * scale)).collect();
-        StoredTensor {
+        Ok(StoredTensor {
             format,
             shape: shape.to_vec(),
             codes,
             scales: StoredScales::PerTensor(scale),
-        }
+        })
     }
 
     /// Quantize with one scale per leading-axis channel (the paper's
-    /// weight layout).
+    /// weight layout). Channels with NaN/Inf absmax fall back to unit
+    /// scale, like [`StoredTensor::quantize`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on shape mismatch or an empty leading axis.
-    pub fn quantize_per_channel(data: &[f32], shape: &[usize], format: Fp8Format) -> Self {
-        assert_eq!(
-            data.len(),
-            shape.iter().product::<usize>(),
-            "shape/product mismatch"
-        );
-        let channels = *shape.first().expect("non-scalar shape");
-        assert!(channels > 0, "empty leading axis");
+    /// Returns [`Fp8Error::ShapeMismatch`] on a shape/length mismatch,
+    /// [`Fp8Error::ScalarShape`] for an empty shape, and
+    /// [`Fp8Error::EmptyLeadingAxis`] when `shape[0] == 0`.
+    pub fn quantize_per_channel(
+        data: &[f32],
+        shape: &[usize],
+        format: Fp8Format,
+    ) -> Result<Self, Fp8Error> {
+        check_shape(data.len(), shape)?;
+        let channels = *shape.first().ok_or(Fp8Error::ScalarShape)?;
+        if channels == 0 {
+            return Err(Fp8Error::EmptyLeadingAxis);
+        }
         let inner = data.len() / channels;
         let codec = Fp8Codec::new(format);
         let mut codes = Vec::with_capacity(data.len());
         let mut scales = Vec::with_capacity(channels);
         for c in 0..channels {
             let chunk = &data[c * inner..(c + 1) * inner];
-            let absmax = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-            let scale = fp8_scale(format, absmax);
+            let scale = fp8_scale(format, absmax_nan_aware(chunk));
             scales.push(scale);
             codes.extend(chunk.iter().map(|&x| codec.encode(x * scale)));
         }
-        StoredTensor {
+        Ok(StoredTensor {
             format,
             shape: shape.to_vec(),
             codes,
             scales: StoredScales::PerChannel(scales),
-        }
+        })
     }
 
     /// The storage format.
@@ -118,25 +179,17 @@ impl StoredTensor {
 
     /// Bytes of payload storage (codes + scales), for memory accounting.
     pub fn storage_bytes(&self) -> usize {
-        let scale_bytes = match &self.scales {
-            StoredScales::PerTensor(_) => 4,
-            StoredScales::PerChannel(v) => 4 * v.len(),
-        };
-        self.codes.len() + scale_bytes
+        self.codes.len() + 4 * self.scales.len()
     }
 
-    /// Decode back to f32 using a 256-entry lookup table (one table per
-    /// call; decoding is memory-bound, not compute-bound).
+    /// Decode back to f32 via the shared cached [`Fp8Lut`] (bit-identical
+    /// to the scalar codec; see `lut_equivalence` tests).
     pub fn dequantize(&self) -> Vec<f32> {
-        let codec = Fp8Codec::new(self.format);
-        let mut lut = [0.0f32; 256];
-        for (b, slot) in lut.iter_mut().enumerate() {
-            *slot = codec.decode(b as u8);
-        }
+        let lut = Fp8Lut::for_spec(self.format.spec());
         // Divide by the scale (rather than multiplying by a precomputed
         // reciprocal) so results are bit-identical to fake quantization.
         match &self.scales {
-            StoredScales::PerTensor(s) => self.codes.iter().map(|&b| lut[b as usize] / s).collect(),
+            StoredScales::PerTensor(s) => self.codes.iter().map(|&b| lut.decode(b) / s).collect(),
             StoredScales::PerChannel(scales) => {
                 let channels = scales.len();
                 let inner = self.codes.len() / channels.max(1);
@@ -145,7 +198,7 @@ impl StoredTensor {
                     out.extend(
                         self.codes[c * inner..(c + 1) * inner]
                             .iter()
-                            .map(|&b| lut[b as usize] / s),
+                            .map(|&b| lut.decode(b) / s),
                     );
                 }
                 out
@@ -165,7 +218,7 @@ mod tests {
         // computes: decode(encode(x*s))/s.
         let data: Vec<f32> = (0..64).map(|i| (i as f32 - 31.5) * 0.13).collect();
         for f in Fp8Format::ALL {
-            let st = StoredTensor::quantize(&data, &[64], f);
+            let st = StoredTensor::quantize(&data, &[64], f).unwrap();
             let real = st.dequantize();
             let mut fake = data.clone();
             let codec = Fp8Codec::new(f);
@@ -183,7 +236,7 @@ mod tests {
         for (i, v) in data.iter_mut().enumerate() {
             *v = if i < 16 { 0.01 } else { 10.0 } * ((i % 7) as f32 - 3.0);
         }
-        let st = StoredTensor::quantize_per_channel(&data, &[2, 16], Fp8Format::E3M4);
+        let st = StoredTensor::quantize_per_channel(&data, &[2, 16], Fp8Format::E3M4).unwrap();
         let back = st.dequantize();
         for (a, b) in data.iter().zip(&back) {
             assert!((a - b).abs() <= a.abs() * 0.05 + 1e-6, "{a} vs {b}");
@@ -197,20 +250,50 @@ mod tests {
     #[test]
     fn storage_is_4x_smaller_than_f32() {
         let data = vec![1.0f32; 1024];
-        let st = StoredTensor::quantize(&data, &[1024], Fp8Format::E4M3);
+        let st = StoredTensor::quantize(&data, &[1024], Fp8Format::E4M3).unwrap();
         assert_eq!(st.storage_bytes(), 1024 + 4);
         assert!(st.storage_bytes() * 3 < data.len() * 4);
     }
 
     #[test]
     fn zero_tensor() {
-        let st = StoredTensor::quantize(&[0.0; 8], &[8], Fp8Format::E5M2);
+        let st = StoredTensor::quantize(&[0.0; 8], &[8], Fp8Format::E5M2).unwrap();
         assert!(st.dequantize().iter().all(|&v| v == 0.0));
     }
 
     #[test]
-    #[should_panic(expected = "shape/product mismatch")]
     fn shape_checked() {
-        StoredTensor::quantize(&[0.0; 8], &[3, 3], Fp8Format::E4M3);
+        let err = StoredTensor::quantize(&[0.0; 8], &[3, 3], Fp8Format::E4M3).unwrap_err();
+        assert!(matches!(err, Fp8Error::ShapeMismatch { data_len: 8, .. }));
+        assert!(err.to_string().contains("shape/product mismatch"));
+    }
+
+    #[test]
+    fn per_channel_rejects_degenerate_shapes() {
+        assert_eq!(
+            StoredTensor::quantize_per_channel(&[0.0], &[], Fp8Format::E4M3).unwrap_err(),
+            Fp8Error::ScalarShape
+        );
+        assert_eq!(
+            StoredTensor::quantize_per_channel(&[], &[0, 4], Fp8Format::E4M3).unwrap_err(),
+            Fp8Error::EmptyLeadingAxis
+        );
+    }
+
+    #[test]
+    fn non_finite_absmax_falls_back_to_unit_scale() {
+        // Same convention as the PR 2 dynamic-quant fix: a NaN/Inf absmax
+        // must not poison the scale.
+        let data = [1.0f32, f32::NAN, -2.0, f32::INFINITY];
+        let st = StoredTensor::quantize(&data, &[4], Fp8Format::E4M3).unwrap();
+        assert_eq!(*st.scales(), StoredScales::PerTensor(1.0));
+        let st = StoredTensor::quantize_per_channel(&data, &[2, 2], Fp8Format::E4M3).unwrap();
+        match st.scales() {
+            StoredScales::PerChannel(s) => {
+                assert_eq!(s[0], 1.0, "NaN channel");
+                assert_eq!(s[1], 1.0, "Inf channel");
+            }
+            _ => panic!("expected per-channel scales"),
+        }
     }
 }

@@ -10,17 +10,25 @@
 use crate::error::PtqError;
 use crate::graph::{Node, Op};
 use ptq_tensor::ops;
-use ptq_tensor::Tensor;
+use ptq_tensor::{QTensor, Tensor};
 
 /// Upper bound on parameters any single operator references (BatchNorm's
 /// gamma/beta/mean/var is the maximum).
 pub(crate) const MAX_OP_PARAMS: usize = 4;
 
-/// Borrowed parameter tensors for one node, in
+/// One resolved parameter binding: either a dense f32 tensor or an
+/// FP8-stored [`QTensor`] executed by the fused kernels.
+#[derive(Clone, Copy)]
+pub(crate) enum PRef<'a> {
+    F32(&'a Tensor),
+    Q(&'a QTensor),
+}
+
+/// Borrowed parameter bindings for one node, in
 /// [`Op::param_values`](crate::Op::param_values) order. Fixed-size so the
 /// executor resolves parameters with zero heap traffic per node.
 pub(crate) struct ParamsRef<'a> {
-    items: [Option<&'a Tensor>; MAX_OP_PARAMS],
+    items: [Option<PRef<'a>>; MAX_OP_PARAMS],
 }
 
 impl<'a> ParamsRef<'a> {
@@ -31,13 +39,31 @@ impl<'a> ParamsRef<'a> {
     }
 
     pub(crate) fn set(&mut self, i: usize, t: &'a Tensor) {
-        self.items[i] = Some(t);
+        self.items[i] = Some(PRef::F32(t));
     }
 
-    fn get(&self, node: &Node, i: usize) -> Result<&'a Tensor, PtqError> {
+    pub(crate) fn set_q(&mut self, i: usize, q: &'a QTensor) {
+        self.items[i] = Some(PRef::Q(q));
+    }
+
+    fn get(&self, node: &Node, i: usize) -> Result<PRef<'a>, PtqError> {
         self.items.get(i).copied().flatten().ok_or_else(|| {
             PtqError::Internal(format!("missing parameter {i} for node {}", node.name))
         })
+    }
+
+    /// Resolve parameter `i` as a dense f32 tensor. Only weight slot 0 of
+    /// Conv2d/Linear may bind a [`QTensor`]; every other parameter
+    /// (biases, norm statistics, embedding tables) must be f32, so a `Q`
+    /// binding here is an internal protocol violation, not a user error.
+    fn get_f32(&self, node: &Node, i: usize) -> Result<&'a Tensor, PtqError> {
+        match self.get(node, i)? {
+            PRef::F32(t) => Ok(t),
+            PRef::Q(_) => Err(PtqError::Internal(format!(
+                "parameter {i} for node {} is FP8-stored but the operator needs f32",
+                node.name
+            ))),
+        }
     }
 }
 
@@ -69,29 +95,31 @@ pub(crate) fn eval_node_into(
             depthwise,
             ..
         } => {
-            let w = params.get(node, 0)?;
             let b = match bias {
-                Some(_) => Some(params.get(node, 1)?),
+                Some(_) => Some(params.get_f32(node, 1)?),
                 None => None,
             };
-            if *depthwise {
-                ops::depthwise_conv2d_into(&ins[0], w, b, *cp, out);
-            } else {
-                ops::conv2d_into(&ins[0], w, b, *cp, out);
+            match (params.get(node, 0)?, *depthwise) {
+                (PRef::F32(w), true) => ops::depthwise_conv2d_into(&ins[0], w, b, *cp, out),
+                (PRef::F32(w), false) => ops::conv2d_into(&ins[0], w, b, *cp, out),
+                (PRef::Q(w), true) => ops::depthwise_conv2d_q_into(&ins[0], w, b, *cp, out),
+                (PRef::Q(w), false) => ops::conv2d_q_into(&ins[0], w, b, *cp, out),
             }
         }
         Op::Linear { bias, .. } => {
-            let w = params.get(node, 0)?;
             let b = match bias {
-                Some(_) => Some(params.get(node, 1)?),
+                Some(_) => Some(params.get_f32(node, 1)?),
                 None => None,
             };
-            ops::linear_into(&ins[0], w, b, out);
+            match params.get(node, 0)? {
+                PRef::F32(w) => ops::linear_into(&ins[0], w, b, out),
+                PRef::Q(w) => ops::linear_q_into(&ins[0], w, b, out),
+            }
         }
         Op::MatMul => ops::matmul_into(&ins[0], &ins[1], out),
         Op::BatchMatMul => ops::batch_matmul_into(&ins[0], &ins[1], out),
         Op::Embedding { .. } => {
-            let t = params.get(node, 0)?;
+            let t = params.get_f32(node, 0)?;
             let vocab = t.dim(0);
             scratch.ids.clear();
             for &x in ins[0].data() {
@@ -117,21 +145,21 @@ pub(crate) fn eval_node_into(
             ops::embedding_into(t, &scratch.ids, out);
         }
         Op::BatchNorm { eps, .. } => {
-            let gamma = params.get(node, 0)?;
-            let beta = params.get(node, 1)?;
-            let mean = params.get(node, 2)?;
-            let var = params.get(node, 3)?;
+            let gamma = params.get_f32(node, 0)?;
+            let beta = params.get_f32(node, 1)?;
+            let mean = params.get_f32(node, 2)?;
+            let var = params.get_f32(node, 3)?;
             ops::batchnorm2d_parts_into(&ins[0], gamma, beta, mean, var, *eps, out);
         }
         Op::LayerNorm { eps, .. } => {
-            let g = params.get(node, 0)?;
-            let b = params.get(node, 1)?;
+            let g = params.get_f32(node, 0)?;
+            let b = params.get_f32(node, 1)?;
             ops::layernorm_into(&ins[0], g, b, *eps, out);
         }
         Op::Add => ins[0].zip_broadcast_into(&ins[1], |a, b| a + b, out),
         Op::Mul => ins[0].zip_broadcast_into(&ins[1], |a, b| a * b, out),
         Op::AddParam { .. } => {
-            let p = params.get(node, 0)?;
+            let p = params.get_f32(node, 0)?;
             ins[0].zip_broadcast_into(p, |a, b| a + b, out);
         }
         Op::Relu => ops::relu_into(&ins[0], out),

@@ -55,6 +55,32 @@ pub trait ExecHook {
     ) -> Option<&'a Tensor> {
         None
     }
+
+    /// Quantized-storage variant of [`ExecHook::weight_ref`]: return
+    /// `Some(&qtensor)` to bind an FP8-stored weight that the executor
+    /// runs directly through the fused dequant kernels
+    /// (`ptq_tensor::ops::{linear_q_into, conv2d_q_into, ...}`) — no f32
+    /// weight is ever materialized for the node.
+    ///
+    /// Probed *before* [`ExecHook::weight_ref`] and [`ExecHook::weight`];
+    /// when it returns `Some`, neither of those is consulted. Same
+    /// contract as `weight_ref`: a pure lookup (no side effects, may be
+    /// probed more than once per fetch), and it must bind values that
+    /// decode to exactly what `weight()` would substitute (the fused
+    /// kernels guarantee bit-identical execution given that). Only the
+    /// quantizable weight slot of Conv2d/Linear may bind a
+    /// [`QTensor`](ptq_tensor::QTensor); returning `Some` for any other
+    /// parameter (bias, norm statistics, embedding tables) makes the
+    /// executor fail with a typed internal error. The default returns
+    /// `None`, preserving the f32 protocol for existing hooks.
+    fn weight_q<'a>(
+        &'a self,
+        _node: &Node,
+        _value: crate::graph::ValueId,
+        _w: &Tensor,
+    ) -> Option<&'a ptq_tensor::QTensor> {
+        None
+    }
 }
 
 /// A hook that does nothing: plain FP32 inference.
@@ -136,37 +162,52 @@ impl Graph {
         self.infer(inputs)
     }
 
-    /// Fetch a parameter through the hook's substitution point.
-    fn fetch(
-        &self,
-        node: &Node,
-        id: crate::graph::ValueId,
-        hook: &mut dyn ExecHook,
-    ) -> Result<Tensor, PtqError> {
-        let w = self.params.get(&id).ok_or_else(|| PtqError::UnboundParam {
-            value: id,
-            node: node.name.clone(),
-        })?;
-        Ok(hook.weight(node, id, w).unwrap_or_else(|| w.clone()))
-    }
-
     fn eval_node(
         &self,
         node: &Node,
         ins: &[Tensor],
         hook: &mut dyn ExecHook,
     ) -> Result<Tensor, PtqError> {
-        // Fetch parameters through the hook in `param_values()` order (the
-        // same order the old inline match used), then evaluate through the
-        // shared `exec` path that the planner also uses.
+        // Resolve parameters through the hook in `param_values()` order,
+        // then evaluate through the shared `exec` path that the planner
+        // also uses. Priority per parameter: an FP8-stored binding from
+        // `weight_q()` (fused-kernel protocol), an owned substitution from
+        // `weight()` (legacy protocol), a borrowed substitution from
+        // `weight_ref()` (zero-copy protocol), then the graph's bound
+        // tensor. The mutable `weight()` call happens in a first pass only
+        // when both pure lookups decline, so the hook can be reborrowed
+        // immutably for the zero-copy resolutions afterwards.
         let pids = node.op.param_values();
-        let mut owned: Vec<Tensor> = Vec::with_capacity(pids.len());
+        let mut owned: Vec<Option<Tensor>> = Vec::with_capacity(pids.len());
         for id in &pids {
-            owned.push(self.fetch(node, *id, hook)?);
+            let w = self.params.get(id).ok_or_else(|| PtqError::UnboundParam {
+                value: *id,
+                node: node.name.clone(),
+            })?;
+            if hook.weight_q(node, *id, w).is_none() && hook.weight_ref(node, *id, w).is_none() {
+                owned.push(Some(hook.weight(node, *id, w).unwrap_or_else(|| w.clone())));
+            } else {
+                owned.push(None);
+            }
         }
+        let frozen: &dyn ExecHook = hook;
         let mut pr = crate::exec::ParamsRef::new();
-        for (i, t) in owned.iter().enumerate() {
-            pr.set(i, t);
+        for (i, id) in pids.iter().enumerate() {
+            // Unbound params already errored above, so the lookup is
+            // infallible here; keep the typed error anyway.
+            let w = self.params.get(id).ok_or_else(|| PtqError::UnboundParam {
+                value: *id,
+                node: node.name.clone(),
+            })?;
+            if let Some(t) = owned[i].as_ref() {
+                pr.set(i, t);
+            } else if let Some(q) = frozen.weight_q(node, *id, w) {
+                pr.set_q(i, q);
+            } else if let Some(r) = frozen.weight_ref(node, *id, w) {
+                pr.set(i, r);
+            } else {
+                pr.set(i, w);
+            }
         }
         let mut scratch = crate::exec::EvalScratch::default();
         let mut out = Tensor::default();
@@ -299,6 +340,72 @@ mod tests {
         let base = g.infer(std::slice::from_ref(&input)).unwrap_ok();
         let doubled = g.run(&[input], &mut Doubler).unwrap_ok();
         assert_eq!(doubled[0].data()[0], 2.0 * base[0].data()[0]);
+    }
+
+    #[test]
+    fn weight_q_binding_matches_dequantized_weights_on_both_executors() {
+        use ptq_fp8::Fp8Format;
+        use ptq_tensor::QTensor;
+        use std::collections::HashMap;
+
+        /// Binds FP8-stored weights through the fused-kernel protocol;
+        /// `weight()` stays consistent by dequantizing the same storage.
+        struct QHook {
+            q: HashMap<ValueId, QTensor>,
+        }
+        impl ExecHook for QHook {
+            fn weight(&mut self, _n: &Node, value: ValueId, _w: &Tensor) -> Option<Tensor> {
+                self.q.get(&value).map(|q| q.dequantize())
+            }
+            fn weight_q<'a>(
+                &'a self,
+                _n: &Node,
+                value: ValueId,
+                _w: &Tensor,
+            ) -> Option<&'a QTensor> {
+                self.q.get(&value)
+            }
+        }
+        /// Same weights as owned f32 substitutions (the legacy path).
+        struct DeqHook {
+            q: HashMap<ValueId, QTensor>,
+        }
+        impl ExecHook for DeqHook {
+            fn weight(&mut self, _n: &Node, value: ValueId, _w: &Tensor) -> Option<Tensor> {
+                self.q.get(&value).map(|q| q.dequantize())
+            }
+        }
+
+        let g = tiny_cnn();
+        let mut q = HashMap::new();
+        for node in g.nodes() {
+            if let Some(v) = node.op.weight_value() {
+                let w = &g.params[&v];
+                q.insert(
+                    v,
+                    QTensor::quantize_per_channel(w, Fp8Format::E4M3).unwrap(),
+                );
+            }
+        }
+        let x = TensorRng::seed(17).normal(&[2, 3, 8, 8], 0.0, 1.0);
+
+        let baseline = g
+            .run(std::slice::from_ref(&x), &mut DeqHook { q: q.clone() })
+            .unwrap_ok();
+        let fused = g
+            .run(std::slice::from_ref(&x), &mut QHook { q: q.clone() })
+            .unwrap_ok();
+        assert_eq!(
+            baseline, fused,
+            "interp: fused kernels must be bit-identical"
+        );
+
+        let plan = g.plan(&[x.shape().to_vec()]).unwrap_ok();
+        let planned = plan.run(&g, &[x], &mut QHook { q }).unwrap_ok();
+        assert_eq!(
+            baseline, planned,
+            "plan: fused kernels must be bit-identical"
+        );
     }
 
     #[test]

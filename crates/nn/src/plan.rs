@@ -457,12 +457,14 @@ impl ExecPlan {
             let mut sp = ptq_trace::span(ptq_trace::Level::Debug, "op");
             hook.before_node(node, &mut staging[..arity]);
 
-            // Resolve parameters. Priority per parameter: an owned
+            // Resolve parameters. Priority per parameter: an FP8-stored
+            // binding from `weight_q()` (fused-kernel protocol), an owned
             // substitution from `weight()` (legacy protocol), a borrowed
             // substitution from `weight_ref()` (zero-copy protocol), then
-            // the graph's bound tensor. `weight()` is only consulted when
-            // `weight_ref()` declines, so hooks implementing the borrowed
-            // protocol never clone.
+            // the graph's bound tensor. The mutable `weight()` is only
+            // consulted when both pure lookups decline, so hooks
+            // implementing the borrowed protocols never clone — and a
+            // `weight_q` binding never materializes an f32 weight at all.
             let pids = node.op.param_values();
             if pids.len() > MAX_OP_PARAMS {
                 return Err(PtqError::Internal(format!(
@@ -481,7 +483,9 @@ impl ExecPlan {
                     node: node.name.clone(),
                 })?;
                 ws[i] = Some(w);
-                if (*hook).weight_ref(node, *id, w).is_none() {
+                if (*hook).weight_q(node, *id, w).is_none()
+                    && (*hook).weight_ref(node, *id, w).is_none()
+                {
                     owned[i] = hook.weight(node, *id, w);
                 }
             }
@@ -497,14 +501,15 @@ impl ExecPlan {
                         )))
                     }
                 };
-                let t = if let Some(o) = owned[i].as_ref() {
-                    o
+                if let Some(o) = owned[i].as_ref() {
+                    pr.set(i, o);
+                } else if let Some(q) = frozen.weight_q(node, *id, w) {
+                    pr.set_q(i, q);
                 } else if let Some(r) = frozen.weight_ref(node, *id, w) {
-                    r
+                    pr.set(i, r);
                 } else {
-                    w
-                };
-                pr.set(i, t);
+                    pr.set(i, w);
+                }
             }
 
             let out = &mut slots[step.out_slot];
@@ -715,7 +720,9 @@ mod tests {
         let mut g = tiny_cnn();
         let x = TensorRng::seed(9).normal(&[1, 3, 8, 8], 0.0, 1.0);
         let plan = g.plan(&[x.shape().to_vec()]).unwrap_ok();
-        let before = plan.run(&g, std::slice::from_ref(&x), &mut NoopHook).unwrap_ok();
+        let before = plan
+            .run(&g, std::slice::from_ref(&x), &mut NoopHook)
+            .unwrap_ok();
         // Rewrite the conv weight in place (BatchNorm-calibration style).
         let wid = g.nodes()[0].op.weight_value().expect("conv weight");
         let zeros = Tensor::zeros(g.param(wid).expect("bound").shape());
@@ -746,7 +753,8 @@ mod tests {
         let set = PlanSet::new();
         let a = Tensor::zeros(&[1, 3, 8, 8]);
         let b = Tensor::zeros(&[2, 3, 8, 8]);
-        set.run(&g, std::slice::from_ref(&a), &mut NoopHook).unwrap_ok();
+        set.run(&g, std::slice::from_ref(&a), &mut NoopHook)
+            .unwrap_ok();
         set.run(&g, &[a], &mut NoopHook).unwrap_ok();
         assert_eq!(set.len(), 1);
         set.run(&g, &[b], &mut NoopHook).unwrap_ok();

@@ -17,11 +17,13 @@
 //! is the FP32 side of that emulation.
 
 pub mod ops;
+pub mod qtensor;
 pub mod rng;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
 
+pub use qtensor::{QTensor, ScaledDecode};
 pub use rng::TensorRng;
 pub use shape::{Shape, ShapeError};
 pub use stats::{ChannelStats, Histogram, TensorStats};

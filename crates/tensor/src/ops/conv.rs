@@ -1,6 +1,7 @@
 //! 2-D convolution kernels (NCHW layout).
 
 use super::for_each_chunk;
+use crate::qtensor::QTensor;
 use crate::tensor::Tensor;
 
 /// Stride/padding configuration for [`conv2d`] and [`depthwise_conv2d`].
@@ -199,6 +200,177 @@ pub fn depthwise_conv2d_into(
     });
 }
 
+/// Fused-dequant convolution: weight stored as FP8 codes
+/// (`[Cout, Cin, Kh, Kw]`, per-channel scales over `Cout`). Bit-identical
+/// to `conv2d(x, &w.dequantize(), bias, p)`: each code decodes through
+/// the same scaled 256-entry table `dequantize` uses, inside the MAC
+/// loop, with one table per output channel (fetched once per plane).
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches, or if the kernel does not fit
+/// the padded input.
+pub fn conv2d_q(x: &Tensor, weight: &QTensor, bias: Option<&Tensor>, p: Conv2dParams) -> Tensor {
+    let mut out = Tensor::default();
+    conv2d_q_into(x, weight, bias, p, &mut out);
+    out
+}
+
+/// Out-param variant of [`conv2d_q`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`conv2d_q`] (which delegates here).
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches, or if the kernel does not fit
+/// the padded input.
+pub fn conv2d_q_into(
+    x: &Tensor,
+    weight: &QTensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+    out: &mut Tensor,
+) {
+    assert_eq!(
+        x.ndim(),
+        4,
+        "conv2d input must be NCHW, got {:?}",
+        x.shape()
+    );
+    assert_eq!(weight.ndim(), 4, "conv2d weight must be [Cout,Cin,Kh,Kw]");
+    let (n, cin, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (cout, cin2, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    assert_eq!(cin, cin2, "conv2d channel mismatch {cin} vs {cin2}");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), cout, "bias length vs out channels");
+    }
+    let oh = p.out_size(h, kh);
+    let ow = p.out_size(w, kw);
+    assert!(oh > 0 && ow > 0, "kernel does not fit input");
+
+    let xd = x.data();
+    let wc = weight.codes();
+    let dec = weight.scaled_decode();
+    out.reuse_as(&[n, cout, oh, ow]);
+    let pad = p.padding as isize;
+    let stride = p.stride;
+
+    let macs = n * cout * oh * ow * cin * kh * kw;
+    for_each_chunk(out.data_mut(), oh * ow, macs, |plane, oplane| {
+        let ni = plane / cout;
+        let co = plane % cout;
+        let b0 = bias.map(|b| b.data()[co]).unwrap_or(0.0);
+        let wbase = co * cin * kh * kw;
+        let t = dec.channel(co);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b0;
+                let iy0 = (oy * stride) as isize - pad;
+                let ix0 = (ox * stride) as isize - pad;
+                for ci in 0..cin {
+                    let xbase = (ni * cin + ci) * h * w;
+                    let wcbase = wbase + ci * kh * kw;
+                    for ky in 0..kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let xrow = xbase + iy as usize * w;
+                        let wrow = wcbase + ky * kw;
+                        for kx in 0..kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += xd[xrow + ix as usize] * t[wc[wrow + kx] as usize];
+                        }
+                    }
+                }
+                oplane[oy * ow + ox] = acc;
+            }
+        }
+    });
+}
+
+/// Fused-dequant depthwise convolution: weight stored as FP8 codes
+/// (`[C, 1, Kh, Kw]`, per-channel scales over `C`). Bit-identical to
+/// `depthwise_conv2d(x, &w.dequantize(), bias, p)`.
+///
+/// # Panics
+///
+/// Panics on rank/channel mismatches.
+pub fn depthwise_conv2d_q(
+    x: &Tensor,
+    weight: &QTensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+) -> Tensor {
+    let mut out = Tensor::default();
+    depthwise_conv2d_q_into(x, weight, bias, p, &mut out);
+    out
+}
+
+/// Out-param variant of [`depthwise_conv2d_q`]: writes into `out`,
+/// reusing its allocation. Bit-identical to [`depthwise_conv2d_q`].
+///
+/// # Panics
+///
+/// Panics on rank/channel mismatches.
+pub fn depthwise_conv2d_q_into(
+    x: &Tensor,
+    weight: &QTensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+    out: &mut Tensor,
+) {
+    assert_eq!(x.ndim(), 4, "depthwise input must be NCHW");
+    assert_eq!(weight.ndim(), 4, "depthwise weight must be [C,1,Kh,Kw]");
+    assert_eq!(weight.dim(1), 1, "depthwise weight dim 1 must be 1");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert_eq!(weight.dim(0), c, "depthwise channels mismatch");
+    let (kh, kw) = (weight.dim(2), weight.dim(3));
+    let oh = p.out_size(h, kh);
+    let ow = p.out_size(w, kw);
+    assert!(oh > 0 && ow > 0, "kernel does not fit input");
+
+    let xd = x.data();
+    let wc = weight.codes();
+    let dec = weight.scaled_decode();
+    out.reuse_as(&[n, c, oh, ow]);
+    let pad = p.padding as isize;
+
+    let macs = n * c * oh * ow * kh * kw;
+    for_each_chunk(out.data_mut(), oh * ow, macs, |plane, oplane| {
+        let ni = plane / c;
+        let ci = plane % c;
+        let b0 = bias.map(|b| b.data()[ci]).unwrap_or(0.0);
+        let xbase = (ni * c + ci) * h * w;
+        let wbase = ci * kh * kw;
+        let t = dec.channel(ci);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b0;
+                let iy0 = (oy * p.stride) as isize - pad;
+                let ix0 = (ox * p.stride) as isize - pad;
+                for ky in 0..kh {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = ix0 + kx as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        acc += xd[xbase + iy as usize * w + ix as usize]
+                            * t[wc[wbase + ky * kw + kx] as usize];
+                    }
+                }
+                oplane[oy * ow + ox] = acc;
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +463,45 @@ mod tests {
         let y2 = conv2d(&x, &wf, None, Conv2dParams::same(3));
         for (a, b) in y1.data().iter().zip(y2.data()) {
             assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn conv2d_q_bit_identical_to_dequantized_conv() {
+        use ptq_fp8::Fp8Format;
+        let mut rng = crate::rng::TensorRng::seed(31);
+        let x = rng.normal(&[2, 3, 6, 6], 0.0, 1.0);
+        let w = rng.normal(&[4, 3, 3, 3], 0.0, 0.5);
+        let b = rng.normal(&[4], 0.0, 0.1);
+        for f in Fp8Format::ALL {
+            for q in [
+                QTensor::quantize(&w, f).unwrap(),
+                QTensor::quantize_per_channel(&w, f).unwrap(),
+            ] {
+                for p in [Conv2dParams::default(), Conv2dParams::same(3)] {
+                    let fused = conv2d_q(&x, &q, Some(&b), p);
+                    let reference = conv2d(&x, &q.dequantize(), Some(&b), p);
+                    assert_eq!(fused, reference, "{f} {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_q_bit_identical_to_dequantized_depthwise() {
+        use ptq_fp8::Fp8Format;
+        let mut rng = crate::rng::TensorRng::seed(32);
+        let x = rng.normal(&[1, 5, 7, 7], 0.0, 1.0);
+        let w = rng.normal(&[5, 1, 3, 3], 0.0, 0.7);
+        for f in Fp8Format::ALL {
+            for q in [
+                QTensor::quantize(&w, f).unwrap(),
+                QTensor::quantize_per_channel(&w, f).unwrap(),
+            ] {
+                let fused = depthwise_conv2d_q(&x, &q, None, Conv2dParams::same(3));
+                let reference = depthwise_conv2d(&x, &q.dequantize(), None, Conv2dParams::same(3));
+                assert_eq!(fused, reference, "{f}");
+            }
         }
     }
 

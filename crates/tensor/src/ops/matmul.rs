@@ -5,6 +5,7 @@
 //! outer dimension — correctness and determinism over raw speed, as in the
 //! paper's own FP32-emulation setup.
 
+use crate::qtensor::QTensor;
 use crate::tensor::Tensor;
 
 use super::for_each_chunk;
@@ -150,6 +151,110 @@ pub fn batch_matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     });
 }
 
+/// Fused-dequant matmul: `C[m,n] = A[m,k] · deq(B)[k,n]` with `B` stored
+/// as FP8 codes. Bit-identical to `matmul(a, &b.dequantize())`: each code
+/// is decoded through the same scaled 256-entry table that `dequantize`
+/// uses (`decode(code) / scale`), and the MAC loop accumulates in the
+/// same order as [`matmul_into`].
+///
+/// Per-channel scales group over `B`'s leading axis (its `k` rows).
+///
+/// # Panics
+///
+/// Panics if the operands are not 2-D or the inner dimensions disagree.
+pub fn matmul_q(a: &Tensor, b: &QTensor) -> Tensor {
+    let mut out = Tensor::default();
+    matmul_q_into(a, b, &mut out);
+    out
+}
+
+/// Out-param variant of [`matmul_q`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`matmul_q`] (which delegates here).
+///
+/// # Panics
+///
+/// Panics if the operands are not 2-D or the inner dimensions disagree.
+pub fn matmul_q_into(a: &Tensor, b: &QTensor, out: &mut Tensor) {
+    assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D, got {:?}", a.shape());
+    assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+    out.reuse_as(&[m, n]);
+    out.zero_fill();
+    let ad = a.data();
+    let bc = b.codes();
+    let dec = b.scaled_decode();
+    for_each_chunk(out.data_mut(), n, m * k * n, |i, row| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bc[kk * n..(kk + 1) * n];
+            let t = dec.channel(kk);
+            for (j, r) in row.iter_mut().enumerate() {
+                *r += av * t[brow[j] as usize];
+            }
+        }
+    });
+}
+
+/// Fused-dequant fully-connected layer: `y = x · deq(W)ᵀ + b` with the
+/// weight stored as FP8 codes (`[out_features, in_features]`, per-channel
+/// scales over output features). Bit-identical to
+/// `linear(x, &w.dequantize(), bias)`: weights decode through the same
+/// scaled table `dequantize` uses, applied per element *inside* the
+/// accumulation — the scale is never hoisted out of the MAC loop.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches (including a bias whose length
+/// differs from `out_features`).
+pub fn linear_q(x: &Tensor, weight: &QTensor, bias: Option<&Tensor>) -> Tensor {
+    let mut out = Tensor::default();
+    linear_q_into(x, weight, bias, &mut out);
+    out
+}
+
+/// Out-param variant of [`linear_q`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`linear_q`] (which delegates here).
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches (including a bias whose length
+/// differs from `out_features`).
+pub fn linear_q_into(x: &Tensor, weight: &QTensor, bias: Option<&Tensor>, out: &mut Tensor) {
+    assert_eq!(x.ndim(), 2, "linear input must be 2-D, got {:?}", x.shape());
+    assert_eq!(weight.ndim(), 2, "linear weight must be 2-D");
+    let (m, k) = (x.dim(0), x.dim(1));
+    let (n, k2) = (weight.dim(0), weight.dim(1));
+    assert_eq!(k, k2, "linear in_features {k} vs weight {k2}");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), n, "bias length {} vs out_features {n}", b.len());
+    }
+    let xd = x.data();
+    let wc = weight.codes();
+    let dec = weight.scaled_decode();
+    let bd = bias.map(|b| b.data());
+    out.reuse_as(&[m, n]);
+    for_each_chunk(out.data_mut(), n, m * k * n, |i, row| {
+        let xrow = &xd[i * k..(i + 1) * k];
+        for (j, r) in row.iter_mut().enumerate() {
+            let wrow = &wc[j * k..(j + 1) * k];
+            let t = dec.channel(j);
+            let mut acc = 0.0f32;
+            for (xv, &wb) in xrow.iter().zip(wrow) {
+                acc += xv * t[wb as usize];
+            }
+            *r = acc;
+            if let Some(b) = bd {
+                *r += b[j];
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +305,43 @@ mod tests {
         let c = batch_matmul(&a, &b);
         assert_eq!(c.index_axis0(0).data(), &[1., 2., 3., 4.]);
         assert_eq!(c.index_axis0(1).data(), &[2., 4., 6., 8.]);
+    }
+
+    #[test]
+    fn linear_q_bit_identical_to_dequantized_linear() {
+        use ptq_fp8::Fp8Format;
+        let mut rng = crate::rng::TensorRng::seed(21);
+        let x = rng.normal(&[5, 24], 0.0, 1.0);
+        let w = rng.normal(&[13, 24], 0.0, 0.5);
+        let b = rng.normal(&[13], 0.0, 0.1);
+        for f in Fp8Format::ALL {
+            for q in [
+                QTensor::quantize(&w, f).unwrap(),
+                QTensor::quantize_per_channel(&w, f).unwrap(),
+            ] {
+                let fused = linear_q(&x, &q, Some(&b));
+                let reference = linear(&x, &q.dequantize(), Some(&b));
+                assert_eq!(fused, reference, "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_q_bit_identical_to_dequantized_matmul() {
+        use ptq_fp8::Fp8Format;
+        let mut rng = crate::rng::TensorRng::seed(22);
+        let a = rng.normal(&[7, 11], 0.0, 1.0);
+        let b = rng.normal(&[11, 9], 0.0, 2.0);
+        for f in Fp8Format::ALL {
+            for q in [
+                QTensor::quantize(&b, f).unwrap(),
+                QTensor::quantize_per_channel(&b, f).unwrap(),
+            ] {
+                let fused = matmul_q(&a, &q);
+                let reference = matmul(&a, &q.dequantize());
+                assert_eq!(fused, reference, "{f}");
+            }
+        }
     }
 
     #[test]

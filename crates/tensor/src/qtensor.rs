@@ -1,0 +1,231 @@
+//! Quantized tensor view: FP8 byte codes executable by the fused kernels.
+//!
+//! [`QTensor`] wraps a [`StoredTensor`] (u8 codes + scales, the real 1
+//! byte/element deployment layout from `ptq-fp8`) together with the cached
+//! decode LUT for its format, so the matmul/conv kernels in
+//! [`crate::ops`] can decode weights inline in the MAC loop instead of
+//! materializing a dequantized f32 tensor.
+//!
+//! ## Bit-identity contract
+//!
+//! Every fused kernel must produce *bit-identical* results to running the
+//! corresponding f32 kernel on `dequantize()`d weights. The mechanism is
+//! [`QTensor::scaled_decode`]: a per-scale-group 256-entry table holding
+//! `lut.decode(code) / scale` — elementwise exactly the value
+//! `StoredTensor::dequantize` computes (same decode table, same division).
+//! The MAC loops then consume those table entries in the same order as
+//! the f32 kernels, so accumulation is identical. The scale is *never*
+//! hoisted out of the accumulation (float non-associativity would break
+//! the identity).
+
+use ptq_fp8::{Fp8Error, Fp8Format, Fp8Lut, StoredScales, StoredTensor};
+
+use crate::tensor::Tensor;
+
+/// An FP8-quantized tensor ready for fused execution.
+#[derive(Debug, Clone)]
+pub struct QTensor {
+    stored: StoredTensor,
+    lut: &'static Fp8Lut,
+}
+
+impl PartialEq for QTensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.stored == other.stored
+    }
+}
+
+impl QTensor {
+    /// Wrap an existing [`StoredTensor`].
+    pub fn from_stored(stored: StoredTensor) -> Self {
+        let lut = Fp8Lut::for_spec(stored.format().spec());
+        QTensor { stored, lut }
+    }
+
+    /// Quantize a tensor with a per-tensor max scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Fp8Error`] from [`StoredTensor::quantize`] (cannot
+    /// happen for a well-formed [`Tensor`], whose length always matches
+    /// its shape).
+    pub fn quantize(t: &Tensor, format: Fp8Format) -> Result<Self, Fp8Error> {
+        Ok(Self::from_stored(StoredTensor::quantize(
+            t.data(),
+            t.shape(),
+            format,
+        )?))
+    }
+
+    /// Quantize with one scale per leading-axis channel (the paper's
+    /// weight layout: output channels for Conv2d/Linear).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Fp8Error`] for scalar shapes or an empty leading axis.
+    pub fn quantize_per_channel(t: &Tensor, format: Fp8Format) -> Result<Self, Fp8Error> {
+        Ok(Self::from_stored(StoredTensor::quantize_per_channel(
+            t.data(),
+            t.shape(),
+            format,
+        )?))
+    }
+
+    /// The storage format.
+    pub fn format(&self) -> Fp8Format {
+        self.stored.format()
+    }
+
+    /// The logical shape.
+    pub fn shape(&self) -> &[usize] {
+        self.stored.shape()
+    }
+
+    /// Size of dimension `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.stored.shape()[i]
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.stored.shape().len()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.stored.bytes().len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.stored.bytes().is_empty()
+    }
+
+    /// Raw FP8 byte codes (row-major).
+    pub fn codes(&self) -> &[u8] {
+        self.stored.bytes()
+    }
+
+    /// The stored scales.
+    pub fn scales(&self) -> &StoredScales {
+        self.stored.scales()
+    }
+
+    /// The underlying stored tensor.
+    pub fn stored(&self) -> &StoredTensor {
+        &self.stored
+    }
+
+    /// Bytes of payload storage (codes + scales) — the number a deployment
+    /// would keep resident, vs `4 * len()` for f32.
+    pub fn storage_bytes(&self) -> usize {
+        self.stored.storage_bytes()
+    }
+
+    /// Decode back to a dense f32 [`Tensor`] (the slow path the fused
+    /// kernels exist to avoid; used by hooks that need an owned tensor).
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(self.stored.dequantize(), self.shape())
+    }
+
+    /// Build the scaled decode tables the fused kernels read from: for
+    /// each scale group (one per leading-axis channel, or a single group
+    /// for per-tensor scaling), entry `b` holds `lut.decode(b) / scale` —
+    /// bit-identical to what [`StoredTensor::dequantize`] produces for a
+    /// code `b` in that group.
+    pub fn scaled_decode(&self) -> ScaledDecode {
+        let build = |s: f32| -> [f32; 256] {
+            let mut t = [0.0f32; 256];
+            for (b, slot) in t.iter_mut().enumerate() {
+                *slot = self.lut.decode(b as u8) / s;
+            }
+            t
+        };
+        match self.stored.scales() {
+            StoredScales::PerTensor(s) => ScaledDecode {
+                tables: build(*s).to_vec(),
+                per_channel: false,
+            },
+            StoredScales::PerChannel(scales) => {
+                let mut tables = Vec::with_capacity(scales.len() * 256);
+                for &s in scales {
+                    tables.extend_from_slice(&build(s));
+                }
+                ScaledDecode {
+                    tables,
+                    per_channel: true,
+                }
+            }
+        }
+    }
+}
+
+/// Per-scale-group decode tables built by [`QTensor::scaled_decode`].
+pub struct ScaledDecode {
+    /// One 256-entry table per group, concatenated.
+    tables: Vec<f32>,
+    per_channel: bool,
+}
+
+impl ScaledDecode {
+    /// The decode table for leading-axis channel `c` (per-tensor scaling
+    /// returns the single shared table for every channel).
+    #[inline]
+    pub fn channel(&self, c: usize) -> &[f32] {
+        if self.per_channel {
+            &self.tables[c * 256..(c + 1) * 256]
+        } else {
+            &self.tables[..256]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+
+    #[test]
+    fn dequantize_matches_stored() {
+        let mut rng = TensorRng::seed(5);
+        let t = rng.normal(&[4, 9], 0.0, 1.0);
+        for f in Fp8Format::ALL {
+            let q = QTensor::quantize(&t, f).unwrap();
+            assert_eq!(q.shape(), t.shape());
+            assert_eq!(q.storage_bytes(), 36 + 4);
+            let d = q.dequantize();
+            assert_eq!(d.data(), q.stored().dequantize().as_slice());
+        }
+    }
+
+    #[test]
+    fn scaled_decode_matches_dequantize_per_tensor() {
+        let mut rng = TensorRng::seed(6);
+        let t = rng.normal(&[3, 7], 0.0, 2.0);
+        let q = QTensor::quantize(&t, Fp8Format::E4M3).unwrap();
+        let dec = q.scaled_decode();
+        let d = q.dequantize();
+        for (i, &code) in q.codes().iter().enumerate() {
+            assert_eq!(
+                dec.channel(i / 7)[code as usize].to_bits(),
+                d.data()[i].to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_decode_matches_dequantize_per_channel() {
+        let mut rng = TensorRng::seed(7);
+        let t = rng.normal(&[5, 6], 0.0, 1.0);
+        let q = QTensor::quantize_per_channel(&t, Fp8Format::E3M4).unwrap();
+        let dec = q.scaled_decode();
+        let d = q.dequantize();
+        for (i, &code) in q.codes().iter().enumerate() {
+            assert_eq!(
+                dec.channel(i / 6)[code as usize].to_bits(),
+                d.data()[i].to_bits(),
+                "elem {i}"
+            );
+        }
+    }
+}

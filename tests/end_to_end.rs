@@ -59,9 +59,18 @@ fn every_format_quantizes_every_quick_workload() {
                 out.score
             );
             // Quantization must not be a silent no-op: some nodes run
-            // quantized and some weights were substituted.
+            // quantized and some weights were substituted — either as
+            // fake-quant f32 tensors or as FP8-stored codes.
             assert!(!out.model.quantized_nodes.is_empty(), "{}", w.spec.name);
-            assert!(!out.model.weights.is_empty(), "{}", w.spec.name);
+            assert!(
+                !out.model.weights.is_empty() || !out.model.qweights.is_empty(),
+                "{}",
+                w.spec.name
+            );
+            // FP8 formats store Conv2d/Linear weights as codes by default.
+            if matches!(fmt, DataFormat::Fp8(_)) {
+                assert!(!out.model.qweights.is_empty(), "{} {fmt}", w.spec.name);
+            }
             out.result
         })
         .collect();
