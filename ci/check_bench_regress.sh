@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Bench regression gate for the FP8 activation datapath.
+#
+# Runs the act_qq_vs_fakequant criterion bench with NDJSON output
+# (CRITERION_JSON, see vendor/criterion) and compares the cost of each
+# code-by-code kernel relative to its fused-weight-only reference against
+# the committed baseline ratios in ci/bench_baseline_act_qq.json. Ratios
+# (coded / reference, same run, same machine) are compared instead of
+# absolute times so the gate is stable across runner hardware; a measured
+# ratio above baseline * (1 + tolerance) + slack fails.
+#
+# Outputs a machine-readable summary (uploaded as a CI artifact) to
+# $BENCH_SUMMARY (default bench_results/act_qq_bench_summary.json).
+#
+# Environment:
+#   CRITERION_MEASURE_MS  measurement window per benchmark (default 800)
+#   BENCH_SUMMARY         summary JSON path
+#   SKIP_BENCH_RUN=1      reuse an existing $BENCH_NDJSON instead of
+#                         re-running the bench (local iteration)
+#   BENCH_NDJSON          raw NDJSON path (default target/act_qq_bench.ndjson)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=ci/bench_baseline_act_qq.json
+# Absolute path: cargo runs bench binaries from the package directory,
+# not the workspace root, so a relative CRITERION_JSON would land there.
+ndjson="${BENCH_NDJSON:-$PWD/target/act_qq_bench.ndjson}"
+summary="${BENCH_SUMMARY:-bench_results/act_qq_bench_summary.json}"
+
+if [ "${SKIP_BENCH_RUN:-0}" != "1" ]; then
+    rm -f "$ndjson"
+    mkdir -p "$(dirname "$ndjson")"
+    CRITERION_JSON="$ndjson" \
+    CRITERION_MEASURE_MS="${CRITERION_MEASURE_MS:-800}" \
+        cargo bench -p ptq-bench --bench act_qq_vs_fakequant
+fi
+
+test -s "$ndjson" || { echo "no bench output at $ndjson" >&2; exit 1; }
+mkdir -p "$(dirname "$summary")"
+
+NDJSON="$ndjson" BASELINE="$baseline" SUMMARY="$summary" python3 - <<'EOF'
+import json
+import os
+import sys
+
+ndjson, baseline_path = os.environ["NDJSON"], os.environ["BASELINE"]
+recs = {}
+with open(ndjson) as f:
+    for line in f:
+        r = json.loads(line)
+        recs[r["id"]] = r["secs_per_iter"]
+
+base = json.load(open(baseline_path))
+tol, slack = base["tolerance"], base.get("slack", 0.0)
+rows, failed = [], False
+for pair in base["pairs"]:
+    group = pair["group"]
+    def resolve(key, prefix_key):
+        if key in pair:
+            bid = f"{group}/{pair[key]}"
+            if bid not in recs:
+                sys.exit(f"missing benchmark record: {bid}")
+            return bid
+        prefix = f"{group}/{pair[prefix_key]}"
+        hits = [k for k in recs if k.startswith(prefix)]
+        if len(hits) != 1:
+            sys.exit(f"expected exactly one record under {prefix}, got {hits}")
+        return hits[0]
+    coded = resolve("coded", "coded_prefix")
+    ref = resolve("reference", "reference_prefix")
+    ratio = recs[coded] / recs[ref]
+    limit = pair["ratio"] * (1.0 + tol) + slack
+    ok = ratio <= limit
+    failed |= not ok
+    rows.append({
+        "coded": coded, "reference": ref,
+        "coded_secs": recs[coded], "reference_secs": recs[ref],
+        "ratio": round(ratio, 4), "baseline_ratio": pair["ratio"],
+        "limit": round(limit, 4), "ok": ok,
+    })
+    mark = "ok  " if ok else "FAIL"
+    print(f"{mark} {coded}: ratio {ratio:.3f} "
+          f"(baseline {pair['ratio']}, limit {limit:.3f})")
+
+json.dump({"tolerance": tol, "slack": slack, "pairs": rows},
+          open(os.environ["SUMMARY"], "w"), indent=2)
+print(f"summary written to {os.environ['SUMMARY']}")
+if failed:
+    sys.exit("code-by-code kernels regressed against the fused-weight-only "
+             "path; investigate or re-baseline ci/bench_baseline_act_qq.json")
+EOF
+echo "bench regression gate OK"

@@ -14,7 +14,8 @@
 //! weakest FP8 format.
 
 use ptq_bench::{pct, save_json, MdTable};
-use ptq_core::workflow::{run_suite_cached, table2_rows};
+use ptq_core::config::ActivationStorage;
+use ptq_core::workflow::{run_suite_configured, table2_rows};
 use ptq_core::CalibCache;
 use ptq_models::{build_zoo, build_zoo_limited, ZooFilter};
 
@@ -23,6 +24,21 @@ fn main() {
     let detail = args.iter().any(|a| a == "--detail");
     let quick = args.iter().any(|a| a == "--quick");
     let limit: Option<usize> = ptq_bench::flag_value(&args, "--limit").and_then(|v| v.parse().ok());
+    // `--only-format E4M3` keeps the rows whose data format matches
+    // (Display names: E5M2 / E4M3 / E3M4 / INT8); CI uses it to smoke
+    // one format per matrix leg.
+    let only_format = ptq_bench::flag_value(&args, "--only-format");
+    // `--act-storage fp8|fakequant-f32` overrides how quantized
+    // activations are represented at op boundaries (default: recipe).
+    let act_storage = match ptq_bench::flag_value(&args, "--act-storage").as_deref() {
+        None => None,
+        Some("fp8") => Some(ActivationStorage::Fp8),
+        Some("fakequant-f32") => Some(ActivationStorage::FakeQuantF32),
+        Some(other) => {
+            eprintln!("unknown --act-storage {other:?} (want fp8 | fakequant-f32)");
+            std::process::exit(2);
+        }
+    };
     let trace = ptq_bench::tracing::init_from_args(&args);
     let filter = if quick {
         ZooFilter::Quick
@@ -48,8 +64,16 @@ fn main() {
     // calibrated once, not once per (format × approach) row.
     let cache = CalibCache::new();
     for (format, approach) in table2_rows() {
+        if let Some(want) = &only_format {
+            if format.to_string() != *want {
+                continue;
+            }
+        }
         eprintln!("running {format:?} {approach:?}…");
-        let row = run_suite_cached(&zoo, format, approach, &cache);
+        let row = run_suite_configured(&zoo, format, approach, &cache, |cfg| match act_storage {
+            Some(s) => cfg.with_activation_storage(s),
+            None => cfg,
+        });
         for e in &row.errors {
             eprintln!("  skipped {}: {}", e.workload, e.error);
         }
@@ -65,6 +89,10 @@ fn main() {
             pct(Some(row.summary.all)),
         ]);
         rows.push(row);
+    }
+    if rows.is_empty() {
+        eprintln!("no rows matched --only-format {only_format:?}");
+        std::process::exit(2);
     }
 
     println!("\n## Table 2 — Workload Pass Rate (1% relative-loss criterion)\n");
@@ -88,6 +116,24 @@ fn main() {
         ]);
     }
     wt.print();
+
+    // Activation traffic per row: with `ActivationStorage::Fp8` (the
+    // default for FP8 rows) quantized op boundaries carry 1-byte codes +
+    // per-tile scales; INT8 and fakequant-f32 rows move full f32 tensors.
+    println!("\n### Activation bytes at quantized op boundaries (eval pass)\n");
+    let mut at = MdTable::new(&["Config", "Stored", "FP32 baseline", "Reduction"]);
+    for row in &rows {
+        at.row(vec![
+            row.label.clone(),
+            kib(row.act_bytes),
+            kib(row.act_bytes_f32),
+            format!(
+                "{:.2}x",
+                row.act_bytes_f32 as f64 / row.act_bytes.max(1) as f64
+            ),
+        ]);
+    }
+    at.print();
 
     if detail {
         println!("\n### Loss quartiles (Figure 4 data)\n");

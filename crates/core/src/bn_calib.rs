@@ -49,6 +49,31 @@ impl ExecHook for BnMomentHook<'_> {
     fn weight_ref<'a>(&'a self, node: &Node, value: ValueId, w: &'a Tensor) -> Option<&'a Tensor> {
         self.quant.weight_ref(node, value, w)
     }
+
+    fn weight_q<'a>(
+        &'a self,
+        node: &Node,
+        value: ValueId,
+        w: &Tensor,
+    ) -> Option<&'a ptq_tensor::QTensor> {
+        self.quant.weight_q(node, value, w)
+    }
+
+    // Forwarding is load-bearing, not an optimization: with
+    // `ActivationStorage::Fp8` the inner hook's `before_node` leaves
+    // coded inputs un-fake-quanted and relies on this probe to quantize
+    // them at the op boundary. Dropping it would measure BN moments under
+    // a network running those inputs in raw f32 — statistics the eval
+    // pass never sees.
+    fn quantize_act(
+        &mut self,
+        node: &Node,
+        input: usize,
+        x: &Tensor,
+        out: &mut ptq_tensor::QActTensor,
+    ) -> bool {
+        self.quant.quantize_act(node, input, x, out)
+    }
 }
 
 /// Run `calib` batches through the quantized model, measure each
@@ -189,6 +214,43 @@ mod tests {
             let v = ((sq[ci] / count) - (m as f64) * (m as f64)) as f32;
             assert!((params.mean.data()[ci] - m).abs() < 1e-4);
             assert!((params.var.data()[ci] - v).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn recalibration_is_identical_under_coded_and_fakequant_activations() {
+        // The measurement hook forwards `quantize_act` to the inner quant
+        // hook, so the moments are gathered under exactly the inference
+        // the eval pass runs. Regression guard: with the forward missing,
+        // `ActivationStorage::Fp8` left coded inputs un-quantized during
+        // measurement and the recalibrated statistics drifted.
+        let calib_x: Vec<Vec<Tensor>> = (0..4)
+            .map(|i| vec![TensorRng::seed(30 + i).normal(&[8, 3, 8, 8], 0.0, 1.0)])
+            .collect();
+        let mut recalibrated = Vec::new();
+        for storage in [
+            crate::config::ActivationStorage::Fp8,
+            crate::config::ActivationStorage::FakeQuantF32,
+        ] {
+            let g = bn_cnn(3);
+            let mut hook = CalibrationHook::new();
+            for c in &calib_x {
+                g.run(c, &mut hook).unwrap_ok();
+            }
+            let calib = hook.into_data();
+            let cfg = QuantConfig::fp8(Fp8Format::E4M3).with_activation_storage(storage);
+            let mut model = QuantizedModel::build(g, &calib, cfg).unwrap_ok();
+            assert_eq!(recalibrate_batchnorm(&mut model, &calib_x).unwrap_ok(), 1);
+            let bn_id = model.graph.nodes_of_class(OpClass::BatchNorm)[0];
+            let params = model.graph.batchnorm_params(bn_id).unwrap_ok();
+            recalibrated.push((params.mean.clone(), params.var.clone()));
+        }
+        let (coded, legacy) = (&recalibrated[0], &recalibrated[1]);
+        for (a, b) in coded.0.data().iter().zip(legacy.0.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "recalibrated mean drifted");
+        }
+        for (a, b) in coded.1.data().iter().zip(legacy.1.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "recalibrated var drifted");
         }
     }
 

@@ -123,6 +123,55 @@ impl fmt::Display for WeightStorage {
     }
 }
 
+/// How quantized *activations* are held and executed between ops.
+///
+/// The activation-side counterpart of [`WeightStorage`], and orthogonal
+/// to it in the same way: both modes compute identical scales and
+/// identical quantized values; they differ only in whether the tensor
+/// crossing an op boundary is a 1-byte/element code buffer consumed by
+/// the code×code kernels or a fake-quantized dense f32 tensor. Execution
+/// is bit-identical between the two (enforced zoo-wide in
+/// `tests/plan_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ActivationStorage {
+    /// Real FP8 storage: eligible activation inputs are quantized to u8
+    /// codes at the op boundary and executed by the code×code kernels
+    /// (`matmul_qq`/`linear_qq`/`conv2d_qq`) — neither operand is
+    /// materialized as a dense f32 tensor on the hot path. Applies when
+    /// the activation format is FP8; INT8 activations always use
+    /// fake-quant f32.
+    #[default]
+    Fp8,
+    /// Legacy emulation storage: activations fake-quantized in place
+    /// (quantize → dequantize) and streamed as dense f32.
+    FakeQuantF32,
+}
+
+impl fmt::Display for ActivationStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActivationStorage::Fp8 => write!(f, "fp8"),
+            ActivationStorage::FakeQuantF32 => write!(f, "fakequant-f32"),
+        }
+    }
+}
+
+/// Activation scale granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ActGranularity {
+    /// One scale per activation tensor — static from calibration
+    /// thresholds, or dynamic per-batch absmax. The paper's scheme.
+    #[default]
+    PerTensor,
+    /// One dynamic absmax scale per `tile`-wide chunk of each
+    /// last-dimension row (ragged tails get their own scale) — the
+    /// tile-based FP8-Linear scheme: per-tile scales bound the blast
+    /// radius of an outlier to one tile and map onto a blocked kernel.
+    /// Always dynamic (calibration thresholds are per-tensor); a direct
+    /// activation format (E5M2) overrides this with unit scales.
+    PerTile(usize),
+}
+
 /// Range-calibration method for static activation scales (Appendix A.1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum CalibMethod {
@@ -169,6 +218,11 @@ pub struct QuantConfig {
     /// How quantized weights are stored and executed (defaults to real
     /// FP8 storage).
     pub weight_storage: WeightStorage,
+    /// How quantized activations are stored and executed between ops
+    /// (defaults to real FP8 storage).
+    pub activation_storage: ActivationStorage,
+    /// Activation scale granularity (defaults to per-tensor).
+    pub act_granularity: ActGranularity,
 }
 
 impl QuantConfig {
@@ -188,6 +242,8 @@ impl QuantConfig {
             bn_calibration: false,
             fallback: BTreeSet::new(),
             weight_storage: WeightStorage::default(),
+            activation_storage: ActivationStorage::default(),
+            act_granularity: ActGranularity::default(),
         }
     }
 
@@ -257,12 +313,33 @@ impl QuantConfig {
         self
     }
 
+    /// Builder-style: set the activation storage mode.
+    pub fn with_activation_storage(mut self, storage: ActivationStorage) -> Self {
+        self.activation_storage = storage;
+        self
+    }
+
+    /// Builder-style: set the activation scale granularity.
+    pub fn with_act_granularity(mut self, g: ActGranularity) -> Self {
+        self.act_granularity = g;
+        self
+    }
+
     /// True when this config stores weights as real FP8 bytes (the
     /// storage knob is `Fp8` *and* the weight format is an FP8 format —
     /// INT8 weights always stay fake-quant f32).
     pub fn stores_fp8_weights(&self) -> bool {
         self.weight_storage == WeightStorage::Fp8
             && matches!(self.weight_format, DataFormat::Fp8(_))
+    }
+
+    /// True when this config stores eligible activations as real FP8
+    /// codes between ops (the storage knob is `Fp8` *and* the activation
+    /// format is an FP8 format — INT8 activations always stay fake-quant
+    /// f32).
+    pub fn stores_fp8_acts(&self) -> bool {
+        self.activation_storage == ActivationStorage::Fp8
+            && matches!(self.act_format, DataFormat::Fp8(_))
     }
 
     /// True if activations of this config use *direct* quantization (no
@@ -337,6 +414,33 @@ mod tests {
             storage,
             Some(serde::Value::Str("Fp8".to_string())),
             "weight_storage must serialize under a stable label"
+        );
+    }
+
+    #[test]
+    fn activation_storage_knob() {
+        let c = QuantConfig::fp8(Fp8Format::E4M3);
+        assert_eq!(c.activation_storage, ActivationStorage::Fp8);
+        assert_eq!(c.act_granularity, ActGranularity::PerTensor);
+        assert!(c.stores_fp8_acts());
+        assert!(!c
+            .with_activation_storage(ActivationStorage::FakeQuantF32)
+            .stores_fp8_acts());
+        // INT8 activations never use FP8 storage regardless of the knob.
+        assert!(!QuantConfig::int8().stores_fp8_acts());
+        // The knob serializes under a stable label (sweep configs and
+        // bench JSON embed it).
+        let serde::Value::Object(fields) = QuantConfig::mixed_fp8().serialize() else {
+            panic!("config serializes as an object");
+        };
+        let storage = fields
+            .iter()
+            .find(|(k, _)| k == "activation_storage")
+            .map(|(_, v)| v.clone());
+        assert_eq!(
+            storage,
+            Some(serde::Value::Str("Fp8".to_string())),
+            "activation_storage must serialize under a stable label"
         );
     }
 

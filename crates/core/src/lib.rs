@@ -59,7 +59,8 @@ pub use bn_calib::recalibrate_batchnorm;
 pub use calib_cache::CalibCache;
 pub use calibrate::{CalibData, CalibrationHook, TensorKey};
 pub use config::{
-    Approach, CalibMethod, Coverage, DataFormat, Granularity, QuantConfig, WeightStorage,
+    ActGranularity, ActivationStorage, Approach, CalibMethod, Coverage, DataFormat, Granularity,
+    QuantConfig, WeightStorage,
 };
 pub use observer::{kl_divergence_threshold, mse_sweep_threshold, percentile_threshold};
 pub use ptq_nn::{PtqError, UnwrapOk};
@@ -97,7 +98,8 @@ pub mod prelude {
     pub use crate::calib_cache::CalibCache;
     pub use crate::calibrate::{CalibData, CalibrationHook, TensorKey};
     pub use crate::config::{
-        Approach, CalibMethod, Coverage, DataFormat, Granularity, QuantConfig, WeightStorage,
+        ActGranularity, ActivationStorage, Approach, CalibMethod, Coverage, DataFormat,
+        Granularity, QuantConfig, WeightStorage,
     };
     pub use crate::quantizer::{QuantHook, QuantizedModel};
     pub use crate::sensitivity::{

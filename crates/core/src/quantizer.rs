@@ -3,19 +3,20 @@
 //! quantization schemes over an unchanged FP32 graph.
 
 use crate::calibrate::{quantized_inputs, CalibData, TensorKey};
-use crate::config::{Approach, DataFormat, Granularity, QuantConfig};
+use crate::config::{ActGranularity, Approach, DataFormat, Granularity, QuantConfig};
 use crate::smoothquant::smooth_scales;
 use ptq_fp8::{
     fake_quant_fp8_lut, fake_quant_fp8_per_channel_lut, fake_quant_int8,
     fake_quant_int8_per_channel, fp8_scale, Fp8Codec, Int8Codec, Int8Mode,
 };
 use ptq_nn::{ExecHook, Graph, Node, NodeId, Op, OpClass, PlanSet, PtqError, ValueId};
-use ptq_tensor::{QTensor, Tensor};
+use ptq_tensor::{QActTensor, QTensor, Tensor};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A quantized model: the (possibly BN-recalibrated) graph plus everything
 /// needed to execute it under fake quantization.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct QuantizedModel {
     /// The graph (owned clone; BatchNorm calibration may rewrite its
     /// running-stat parameters).
@@ -43,6 +44,35 @@ pub struct QuantizedModel {
     /// BatchNorm recalibration and quantized evaluation). `Clone` yields a
     /// fresh empty set.
     pub plans: PlanSet,
+    /// Bytes of quantized-node activation inputs as actually carried
+    /// across op boundaries during execution: codes + scales for inputs
+    /// quantized at the boundary ([`crate::ActivationStorage::Fp8`]),
+    /// 4 bytes/element for fake-quantized f32 inputs. Relaxed atomics so
+    /// the shared-reference [`QuantHook`] can account while executors run;
+    /// read via [`QuantizedModel::act_bytes`], cleared by
+    /// [`QuantizedModel::reset_act_bytes`].
+    act_bytes: AtomicUsize,
+    /// Bytes the same activation inputs would occupy as dense f32 — the
+    /// baseline for the activation-memory-reduction ratio.
+    act_bytes_f32: AtomicUsize,
+}
+
+impl Clone for QuantizedModel {
+    fn clone(&self) -> Self {
+        QuantizedModel {
+            graph: self.graph.clone(),
+            config: self.config.clone(),
+            quantized_nodes: self.quantized_nodes.clone(),
+            act_scales: self.act_scales.clone(),
+            act_int8: self.act_int8.clone(),
+            weights: self.weights.clone(),
+            qweights: self.qweights.clone(),
+            smooth: self.smooth.clone(),
+            plans: self.plans.clone(),
+            act_bytes: AtomicUsize::new(self.act_bytes.load(Ordering::Relaxed)),
+            act_bytes_f32: AtomicUsize::new(self.act_bytes_f32.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl QuantizedModel {
@@ -72,6 +102,8 @@ impl QuantizedModel {
             qweights,
             smooth,
             plans: PlanSet::new(),
+            act_bytes: AtomicUsize::new(0),
+            act_bytes_f32: AtomicUsize::new(0),
         })
     }
 
@@ -118,6 +150,83 @@ impl QuantizedModel {
             .map(|w| w.len() * std::mem::size_of::<f32>())
             .sum();
         q + f
+    }
+
+    /// Activation bytes carried across op boundaries since construction
+    /// or the last [`Self::reset_act_bytes`]: codes + scales for inputs
+    /// quantized at the boundary, 4 bytes/element for fake-quantized f32.
+    pub fn act_bytes(&self) -> usize {
+        self.act_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes the same activation inputs would occupy as dense f32.
+    pub fn act_bytes_f32(&self) -> usize {
+        self.act_bytes_f32.load(Ordering::Relaxed)
+    }
+
+    /// Clear both activation byte counters (call before the run whose
+    /// footprint should be reported).
+    pub fn reset_act_bytes(&self) {
+        self.act_bytes.store(0, Ordering::Relaxed);
+        self.act_bytes_f32.store(0, Ordering::Relaxed);
+    }
+
+    /// True when activation input `idx` of `node` crosses the op boundary
+    /// as FP8 codes (run by the code×code kernels) instead of being
+    /// fake-quantized in place. [`QuantHook::before_node`] and
+    /// [`ExecHook::quantize_act`] both consult this, so an eligible input
+    /// is never quantized twice and never left unquantized.
+    ///
+    /// Eligible: the config stores FP8 activations, the node runs
+    /// quantized, and the op has a code×code kernel for that input —
+    /// input 0 of a non-depthwise Conv2d or Linear whose weight is
+    /// FP8-stored, or either MatMul operand (both must be ready: the
+    /// kernel takes codes on both sides or neither).
+    pub fn act_codes_for(&self, node: &Node, idx: usize) -> bool {
+        if !self.config.stores_fp8_acts() || !self.quantized_nodes.contains(&node.id) {
+            return false;
+        }
+        if !quantized_inputs(node).contains(&idx) {
+            return false;
+        }
+        match &node.op {
+            Op::Conv2d { depthwise, .. } => {
+                idx == 0 && !depthwise && self.stored_weight(node) && self.act_scale_ready(node, 0)
+            }
+            Op::Linear { .. } => {
+                idx == 0 && self.stored_weight(node) && self.act_scale_ready(node, 0)
+            }
+            Op::MatMul => self.act_scale_ready(node, 0) && self.act_scale_ready(node, 1),
+            _ => false,
+        }
+    }
+
+    /// The code×code kernels pair activation codes with `QTensor` weights,
+    /// so coding requires the node's weight to be FP8-stored.
+    fn stored_weight(&self, node: &Node) -> bool {
+        node.op
+            .weight_value()
+            .is_some_and(|v| self.qweights.contains_key(&v))
+    }
+
+    /// Whether a scale for `(node, idx)` can be produced at the boundary:
+    /// always under dynamic and per-tile schemes (scales are per-batch),
+    /// only with a calibrated threshold for static per-tensor scales — a
+    /// missing key means the fake-quant reference skips this input, so
+    /// coding it would break bit-identity.
+    fn act_scale_ready(&self, node: &Node, idx: usize) -> bool {
+        match (self.config.approach, self.config.act_granularity) {
+            (Approach::Dynamic, _) => true,
+            (Approach::Static, ActGranularity::PerTile(_))
+                if !self.config.direct_activation_quant() =>
+            {
+                true
+            }
+            (Approach::Static, _) => self.act_scales.contains_key(&TensorKey {
+                node: node.id,
+                input: idx,
+            }),
+        }
     }
 
     /// Bytes the same pre-quantized weights would occupy as dense f32 —
@@ -443,16 +552,37 @@ impl ExecHook for QuantHook<'_> {
             if idx >= inputs.len() {
                 continue;
             }
+            // Inputs crossing the boundary as FP8 codes are quantized by
+            // `quantize_act` after this call returns; fake-quanting them
+            // here too would quantize twice.
+            if self.model.act_codes_for(node, idx) {
+                continue;
+            }
             let key = TensorKey {
                 node: node.id,
                 input: idx,
             };
             let x = &mut inputs[idx];
+            // Per-tile FP8 scales are always computed from the batch at
+            // hand (calibration thresholds are per-tensor only), so the
+            // granularity knob overrides the static/dynamic split. Direct
+            // formats (E5M2) keep their unit per-tensor scale instead.
+            if let (DataFormat::Fp8(f), ActGranularity::PerTile(t)) =
+                (cfg.act_format, cfg.act_granularity)
+            {
+                if !cfg.direct_activation_quant() {
+                    let inner = x.shape().last().copied().unwrap_or(1);
+                    ptq_tensor::fake_quant_per_tile(x.data_mut(), inner, f, t);
+                    self.count_fake_quant(x.len());
+                    continue;
+                }
+            }
             match (cfg.act_format, cfg.approach) {
                 (DataFormat::Fp8(f), Approach::Static) => {
                     if let Some(&s) = self.model.act_scales.get(&key) {
                         let codec = Fp8Codec::new(f);
                         fake_quant_fp8_lut(x.data_mut(), &codec, s);
+                        self.count_fake_quant(x.len());
                     }
                 }
                 (DataFormat::Fp8(f), Approach::Dynamic) => {
@@ -478,18 +608,87 @@ impl ExecHook for QuantHook<'_> {
                         fp8_scale(f, absmax)
                     };
                     fake_quant_fp8_lut(x.data_mut(), &codec, s);
+                    self.count_fake_quant(x.len());
                 }
                 (DataFormat::Int8, Approach::Static) => {
                     if let Some(codec) = self.model.act_int8.get(&key) {
                         fake_quant_int8(x.data_mut(), codec);
+                        self.count_fake_quant(x.len());
                     }
                 }
                 (DataFormat::Int8, Approach::Dynamic) => {
                     let codec = Int8Codec::calibrate(x.data(), Int8Mode::Asymmetric);
                     fake_quant_int8(x.data_mut(), &codec);
+                    self.count_fake_quant(x.len());
                 }
             }
         }
+    }
+
+    fn quantize_act(
+        &mut self,
+        node: &Node,
+        input: usize,
+        x: &Tensor,
+        out: &mut QActTensor,
+    ) -> bool {
+        let model = self.model;
+        if !model.act_codes_for(node, input) {
+            return false;
+        }
+        // `stores_fp8_acts` (checked by the policy) guarantees an FP8
+        // activation format; decline rather than trust the match.
+        let DataFormat::Fp8(f) = model.config.act_format else {
+            return false;
+        };
+        let mut sp = ptq_trace::span(ptq_trace::Level::Debug, "act.quantize");
+        match (model.config.act_granularity, model.config.approach) {
+            (ActGranularity::PerTile(t), _) if !model.config.direct_activation_quant() => {
+                out.quantize_per_tile(x, f, t);
+            }
+            (_, Approach::Static) => {
+                // The policy required this key; a raceless miss here means
+                // the model mutated mid-run — decline and let the
+                // executor's fake-quant-free f32 input surface the drift.
+                let Some(&s) = model.act_scales.get(&TensorKey {
+                    node: node.id,
+                    input,
+                }) else {
+                    return false;
+                };
+                out.quantize_static(x, f, s);
+            }
+            (_, Approach::Dynamic) => {
+                if model.config.direct_activation_quant() {
+                    out.quantize_static(x, f, 1.0);
+                } else {
+                    out.quantize_dynamic(x, f);
+                }
+            }
+        }
+        model
+            .act_bytes
+            .fetch_add(out.storage_bytes(), Ordering::Relaxed);
+        model
+            .act_bytes_f32
+            .fetch_add(x.len() * std::mem::size_of::<f32>(), Ordering::Relaxed);
+        if sp.active() {
+            sp.record_str("layer", &node.name);
+            sp.record_int("input", input as i64);
+            sp.record_int("elems", x.len() as i64);
+            sp.record_int("bytes", out.storage_bytes() as i64);
+        }
+        true
+    }
+}
+
+impl QuantHook<'_> {
+    /// Account one fake-quantized f32 input: it crosses the boundary at 4
+    /// bytes/element, so it contributes equally to both counters.
+    fn count_fake_quant(&self, len: usize) {
+        let bytes = len * std::mem::size_of::<f32>();
+        self.model.act_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.model.act_bytes_f32.fetch_add(bytes, Ordering::Relaxed);
     }
 }
 
@@ -650,6 +849,96 @@ mod tests {
     }
 
     #[test]
+    fn fp8_activation_storage_is_bit_identical_to_fake_quant() {
+        // The PR's tentpole contract: routing activations through the
+        // code×code kernels (codes at the boundary, fused
+        // decode-accumulate in the MAC loop) reproduces the fake-quant f32
+        // execution bit for bit, across formats, approaches and scale
+        // granularities.
+        use crate::config::{ActGranularity, ActivationStorage};
+        let g = cnn();
+        let calib = calibrated(&g);
+        let x = TensorRng::seed(11).normal(&[2, 3, 8, 8], 0.0, 1.0);
+        for f in Fp8Format::ALL {
+            for approach in [Approach::Static, Approach::Dynamic] {
+                for gran in [ActGranularity::PerTensor, ActGranularity::PerTile(5)] {
+                    let cfg = QuantConfig::fp8(f)
+                        .with_first_last()
+                        .with_approach(approach)
+                        .with_act_granularity(gran);
+                    let coded = QuantizedModel::build(g.clone(), &calib, cfg.clone()).unwrap_ok();
+                    let fake = QuantizedModel::build(
+                        g.clone(),
+                        &calib,
+                        cfg.with_activation_storage(ActivationStorage::FakeQuantF32),
+                    )
+                    .unwrap_ok();
+                    let yc = coded
+                        .graph
+                        .run(std::slice::from_ref(&x), &mut coded.hook())
+                        .unwrap_ok();
+                    let yf = fake
+                        .graph
+                        .run(std::slice::from_ref(&x), &mut fake.hook())
+                        .unwrap_ok();
+                    let tag = format!("{f} {approach:?} {gran:?}");
+                    for (a, b) in yc[0].data().iter().zip(yf[0].data()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{tag}");
+                    }
+                    // The coded run actually exercised the datapath and
+                    // carried codes, not dense f32.
+                    assert!(coded.act_bytes() > 0, "{tag}");
+                    // Per-tensor scales shrink activations well past 3×;
+                    // per-tile pays 4 bytes/tile of scale overhead, which
+                    // dominates on this toy CNN's inner dims of 8 — only
+                    // assert a reduction there.
+                    let bound = match gran {
+                        ActGranularity::PerTensor => coded.act_bytes() * 3,
+                        ActGranularity::PerTile(_) => coded.act_bytes(),
+                    };
+                    assert!(
+                        bound < coded.act_bytes_f32(),
+                        "{tag}: act_bytes {} vs f32 {}",
+                        coded.act_bytes(),
+                        coded.act_bytes_f32()
+                    );
+                    assert_eq!(fake.act_bytes(), fake.act_bytes_f32(), "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn act_code_policy_requires_stored_weight_and_scales() {
+        use crate::config::ActivationStorage;
+        let g = cnn();
+        let calib = calibrated(&g);
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3).with_first_last();
+        let model = QuantizedModel::build(g.clone(), &calib, cfg.clone()).unwrap_ok();
+        // Conv2d/Linear input 0 codes; other inputs never do.
+        let conv = &model.graph.nodes()[0];
+        assert!(model.act_codes_for(conv, 0));
+        assert!(!model.act_codes_for(conv, 1));
+        // The knob turns the datapath off wholesale.
+        let off = QuantizedModel::build(
+            g.clone(),
+            &calib,
+            cfg.clone()
+                .with_activation_storage(ActivationStorage::FakeQuantF32),
+        )
+        .unwrap_ok();
+        assert!(!off.act_codes_for(conv, 0));
+        // Fake-quant f32 weights have no code×code kernel to pair with.
+        let legacy = QuantizedModel::build(
+            g,
+            &calib,
+            cfg.with_weight_storage(WeightStorage::FakeQuantF32),
+        )
+        .unwrap_ok();
+        assert!(!legacy.act_codes_for(conv, 0));
+    }
+
+    #[test]
     fn weight_bytes_report_the_fp8_reduction() {
         let g = cnn();
         let calib = calibrated(&g);
@@ -718,9 +1007,14 @@ mod tests {
         // and the finite values quantize on the unscaled grid.
         let g = cnn();
         let calib = calibrated(&g);
+        // Opt out of the coded activation datapath: this regression is
+        // about the in-place fake-quant fold (the coded path's fold is
+        // covered by `act::tests::dynamic_nonfinite_absmax_uses_unit_scale`
+        // in ptq-tensor).
         let cfg = QuantConfig::fp8(Fp8Format::E4M3)
             .with_approach(Approach::Dynamic)
-            .with_first_last();
+            .with_first_last()
+            .with_activation_storage(crate::config::ActivationStorage::FakeQuantF32);
         let model = QuantizedModel::build(g, &calib, cfg).unwrap_ok();
         let mut hook = model.hook();
         let node = &model.graph.nodes()[0];

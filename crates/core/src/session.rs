@@ -13,7 +13,7 @@
 use crate::bn_calib::recalibrate_batchnorm;
 use crate::calib_cache::CalibCache;
 use crate::calibrate::CalibData;
-use crate::config::{QuantConfig, WeightStorage};
+use crate::config::{ActivationStorage, QuantConfig, WeightStorage};
 use crate::quantizer::{QuantHook, QuantizedModel};
 use crate::workflow::{calibrate_workload, run_guarded};
 use ptq_metrics::WorkloadResult;
@@ -37,6 +37,14 @@ pub struct QuantOutcome {
     /// Bytes the same weights would occupy as dense f32 — the baseline
     /// for the memory-reduction ratio.
     pub weight_bytes_f32: usize,
+    /// Bytes of quantized-node activation inputs as actually carried
+    /// across op boundaries during the evaluation pass: FP8 codes +
+    /// scales where the activation datapath ran
+    /// ([`ActivationStorage::Fp8`]), 4 bytes/element where inputs stayed
+    /// fake-quantized f32.
+    pub act_bytes: usize,
+    /// Bytes the same activation inputs would occupy as dense f32.
+    pub act_bytes_f32: usize,
 }
 
 /// Chains the quantizing hook with a caller-supplied observer: the
@@ -70,6 +78,19 @@ impl ExecHook for ObservedQuant<'_, '_> {
 
     fn weight_q<'a>(&'a self, node: &Node, value: ValueId, w: &Tensor) -> Option<&'a QTensor> {
         self.quant.weight_q(node, value, w)
+    }
+
+    fn quantize_act(
+        &mut self,
+        node: &Node,
+        input: usize,
+        x: &Tensor,
+        out: &mut ptq_tensor::QActTensor,
+    ) -> bool {
+        // Boundary quantization stays with the quantizer: the observer
+        // already saw the (un-fake-quanted) input in `before_node` and
+        // cannot veto or alter the coded form.
+        self.quant.quantize_act(node, input, x, out)
     }
 }
 
@@ -152,6 +173,15 @@ impl<'a> PtqSession<'a> {
         self
     }
 
+    /// Select how FP8 activations cross op boundaries: real FP8 codes run
+    /// by the code×code kernels (the default) or legacy in-place
+    /// fake-quantized f32. Both modes are bit-identical in arithmetic; the
+    /// knob trades activation memory for kernel choice.
+    pub fn activation_storage(mut self, storage: ActivationStorage) -> Self {
+        self.cfg = self.cfg.with_activation_storage(storage);
+        self
+    }
+
     /// The session's configuration.
     pub fn config(&self) -> &QuantConfig {
         &self.cfg
@@ -195,6 +225,9 @@ impl<'a> PtqSession<'a> {
             if cfg.bn_calibration && workload.has_batchnorm() {
                 recalibrate_batchnorm(&mut model, &workload.calib)?;
             }
+            // BatchNorm recalibration ran quantized inference above; count
+            // only the evaluation pass.
+            model.reset_act_bytes();
             let score = match observer {
                 Some(obs) => {
                     let mut chained = ObservedQuant {
@@ -209,12 +242,16 @@ impl<'a> PtqSession<'a> {
             sp.record_f64("score", score);
             let weight_bytes = model.weight_bytes();
             let weight_bytes_f32 = model.weight_bytes_f32();
+            let act_bytes = model.act_bytes();
+            let act_bytes_f32 = model.act_bytes_f32();
             Ok(QuantOutcome {
                 model,
                 score,
                 result,
                 weight_bytes,
                 weight_bytes_f32,
+                act_bytes,
+                act_bytes_f32,
             })
         })
     }
@@ -306,6 +343,30 @@ mod tests {
             "fp8 storage should be well under 1/3 of f32 ({} vs {})",
             stored.weight_bytes,
             stored.weight_bytes_f32
+        );
+    }
+
+    #[test]
+    fn activation_storage_knob_is_score_identical_and_shrinks_acts() {
+        use crate::config::ActivationStorage;
+        let zoo = build_zoo(ZooFilter::Quick);
+        let w = &zoo[0];
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+        let coded = PtqSession::new(cfg.clone()).quantize(w).unwrap_ok();
+        let legacy = PtqSession::new(cfg)
+            .activation_storage(ActivationStorage::FakeQuantF32)
+            .quantize(w)
+            .unwrap_ok();
+        // Same arithmetic either way; only what crosses op boundaries
+        // differs.
+        assert_eq!(coded.score.to_bits(), legacy.score.to_bits());
+        assert_eq!(coded.act_bytes_f32, legacy.act_bytes_f32);
+        assert_eq!(legacy.act_bytes, legacy.act_bytes_f32);
+        assert!(
+            coded.act_bytes * 3 < coded.act_bytes_f32,
+            "fp8 activations should be well under 1/3 of f32 ({} vs {})",
+            coded.act_bytes,
+            coded.act_bytes_f32
         );
     }
 

@@ -234,6 +234,14 @@ pub struct SuiteRow {
     /// What those same weights would occupy as dense f32 — the baseline
     /// for the row's weight-memory-reduction ratio.
     pub weight_bytes_f32: usize,
+    /// Total activation bytes carried across op boundaries during the
+    /// row's evaluation passes: FP8 codes + scales where the activation
+    /// datapath ran ([`crate::ActivationStorage::Fp8`]), 4 bytes/element
+    /// where inputs stayed fake-quantized f32.
+    pub act_bytes: usize,
+    /// What those same activation inputs would occupy as dense f32 — the
+    /// baseline for the row's activation-memory-reduction ratio.
+    pub act_bytes_f32: usize,
 }
 
 /// Evaluate a named recipe family over a zoo slice: for each workload the
@@ -258,21 +266,45 @@ pub fn run_suite_cached(
     approach: Approach,
     cache: &CalibCache,
 ) -> SuiteRow {
+    run_suite_configured(zoo, format, approach, cache, |cfg| cfg)
+}
+
+/// [`run_suite_cached`] with a per-row config tweak applied on top of the
+/// paper recipe (after domain-specific adjustments). Sweep drivers use it
+/// to toggle cross-cutting knobs — e.g. activation storage or tile
+/// granularity — without forking the recipe table.
+pub fn run_suite_configured(
+    zoo: &[Workload],
+    format: DataFormat,
+    approach: Approach,
+    cache: &CalibCache,
+    tweak: impl Fn(QuantConfig) -> QuantConfig + Sync,
+) -> SuiteRow {
     let mut sp = ptq_trace::span(ptq_trace::Level::Info, "suite");
     if sp.active() {
         sp.record_str("format", &format.to_string());
         sp.record_str("approach", &approach.to_string());
         sp.record_int("workloads", zoo.len() as i64);
     }
-    type Attempt = Result<(ptq_metrics::WorkloadResult, usize, usize), SweepError>;
+    type Attempt = Result<(ptq_metrics::WorkloadResult, [usize; 4]), SweepError>;
     let attempts: Vec<Attempt> = zoo
         .par_iter()
         .map(|w| {
-            let cfg = paper_recipe(format, approach, w.spec.domain);
+            let cfg = tweak(paper_recipe(format, approach, w.spec.domain));
             PtqSession::new(cfg)
                 .cache(cache)
                 .quantize(w)
-                .map(|out| (out.result, out.weight_bytes, out.weight_bytes_f32))
+                .map(|out| {
+                    (
+                        out.result,
+                        [
+                            out.weight_bytes,
+                            out.weight_bytes_f32,
+                            out.act_bytes,
+                            out.act_bytes_f32,
+                        ],
+                    )
+                })
                 .map_err(|e| SweepError {
                     workload: w.spec.name.clone(),
                     error: e.to_string(),
@@ -281,13 +313,14 @@ pub fn run_suite_cached(
         .collect();
     let mut results = Vec::with_capacity(attempts.len());
     let mut errors = Vec::new();
-    let (mut weight_bytes, mut weight_bytes_f32) = (0usize, 0usize);
+    let mut bytes = [0usize; 4];
     for attempt in attempts {
         match attempt {
-            Ok((r, wb, wb32)) => {
+            Ok((r, b)) => {
                 results.push(r);
-                weight_bytes += wb;
-                weight_bytes_f32 += wb32;
+                for (acc, v) in bytes.iter_mut().zip(b) {
+                    *acc += v;
+                }
             }
             Err(e) => errors.push(e),
         }
@@ -298,6 +331,7 @@ pub fn run_suite_cached(
         DataFormat::Int8 => "INT8 / Static CV Dynamic NLP".to_string(),
         _ => format!("{format} / {approach}"),
     };
+    let [weight_bytes, weight_bytes_f32, act_bytes, act_bytes_f32] = bytes;
     SuiteRow {
         label,
         summary: PassRateSummary::of(&results),
@@ -305,6 +339,8 @@ pub fn run_suite_cached(
         errors,
         weight_bytes,
         weight_bytes_f32,
+        act_bytes,
+        act_bytes_f32,
     }
 }
 

@@ -3,7 +3,10 @@
 //! arena-reused buffers must be a pure performance transform — zero
 //! numeric or observer-visible difference.
 
-use ptq_core::config::{Approach, DataFormat, Granularity, QuantConfig, WeightStorage};
+use ptq_core::config::{
+    ActGranularity, ActivationStorage, Approach, DataFormat, Granularity, QuantConfig,
+    WeightStorage,
+};
 use ptq_core::{paper_recipe, CalibrationHook, PtqSession, QuantizedModel, UnwrapOk};
 use ptq_fp8::Fp8Format;
 use ptq_models::{build_zoo, ZooFilter};
@@ -118,6 +121,68 @@ fn fp8_stored_weights_match_fake_quant_across_zoo() {
                     .run(&stored.graph, inputs, &mut stored.hook())
                     .unwrap_ok();
                 assert_tensors_identical(&ref_out, &planned, &format!("{what} planned"));
+            }
+        }
+    }
+}
+
+#[test]
+fn fp8_coded_activations_match_fake_quant_across_zoo() {
+    // The tentpole invariant of the activation datapath: quantizing
+    // activations to codes at op boundaries and running code×code kernels
+    // must be bit-identical to the fake-quant f32 execution — for every
+    // quick-zoo workload, all three FP8 formats, per-tensor and per-tile
+    // activation scales, on both the interpreter and the planned executor.
+    for w in &build_zoo(ZooFilter::Quick) {
+        let base = QuantConfig::fp8(Fp8Format::E4M3);
+        let calib = ptq_core::calibrate_workload(w, &base).unwrap_ok();
+        let inputs = &w.eval[0];
+        for f in Fp8Format::ALL {
+            for gran in [ActGranularity::PerTensor, ActGranularity::PerTile(16)] {
+                let cfg = QuantConfig::fp8(f).with_act_granularity(gran);
+                let coded = QuantizedModel::build(w.graph.clone(), &calib, cfg.clone()).unwrap_ok();
+                let legacy = QuantizedModel::build(
+                    w.graph.clone(),
+                    &calib,
+                    cfg.with_activation_storage(ActivationStorage::FakeQuantF32),
+                )
+                .unwrap_ok();
+                let what = format!("{} {f} {gran:?}", w.spec.name);
+
+                let ref_out = legacy.graph.run(inputs, &mut legacy.hook()).unwrap_ok();
+                legacy.reset_act_bytes();
+                coded.reset_act_bytes();
+                let interp = coded.graph.run(inputs, &mut coded.hook()).unwrap_ok();
+                assert_tensors_identical(&ref_out, &interp, &format!("{what} interp"));
+                let plan = plan_for(&coded.graph, inputs);
+                // Twice: the second pass reuses the arena's code/scale
+                // buffers, which must not change the arithmetic.
+                for pass in 0..2 {
+                    let planned = plan
+                        .run(&coded.graph, inputs, &mut coded.hook())
+                        .unwrap_ok();
+                    assert_tensors_identical(
+                        &ref_out,
+                        &planned,
+                        &format!("{what} planned pass {pass}"),
+                    );
+                }
+                // The datapath actually engaged: codes are cheaper than the
+                // dense f32 they replaced on every workload with an
+                // eligible op.
+                let has_coded_ops = coded
+                    .graph
+                    .nodes()
+                    .iter()
+                    .any(|n| (0..2).any(|i| coded.act_codes_for(n, i)));
+                if has_coded_ops {
+                    assert!(
+                        coded.act_bytes() < coded.act_bytes_f32(),
+                        "{what}: act_bytes {} vs f32 {}",
+                        coded.act_bytes(),
+                        coded.act_bytes_f32()
+                    );
+                }
             }
         }
     }

@@ -55,4 +55,4 @@ pub use quantize::{
     fake_quant_fp8, fake_quant_fp8_lut, fake_quant_fp8_per_channel, fake_quant_fp8_per_channel_lut,
     fake_quant_int8, fake_quant_int8_per_channel, fp8_scale, FakeQuantStats, QuantizedTensorStats,
 };
-pub use storage::{StoredScales, StoredTensor};
+pub use storage::{absmax_nan_aware, StoredScales, StoredTensor};

@@ -54,7 +54,7 @@ impl StoredScales {
 /// so that [`fp8_scale`] sees it and falls back to unit scale — the same
 /// convention as the dynamic-activation path in `ptq-core` (PR 2).
 #[inline]
-fn absmax_nan_aware(data: &[f32]) -> f32 {
+pub fn absmax_nan_aware(data: &[f32]) -> f32 {
     data.iter().fold(0.0f32, |m, &v| {
         let a = v.abs();
         if a > m || !a.is_finite() {

@@ -10,11 +10,15 @@
 use crate::error::PtqError;
 use crate::graph::{Node, Op};
 use ptq_tensor::ops;
-use ptq_tensor::{QTensor, Tensor};
+use ptq_tensor::{QActTensor, QTensor, Tensor};
 
 /// Upper bound on parameters any single operator references (BatchNorm's
 /// gamma/beta/mean/var is the maximum).
 pub(crate) const MAX_OP_PARAMS: usize = 4;
+
+/// Upper bound on activation inputs a node can bind as FP8 codes
+/// (MatMul's two operands is the maximum).
+pub(crate) const MAX_ACT_INPUTS: usize = 2;
 
 /// One resolved parameter binding: either a dense f32 tensor or an
 /// FP8-stored [`QTensor`] executed by the fused kernels.
@@ -67,6 +71,35 @@ impl<'a> ParamsRef<'a> {
     }
 }
 
+/// Borrowed FP8 activation-code bindings for one node, by input index.
+/// An entry is `Some` when the hook quantized that input at the op
+/// boundary ([`crate::ExecHook::quantize_act`]); the executor then runs
+/// the node through a code×code kernel and never reads the staged f32
+/// input.
+pub(crate) struct ActsRef<'a> {
+    items: [Option<&'a QActTensor>; MAX_ACT_INPUTS],
+}
+
+impl<'a> ActsRef<'a> {
+    pub(crate) fn new() -> Self {
+        ActsRef {
+            items: [None; MAX_ACT_INPUTS],
+        }
+    }
+
+    pub(crate) fn set(&mut self, i: usize, q: &'a QActTensor) {
+        self.items[i] = Some(q);
+    }
+
+    fn get(&self, i: usize) -> Option<&'a QActTensor> {
+        self.items.get(i).copied().flatten()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.iter().all(Option::is_none)
+    }
+}
+
 /// Reusable non-tensor scratch buffers for [`eval_node_into`].
 #[derive(Debug, Default)]
 pub(crate) struct EvalScratch {
@@ -85,9 +118,20 @@ pub(crate) fn eval_node_into(
     node: &Node,
     ins: &[Tensor],
     params: &ParamsRef<'_>,
+    acts: &ActsRef<'_>,
     scratch: &mut EvalScratch,
     out: &mut Tensor,
 ) -> Result<(), PtqError> {
+    // Activation codes are only executable by the code×code kernels of
+    // Conv2d (non-depthwise), Linear and MatMul; a binding anywhere else
+    // is a hook protocol violation, not a user error.
+    if !acts.is_empty() && !matches!(node.op, Op::Conv2d { .. } | Op::Linear { .. } | Op::MatMul) {
+        return Err(PtqError::Internal(format!(
+            "activation codes bound for node {} ({}), which has no code\u{d7}code kernel",
+            node.name,
+            node.op.class()
+        )));
+    }
     match &node.op {
         Op::Conv2d {
             bias,
@@ -99,11 +143,18 @@ pub(crate) fn eval_node_into(
                 Some(_) => Some(params.get_f32(node, 1)?),
                 None => None,
             };
-            match (params.get(node, 0)?, *depthwise) {
-                (PRef::F32(w), true) => ops::depthwise_conv2d_into(&ins[0], w, b, *cp, out),
-                (PRef::F32(w), false) => ops::conv2d_into(&ins[0], w, b, *cp, out),
-                (PRef::Q(w), true) => ops::depthwise_conv2d_q_into(&ins[0], w, b, *cp, out),
-                (PRef::Q(w), false) => ops::conv2d_q_into(&ins[0], w, b, *cp, out),
+            match (params.get(node, 0)?, *depthwise, acts.get(0)) {
+                (PRef::Q(w), false, Some(xa)) => ops::conv2d_qq_into(xa, w, b, *cp, out),
+                (PRef::F32(w), true, None) => ops::depthwise_conv2d_into(&ins[0], w, b, *cp, out),
+                (PRef::F32(w), false, None) => ops::conv2d_into(&ins[0], w, b, *cp, out),
+                (PRef::Q(w), true, None) => ops::depthwise_conv2d_q_into(&ins[0], w, b, *cp, out),
+                (PRef::Q(w), false, None) => ops::conv2d_q_into(&ins[0], w, b, *cp, out),
+                _ => {
+                    return Err(PtqError::Internal(format!(
+                        "activation codes for node {} need a non-depthwise FP8-stored weight",
+                        node.name
+                    )))
+                }
             }
         }
         Op::Linear { bias, .. } => {
@@ -111,12 +162,28 @@ pub(crate) fn eval_node_into(
                 Some(_) => Some(params.get_f32(node, 1)?),
                 None => None,
             };
-            match params.get(node, 0)? {
-                PRef::F32(w) => ops::linear_into(&ins[0], w, b, out),
-                PRef::Q(w) => ops::linear_q_into(&ins[0], w, b, out),
+            match (params.get(node, 0)?, acts.get(0)) {
+                (PRef::Q(w), Some(xa)) => ops::linear_qq_into(xa, w, b, out),
+                (PRef::F32(w), None) => ops::linear_into(&ins[0], w, b, out),
+                (PRef::Q(w), None) => ops::linear_q_into(&ins[0], w, b, out),
+                (PRef::F32(_), Some(_)) => {
+                    return Err(PtqError::Internal(format!(
+                        "activation codes for node {} need an FP8-stored weight",
+                        node.name
+                    )))
+                }
             }
         }
-        Op::MatMul => ops::matmul_into(&ins[0], &ins[1], out),
+        Op::MatMul => match (acts.get(0), acts.get(1)) {
+            (Some(a), Some(b)) => ops::matmul_qq_into(a, b, out),
+            (None, None) => ops::matmul_into(&ins[0], &ins[1], out),
+            _ => {
+                return Err(PtqError::Internal(format!(
+                    "matmul node {} needs both operands coded or neither",
+                    node.name
+                )))
+            }
+        },
         Op::BatchMatMul => ops::batch_matmul_into(&ins[0], &ins[1], out),
         Op::Embedding { .. } => {
             let t = params.get_f32(node, 0)?;

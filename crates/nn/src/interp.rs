@@ -81,6 +81,35 @@ pub trait ExecHook {
     ) -> Option<&'a ptq_tensor::QTensor> {
         None
     }
+
+    /// Activation-side counterpart of [`ExecHook::weight_q`]: quantize
+    /// activation input `input` of `node` to FP8 codes *at the op
+    /// boundary*. Called after [`ExecHook::before_node`] for each
+    /// activation input; fill `out` (its buffers are reused across nodes
+    /// by the executors) and return `true` to run the node through a
+    /// code×code kernel (`ptq_tensor::ops::{linear_qq_into,
+    /// conv2d_qq_into, matmul_qq_into}`) — the staged f32 input is then
+    /// never read, so no dense f32 activation crosses the boundary.
+    ///
+    /// Contract: `out.dequantize()` must be bit-identical to what
+    /// fake-quantizing `x` in `before_node` would have produced (and
+    /// `before_node` must have left `x` un-fake-quantized); the fused
+    /// kernels guarantee bit-identical execution given that. Codes are
+    /// only executable on input 0 of a non-depthwise Conv2d or a Linear
+    /// whose weight is bound through [`ExecHook::weight_q`], and on
+    /// inputs 0 and 1 of MatMul (both or neither); returning `true`
+    /// anywhere else makes the executor fail with a typed internal
+    /// error. The default returns `false`, preserving the fake-quant f32
+    /// protocol for existing hooks.
+    fn quantize_act(
+        &mut self,
+        _node: &Node,
+        _input: usize,
+        _x: &Tensor,
+        _out: &mut ptq_tensor::QActTensor,
+    ) -> bool {
+        false
+    }
 }
 
 /// A hook that does nothing: plain FP32 inference.
@@ -105,6 +134,8 @@ impl Graph {
         for (&id, t) in self.inputs.iter().zip(inputs) {
             values[id] = Some(t.clone());
         }
+        let mut act_bufs: Vec<ptq_tensor::QActTensor> = Vec::new();
+        act_bufs.resize_with(crate::exec::MAX_ACT_INPUTS, ptq_tensor::QActTensor::new);
 
         for node in &self.nodes {
             let mut ins = Vec::with_capacity(node.inputs.len());
@@ -116,7 +147,7 @@ impl Graph {
             }
             let mut sp = ptq_trace::span(ptq_trace::Level::Debug, "op");
             hook.before_node(node, &mut ins);
-            let mut out = self.eval_node(node, &ins, hook)?;
+            let mut out = self.eval_node(node, &ins, hook, &mut act_bufs)?;
             hook.after_node(node, &mut out);
             if sp.active() {
                 sp.record_str("node", &node.name);
@@ -167,16 +198,23 @@ impl Graph {
         node: &Node,
         ins: &[Tensor],
         hook: &mut dyn ExecHook,
+        act_bufs: &mut [ptq_tensor::QActTensor],
     ) -> Result<Tensor, PtqError> {
-        // Resolve parameters through the hook in `param_values()` order,
-        // then evaluate through the shared `exec` path that the planner
-        // also uses. Priority per parameter: an FP8-stored binding from
+        // Offer each activation input to the hook for quantize-at-boundary
+        // coding (mutable phase, like `weight()` below), then resolve
+        // parameters through the hook in `param_values()` order and
+        // evaluate through the shared `exec` path that the planner also
+        // uses. Priority per parameter: an FP8-stored binding from
         // `weight_q()` (fused-kernel protocol), an owned substitution from
         // `weight()` (legacy protocol), a borrowed substitution from
         // `weight_ref()` (zero-copy protocol), then the graph's bound
         // tensor. The mutable `weight()` call happens in a first pass only
         // when both pure lookups decline, so the hook can be reborrowed
         // immutably for the zero-copy resolutions afterwards.
+        let mut coded = [false; crate::exec::MAX_ACT_INPUTS];
+        for (i, x) in ins.iter().enumerate().take(crate::exec::MAX_ACT_INPUTS) {
+            coded[i] = hook.quantize_act(node, i, x, &mut act_bufs[i]);
+        }
         let pids = node.op.param_values();
         let mut owned: Vec<Option<Tensor>> = Vec::with_capacity(pids.len());
         for id in &pids {
@@ -209,9 +247,15 @@ impl Graph {
                 pr.set(i, w);
             }
         }
+        let mut ar = crate::exec::ActsRef::new();
+        for (i, buf) in act_bufs.iter().enumerate() {
+            if coded[i] {
+                ar.set(i, buf);
+            }
+        }
         let mut scratch = crate::exec::EvalScratch::default();
         let mut out = Tensor::default();
-        crate::exec::eval_node_into(node, ins, &pr, &mut scratch, &mut out)?;
+        crate::exec::eval_node_into(node, ins, &pr, &ar, &mut scratch, &mut out)?;
         Ok(out)
     }
 }
@@ -405,6 +449,95 @@ mod tests {
         assert_eq!(
             baseline, planned,
             "plan: fused kernels must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn quantize_act_binding_matches_fake_quant_on_both_executors() {
+        use ptq_fp8::{fake_quant_fp8_lut, Fp8Codec, Fp8Format};
+        use ptq_tensor::{tile_scale, QActTensor, QTensor};
+        use std::collections::HashMap;
+
+        const F: Fp8Format = Fp8Format::E3M4;
+
+        fn act_eligible(node: &Node, q: &HashMap<ValueId, QTensor>) -> bool {
+            matches!(node.op.class(), OpClass::Conv2d | OpClass::Linear)
+                && node.op.weight_value().is_some_and(|v| q.contains_key(&v))
+        }
+
+        /// Code×code path: FP8-stored weights plus input 0 quantized to
+        /// codes at the boundary with a dynamic per-tensor scale.
+        struct ActHook {
+            q: HashMap<ValueId, QTensor>,
+        }
+        impl ExecHook for ActHook {
+            fn weight_q<'a>(
+                &'a self,
+                _n: &Node,
+                value: ValueId,
+                _w: &Tensor,
+            ) -> Option<&'a QTensor> {
+                self.q.get(&value)
+            }
+            fn quantize_act(
+                &mut self,
+                node: &Node,
+                input: usize,
+                x: &Tensor,
+                out: &mut QActTensor,
+            ) -> bool {
+                if input == 0 && act_eligible(node, &self.q) {
+                    out.quantize_dynamic(x, F);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+
+        /// Fake-quant reference: same dynamic scale applied in
+        /// `before_node`, weights dequantized from the same storage.
+        struct FqHook {
+            q: HashMap<ValueId, QTensor>,
+        }
+        impl ExecHook for FqHook {
+            fn weight(&mut self, _n: &Node, value: ValueId, _w: &Tensor) -> Option<Tensor> {
+                self.q.get(&value).map(|q| q.dequantize())
+            }
+            fn before_node(&mut self, node: &Node, inputs: &mut [Tensor]) {
+                if act_eligible(node, &self.q) {
+                    let codec = Fp8Codec::new(F);
+                    let scale = tile_scale(F, inputs[0].data());
+                    fake_quant_fp8_lut(inputs[0].data_mut(), &codec, scale);
+                }
+            }
+        }
+
+        let g = tiny_cnn();
+        let mut q = HashMap::new();
+        for node in g.nodes() {
+            if let Some(v) = node.op.weight_value() {
+                q.insert(v, QTensor::quantize_per_channel(&g.params[&v], F).unwrap());
+            }
+        }
+        let x = TensorRng::seed(19).normal(&[2, 3, 8, 8], 0.0, 1.0);
+
+        let reference = g
+            .run(std::slice::from_ref(&x), &mut FqHook { q: q.clone() })
+            .unwrap_ok();
+        let coded = g
+            .run(std::slice::from_ref(&x), &mut ActHook { q: q.clone() })
+            .unwrap_ok();
+        assert_eq!(
+            reference, coded,
+            "interp: code\u{d7}code kernels must be bit-identical"
+        );
+
+        let plan = g.plan(&[x.shape().to_vec()]).unwrap_ok();
+        let planned = plan.run(&g, &[x], &mut ActHook { q }).unwrap_ok();
+        assert_eq!(
+            reference, planned,
+            "plan: code\u{d7}code kernels must be bit-identical"
         );
     }
 

@@ -33,10 +33,10 @@
 //! was built against.
 
 use crate::error::{PtqError, Shape};
-use crate::exec::{EvalScratch, ParamsRef, MAX_OP_PARAMS};
+use crate::exec::{ActsRef, EvalScratch, ParamsRef, MAX_ACT_INPUTS, MAX_OP_PARAMS};
 use crate::graph::{Graph, ValueId};
 use crate::interp::ExecHook;
-use ptq_tensor::Tensor;
+use ptq_tensor::{QActTensor, Tensor};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -77,6 +77,10 @@ pub struct TensorArena {
     /// Owned parameter substitutions returned by [`ExecHook::weight`]
     /// for the node currently executing.
     owned: [Option<Tensor>; MAX_OP_PARAMS],
+    /// FP8 activation-code buffers filled by [`ExecHook::quantize_act`]
+    /// for the node currently executing; code/scale allocations are
+    /// recycled across nodes and runs.
+    acts: Vec<QActTensor>,
     /// Non-tensor scratch (embedding id decode buffer).
     scratch: EvalScratch,
 }
@@ -102,6 +106,9 @@ impl TensorArena {
         }
         if self.staging.len() < plan.max_arity {
             self.staging.resize_with(plan.max_arity, Tensor::default);
+        }
+        if self.acts.len() < MAX_ACT_INPUTS {
+            self.acts.resize_with(MAX_ACT_INPUTS, QActTensor::new);
         }
         for (slot, &elems) in plan.slot_elems.iter().enumerate() {
             if self.slots[slot].len() < elems {
@@ -441,6 +448,7 @@ impl ExecPlan {
             slots,
             staging,
             owned,
+            acts,
             scratch,
         } = arena;
 
@@ -456,6 +464,14 @@ impl ExecPlan {
 
             let mut sp = ptq_trace::span(ptq_trace::Level::Debug, "op");
             hook.before_node(node, &mut staging[..arity]);
+
+            // Offer each activation input for quantize-at-boundary coding
+            // (mutable phase, like `weight()` below); the arena's code
+            // buffers are recycled across steps.
+            let mut coded = [false; MAX_ACT_INPUTS];
+            for i in 0..arity.min(MAX_ACT_INPUTS) {
+                coded[i] = hook.quantize_act(node, i, &staging[i], &mut acts[i]);
+            }
 
             // Resolve parameters. Priority per parameter: an FP8-stored
             // binding from `weight_q()` (fused-kernel protocol), an owned
@@ -512,8 +528,15 @@ impl ExecPlan {
                 }
             }
 
+            let mut ar = ActsRef::new();
+            for (i, buf) in acts.iter().enumerate() {
+                if coded[i] {
+                    ar.set(i, buf);
+                }
+            }
+
             let out = &mut slots[step.out_slot];
-            crate::exec::eval_node_into(node, &staging[..arity], &pr, scratch, out)?;
+            crate::exec::eval_node_into(node, &staging[..arity], &pr, &ar, scratch, out)?;
             hook.after_node(node, out);
             if sp.active() {
                 sp.record_str("node", &node.name);

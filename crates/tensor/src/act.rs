@@ -1,0 +1,406 @@
+//! Activation-side FP8 code tensors: quantize-at-boundary storage.
+//!
+//! [`QActTensor`] is the activation counterpart of [`crate::QTensor`]: u8
+//! FP8 codes plus scales, produced *at op boundaries* from a dense f32
+//! tensor so the code×code kernels ([`crate::ops::matmul_qq`],
+//! [`crate::ops::linear_qq`], [`crate::ops::conv2d_qq`]) never stream a
+//! dense f32 activation on the hot path. Unlike weights (quantized once at
+//! prepare time), activations are re-quantized every batch, so the buffers
+//! here are reusable: every `quantize_*` method takes `&mut self` and
+//! recycles the code/scale allocations (the planned executor keeps
+//! `QActTensor` slots in its arena).
+//!
+//! ## Scale layouts
+//!
+//! * **Per-tensor** (`tile == 0`, one scale): a static scale from
+//!   calibration thresholds, or a dynamic per-batch absmax scale.
+//! * **Per-tile** (`tile > 0`): the tensor is viewed as `[rows, inner]`
+//!   with `inner` = the last dimension; each row is split into
+//!   `ceil(inner / tile)` tiles (the last one ragged) and every tile gets
+//!   its own dynamic absmax scale. This is the tile-based FP8-Linear
+//!   scheme: per-tile scales bound the blast radius of an outlier to one
+//!   tile and map directly onto a blocked kernel.
+//!
+//! ## Bit-identity contract
+//!
+//! `decoder().at(i)` returns `lut.decode(code) / scale` — bit-identical to
+//! what fake quantization produces for the same element and scale:
+//! `codec.encode` followed by `lut.decode` is exactly `lut.quantize` (both
+//! are round-trips through the same codec), and the division by the scale
+//! is performed per element, never folded into the accumulation. The
+//! fake-quant reference for the per-tile layout is
+//! [`fake_quant_per_tile`], which computes its scales with the *same*
+//! helper ([`tile_scale`]) so the two paths cannot drift. NaN/Inf
+//! magnitudes propagate into the absmax fold and force a unit scale (the
+//! PR 2 dynamic-activation convention), leaving non-finite values to the
+//! codec's own NaN/saturation rules.
+
+use ptq_fp8::{absmax_nan_aware, fp8_scale, Fp8Codec, Fp8Format, Fp8Lut};
+
+use crate::tensor::Tensor;
+
+/// The per-tile scale for one chunk of activation values: NaN-aware
+/// absmax through [`fp8_scale`] (non-finite or zero absmax → unit scale).
+/// Shared by [`QActTensor::quantize_per_tile`] and
+/// [`fake_quant_per_tile`] so the code path and the fake-quant reference
+/// compute bit-identical scales.
+#[inline]
+pub fn tile_scale(format: Fp8Format, chunk: &[f32]) -> f32 {
+    fp8_scale(format, absmax_nan_aware(chunk))
+}
+
+/// An FP8-coded activation tensor with reusable buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QActTensor {
+    format: Fp8Format,
+    shape: Vec<usize>,
+    codes: Vec<u8>,
+    scales: Vec<f32>,
+    /// Elements per scale within a row; `0` means a single per-tensor
+    /// scale (`scales.len() == 1`).
+    tile: usize,
+}
+
+impl Default for QActTensor {
+    fn default() -> Self {
+        QActTensor {
+            format: Fp8Format::E4M3,
+            shape: Vec::new(),
+            codes: Vec::new(),
+            scales: Vec::new(),
+            tile: 0,
+        }
+    }
+}
+
+impl QActTensor {
+    /// An empty buffer ready for `quantize_*` (arena slot initializer).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, x: &Tensor, format: Fp8Format, tile: usize) {
+        self.format = format;
+        self.shape.clear();
+        self.shape.extend_from_slice(x.shape());
+        self.codes.clear();
+        self.codes.reserve(x.len());
+        self.scales.clear();
+        self.tile = tile;
+    }
+
+    /// Quantize with a fixed per-tensor scale (static calibration scales,
+    /// or a dynamic scale the caller computed). Codes are
+    /// `encode(x * scale)`, exactly as [`ptq_fp8::StoredTensor::quantize`]
+    /// produces them.
+    pub fn quantize_static(&mut self, x: &Tensor, format: Fp8Format, scale: f32) {
+        self.reset(x, format, 0);
+        let codec = Fp8Codec::new(format);
+        self.codes
+            .extend(x.data().iter().map(|&v| codec.encode(v * scale)));
+        self.scales.push(scale);
+    }
+
+    /// Quantize with a dynamic per-tensor absmax scale (the fallback when
+    /// no calibration threshold exists). A NaN/Inf absmax falls back to
+    /// unit scale.
+    pub fn quantize_dynamic(&mut self, x: &Tensor, format: Fp8Format) {
+        let scale = tile_scale(format, x.data());
+        self.quantize_static(x, format, scale);
+    }
+
+    /// Quantize with one dynamic absmax scale per `tile`-wide chunk of
+    /// each last-dimension row (ragged tails get their own scale). A
+    /// `tile` of `0` is clamped to `1`. Tiles whose absmax is NaN/Inf
+    /// fall back to unit scale.
+    pub fn quantize_per_tile(&mut self, x: &Tensor, format: Fp8Format, tile: usize) {
+        let tile = tile.max(1);
+        self.reset(x, format, tile);
+        let inner = x.shape().last().copied().unwrap_or(1).max(1);
+        let codec = Fp8Codec::new(format);
+        for row in x.data().chunks(inner) {
+            for chunk in row.chunks(tile) {
+                let s = tile_scale(format, chunk);
+                self.codes
+                    .extend(chunk.iter().map(|&v| codec.encode(v * s)));
+                self.scales.push(s);
+            }
+        }
+    }
+
+    /// The storage format.
+    pub fn format(&self) -> Fp8Format {
+        self.format
+    }
+
+    /// The logical shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Size of dimension `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.shape[i]
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Raw FP8 byte codes (row-major).
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// The scales (one for per-tensor, one per tile otherwise).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The tile width (`0` = per-tensor).
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Bytes of payload storage (codes + scales) — what a deployment
+    /// keeps resident on the wire between ops, vs `4 * len()` for f32.
+    pub fn storage_bytes(&self) -> usize {
+        self.codes.len() + 4 * self.scales.len()
+    }
+
+    /// The element decoder the code×code kernels read through.
+    pub fn decoder(&self) -> ActDecode<'_> {
+        let inner = self.shape.last().copied().unwrap_or(1).max(1);
+        let tiles_per_row = if self.tile == 0 {
+            1
+        } else {
+            inner.div_ceil(self.tile)
+        };
+        ActDecode {
+            codes: &self.codes,
+            scales: &self.scales,
+            lut: Fp8Lut::for_spec(self.format.spec()),
+            inner,
+            tile: self.tile,
+            tiles_per_row,
+        }
+    }
+
+    /// Decode back to a dense f32 [`Tensor`] — the materialization the
+    /// fused kernels avoid; used by tests and fallback hooks.
+    pub fn dequantize(&self) -> Tensor {
+        let dec = self.decoder();
+        let mut data = vec![0.0f32; self.codes.len()];
+        dec.decode_range(0, &mut data);
+        Tensor::from_vec(data, &self.shape)
+    }
+}
+
+/// Element decoder over a [`QActTensor`]'s codes: `at(i)` is
+/// `lut.decode(codes[i]) / scale(i)`, bit-identical to the fake-quant
+/// value of element `i`.
+pub struct ActDecode<'a> {
+    codes: &'a [u8],
+    scales: &'a [f32],
+    lut: &'static Fp8Lut,
+    inner: usize,
+    tile: usize,
+    tiles_per_row: usize,
+}
+
+impl ActDecode<'_> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    // `tile == 0` is the per-tensor layout marker, not a degenerate
+    // divisor; the division only runs in the tiled arm.
+    #[allow(clippy::manual_checked_ops)]
+    #[inline]
+    fn scale_at(&self, idx: usize) -> f32 {
+        if self.tile == 0 {
+            self.scales[0]
+        } else {
+            let r = idx / self.inner;
+            let c = idx % self.inner;
+            self.scales[r * self.tiles_per_row + c / self.tile]
+        }
+    }
+
+    /// Decode element `idx`.
+    #[inline]
+    pub fn at(&self, idx: usize) -> f32 {
+        self.lut.decode(self.codes[idx]) / self.scale_at(idx)
+    }
+
+    /// Decode `out.len()` consecutive elements starting at `start` into
+    /// `out` — the per-row/per-plane scratch fill the blocked kernels use
+    /// to amortize decoding over the MAC loop.
+    // See `scale_at`: `tile == 0` selects the per-tensor layout.
+    #[allow(clippy::manual_checked_ops)]
+    pub fn decode_range(&self, start: usize, out: &mut [f32]) {
+        if self.tile == 0 {
+            let s = self.scales[0];
+            let codes = &self.codes[start..start + out.len()];
+            for (o, &b) in out.iter_mut().zip(codes) {
+                *o = self.lut.decode(b) / s;
+            }
+        } else {
+            // Walk whole tile runs so the scale lookup (and its div/mod
+            // index math) happens once per tile, not once per element.
+            let mut idx = start;
+            let mut done = 0;
+            let end = start + out.len();
+            while idx < end {
+                let (r, c) = (idx / self.inner, idx % self.inner);
+                let t = c / self.tile;
+                let s = self.scales[r * self.tiles_per_row + t];
+                let run = (((t + 1) * self.tile).min(self.inner) - c).min(end - idx);
+                for (o, &b) in out[done..done + run]
+                    .iter_mut()
+                    .zip(&self.codes[idx..idx + run])
+                {
+                    *o = self.lut.decode(b) / s;
+                }
+                idx += run;
+                done += run;
+            }
+        }
+    }
+}
+
+/// Fake-quantize `data` in place with the per-tile scale layout of
+/// [`QActTensor::quantize_per_tile`]: the tensor is viewed as rows of
+/// `inner` elements, each split into `tile`-wide chunks with their own
+/// NaN-aware absmax scale. Bit-identical to quantizing per tile and
+/// decoding: both paths compute scales with [`tile_scale`] and round-trip
+/// values through the same format tables.
+pub fn fake_quant_per_tile(data: &mut [f32], inner: usize, format: Fp8Format, tile: usize) {
+    let tile = tile.max(1);
+    let inner = inner.max(1);
+    let lut = Fp8Lut::for_spec(format.spec());
+    for row in data.chunks_mut(inner) {
+        for chunk in row.chunks_mut(tile) {
+            let s = tile_scale(format, chunk);
+            for v in chunk.iter_mut() {
+                *v = lut.quantize(*v * s) / s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+    use ptq_fp8::fake_quant_fp8_lut;
+
+    #[test]
+    fn static_roundtrip_matches_fake_quant() {
+        let mut rng = TensorRng::seed(41);
+        let t = rng.normal(&[6, 17], 0.0, 1.5);
+        for f in Fp8Format::ALL {
+            let scale = tile_scale(f, t.data());
+            let mut q = QActTensor::new();
+            q.quantize_static(&t, f, scale);
+            assert_eq!(q.storage_bytes(), 6 * 17 + 4);
+            let mut reference = t.data().to_vec();
+            let codec = Fp8Codec::new(f);
+            fake_quant_fp8_lut(&mut reference, &codec, scale);
+            let d = q.dequantize();
+            for (i, (a, b)) in d.data().iter().zip(&reference).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{f} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_nonfinite_absmax_uses_unit_scale() {
+        let t = Tensor::from_vec(vec![1.0, f32::NAN, -2.0, f32::INFINITY], &[4]);
+        let mut q = QActTensor::new();
+        q.quantize_dynamic(&t, Fp8Format::E4M3);
+        assert_eq!(q.scales(), &[1.0]);
+        let d = q.dequantize();
+        assert!(d.data()[1].is_nan());
+    }
+
+    #[test]
+    fn per_tile_matches_fake_quant_reference_with_ragged_tail() {
+        let mut rng = TensorRng::seed(42);
+        // inner = 13 with tile 4 -> tiles of 4,4,4,1 per row.
+        let t = rng.normal(&[5, 13], 0.0, 2.0);
+        for f in Fp8Format::ALL {
+            for tile in [1usize, 3, 4, 13, 64] {
+                let mut q = QActTensor::new();
+                q.quantize_per_tile(&t, f, tile);
+                assert_eq!(q.scales().len(), 5 * 13usize.div_ceil(tile));
+                let mut reference = t.data().to_vec();
+                fake_quant_per_tile(&mut reference, 13, f, tile);
+                let d = q.dequantize();
+                for (i, (a, b)) in d.data().iter().zip(&reference).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{f} tile {tile} elem {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_tile_nan_poisons_only_its_tile() {
+        let mut data = vec![0.5f32; 8];
+        data[1] = f32::NAN;
+        let t = Tensor::from_vec(data, &[2, 4]);
+        let mut q = QActTensor::new();
+        q.quantize_per_tile(&t, Fp8Format::E4M3, 2);
+        // Tile holding the NaN gets unit scale; others get absmax scales.
+        assert_eq!(q.scales()[0], 1.0);
+        assert!(q.scales()[1] != 1.0);
+        let d = q.dequantize();
+        assert!(d.data()[1].is_nan());
+        assert!(d.data()[0].is_finite());
+    }
+
+    #[test]
+    fn buffers_are_reused_across_quantize_calls() {
+        let mut rng = TensorRng::seed(43);
+        let big = rng.normal(&[8, 32], 0.0, 1.0);
+        let small = rng.normal(&[2, 8], 0.0, 1.0);
+        let mut q = QActTensor::new();
+        q.quantize_dynamic(&big, Fp8Format::E5M2);
+        let cap = q.codes.capacity();
+        q.quantize_per_tile(&small, Fp8Format::E3M4, 4);
+        assert_eq!(q.len(), 16);
+        assert_eq!(q.tile(), 4);
+        assert!(q.codes.capacity() >= cap, "allocation was not recycled");
+    }
+
+    #[test]
+    fn decoder_range_matches_elementwise() {
+        let mut rng = TensorRng::seed(44);
+        let t = rng.normal(&[3, 10], 0.0, 1.0);
+        let mut q = QActTensor::new();
+        q.quantize_per_tile(&t, Fp8Format::E4M3, 3);
+        let dec = q.decoder();
+        let mut out = vec![0.0f32; 12];
+        dec.decode_range(7, &mut out);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v.to_bits(), dec.at(7 + i).to_bits());
+        }
+    }
+}

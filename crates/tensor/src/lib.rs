@@ -16,6 +16,7 @@
 //! The paper's experiments ran FP8 *emulation* on FP32 hardware; this crate
 //! is the FP32 side of that emulation.
 
+pub mod act;
 pub mod ops;
 pub mod qtensor;
 pub mod rng;
@@ -23,6 +24,7 @@ pub mod shape;
 pub mod stats;
 pub mod tensor;
 
+pub use act::{fake_quant_per_tile, tile_scale, ActDecode, QActTensor};
 pub use qtensor::{QTensor, ScaledDecode};
 pub use rng::TensorRng;
 pub use shape::{Shape, ShapeError};

@@ -77,7 +77,8 @@ pub fn softmax_lastdim(x: &Tensor) -> Tensor {
 /// Out-param variant of [`softmax_lastdim`]: writes into `out`, reusing its
 /// allocation. Bit-identical to [`softmax_lastdim`] (which delegates here).
 pub fn softmax_lastdim_into(x: &Tensor, out: &mut Tensor) {
-    let d = *x.shape().last().expect("softmax needs >=1-D input");
+    // 0-d input degenerates to a softmax over one element (all ones).
+    let d = x.shape().last().copied().unwrap_or(1).max(1);
     let rows = x.len() / d;
     out.copy_from(x);
     let data = out.data_mut();

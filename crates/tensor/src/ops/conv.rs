@@ -1,6 +1,7 @@
 //! 2-D convolution kernels (NCHW layout).
 
 use super::for_each_chunk;
+use crate::act::QActTensor;
 use crate::qtensor::QTensor;
 use crate::tensor::Tensor;
 
@@ -371,6 +372,111 @@ pub fn depthwise_conv2d_q_into(
     });
 }
 
+/// Code×code convolution: input *and* weight stored as FP8 codes
+/// (activation codes from a [`QActTensor`], weight codes with per-channel
+/// scales over `Cout`). Bit-identical to
+/// `conv2d_q(&x.dequantize(), weight, bias, p)` — and hence to the f32
+/// kernel on both dequantized operands: the input sample for each output
+/// plane is decoded into a per-plane scratch through
+/// `lut.decode(code) / scale` (one decode per input element, amortized
+/// over the `Kh·Kw` MACs that reuse it), weights decode through the same
+/// scaled tables as [`conv2d_q_into`], and the MAC loop accumulates in
+/// the same order. The decoded scratch is transient per plane; the dense
+/// f32 input never crosses the op boundary.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches, or if the kernel does not fit
+/// the padded input.
+pub fn conv2d_qq(
+    x: &QActTensor,
+    weight: &QTensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+) -> Tensor {
+    let mut out = Tensor::default();
+    conv2d_qq_into(x, weight, bias, p, &mut out);
+    out
+}
+
+/// Out-param variant of [`conv2d_qq`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`conv2d_qq`] (which delegates here).
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches, or if the kernel does not fit
+/// the padded input.
+pub fn conv2d_qq_into(
+    x: &QActTensor,
+    weight: &QTensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+    out: &mut Tensor,
+) {
+    assert_eq!(
+        x.ndim(),
+        4,
+        "conv2d input must be NCHW, got {:?}",
+        x.shape()
+    );
+    assert_eq!(weight.ndim(), 4, "conv2d weight must be [Cout,Cin,Kh,Kw]");
+    let (n, cin, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (cout, cin2, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    assert_eq!(cin, cin2, "conv2d channel mismatch {cin} vs {cin2}");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), cout, "bias length vs out channels");
+    }
+    let oh = p.out_size(h, kh);
+    let ow = p.out_size(w, kw);
+    assert!(oh > 0 && ow > 0, "kernel does not fit input");
+
+    let xdec = x.decoder();
+    let wc = weight.codes();
+    let dec = weight.scaled_decode();
+    out.reuse_as(&[n, cout, oh, ow]);
+    let pad = p.padding as isize;
+    let stride = p.stride;
+    let sample = cin * h * w;
+
+    let macs = n * cout * oh * ow * cin * kh * kw;
+    for_each_chunk(out.data_mut(), oh * ow, macs, |plane, oplane| {
+        let ni = plane / cout;
+        let co = plane % cout;
+        let b0 = bias.map(|b| b.data()[co]).unwrap_or(0.0);
+        let wbase = co * cin * kh * kw;
+        let t = dec.channel(co);
+        let mut xf = vec![0.0f32; sample];
+        xdec.decode_range(ni * sample, &mut xf);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b0;
+                let iy0 = (oy * stride) as isize - pad;
+                let ix0 = (ox * stride) as isize - pad;
+                for ci in 0..cin {
+                    let xbase = ci * h * w;
+                    let wcbase = wbase + ci * kh * kw;
+                    for ky in 0..kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let xrow = xbase + iy as usize * w;
+                        let wrow = wcbase + ky * kw;
+                        for kx in 0..kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += xf[xrow + ix as usize] * t[wc[wrow + kx] as usize];
+                        }
+                    }
+                }
+                oplane[oy * ow + ox] = acc;
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +607,32 @@ mod tests {
                 let fused = depthwise_conv2d_q(&x, &q, None, Conv2dParams::same(3));
                 let reference = depthwise_conv2d(&x, &q.dequantize(), None, Conv2dParams::same(3));
                 assert_eq!(fused, reference, "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_qq_bit_identical_to_dequantized_conv() {
+        use ptq_fp8::Fp8Format;
+        let mut rng = crate::rng::TensorRng::seed(33);
+        let x = rng.normal(&[2, 3, 6, 6], 0.0, 1.0);
+        let w = rng.normal(&[4, 3, 3, 3], 0.0, 0.5);
+        let b = rng.normal(&[4], 0.0, 0.1);
+        for f in Fp8Format::ALL {
+            let q = QTensor::quantize_per_channel(&w, f).unwrap();
+            let mut xa = QActTensor::new();
+            for tiled in [false, true] {
+                if tiled {
+                    // inner = W = 6, tile 4 -> ragged tiles of 4 + 2.
+                    xa.quantize_per_tile(&x, f, 4);
+                } else {
+                    xa.quantize_dynamic(&x, f);
+                }
+                for p in [Conv2dParams::default(), Conv2dParams::same(3)] {
+                    let fused = conv2d_qq(&xa, &q, Some(&b), p);
+                    let reference = conv2d(&xa.dequantize(), &q.dequantize(), Some(&b), p);
+                    assert_eq!(fused, reference, "{f} tiled={tiled} {p:?}");
+                }
             }
         }
     }

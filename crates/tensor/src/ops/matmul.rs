@@ -5,6 +5,7 @@
 //! outer dimension — correctness and determinism over raw speed, as in the
 //! paper's own FP32-emulation setup.
 
+use crate::act::QActTensor;
 use crate::qtensor::QTensor;
 use crate::tensor::Tensor;
 
@@ -255,6 +256,118 @@ pub fn linear_q_into(x: &Tensor, weight: &QTensor, bias: Option<&Tensor>, out: &
     });
 }
 
+/// Code×code matmul: `C[m,n] = deq(A)[m,k] · deq(B)[k,n]` with *both*
+/// operands stored as FP8 activation codes. Bit-identical to
+/// `matmul(&a.dequantize(), &b.dequantize())`: each element decodes as
+/// `lut.decode(code) / scale` (the scale applied per element, never
+/// hoisted into the accumulation), rows of `A` are decoded into a small
+/// per-row scratch just before use, and the MAC loop — including the
+/// zero-skip on decoded `A` values — runs in the same order as
+/// [`matmul_into`]. `B` is decoded once into a transient buffer reused
+/// across all `m` rows (the codes are what crossed the op boundary; the
+/// f32 form never outlives the kernel).
+///
+/// # Panics
+///
+/// Panics if the operands are not 2-D or the inner dimensions disagree.
+pub fn matmul_qq(a: &QActTensor, b: &QActTensor) -> Tensor {
+    let mut out = Tensor::default();
+    matmul_qq_into(a, b, &mut out);
+    out
+}
+
+/// Out-param variant of [`matmul_qq`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`matmul_qq`] (which delegates here).
+///
+/// # Panics
+///
+/// Panics if the operands are not 2-D or the inner dimensions disagree.
+pub fn matmul_qq_into(a: &QActTensor, b: &QActTensor, out: &mut Tensor) {
+    assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D, got {:?}", a.shape());
+    assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+    out.reuse_as(&[m, n]);
+    out.zero_fill();
+    let adec = a.decoder();
+    let bdec = b.decoder();
+    let mut bf = vec![0.0f32; k * n];
+    bdec.decode_range(0, &mut bf);
+    let bd = &bf;
+    for_each_chunk(out.data_mut(), n, m * k * n, |i, row| {
+        let mut arow = vec![0.0f32; k];
+        adec.decode_range(i * k, &mut arow);
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (j, r) in row.iter_mut().enumerate() {
+                *r += av * brow[j];
+            }
+        }
+    });
+}
+
+/// Code×code fully-connected layer: `y = deq(x) · deq(W)ᵀ + b` with the
+/// activation stored as FP8 codes and the weight as a [`QTensor`].
+/// Bit-identical to `linear_q(&x.dequantize(), weight, bias)` (and hence
+/// to the f32 kernel on both dequantized operands): each activation row
+/// is decoded into a per-row scratch through `lut.decode(code) / scale`,
+/// weights decode through the same scaled 256-entry tables as
+/// [`linear_q_into`], and the MAC loop accumulates in the same order.
+/// Neither operand is ever materialized as a dense f32 tensor.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches (including a bias whose length
+/// differs from `out_features`).
+pub fn linear_qq(x: &QActTensor, weight: &QTensor, bias: Option<&Tensor>) -> Tensor {
+    let mut out = Tensor::default();
+    linear_qq_into(x, weight, bias, &mut out);
+    out
+}
+
+/// Out-param variant of [`linear_qq`]: writes into `out`, reusing its
+/// allocation. Bit-identical to [`linear_qq`] (which delegates here).
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches (including a bias whose length
+/// differs from `out_features`).
+pub fn linear_qq_into(x: &QActTensor, weight: &QTensor, bias: Option<&Tensor>, out: &mut Tensor) {
+    assert_eq!(x.ndim(), 2, "linear input must be 2-D, got {:?}", x.shape());
+    assert_eq!(weight.ndim(), 2, "linear weight must be 2-D");
+    let (m, k) = (x.dim(0), x.dim(1));
+    let (n, k2) = (weight.dim(0), weight.dim(1));
+    assert_eq!(k, k2, "linear in_features {k} vs weight {k2}");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), n, "bias length {} vs out_features {n}", b.len());
+    }
+    let xdec = x.decoder();
+    let wc = weight.codes();
+    let dec = weight.scaled_decode();
+    let bd = bias.map(|b| b.data());
+    out.reuse_as(&[m, n]);
+    for_each_chunk(out.data_mut(), n, m * k * n, |i, row| {
+        let mut xrow = vec![0.0f32; k];
+        xdec.decode_range(i * k, &mut xrow);
+        for (j, r) in row.iter_mut().enumerate() {
+            let wrow = &wc[j * k..(j + 1) * k];
+            let t = dec.channel(j);
+            let mut acc = 0.0f32;
+            for (xv, &wb) in xrow.iter().zip(wrow) {
+                acc += xv * t[wb as usize];
+            }
+            *r = acc;
+            if let Some(b) = bd {
+                *r += b[j];
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +453,53 @@ mod tests {
                 let fused = matmul_q(&a, &q);
                 let reference = matmul(&a, &q.dequantize());
                 assert_eq!(fused, reference, "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_qq_bit_identical_to_dequantized_linear() {
+        use ptq_fp8::Fp8Format;
+        let mut rng = crate::rng::TensorRng::seed(23);
+        let x = rng.normal(&[5, 24], 0.0, 1.0);
+        let w = rng.normal(&[13, 24], 0.0, 0.5);
+        let b = rng.normal(&[13], 0.0, 0.1);
+        for f in Fp8Format::ALL {
+            let q = QTensor::quantize_per_channel(&w, f).unwrap();
+            let mut xa = QActTensor::new();
+            for tiled in [false, true] {
+                if tiled {
+                    xa.quantize_per_tile(&x, f, 7);
+                } else {
+                    xa.quantize_dynamic(&x, f);
+                }
+                let fused = linear_qq(&xa, &q, Some(&b));
+                let reference = linear(&xa.dequantize(), &q.dequantize(), Some(&b));
+                assert_eq!(fused, reference, "{f} tiled={tiled}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_qq_bit_identical_to_dequantized_matmul() {
+        use ptq_fp8::Fp8Format;
+        let mut rng = crate::rng::TensorRng::seed(24);
+        let a = rng.normal(&[7, 11], 0.0, 1.0);
+        let b = rng.normal(&[11, 9], 0.0, 2.0);
+        for f in Fp8Format::ALL {
+            let mut qa = QActTensor::new();
+            let mut qb = QActTensor::new();
+            for tiled in [false, true] {
+                if tiled {
+                    qa.quantize_per_tile(&a, f, 4);
+                    qb.quantize_per_tile(&b, f, 4);
+                } else {
+                    qa.quantize_dynamic(&a, f);
+                    qb.quantize_dynamic(&b, f);
+                }
+                let fused = matmul_qq(&qa, &qb);
+                let reference = matmul(&qa.dequantize(), &qb.dequantize());
+                assert_eq!(fused, reference, "{f} tiled={tiled}");
             }
         }
     }

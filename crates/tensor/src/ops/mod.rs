@@ -17,13 +17,13 @@ pub use activation::{
     softmax_lastdim_into, tanh, tanh_into,
 };
 pub use conv::{
-    conv2d, conv2d_into, conv2d_q, conv2d_q_into, depthwise_conv2d, depthwise_conv2d_into,
-    depthwise_conv2d_q, depthwise_conv2d_q_into, Conv2dParams,
+    conv2d, conv2d_into, conv2d_q, conv2d_q_into, conv2d_qq, conv2d_qq_into, depthwise_conv2d,
+    depthwise_conv2d_into, depthwise_conv2d_q, depthwise_conv2d_q_into, Conv2dParams,
 };
 pub use embedding::{embedding, embedding_into};
 pub use matmul::{
-    batch_matmul, batch_matmul_into, linear, linear_into, linear_q, linear_q_into, matmul,
-    matmul_into, matmul_q, matmul_q_into,
+    batch_matmul, batch_matmul_into, linear, linear_into, linear_q, linear_q_into, linear_qq,
+    linear_qq_into, matmul, matmul_into, matmul_q, matmul_q_into, matmul_qq, matmul_qq_into,
 };
 pub use norm::{
     batchnorm2d, batchnorm2d_into, batchnorm2d_parts_into, layernorm, layernorm_into,

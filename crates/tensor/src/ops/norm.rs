@@ -121,7 +121,8 @@ pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor 
 ///
 /// Panics if `gamma`/`beta` lengths differ from the last dimension.
 pub fn layernorm_into(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32, out: &mut Tensor) {
-    let d = *x.shape().last().expect("layernorm needs >=1-D input");
+    // 0-d input degenerates to a single one-element row.
+    let d = x.shape().last().copied().unwrap_or(1).max(1);
     assert_eq!(gamma.len(), d, "layernorm gamma length");
     assert_eq!(beta.len(), d, "layernorm beta length");
     let rows = x.len() / d;

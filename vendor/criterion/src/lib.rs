@@ -9,8 +9,11 @@
 //! (plus element throughput when declared) is printed.
 //!
 //! Honors `CRITERION_MEASURE_MS` to shrink/grow the measurement window
-//! (useful to keep CI smoke runs fast).
+//! (useful to keep CI smoke runs fast), and `CRITERION_JSON=<path>` to
+//! append one NDJSON record per benchmark (`id`, `secs_per_iter`,
+//! `iters`) for machine consumers such as the CI regression gate.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -129,6 +132,7 @@ where
     } else {
         f64::NAN
     };
+    write_json_record(id, per_iter, b.iters);
     let time = format_time(per_iter);
     match throughput {
         Some(Throughput::Elements(n)) => {
@@ -143,6 +147,38 @@ where
             eprintln!("{id:<48} {time:>14}/iter  {:>12}", format_rate(rate, "B"));
         }
         None => eprintln!("{id:<48} {time:>14}/iter"),
+    }
+}
+
+/// Append one NDJSON record to the `CRITERION_JSON` file, if set. Errors
+/// are reported to stderr but never fail the benchmark run.
+fn write_json_record(id: &str, secs_per_iter: f64, iters: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() || !secs_per_iter.is_finite() {
+        return;
+    }
+    // Benchmark ids are code-controlled ASCII, but escape the JSON
+    // specials anyway so a stray quote cannot corrupt the stream.
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let line =
+        format!("{{\"id\":\"{escaped}\",\"secs_per_iter\":{secs_per_iter:e},\"iters\":{iters}}}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("CRITERION_JSON: cannot write {path}: {e}");
     }
 }
 
@@ -248,6 +284,30 @@ mod tests {
             b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
         g.finish();
+    }
+
+    #[test]
+    fn json_records_are_appended() {
+        let path = std::env::temp_dir().join(format!("criterion_json_{}", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        std::env::set_var("CRITERION_JSON", &path_str);
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("json/\"quoted\"", |b| b.iter(|| 1 + 1));
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Filter by id: a concurrently-running test may also append.
+        let line = text
+            .lines()
+            .find(|l| l.contains("json/"))
+            .unwrap_or_default();
+        assert!(
+            line.starts_with("{\"id\":\"json/\\\"quoted\\\"\""),
+            "{line}"
+        );
+        assert!(line.contains("\"secs_per_iter\":"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
     }
 
     #[test]
