@@ -1,44 +1,49 @@
 #!/usr/bin/env bash
-# Bench regression gate for the FP8 activation datapath.
+# Bench regression gates for the FP8 datapath kernels.
 #
-# Runs the act_qq_vs_fakequant criterion bench with NDJSON output
-# (CRITERION_JSON, see vendor/criterion) and compares the cost of each
-# code-by-code kernel relative to its fused-weight-only reference against
-# the committed baseline ratios in ci/bench_baseline_act_qq.json. Ratios
-# (coded / reference, same run, same machine) are compared instead of
-# absolute times so the gate is stable across runner hardware; a measured
-# ratio above baseline * (1 + tolerance) + slack fails.
+# Runs two criterion benches with NDJSON output (CRITERION_JSON, see
+# vendor/criterion) and compares same-run cost ratios against committed
+# baselines:
 #
-# Outputs a machine-readable summary (uploaded as a CI artifact) to
-# $BENCH_SUMMARY (default bench_results/act_qq_bench_summary.json).
+#   act_qq_vs_fakequant — each code-by-code kernel relative to its
+#       fused-weight-only reference (ci/bench_baseline_act_qq.json)
+#   roofline — each blocked micro-kernel relative to its scalar
+#       reference path (ci/bench_baseline_roofline.json); the roofline
+#       summary also reports GFLOP/s and fraction-of-roofline computed
+#       from the machine probes in the same run
+#
+# Ratios (coded / reference, same run, same machine) are compared instead
+# of absolute times so the gates are stable across runner hardware; a
+# measured ratio above baseline * (1 + tolerance) + slack fails.
+#
+# Outputs machine-readable summaries (uploaded as CI artifacts) to
+# bench_results/act_qq_bench_summary.json and
+# bench_results/roofline_summary.json.
 #
 # Environment:
 #   CRITERION_MEASURE_MS  measurement window per benchmark (default 800)
-#   BENCH_SUMMARY         summary JSON path
-#   SKIP_BENCH_RUN=1      reuse an existing $BENCH_NDJSON instead of
-#                         re-running the bench (local iteration)
-#   BENCH_NDJSON          raw NDJSON path (default target/act_qq_bench.ndjson)
+#   SKIP_BENCH_RUN=1      reuse existing NDJSON files instead of
+#                         re-running the benches (local iteration)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline=ci/bench_baseline_act_qq.json
-# Absolute path: cargo runs bench binaries from the package directory,
-# not the workspace root, so a relative CRITERION_JSON would land there.
-ndjson="${BENCH_NDJSON:-$PWD/target/act_qq_bench.ndjson}"
-summary="${BENCH_SUMMARY:-bench_results/act_qq_bench_summary.json}"
+run_gate() {
+    local bench="$1" baseline="$2" ndjson="$3" summary="$4"
 
-if [ "${SKIP_BENCH_RUN:-0}" != "1" ]; then
-    rm -f "$ndjson"
-    mkdir -p "$(dirname "$ndjson")"
-    CRITERION_JSON="$ndjson" \
-    CRITERION_MEASURE_MS="${CRITERION_MEASURE_MS:-800}" \
-        cargo bench -p ptq-bench --bench act_qq_vs_fakequant
-fi
+    if [ "${SKIP_BENCH_RUN:-0}" != "1" ]; then
+        rm -f "$ndjson"
+        mkdir -p "$(dirname "$ndjson")"
+        # Absolute path: cargo runs bench binaries from the package
+        # directory, so a relative CRITERION_JSON would land there.
+        CRITERION_JSON="$ndjson" \
+        CRITERION_MEASURE_MS="${CRITERION_MEASURE_MS:-800}" \
+            cargo bench -p ptq-bench --bench "$bench"
+    fi
 
-test -s "$ndjson" || { echo "no bench output at $ndjson" >&2; exit 1; }
-mkdir -p "$(dirname "$summary")"
+    test -s "$ndjson" || { echo "no bench output at $ndjson" >&2; exit 1; }
+    mkdir -p "$(dirname "$summary")"
 
-NDJSON="$ndjson" BASELINE="$baseline" SUMMARY="$summary" python3 - <<'EOF'
+    NDJSON="$ndjson" BASELINE="$baseline" SUMMARY="$summary" python3 - <<'EOF'
 import json
 import os
 import sys
@@ -52,6 +57,20 @@ with open(ndjson) as f:
 
 base = json.load(open(baseline_path))
 tol, slack = base["tolerance"], base.get("slack", 0.0)
+
+machine = {}
+m = base.get("machine")
+if m:
+    for kind, id_key, unit_key in (
+        ("peak_gflops", "peak_id", "peak_flops_per_iter"),
+        ("membw_gbps", "membw_id", "membw_bytes_per_iter"),
+    ):
+        bid = m[id_key]
+        if bid not in recs:
+            sys.exit(f"missing machine probe record: {bid}")
+        machine[kind] = round(m[unit_key] / recs[bid] / 1e9, 2)
+    print(f"machine: {machine}")
+
 rows, failed = [], False
 for pair in base["pairs"]:
     group = pair["group"]
@@ -72,21 +91,38 @@ for pair in base["pairs"]:
     limit = pair["ratio"] * (1.0 + tol) + slack
     ok = ratio <= limit
     failed |= not ok
-    rows.append({
+    row = {
         "coded": coded, "reference": ref,
         "coded_secs": recs[coded], "reference_secs": recs[ref],
         "ratio": round(ratio, 4), "baseline_ratio": pair["ratio"],
         "limit": round(limit, 4), "ok": ok,
-    })
+    }
+    flops = pair.get("flops_per_iter")
+    if flops and machine.get("peak_gflops"):
+        row["coded_gflops"] = round(flops / recs[coded] / 1e9, 2)
+        row["reference_gflops"] = round(flops / recs[ref] / 1e9, 2)
+        row["coded_roofline_fraction"] = round(
+            row["coded_gflops"] / machine["peak_gflops"], 3)
+    rows.append(row)
     mark = "ok  " if ok else "FAIL"
     print(f"{mark} {coded}: ratio {ratio:.3f} "
           f"(baseline {pair['ratio']}, limit {limit:.3f})")
 
-json.dump({"tolerance": tol, "slack": slack, "pairs": rows},
-          open(os.environ["SUMMARY"], "w"), indent=2)
+summary = {"tolerance": tol, "slack": slack, "pairs": rows}
+if machine:
+    summary["machine"] = machine
+json.dump(summary, open(os.environ["SUMMARY"], "w"), indent=2)
 print(f"summary written to {os.environ['SUMMARY']}")
 if failed:
-    sys.exit("code-by-code kernels regressed against the fused-weight-only "
-             "path; investigate or re-baseline ci/bench_baseline_act_qq.json")
+    sys.exit(f"kernels regressed against their same-run reference path; "
+             f"investigate or re-baseline {baseline_path}")
 EOF
-echo "bench regression gate OK"
+}
+
+run_gate act_qq_vs_fakequant ci/bench_baseline_act_qq.json \
+    "${BENCH_NDJSON:-$PWD/target/act_qq_bench.ndjson}" \
+    "${BENCH_SUMMARY:-bench_results/act_qq_bench_summary.json}"
+run_gate roofline ci/bench_baseline_roofline.json \
+    "${ROOFLINE_NDJSON:-$PWD/target/roofline_bench.ndjson}" \
+    "${ROOFLINE_SUMMARY:-bench_results/roofline_summary.json}"
+echo "bench regression gates OK"

@@ -74,6 +74,13 @@ impl ExecHook for BnMomentHook<'_> {
     ) -> bool {
         self.quant.quantize_act(node, input, x, out)
     }
+
+    // Forward so BN moments are measured under the same kernel path the
+    // eval pass will run (both paths are bit-identical, so this is about
+    // honoring the knob consistently, not numerics).
+    fn kernel_path(&self) -> ptq_tensor::ops::KernelPath {
+        self.quant.kernel_path()
+    }
 }
 
 /// Run `calib` batches through the quantized model, measure each

@@ -64,6 +64,7 @@ pub use config::{
 };
 pub use observer::{kl_divergence_threshold, mse_sweep_threshold, percentile_threshold};
 pub use ptq_nn::{PtqError, UnwrapOk};
+pub use ptq_tensor::ops::KernelPath;
 pub use quantizer::{QuantHook, QuantizedModel};
 pub use sensitivity::{
     sensitivity_profile, sensitivity_profile_with, NodeSensitivity, SensitivityProfile,
@@ -112,4 +113,5 @@ pub mod prelude {
         table2_rows, SuiteRow, SweepError,
     };
     pub use ptq_nn::{ExecHook, ExecPlan, Graph, NoopHook, PlanSet, PtqError, UnwrapOk};
+    pub use ptq_tensor::ops::KernelPath;
 }

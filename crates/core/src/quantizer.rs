@@ -527,6 +527,14 @@ impl ExecHook for QuantHook<'_> {
         self.model.qweights.get(&value)
     }
 
+    fn kernel_path(&self) -> ptq_tensor::ops::KernelPath {
+        // Quantized inference honors the config's kernel-path knob so a
+        // whole eval (accuracy suite, benchmark, bisection run) can be
+        // flipped between the blocked micro-kernels and the scalar
+        // reference from one place.
+        self.model.config.kernel_path
+    }
+
     fn before_node(&mut self, node: &Node, inputs: &mut [Tensor]) {
         if !self.model.quantized_nodes.contains(&node.id) {
             return;

@@ -19,6 +19,7 @@ use crate::workflow::{calibrate_workload, run_guarded};
 use ptq_metrics::WorkloadResult;
 use ptq_models::Workload;
 use ptq_nn::{ExecHook, Node, PtqError, ValueId};
+use ptq_tensor::ops::KernelPath;
 use ptq_tensor::{QTensor, Tensor};
 
 /// Result of quantizing one workload under one recipe.
@@ -45,6 +46,10 @@ pub struct QuantOutcome {
     pub act_bytes: usize,
     /// Bytes the same activation inputs would occupy as dense f32.
     pub act_bytes_f32: usize,
+    /// Which MAC kernel implementation the evaluation pass ran through
+    /// (both are bit-identical; recorded so sweep/bench reports can state
+    /// what was measured).
+    pub kernel_path: KernelPath,
 }
 
 /// Chains the quantizing hook with a caller-supplied observer: the
@@ -91,6 +96,12 @@ impl ExecHook for ObservedQuant<'_, '_> {
         // already saw the (un-fake-quanted) input in `before_node` and
         // cannot veto or alter the coded form.
         self.quant.quantize_act(node, input, x, out)
+    }
+
+    fn kernel_path(&self) -> KernelPath {
+        // Kernel selection stays with the quantizer too — the observer
+        // watches, it does not steer execution.
+        self.quant.kernel_path()
     }
 }
 
@@ -182,6 +193,16 @@ impl<'a> PtqSession<'a> {
         self
     }
 
+    /// Select which implementation the fused quantized MAC kernels run
+    /// through: the blocked micro-kernels (the default) or the scalar
+    /// reference loops. Both are bit-identical — this flips performance,
+    /// never results — so it doubles as a one-line bisection switch when
+    /// a kernel regression is suspected.
+    pub fn kernel_path(mut self, path: KernelPath) -> Self {
+        self.cfg = self.cfg.with_kernel_path(path);
+        self
+    }
+
     /// The session's configuration.
     pub fn config(&self) -> &QuantConfig {
         &self.cfg
@@ -245,6 +266,7 @@ impl<'a> PtqSession<'a> {
             let act_bytes = model.act_bytes();
             let act_bytes_f32 = model.act_bytes_f32();
             Ok(QuantOutcome {
+                kernel_path: cfg.kernel_path,
                 model,
                 score,
                 result,
@@ -301,6 +323,25 @@ mod tests {
             .unwrap_ok();
         let b = PtqSession::new(cfg).quantize(w).unwrap_ok();
         assert_eq!(a.score.to_bits(), b.score.to_bits());
+    }
+
+    #[test]
+    fn scalar_reference_path_is_bit_identical_to_blocked() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let w = &zoo[0];
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+        let blocked = PtqSession::new(cfg.clone()).quantize(w).unwrap_ok();
+        let scalar = PtqSession::new(cfg)
+            .kernel_path(KernelPath::ScalarReference)
+            .quantize(w)
+            .unwrap_ok();
+        assert_eq!(blocked.kernel_path, KernelPath::Blocked);
+        assert_eq!(scalar.kernel_path, KernelPath::ScalarReference);
+        assert_eq!(
+            blocked.score.to_bits(),
+            scalar.score.to_bits(),
+            "kernel path must never change results"
+        );
     }
 
     #[test]

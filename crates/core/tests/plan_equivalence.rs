@@ -189,6 +189,53 @@ fn fp8_coded_activations_match_fake_quant_across_zoo() {
 }
 
 #[test]
+fn blocked_kernels_match_scalar_reference_across_zoo() {
+    // The tentpole invariant of the blocked micro-kernels: register
+    // blocking, cache tiling and decode-once panels are pure performance
+    // transforms — for every quick-zoo workload, all three FP8 formats,
+    // per-tensor and per-tile activation scales, on both the interpreter
+    // and the planned executor, the blocked path must be bit-identical to
+    // the scalar reference loops.
+    use ptq_core::KernelPath;
+    for w in &build_zoo(ZooFilter::Quick) {
+        let base = QuantConfig::fp8(Fp8Format::E4M3);
+        let calib = ptq_core::calibrate_workload(w, &base).unwrap_ok();
+        let inputs = &w.eval[0];
+        for f in Fp8Format::ALL {
+            for gran in [ActGranularity::PerTensor, ActGranularity::PerTile(16)] {
+                let cfg = QuantConfig::fp8(f).with_act_granularity(gran);
+                let blocked =
+                    QuantizedModel::build(w.graph.clone(), &calib, cfg.clone()).unwrap_ok();
+                let scalar = QuantizedModel::build(
+                    w.graph.clone(),
+                    &calib,
+                    cfg.with_kernel_path(KernelPath::ScalarReference),
+                )
+                .unwrap_ok();
+                let what = format!("{} {f} {gran:?}", w.spec.name);
+
+                let ref_out = scalar.graph.run(inputs, &mut scalar.hook()).unwrap_ok();
+                let interp = blocked.graph.run(inputs, &mut blocked.hook()).unwrap_ok();
+                assert_tensors_identical(&ref_out, &interp, &format!("{what} interp"));
+                let plan = plan_for(&blocked.graph, inputs);
+                // Twice: the second pass reuses warmed per-thread decode
+                // panels, which must not change the arithmetic.
+                for pass in 0..2 {
+                    let planned = plan
+                        .run(&blocked.graph, inputs, &mut blocked.hook())
+                        .unwrap_ok();
+                    assert_tensors_identical(
+                        &ref_out,
+                        &planned,
+                        &format!("{what} planned pass {pass}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn plan_matches_interpreter_under_quantized_hooks_across_zoo() {
     for w in &build_zoo(ZooFilter::Quick) {
         let cfg = paper_recipe(

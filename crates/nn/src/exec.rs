@@ -121,6 +121,7 @@ pub(crate) fn eval_node_into(
     acts: &ActsRef<'_>,
     scratch: &mut EvalScratch,
     out: &mut Tensor,
+    path: ops::KernelPath,
 ) -> Result<(), PtqError> {
     // Activation codes are only executable by the code×code kernels of
     // Conv2d (non-depthwise), Linear and MatMul; a binding anywhere else
@@ -144,11 +145,11 @@ pub(crate) fn eval_node_into(
                 None => None,
             };
             match (params.get(node, 0)?, *depthwise, acts.get(0)) {
-                (PRef::Q(w), false, Some(xa)) => ops::conv2d_qq_into(xa, w, b, *cp, out),
+                (PRef::Q(w), false, Some(xa)) => ops::conv2d_qq_into_path(xa, w, b, *cp, out, path),
                 (PRef::F32(w), true, None) => ops::depthwise_conv2d_into(&ins[0], w, b, *cp, out),
                 (PRef::F32(w), false, None) => ops::conv2d_into(&ins[0], w, b, *cp, out),
                 (PRef::Q(w), true, None) => ops::depthwise_conv2d_q_into(&ins[0], w, b, *cp, out),
-                (PRef::Q(w), false, None) => ops::conv2d_q_into(&ins[0], w, b, *cp, out),
+                (PRef::Q(w), false, None) => ops::conv2d_q_into_path(&ins[0], w, b, *cp, out, path),
                 _ => {
                     return Err(PtqError::Internal(format!(
                         "activation codes for node {} need a non-depthwise FP8-stored weight",
@@ -163,9 +164,9 @@ pub(crate) fn eval_node_into(
                 None => None,
             };
             match (params.get(node, 0)?, acts.get(0)) {
-                (PRef::Q(w), Some(xa)) => ops::linear_qq_into(xa, w, b, out),
+                (PRef::Q(w), Some(xa)) => ops::linear_qq_into_path(xa, w, b, out, path),
                 (PRef::F32(w), None) => ops::linear_into(&ins[0], w, b, out),
-                (PRef::Q(w), None) => ops::linear_q_into(&ins[0], w, b, out),
+                (PRef::Q(w), None) => ops::linear_q_into_path(&ins[0], w, b, out, path),
                 (PRef::F32(_), Some(_)) => {
                     return Err(PtqError::Internal(format!(
                         "activation codes for node {} need an FP8-stored weight",
@@ -175,7 +176,7 @@ pub(crate) fn eval_node_into(
             }
         }
         Op::MatMul => match (acts.get(0), acts.get(1)) {
-            (Some(a), Some(b)) => ops::matmul_qq_into(a, b, out),
+            (Some(a), Some(b)) => ops::matmul_qq_into_path(a, b, out, path),
             (None, None) => ops::matmul_into(&ins[0], &ins[1], out),
             _ => {
                 return Err(PtqError::Internal(format!(

@@ -110,6 +110,16 @@ pub trait ExecHook {
     ) -> bool {
         false
     }
+
+    /// Which implementation the fused quantized MAC kernels run through
+    /// for nodes this hook drives. Both paths are bit-identical (the
+    /// blocked micro-kernels preserve the scalar reference's accumulation
+    /// order exactly), so this is a performance/debugging knob, not a
+    /// semantics choice; the default is the fast blocked path. Queried
+    /// once per pass by both executors.
+    fn kernel_path(&self) -> ptq_tensor::ops::KernelPath {
+        ptq_tensor::ops::KernelPath::default()
+    }
 }
 
 /// A hook that does nothing: plain FP32 inference.
@@ -255,7 +265,8 @@ impl Graph {
         }
         let mut scratch = crate::exec::EvalScratch::default();
         let mut out = Tensor::default();
-        crate::exec::eval_node_into(node, ins, &pr, &ar, &mut scratch, &mut out)?;
+        let path = frozen.kernel_path();
+        crate::exec::eval_node_into(node, ins, &pr, &ar, &mut scratch, &mut out, path)?;
         Ok(out)
     }
 }

@@ -536,7 +536,8 @@ impl ExecPlan {
             }
 
             let out = &mut slots[step.out_slot];
-            crate::exec::eval_node_into(node, &staging[..arity], &pr, &ar, scratch, out)?;
+            let path = frozen.kernel_path();
+            crate::exec::eval_node_into(node, &staging[..arity], &pr, &ar, scratch, out, path)?;
             hook.after_node(node, out);
             if sp.active() {
                 sp.record_str("node", &node.name);

@@ -93,7 +93,17 @@ impl QActTensor {
     /// or a dynamic scale the caller computed). Codes are
     /// `encode(x * scale)`, exactly as [`ptq_fp8::StoredTensor::quantize`]
     /// produces them.
+    ///
+    /// A zero or non-finite scale would poison every code (`x * 0` or
+    /// `x * inf/NaN` before encode, and the decoder divides by the same
+    /// scale), so it falls back to the unit scale — the same guard
+    /// [`Self::quantize_dynamic`] gets from [`ptq_fp8::fp8_scale`].
     pub fn quantize_static(&mut self, x: &Tensor, format: Fp8Format, scale: f32) {
+        let scale = if scale.is_finite() && scale != 0.0 {
+            scale
+        } else {
+            1.0
+        };
         self.reset(x, format, 0);
         let codec = Fp8Codec::new(format);
         self.codes
@@ -329,6 +339,25 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "{f} elem {i}");
             }
         }
+    }
+
+    #[test]
+    fn static_degenerate_scale_falls_back_to_unit() {
+        // A zero or non-finite caller scale must not poison the codes:
+        // it gets the same unit-scale fallback the dynamic path has.
+        let t = Tensor::from_vec(vec![0.5, -1.25, 2.0], &[3]);
+        for bad in [0.0f32, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut q = QActTensor::new();
+            q.quantize_static(&t, Fp8Format::E4M3, bad);
+            assert_eq!(q.scales(), &[1.0], "scale {bad}");
+            let mut unit = QActTensor::new();
+            unit.quantize_static(&t, Fp8Format::E4M3, 1.0);
+            assert_eq!(q.codes(), unit.codes(), "scale {bad}");
+        }
+        // A legitimate scale is still trusted verbatim.
+        let mut q = QActTensor::new();
+        q.quantize_static(&t, Fp8Format::E4M3, 2.5);
+        assert_eq!(q.scales(), &[2.5]);
     }
 
     #[test]

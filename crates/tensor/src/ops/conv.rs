@@ -1,6 +1,6 @@
 //! 2-D convolution kernels (NCHW layout).
 
-use super::for_each_chunk;
+use super::{blocked, for_each_chunk, KernelPath};
 use crate::act::QActTensor;
 use crate::qtensor::QTensor;
 use crate::tensor::Tensor;
@@ -231,6 +231,19 @@ pub fn conv2d_q_into(
     p: Conv2dParams,
     out: &mut Tensor,
 ) {
+    conv2d_q_into_path(x, weight, bias, p, out, KernelPath::default());
+}
+
+/// [`conv2d_q_into`] through an explicit [`KernelPath`]. Both paths are
+/// bit-identical; `ScalarReference` is the permanent semantics oracle.
+pub fn conv2d_q_into_path(
+    x: &Tensor,
+    weight: &QTensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+    out: &mut Tensor,
+    path: KernelPath,
+) {
     assert_eq!(
         x.ndim(),
         4,
@@ -247,11 +260,17 @@ pub fn conv2d_q_into(
     let oh = p.out_size(h, kh);
     let ow = p.out_size(w, kw);
     assert!(oh > 0 && ow > 0, "kernel does not fit input");
+    out.reuse_as(&[n, cout, oh, ow]);
+    if out.data().is_empty() {
+        return;
+    }
+    if path == KernelPath::Blocked {
+        return blocked::conv2d_q(x, weight, bias, p, out);
+    }
 
     let xd = x.data();
     let wc = weight.codes();
     let dec = weight.scaled_decode();
-    out.reuse_as(&[n, cout, oh, ow]);
     let pad = p.padding as isize;
     let stride = p.stride;
 
@@ -413,6 +432,19 @@ pub fn conv2d_qq_into(
     p: Conv2dParams,
     out: &mut Tensor,
 ) {
+    conv2d_qq_into_path(x, weight, bias, p, out, KernelPath::default());
+}
+
+/// [`conv2d_qq_into`] through an explicit [`KernelPath`]. Both paths are
+/// bit-identical; `ScalarReference` is the permanent semantics oracle.
+pub fn conv2d_qq_into_path(
+    x: &QActTensor,
+    weight: &QTensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+    out: &mut Tensor,
+    path: KernelPath,
+) {
     assert_eq!(
         x.ndim(),
         4,
@@ -429,11 +461,17 @@ pub fn conv2d_qq_into(
     let oh = p.out_size(h, kh);
     let ow = p.out_size(w, kw);
     assert!(oh > 0 && ow > 0, "kernel does not fit input");
+    out.reuse_as(&[n, cout, oh, ow]);
+    if out.data().is_empty() {
+        return;
+    }
+    if path == KernelPath::Blocked {
+        return blocked::conv2d_qq(x, weight, bias, p, out);
+    }
 
     let xdec = x.decoder();
     let wc = weight.codes();
     let dec = weight.scaled_decode();
-    out.reuse_as(&[n, cout, oh, ow]);
     let pad = p.padding as isize;
     let stride = p.stride;
     let sample = cin * h * w;
@@ -445,35 +483,36 @@ pub fn conv2d_qq_into(
         let b0 = bias.map(|b| b.data()[co]).unwrap_or(0.0);
         let wbase = co * cin * kh * kw;
         let t = dec.channel(co);
-        let mut xf = vec![0.0f32; sample];
-        xdec.decode_range(ni * sample, &mut xf);
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = b0;
-                let iy0 = (oy * stride) as isize - pad;
-                let ix0 = (ox * stride) as isize - pad;
-                for ci in 0..cin {
-                    let xbase = ci * h * w;
-                    let wcbase = wbase + ci * kh * kw;
-                    for ky in 0..kh {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let xrow = xbase + iy as usize * w;
-                        let wrow = wcbase + ky * kw;
-                        for kx in 0..kw {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
+        super::scratch::with_rows(sample, |xf| {
+            xdec.decode_range(ni * sample, xf);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b0;
+                    let iy0 = (oy * stride) as isize - pad;
+                    let ix0 = (ox * stride) as isize - pad;
+                    for ci in 0..cin {
+                        let xbase = ci * h * w;
+                        let wcbase = wbase + ci * kh * kw;
+                        for ky in 0..kh {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            acc += xf[xrow + ix as usize] * t[wc[wrow + kx] as usize];
+                            let xrow = xbase + iy as usize * w;
+                            let wrow = wcbase + ky * kw;
+                            for kx in 0..kw {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += xf[xrow + ix as usize] * t[wc[wrow + kx] as usize];
+                            }
                         }
                     }
+                    oplane[oy * ow + ox] = acc;
                 }
-                oplane[oy * ow + ox] = acc;
             }
-        }
+        });
     });
 }
 

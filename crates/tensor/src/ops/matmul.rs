@@ -9,7 +9,7 @@ use crate::act::QActTensor;
 use crate::qtensor::QTensor;
 use crate::tensor::Tensor;
 
-use super::for_each_chunk;
+use super::{blocked, for_each_chunk, scratch, KernelPath};
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 ///
@@ -176,6 +176,12 @@ pub fn matmul_q(a: &Tensor, b: &QTensor) -> Tensor {
 ///
 /// Panics if the operands are not 2-D or the inner dimensions disagree.
 pub fn matmul_q_into(a: &Tensor, b: &QTensor, out: &mut Tensor) {
+    matmul_q_into_path(a, b, out, KernelPath::default());
+}
+
+/// [`matmul_q_into`] through an explicit [`KernelPath`]. Both paths are
+/// bit-identical; `ScalarReference` is the permanent semantics oracle.
+pub fn matmul_q_into_path(a: &Tensor, b: &QTensor, out: &mut Tensor, path: KernelPath) {
     assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D, got {:?}", a.shape());
     assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
     let (m, k) = (a.dim(0), a.dim(1));
@@ -183,6 +189,12 @@ pub fn matmul_q_into(a: &Tensor, b: &QTensor, out: &mut Tensor) {
     assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
     out.reuse_as(&[m, n]);
     out.zero_fill();
+    if out.data().is_empty() {
+        return;
+    }
+    if path == KernelPath::Blocked {
+        return blocked::matmul_q(a, b, m, k, n, out);
+    }
     let ad = a.data();
     let bc = b.codes();
     let dec = b.scaled_decode();
@@ -226,6 +238,18 @@ pub fn linear_q(x: &Tensor, weight: &QTensor, bias: Option<&Tensor>) -> Tensor {
 /// Panics on rank or dimension mismatches (including a bias whose length
 /// differs from `out_features`).
 pub fn linear_q_into(x: &Tensor, weight: &QTensor, bias: Option<&Tensor>, out: &mut Tensor) {
+    linear_q_into_path(x, weight, bias, out, KernelPath::default());
+}
+
+/// [`linear_q_into`] through an explicit [`KernelPath`]. Both paths are
+/// bit-identical; `ScalarReference` is the permanent semantics oracle.
+pub fn linear_q_into_path(
+    x: &Tensor,
+    weight: &QTensor,
+    bias: Option<&Tensor>,
+    out: &mut Tensor,
+    path: KernelPath,
+) {
     assert_eq!(x.ndim(), 2, "linear input must be 2-D, got {:?}", x.shape());
     assert_eq!(weight.ndim(), 2, "linear weight must be 2-D");
     let (m, k) = (x.dim(0), x.dim(1));
@@ -234,11 +258,17 @@ pub fn linear_q_into(x: &Tensor, weight: &QTensor, bias: Option<&Tensor>, out: &
     if let Some(b) = bias {
         assert_eq!(b.len(), n, "bias length {} vs out_features {n}", b.len());
     }
+    out.reuse_as(&[m, n]);
+    if out.data().is_empty() {
+        return;
+    }
+    if path == KernelPath::Blocked {
+        return blocked::linear_q(x, weight, bias, m, k, n, out);
+    }
     let xd = x.data();
     let wc = weight.codes();
     let dec = weight.scaled_decode();
     let bd = bias.map(|b| b.data());
-    out.reuse_as(&[m, n]);
     for_each_chunk(out.data_mut(), n, m * k * n, |i, row| {
         let xrow = &xd[i * k..(i + 1) * k];
         for (j, r) in row.iter_mut().enumerate() {
@@ -283,6 +313,12 @@ pub fn matmul_qq(a: &QActTensor, b: &QActTensor) -> Tensor {
 ///
 /// Panics if the operands are not 2-D or the inner dimensions disagree.
 pub fn matmul_qq_into(a: &QActTensor, b: &QActTensor, out: &mut Tensor) {
+    matmul_qq_into_path(a, b, out, KernelPath::default());
+}
+
+/// [`matmul_qq_into`] through an explicit [`KernelPath`]. Both paths are
+/// bit-identical; `ScalarReference` is the permanent semantics oracle.
+pub fn matmul_qq_into_path(a: &QActTensor, b: &QActTensor, out: &mut Tensor, path: KernelPath) {
     assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D, got {:?}", a.shape());
     assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
     let (m, k) = (a.dim(0), a.dim(1));
@@ -290,23 +326,31 @@ pub fn matmul_qq_into(a: &QActTensor, b: &QActTensor, out: &mut Tensor) {
     assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
     out.reuse_as(&[m, n]);
     out.zero_fill();
+    if out.data().is_empty() {
+        return;
+    }
+    if path == KernelPath::Blocked {
+        return blocked::matmul_qq(a, b, m, k, n, out);
+    }
     let adec = a.decoder();
     let bdec = b.decoder();
-    let mut bf = vec![0.0f32; k * n];
-    bdec.decode_range(0, &mut bf);
-    let bd = &bf;
-    for_each_chunk(out.data_mut(), n, m * k * n, |i, row| {
-        let mut arow = vec![0.0f32; k];
-        adec.decode_range(i * k, &mut arow);
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (j, r) in row.iter_mut().enumerate() {
-                *r += av * brow[j];
-            }
-        }
+    scratch::with_panel(k * n, |bf| {
+        bdec.decode_range(0, bf);
+        let bd = &*bf;
+        for_each_chunk(out.data_mut(), n, m * k * n, |i, row| {
+            scratch::with_rows(k, |arow| {
+                adec.decode_range(i * k, arow);
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[kk * n..(kk + 1) * n];
+                    for (j, r) in row.iter_mut().enumerate() {
+                        *r += av * brow[j];
+                    }
+                }
+            });
+        });
     });
 }
 
@@ -337,6 +381,18 @@ pub fn linear_qq(x: &QActTensor, weight: &QTensor, bias: Option<&Tensor>) -> Ten
 /// Panics on rank or dimension mismatches (including a bias whose length
 /// differs from `out_features`).
 pub fn linear_qq_into(x: &QActTensor, weight: &QTensor, bias: Option<&Tensor>, out: &mut Tensor) {
+    linear_qq_into_path(x, weight, bias, out, KernelPath::default());
+}
+
+/// [`linear_qq_into`] through an explicit [`KernelPath`]. Both paths are
+/// bit-identical; `ScalarReference` is the permanent semantics oracle.
+pub fn linear_qq_into_path(
+    x: &QActTensor,
+    weight: &QTensor,
+    bias: Option<&Tensor>,
+    out: &mut Tensor,
+    path: KernelPath,
+) {
     assert_eq!(x.ndim(), 2, "linear input must be 2-D, got {:?}", x.shape());
     assert_eq!(weight.ndim(), 2, "linear weight must be 2-D");
     let (m, k) = (x.dim(0), x.dim(1));
@@ -345,26 +401,33 @@ pub fn linear_qq_into(x: &QActTensor, weight: &QTensor, bias: Option<&Tensor>, o
     if let Some(b) = bias {
         assert_eq!(b.len(), n, "bias length {} vs out_features {n}", b.len());
     }
+    out.reuse_as(&[m, n]);
+    if out.data().is_empty() {
+        return;
+    }
+    if path == KernelPath::Blocked {
+        return blocked::linear_qq(x, weight, bias, m, k, n, out);
+    }
     let xdec = x.decoder();
     let wc = weight.codes();
     let dec = weight.scaled_decode();
     let bd = bias.map(|b| b.data());
-    out.reuse_as(&[m, n]);
     for_each_chunk(out.data_mut(), n, m * k * n, |i, row| {
-        let mut xrow = vec![0.0f32; k];
-        xdec.decode_range(i * k, &mut xrow);
-        for (j, r) in row.iter_mut().enumerate() {
-            let wrow = &wc[j * k..(j + 1) * k];
-            let t = dec.channel(j);
-            let mut acc = 0.0f32;
-            for (xv, &wb) in xrow.iter().zip(wrow) {
-                acc += xv * t[wb as usize];
+        scratch::with_rows(k, |xrow| {
+            xdec.decode_range(i * k, xrow);
+            for (j, r) in row.iter_mut().enumerate() {
+                let wrow = &wc[j * k..(j + 1) * k];
+                let t = dec.channel(j);
+                let mut acc = 0.0f32;
+                for (xv, &wb) in xrow.iter().zip(wrow) {
+                    acc += xv * t[wb as usize];
+                }
+                *r = acc;
+                if let Some(b) = bd {
+                    *r += b[j];
+                }
             }
-            *r = acc;
-            if let Some(b) = bd {
-                *r += b[j];
-            }
-        }
+        });
     });
 }
 

@@ -6,24 +6,28 @@
 //! surround them in real networks.
 
 pub mod activation;
+pub(crate) mod blocked;
 pub mod conv;
 pub mod embedding;
 pub mod matmul;
 pub mod norm;
 pub mod pool;
+pub(crate) mod scratch;
 
 pub use activation::{
     gelu, gelu_into, relu, relu_into, sigmoid, sigmoid_into, silu, silu_into, softmax_lastdim,
     softmax_lastdim_into, tanh, tanh_into,
 };
 pub use conv::{
-    conv2d, conv2d_into, conv2d_q, conv2d_q_into, conv2d_qq, conv2d_qq_into, depthwise_conv2d,
-    depthwise_conv2d_into, depthwise_conv2d_q, depthwise_conv2d_q_into, Conv2dParams,
+    conv2d, conv2d_into, conv2d_q, conv2d_q_into, conv2d_q_into_path, conv2d_qq, conv2d_qq_into,
+    conv2d_qq_into_path, depthwise_conv2d, depthwise_conv2d_into, depthwise_conv2d_q,
+    depthwise_conv2d_q_into, Conv2dParams,
 };
 pub use embedding::{embedding, embedding_into};
 pub use matmul::{
-    batch_matmul, batch_matmul_into, linear, linear_into, linear_q, linear_q_into, linear_qq,
-    linear_qq_into, matmul, matmul_into, matmul_q, matmul_q_into, matmul_qq, matmul_qq_into,
+    batch_matmul, batch_matmul_into, linear, linear_into, linear_q, linear_q_into,
+    linear_q_into_path, linear_qq, linear_qq_into, linear_qq_into_path, matmul, matmul_into,
+    matmul_q, matmul_q_into, matmul_q_into_path, matmul_qq, matmul_qq_into, matmul_qq_into_path,
 };
 pub use norm::{
     batchnorm2d, batchnorm2d_into, batchnorm2d_parts_into, layernorm, layernorm_into,
@@ -35,6 +39,41 @@ pub use pool::{
 };
 
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which implementation the fused quantized MAC kernels
+/// (`matmul_q/qq`, `linear_q/qq`, `conv2d_q/qq`) run through.
+///
+/// Both paths are bit-identical by construction — the blocked kernels
+/// preserve the scalar reference's per-output accumulation order exactly
+/// (one kk-ascending chain per output element, scales applied per element
+/// inside the MAC, the `av == 0.0` zero-skip intact) and differ only in
+/// iteration *interleaving* across independent outputs and in data
+/// staging (decode-once panels, register tiles). The equivalence is
+/// enforced zoo-wide (`plan_equivalence.rs`) and property-tested across
+/// formats/granularities/ragged shapes (`kernel_path_equivalence.rs`), so
+/// any future divergence is one flag away from bisectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KernelPath {
+    /// Register-blocked, cache-tiled micro-kernels (the default): decode
+    /// tables packed per channel group, operands decoded once into
+    /// reusable per-thread panels, 4–8-wide unrolled register tiles.
+    #[default]
+    Blocked,
+    /// The straightforward triple-loop reference the blocked kernels are
+    /// verified against. Kept permanently as the semantics oracle.
+    ScalarReference,
+}
+
+impl fmt::Display for KernelPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelPath::Blocked => write!(f, "blocked"),
+            KernelPath::ScalarReference => write!(f, "scalar-reference"),
+        }
+    }
+}
 
 /// Multiply-accumulate count below which a chunked kernel loop runs on
 /// the calling thread instead of fanning out. The workspace's `rayon` is
@@ -55,6 +94,12 @@ pub(crate) fn for_each_chunk(
     macs: usize,
     f: impl Fn(usize, &mut [f32]) + Sync,
 ) {
+    // Degenerate outputs (any dim 0) have nothing to compute; without
+    // this guard `chunks_mut(0)` would panic when the chunk extent is a
+    // product involving a zero dim.
+    if data.is_empty() || chunk == 0 {
+        return;
+    }
     if macs < PAR_MACS_MIN {
         for (i, c) in data.chunks_mut(chunk).enumerate() {
             f(i, c);

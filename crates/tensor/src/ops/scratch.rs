@@ -1,0 +1,188 @@
+//! Per-thread reusable kernel scratch.
+//!
+//! The fused quantized kernels stage decoded operands in f32 buffers (a
+//! decoded B panel, a block of decoded activation rows, a packed weight
+//! panel). Allocating those per call — or worse, per output row inside
+//! the MAC loop — violates the arena contract of PR 4 (zero steady-state
+//! allocation on the hot path). This module keeps one growable buffer
+//! pool per thread; kernels *take* a buffer for the duration of a
+//! closure and put it back grown, so after warm-up no kernel call
+//! allocates. Works unchanged under the rayon fan-out: each worker
+//! thread warms its own pool.
+//!
+//! Buffers are moved out of the thread-local cell (not borrowed across
+//! the closure), so a kernel can hold the call-wide `panel` while its
+//! per-chunk closures take `rows` on the same thread without a nested
+//! `RefCell` borrow.
+
+use std::cell::RefCell;
+
+#[derive(Default)]
+struct Pool {
+    /// Call-wide operand panel (decoded B, packed weights). Taken on the
+    /// calling thread before the chunk fan-out.
+    panel: Vec<f32>,
+    /// Second call-wide panel for kernels that stage two forms (decode
+    /// then repack).
+    panel2: Vec<f32>,
+    /// Per-chunk row block (decoded activation rows). Taken inside chunk
+    /// closures, once per worker thread.
+    rows: Vec<f32>,
+    /// Second per-chunk block (k-major transposed A rows for the matmul
+    /// register tile).
+    rows2: Vec<f32>,
+    /// Scaled decode tables (256 f32 per scale group), held by
+    /// [`PooledTables`] guards across a kernel call.
+    tables: Vec<f32>,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// Total bytes still owned by this thread's pool (testing aid).
+#[cfg(test)]
+pub(crate) fn pooled_bytes() -> usize {
+    POOL.with(|p| {
+        let p = p.borrow();
+        4 * (p.panel.capacity()
+            + p.panel2.capacity()
+            + p.rows.capacity()
+            + p.rows2.capacity()
+            + p.tables.capacity())
+    })
+}
+
+fn take(slot: impl Fn(&mut Pool) -> &mut Vec<f32>) -> Vec<f32> {
+    POOL.with(|p| std::mem::take(slot(&mut p.borrow_mut())))
+}
+
+fn put(slot: impl Fn(&mut Pool) -> &mut Vec<f32>, buf: Vec<f32>) {
+    POOL.with(|p| {
+        let cell = &mut p.borrow_mut();
+        let dst = slot(cell);
+        // Keep the larger allocation so the pool converges to the high
+        //-water mark instead of thrashing between two kernels.
+        if buf.capacity() > dst.capacity() {
+            *dst = buf;
+        }
+    });
+}
+
+fn grown(mut buf: Vec<f32>, len: usize) -> Vec<f32> {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    buf
+}
+
+/// Run `f` with this thread's call-wide panel buffer, at least `len`
+/// elements long. Contents are unspecified; the kernel overwrites what it
+/// reads.
+pub(crate) fn with_panel<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = grown(take(|p| &mut p.panel), len);
+    let r = f(&mut buf[..len]);
+    put(|p| &mut p.panel, buf);
+    r
+}
+
+/// Run `f` with this thread's second call-wide panel buffer (for kernels
+/// staging two operand forms in one call).
+pub(crate) fn with_panel2<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = grown(take(|p| &mut p.panel2), len);
+    let r = f(&mut buf[..len]);
+    put(|p| &mut p.panel2, buf);
+    r
+}
+
+/// Run `f` with this thread's per-chunk row buffer, at least `len`
+/// elements long.
+pub(crate) fn with_rows<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = grown(take(|p| &mut p.rows), len);
+    let r = f(&mut buf[..len]);
+    put(|p| &mut p.rows, buf);
+    r
+}
+
+/// Run `f` with this thread's second per-chunk buffer (for kernels that
+/// stage two per-chunk forms, e.g. row-major and k-major A blocks).
+pub(crate) fn with_rows2<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = grown(take(|p| &mut p.rows2), len);
+    let r = f(&mut buf[..len]);
+    put(|p| &mut p.rows2, buf);
+    r
+}
+
+/// RAII guard over the pooled decode-table buffer. Unlike the closure
+/// slots above, decode tables live inside a value
+/// ([`crate::qtensor::ScaledDecode`]) whose lifetime the borrow checker —
+/// not a closure scope — ends, so the buffer rides in the guard and
+/// returns to the pool on drop.
+#[derive(Default)]
+pub(crate) struct PooledTables {
+    buf: Vec<f32>,
+}
+
+impl PooledTables {
+    /// The built tables.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[f32] {
+        &self.buf
+    }
+
+    /// The underlying buffer (cleared at take), for building tables into.
+    pub(crate) fn buf_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledTables {
+    fn drop(&mut self) {
+        put(|p| &mut p.tables, std::mem::take(&mut self.buf));
+    }
+}
+
+/// Take the decode-table buffer out of this thread's pool (cleared,
+/// capacity preserved). Returned to the pool when the guard drops.
+pub(crate) fn take_tables() -> PooledTables {
+    let mut buf = take(|p| &mut p.tables);
+    buf.clear();
+    PooledTables { buf }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_reused_not_reallocated() {
+        with_panel(1024, |b| b[0] = 1.0);
+        let bytes = pooled_bytes();
+        for _ in 0..10 {
+            with_panel(1024, |b| {
+                assert_eq!(b.len(), 1024);
+                b[1023] = 2.0;
+            });
+        }
+        assert_eq!(pooled_bytes(), bytes, "steady-state reuse must not grow");
+    }
+
+    #[test]
+    fn nested_slots_do_not_conflict() {
+        with_panel(64, |p| {
+            with_rows(32, |r| {
+                r[0] = 1.0;
+                p[0] = 2.0;
+            });
+        });
+        with_panel(16, |p| assert_eq!(p.len(), 16));
+    }
+
+    #[test]
+    fn pool_keeps_high_water_mark() {
+        with_rows(4096, |_| {});
+        let big = pooled_bytes();
+        with_rows(8, |b| assert_eq!(b.len(), 8));
+        assert_eq!(pooled_bytes(), big);
+    }
+}

@@ -134,36 +134,39 @@ impl QTensor {
     /// bit-identical to what [`StoredTensor::dequantize`] produces for a
     /// code `b` in that group.
     pub fn scaled_decode(&self) -> ScaledDecode {
-        let build = |s: f32| -> [f32; 256] {
-            let mut t = [0.0f32; 256];
-            for (b, slot) in t.iter_mut().enumerate() {
-                *slot = self.lut.decode(b as u8) / s;
+        // The table buffer comes from the per-thread kernel scratch pool
+        // and returns there when the `ScaledDecode` drops, so steady-state
+        // kernel calls build their tables allocation-free.
+        let mut tables = crate::ops::scratch::take_tables();
+        let buf = tables.buf_mut();
+        let mut build = |s: f32| {
+            for b in 0..=255u8 {
+                buf.push(self.lut.decode(b) / s);
             }
-            t
         };
-        match self.stored.scales() {
-            StoredScales::PerTensor(s) => ScaledDecode {
-                tables: build(*s).to_vec(),
-                per_channel: false,
-            },
-            StoredScales::PerChannel(scales) => {
-                let mut tables = Vec::with_capacity(scales.len() * 256);
-                for &s in scales {
-                    tables.extend_from_slice(&build(s));
-                }
-                ScaledDecode {
-                    tables,
-                    per_channel: true,
-                }
+        let per_channel = match self.stored.scales() {
+            StoredScales::PerTensor(s) => {
+                build(*s);
+                false
             }
+            StoredScales::PerChannel(scales) => {
+                for &s in scales {
+                    build(s);
+                }
+                true
+            }
+        };
+        ScaledDecode {
+            tables,
+            per_channel,
         }
     }
 }
 
 /// Per-scale-group decode tables built by [`QTensor::scaled_decode`].
 pub struct ScaledDecode {
-    /// One 256-entry table per group, concatenated.
-    tables: Vec<f32>,
+    /// One 256-entry table per group, concatenated, in a pooled buffer.
+    tables: crate::ops::scratch::PooledTables,
     per_channel: bool,
 }
 
@@ -172,10 +175,11 @@ impl ScaledDecode {
     /// returns the single shared table for every channel).
     #[inline]
     pub fn channel(&self, c: usize) -> &[f32] {
+        let tables = self.tables.as_slice();
         if self.per_channel {
-            &self.tables[c * 256..(c + 1) * 256]
+            &tables[c * 256..(c + 1) * 256]
         } else {
-            &self.tables[..256]
+            &tables[..256]
         }
     }
 }
