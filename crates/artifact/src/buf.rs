@@ -1,0 +1,260 @@
+//! The read-only byte buffer an artifact is parsed out of.
+//!
+//! [`SharedBuf`] is the zero-copy substrate: one `Arc<SharedBuf>` per
+//! opened artifact, borrowed by every chunk accessor and by every
+//! `CodeBytes` weight-code view handed to the model, so N sessions
+//! loading the same artifact share one physical mapping instead of N
+//! heap copies.
+//!
+//! Two representations:
+//!
+//! * **Mapped** — on Linux/x86-64 the file is `mmap(2)`-ed `PROT_READ` /
+//!   `MAP_PRIVATE` via a raw syscall (the workspace is deliberately
+//!   libc-free; see `vendor/README.md`). Page-cache-backed, so repeated
+//!   opens of one artifact cost no additional physical memory.
+//! * **Owned** — a single `read` of the whole file into a `Vec<u8>`: the
+//!   fallback for other platforms, empty files (zero-length mappings are
+//!   `EINVAL`), and any mmap failure. Same API, same semantics, one copy.
+//!
+//! Safety note: a mapping observes later file truncation as `SIGBUS`,
+//! like every mmap consumer. Artifacts are written whole and replaced
+//! atomically by rename in the save path, so this only arises if an
+//! external process truncates an artifact while models from it are live.
+
+use std::fs;
+use std::io::Read;
+use std::ops::Deref;
+use std::path::Path;
+
+/// A read-only buffer holding one artifact's bytes.
+#[derive(Debug)]
+pub struct SharedBuf {
+    repr: Repr,
+}
+
+#[derive(Debug)]
+enum Repr {
+    Owned(Vec<u8>),
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Mapped(mmap::Mapping),
+}
+
+impl SharedBuf {
+    /// Wrap an in-memory byte vector (tests, in-process round trips).
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        SharedBuf {
+            repr: Repr::Owned(bytes),
+        }
+    }
+
+    /// Load a file, memory-mapping it where the platform supports it and
+    /// falling back to a single whole-file `read` otherwise.
+    pub fn load(path: &Path) -> Result<Self, std::io::Error> {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            let file = fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            if let Ok(len) = usize::try_from(len) {
+                if len > 0 {
+                    if let Some(mapping) = mmap::Mapping::map(&file, len) {
+                        return Ok(SharedBuf {
+                            repr: Repr::Mapped(mapping),
+                        });
+                    }
+                }
+            }
+            // Zero-length file or mmap refusal: read through the handle we
+            // already hold.
+            let mut buf = Vec::new();
+            let mut file = file;
+            file.read_to_end(&mut buf)?;
+            Ok(SharedBuf::from_vec(buf))
+        }
+        #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+        {
+            let mut buf = Vec::new();
+            fs::File::open(path)?.read_to_end(&mut buf)?;
+            Ok(SharedBuf::from_vec(buf))
+        }
+    }
+
+    /// The buffer contents.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Owned(v) => v,
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Repr::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    /// True when the buffer is a live memory mapping rather than a heap
+    /// copy (observable so tests and the cold-start bench can report
+    /// which path ran).
+    pub fn is_mapped(&self) -> bool {
+        match &self.repr {
+            Repr::Owned(_) => false,
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Repr::Mapped(_) => true,
+        }
+    }
+}
+
+impl AsRef<[u8]> for SharedBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Deref for SharedBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod mmap {
+    //! Raw `mmap`/`munmap` over the Linux x86-64 syscall ABI. The
+    //! workspace builds with no registry access and vendors no libc, so
+    //! the two syscalls are issued directly; both are stable kernel ABI.
+
+    use std::arch::asm;
+    use std::os::unix::io::AsRawFd;
+    use std::ptr::NonNull;
+
+    const SYS_MMAP: usize = 9;
+    const SYS_MUNMAP: usize = 11;
+    const PROT_READ: usize = 0x1;
+    const MAP_PRIVATE: usize = 0x2;
+
+    /// An owned read-only mapping of one file.
+    #[derive(Debug)]
+    pub struct Mapping {
+        ptr: NonNull<u8>,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ and never mutated after creation;
+    // concurrent reads from any thread are safe, and unmap happens once
+    // via the owning Drop.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Map `len` bytes of `file` read-only. Returns `None` on any
+        /// syscall failure (caller falls back to a heap read).
+        pub fn map(file: &std::fs::File, len: usize) -> Option<Self> {
+            let fd = file.as_raw_fd();
+            let ret: usize;
+            // SAFETY: a well-formed mmap(NULL, len, PROT_READ,
+            // MAP_PRIVATE, fd, 0) syscall; the kernel validates every
+            // argument and returns -errno on failure. rcx/r11 are
+            // clobbered by the syscall instruction itself.
+            unsafe {
+                asm!(
+                    "syscall",
+                    inlateout("rax") SYS_MMAP => ret,
+                    in("rdi") 0usize,
+                    in("rsi") len,
+                    in("rdx") PROT_READ,
+                    in("r10") MAP_PRIVATE,
+                    in("r8") fd as isize,
+                    in("r9") 0usize,
+                    lateout("rcx") _,
+                    lateout("r11") _,
+                    options(nostack),
+                );
+            }
+            // Errors come back as -errno, i.e. the top page of the
+            // address space; real mappings are page-aligned and below it.
+            if ret > usize::MAX - 4096 {
+                return None;
+            }
+            NonNull::new(ret as *mut u8).map(|ptr| Mapping { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+            // self; it stays valid until Drop unmaps it.
+            unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            let ptr = self.ptr.as_ptr() as usize;
+            let len = self.len;
+            let _ret: usize;
+            // SAFETY: unmapping the exact region this struct owns, once.
+            unsafe {
+                asm!(
+                    "syscall",
+                    inlateout("rax") SYS_MUNMAP => _ret,
+                    in("rdi") ptr,
+                    in("rsi") len,
+                    lateout("rcx") _,
+                    lateout("r11") _,
+                    options(nostack),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ptq-artifact-buf-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn load_maps_real_files_and_reads_them_back() {
+        let path = scratch("map");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        fs::write(&path, &payload).unwrap();
+        let buf = SharedBuf::load(&path).unwrap();
+        assert_eq!(buf.as_slice(), &payload[..]);
+        assert_eq!(&buf[..4], &payload[..4]); // Deref works
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(buf.is_mapped(), "non-empty file should mmap on linux");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_files_fall_back_to_owned() {
+        let path = scratch("empty");
+        fs::write(&path, b"").unwrap();
+        let buf = SharedBuf::load(&path).unwrap();
+        assert!(buf.as_slice().is_empty());
+        assert!(!buf.is_mapped());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_files_are_io_errors() {
+        assert!(SharedBuf::load(Path::new("/nonexistent/ptq.bin")).is_err());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let path = scratch("threads");
+        fs::write(&path, vec![7u8; 4096]).unwrap();
+        let buf = std::sync::Arc::new(SharedBuf::load(&path).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = std::sync::Arc::clone(&buf);
+                std::thread::spawn(move || b.as_slice().iter().map(|&x| x as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * 4096);
+        }
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,93 @@
+//! Typed errors for artifact reading and writing.
+//!
+//! Every way a file can fail to be an artifact — wrong magic, future
+//! version, short read, checksum mismatch, bytes past the last chunk —
+//! has its own variant, so corruption-injection tests can assert the
+//! *reason* a load was refused, and a caller can distinguish "not an
+//! artifact at all" from "an artifact from a newer writer".
+
+use std::fmt;
+
+/// Why a byte buffer could not be read (or written) as an artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// An underlying filesystem operation failed (message carries the
+    /// `std::io::Error` text; `io::Error` itself is neither `Clone` nor
+    /// `PartialEq`, which this error surface needs for test assertions).
+    Io(String),
+    /// The file does not start with the artifact magic.
+    BadMagic,
+    /// The header declares a version this reader does not understand.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this reader supports.
+        supported: u32,
+    },
+    /// The buffer ends before a declared structure does.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        detail: String,
+    },
+    /// A chunk's payload does not match its stored CRC-32.
+    ChecksumMismatch {
+        /// Tag of the corrupt chunk.
+        tag: u32,
+    },
+    /// Bytes remain after the last declared chunk.
+    TrailingGarbage {
+        /// Number of unexplained trailing bytes.
+        bytes: usize,
+    },
+    /// A chunk required by the decoder is absent.
+    MissingChunk {
+        /// The absent tag.
+        tag: u32,
+    },
+    /// The same chunk tag appears twice.
+    DuplicateChunk {
+        /// The repeated tag.
+        tag: u32,
+    },
+    /// A payload passed its checksum but its contents violate the wire
+    /// format (bad discriminant, inconsistent counts, non-UTF-8 string) —
+    /// only reachable for hand-crafted files, since random corruption is
+    /// caught by the CRC first.
+    Decode {
+        /// What was malformed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ArtifactError::BadMagic => write!(f, "not a PTQ artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported artifact version {found} (this reader supports up to {supported})"
+            ),
+            ArtifactError::Truncated { detail } => {
+                write!(f, "artifact truncated while reading {detail}")
+            }
+            ArtifactError::ChecksumMismatch { tag } => {
+                write!(f, "checksum mismatch in chunk {tag:#x}")
+            }
+            ArtifactError::TrailingGarbage { bytes } => {
+                write!(f, "{bytes} trailing bytes after the last chunk")
+            }
+            ArtifactError::MissingChunk { tag } => write!(f, "required chunk {tag:#x} is missing"),
+            ArtifactError::DuplicateChunk { tag } => write!(f, "chunk {tag:#x} appears twice"),
+            ArtifactError::Decode { detail } => write!(f, "malformed chunk payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,36 @@
+//! Versioned, checksummed, mmap-able on-disk container for PTQ artifacts.
+//!
+//! This crate knows nothing about graphs, tensors, or quantization — it
+//! provides the *container* the rest of the workspace serializes into:
+//!
+//! * [`ArtifactWriter`] / [`ArtifactReader`] — a chunked little-endian
+//!   layout with an 8-byte magic, a `u32` version, and per-chunk
+//!   `tag + crc32 + u64 length` headers. Payloads are zero-padded to
+//!   8-byte boundaries so zero-copy views are alignment-safe. The reader
+//!   validates the whole container up front (magic, version, bounds,
+//!   every CRC, exact EOF) and every failure is a typed
+//!   [`ArtifactError`] — never a panic.
+//! * [`SharedBuf`] — the read-only backing buffer, memory-mapped on
+//!   Linux/x86-64 with a whole-file-read fallback elsewhere. One
+//!   `Arc<SharedBuf>` is shared by every zero-copy view into the file.
+//! * [`ByteWriter`] / [`ByteReader`] — bounds-checked little-endian
+//!   cursors the chunk payloads are encoded and decoded with; floats are
+//!   stored as IEEE-754 bit patterns so round trips are bit-exact.
+//! * [`crc32`] — CRC-32/ISO-HDLC (the zlib/PNG polynomial), so external
+//!   tooling can verify artifacts without this crate.
+//!
+//! Higher layers (`ptq-nn`, `ptq-core`) define the chunk tags and payload
+//! schemas; this crate only guarantees that what was written is exactly
+//! what is read back, or the load fails with a typed error.
+
+pub mod buf;
+pub mod container;
+pub mod crc;
+pub mod cursor;
+pub mod error;
+
+pub use buf::SharedBuf;
+pub use container::{ArtifactReader, ArtifactWriter, ChunkRange, MAGIC, VERSION};
+pub use crc::crc32;
+pub use cursor::{ByteReader, ByteWriter};
+pub use error::ArtifactError;

@@ -1,0 +1,995 @@
+//! Versioned on-disk PTQ artifacts: quantize once, reload bit-identically.
+//!
+//! A [`PtqArtifact`] is everything [`QuantizedModel`] needs to execute —
+//! the graph, the recipe, FP32 and FP8-stored weights, static activation
+//! scales/codecs, SmoothQuant divisors — plus the calibration thresholds
+//! the scales were frozen from, packed into the chunked container format
+//! of the `ptq-artifact` crate (magic/version header, per-chunk CRC32,
+//! 8-byte-aligned payloads).
+//!
+//! Three properties the encoding is built around:
+//!
+//! * **Bit identity.** Every float is written as its IEEE-754 bit pattern
+//!   and every map is serialized in sorted key order, so `save → load`
+//!   reproduces the in-memory model exactly and `save → load → save`
+//!   reproduces the artifact *bytes* exactly (enforced in
+//!   `tests/artifact_roundtrip.rs`).
+//! * **Zero-copy weight codes.** The QWEIGHTS chunk separates per-tensor
+//!   metadata from one contiguous code blob; on load each [`QTensor`]'s
+//!   codes become a [`CodeBytes`] window into the artifact's shared
+//!   buffer (an `mmap` where the platform provides one) instead of a heap
+//!   copy.
+//! * **No panics, no silent corruption.** Container-level damage is caught
+//!   by the CRCs; payload-level nonsense (out-of-order keys, shape/data
+//!   disagreements, unknown discriminants, overlapping code windows)
+//!   surfaces as a typed [`ArtifactError`] via the fully bounds-checked
+//!   [`ByteReader`].
+//!
+//! Entry points: [`QuantizedModel::save`] / [`QuantizedModel::load`] for
+//! the model alone, [`PtqArtifact::save`] / [`PtqArtifact::load`] when the
+//! calibration thresholds ride along, and
+//! [`crate::PtqSession::save_artifact`] /
+//! [`crate::PtqSession::load_artifact`] for the full
+//! quantize-then-persist pipeline.
+
+use crate::calibrate::TensorKey;
+use crate::config::{
+    ActGranularity, ActivationStorage, Approach, CalibMethod, Coverage, DataFormat, Granularity,
+    QuantConfig, WeightStorage,
+};
+use crate::quantizer::QuantizedModel;
+use ptq_artifact::{
+    ArtifactError, ArtifactReader, ArtifactWriter, ByteReader, ByteWriter, SharedBuf,
+};
+use ptq_fp8::{CodeBytes, Fp8Error, Fp8Format, Int8Codec, Int8Mode, SharedBytes, StoredScales};
+use ptq_nn::{decode_graph, encode_graph, NodeId, PlanSet, PtqError, ValueId};
+use ptq_tensor::ops::KernelPath;
+use ptq_tensor::{QTensor, Tensor};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::Path;
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+/// Chunk tag: the serialized [`ptq_nn::Graph`] (see `ptq_nn::serialize`).
+pub const TAG_GRAPH: u32 = 1;
+/// Chunk tag: the [`QuantConfig`] recipe.
+pub const TAG_CONFIG: u32 = 2;
+/// Chunk tag: the set of node ids executing in low precision.
+pub const TAG_QNODES: u32 = 3;
+/// Chunk tag: dense f32 weight tensors (fake-quant / INT8 / embedding).
+pub const TAG_WEIGHTS: u32 = 4;
+/// Chunk tag: FP8-stored weight tensors — metadata plus one aligned code
+/// blob the loader borrows zero-copy.
+pub const TAG_QWEIGHTS: u32 = 5;
+/// Chunk tag: static FP8 activation scales per (node, input).
+pub const TAG_ACT_SCALES: u32 = 6;
+/// Chunk tag: static INT8 activation codecs per (node, input).
+pub const TAG_ACT_INT8: u32 = 7;
+/// Chunk tag: SmoothQuant per-input-channel divisors per node.
+pub const TAG_SMOOTH: u32 = 8;
+/// Chunk tag: calibration clip thresholds per (node, input).
+pub const TAG_THRESHOLDS: u32 = 9;
+
+/// A loaded (or about-to-be-saved) PTQ artifact: the quantized model plus
+/// the calibration thresholds its static scales were derived from.
+#[derive(Debug, Clone)]
+pub struct PtqArtifact {
+    /// The quantized model, executable as-is via [`QuantizedModel::hook`].
+    pub model: QuantizedModel,
+    /// Calibrated clip thresholds (`max_T` in the paper's scale rule) per
+    /// activation input, as resolved under the recipe's
+    /// [`CalibMethod`]. Informational alongside the frozen scales: kept so
+    /// tooling can audit or re-derive scales without re-calibrating.
+    pub thresholds: BTreeMap<TensorKey, f32>,
+}
+
+impl PtqArtifact {
+    /// Serialize to the container byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        build_writer(&self.model, &self.thresholds).finish()
+    }
+
+    /// Serialize and write to `path` (atomically, via a temp file +
+    /// rename).
+    pub fn save(&self, path: &Path) -> Result<(), PtqError> {
+        write_artifact(&self.model, &self.thresholds, path)
+    }
+
+    /// Parse an artifact from in-memory bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, PtqError> {
+        decode_artifact(&ArtifactReader::from_vec(bytes)?)
+    }
+
+    /// Load an artifact from disk. The file is memory-mapped where the
+    /// platform supports it and the loaded model's FP8 weight codes
+    /// borrow from that mapping zero-copy.
+    pub fn load(path: &Path) -> Result<Self, PtqError> {
+        decode_artifact(&ArtifactReader::open(path)?)
+    }
+}
+
+impl QuantizedModel {
+    /// Persist this model as a versioned artifact at `path` (atomically,
+    /// via a temp file + rename). The saved model reloads bit-identically
+    /// with [`QuantizedModel::load`].
+    pub fn save(&self, path: &Path) -> Result<(), PtqError> {
+        write_artifact(self, &BTreeMap::new(), path)
+    }
+
+    /// Serialize this model to the container byte format (no thresholds
+    /// chunk content; [`PtqArtifact::to_bytes`] includes them).
+    pub fn artifact_bytes(&self) -> Vec<u8> {
+        build_writer(self, &BTreeMap::new()).finish()
+    }
+
+    /// Load a model saved with [`QuantizedModel::save`] (or extracted
+    /// from any [`PtqArtifact`]). Plans and activation-byte counters
+    /// start fresh; everything that affects arithmetic is bit-identical
+    /// to the saved model.
+    pub fn load(path: &Path) -> Result<QuantizedModel, PtqError> {
+        Ok(PtqArtifact::load(path)?.model)
+    }
+}
+
+/// Encode `model` (+ `thresholds`) into a ready-to-finish container
+/// writer. All nine chunks are always present — empty maps encode as a
+/// zero count — so every artifact has one canonical layout.
+pub(crate) fn build_writer(
+    model: &QuantizedModel,
+    thresholds: &BTreeMap<TensorKey, f32>,
+) -> ArtifactWriter {
+    let mut w = ArtifactWriter::new();
+    w.chunk(TAG_GRAPH, encode_graph(&model.graph));
+    w.chunk(TAG_CONFIG, encode_config(&model.config));
+    w.chunk(TAG_QNODES, encode_qnodes(&model.quantized_nodes));
+    w.chunk(TAG_WEIGHTS, encode_weights(&model.weights));
+    w.chunk(TAG_QWEIGHTS, encode_qweights(&model.qweights));
+    w.chunk(
+        TAG_ACT_SCALES,
+        encode_keyed_f32(sorted_keyed(&model.act_scales)),
+    );
+    w.chunk(TAG_ACT_INT8, encode_act_int8(&model.act_int8));
+    w.chunk(TAG_SMOOTH, encode_smooth(&model.smooth));
+    w.chunk(
+        TAG_THRESHOLDS,
+        encode_keyed_f32(thresholds.iter().map(|(&k, &v)| (k, v)).collect()),
+    );
+    w
+}
+
+/// Serialize and atomically write `model` (+ `thresholds`) to `path`.
+pub(crate) fn write_artifact(
+    model: &QuantizedModel,
+    thresholds: &BTreeMap<TensorKey, f32>,
+    path: &Path,
+) -> Result<(), PtqError> {
+    build_writer(model, thresholds).write_to(path)?;
+    Ok(())
+}
+
+/// Decode a full artifact out of an opened container.
+pub(crate) fn decode_artifact(reader: &ArtifactReader) -> Result<PtqArtifact, PtqError> {
+    let graph = decode_graph(reader.chunk(TAG_GRAPH)?)?;
+    graph.validate_structure()?;
+    let config = decode_config(reader.chunk(TAG_CONFIG)?)?;
+    let quantized_nodes = decode_qnodes(reader.chunk(TAG_QNODES)?, graph.nodes().len())?;
+    let weights = decode_weights(reader.chunk(TAG_WEIGHTS)?)?;
+    let qweights = decode_qweights(reader)?;
+    let act_scales: HashMap<TensorKey, f32> =
+        decode_keyed_f32(reader.chunk(TAG_ACT_SCALES)?, "act scale")?
+            .into_iter()
+            .collect();
+    let act_int8 = decode_act_int8(reader.chunk(TAG_ACT_INT8)?)?;
+    let smooth = decode_smooth(reader.chunk(TAG_SMOOTH)?)?;
+    let thresholds: BTreeMap<TensorKey, f32> =
+        decode_keyed_f32(reader.chunk(TAG_THRESHOLDS)?, "threshold")?
+            .into_iter()
+            .collect();
+    let model = QuantizedModel {
+        graph,
+        config,
+        quantized_nodes,
+        act_scales,
+        act_int8,
+        weights,
+        qweights,
+        smooth,
+        plans: PlanSet::new(),
+        act_bytes: AtomicUsize::new(0),
+        act_bytes_f32: AtomicUsize::new(0),
+    };
+    Ok(PtqArtifact { model, thresholds })
+}
+
+fn fp8_err(e: Fp8Error) -> ArtifactError {
+    ArtifactError::Decode {
+        detail: e.to_string(),
+    }
+}
+
+fn align8(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+// ---------------------------------------------------------------------
+// Enum discriminants. Every enum is written as a `u8` in declaration
+// order; unknown values are a typed decode error, so a future variant
+// forces a version bump instead of silently aliasing an old one.
+// ---------------------------------------------------------------------
+
+fn put_fp8_format(w: &mut ByteWriter, f: Fp8Format) {
+    w.put_u8(match f {
+        Fp8Format::E5M2 => 0,
+        Fp8Format::E4M3 => 1,
+        Fp8Format::E3M4 => 2,
+    });
+}
+
+fn get_fp8_format(r: &mut ByteReader<'_>, what: &str) -> Result<Fp8Format, ArtifactError> {
+    match r.get_u8(what)? {
+        0 => Ok(Fp8Format::E5M2),
+        1 => Ok(Fp8Format::E4M3),
+        2 => Ok(Fp8Format::E3M4),
+        x => Err(ArtifactError::Decode {
+            detail: format!("{what}: unknown FP8 format discriminant {x}"),
+        }),
+    }
+}
+
+fn put_data_format(w: &mut ByteWriter, f: DataFormat) {
+    match f {
+        DataFormat::Fp8(fmt) => {
+            w.put_u8(0);
+            put_fp8_format(w, fmt);
+        }
+        DataFormat::Int8 => w.put_u8(1),
+    }
+}
+
+fn get_data_format(r: &mut ByteReader<'_>, what: &str) -> Result<DataFormat, ArtifactError> {
+    match r.get_u8(what)? {
+        0 => Ok(DataFormat::Fp8(get_fp8_format(r, what)?)),
+        1 => Ok(DataFormat::Int8),
+        x => Err(ArtifactError::Decode {
+            detail: format!("{what}: unknown data format discriminant {x}"),
+        }),
+    }
+}
+
+fn put_bool(w: &mut ByteWriter, b: bool) {
+    w.put_u8(u8::from(b));
+}
+
+fn get_bool(r: &mut ByteReader<'_>, what: &str) -> Result<bool, ArtifactError> {
+    match r.get_u8(what)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        x => Err(ArtifactError::Decode {
+            detail: format!("{what}: boolean byte must be 0 or 1, got {x}"),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// CONFIG chunk: QuantConfig fields in declaration order.
+// ---------------------------------------------------------------------
+
+fn encode_config(cfg: &QuantConfig) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    put_data_format(&mut w, cfg.act_format);
+    put_data_format(&mut w, cfg.weight_format);
+    w.put_u8(match cfg.approach {
+        Approach::Static => 0,
+        Approach::Dynamic => 1,
+    });
+    w.put_u8(match cfg.coverage {
+        Coverage::Standard => 0,
+        Coverage::Extended => 1,
+    });
+    w.put_u8(match cfg.weight_granularity {
+        Granularity::PerChannel => 0,
+        Granularity::PerTensor => 1,
+    });
+    put_bool(&mut w, cfg.quantize_first_last);
+    match cfg.smoothquant_alpha {
+        None => w.put_u8(0),
+        Some(a) => {
+            w.put_u8(1);
+            w.put_f32(a);
+        }
+    }
+    match cfg.calibration {
+        CalibMethod::AbsMax => w.put_u8(0),
+        CalibMethod::Percentile(q) => {
+            w.put_u8(1);
+            w.put_f64(q);
+        }
+        CalibMethod::Kl => w.put_u8(2),
+        CalibMethod::MseSweep => w.put_u8(3),
+    }
+    put_bool(&mut w, cfg.bn_calibration);
+    w.put_usize(cfg.fallback.len());
+    for &node in &cfg.fallback {
+        w.put_usize(node);
+    }
+    w.put_u8(match cfg.weight_storage {
+        WeightStorage::Fp8 => 0,
+        WeightStorage::FakeQuantF32 => 1,
+    });
+    w.put_u8(match cfg.activation_storage {
+        ActivationStorage::Fp8 => 0,
+        ActivationStorage::FakeQuantF32 => 1,
+    });
+    match cfg.act_granularity {
+        ActGranularity::PerTensor => w.put_u8(0),
+        ActGranularity::PerTile(tile) => {
+            w.put_u8(1);
+            w.put_usize(tile);
+        }
+    }
+    w.put_u8(match cfg.kernel_path {
+        KernelPath::Blocked => 0,
+        KernelPath::ScalarReference => 1,
+    });
+    w.finish()
+}
+
+fn decode_config(payload: &[u8]) -> Result<QuantConfig, ArtifactError> {
+    let mut r = ByteReader::new(payload);
+    let act_format = get_data_format(&mut r, "config act format")?;
+    let weight_format = get_data_format(&mut r, "config weight format")?;
+    let approach = match r.get_u8("config approach")? {
+        0 => Approach::Static,
+        1 => Approach::Dynamic,
+        x => {
+            return Err(ArtifactError::Decode {
+                detail: format!("config approach: unknown discriminant {x}"),
+            })
+        }
+    };
+    let coverage = match r.get_u8("config coverage")? {
+        0 => Coverage::Standard,
+        1 => Coverage::Extended,
+        x => {
+            return Err(ArtifactError::Decode {
+                detail: format!("config coverage: unknown discriminant {x}"),
+            })
+        }
+    };
+    let weight_granularity = match r.get_u8("config weight granularity")? {
+        0 => Granularity::PerChannel,
+        1 => Granularity::PerTensor,
+        x => {
+            return Err(ArtifactError::Decode {
+                detail: format!("config weight granularity: unknown discriminant {x}"),
+            })
+        }
+    };
+    let quantize_first_last = get_bool(&mut r, "config quantize_first_last")?;
+    let smoothquant_alpha = match get_bool(&mut r, "config smoothquant flag")? {
+        false => None,
+        true => Some(r.get_f32("config smoothquant alpha")?),
+    };
+    let calibration = match r.get_u8("config calibration")? {
+        0 => CalibMethod::AbsMax,
+        1 => CalibMethod::Percentile(r.get_f64("config percentile")?),
+        2 => CalibMethod::Kl,
+        3 => CalibMethod::MseSweep,
+        x => {
+            return Err(ArtifactError::Decode {
+                detail: format!("config calibration: unknown discriminant {x}"),
+            })
+        }
+    };
+    let bn_calibration = get_bool(&mut r, "config bn_calibration")?;
+    let n_fallback = r.get_count("config fallback count")?;
+    let mut fallback = BTreeSet::new();
+    let mut prev: Option<NodeId> = None;
+    for _ in 0..n_fallback {
+        let node = r.get_usize("config fallback node")?;
+        if prev.is_some_and(|p| p >= node) {
+            return Err(ArtifactError::Decode {
+                detail: "config fallback nodes out of order".to_string(),
+            });
+        }
+        prev = Some(node);
+        fallback.insert(node);
+    }
+    let weight_storage = match r.get_u8("config weight storage")? {
+        0 => WeightStorage::Fp8,
+        1 => WeightStorage::FakeQuantF32,
+        x => {
+            return Err(ArtifactError::Decode {
+                detail: format!("config weight storage: unknown discriminant {x}"),
+            })
+        }
+    };
+    let activation_storage = match r.get_u8("config activation storage")? {
+        0 => ActivationStorage::Fp8,
+        1 => ActivationStorage::FakeQuantF32,
+        x => {
+            return Err(ArtifactError::Decode {
+                detail: format!("config activation storage: unknown discriminant {x}"),
+            })
+        }
+    };
+    let act_granularity = match r.get_u8("config act granularity")? {
+        0 => ActGranularity::PerTensor,
+        1 => ActGranularity::PerTile(r.get_usize("config act tile")?),
+        x => {
+            return Err(ArtifactError::Decode {
+                detail: format!("config act granularity: unknown discriminant {x}"),
+            })
+        }
+    };
+    let kernel_path = match r.get_u8("config kernel path")? {
+        0 => KernelPath::Blocked,
+        1 => KernelPath::ScalarReference,
+        x => {
+            return Err(ArtifactError::Decode {
+                detail: format!("config kernel path: unknown discriminant {x}"),
+            })
+        }
+    };
+    r.expect_end()?;
+    Ok(QuantConfig {
+        act_format,
+        weight_format,
+        approach,
+        coverage,
+        weight_granularity,
+        quantize_first_last,
+        smoothquant_alpha,
+        calibration,
+        bn_calibration,
+        fallback,
+        weight_storage,
+        activation_storage,
+        act_granularity,
+        kernel_path,
+    })
+}
+
+// ---------------------------------------------------------------------
+// QNODES chunk: sorted node ids.
+// ---------------------------------------------------------------------
+
+fn encode_qnodes(nodes: &BTreeSet<NodeId>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_usize(nodes.len());
+    for &n in nodes {
+        w.put_usize(n);
+    }
+    w.finish()
+}
+
+fn decode_qnodes(payload: &[u8], n_nodes: usize) -> Result<BTreeSet<NodeId>, ArtifactError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.get_count("quantized node count")?;
+    let mut out = BTreeSet::new();
+    let mut prev: Option<NodeId> = None;
+    for _ in 0..count {
+        let n = r.get_usize("quantized node id")?;
+        if prev.is_some_and(|p| p >= n) {
+            return Err(ArtifactError::Decode {
+                detail: "quantized node ids out of order".to_string(),
+            });
+        }
+        if n >= n_nodes {
+            return Err(ArtifactError::Decode {
+                detail: format!("quantized node id {n} out of range (graph has {n_nodes} nodes)"),
+            });
+        }
+        prev = Some(n);
+        out.insert(n);
+    }
+    r.expect_end()?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// WEIGHTS chunk: dense f32 tensors, sorted by value id.
+// ---------------------------------------------------------------------
+
+fn encode_weights(weights: &HashMap<ValueId, Tensor>) -> Vec<u8> {
+    let mut keys: Vec<ValueId> = weights.keys().copied().collect();
+    keys.sort_unstable();
+    let mut w = ByteWriter::new();
+    w.put_usize(keys.len());
+    for vid in keys {
+        let t = &weights[&vid];
+        w.put_usize(vid);
+        w.put_usize_slice(t.shape());
+        w.put_f32_slice(t.data());
+    }
+    w.finish()
+}
+
+fn decode_weights(payload: &[u8]) -> Result<HashMap<ValueId, Tensor>, ArtifactError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.get_count("weight count")?;
+    let mut out = HashMap::with_capacity(count);
+    let mut prev: Option<ValueId> = None;
+    for _ in 0..count {
+        let vid = r.get_usize("weight value id")?;
+        if prev.is_some_and(|p| p >= vid) {
+            return Err(ArtifactError::Decode {
+                detail: "weight value ids out of order".to_string(),
+            });
+        }
+        prev = Some(vid);
+        let shape = r.get_usize_vec("weight shape")?;
+        let data = r.get_f32_vec("weight data")?;
+        let elems = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| ArtifactError::Decode {
+                detail: format!("weight {vid}: shape {shape:?} overflows"),
+            })?;
+        if elems != data.len() {
+            return Err(ArtifactError::Decode {
+                detail: format!(
+                    "weight {vid}: shape {shape:?} implies {elems} elements, payload has {}",
+                    data.len()
+                ),
+            });
+        }
+        out.insert(vid, Tensor::from_vec(data, &shape));
+    }
+    r.expect_end()?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// QWEIGHTS chunk: per-tensor metadata up front, one contiguous code blob
+// at an 8-aligned offset behind it. The blob is the zero-copy region:
+// the loader hands each QTensor a `CodeBytes` window into the artifact's
+// shared buffer instead of copying codes to the heap.
+//
+//   u64 blob_start            payload-relative, 8-aligned
+//   u64 count
+//   count × {
+//     u64 value id            strictly increasing
+//     u8  fp8 format
+//     usize_slice shape
+//     u8  scale kind          0 = per-tensor (f32), 1 = per-channel (f32s)
+//     u64 codes offset        blob-relative; windows are contiguous
+//     u64 codes length
+//   }
+//   zero padding to blob_start
+//   blob                      raw FP8 codes, back to back
+// ---------------------------------------------------------------------
+
+fn encode_qweights(qweights: &HashMap<ValueId, QTensor>) -> Vec<u8> {
+    let mut keys: Vec<ValueId> = qweights.keys().copied().collect();
+    keys.sort_unstable();
+    let mut meta = ByteWriter::new();
+    meta.put_usize(keys.len());
+    let mut blob: Vec<u8> = Vec::new();
+    for &vid in &keys {
+        let q = &qweights[&vid];
+        meta.put_usize(vid);
+        put_fp8_format(&mut meta, q.format());
+        meta.put_usize_slice(q.shape());
+        match q.scales() {
+            StoredScales::PerTensor(s) => {
+                meta.put_u8(0);
+                meta.put_f32(*s);
+            }
+            StoredScales::PerChannel(v) => {
+                meta.put_u8(1);
+                meta.put_f32_slice(v);
+            }
+        }
+        meta.put_usize(blob.len());
+        meta.put_usize(q.codes().len());
+        blob.extend_from_slice(q.codes());
+    }
+    let meta = meta.finish();
+    let blob_start = align8(8 + meta.len());
+    let mut w = ByteWriter::new();
+    w.put_usize(blob_start);
+    w.put_bytes(&meta);
+    for _ in (8 + meta.len())..blob_start {
+        w.put_u8(0);
+    }
+    w.put_bytes(&blob);
+    w.finish()
+}
+
+fn decode_qweights(reader: &ArtifactReader) -> Result<HashMap<ValueId, QTensor>, ArtifactError> {
+    let range = reader.chunk_range(TAG_QWEIGHTS)?;
+    let payload = reader.chunk(TAG_QWEIGHTS)?;
+    let shared: SharedBytes = Arc::<SharedBuf>::clone(reader.shared_buf());
+    let mut r = ByteReader::new(payload);
+    let blob_start = r.get_usize("qweights blob start")?;
+    if blob_start > payload.len() || blob_start % 8 != 0 {
+        return Err(ArtifactError::Decode {
+            detail: format!(
+                "qweights blob start {blob_start} invalid for a {}-byte payload",
+                payload.len()
+            ),
+        });
+    }
+    let blob_len = payload.len() - blob_start;
+    let count = r.get_count("qweights count")?;
+    let mut out = HashMap::with_capacity(count);
+    let mut prev: Option<ValueId> = None;
+    let mut next_off = 0usize;
+    for _ in 0..count {
+        let vid = r.get_usize("qweights value id")?;
+        if prev.is_some_and(|p| p >= vid) {
+            return Err(ArtifactError::Decode {
+                detail: "qweights value ids out of order".to_string(),
+            });
+        }
+        prev = Some(vid);
+        let format = get_fp8_format(&mut r, "qweights format")?;
+        let shape = r.get_usize_vec("qweights shape")?;
+        let scales = match r.get_u8("qweights scale kind")? {
+            0 => StoredScales::PerTensor(r.get_f32("qweights scale")?),
+            1 => StoredScales::PerChannel(r.get_f32_vec("qweights scales")?),
+            x => {
+                return Err(ArtifactError::Decode {
+                    detail: format!("qweights scale kind: unknown discriminant {x}"),
+                })
+            }
+        };
+        let codes_off = r.get_usize("qweights codes offset")?;
+        let codes_len = r.get_usize("qweights codes length")?;
+        // The blob must be packed exactly: each window starts where the
+        // previous one ended, so no byte is shared, skipped, or counted
+        // twice. That makes the encoding canonical (re-save is
+        // byte-identical) and rules out aliased code windows.
+        if codes_off != next_off {
+            return Err(ArtifactError::Decode {
+                detail: format!(
+                    "qweights {vid}: codes offset {codes_off} breaks blob contiguity \
+                     (expected {next_off})"
+                ),
+            });
+        }
+        next_off = match codes_off.checked_add(codes_len) {
+            Some(end) if end <= blob_len => end,
+            _ => {
+                return Err(ArtifactError::Decode {
+                    detail: format!(
+                        "qweights {vid}: code window [{codes_off}, {codes_off}+{codes_len}) \
+                         exceeds the {blob_len}-byte blob"
+                    ),
+                })
+            }
+        };
+        let abs = range.offset + blob_start + codes_off;
+        let codes =
+            CodeBytes::from_shared(SharedBytes::clone(&shared), abs, codes_len).map_err(fp8_err)?;
+        let q = QTensor::from_raw_parts(format, shape, codes, scales).map_err(fp8_err)?;
+        out.insert(vid, q);
+    }
+    let meta_end = r.position();
+    if blob_start < meta_end {
+        return Err(ArtifactError::Decode {
+            detail: format!(
+                "qweights blob start {blob_start} overlaps {meta_end} bytes of metadata"
+            ),
+        });
+    }
+    if payload[meta_end..blob_start].iter().any(|&b| b != 0) {
+        return Err(ArtifactError::Decode {
+            detail: "qweights metadata padding must be zero".to_string(),
+        });
+    }
+    if next_off != blob_len {
+        return Err(ArtifactError::Decode {
+            detail: format!("qweights blob has {blob_len} bytes but entries cover {next_off}"),
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// ACT_SCALES / THRESHOLDS chunks: sorted (node, input) → f32.
+// ---------------------------------------------------------------------
+
+fn sorted_keyed(m: &HashMap<TensorKey, f32>) -> Vec<(TensorKey, f32)> {
+    let mut v: Vec<(TensorKey, f32)> = m.iter().map(|(&k, &s)| (k, s)).collect();
+    v.sort_unstable_by_key(|&(k, _)| k);
+    v
+}
+
+fn encode_keyed_f32(entries: Vec<(TensorKey, f32)>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_usize(entries.len());
+    for (key, value) in entries {
+        w.put_usize(key.node);
+        w.put_usize(key.input);
+        w.put_f32(value);
+    }
+    w.finish()
+}
+
+fn decode_keyed_f32(payload: &[u8], what: &str) -> Result<Vec<(TensorKey, f32)>, ArtifactError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.get_count(what)?;
+    let mut out = Vec::with_capacity(count);
+    let mut prev: Option<TensorKey> = None;
+    for _ in 0..count {
+        let key = TensorKey {
+            node: r.get_usize(what)?,
+            input: r.get_usize(what)?,
+        };
+        if prev.is_some_and(|p| p >= key) {
+            return Err(ArtifactError::Decode {
+                detail: format!("{what} keys out of order"),
+            });
+        }
+        prev = Some(key);
+        out.push((key, r.get_f32(what)?));
+    }
+    r.expect_end()?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// ACT_INT8 chunk: sorted (node, input) → Int8Codec.
+// ---------------------------------------------------------------------
+
+fn encode_act_int8(m: &HashMap<TensorKey, Int8Codec>) -> Vec<u8> {
+    let mut keys: Vec<TensorKey> = m.keys().copied().collect();
+    keys.sort_unstable();
+    let mut w = ByteWriter::new();
+    w.put_usize(keys.len());
+    for key in keys {
+        let c = &m[&key];
+        w.put_usize(key.node);
+        w.put_usize(key.input);
+        w.put_u8(match c.mode() {
+            Int8Mode::Symmetric => 0,
+            Int8Mode::Asymmetric => 1,
+        });
+        w.put_f32(c.scale());
+        w.put_u32(c.zero_point() as u32);
+    }
+    w.finish()
+}
+
+fn decode_act_int8(payload: &[u8]) -> Result<HashMap<TensorKey, Int8Codec>, ArtifactError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.get_count("int8 codec count")?;
+    let mut out = HashMap::with_capacity(count);
+    let mut prev: Option<TensorKey> = None;
+    for _ in 0..count {
+        let key = TensorKey {
+            node: r.get_usize("int8 codec node")?,
+            input: r.get_usize("int8 codec input")?,
+        };
+        if prev.is_some_and(|p| p >= key) {
+            return Err(ArtifactError::Decode {
+                detail: "int8 codec keys out of order".to_string(),
+            });
+        }
+        prev = Some(key);
+        let mode = match r.get_u8("int8 codec mode")? {
+            0 => Int8Mode::Symmetric,
+            1 => Int8Mode::Asymmetric,
+            x => {
+                return Err(ArtifactError::Decode {
+                    detail: format!("int8 codec mode: unknown discriminant {x}"),
+                })
+            }
+        };
+        let scale = r.get_f32("int8 codec scale")?;
+        let zero_point = r.get_u32("int8 codec zero point")? as i32;
+        let codec = Int8Codec::from_raw_parts(mode, scale, zero_point).map_err(fp8_err)?;
+        out.insert(key, codec);
+    }
+    r.expect_end()?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// SMOOTH chunk: sorted node id → per-input-channel divisors.
+// ---------------------------------------------------------------------
+
+fn encode_smooth(m: &HashMap<NodeId, Vec<f32>>) -> Vec<u8> {
+    let mut keys: Vec<NodeId> = m.keys().copied().collect();
+    keys.sort_unstable();
+    let mut w = ByteWriter::new();
+    w.put_usize(keys.len());
+    for node in keys {
+        w.put_usize(node);
+        w.put_f32_slice(&m[&node]);
+    }
+    w.finish()
+}
+
+fn decode_smooth(payload: &[u8]) -> Result<HashMap<NodeId, Vec<f32>>, ArtifactError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.get_count("smooth count")?;
+    let mut out = HashMap::with_capacity(count);
+    let mut prev: Option<NodeId> = None;
+    for _ in 0..count {
+        let node = r.get_usize("smooth node id")?;
+        if prev.is_some_and(|p| p >= node) {
+            return Err(ArtifactError::Decode {
+                detail: "smooth node ids out of order".to_string(),
+            });
+        }
+        prev = Some(node);
+        out.insert(node, r.get_f32_vec("smooth divisors")?);
+    }
+    r.expect_end()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::CalibrationHook;
+    use crate::session::PtqSession;
+    use ptq_models::{build_zoo, ZooFilter};
+    use ptq_nn::UnwrapOk;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ptq-core-artifact-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn fancy_config() -> QuantConfig {
+        QuantConfig::mixed_fp8()
+            .with_approach(Approach::Dynamic)
+            .with_coverage(Coverage::Extended)
+            .with_smoothquant(0.5)
+            .with_calibration(CalibMethod::Percentile(0.9999))
+            .with_bn_calibration()
+            .with_first_last()
+            .with_fallback(3)
+            .with_fallback(1)
+            .with_weight_storage(WeightStorage::FakeQuantF32)
+            .with_activation_storage(ActivationStorage::FakeQuantF32)
+            .with_act_granularity(ActGranularity::PerTile(64))
+            .with_kernel_path(KernelPath::ScalarReference)
+    }
+
+    #[test]
+    fn config_roundtrips_every_knob() {
+        for cfg in [
+            QuantConfig::fp8(Fp8Format::E5M2),
+            QuantConfig::fp8(Fp8Format::E4M3),
+            QuantConfig::fp8(Fp8Format::E3M4),
+            QuantConfig::mixed_fp8(),
+            QuantConfig::int8(),
+            fancy_config(),
+        ] {
+            let bytes = encode_config(&cfg);
+            let back = decode_config(&bytes).unwrap();
+            assert_eq!(back, cfg);
+            // Canonical: re-encoding the decoded config is byte-identical.
+            assert_eq!(encode_config(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn config_rejects_unknown_discriminants_and_slack() {
+        let mut bytes = encode_config(&QuantConfig::fp8(Fp8Format::E4M3));
+        bytes[0] = 9; // data-format discriminant
+        assert!(matches!(
+            decode_config(&bytes),
+            Err(ArtifactError::Decode { .. })
+        ));
+        let mut bytes = encode_config(&QuantConfig::fp8(Fp8Format::E4M3));
+        bytes.push(0); // trailing slack
+        assert!(decode_config(&bytes).is_err());
+    }
+
+    #[test]
+    fn model_save_load_is_bit_identical_end_to_end() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let w = &zoo[0];
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+        let out = PtqSession::new(cfg).quantize(w).unwrap_ok();
+        let path = scratch("roundtrip.ptq");
+        out.model.save(&path).unwrap();
+        let loaded = QuantizedModel::load(&path).unwrap();
+        // Same score, bit for bit, through the loaded model.
+        let score = w
+            .evaluate_graph(&loaded.graph, &mut loaded.hook())
+            .unwrap_ok();
+        assert_eq!(score.to_bits(), out.score.to_bits());
+        // Saving the loaded model reproduces the artifact bytes exactly.
+        assert_eq!(loaded.artifact_bytes(), out.model.artifact_bytes());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn loaded_fp8_codes_borrow_from_the_artifact_mapping() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let w = &zoo[0];
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+        let out = PtqSession::new(cfg).quantize(w).unwrap_ok();
+        assert!(
+            !out.model.qweights.is_empty(),
+            "fixture must exercise FP8 weight storage"
+        );
+        let path = scratch("zerocopy.ptq");
+        out.model.save(&path).unwrap();
+        let loaded = QuantizedModel::load(&path).unwrap();
+        for (vid, q) in &loaded.qweights {
+            assert!(
+                q.stored().codes().is_shared(),
+                "weight {vid} codes should borrow from the artifact buffer"
+            );
+            assert_eq!(q.codes(), out.model.qweights[vid].codes());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn session_save_artifact_persists_thresholds() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let w = &zoo[0];
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+        let path = scratch("session.ptq");
+        let out = PtqSession::new(cfg.clone())
+            .save_artifact(w, &path)
+            .unwrap_ok();
+        let art = PtqSession::load_artifact(&path).unwrap();
+        assert!(
+            !art.thresholds.is_empty(),
+            "calibrated thresholds must be persisted"
+        );
+        // Thresholds match a from-scratch calibration bit for bit.
+        let calib = crate::workflow::calibrate_workload(w, &cfg).unwrap_ok();
+        for (&key, &t) in &art.thresholds {
+            let fresh = calib.threshold(key, &cfg).unwrap();
+            assert_eq!(t.to_bits(), fresh.to_bits());
+        }
+        let score = w
+            .evaluate_graph(&art.model.graph, &mut art.model.hook())
+            .unwrap_ok();
+        assert_eq!(score.to_bits(), out.score.to_bits());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn artifact_bytes_roundtrip_without_touching_disk() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let w = &zoo[1];
+        let mut hook = CalibrationHook::new();
+        for batch in &w.calib {
+            w.graph.run(batch, &mut hook).unwrap_ok();
+        }
+        let calib = hook.into_data();
+        let cfg = QuantConfig::fp8(Fp8Format::E3M4);
+        let model = QuantizedModel::build(w.graph.clone(), &calib, cfg).unwrap_ok();
+        let bytes = model.artifact_bytes();
+        let art = PtqArtifact::from_bytes(bytes.clone()).unwrap();
+        assert_eq!(art.to_bytes(), bytes);
+        assert_eq!(art.model.quantized_nodes, model.quantized_nodes);
+        assert_eq!(art.model.act_scales, model.act_scales);
+    }
+
+    #[test]
+    fn out_of_order_and_overlapping_payloads_are_rejected() {
+        // Hand-build a QNODES payload with descending ids.
+        let mut w = ByteWriter::new();
+        w.put_usize(2);
+        w.put_usize(5);
+        w.put_usize(3);
+        assert!(matches!(
+            decode_qnodes(&w.finish(), 10),
+            Err(ArtifactError::Decode { .. })
+        ));
+        // Weight shape/data length disagreement.
+        let mut w = ByteWriter::new();
+        w.put_usize(1);
+        w.put_usize(0);
+        w.put_usize_slice(&[2, 3]);
+        w.put_f32_slice(&[1.0; 5]);
+        assert!(matches!(
+            decode_weights(&w.finish()),
+            Err(ArtifactError::Decode { .. })
+        ));
+    }
+}

@@ -43,6 +43,7 @@
 //! println!("fp32 {:.4} -> quantized {:.4}", zoo[0].fp32_score, outcome.score);
 //! ```
 
+pub mod artifact;
 pub mod bn_calib;
 pub mod calib_cache;
 pub mod calibrate;
@@ -55,6 +56,7 @@ pub mod smoothquant;
 pub mod tuner;
 pub mod workflow;
 
+pub use artifact::PtqArtifact;
 pub use bn_calib::recalibrate_batchnorm;
 pub use calib_cache::CalibCache;
 pub use calibrate::{CalibData, CalibrationHook, TensorKey};
@@ -95,6 +97,7 @@ pub use workflow::{
 /// use ptq_core::prelude::*;
 /// ```
 pub mod prelude {
+    pub use crate::artifact::PtqArtifact;
     pub use crate::bn_calib::recalibrate_batchnorm;
     pub use crate::calib_cache::CalibCache;
     pub use crate::calibrate::{CalibData, CalibrationHook, TensorKey};

@@ -50,11 +50,12 @@ pub struct QuantizedModel {
     /// 4 bytes/element for fake-quantized f32 inputs. Relaxed atomics so
     /// the shared-reference [`QuantHook`] can account while executors run;
     /// read via [`QuantizedModel::act_bytes`], cleared by
-    /// [`QuantizedModel::reset_act_bytes`].
-    act_bytes: AtomicUsize,
+    /// [`QuantizedModel::reset_act_bytes`]. (`pub(crate)` so the artifact
+    /// loader can assemble a model with zeroed counters.)
+    pub(crate) act_bytes: AtomicUsize,
     /// Bytes the same activation inputs would occupy as dense f32 — the
     /// baseline for the activation-memory-reduction ratio.
-    act_bytes_f32: AtomicUsize,
+    pub(crate) act_bytes_f32: AtomicUsize,
 }
 
 impl Clone for QuantizedModel {

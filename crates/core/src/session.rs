@@ -10,6 +10,7 @@
 //! panics, converted to [`PtqError::Internal`]) surface per workload
 //! instead of unwinding a sweep.
 
+use crate::artifact::{write_artifact, PtqArtifact};
 use crate::bn_calib::recalibrate_batchnorm;
 use crate::calib_cache::CalibCache;
 use crate::calibrate::CalibData;
@@ -224,6 +225,47 @@ impl<'a> PtqSession<'a> {
             &owned
         };
         self.quantize_calibrated(workload, calib)
+    }
+
+    /// Run the full pipeline on one workload and persist the result as a
+    /// versioned artifact at `path` (atomically, via a temp file +
+    /// rename). The artifact carries the quantized model *and* the
+    /// calibration thresholds its static scales were frozen from;
+    /// [`PtqSession::load_artifact`] reloads it bit-identically in any
+    /// later process, skipping calibration entirely.
+    pub fn save_artifact(
+        &mut self,
+        workload: &Workload,
+        path: &std::path::Path,
+    ) -> Result<QuantOutcome, PtqError> {
+        let cached;
+        let owned;
+        let calib: &CalibData = if let Some(c) = self.calib {
+            c
+        } else if let Some(cache) = self.cache {
+            cached = cache.get_or_calibrate(workload, &self.cfg)?;
+            &cached
+        } else {
+            owned = calibrate_workload(workload, &self.cfg)?;
+            &owned
+        };
+        let mut thresholds = std::collections::BTreeMap::new();
+        for &key in calib.stats.keys() {
+            if let Some(t) = calib.threshold(key, &self.cfg) {
+                thresholds.insert(key, t);
+            }
+        }
+        let outcome = self.quantize_calibrated(workload, calib)?;
+        write_artifact(&outcome.model, &thresholds, path)?;
+        Ok(outcome)
+    }
+
+    /// Load an artifact written by [`PtqSession::save_artifact`] (or any
+    /// of the `save` surfaces). The returned model executes bit-identically
+    /// to the one that was saved; no calibration data or workload is
+    /// needed.
+    pub fn load_artifact(path: &std::path::Path) -> Result<PtqArtifact, PtqError> {
+        PtqArtifact::load(path)
     }
 
     /// The quantize → (BatchNorm-recalibrate) → evaluate tail of

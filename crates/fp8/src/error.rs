@@ -20,6 +20,29 @@ pub enum Fp8Error {
     ScalarShape,
     /// Per-channel quantization over an empty leading axis.
     EmptyLeadingAxis,
+    /// A per-channel scale vector whose length disagrees with the shape's
+    /// leading axis (raw-parts reconstruction only).
+    ScaleCountMismatch {
+        /// Channels implied by the shape (`shape[0]`).
+        expected: usize,
+        /// Scales actually supplied.
+        got: usize,
+    },
+    /// A zero-copy code window that falls outside its backing buffer.
+    SharedRange {
+        /// Requested start offset.
+        offset: usize,
+        /// Requested window length.
+        len: usize,
+        /// Actual backing-buffer length.
+        buf_len: usize,
+    },
+    /// Raw codec parameters that violate the codec's invariants (e.g. a
+    /// non-finite or non-positive scale, an out-of-range zero point).
+    InvalidCodec {
+        /// What was invalid.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Fp8Error {
@@ -36,6 +59,22 @@ impl fmt::Display for Fp8Error {
             }
             Fp8Error::EmptyLeadingAxis => {
                 write!(f, "per-channel quantization over an empty leading axis")
+            }
+            Fp8Error::ScaleCountMismatch { expected, got } => write!(
+                f,
+                "per-channel scale count mismatch: shape implies {expected} channels, \
+                 got {got} scales"
+            ),
+            Fp8Error::SharedRange {
+                offset,
+                len,
+                buf_len,
+            } => write!(
+                f,
+                "code window [{offset}, {offset}+{len}) exceeds shared buffer of {buf_len} bytes"
+            ),
+            Fp8Error::InvalidCodec { detail } => {
+                write!(f, "invalid codec parameters: {detail}")
             }
         }
     }

@@ -14,6 +14,7 @@
 //! grid and starve the bulk of the distribution of resolution. The FP8 codecs
 //! in [`crate::codec`] have logarithmic spacing instead.
 
+use crate::error::Fp8Error;
 use serde::{Deserialize, Serialize};
 
 /// Symmetric (weight-style) vs asymmetric (activation-style) affine mapping.
@@ -98,6 +99,37 @@ impl Int8Codec {
             return Self::from_range(0.0, 0.0, mode);
         }
         Self::from_range(lo, hi, mode)
+    }
+
+    /// Reassemble a codec from previously extracted parts (the artifact
+    /// deserialization path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fp8Error::InvalidCodec`] when `scale` is non-finite or
+    /// non-positive, or when `zero_point` is outside the mode's legal
+    /// range (`0` exactly for symmetric, `0..=255` for asymmetric) — the
+    /// invariants [`Int8Codec::from_range`] always establishes.
+    pub fn from_raw_parts(mode: Int8Mode, scale: f32, zero_point: i32) -> Result<Self, Fp8Error> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(Fp8Error::InvalidCodec {
+                detail: format!("scale {scale} must be finite and positive"),
+            });
+        }
+        let zp_ok = match mode {
+            Int8Mode::Symmetric => zero_point == 0,
+            Int8Mode::Asymmetric => (0..=255).contains(&zero_point),
+        };
+        if !zp_ok {
+            return Err(Fp8Error::InvalidCodec {
+                detail: format!("zero point {zero_point} out of range for {mode:?} mode"),
+            });
+        }
+        Ok(Int8Codec {
+            mode,
+            scale,
+            zero_point,
+        })
     }
 
     /// The quantization step size.
@@ -209,6 +241,25 @@ mod tests {
         assert_eq!(c.quantize(0.0), 0.0);
         let c = Int8Codec::calibrate(&[], Int8Mode::Asymmetric);
         assert_eq!(c.quantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_and_validation() {
+        let c = Int8Codec::from_range(-0.3, 5.7, Int8Mode::Asymmetric);
+        let rebuilt = Int8Codec::from_raw_parts(c.mode(), c.scale(), c.zero_point()).unwrap();
+        assert_eq!(c, rebuilt);
+        let c = Int8Codec::from_range(-2.0, 2.0, Int8Mode::Symmetric);
+        assert_eq!(
+            Int8Codec::from_raw_parts(c.mode(), c.scale(), c.zero_point()).unwrap(),
+            c
+        );
+        for bad_scale in [0.0, -1.0, f32::NAN, f32::INFINITY] {
+            assert!(Int8Codec::from_raw_parts(Int8Mode::Symmetric, bad_scale, 0).is_err());
+        }
+        assert!(Int8Codec::from_raw_parts(Int8Mode::Symmetric, 1.0, 3).is_err());
+        assert!(Int8Codec::from_raw_parts(Int8Mode::Asymmetric, 1.0, 256).is_err());
+        assert!(Int8Codec::from_raw_parts(Int8Mode::Asymmetric, 1.0, -1).is_err());
+        assert!(Int8Codec::from_raw_parts(Int8Mode::Asymmetric, 1.0, 255).is_ok());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! assert_eq!(codec.decode(codec.encode(448.0)), 448.0); // max value exact
 //! ```
 
+pub mod bytes;
 pub mod codec;
 pub mod density;
 pub mod error;
@@ -45,6 +46,7 @@ pub mod lut;
 pub mod quantize;
 pub mod storage;
 
+pub use bytes::{CodeBytes, SharedBytes};
 pub use codec::{Fp8Codec, OverflowPolicy, Rounding};
 pub use density::{density_at, grid_points_in};
 pub use error::Fp8Error;
@@ -55,4 +57,4 @@ pub use quantize::{
     fake_quant_fp8, fake_quant_fp8_lut, fake_quant_fp8_per_channel, fake_quant_fp8_per_channel_lut,
     fake_quant_int8, fake_quant_int8_per_channel, fp8_scale, FakeQuantStats, QuantizedTensorStats,
 };
-pub use storage::{absmax_nan_aware, StoredScales, StoredTensor};
+pub use storage::{absmax_nan_aware, check_shape, StoredScales, StoredTensor};

@@ -7,6 +7,7 @@
 //! per-channel scales — the 4× memory reduction that motivates 8-bit
 //! inference in the first place.
 
+use crate::bytes::CodeBytes;
 use crate::codec::Fp8Codec;
 use crate::error::Fp8Error;
 use crate::format::Fp8Format;
@@ -65,7 +66,8 @@ pub fn absmax_nan_aware(data: &[f32]) -> f32 {
     })
 }
 
-fn check_shape(data_len: usize, shape: &[usize]) -> Result<(), Fp8Error> {
+/// Error unless `data_len` equals the product of `shape`.
+pub fn check_shape(data_len: usize, shape: &[usize]) -> Result<(), Fp8Error> {
     if data_len != shape.iter().product::<usize>() {
         return Err(Fp8Error::ShapeMismatch {
             data_len,
@@ -92,7 +94,7 @@ fn check_shape(data_len: usize, shape: &[usize]) -> Result<(), Fp8Error> {
 pub struct StoredTensor {
     format: Fp8Format,
     shape: Vec<usize>,
-    codes: Vec<u8>,
+    codes: CodeBytes,
     scales: StoredScales,
 }
 
@@ -111,11 +113,11 @@ impl StoredTensor {
         check_shape(data.len(), shape)?;
         let codec = Fp8Codec::new(format);
         let scale = fp8_scale(format, absmax_nan_aware(data));
-        let codes = data.iter().map(|&x| codec.encode(x * scale)).collect();
+        let codes: Vec<u8> = data.iter().map(|&x| codec.encode(x * scale)).collect();
         Ok(StoredTensor {
             format,
             shape: shape.to_vec(),
-            codes,
+            codes: codes.into(),
             scales: StoredScales::PerTensor(scale),
         })
     }
@@ -152,8 +154,49 @@ impl StoredTensor {
         Ok(StoredTensor {
             format,
             shape: shape.to_vec(),
-            codes,
+            codes: codes.into(),
             scales: StoredScales::PerChannel(scales),
+        })
+    }
+
+    /// Reassemble a tensor from previously extracted parts (the
+    /// deserialization path: artifact loaders hand in a zero-copy
+    /// [`CodeBytes`] window plus the stored scales).
+    ///
+    /// Validates every invariant [`StoredTensor::quantize`] /
+    /// [`StoredTensor::quantize_per_channel`] would have established:
+    ///
+    /// # Errors
+    ///
+    /// * [`Fp8Error::ShapeMismatch`] — `codes.len()` ≠ product of `shape`.
+    /// * [`Fp8Error::ScalarShape`] / [`Fp8Error::EmptyLeadingAxis`] —
+    ///   per-channel scales over a scalar or empty-leading-axis shape.
+    /// * [`Fp8Error::ScaleCountMismatch`] — per-channel scale count ≠
+    ///   `shape[0]`.
+    pub fn from_raw_parts(
+        format: Fp8Format,
+        shape: Vec<usize>,
+        codes: CodeBytes,
+        scales: StoredScales,
+    ) -> Result<Self, Fp8Error> {
+        check_shape(codes.len(), &shape)?;
+        if let StoredScales::PerChannel(s) = &scales {
+            let channels = *shape.first().ok_or(Fp8Error::ScalarShape)?;
+            if channels == 0 {
+                return Err(Fp8Error::EmptyLeadingAxis);
+            }
+            if s.len() != channels {
+                return Err(Fp8Error::ScaleCountMismatch {
+                    expected: channels,
+                    got: s.len(),
+                });
+            }
+        }
+        Ok(StoredTensor {
+            format,
+            shape,
+            codes,
+            scales,
         })
     }
 
@@ -169,6 +212,11 @@ impl StoredTensor {
 
     /// Raw byte codes (row-major).
     pub fn bytes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// The code buffer itself (owned or zero-copy shared).
+    pub fn codes(&self) -> &CodeBytes {
         &self.codes
     }
 
@@ -278,6 +326,57 @@ mod tests {
             StoredTensor::quantize_per_channel(&[], &[0, 4], Fp8Format::E4M3).unwrap_err(),
             Fp8Error::EmptyLeadingAxis
         );
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_is_identity() {
+        let data: Vec<f32> = (0..24).map(|i| (i as f32) * 0.37 - 4.0).collect();
+        let st = StoredTensor::quantize_per_channel(&data, &[4, 6], Fp8Format::E4M3).unwrap();
+        let rebuilt = StoredTensor::from_raw_parts(
+            st.format(),
+            st.shape().to_vec(),
+            st.codes().clone(),
+            st.scales().clone(),
+        )
+        .unwrap();
+        assert_eq!(st, rebuilt);
+    }
+
+    #[test]
+    fn raw_parts_validates_invariants() {
+        let codes = CodeBytes::from(vec![0u8; 6]);
+        let pt = StoredScales::PerTensor(1.0);
+        assert!(matches!(
+            StoredTensor::from_raw_parts(Fp8Format::E4M3, vec![7], codes.clone(), pt.clone())
+                .unwrap_err(),
+            Fp8Error::ShapeMismatch { data_len: 6, .. }
+        ));
+        let pc = StoredScales::PerChannel(vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            StoredTensor::from_raw_parts(Fp8Format::E4M3, vec![2, 3], codes.clone(), pc.clone())
+                .unwrap_err(),
+            Fp8Error::ScaleCountMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+        assert_eq!(
+            StoredTensor::from_raw_parts(
+                Fp8Format::E4M3,
+                vec![],
+                CodeBytes::from(vec![0u8]),
+                pc.clone()
+            )
+            .unwrap_err(),
+            Fp8Error::ScalarShape
+        );
+        assert_eq!(
+            StoredTensor::from_raw_parts(Fp8Format::E4M3, vec![0, 3], CodeBytes::from(vec![]), pc)
+                .unwrap_err(),
+            Fp8Error::EmptyLeadingAxis
+        );
+        // Per-tensor scales over a valid shape are fine.
+        assert!(StoredTensor::from_raw_parts(Fp8Format::E4M3, vec![2, 3], codes, pt).is_ok());
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub enum PtqError {
         /// What the caller did wrong.
         detail: String,
     },
+    /// A saved artifact could not be read or written (container-level
+    /// corruption, version skew, or a malformed chunk payload).
+    Artifact(ptq_artifact::ArtifactError),
     /// An unclassified failure, e.g. a panic caught at a fail-soft
     /// boundary.
     Internal(String),
@@ -92,12 +95,19 @@ impl fmt::Display for PtqError {
             }
             PtqError::EmptyGraph => write!(f, "graph has no nodes"),
             PtqError::InvalidTarget { detail } => write!(f, "invalid target: {detail}"),
+            PtqError::Artifact(e) => write!(f, "artifact error: {e}"),
             PtqError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for PtqError {}
+
+impl From<ptq_artifact::ArtifactError> for PtqError {
+    fn from(e: ptq_artifact::ArtifactError) -> Self {
+        PtqError::Artifact(e)
+    }
+}
 
 /// The single blessed panicking escape hatch for [`PtqError`] results.
 ///

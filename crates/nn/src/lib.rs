@@ -38,6 +38,7 @@ mod exec;
 pub mod graph;
 pub mod interp;
 pub mod plan;
+pub mod serialize;
 pub mod validate;
 
 pub use builder::GraphBuilder;
@@ -45,3 +46,4 @@ pub use error::{PtqError, Shape, UnwrapOk};
 pub use graph::{Graph, Node, NodeId, Op, OpClass, ValueId};
 pub use interp::{ExecHook, NoopHook};
 pub use plan::{ExecPlan, PlanSet, TensorArena};
+pub use serialize::{decode_graph, encode_graph};

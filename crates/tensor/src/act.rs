@@ -35,7 +35,7 @@
 //! PR 2 dynamic-activation convention), leaving non-finite values to the
 //! codec's own NaN/saturation rules.
 
-use ptq_fp8::{absmax_nan_aware, fp8_scale, Fp8Codec, Fp8Format, Fp8Lut};
+use ptq_fp8::{absmax_nan_aware, check_shape, fp8_scale, Fp8Codec, Fp8Error, Fp8Format, Fp8Lut};
 
 use crate::tensor::Tensor;
 
@@ -136,6 +136,48 @@ impl QActTensor {
                 self.scales.push(s);
             }
         }
+    }
+
+    /// Reassemble an activation tensor from previously extracted parts.
+    ///
+    /// Validates the invariants the `quantize_*` methods establish:
+    /// `codes.len()` must equal the product of `shape`, and the scale
+    /// count must match the layout — exactly one scale for `tile == 0`
+    /// (per-tensor), or `rows * ceil(inner / tile)` scales for `tile > 0`
+    /// where `inner` is the last dimension (the layout
+    /// [`Self::quantize_per_tile`] produces).
+    ///
+    /// # Errors
+    ///
+    /// [`Fp8Error::ShapeMismatch`] on a code/shape disagreement,
+    /// [`Fp8Error::ScaleCountMismatch`] on a scale-count disagreement.
+    pub fn from_raw_parts(
+        format: Fp8Format,
+        shape: Vec<usize>,
+        codes: Vec<u8>,
+        scales: Vec<f32>,
+        tile: usize,
+    ) -> Result<Self, Fp8Error> {
+        check_shape(codes.len(), &shape)?;
+        let expected = if tile == 0 {
+            1
+        } else {
+            let inner = shape.last().copied().unwrap_or(1).max(1);
+            (codes.len() / inner) * inner.div_ceil(tile)
+        };
+        if scales.len() != expected {
+            return Err(Fp8Error::ScaleCountMismatch {
+                expected,
+                got: scales.len(),
+            });
+        }
+        Ok(QActTensor {
+            format,
+            shape,
+            codes,
+            scales,
+            tile,
+        })
     }
 
     /// The storage format.
@@ -417,6 +459,70 @@ mod tests {
         assert_eq!(q.len(), 16);
         assert_eq!(q.tile(), 4);
         assert!(q.codes.capacity() >= cap, "allocation was not recycled");
+    }
+
+    #[test]
+    fn raw_parts_reconstruction_is_bit_identical() {
+        let mut rng = TensorRng::seed(45);
+        let t = rng.normal(&[3, 13], 0.0, 1.0);
+        let mut per_tensor = QActTensor::new();
+        per_tensor.quantize_dynamic(&t, Fp8Format::E4M3);
+        let mut per_tile = QActTensor::new();
+        per_tile.quantize_per_tile(&t, Fp8Format::E5M2, 4);
+        for q in [per_tensor, per_tile] {
+            let rebuilt = QActTensor::from_raw_parts(
+                q.format(),
+                q.shape().to_vec(),
+                q.codes().to_vec(),
+                q.scales().to_vec(),
+                q.tile(),
+            )
+            .unwrap();
+            assert_eq!(q, rebuilt);
+            let (a, b) = (q.dequantize(), rebuilt.dequantize());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn raw_parts_validates_shape_and_scale_counts() {
+        // Codes disagree with the shape.
+        assert!(matches!(
+            QActTensor::from_raw_parts(Fp8Format::E4M3, vec![5], vec![0u8; 4], vec![1.0], 0),
+            Err(Fp8Error::ShapeMismatch { data_len: 4, .. })
+        ));
+        // Per-tensor layout needs exactly one scale.
+        assert!(matches!(
+            QActTensor::from_raw_parts(Fp8Format::E4M3, vec![4], vec![0u8; 4], vec![1.0, 2.0], 0),
+            Err(Fp8Error::ScaleCountMismatch {
+                expected: 1,
+                got: 2
+            })
+        ));
+        // Tiled layout: [2, 13] rows with tile 4 -> 2 * ceil(13/4) = 8.
+        assert!(matches!(
+            QActTensor::from_raw_parts(
+                Fp8Format::E4M3,
+                vec![2, 13],
+                vec![0u8; 26],
+                vec![1.0; 7],
+                4
+            ),
+            Err(Fp8Error::ScaleCountMismatch {
+                expected: 8,
+                got: 7
+            })
+        ));
+        assert!(QActTensor::from_raw_parts(
+            Fp8Format::E4M3,
+            vec![2, 13],
+            vec![0u8; 26],
+            vec![1.0; 8],
+            4
+        )
+        .is_ok());
     }
 
     #[test]

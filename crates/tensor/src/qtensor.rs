@@ -18,7 +18,7 @@
 //! hoisted out of the accumulation (float non-associativity would break
 //! the identity).
 
-use ptq_fp8::{Fp8Error, Fp8Format, Fp8Lut, StoredScales, StoredTensor};
+use ptq_fp8::{CodeBytes, Fp8Error, Fp8Format, Fp8Lut, StoredScales, StoredTensor};
 
 use crate::tensor::Tensor;
 
@@ -68,6 +68,26 @@ impl QTensor {
             t.data(),
             t.shape(),
             format,
+        )?))
+    }
+
+    /// Reassemble a tensor from previously extracted parts — the artifact
+    /// deserialization path, where `codes` is typically a zero-copy
+    /// [`CodeBytes`] window into the artifact's backing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Fp8Error`] from [`StoredTensor::from_raw_parts`]:
+    /// code count vs shape product, and per-channel scale count vs
+    /// `shape[0]`.
+    pub fn from_raw_parts(
+        format: Fp8Format,
+        shape: Vec<usize>,
+        codes: CodeBytes,
+        scales: StoredScales,
+    ) -> Result<Self, Fp8Error> {
+        Ok(Self::from_stored(StoredTensor::from_raw_parts(
+            format, shape, codes, scales,
         )?))
     }
 
@@ -200,6 +220,37 @@ mod tests {
             let d = q.dequantize();
             assert_eq!(d.data(), q.stored().dequantize().as_slice());
         }
+    }
+
+    #[test]
+    fn raw_parts_reconstruction_is_bit_identical() {
+        let mut rng = TensorRng::seed(8);
+        let t = rng.normal(&[4, 6], 0.0, 1.0);
+        for q in [
+            QTensor::quantize(&t, Fp8Format::E5M2).unwrap(),
+            QTensor::quantize_per_channel(&t, Fp8Format::E4M3).unwrap(),
+        ] {
+            let rebuilt = QTensor::from_raw_parts(
+                q.format(),
+                q.shape().to_vec(),
+                q.stored().codes().clone(),
+                q.scales().clone(),
+            )
+            .unwrap();
+            assert_eq!(q, rebuilt);
+            let (a, b) = (q.dequantize(), rebuilt.dequantize());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Invalid parts are rejected, not panicked on.
+        assert!(QTensor::from_raw_parts(
+            Fp8Format::E4M3,
+            vec![5],
+            vec![0u8; 4].into(),
+            StoredScales::PerTensor(1.0),
+        )
+        .is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`artifact`] | `ptq-artifact` | versioned on-disk artifact container |
 //! | [`fp8`] | `ptq-fp8` | FP8/INT8 numeric codecs (Table 1 formats) |
 //! | [`tensor`] | `ptq-tensor` | dense tensors, NN kernels, observer stats |
 //! | [`nn`] | `ptq-nn` | graph IR, builder, hooked interpreter |
@@ -34,6 +35,7 @@
 //! println!("fp32 {:.4} -> E4M3 {:.4}", zoo[0].fp32_score, out.score);
 //! ```
 
+pub use ptq_artifact as artifact;
 pub use ptq_core as core;
 pub use ptq_fp8 as fp8;
 pub use ptq_metrics as metrics;

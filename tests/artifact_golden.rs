@@ -1,0 +1,132 @@
+//! Golden-artifact compatibility pin.
+//!
+//! `tests/golden/quantized_e4m3_v1.ptq` is a committed version-1 artifact
+//! (quick-zoo workload 0, E4M3 recipe, written by
+//! `PtqSession::save_artifact`). Today's reader must keep loading it and
+//! scoring it bit-equal to the pinned output below — any wire-format
+//! change that breaks old artifacts fails here instead of in the field.
+//! The writer is pinned too: re-encoding the loaded artifact must
+//! reproduce the committed bytes, so the format cannot drift silently
+//! even in a compatible-reader direction.
+//!
+//! To regenerate after an *intentional* format change (bump VERSION in
+//! `crates/artifact` first, keep the old fixture for the rejection test):
+//!
+//! ```text
+//! cargo test --release --test artifact_golden regenerate -- --ignored --nocapture
+//! ```
+
+use fp8_ptq::artifact::{ArtifactError, ArtifactReader};
+use fp8_ptq::core::config::QuantConfig;
+use fp8_ptq::core::{PtqArtifact, PtqSession};
+use fp8_ptq::fp8::Fp8Format;
+use fp8_ptq::models::{build_zoo, ZooFilter};
+use fp8_ptq::nn::UnwrapOk;
+use std::path::PathBuf;
+
+const FIXTURE: &str = "tests/golden/quantized_e4m3_v1.ptq";
+
+/// Pinned quantized eval score of the fixture model on quick-zoo
+/// workload 0, as IEEE-754 bits. Set by the `regenerate` test; must never
+/// change for an existing fixture.
+const GOLDEN_SCORE_BITS: u64 = 0x3FEF000000000000;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
+}
+
+#[test]
+fn golden_artifact_loads_and_scores_bit_equal_to_the_pin() {
+    let art = PtqArtifact::load(&fixture_path()).unwrap_ok();
+    assert!(
+        !art.thresholds.is_empty(),
+        "fixture must carry calibration thresholds"
+    );
+    let zoo = build_zoo(ZooFilter::Quick);
+    let w = &zoo[0];
+    let score = w
+        .evaluate_graph(&art.model.graph, &mut art.model.hook())
+        .unwrap_ok();
+    assert_eq!(
+        score.to_bits(),
+        GOLDEN_SCORE_BITS,
+        "golden artifact scored {score} ({:#018X}), pinned {:#018X}",
+        score.to_bits(),
+        GOLDEN_SCORE_BITS
+    );
+}
+
+#[test]
+fn golden_artifact_bytes_are_reproduced_by_todays_writer() {
+    let committed = std::fs::read(fixture_path()).unwrap();
+    let art = PtqArtifact::from_bytes(committed.clone()).unwrap_ok();
+    assert_eq!(
+        art.to_bytes(),
+        committed,
+        "writer output drifted from the committed version-1 artifact"
+    );
+}
+
+#[test]
+fn golden_artifact_matches_calibrate_from_scratch_bit_for_bit() {
+    let art = PtqArtifact::load(&fixture_path()).unwrap_ok();
+    let zoo = build_zoo(ZooFilter::Quick);
+    let out = PtqSession::new(QuantConfig::fp8(Fp8Format::E4M3))
+        .quantize(&zoo[0])
+        .unwrap_ok();
+    assert_eq!(
+        art.model.artifact_bytes(),
+        out.model.artifact_bytes(),
+        "fixture no longer matches a from-scratch quantization"
+    );
+}
+
+#[test]
+fn reader_rejects_the_next_version_with_a_clear_error() {
+    let mut bytes = std::fs::read(fixture_path()).unwrap();
+    let v = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    bytes[8..12].copy_from_slice(&(v + 1).to_le_bytes());
+    let err = ArtifactReader::from_vec(bytes).err().unwrap();
+    match err {
+        ArtifactError::UnsupportedVersion { found, supported } => {
+            assert_eq!(found, v + 1);
+            assert_eq!(supported, v);
+        }
+        other => panic!("expected UnsupportedVersion, got {other}"),
+    }
+    assert!(
+        err.to_string().contains("version"),
+        "message should name the problem: {err}"
+    );
+}
+
+#[test]
+fn mmap_read_path_is_live_on_linux() {
+    let reader = ArtifactReader::open(&fixture_path()).unwrap();
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    assert!(
+        reader.shared_buf().is_mapped(),
+        "fixture should load through the zero-copy mmap path"
+    );
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    assert!(!reader.shared_buf().is_mapped());
+}
+
+/// Regenerates the fixture and prints the score pin. Ignored: run
+/// explicitly (see module docs) only when the format version changes.
+#[test]
+#[ignore = "writes the committed fixture; run only on an intentional format bump"]
+fn regenerate() {
+    let zoo = build_zoo(ZooFilter::Quick);
+    let path = fixture_path();
+    let out = PtqSession::new(QuantConfig::fp8(Fp8Format::E4M3))
+        .save_artifact(&zoo[0], &path)
+        .unwrap_ok();
+    println!(
+        "wrote {} ({} bytes); GOLDEN_SCORE_BITS = {:#018X} (score {})",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        out.score.to_bits(),
+        out.score
+    );
+}
