@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Panic lint: forbid unwrap()/expect(/panic!( in non-test library code of
 # the panic-free crates (crates/artifact, crates/fp8, crates/tensor,
-# crates/nn, crates/core, crates/trace).
+# crates/nn, crates/core, crates/trace, crates/serve).
 #
 # The inference/PTQ stack guarantees a panic-free Result-based surface
 # (see DESIGN.md "Error handling"). This gate keeps it that way: any new
@@ -24,7 +24,7 @@ allowlist=ci/panic_allowlist.txt
 fail=0
 
 # shellcheck disable=SC2044
-for f in $(find crates/artifact/src crates/fp8/src crates/tensor/src crates/nn/src crates/core/src crates/trace/src -name '*.rs' | sort); do
+for f in $(find crates/artifact/src crates/fp8/src crates/tensor/src crates/nn/src crates/core/src crates/trace/src crates/serve/src -name '*.rs' | sort); do
     # Strip the trailing #[cfg(test)] module, then scan for forbidden
     # patterns, keeping real line numbers.
     matches=$(awk '/^#\[cfg\(test\)\]/{exit} /unwrap\(\)|\.expect\(|panic!\(/{print FILENAME":"FNR": "$0}' "$f" || true)
@@ -44,10 +44,10 @@ done
 
 if [ "$fail" -ne 0 ]; then
     echo >&2
-    echo "artifact/fp8/tensor/nn/core/trace library code must stay panic-free:" >&2
-    echo "return Result<_, Fp8Error/PtqError> instead, or (for" >&2
+    echo "artifact/fp8/tensor/nn/core/trace/serve library code must stay panic-free:" >&2
+    echo "return Result<_, Fp8Error/PtqError/ServeError> instead, or (for" >&2
     echo "a documented panicking wrapper) re-raise a typed error as" >&2
     echo "panic!(\"{e}\"). See ci/panic_allowlist.txt." >&2
     exit 1
 fi
-echo "panic lint OK: no stray unwrap()/expect(/panic!( in artifact/fp8/tensor/nn/core/trace"
+echo "panic lint OK: no stray unwrap()/expect(/panic!( in artifact/fp8/tensor/nn/core/trace/serve"

@@ -38,7 +38,11 @@ use std::sync::Arc;
 pub const MAGIC: [u8; 8] = *b"PTQ8ART\0";
 
 /// Newest container version this crate writes and reads.
-pub const VERSION: u32 = 1;
+///
+/// History: v1 = the original nine-chunk layout; v2 = the CONFIG chunk
+/// grew the `EngineSpec` serving section (request batching / admission
+/// control / deadline defaults for `crates/serve`).
+pub const VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 16;
 const CHUNK_HEADER_LEN: usize = 16;

@@ -23,7 +23,7 @@
 //! is nonzero. Evaluation time is reported but not gated: the eval runs
 //! identical kernels on both sides of the comparison.
 
-use ptq_bench::{save_json, MdTable};
+use ptq_bench::{save_json, CommonFlags, MdTable};
 use ptq_core::workflow::{paper_recipe, table2_rows};
 use ptq_core::PtqSession;
 use ptq_models::{build_zoo, build_zoo_limited, Workload, ZooFilter};
@@ -79,23 +79,21 @@ fn slug(s: &str) -> String {
         .join("-")
 }
 
-fn save_mode(dir: &Path, limit: Option<usize>, only_format: Option<&str>) {
+fn save_mode(dir: &Path, flags: &CommonFlags) {
     std::fs::create_dir_all(dir)
         .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
-    let zoo = zoo_for(limit);
+    let zoo = zoo_for(flags.limit);
     eprintln!("zoo: {} workloads", zoo.len());
 
     let mut entries = Vec::new();
     let mut calibrate_ms = 0.0;
     for (format, approach) in table2_rows() {
-        if let Some(want) = only_format {
-            if format.to_string() != want {
-                continue;
-            }
+        if !flags.format_selected(&format.to_string()) {
+            continue;
         }
         let row = format!("{format} / {approach:?}");
         for (zoo_index, w) in zoo.iter().enumerate() {
-            let cfg = paper_recipe(format, approach, w.spec.domain);
+            let cfg = flags.tweak_config(paper_recipe(format, approach, w.spec.domain));
             let file = format!("{}_{}.ptq", slug(&row), slug(&w.spec.name));
             let path = dir.join(&file);
             let t0 = Instant::now();
@@ -119,7 +117,10 @@ fn save_mode(dir: &Path, limit: Option<usize>, only_format: Option<&str>) {
         }
     }
     if entries.is_empty() {
-        fail(&format!("no rows matched --only-format {only_format:?}"));
+        fail(&format!(
+            "no rows matched --only-format {:?}",
+            flags.only_format
+        ));
     }
 
     let summary = Summary {
@@ -195,16 +196,21 @@ fn load_mode(dir: &Path) {
         // The cold-start path under test: mmap + decode to a ready model.
         // The evaluation that follows runs identical kernels on both
         // sides of the comparison (quantize-from-scratch evaluates too),
-        // so it verifies bit-equality but stays out of the gate.
+        // so it verifies bit-equality but stays out of the gate. The
+        // loaded artifact re-enters the session flow via `with_artifact`
+        // — thresholds restored, nothing requantized — exercising the
+        // same path a serving deployment uses.
         let t0 = Instant::now();
         let art = PtqSession::load_artifact(&dir.join(file))
             .unwrap_or_else(|e| fail(&format!("{file}: {e}")));
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         load_ms += ms;
         let t1 = Instant::now();
-        let score = w
-            .evaluate_graph(&art.model.graph, &mut art.model.hook())
+        let out = PtqSession::new(art.model.config.clone())
+            .with_artifact(&art)
+            .quantize(w)
             .unwrap_or_else(|e| fail(&format!("{file}: eval failed: {e}")));
+        let score = out.score;
         let eval_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         let ok = score.to_bits() == pin;
@@ -269,14 +275,15 @@ fn load_mode(dir: &Path) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let save_dir = ptq_bench::flag_value(&args, "--save").map(PathBuf::from);
-    let load_dir = ptq_bench::flag_value(&args, "--load").map(PathBuf::from);
-    let limit: Option<usize> = ptq_bench::flag_value(&args, "--limit").and_then(|v| v.parse().ok());
-    let only_format = ptq_bench::flag_value(&args, "--only-format");
+    let flags = CommonFlags::parse();
+    let save_dir = ptq_bench::flag_value(&flags.args, "--save").map(PathBuf::from);
+    let load_dir = ptq_bench::flag_value(&flags.args, "--load").map(PathBuf::from);
     match (save_dir, load_dir) {
-        (Some(dir), None) => save_mode(&dir, limit, only_format.as_deref()),
+        (Some(dir), None) => save_mode(&dir, &flags),
         (None, Some(dir)) => load_mode(&dir),
-        _ => fail("usage: cold_start --save <dir> [--limit N] [--only-format F] | cold_start --load <dir>"),
+        _ => fail(
+            "usage: cold_start --save <dir> [--limit N] [--only-format F] [--spec S] \
+             | cold_start --load <dir>",
+        ),
     }
 }

@@ -13,40 +13,25 @@
 //! overall, E4M3 best on NLP, E3M4 marginally best on CV, E5M2 the
 //! weakest FP8 format.
 
-use ptq_bench::{pct, save_json, MdTable};
-use ptq_core::config::ActivationStorage;
+use ptq_bench::{pct, save_json, CommonFlags, MdTable};
 use ptq_core::workflow::{run_suite_configured, table2_rows};
 use ptq_core::CalibCache;
 use ptq_models::{build_zoo, build_zoo_limited, ZooFilter};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let detail = args.iter().any(|a| a == "--detail");
-    let quick = args.iter().any(|a| a == "--quick");
-    let limit: Option<usize> = ptq_bench::flag_value(&args, "--limit").and_then(|v| v.parse().ok());
-    // `--only-format E4M3` keeps the rows whose data format matches
-    // (Display names: E5M2 / E4M3 / E3M4 / INT8); CI uses it to smoke
-    // one format per matrix leg.
-    let only_format = ptq_bench::flag_value(&args, "--only-format");
-    // `--act-storage fp8|fakequant-f32` overrides how quantized
-    // activations are represented at op boundaries (default: recipe).
-    let act_storage = match ptq_bench::flag_value(&args, "--act-storage").as_deref() {
-        None => None,
-        Some("fp8") => Some(ActivationStorage::Fp8),
-        Some("fakequant-f32") => Some(ActivationStorage::FakeQuantF32),
-        Some(other) => {
-            eprintln!("unknown --act-storage {other:?} (want fp8 | fakequant-f32)");
-            std::process::exit(2);
-        }
-    };
-    let trace = ptq_bench::tracing::init_from_args(&args);
-    let filter = if quick {
+    // Common vocabulary (--quick/--detail/--limit/--only-format/
+    // --act-storage/--spec) is shared across the bench binaries; CI uses
+    // `--only-format` to smoke one format per matrix leg, and a `--spec`
+    // file's storage/kernel sections override each row's recipe.
+    let flags = CommonFlags::parse();
+    let trace = ptq_bench::tracing::init_from_args(&flags.args);
+    let filter = if flags.quick {
         ZooFilter::Quick
     } else {
         ZooFilter::All
     };
     eprintln!("building zoo…");
-    let zoo = match limit {
+    let zoo = match flags.limit {
         Some(n) => build_zoo_limited(filter, n),
         None => build_zoo(filter),
     };
@@ -64,15 +49,12 @@ fn main() {
     // calibrated once, not once per (format × approach) row.
     let cache = CalibCache::new();
     for (format, approach) in table2_rows() {
-        if let Some(want) = &only_format {
-            if format.to_string() != *want {
-                continue;
-            }
+        if !flags.format_selected(&format.to_string()) {
+            continue;
         }
         eprintln!("running {format:?} {approach:?}…");
-        let row = run_suite_configured(&zoo, format, approach, &cache, |cfg| match act_storage {
-            Some(s) => cfg.with_activation_storage(s),
-            None => cfg,
+        let row = run_suite_configured(&zoo, format, approach, &cache, |cfg| {
+            flags.tweak_config(cfg)
         });
         for e in &row.errors {
             eprintln!("  skipped {}: {}", e.workload, e.error);
@@ -91,7 +73,7 @@ fn main() {
         rows.push(row);
     }
     if rows.is_empty() {
-        eprintln!("no rows matched --only-format {only_format:?}");
+        eprintln!("no rows matched --only-format {:?}", flags.only_format);
         std::process::exit(2);
     }
 
@@ -135,7 +117,7 @@ fn main() {
     }
     at.print();
 
-    if detail {
+    if flags.detail {
         println!("\n### Loss quartiles (Figure 4 data)\n");
         let mut qt = MdTable::new(&["Config", "Domain", "min", "q1", "median", "q3", "max"]);
         for row in &rows {

@@ -1,0 +1,206 @@
+//! Shared CLI-flag handling for the bench binaries.
+//!
+//! Every experiment binary used to parse its own copy of the common
+//! flags; this module is the single home for them so `table2`,
+//! `cold_start` and `serve_bench` agree on names, value vocabulary and
+//! error behavior:
+//!
+//! * `--quick` — quick zoo instead of the full 75-workload zoo.
+//! * `--detail` — extra per-workload output where a binary supports it.
+//! * `--limit <N>` — truncate the zoo to its first N workloads.
+//! * `--only-format <F>` — keep only rows whose data format Display
+//!   matches (`E5M2` / `E4M3` / `E3M4` / `INT8`).
+//! * `--act-storage fp8|fakequant-f32` — override activation storage.
+//! * `--spec <path.json>` — load a serialized [`EngineSpec`]; its
+//!   storage + kernel sections override each row's recipe and its
+//!   serving section configures the serving engine. An explicit
+//!   `--act-storage` flag wins over the spec file.
+//!
+//! Unknown values exit with status 2 and a message naming the flag —
+//! same behavior for every binary.
+
+use ptq_core::config::{ActivationStorage, QuantConfig};
+use ptq_core::spec::decode_activation_storage;
+use ptq_core::{EngineSpec, ServeSpec};
+
+/// Parsed common flags (see module docs for the vocabulary).
+#[derive(Debug, Clone, Default)]
+pub struct CommonFlags {
+    /// The raw argv the flags were parsed from (for binary-specific
+    /// extras and `--trace` handling).
+    pub args: Vec<String>,
+    /// `--quick`.
+    pub quick: bool,
+    /// `--detail`.
+    pub detail: bool,
+    /// `--limit N`.
+    pub limit: Option<usize>,
+    /// `--only-format F` (Display name, e.g. `E4M3`).
+    pub only_format: Option<String>,
+    /// `--act-storage` override.
+    pub act_storage: Option<ActivationStorage>,
+    /// `--spec path.json`, fully deserialized.
+    pub spec: Option<EngineSpec>,
+}
+
+impl CommonFlags {
+    /// Parse from `std::env::args()`, exiting with status 2 on a bad
+    /// value (the shared behavior of all bench binaries).
+    pub fn parse() -> CommonFlags {
+        let args: Vec<String> = std::env::args().collect();
+        match CommonFlags::parse_from(args) {
+            Ok(f) => f,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit argv (testable, no process exit).
+    pub fn parse_from(args: Vec<String>) -> Result<CommonFlags, String> {
+        let quick = args.iter().any(|a| a == "--quick");
+        let detail = args.iter().any(|a| a == "--detail");
+        let limit = match crate::flag_value(&args, "--limit") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad --limit {v:?} (want an integer)"))?,
+            ),
+        };
+        let only_format = crate::flag_value(&args, "--only-format");
+        let act_storage = match crate::flag_value(&args, "--act-storage") {
+            None => None,
+            Some(v) => Some(
+                decode_activation_storage(&v)
+                    .map_err(|e| format!("unknown --act-storage {v:?}: {e}"))?,
+            ),
+        };
+        let spec = match crate::flag_value(&args, "--spec") {
+            None => None,
+            Some(path) => {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read --spec {path}: {e}"))?;
+                Some(
+                    EngineSpec::from_json(&text)
+                        .map_err(|e| format!("invalid --spec {path}: {e}"))?,
+                )
+            }
+        };
+        Ok(CommonFlags {
+            args,
+            quick,
+            detail,
+            limit,
+            only_format,
+            act_storage,
+            spec,
+        })
+    }
+
+    /// Does `--only-format` admit this format? (Display-name match; no
+    /// flag admits everything.)
+    pub fn format_selected(&self, format_name: &str) -> bool {
+        self.only_format
+            .as_deref()
+            .map(|want| want == format_name)
+            .unwrap_or(true)
+    }
+
+    /// Apply the flag overrides to a row's recipe: the spec file's
+    /// storage and kernel sections first (when present), then the
+    /// explicit `--act-storage` flag on top.
+    pub fn tweak_config(&self, mut cfg: QuantConfig) -> QuantConfig {
+        if let Some(spec) = &self.spec {
+            cfg = cfg
+                .with_weight_storage(spec.storage.weights)
+                .with_activation_storage(spec.storage.activations)
+                .with_act_granularity(spec.storage.act_granularity)
+                .with_kernel_path(spec.kernel.path);
+        }
+        if let Some(s) = self.act_storage {
+            cfg = cfg.with_activation_storage(s);
+        }
+        cfg
+    }
+
+    /// The serving section to run an engine with: the spec file's when
+    /// given, defaults otherwise.
+    pub fn serving(&self) -> ServeSpec {
+        self.spec
+            .as_ref()
+            .map(|s| s.serving.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptq_core::config::WeightStorage;
+    use ptq_core::KernelPath;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_shared_vocabulary() {
+        let f = CommonFlags::parse_from(argv(&[
+            "bench",
+            "--quick",
+            "--detail",
+            "--limit",
+            "7",
+            "--only-format",
+            "E4M3",
+            "--act-storage",
+            "fakequant-f32",
+        ]))
+        .unwrap();
+        assert!(f.quick && f.detail);
+        assert_eq!(f.limit, Some(7));
+        assert!(f.format_selected("E4M3"));
+        assert!(!f.format_selected("E5M2"));
+        assert_eq!(f.act_storage, Some(ActivationStorage::FakeQuantF32));
+        assert!(f.spec.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_values_with_the_flag_name() {
+        let e = CommonFlags::parse_from(argv(&["b", "--act-storage", "int4"])).unwrap_err();
+        assert!(e.contains("--act-storage"), "{e}");
+        let e = CommonFlags::parse_from(argv(&["b", "--limit", "many"])).unwrap_err();
+        assert!(e.contains("--limit"), "{e}");
+        let e = CommonFlags::parse_from(argv(&["b", "--spec", "/nonexistent.json"])).unwrap_err();
+        assert!(e.contains("--spec"), "{e}");
+    }
+
+    #[test]
+    fn spec_file_overrides_ride_through_tweak_config() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ptq-bench-flags-{}.json", std::process::id()));
+        let spec_json = r#"{
+            "quantization": { "act_format": "E4M3" },
+            "storage": { "weights": "fakequant-f32" },
+            "kernel": { "path": "scalar-reference" },
+            "serving": { "max_batch": 3 }
+        }"#;
+        std::fs::write(&p, spec_json).unwrap();
+        let f = CommonFlags::parse_from(argv(&[
+            "b",
+            "--spec",
+            p.to_str().unwrap(),
+            "--act-storage",
+            "fp8",
+        ]))
+        .unwrap();
+        let cfg = f.tweak_config(QuantConfig::fp8(ptq_fp8::Fp8Format::E5M2));
+        assert_eq!(cfg.weight_storage, WeightStorage::FakeQuantF32);
+        assert_eq!(cfg.kernel_path, KernelPath::ScalarReference);
+        // Explicit flag beats the spec file.
+        assert_eq!(cfg.activation_storage, ActivationStorage::Fp8);
+        assert_eq!(f.serving().max_batch, 3);
+        let _ = std::fs::remove_file(&p);
+    }
+}

@@ -5,6 +5,10 @@
 //! and writes the raw numbers as JSON under `bench_results/` so that
 //! EXPERIMENTS.md is regenerable.
 
+pub mod flags;
+
+pub use flags::CommonFlags;
+
 use serde::Serialize;
 use std::fs;
 use std::path::{Path, PathBuf};

@@ -38,6 +38,7 @@ use crate::config::{
     QuantConfig, WeightStorage,
 };
 use crate::quantizer::QuantizedModel;
+use crate::spec::ServeSpec;
 use ptq_artifact::{
     ArtifactError, ArtifactReader, ArtifactWriter, ByteReader, ByteWriter, SharedBuf,
 };
@@ -52,7 +53,9 @@ use std::sync::Arc;
 
 /// Chunk tag: the serialized [`ptq_nn::Graph`] (see `ptq_nn::serialize`).
 pub const TAG_GRAPH: u32 = 1;
-/// Chunk tag: the [`QuantConfig`] recipe.
+/// Chunk tag: the full [`crate::spec::EngineSpec`] — the [`QuantConfig`]
+/// recipe followed by the [`ServeSpec`] serving section (since container
+/// version 2).
 pub const TAG_CONFIG: u32 = 2;
 /// Chunk tag: the set of node ids executing in low precision.
 pub const TAG_QNODES: u32 = 3;
@@ -81,18 +84,22 @@ pub struct PtqArtifact {
     /// [`CalibMethod`]. Informational alongside the frozen scales: kept so
     /// tooling can audit or re-derive scales without re-calibrating.
     pub thresholds: BTreeMap<TensorKey, f32>,
+    /// The serving section of the [`crate::spec::EngineSpec`] the model
+    /// was saved under: batching/deadline defaults for engines built from
+    /// this artifact. Never affects arithmetic.
+    pub serving: ServeSpec,
 }
 
 impl PtqArtifact {
     /// Serialize to the container byte format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        build_writer(&self.model, &self.thresholds).finish()
+        build_writer(&self.model, &self.thresholds, &self.serving).finish()
     }
 
     /// Serialize and write to `path` (atomically, via a temp file +
     /// rename).
     pub fn save(&self, path: &Path) -> Result<(), PtqError> {
-        write_artifact(&self.model, &self.thresholds, path)
+        write_artifact(&self.model, &self.thresholds, &self.serving, path)
     }
 
     /// Parse an artifact from in-memory bytes.
@@ -113,13 +120,14 @@ impl QuantizedModel {
     /// via a temp file + rename). The saved model reloads bit-identically
     /// with [`QuantizedModel::load`].
     pub fn save(&self, path: &Path) -> Result<(), PtqError> {
-        write_artifact(self, &BTreeMap::new(), path)
+        write_artifact(self, &BTreeMap::new(), &ServeSpec::default(), path)
     }
 
     /// Serialize this model to the container byte format (no thresholds
-    /// chunk content; [`PtqArtifact::to_bytes`] includes them).
+    /// chunk content and default serving knobs; [`PtqArtifact::to_bytes`]
+    /// includes both).
     pub fn artifact_bytes(&self) -> Vec<u8> {
-        build_writer(self, &BTreeMap::new()).finish()
+        build_writer(self, &BTreeMap::new(), &ServeSpec::default()).finish()
     }
 
     /// Load a model saved with [`QuantizedModel::save`] (or extracted
@@ -137,10 +145,11 @@ impl QuantizedModel {
 pub(crate) fn build_writer(
     model: &QuantizedModel,
     thresholds: &BTreeMap<TensorKey, f32>,
+    serving: &ServeSpec,
 ) -> ArtifactWriter {
     let mut w = ArtifactWriter::new();
     w.chunk(TAG_GRAPH, encode_graph(&model.graph));
-    w.chunk(TAG_CONFIG, encode_config(&model.config));
+    w.chunk(TAG_CONFIG, encode_config(&model.config, serving));
     w.chunk(TAG_QNODES, encode_qnodes(&model.quantized_nodes));
     w.chunk(TAG_WEIGHTS, encode_weights(&model.weights));
     w.chunk(TAG_QWEIGHTS, encode_qweights(&model.qweights));
@@ -157,13 +166,15 @@ pub(crate) fn build_writer(
     w
 }
 
-/// Serialize and atomically write `model` (+ `thresholds`) to `path`.
+/// Serialize and atomically write `model` (+ `thresholds` + `serving`)
+/// to `path`.
 pub(crate) fn write_artifact(
     model: &QuantizedModel,
     thresholds: &BTreeMap<TensorKey, f32>,
+    serving: &ServeSpec,
     path: &Path,
 ) -> Result<(), PtqError> {
-    build_writer(model, thresholds).write_to(path)?;
+    build_writer(model, thresholds, serving).write_to(path)?;
     Ok(())
 }
 
@@ -171,7 +182,7 @@ pub(crate) fn write_artifact(
 pub(crate) fn decode_artifact(reader: &ArtifactReader) -> Result<PtqArtifact, PtqError> {
     let graph = decode_graph(reader.chunk(TAG_GRAPH)?)?;
     graph.validate_structure()?;
-    let config = decode_config(reader.chunk(TAG_CONFIG)?)?;
+    let (config, serving) = decode_config(reader.chunk(TAG_CONFIG)?)?;
     let quantized_nodes = decode_qnodes(reader.chunk(TAG_QNODES)?, graph.nodes().len())?;
     let weights = decode_weights(reader.chunk(TAG_WEIGHTS)?)?;
     let qweights = decode_qweights(reader)?;
@@ -198,7 +209,11 @@ pub(crate) fn decode_artifact(reader: &ArtifactReader) -> Result<PtqArtifact, Pt
         act_bytes: AtomicUsize::new(0),
         act_bytes_f32: AtomicUsize::new(0),
     };
-    Ok(PtqArtifact { model, thresholds })
+    Ok(PtqArtifact {
+        model,
+        thresholds,
+        serving,
+    })
 }
 
 fn fp8_err(e: Fp8Error) -> ArtifactError {
@@ -271,10 +286,11 @@ fn get_bool(r: &mut ByteReader<'_>, what: &str) -> Result<bool, ArtifactError> {
 }
 
 // ---------------------------------------------------------------------
-// CONFIG chunk: QuantConfig fields in declaration order.
+// CONFIG chunk: QuantConfig fields in declaration order, followed by the
+// EngineSpec serving section (container version 2).
 // ---------------------------------------------------------------------
 
-fn encode_config(cfg: &QuantConfig) -> Vec<u8> {
+fn encode_config(cfg: &QuantConfig, serving: &ServeSpec) -> Vec<u8> {
     let mut w = ByteWriter::new();
     put_data_format(&mut w, cfg.act_format);
     put_data_format(&mut w, cfg.weight_format);
@@ -331,10 +347,24 @@ fn encode_config(cfg: &QuantConfig) -> Vec<u8> {
         KernelPath::Blocked => 0,
         KernelPath::ScalarReference => 1,
     });
+    // Serving section: all fixed-width, so any value re-encodes
+    // byte-identically (canonical) and corruption is caught by the
+    // container CRC rather than by range checks here.
+    w.put_usize(serving.max_batch);
+    w.put_usize(serving.batch_window_us);
+    w.put_usize(serving.queue_capacity);
+    match serving.default_deadline_ms {
+        None => w.put_u8(0),
+        Some(ms) => {
+            w.put_u8(1);
+            w.put_usize(ms);
+        }
+    }
+    w.put_usize(serving.workers);
     w.finish()
 }
 
-fn decode_config(payload: &[u8]) -> Result<QuantConfig, ArtifactError> {
+fn decode_config(payload: &[u8]) -> Result<(QuantConfig, ServeSpec), ArtifactError> {
     let mut r = ByteReader::new(payload);
     let act_format = get_data_format(&mut r, "config act format")?;
     let weight_format = get_data_format(&mut r, "config weight format")?;
@@ -431,23 +461,40 @@ fn decode_config(payload: &[u8]) -> Result<QuantConfig, ArtifactError> {
             })
         }
     };
+    let max_batch = r.get_usize("config serving max_batch")?;
+    let batch_window_us = r.get_usize("config serving batch_window_us")?;
+    let queue_capacity = r.get_usize("config serving queue_capacity")?;
+    let default_deadline_ms = match get_bool(&mut r, "config serving deadline flag")? {
+        false => None,
+        true => Some(r.get_usize("config serving default_deadline_ms")?),
+    };
+    let workers = r.get_usize("config serving workers")?;
     r.expect_end()?;
-    Ok(QuantConfig {
-        act_format,
-        weight_format,
-        approach,
-        coverage,
-        weight_granularity,
-        quantize_first_last,
-        smoothquant_alpha,
-        calibration,
-        bn_calibration,
-        fallback,
-        weight_storage,
-        activation_storage,
-        act_granularity,
-        kernel_path,
-    })
+    Ok((
+        QuantConfig {
+            act_format,
+            weight_format,
+            approach,
+            coverage,
+            weight_granularity,
+            quantize_first_last,
+            smoothquant_alpha,
+            calibration,
+            bn_calibration,
+            fallback,
+            weight_storage,
+            activation_storage,
+            act_granularity,
+            kernel_path,
+        },
+        ServeSpec {
+            max_batch,
+            batch_window_us,
+            queue_capacity,
+            default_deadline_ms,
+            workers,
+        },
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -852,6 +899,16 @@ mod tests {
             .with_kernel_path(KernelPath::ScalarReference)
     }
 
+    fn fancy_serving() -> ServeSpec {
+        ServeSpec {
+            max_batch: 32,
+            batch_window_us: 1_500,
+            queue_capacity: 64,
+            default_deadline_ms: Some(25),
+            workers: 4,
+        }
+    }
+
     #[test]
     fn config_roundtrips_every_knob() {
         for cfg in [
@@ -862,25 +919,48 @@ mod tests {
             QuantConfig::int8(),
             fancy_config(),
         ] {
-            let bytes = encode_config(&cfg);
-            let back = decode_config(&bytes).unwrap();
-            assert_eq!(back, cfg);
-            // Canonical: re-encoding the decoded config is byte-identical.
-            assert_eq!(encode_config(&back), bytes);
+            for serving in [ServeSpec::default(), fancy_serving()] {
+                let bytes = encode_config(&cfg, &serving);
+                let (back, back_serving) = decode_config(&bytes).unwrap();
+                assert_eq!(back, cfg);
+                assert_eq!(back_serving, serving);
+                // Canonical: re-encoding the decoded config is
+                // byte-identical.
+                assert_eq!(encode_config(&back, &back_serving), bytes);
+            }
         }
     }
 
     #[test]
     fn config_rejects_unknown_discriminants_and_slack() {
-        let mut bytes = encode_config(&QuantConfig::fp8(Fp8Format::E4M3));
+        let serving = ServeSpec::default();
+        let mut bytes = encode_config(&QuantConfig::fp8(Fp8Format::E4M3), &serving);
         bytes[0] = 9; // data-format discriminant
         assert!(matches!(
             decode_config(&bytes),
             Err(ArtifactError::Decode { .. })
         ));
-        let mut bytes = encode_config(&QuantConfig::fp8(Fp8Format::E4M3));
+        let mut bytes = encode_config(&QuantConfig::fp8(Fp8Format::E4M3), &serving);
         bytes.push(0); // trailing slack
         assert!(decode_config(&bytes).is_err());
+    }
+
+    #[test]
+    fn serving_section_roundtrips_through_a_full_artifact() {
+        let zoo = build_zoo(ZooFilter::Quick);
+        let w = &zoo[0];
+        let spec =
+            crate::spec::EngineSpec::from_parts(QuantConfig::fp8(Fp8Format::E4M3), fancy_serving());
+        let path = scratch("serving.ptq");
+        PtqSession::from_spec(&spec)
+            .save_artifact(w, &path)
+            .unwrap_ok();
+        let art = PtqArtifact::load(&path).unwrap();
+        assert_eq!(art.serving, fancy_serving());
+        // Re-save preserves the serving bytes exactly.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(art.to_bytes(), bytes);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

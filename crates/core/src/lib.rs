@@ -53,6 +53,7 @@ pub mod quantizer;
 pub mod sensitivity;
 pub mod session;
 pub mod smoothquant;
+pub mod spec;
 pub mod tuner;
 pub mod workflow;
 
@@ -73,6 +74,7 @@ pub use sensitivity::{
 };
 pub use session::{PtqSession, QuantOutcome};
 pub use smoothquant::smooth_scales;
+pub use spec::{EngineSpec, KernelSection, QuantSection, ServeSpec, StorageSection};
 pub use tuner::{AutoTuner, Recipe, TuneOutcome, TuneStep};
 pub use workflow::{
     calibrate_workload, paper_mixed_recipe, paper_recipe, run_suite, run_suite_cached, table2_rows,
@@ -110,6 +112,7 @@ pub mod prelude {
         sensitivity_profile, sensitivity_profile_with, SensitivityProfile,
     };
     pub use crate::session::{PtqSession, QuantOutcome};
+    pub use crate::spec::{EngineSpec, ServeSpec};
     pub use crate::tuner::{AutoTuner, TuneOutcome};
     pub use crate::workflow::{
         calibrate_workload, paper_mixed_recipe, paper_recipe, run_suite, run_suite_cached,

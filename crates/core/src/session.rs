@@ -16,6 +16,7 @@ use crate::calib_cache::CalibCache;
 use crate::calibrate::CalibData;
 use crate::config::{ActivationStorage, QuantConfig, WeightStorage};
 use crate::quantizer::{QuantHook, QuantizedModel};
+use crate::spec::{EngineSpec, ServeSpec};
 use crate::workflow::{calibrate_workload, run_guarded};
 use ptq_metrics::WorkloadResult;
 use ptq_models::Workload;
@@ -124,31 +125,56 @@ impl ExecHook for ObservedQuant<'_, '_> {
 /// ```
 pub struct PtqSession<'a> {
     cfg: QuantConfig,
+    serving: ServeSpec,
     cache: Option<&'a CalibCache>,
     calib: Option<&'a CalibData>,
     observer: Option<&'a mut dyn ExecHook>,
+    artifact: Option<&'a PtqArtifact>,
 }
 
 impl std::fmt::Debug for PtqSession<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PtqSession")
             .field("cfg", &self.cfg)
+            .field("serving", &self.serving)
             .field("cache", &self.cache.is_some())
             .field("calib", &self.calib.is_some())
             .field("observer", &self.observer.is_some())
+            .field("artifact", &self.artifact.is_some())
             .finish()
     }
 }
 
 impl<'a> PtqSession<'a> {
-    /// A session running the given configuration.
+    /// A session running the given configuration (with default serving
+    /// knobs; see [`PtqSession::from_spec`] for the consolidated form).
     pub fn new(cfg: QuantConfig) -> Self {
         PtqSession {
             cfg,
+            serving: ServeSpec::default(),
             cache: None,
             calib: None,
             observer: None,
+            artifact: None,
         }
+    }
+
+    /// A session from a consolidated [`EngineSpec`]: the
+    /// quantization/storage/kernel sections flatten into the execution
+    /// recipe (bit-identical to the equivalent
+    /// [`PtqSession::new`] + builder chain, pinned in
+    /// `crates/core/tests/api_compat.rs`) and the serving section rides
+    /// along into saved artifacts and [`PtqSession::spec`].
+    pub fn from_spec(spec: &EngineSpec) -> Self {
+        let mut s = PtqSession::new(spec.to_config());
+        s.serving = spec.serving.clone();
+        s
+    }
+
+    /// The session's consolidated spec: the current configuration (after
+    /// any builder tweaks) plus the serving section.
+    pub fn spec(&self) -> EngineSpec {
+        EngineSpec::from_parts(self.cfg.clone(), self.serving.clone())
     }
 
     /// Serve calibration from (and record it into) a shared
@@ -164,6 +190,22 @@ impl<'a> PtqSession<'a> {
     /// [`PtqSession::cache`].
     pub fn with_calibration(mut self, calib: &'a CalibData) -> Self {
         self.calib = Some(calib);
+        self
+    }
+
+    /// Enter the session flow from a loaded artifact instead of
+    /// calibrating: [`PtqSession::quantize`] then evaluates the
+    /// artifact's model as-is — calibration thresholds and frozen scales
+    /// are restored from the artifact, nothing is requantized — and
+    /// returns the same [`QuantOutcome`] shape the save-side session
+    /// produced, bit-identical in score (pinned by the cold-start gate).
+    /// The session adopts the artifact's recipe and serving section, so
+    /// [`PtqSession::spec`] reflects what was saved. Takes precedence
+    /// over [`PtqSession::with_calibration`] and [`PtqSession::cache`].
+    pub fn with_artifact(mut self, artifact: &'a PtqArtifact) -> Self {
+        self.cfg = artifact.model.config.clone();
+        self.serving = artifact.serving.clone();
+        self.artifact = Some(artifact);
         self
     }
 
@@ -213,6 +255,9 @@ impl<'a> PtqSession<'a> {
     /// calibration), quantize, recalibrate BatchNorm statistics when the
     /// recipe asks for it, and evaluate on the workload's eval set.
     pub fn quantize(&mut self, workload: &Workload) -> Result<QuantOutcome, PtqError> {
+        if self.artifact.is_some() {
+            return self.evaluate_artifact(workload);
+        }
         let cached;
         let owned;
         let calib: &CalibData = if let Some(c) = self.calib {
@@ -238,6 +283,14 @@ impl<'a> PtqSession<'a> {
         workload: &Workload,
         path: &std::path::Path,
     ) -> Result<QuantOutcome, PtqError> {
+        if let Some(art) = self.artifact {
+            // A loaded artifact re-saves as-is (thresholds restored from
+            // the artifact, nothing requantized) after the evaluation.
+            let thresholds = art.thresholds.clone();
+            let outcome = self.evaluate_artifact(workload)?;
+            write_artifact(&outcome.model, &thresholds, &self.serving, path)?;
+            return Ok(outcome);
+        }
         let cached;
         let owned;
         let calib: &CalibData = if let Some(c) = self.calib {
@@ -256,7 +309,7 @@ impl<'a> PtqSession<'a> {
             }
         }
         let outcome = self.quantize_calibrated(workload, calib)?;
-        write_artifact(&outcome.model, &thresholds, path)?;
+        write_artifact(&outcome.model, &thresholds, &self.serving, path)?;
         Ok(outcome)
     }
 
@@ -266,6 +319,55 @@ impl<'a> PtqSession<'a> {
     /// needed.
     pub fn load_artifact(path: &std::path::Path) -> Result<PtqArtifact, PtqError> {
         PtqArtifact::load(path)
+    }
+
+    /// The [`PtqSession::with_artifact`] path of
+    /// [`PtqSession::quantize`]: evaluate the loaded model as-is. No
+    /// calibration and no requantization — the model's frozen scales,
+    /// stored weights and (already-recalibrated) BatchNorm statistics are
+    /// exactly what was saved, so the score bit-matches the save-side
+    /// session.
+    fn evaluate_artifact(&mut self, workload: &Workload) -> Result<QuantOutcome, PtqError> {
+        let art = self.artifact.ok_or_else(|| {
+            PtqError::Internal("evaluate_artifact called without an artifact".to_string())
+        })?;
+        let cfg = &self.cfg;
+        let observer = self.observer.as_deref_mut();
+        run_guarded(|| {
+            let mut sp = ptq_trace::span(ptq_trace::Level::Info, "quantize.from_artifact");
+            if sp.active() {
+                sp.record_str("workload", &workload.spec.name);
+                sp.record_str("format", &cfg.act_format.to_string());
+            }
+            let model = art.model.clone();
+            model.reset_act_bytes();
+            let score = match observer {
+                Some(obs) => {
+                    let mut chained = ObservedQuant {
+                        quant: model.hook(),
+                        obs,
+                    };
+                    workload.evaluate_graph(&model.graph, &mut chained)?
+                }
+                None => workload.evaluate_graph(&model.graph, &mut model.hook())?,
+            };
+            let result = workload.result(score);
+            sp.record_f64("score", score);
+            let weight_bytes = model.weight_bytes();
+            let weight_bytes_f32 = model.weight_bytes_f32();
+            let act_bytes = model.act_bytes();
+            let act_bytes_f32 = model.act_bytes_f32();
+            Ok(QuantOutcome {
+                kernel_path: cfg.kernel_path,
+                model,
+                score,
+                result,
+                weight_bytes,
+                weight_bytes_f32,
+                act_bytes,
+                act_bytes_f32,
+            })
+        })
     }
 
     /// The quantize → (BatchNorm-recalibrate) → evaluate tail of

@@ -1,0 +1,813 @@
+//! The consolidated engine specification: one serializable value that
+//! names everything an inference engine is built from.
+//!
+//! Before this module the knob surface was sprawled across three places:
+//! [`QuantConfig`]'s format/approach/granularity fields, the
+//! [`crate::PtqSession`] builder chain (`weight_storage` /
+//! `activation_storage` / `kernel_path`), and — with `crates/serve` —
+//! batching/deadline knobs that had nowhere to live at all.
+//! [`EngineSpec`] consolidates them into four sections:
+//!
+//! * **quantization** — what is quantized and how scales are derived
+//!   ([`QuantSection`]);
+//! * **storage** — how quantized weights and activations are held and
+//!   executed ([`StorageSection`]);
+//! * **kernel** — which MAC kernel implementation runs
+//!   ([`KernelSection`]);
+//! * **serving** — request batching, admission control and deadlines for
+//!   the async engine ([`ServeSpec`]).
+//!
+//! The first three sections are a lossless re-grouping of
+//! [`QuantConfig`]: [`EngineSpec::from_config`] /
+//! [`EngineSpec::to_config`] are exact inverses, so a spec-built session
+//! is bit-identical to the equivalent builder chain (pinned in
+//! `crates/core/tests/api_compat.rs`). The whole spec round-trips
+//! through JSON ([`EngineSpec::to_json`] / [`EngineSpec::from_json`],
+//! readable by every bench binary via `--spec <path.json>`) and is
+//! persisted into the artifact CONFIG chunk so a loaded model carries
+//! its full recipe *and* serving defaults.
+//!
+//! JSON decoding is hand-rolled over [`ptq_trace::json::Value`] because
+//! the vendored `serde_json` stand-in is write-only. Unknown keys are
+//! rejected (a typo in a `--spec` file must not silently fall back to a
+//! default); missing keys inside a section take documented defaults so
+//! handwritten specs stay short — `{"quantization": {"act_format":
+//! "E4M3"}}` is a complete spec.
+
+use crate::config::{
+    ActGranularity, ActivationStorage, Approach, CalibMethod, Coverage, DataFormat, Granularity,
+    QuantConfig, WeightStorage,
+};
+use ptq_fp8::Fp8Format;
+use ptq_nn::{NodeId, PtqError};
+use ptq_tensor::ops::KernelPath;
+use ptq_trace::json::Value;
+use std::collections::BTreeSet;
+
+/// The quantization section: what is quantized and how scales are
+/// derived. A re-grouping of the corresponding [`QuantConfig`] fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantSection {
+    /// Format for activations.
+    pub act_format: DataFormat,
+    /// Format for weights (differing from `act_format` gives the paper's
+    /// mixed-format scheme).
+    pub weight_format: DataFormat,
+    /// Static vs dynamic activation scaling.
+    pub approach: Approach,
+    /// Operator coverage.
+    pub coverage: Coverage,
+    /// Weight scale granularity.
+    pub weight_granularity: Granularity,
+    /// Quantize the first/last compute operators of CNNs.
+    pub quantize_first_last: bool,
+    /// SmoothQuant α (None = off).
+    pub smoothquant_alpha: Option<f32>,
+    /// Range-calibration method for static activation scales.
+    pub calibration: CalibMethod,
+    /// Re-estimate BatchNorm statistics after quantization.
+    pub bn_calibration: bool,
+    /// Node ids forced to FP32.
+    pub fallback: BTreeSet<NodeId>,
+}
+
+/// The storage section: how quantized tensors are held and executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageSection {
+    /// How quantized weights are stored ([`WeightStorage::Fp8`] = 1-byte
+    /// codes + scales).
+    pub weights: WeightStorage,
+    /// How quantized activations cross op boundaries.
+    pub activations: ActivationStorage,
+    /// Activation scale granularity.
+    pub act_granularity: ActGranularity,
+}
+
+/// The kernel section: which MAC implementation runs (bit-identical
+/// either way; a performance/debugging knob).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSection {
+    /// Blocked micro-kernels (default) or scalar reference loops.
+    pub path: KernelPath,
+}
+
+/// The serving section: request batching, admission control and
+/// deadlines for [`EngineSpec`]-built async engines (`crates/serve`).
+///
+/// Unlike the other sections this one has no [`QuantConfig`]
+/// counterpart — it only affects *when* requests run, never what they
+/// compute, so any serving section yields bit-identical outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSpec {
+    /// Most requests coalesced into one `run_batch` call. 1 disables
+    /// batching.
+    pub max_batch: usize,
+    /// How long a batch head may wait (µs) for same-shape peers before
+    /// dispatch — the latency budget dynamic batching spends to gain
+    /// throughput. 0 dispatches immediately.
+    pub batch_window_us: usize,
+    /// Bounded-queue admission control: a submit beyond this depth is
+    /// rejected with a typed backpressure error instead of queuing
+    /// unboundedly.
+    pub queue_capacity: usize,
+    /// Default per-request deadline (ms) applied when a request does not
+    /// carry its own; None = no deadline.
+    pub default_deadline_ms: Option<usize>,
+    /// Worker threads forming and running batches. 0 = one per available
+    /// core (resolved at engine construction).
+    pub workers: usize,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            max_batch: 8,
+            batch_window_us: 200,
+            queue_capacity: 256,
+            default_deadline_ms: None,
+            workers: 0,
+        }
+    }
+}
+
+/// The consolidated, serializable engine specification. See the module
+/// docs for the section breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSpec {
+    /// What is quantized and how scales are derived.
+    pub quantization: QuantSection,
+    /// How quantized tensors are held and executed.
+    pub storage: StorageSection,
+    /// Which MAC kernel implementation runs.
+    pub kernel: KernelSection,
+    /// Request batching / admission control / deadlines.
+    pub serving: ServeSpec,
+}
+
+impl EngineSpec {
+    /// The spec equivalent of a [`QuantConfig`], with default serving
+    /// knobs. Exact inverse of [`EngineSpec::to_config`].
+    pub fn from_config(cfg: &QuantConfig) -> Self {
+        EngineSpec::from_parts(cfg.clone(), ServeSpec::default())
+    }
+
+    /// Assemble a spec from an execution recipe and serving knobs.
+    pub fn from_parts(cfg: QuantConfig, serving: ServeSpec) -> Self {
+        EngineSpec {
+            quantization: QuantSection {
+                act_format: cfg.act_format,
+                weight_format: cfg.weight_format,
+                approach: cfg.approach,
+                coverage: cfg.coverage,
+                weight_granularity: cfg.weight_granularity,
+                quantize_first_last: cfg.quantize_first_last,
+                smoothquant_alpha: cfg.smoothquant_alpha,
+                calibration: cfg.calibration,
+                bn_calibration: cfg.bn_calibration,
+                fallback: cfg.fallback,
+            },
+            storage: StorageSection {
+                weights: cfg.weight_storage,
+                activations: cfg.activation_storage,
+                act_granularity: cfg.act_granularity,
+            },
+            kernel: KernelSection {
+                path: cfg.kernel_path,
+            },
+            serving,
+        }
+    }
+
+    /// Flatten the quantization/storage/kernel sections back into the
+    /// execution-time [`QuantConfig`]. Exact inverse of
+    /// [`EngineSpec::from_config`] (the serving section has no config
+    /// counterpart — it never affects arithmetic).
+    pub fn to_config(&self) -> QuantConfig {
+        QuantConfig {
+            act_format: self.quantization.act_format,
+            weight_format: self.quantization.weight_format,
+            approach: self.quantization.approach,
+            coverage: self.quantization.coverage,
+            weight_granularity: self.quantization.weight_granularity,
+            quantize_first_last: self.quantization.quantize_first_last,
+            smoothquant_alpha: self.quantization.smoothquant_alpha,
+            calibration: self.quantization.calibration,
+            bn_calibration: self.quantization.bn_calibration,
+            fallback: self.quantization.fallback.clone(),
+            weight_storage: self.storage.weights,
+            activation_storage: self.storage.activations,
+            act_granularity: self.storage.act_granularity,
+            kernel_path: self.kernel.path,
+        }
+    }
+
+    /// Builder-style: replace the serving section.
+    pub fn with_serving(mut self, serving: ServeSpec) -> Self {
+        self.serving = serving;
+        self
+    }
+
+    /// Short human-readable label (delegates to [`QuantConfig::label`]).
+    pub fn label(&self) -> String {
+        self.to_config().label()
+    }
+
+    // -----------------------------------------------------------------
+    // JSON
+    // -----------------------------------------------------------------
+
+    /// Render as a JSON tree.
+    pub fn to_json_value(&self) -> Value {
+        let q = &self.quantization;
+        let quant = Value::Object(vec![
+            ("act_format".into(), data_format_value(q.act_format)),
+            ("weight_format".into(), data_format_value(q.weight_format)),
+            (
+                "approach".into(),
+                str_value(match q.approach {
+                    Approach::Static => "static",
+                    Approach::Dynamic => "dynamic",
+                }),
+            ),
+            (
+                "coverage".into(),
+                str_value(match q.coverage {
+                    Coverage::Standard => "standard",
+                    Coverage::Extended => "extended",
+                }),
+            ),
+            (
+                "weight_granularity".into(),
+                str_value(match q.weight_granularity {
+                    Granularity::PerChannel => "per-channel",
+                    Granularity::PerTensor => "per-tensor",
+                }),
+            ),
+            (
+                "quantize_first_last".into(),
+                Value::Bool(q.quantize_first_last),
+            ),
+            (
+                "smoothquant_alpha".into(),
+                match q.smoothquant_alpha {
+                    None => Value::Null,
+                    Some(a) => Value::Num(f64::from(a)),
+                },
+            ),
+            (
+                "calibration".into(),
+                match q.calibration {
+                    CalibMethod::AbsMax => str_value("absmax"),
+                    CalibMethod::Kl => str_value("kl"),
+                    CalibMethod::MseSweep => str_value("mse-sweep"),
+                    CalibMethod::Percentile(p) => {
+                        Value::Object(vec![("percentile".into(), Value::Num(p))])
+                    }
+                },
+            ),
+            ("bn_calibration".into(), Value::Bool(q.bn_calibration)),
+            (
+                "fallback".into(),
+                Value::Array(q.fallback.iter().map(|&n| Value::Num(n as f64)).collect()),
+            ),
+        ]);
+        let storage = Value::Object(vec![
+            (
+                "weights".into(),
+                str_value(match self.storage.weights {
+                    WeightStorage::Fp8 => "fp8",
+                    WeightStorage::FakeQuantF32 => "fakequant-f32",
+                }),
+            ),
+            (
+                "activations".into(),
+                str_value(match self.storage.activations {
+                    ActivationStorage::Fp8 => "fp8",
+                    ActivationStorage::FakeQuantF32 => "fakequant-f32",
+                }),
+            ),
+            (
+                "act_granularity".into(),
+                match self.storage.act_granularity {
+                    ActGranularity::PerTensor => str_value("per-tensor"),
+                    ActGranularity::PerTile(t) => {
+                        Value::Object(vec![("per-tile".into(), Value::Num(t as f64))])
+                    }
+                },
+            ),
+        ]);
+        let kernel = Value::Object(vec![(
+            "path".into(),
+            str_value(match self.kernel.path {
+                KernelPath::Blocked => "blocked",
+                KernelPath::ScalarReference => "scalar-reference",
+            }),
+        )]);
+        let s = &self.serving;
+        let serving = Value::Object(vec![
+            ("max_batch".into(), Value::Num(s.max_batch as f64)),
+            (
+                "batch_window_us".into(),
+                Value::Num(s.batch_window_us as f64),
+            ),
+            ("queue_capacity".into(), Value::Num(s.queue_capacity as f64)),
+            (
+                "default_deadline_ms".into(),
+                match s.default_deadline_ms {
+                    None => Value::Null,
+                    Some(ms) => Value::Num(ms as f64),
+                },
+            ),
+            ("workers".into(), Value::Num(s.workers as f64)),
+        ]);
+        Value::Object(vec![
+            ("quantization".into(), quant),
+            ("storage".into(), storage),
+            ("kernel".into(), kernel),
+            ("serving".into(), serving),
+        ])
+    }
+
+    /// Render as pretty-printed JSON (the `--spec` file format).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render_pretty()
+    }
+
+    /// Parse a spec from JSON text. Unknown keys are rejected; missing
+    /// keys inside a section default as documented on the section types
+    /// (the quantization defaults follow [`QuantConfig::fp8`] of the
+    /// given — required — `act_format`, with `weight_format` defaulting
+    /// to `act_format`).
+    pub fn from_json(text: &str) -> Result<EngineSpec, PtqError> {
+        let v = Value::parse(text).map_err(|e| spec_err(format!("unparseable JSON: {e}")))?;
+        EngineSpec::from_json_value(&v)
+    }
+
+    /// Parse a spec from an already-parsed JSON tree (see
+    /// [`EngineSpec::from_json`]).
+    pub fn from_json_value(v: &Value) -> Result<EngineSpec, PtqError> {
+        let obj = as_object(v, "spec")?;
+        check_keys(
+            obj,
+            &["quantization", "storage", "kernel", "serving"],
+            "spec",
+        )?;
+        let quantization = decode_quant_section(v.get("quantization"))?;
+        let storage = decode_storage_section(v.get("storage"))?;
+        let kernel = decode_kernel_section(v.get("kernel"))?;
+        let serving = decode_serve_section(v.get("serving"))?;
+        Ok(EngineSpec {
+            quantization,
+            storage,
+            kernel,
+            serving,
+        })
+    }
+}
+
+fn str_value(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+fn data_format_value(f: DataFormat) -> Value {
+    str_value(&f.to_string())
+}
+
+fn spec_err(detail: String) -> PtqError {
+    PtqError::InvalidTarget {
+        detail: format!("engine spec: {detail}"),
+    }
+}
+
+fn as_object<'v>(v: &'v Value, what: &str) -> Result<&'v [(String, Value)], PtqError> {
+    match v {
+        Value::Object(entries) => Ok(entries),
+        _ => Err(spec_err(format!("{what} must be a JSON object"))),
+    }
+}
+
+/// Reject unknown keys so a typo in a `--spec` file fails loudly instead
+/// of silently taking a default.
+fn check_keys(obj: &[(String, Value)], known: &[&str], what: &str) -> Result<(), PtqError> {
+    for (k, _) in obj {
+        if !known.contains(&k.as_str()) {
+            return Err(spec_err(format!(
+                "{what}: unknown key {k:?} (known: {})",
+                known.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn get_str<'v>(v: &'v Value, what: &str) -> Result<&'v str, PtqError> {
+    v.as_str()
+        .ok_or_else(|| spec_err(format!("{what} must be a string")))
+}
+
+fn get_bool(v: &Value, what: &str) -> Result<bool, PtqError> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(spec_err(format!("{what} must be a boolean"))),
+    }
+}
+
+fn get_uint(v: &Value, what: &str) -> Result<usize, PtqError> {
+    let n = v
+        .as_f64()
+        .ok_or_else(|| spec_err(format!("{what} must be a number")))?;
+    if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53)) {
+        return Err(spec_err(format!(
+            "{what} must be a non-negative integer, got {n}"
+        )));
+    }
+    Ok(n as usize)
+}
+
+fn decode_format(v: &Value, what: &str) -> Result<DataFormat, PtqError> {
+    match get_str(v, what)? {
+        "E5M2" => Ok(DataFormat::Fp8(Fp8Format::E5M2)),
+        "E4M3" => Ok(DataFormat::Fp8(Fp8Format::E4M3)),
+        "E3M4" => Ok(DataFormat::Fp8(Fp8Format::E3M4)),
+        "INT8" => Ok(DataFormat::Int8),
+        other => Err(spec_err(format!(
+            "{what}: unknown format {other:?} (want E5M2 | E4M3 | E3M4 | INT8)"
+        ))),
+    }
+}
+
+fn decode_quant_section(v: Option<&Value>) -> Result<QuantSection, PtqError> {
+    let v = v.ok_or_else(|| spec_err("missing \"quantization\" section".into()))?;
+    let obj = as_object(v, "quantization")?;
+    check_keys(
+        obj,
+        &[
+            "act_format",
+            "weight_format",
+            "approach",
+            "coverage",
+            "weight_granularity",
+            "quantize_first_last",
+            "smoothquant_alpha",
+            "calibration",
+            "bn_calibration",
+            "fallback",
+        ],
+        "quantization",
+    )?;
+    let act_format = decode_format(
+        v.get("act_format")
+            .ok_or_else(|| spec_err("quantization.act_format is required".into()))?,
+        "quantization.act_format",
+    )?;
+    let weight_format = match v.get("weight_format") {
+        None => act_format,
+        Some(f) => decode_format(f, "quantization.weight_format")?,
+    };
+    let approach = match v.get("approach") {
+        None => Approach::Static,
+        Some(a) => match get_str(a, "quantization.approach")? {
+            "static" => Approach::Static,
+            "dynamic" => Approach::Dynamic,
+            other => {
+                return Err(spec_err(format!(
+                    "quantization.approach: unknown value {other:?} (want static | dynamic)"
+                )))
+            }
+        },
+    };
+    let coverage = match v.get("coverage") {
+        None => Coverage::Standard,
+        Some(c) => match get_str(c, "quantization.coverage")? {
+            "standard" => Coverage::Standard,
+            "extended" => Coverage::Extended,
+            other => {
+                return Err(spec_err(format!(
+                    "quantization.coverage: unknown value {other:?} (want standard | extended)"
+                )))
+            }
+        },
+    };
+    let weight_granularity = match v.get("weight_granularity") {
+        None => Granularity::PerChannel,
+        Some(g) => match get_str(g, "quantization.weight_granularity")? {
+            "per-channel" => Granularity::PerChannel,
+            "per-tensor" => Granularity::PerTensor,
+            other => {
+                return Err(spec_err(format!(
+                    "quantization.weight_granularity: unknown value {other:?} \
+                     (want per-channel | per-tensor)"
+                )))
+            }
+        },
+    };
+    let quantize_first_last = match v.get("quantize_first_last") {
+        None => false,
+        Some(b) => get_bool(b, "quantization.quantize_first_last")?,
+    };
+    let smoothquant_alpha = match v.get("smoothquant_alpha") {
+        None | Some(Value::Null) => None,
+        Some(a) => Some(
+            a.as_f64()
+                .ok_or_else(|| spec_err("quantization.smoothquant_alpha must be a number".into()))?
+                as f32,
+        ),
+    };
+    let calibration = match v.get("calibration") {
+        None => CalibMethod::AbsMax,
+        Some(Value::Str(s)) => match s.as_str() {
+            "absmax" => CalibMethod::AbsMax,
+            "kl" => CalibMethod::Kl,
+            "mse-sweep" => CalibMethod::MseSweep,
+            other => {
+                return Err(spec_err(format!(
+                    "quantization.calibration: unknown method {other:?} \
+                     (want absmax | kl | mse-sweep | {{\"percentile\": q}})"
+                )))
+            }
+        },
+        Some(c @ Value::Object(_)) => {
+            let obj = as_object(c, "quantization.calibration")?;
+            check_keys(obj, &["percentile"], "quantization.calibration")?;
+            let q = c.get("percentile").and_then(Value::as_f64).ok_or_else(|| {
+                spec_err("quantization.calibration.percentile must be a number".into())
+            })?;
+            CalibMethod::Percentile(q)
+        }
+        Some(_) => {
+            return Err(spec_err(
+                "quantization.calibration must be a string or {\"percentile\": q}".into(),
+            ))
+        }
+    };
+    let bn_calibration = match v.get("bn_calibration") {
+        None => false,
+        Some(b) => get_bool(b, "quantization.bn_calibration")?,
+    };
+    let mut fallback = BTreeSet::new();
+    if let Some(f) = v.get("fallback") {
+        let items = f
+            .as_array()
+            .ok_or_else(|| spec_err("quantization.fallback must be an array".into()))?;
+        for item in items {
+            fallback.insert(get_uint(item, "quantization.fallback entry")?);
+        }
+    }
+    Ok(QuantSection {
+        act_format,
+        weight_format,
+        approach,
+        coverage,
+        weight_granularity,
+        quantize_first_last,
+        smoothquant_alpha,
+        calibration,
+        bn_calibration,
+        fallback,
+    })
+}
+
+fn decode_storage_section(v: Option<&Value>) -> Result<StorageSection, PtqError> {
+    let Some(v) = v else {
+        return Ok(StorageSection {
+            weights: WeightStorage::default(),
+            activations: ActivationStorage::default(),
+            act_granularity: ActGranularity::default(),
+        });
+    };
+    let obj = as_object(v, "storage")?;
+    check_keys(
+        obj,
+        &["weights", "activations", "act_granularity"],
+        "storage",
+    )?;
+    let weights = match v.get("weights") {
+        None => WeightStorage::default(),
+        Some(w) => decode_weight_storage(get_str(w, "storage.weights")?)?,
+    };
+    let activations = match v.get("activations") {
+        None => ActivationStorage::default(),
+        Some(a) => decode_activation_storage(get_str(a, "storage.activations")?)?,
+    };
+    let act_granularity = match v.get("act_granularity") {
+        None => ActGranularity::default(),
+        Some(Value::Str(s)) if s == "per-tensor" => ActGranularity::PerTensor,
+        Some(g @ Value::Object(_)) => {
+            let obj = as_object(g, "storage.act_granularity")?;
+            check_keys(obj, &["per-tile"], "storage.act_granularity")?;
+            let tile = get_uint(
+                g.get("per-tile")
+                    .ok_or_else(|| spec_err("storage.act_granularity needs \"per-tile\"".into()))?,
+                "storage.act_granularity.per-tile",
+            )?;
+            ActGranularity::PerTile(tile)
+        }
+        Some(_) => {
+            return Err(spec_err(
+                "storage.act_granularity must be \"per-tensor\" or {\"per-tile\": n}".into(),
+            ))
+        }
+    };
+    Ok(StorageSection {
+        weights,
+        activations,
+        act_granularity,
+    })
+}
+
+/// Decode a weight-storage label (shared with the bench `--act-storage`
+/// style flags — the strings match the [`WeightStorage`] `Display` form).
+pub fn decode_weight_storage(s: &str) -> Result<WeightStorage, PtqError> {
+    match s {
+        "fp8" => Ok(WeightStorage::Fp8),
+        "fakequant-f32" => Ok(WeightStorage::FakeQuantF32),
+        other => Err(spec_err(format!(
+            "unknown weight storage {other:?} (want fp8 | fakequant-f32)"
+        ))),
+    }
+}
+
+/// Decode an activation-storage label (the bench `--act-storage` flag
+/// values — the strings match the [`ActivationStorage`] `Display` form).
+pub fn decode_activation_storage(s: &str) -> Result<ActivationStorage, PtqError> {
+    match s {
+        "fp8" => Ok(ActivationStorage::Fp8),
+        "fakequant-f32" => Ok(ActivationStorage::FakeQuantF32),
+        other => Err(spec_err(format!(
+            "unknown activation storage {other:?} (want fp8 | fakequant-f32)"
+        ))),
+    }
+}
+
+fn decode_kernel_section(v: Option<&Value>) -> Result<KernelSection, PtqError> {
+    let Some(v) = v else {
+        return Ok(KernelSection {
+            path: KernelPath::default(),
+        });
+    };
+    let obj = as_object(v, "kernel")?;
+    check_keys(obj, &["path"], "kernel")?;
+    let path = match v.get("path") {
+        None => KernelPath::default(),
+        Some(p) => match get_str(p, "kernel.path")? {
+            "blocked" => KernelPath::Blocked,
+            "scalar-reference" => KernelPath::ScalarReference,
+            other => {
+                return Err(spec_err(format!(
+                    "kernel.path: unknown value {other:?} (want blocked | scalar-reference)"
+                )))
+            }
+        },
+    };
+    Ok(KernelSection { path })
+}
+
+fn decode_serve_section(v: Option<&Value>) -> Result<ServeSpec, PtqError> {
+    let Some(v) = v else {
+        return Ok(ServeSpec::default());
+    };
+    let obj = as_object(v, "serving")?;
+    check_keys(
+        obj,
+        &[
+            "max_batch",
+            "batch_window_us",
+            "queue_capacity",
+            "default_deadline_ms",
+            "workers",
+        ],
+        "serving",
+    )?;
+    let d = ServeSpec::default();
+    let max_batch = match v.get("max_batch") {
+        None => d.max_batch,
+        Some(n) => get_uint(n, "serving.max_batch")?,
+    };
+    let batch_window_us = match v.get("batch_window_us") {
+        None => d.batch_window_us,
+        Some(n) => get_uint(n, "serving.batch_window_us")?,
+    };
+    let queue_capacity = match v.get("queue_capacity") {
+        None => d.queue_capacity,
+        Some(n) => get_uint(n, "serving.queue_capacity")?,
+    };
+    let default_deadline_ms = match v.get("default_deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(n) => Some(get_uint(n, "serving.default_deadline_ms")?),
+    };
+    let workers = match v.get("workers") {
+        None => d.workers,
+        Some(n) => get_uint(n, "serving.workers")?,
+    };
+    Ok(ServeSpec {
+        max_batch,
+        batch_window_us,
+        queue_capacity,
+        default_deadline_ms,
+        workers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fancy_config() -> QuantConfig {
+        QuantConfig::mixed_fp8()
+            .with_approach(Approach::Dynamic)
+            .with_coverage(Coverage::Extended)
+            .with_smoothquant(0.5)
+            .with_calibration(CalibMethod::Percentile(0.9999))
+            .with_bn_calibration()
+            .with_first_last()
+            .with_fallback(3)
+            .with_fallback(1)
+            .with_weight_storage(WeightStorage::FakeQuantF32)
+            .with_activation_storage(ActivationStorage::FakeQuantF32)
+            .with_act_granularity(ActGranularity::PerTile(64))
+            .with_kernel_path(KernelPath::ScalarReference)
+    }
+
+    #[test]
+    fn config_spec_config_is_the_identity() {
+        for cfg in [
+            QuantConfig::fp8(Fp8Format::E5M2),
+            QuantConfig::fp8(Fp8Format::E4M3),
+            QuantConfig::fp8(Fp8Format::E3M4),
+            QuantConfig::mixed_fp8(),
+            QuantConfig::int8(),
+            fancy_config(),
+        ] {
+            assert_eq!(EngineSpec::from_config(&cfg).to_config(), cfg);
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_every_section() {
+        let spec = EngineSpec::from_parts(
+            fancy_config(),
+            ServeSpec {
+                max_batch: 16,
+                batch_window_us: 750,
+                queue_capacity: 32,
+                default_deadline_ms: Some(40),
+                workers: 3,
+            },
+        );
+        let text = spec.to_json();
+        let back = EngineSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        // Canonical: re-rendering the parsed spec is text-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn minimal_spec_defaults_like_quantconfig_fp8() {
+        let spec = EngineSpec::from_json(r#"{"quantization": {"act_format": "E4M3"}}"#).unwrap();
+        assert_eq!(spec.to_config(), QuantConfig::fp8(Fp8Format::E4M3));
+        assert_eq!(spec.serving, ServeSpec::default());
+        // weight_format follows act_format when omitted.
+        let mixed = EngineSpec::from_json(
+            r#"{"quantization": {"act_format": "E4M3", "weight_format": "E3M4"}}"#,
+        )
+        .unwrap();
+        assert_eq!(mixed.to_config(), QuantConfig::mixed_fp8());
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_are_rejected() {
+        for bad in [
+            r#"{"quantization": {"act_format": "E4M3"}, "extra": 1}"#,
+            r#"{"quantization": {"act_format": "E4M3", "typo_key": true}}"#,
+            r#"{"quantization": {"act_format": "E9M9"}}"#,
+            r#"{"quantization": {"act_format": "E4M3"}, "serving": {"max_batch": -1}}"#,
+            r#"{"quantization": {"act_format": "E4M3"}, "serving": {"max_batch": 1.5}}"#,
+            r#"{"quantization": {"act_format": "E4M3"}, "kernel": {"path": "vectorized"}}"#,
+            r#"{"quantization": {}}"#,
+            r#"[1,2]"#,
+        ] {
+            let err = EngineSpec::from_json(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("engine spec"),
+                "unhelpful error for {bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn serving_section_never_changes_the_config() {
+        let cfg = QuantConfig::fp8(Fp8Format::E4M3);
+        let a = EngineSpec::from_parts(cfg.clone(), ServeSpec::default());
+        let b = EngineSpec::from_parts(
+            cfg,
+            ServeSpec {
+                max_batch: 64,
+                batch_window_us: 10_000,
+                queue_capacity: 4,
+                default_deadline_ms: Some(1),
+                workers: 9,
+            },
+        );
+        assert_eq!(a.to_config(), b.to_config());
+    }
+}

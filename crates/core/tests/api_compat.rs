@@ -215,3 +215,81 @@ fn suite_rows_are_reproducible_through_the_session_path() {
         assert_eq!(row.quantized.to_bits(), solo.result.quantized.to_bits());
     }
 }
+
+#[test]
+fn from_spec_matches_the_builder_bit_for_bit() {
+    // The consolidated EngineSpec surface is a pure re-spelling of the
+    // builder config: a session built from a spec (including one that went
+    // through a JSON round-trip) must be bit-identical to `PtqSession::new`
+    // with the equivalent QuantConfig.
+    use ptq_core::EngineSpec;
+    for w in &workloads() {
+        let cfg = paper_recipe(
+            DataFormat::Fp8(Fp8Format::E4M3),
+            Approach::Static,
+            w.spec.domain,
+        );
+        let builder = PtqSession::new(cfg.clone()).quantize(w).unwrap_ok();
+
+        let spec = EngineSpec::from_config(&cfg);
+        let via_spec = PtqSession::from_spec(&spec).quantize(w).unwrap_ok();
+        assert_outcomes_identical(&builder, &via_spec, "from_spec");
+
+        let rehydrated = EngineSpec::from_json(&spec.to_json()).unwrap_ok();
+        assert_eq!(spec, rehydrated, "{}: JSON round-trip", w.spec.name);
+        let via_json = PtqSession::from_spec(&rehydrated).quantize(w).unwrap_ok();
+        assert_outcomes_identical(&builder, &via_json, "from_spec via JSON");
+    }
+}
+
+#[test]
+fn with_artifact_restores_a_saved_session_bit_for_bit() {
+    // Cold-start path: quantize + save, then re-enter the session flow via
+    // `with_artifact` on the loaded file. No recalibration happens, and the
+    // evaluation (plus a re-save) is bit-identical to the original run.
+    use ptq_core::{PtqArtifact, QuantConfig};
+    let scratch = |name: &str| {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ptq-api-compat-{}-{name}", std::process::id()));
+        p
+    };
+    let w = &workloads()[0];
+    let cfg = paper_recipe(
+        DataFormat::Fp8(Fp8Format::E4M3),
+        Approach::Static,
+        w.spec.domain,
+    );
+    let path = scratch("with_artifact.ptq");
+    let saved = PtqSession::new(cfg.clone())
+        .save_artifact(w, &path)
+        .unwrap_ok();
+
+    let art = PtqArtifact::load(&path).unwrap_ok();
+    let reloaded = PtqSession::new(cfg.clone())
+        .with_artifact(&art)
+        .quantize(w)
+        .unwrap_ok();
+    assert_outcomes_identical(&saved, &reloaded, "with_artifact");
+
+    // The adopted config comes from the artifact, so even a session seeded
+    // with a *different* config evaluates the stored model identically.
+    let mismatched = PtqSession::new(QuantConfig::int8())
+        .with_artifact(&art)
+        .quantize(w)
+        .unwrap_ok();
+    assert_outcomes_identical(&saved, &mismatched, "with_artifact (cfg override)");
+
+    // Re-saving through the artifact-backed session reproduces the bytes.
+    let resave = scratch("with_artifact_resave.ptq");
+    PtqSession::new(cfg)
+        .with_artifact(&art)
+        .save_artifact(w, &resave)
+        .unwrap_ok();
+    assert_eq!(
+        std::fs::read(&path).expect("read original"),
+        std::fs::read(&resave).expect("read resave"),
+        "artifact-backed re-save drifted"
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&resave);
+}

@@ -1,0 +1,463 @@
+//! The batched serving engine.
+//!
+//! Architecture (see DESIGN.md §15 for the full argument):
+//!
+//! * **Submit side** — [`Engine::submit`] performs admission control
+//!   under one mutex: a queue at `queue_capacity` rejects with
+//!   [`ServeError::QueueFull`] *before* enqueueing, so memory stays
+//!   bounded and overload turns into typed backpressure instead of
+//!   latency collapse. Admitted requests carry their enqueue time, an
+//!   optional absolute deadline, and a single-use reply channel; the
+//!   caller gets a [`Ticket`] to wait on.
+//! * **Batch formation** — worker threads pop the queue head and coalesce
+//!   same-shape requests behind it (preserving the order of everything
+//!   else) into one batch, waiting up to `batch_window_us` past the
+//!   head's enqueue time for peers to arrive. A full batch (`max_batch`)
+//!   dispatches immediately; `max_batch == 1` never waits.
+//! * **Execution** — a batch runs through the model's cached
+//!   [`ExecPlan`](ptq_nn::ExecPlan) for its shape:
+//!   [`run_batch`](ptq_nn::ExecPlan::run_batch) for real batches, plain
+//!   [`run`](ptq_nn::ExecPlan::run) for singletons. `run_batch` executes
+//!   each request's tensors independently (no concatenation, no shared
+//!   dynamic scales), so every response is bit-identical to an unbatched
+//!   run of the same request — batching is a scheduling optimization,
+//!   never a numerics change.
+//! * **Deadline shedding** — expired requests are answered with
+//!   [`ServeError::DeadlineExceeded`] during batch formation, before any
+//!   compute is spent on them.
+//!
+//! Send-safety: workers share one immutable [`QuantizedModel`] behind an
+//! `Arc` (its interior mutability is limited to atomic byte counters and
+//! the mutex-guarded plan cache); all scheduling state lives in a
+//! `Mutex<State>` + `Condvar` pair. The engine is `Send + Sync` by
+//! construction and compile-time asserted in `lib.rs`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use ptq_core::{EngineSpec, PtqArtifact, QuantizedModel, ServeSpec};
+use ptq_tensor::Tensor;
+use ptq_trace::Level;
+
+use crate::error::ServeError;
+use crate::metrics::{EngineStats, Stats};
+
+type Reply = Result<Vec<Tensor>, ServeError>;
+
+/// Handle for one in-flight request; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Block until the request is answered (outputs, a typed shed/exec
+    /// error) — or report [`ServeError::Disconnected`] if the worker side
+    /// vanished without replying.
+    pub fn wait(self) -> Result<Vec<Tensor>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+}
+
+/// One queued request.
+struct Pending {
+    inputs: Vec<Tensor>,
+    /// Input-shape signature; only same-signature requests share a batch
+    /// (they execute through the same [`ptq_nn::ExecPlan`]).
+    key: Vec<Vec<usize>>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    budget_us: u64,
+    tx: SyncSender<Reply>,
+}
+
+/// Scheduling state guarded by the engine mutex.
+struct State {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+/// Everything the submit side and the workers share.
+struct Shared {
+    model: Arc<QuantizedModel>,
+    spec: ServeSpec,
+    state: Mutex<State>,
+    cond: Condvar,
+    stats: Stats,
+}
+
+/// Async batched serving engine over a quantized model.
+///
+/// Construct with [`Engine::new`] (model + [`EngineSpec`]) or
+/// [`Engine::from_artifact`] (cold start from a saved `.ptq` file, which
+/// carries its own serving section). Submit with [`Engine::submit`] /
+/// [`Engine::submit_with_deadline`]; the engine drains its queue and
+/// joins its workers on [`Engine::shutdown`] or drop.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("spec", &self.shared.spec)
+            .field("workers", &self.workers.len())
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Start an engine serving `model` under `spec.serving`.
+    ///
+    /// The model's own [`QuantConfig`](ptq_core::QuantConfig) governs the
+    /// arithmetic (formats, storage, kernel path); the spec's serving
+    /// section governs scheduling. `workers == 0` resolves to one worker
+    /// per available core; `max_batch`/`queue_capacity` of 0 are clamped
+    /// to 1 so the engine always makes progress.
+    pub fn new(model: QuantizedModel, spec: &EngineSpec) -> Result<Engine, ServeError> {
+        Engine::with_serving(model, spec.serving.clone())
+    }
+
+    /// Cold-start an engine from a loaded artifact: the stored model is
+    /// shared (not re-quantized) and the artifact's persisted serving
+    /// section configures scheduling.
+    pub fn from_artifact(art: &PtqArtifact) -> Result<Engine, ServeError> {
+        Engine::with_serving(art.model.clone(), art.serving.clone())
+    }
+
+    fn with_serving(model: QuantizedModel, mut serving: ServeSpec) -> Result<Engine, ServeError> {
+        serving.max_batch = serving.max_batch.max(1);
+        serving.queue_capacity = serving.queue_capacity.max(1);
+        let n_workers = if serving.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            serving.workers
+        };
+        let shared = Arc::new(Shared {
+            model: Arc::new(model),
+            spec: serving,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            stats: Stats::default(),
+        });
+        let mut workers = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let sh = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("ptq-serve-{i}"))
+                .spawn(move || worker_loop(&sh))
+            {
+                Ok(h) => workers.push(h),
+                Err(e) => {
+                    let mut engine = Engine { shared, workers };
+                    engine.stop();
+                    return Err(ServeError::WorkerSpawn {
+                        detail: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Engine { shared, workers })
+    }
+
+    /// Submit a request under the spec's default deadline (if any).
+    pub fn submit(&self, inputs: Vec<Tensor>) -> Result<Ticket, ServeError> {
+        let budget = self
+            .shared
+            .spec
+            .default_deadline_ms
+            .map(|ms| Duration::from_millis(ms as u64));
+        self.submit_with_deadline(inputs, budget)
+    }
+
+    /// Submit a request with an explicit deadline budget (`None` = no
+    /// deadline, overriding any spec default). Admission happens here:
+    /// a full queue rejects immediately with [`ServeError::QueueFull`].
+    pub fn submit_with_deadline(
+        &self,
+        inputs: Vec<Tensor>,
+        budget: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        let sh = &self.shared;
+        let now = Instant::now();
+        let key: Vec<Vec<usize>> = inputs.iter().map(|t| t.shape().to_vec()).collect();
+        let (tx, rx) = mpsc::sync_channel(1);
+        let mut st = lock_state(sh);
+        if st.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if st.queue.len() >= sh.spec.queue_capacity {
+            sh.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            ptq_trace::counter(Level::Info, "serve.rejected", 1, &[]);
+            return Err(ServeError::QueueFull {
+                capacity: sh.spec.queue_capacity,
+            });
+        }
+        let budget_us = budget.map(|d| d.as_micros() as u64).unwrap_or(0);
+        st.queue.push_back(Pending {
+            inputs,
+            key,
+            enqueued: now,
+            deadline: budget.map(|d| now + d),
+            budget_us,
+            tx,
+        });
+        sh.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        ptq_trace::counter(Level::Info, "serve.enqueued", 1, &[]);
+        ptq_trace::gauge(
+            Level::Debug,
+            "serve.queue_depth",
+            st.queue.len() as f64,
+            &[],
+        );
+        drop(st);
+        sh.cond.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Point-in-time serving statistics (exact percentiles).
+    pub fn stats(&self) -> EngineStats {
+        self.shared.stats.snapshot(self.queue_depth())
+    }
+
+    /// Zero the statistics (counters and latency samples). Load
+    /// generators call this after warm-up so a measured window starts
+    /// from a clean slate; in-flight requests keep executing and are
+    /// counted against the new window on completion.
+    pub fn reset_stats(&self) {
+        self.shared.stats.reset();
+    }
+
+    /// Requests currently queued (admitted, not yet dispatched).
+    pub fn queue_depth(&self) -> usize {
+        lock_state(&self.shared).queue.len()
+    }
+
+    /// The resolved serving configuration (after clamping and worker
+    /// resolution the `workers` field still holds the requested value).
+    pub fn spec(&self) -> &ServeSpec {
+        &self.shared.spec
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &QuantizedModel {
+        &self.shared.model
+    }
+
+    /// Stop admitting, drain the queue, join all workers. Requests still
+    /// queued are executed (or shed on deadline) before workers exit, so
+    /// every admitted request gets exactly one reply.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut st = lock_state(&self.shared);
+            st.shutdown = true;
+        }
+        self.shared.cond.notify_all();
+        for h in self.workers.drain(..) {
+            // A worker that panicked already poisoned nothing we rely on
+            // (all locks recover via `PoisonError::into_inner`); its
+            // requests surface as `Disconnected`, so joining best-effort
+            // keeps shutdown itself panic-free.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn lock_state(sh: &Shared) -> MutexGuard<'_, State> {
+    sh.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Worker: form a batch (blocking), run it, reply; exit when shut down
+/// with an empty queue.
+fn worker_loop(sh: &Shared) {
+    while let Some(batch) = next_batch(sh) {
+        run_and_reply(sh, batch);
+    }
+}
+
+/// Blocks until a batch is ready. `None` means shutdown-and-drained.
+fn next_batch(sh: &Shared) -> Option<Vec<Pending>> {
+    let mut st = lock_state(sh);
+    loop {
+        let now = Instant::now();
+        shed_expired(sh, &mut st, now);
+        let (head_key, flush_at) = match st.queue.front() {
+            Some(head) => (
+                head.key.clone(),
+                head.enqueued + Duration::from_micros(sh.spec.batch_window_us as u64),
+            ),
+            None => {
+                if st.shutdown {
+                    return None;
+                }
+                st = sh.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+        };
+        let peers = st.queue.iter().filter(|p| p.key == head_key).count();
+        let dispatch =
+            peers >= sh.spec.max_batch || sh.spec.max_batch == 1 || now >= flush_at || st.shutdown;
+        if dispatch {
+            let batch = take_batch(&mut st.queue, &head_key, sh.spec.max_batch);
+            ptq_trace::gauge(
+                Level::Debug,
+                "serve.queue_depth",
+                st.queue.len() as f64,
+                &[],
+            );
+            let more = !st.queue.is_empty();
+            drop(st);
+            if more {
+                // Let another worker start on the new head immediately.
+                sh.cond.notify_one();
+            }
+            return Some(batch);
+        }
+        // Wait for peers until the head's latency budget runs out; a
+        // submit or shutdown notification re-evaluates early.
+        let (guard, _timed_out) = sh
+            .cond
+            .wait_timeout(st, flush_at.saturating_duration_since(now))
+            .unwrap_or_else(PoisonError::into_inner);
+        st = guard;
+    }
+}
+
+/// Answer and remove every queued request whose deadline has passed —
+/// shed before compute, never after.
+fn shed_expired(sh: &Shared, st: &mut State, now: Instant) {
+    let mut i = 0;
+    while i < st.queue.len() {
+        let expired = st
+            .queue
+            .get(i)
+            .and_then(|p| p.deadline)
+            .is_some_and(|d| d <= now);
+        if !expired {
+            i += 1;
+            continue;
+        }
+        if let Some(p) = st.queue.remove(i) {
+            sh.stats.shed.fetch_add(1, Ordering::Relaxed);
+            ptq_trace::counter(Level::Info, "serve.deadline_shed", 1, &[]);
+            let waited_us = now.duration_since(p.enqueued).as_micros() as u64;
+            let _ = p.tx.send(Err(ServeError::DeadlineExceeded {
+                waited_us,
+                budget_us: p.budget_us,
+            }));
+        }
+    }
+}
+
+/// Remove up to `max_batch` requests matching `key` from the queue front
+/// inward, preserving the relative order of everything left behind.
+fn take_batch(queue: &mut VecDeque<Pending>, key: &[Vec<usize>], max_batch: usize) -> Vec<Pending> {
+    let mut batch = Vec::new();
+    let mut i = 0;
+    while i < queue.len() && batch.len() < max_batch {
+        if queue.get(i).is_some_and(|p| p.key == key) {
+            if let Some(p) = queue.remove(i) {
+                batch.push(p);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    batch
+}
+
+/// Execute a formed batch and deliver every reply. Single requests take
+/// the plain `run` path (no parallel-iterator overhead); real batches go
+/// through `run_batch`, whose per-request execution is bit-identical to
+/// sequential runs.
+fn run_and_reply(sh: &Shared, mut batch: Vec<Pending>) {
+    let model = &sh.model;
+    let plan = {
+        let first = match batch.first() {
+            Some(p) => p,
+            None => return,
+        };
+        match model.plans.plan_for(&model.graph, &first.inputs) {
+            Ok(p) => p,
+            Err(e) => {
+                for p in batch {
+                    fail(sh, &p, e.clone());
+                }
+                return;
+            }
+        }
+    };
+    let mut sp = ptq_trace::span(Level::Info, "serve.batch");
+    if sp.active() {
+        sp.record_int("requests", batch.len() as i64);
+    }
+    // Successful outputs are accounted *before* their replies are sent:
+    // once a caller's `Ticket::wait` returns, the request is already
+    // visible in `Engine::stats` (a load generator that redeems every
+    // ticket and then snapshots sees consistent numbers).
+    let mut done: Vec<(Pending, Vec<Tensor>)> = Vec::with_capacity(batch.len());
+    if batch.len() == 1 {
+        if let Some(p) = batch.pop() {
+            let mut hook = model.hook();
+            match plan.run(&model.graph, &p.inputs, &mut hook) {
+                Ok(out) => done.push((p, out)),
+                Err(e) => fail(sh, &p, e),
+            }
+        }
+    } else {
+        let inputs: Vec<Vec<Tensor>> = batch
+            .iter_mut()
+            .map(|p| std::mem::take(&mut p.inputs))
+            .collect();
+        match plan.run_batch(&model.graph, &inputs, || model.hook()) {
+            Ok(outs) => {
+                for (p, (out, _hook)) in batch.into_iter().zip(outs) {
+                    done.push((p, out));
+                }
+            }
+            Err(e) => {
+                for p in &batch {
+                    fail(sh, p, e.clone());
+                }
+            }
+        }
+    }
+    if !done.is_empty() {
+        let lat_us: Vec<u64> = done
+            .iter()
+            .map(|(p, _)| p.enqueued.elapsed().as_micros() as u64)
+            .collect();
+        sh.stats.record_batch(&lat_us);
+        ptq_trace::counter(Level::Info, "serve.completed", lat_us.len() as u64, &[]);
+        for (p, out) in done {
+            let _ = p.tx.send(Ok(out));
+        }
+    }
+}
+
+/// Answer one request with an execution error.
+fn fail(sh: &Shared, p: &Pending, e: ptq_nn::PtqError) {
+    sh.stats.failed.fetch_add(1, Ordering::Relaxed);
+    ptq_trace::counter(Level::Info, "serve.exec_failed", 1, &[]);
+    let _ = p.tx.send(Err(ServeError::Exec(e)));
+}

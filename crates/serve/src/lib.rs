@@ -1,0 +1,67 @@
+//! # ptq-serve — async batched serving over quantized models
+//!
+//! The serving layer the paper's efficiency story ultimately cashes out
+//! in: FP8-stored weights cut resident bytes 4×, the fused `*_q` kernels
+//! run straight off the codes, and this crate turns that into a
+//! request/response engine with the scheduling machinery a real
+//! deployment needs:
+//!
+//! * **Dynamic batching** — same-shape requests arriving within a
+//!   configurable latency window coalesce into one
+//!   [`ExecPlan::run_batch`](ptq_nn::ExecPlan::run_batch) dispatch.
+//!   Each request still executes independently (no tensor
+//!   concatenation), so batched responses are **bit-identical** to
+//!   unbatched ones — the window trades latency for throughput, never
+//!   for accuracy.
+//! * **Admission control** — a bounded queue turns overload into typed
+//!   [`ServeError::QueueFull`] backpressure instead of unbounded memory
+//!   growth and latency collapse.
+//! * **Deadline shedding** — requests whose deadline expires while
+//!   queued are answered with [`ServeError::DeadlineExceeded`] *before*
+//!   any compute is spent on them.
+//! * **Latency accounting** — exact p50/p95/p99 end-to-end percentiles
+//!   plus submitted/completed/shed/rejected counters via
+//!   [`Engine::stats`], mirrored into [`ptq_trace`].
+//!
+//! Configuration rides the consolidated [`ptq_core::EngineSpec`]: the
+//! same serializable spec that drives [`ptq_core::PtqSession`] carries a
+//! `serving` section, and a saved artifact restores it on cold start
+//! ([`Engine::from_artifact`]).
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use ptq_core::prelude::*;
+//! use ptq_fp8::Fp8Format;
+//! use ptq_models::{build_zoo, ZooFilter};
+//! use ptq_serve::Engine;
+//!
+//! fn main() -> Result<(), Box<dyn std::error::Error>> {
+//!     let zoo = build_zoo(ZooFilter::Quick);
+//!     let out = PtqSession::new(QuantConfig::fp8(Fp8Format::E4M3)).quantize(&zoo[0])?;
+//!     let spec = EngineSpec::from_config(&out.model.config);
+//!     let engine = Engine::new(out.model, &spec)?;
+//!     let outputs = engine.submit(zoo[0].eval[0].clone())?.wait()?;
+//!     println!("served {} output tensors; stats {:?}", outputs.len(), engine.stats());
+//!     Ok(())
+//! }
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod metrics;
+
+pub use engine::{Engine, Ticket};
+pub use error::ServeError;
+pub use metrics::EngineStats;
+
+// The engine API is Send-safe by construction; pin it at compile time so
+// a refactor that loses it fails here, not in a downstream build.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<ServeError>();
+    assert_send_sync::<EngineStats>();
+    assert_send::<Ticket>();
+};
