@@ -12,6 +12,13 @@
 #       summary also reports GFLOP/s and fraction-of-roofline computed
 #       from the machine probes in the same run
 #
+# Additionally gates the decode_bench bin (not criterion — it saves its
+# own bench_results/decode_bench.json): incremental KV-cache decoding
+# must stay >= min_speedup x over same-run full-window recompute, stay
+# bit-identical under the f32 cache, and FP8 caches must shrink below
+# max_fp8_cache_fraction of f32 bytes at bounded logits drift
+# (ci/bench_baseline_decode.json).
+#
 # Ratios (coded / reference, same run, same machine) are compared instead
 # of absolute times so the gates are stable across runner hardware; a
 # measured ratio above baseline * (1 + tolerance) + slack fails.
@@ -119,10 +126,55 @@ if failed:
 EOF
 }
 
+run_decode_gate() {
+    local baseline="$1" results="bench_results/decode_bench.json"
+
+    if [ "${SKIP_BENCH_RUN:-0}" != "1" ]; then
+        cargo run --release -p ptq-bench --bin decode_bench -- --quick
+    fi
+    test -s "$results" || { echo "no decode results at $results" >&2; exit 1; }
+
+    RESULTS="$results" BASELINE="$baseline" python3 - <<'EOF'
+import json
+import os
+import sys
+
+r = json.load(open(os.environ["RESULTS"]))
+base = json.load(open(os.environ["BASELINE"]))
+
+rows = {row["cache"]: row for row in r["rows"]}
+f32 = rows.get("f32") or sys.exit("no f32-cache row in decode results")
+if not f32["bit_identical"]:
+    sys.exit("f32-cache incremental decode is no longer bit-identical "
+             "to full-window recompute")
+if f32["speedup"] < base["min_speedup"]:
+    sys.exit(f"decode speedup regressed: {f32['speedup']:.2f}x < "
+             f"{base['min_speedup']}x floor (seq {r['seq']})")
+print(f"ok   decode/f32: {f32['speedup']:.2f}x over full-window "
+      f"(floor {base['min_speedup']}x), bit-identical")
+
+fp8 = [row for name, row in rows.items() if name.startswith("fp8-")]
+if len(fp8) < 3:
+    sys.exit(f"expected 3 FP8 cache rows, got {len(fp8)}")
+for row in fp8:
+    frac = row["cache_bytes"] / row["cache_bytes_f32"]
+    if frac >= base["max_fp8_cache_fraction"]:
+        sys.exit(f"{row['cache']}: cache fraction {frac:.3f} >= "
+                 f"{base['max_fp8_cache_fraction']}")
+    if row["max_rel_drift"] > base["max_fp8_drift"]:
+        sys.exit(f"{row['cache']}: logits drift {row['max_rel_drift']:.3f} "
+                 f"> {base['max_fp8_drift']} bound")
+    print(f"ok   decode/{row['cache']}: {frac:.3f} of f32 cache bytes, "
+          f"max drift {row['max_rel_drift']:.2e}, "
+          f"{row['speedup']:.2f}x over full-window")
+EOF
+}
+
 run_gate act_qq_vs_fakequant ci/bench_baseline_act_qq.json \
     "${BENCH_NDJSON:-$PWD/target/act_qq_bench.ndjson}" \
     "${BENCH_SUMMARY:-bench_results/act_qq_bench_summary.json}"
 run_gate roofline ci/bench_baseline_roofline.json \
     "${ROOFLINE_NDJSON:-$PWD/target/roofline_bench.ndjson}" \
     "${ROOFLINE_SUMMARY:-bench_results/roofline_summary.json}"
+run_decode_gate ci/bench_baseline_decode.json
 echo "bench regression gates OK"

@@ -41,8 +41,9 @@ pub const MAGIC: [u8; 8] = *b"PTQ8ART\0";
 ///
 /// History: v1 = the original nine-chunk layout; v2 = the CONFIG chunk
 /// grew the `EngineSpec` serving section (request batching / admission
-/// control / deadline defaults for `crates/serve`).
-pub const VERSION: u32 = 2;
+/// control / deadline defaults for `crates/serve`); v3 = the CONFIG
+/// chunk grew the `kv_storage` knob (autoregressive KV-cache format).
+pub const VERSION: u32 = 3;
 
 const HEADER_LEN: usize = 16;
 const CHUNK_HEADER_LEN: usize = 16;

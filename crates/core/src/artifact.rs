@@ -35,7 +35,7 @@
 use crate::calibrate::TensorKey;
 use crate::config::{
     ActGranularity, ActivationStorage, Approach, CalibMethod, Coverage, DataFormat, Granularity,
-    QuantConfig, WeightStorage,
+    KvStorage, QuantConfig, WeightStorage,
 };
 use crate::quantizer::QuantizedModel;
 use crate::spec::ServeSpec;
@@ -287,7 +287,8 @@ fn get_bool(r: &mut ByteReader<'_>, what: &str) -> Result<bool, ArtifactError> {
 
 // ---------------------------------------------------------------------
 // CONFIG chunk: QuantConfig fields in declaration order, followed by the
-// EngineSpec serving section (container version 2).
+// EngineSpec serving section (serving since container version 2,
+// kv_storage since version 3).
 // ---------------------------------------------------------------------
 
 fn encode_config(cfg: &QuantConfig, serving: &ServeSpec) -> Vec<u8> {
@@ -347,6 +348,13 @@ fn encode_config(cfg: &QuantConfig, serving: &ServeSpec) -> Vec<u8> {
         KernelPath::Blocked => 0,
         KernelPath::ScalarReference => 1,
     });
+    match cfg.kv_storage {
+        KvStorage::F32 => w.put_u8(0),
+        KvStorage::Fp8 { format } => {
+            w.put_u8(1);
+            put_fp8_format(&mut w, format);
+        }
+    }
     // Serving section: all fixed-width, so any value re-encodes
     // byte-identically (canonical) and corruption is caught by the
     // container CRC rather than by range checks here.
@@ -461,6 +469,17 @@ fn decode_config(payload: &[u8]) -> Result<(QuantConfig, ServeSpec), ArtifactErr
             })
         }
     };
+    let kv_storage = match r.get_u8("config kv storage")? {
+        0 => KvStorage::F32,
+        1 => KvStorage::Fp8 {
+            format: get_fp8_format(&mut r, "config kv format")?,
+        },
+        x => {
+            return Err(ArtifactError::Decode {
+                detail: format!("config kv storage: unknown discriminant {x}"),
+            })
+        }
+    };
     let max_batch = r.get_usize("config serving max_batch")?;
     let batch_window_us = r.get_usize("config serving batch_window_us")?;
     let queue_capacity = r.get_usize("config serving queue_capacity")?;
@@ -486,6 +505,7 @@ fn decode_config(payload: &[u8]) -> Result<(QuantConfig, ServeSpec), ArtifactErr
             activation_storage,
             act_granularity,
             kernel_path,
+            kv_storage,
         },
         ServeSpec {
             max_batch,

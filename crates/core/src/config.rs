@@ -157,6 +157,37 @@ impl fmt::Display for ActivationStorage {
     }
 }
 
+/// How the autoregressive KV cache holds cached key/value rows.
+///
+/// The decode-time counterpart of [`WeightStorage`] /
+/// [`ActivationStorage`]: `F32` is the bit-identity reference (an
+/// incremental decode step reproduces the full-window forward exactly —
+/// the equivalence oracle for every decode test), `Fp8` stores cached
+/// rows as 1-byte codes plus scales for the ~4× cache-memory reduction.
+/// Cache scales follow the session's static convention: calibrated once
+/// from the prefill activations, with a per-row dynamic fallback when the
+/// prefill absmax is degenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KvStorage {
+    /// Dense f32 rows — bit-identical to full-window recompute.
+    #[default]
+    F32,
+    /// u8 FP8 codes + scales.
+    Fp8 {
+        /// Cache code format (E5M2 / E4M3 / E3M4).
+        format: Fp8Format,
+    },
+}
+
+impl fmt::Display for KvStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvStorage::F32 => write!(f, "f32"),
+            KvStorage::Fp8 { format } => write!(f, "fp8-{format}"),
+        }
+    }
+}
+
 /// Activation scale granularity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum ActGranularity {
@@ -229,6 +260,9 @@ pub struct QuantConfig {
     /// a performance/debugging knob: flipping to `ScalarReference`
     /// bisects any suspected kernel-path divergence in one run.
     pub kernel_path: KernelPath,
+    /// How the autoregressive KV cache stores cached rows (defaults to
+    /// f32, the bit-identity reference).
+    pub kv_storage: KvStorage,
 }
 
 impl QuantConfig {
@@ -251,6 +285,7 @@ impl QuantConfig {
             activation_storage: ActivationStorage::default(),
             act_granularity: ActGranularity::default(),
             kernel_path: KernelPath::default(),
+            kv_storage: KvStorage::default(),
         }
     }
 
@@ -335,6 +370,12 @@ impl QuantConfig {
     /// Builder-style: set the MAC kernel implementation path.
     pub fn with_kernel_path(mut self, path: KernelPath) -> Self {
         self.kernel_path = path;
+        self
+    }
+
+    /// Builder-style: set the KV-cache storage mode.
+    pub fn with_kv_storage(mut self, kv: KvStorage) -> Self {
+        self.kv_storage = kv;
         self
     }
 
@@ -478,6 +519,26 @@ mod tests {
             path,
             Some(serde::Value::Str("Blocked".to_string())),
             "kernel_path must serialize under a stable label"
+        );
+    }
+
+    #[test]
+    fn kv_storage_knob() {
+        let c = QuantConfig::fp8(Fp8Format::E4M3);
+        assert_eq!(c.kv_storage, KvStorage::F32);
+        let fp8 = c.with_kv_storage(KvStorage::Fp8 {
+            format: Fp8Format::E4M3,
+        });
+        assert_eq!(fp8.kv_storage.to_string(), "fp8-E4M3");
+        assert_eq!(KvStorage::F32.to_string(), "f32");
+        // The knob serializes under a stable label (sweep configs and
+        // bench JSON embed it).
+        let serde::Value::Object(fields) = QuantConfig::mixed_fp8().serialize() else {
+            panic!("config serializes as an object");
+        };
+        assert!(
+            fields.iter().any(|(k, _)| k == "kv_storage"),
+            "kv_storage must serialize under a stable label"
         );
     }
 

@@ -48,6 +48,7 @@ pub mod bn_calib;
 pub mod calib_cache;
 pub mod calibrate;
 pub mod config;
+pub mod decode;
 pub mod observer;
 pub mod quantizer;
 pub mod sensitivity;
@@ -63,8 +64,9 @@ pub use calib_cache::CalibCache;
 pub use calibrate::{CalibData, CalibrationHook, TensorKey};
 pub use config::{
     ActGranularity, ActivationStorage, Approach, CalibMethod, Coverage, DataFormat, Granularity,
-    QuantConfig, WeightStorage,
+    KvStorage, QuantConfig, WeightStorage,
 };
+pub use decode::DecodeSession;
 pub use observer::{kl_divergence_threshold, mse_sweep_threshold, percentile_threshold};
 pub use ptq_nn::{PtqError, UnwrapOk};
 pub use ptq_tensor::ops::KernelPath;
@@ -105,8 +107,9 @@ pub mod prelude {
     pub use crate::calibrate::{CalibData, CalibrationHook, TensorKey};
     pub use crate::config::{
         ActGranularity, ActivationStorage, Approach, CalibMethod, Coverage, DataFormat,
-        Granularity, QuantConfig, WeightStorage,
+        Granularity, KvStorage, QuantConfig, WeightStorage,
     };
+    pub use crate::decode::DecodeSession;
     pub use crate::quantizer::{QuantHook, QuantizedModel};
     pub use crate::sensitivity::{
         sensitivity_profile, sensitivity_profile_with, SensitivityProfile,

@@ -536,6 +536,20 @@ impl ExecHook for QuantHook<'_> {
         self.model.config.kernel_path
     }
 
+    fn kv_cache(&self, _node: &Node, _side: ptq_tensor::KvSide) -> ptq_tensor::KvCachePolicy {
+        // The cache format is a whole-model knob: every layer's K and V
+        // buffers follow `QuantConfig::kv_storage`. The scale is left
+        // `None` so the decode engine calibrates a static per-tensor
+        // scale from this model's own prefill activations.
+        match self.model.config.kv_storage {
+            crate::config::KvStorage::F32 => ptq_tensor::KvCachePolicy::F32,
+            crate::config::KvStorage::Fp8 { format } => ptq_tensor::KvCachePolicy::Fp8 {
+                format,
+                scale: None,
+            },
+        }
+    }
+
     fn before_node(&mut self, node: &Node, inputs: &mut [Tensor]) {
         if !self.model.quantized_nodes.contains(&node.id) {
             return;

@@ -105,6 +105,11 @@ impl ExecHook for ObservedQuant<'_, '_> {
         // watches, it does not steer execution.
         self.quant.kernel_path()
     }
+
+    fn kv_cache(&self, node: &Node, side: ptq_tensor::KvSide) -> ptq_tensor::KvCachePolicy {
+        // Cache-format policy stays with the quantizer as well.
+        self.quant.kv_cache(node, side)
+    }
 }
 
 /// A configured PTQ pipeline, reusable across workloads.
@@ -243,6 +248,16 @@ impl<'a> PtqSession<'a> {
     /// a kernel regression is suspected.
     pub fn kernel_path(mut self, path: KernelPath) -> Self {
         self.cfg = self.cfg.with_kernel_path(path);
+        self
+    }
+
+    /// Select how the autoregressive KV cache stores appended key/value
+    /// rows: dense f32 (the default — incremental decode is then
+    /// bit-identical to full-window recompute) or FP8 codes + a static
+    /// per-tensor scale calibrated from the prefill (≈ 1/3 the cache
+    /// bytes at a bounded, measured accuracy drift).
+    pub fn kv_storage(mut self, kv: crate::config::KvStorage) -> Self {
+        self.cfg = self.cfg.with_kv_storage(kv);
         self
     }
 

@@ -36,7 +36,7 @@
 
 use crate::config::{
     ActGranularity, ActivationStorage, Approach, CalibMethod, Coverage, DataFormat, Granularity,
-    QuantConfig, WeightStorage,
+    KvStorage, QuantConfig, WeightStorage,
 };
 use ptq_fp8::Fp8Format;
 use ptq_nn::{NodeId, PtqError};
@@ -81,6 +81,10 @@ pub struct StorageSection {
     pub activations: ActivationStorage,
     /// Activation scale granularity.
     pub act_granularity: ActGranularity,
+    /// How the autoregressive KV cache holds appended key/value rows
+    /// ([`KvStorage::F32`] = bit-identical to full-window recompute,
+    /// [`KvStorage::Fp8`] = 1-byte codes + a calibrated static scale).
+    pub kv: KvStorage,
 }
 
 /// The kernel section: which MAC implementation runs (bit-identical
@@ -170,6 +174,7 @@ impl EngineSpec {
                 weights: cfg.weight_storage,
                 activations: cfg.activation_storage,
                 act_granularity: cfg.act_granularity,
+                kv: cfg.kv_storage,
             },
             kernel: KernelSection {
                 path: cfg.kernel_path,
@@ -198,6 +203,7 @@ impl EngineSpec {
             activation_storage: self.storage.activations,
             act_granularity: self.storage.act_granularity,
             kernel_path: self.kernel.path,
+            kv_storage: self.storage.kv,
         }
     }
 
@@ -292,6 +298,15 @@ impl EngineSpec {
                     ActGranularity::PerTensor => str_value("per-tensor"),
                     ActGranularity::PerTile(t) => {
                         Value::Object(vec![("per-tile".into(), Value::Num(t as f64))])
+                    }
+                },
+            ),
+            (
+                "kv".into(),
+                match self.storage.kv {
+                    KvStorage::F32 => str_value("f32"),
+                    KvStorage::Fp8 { format } => {
+                        Value::Object(vec![("fp8".into(), str_value(&format.to_string()))])
                     }
                 },
             ),
@@ -573,12 +588,13 @@ fn decode_storage_section(v: Option<&Value>) -> Result<StorageSection, PtqError>
             weights: WeightStorage::default(),
             activations: ActivationStorage::default(),
             act_granularity: ActGranularity::default(),
+            kv: KvStorage::default(),
         });
     };
     let obj = as_object(v, "storage")?;
     check_keys(
         obj,
-        &["weights", "activations", "act_granularity"],
+        &["weights", "activations", "act_granularity", "kv"],
         "storage",
     )?;
     let weights = match v.get("weights") {
@@ -608,10 +624,35 @@ fn decode_storage_section(v: Option<&Value>) -> Result<StorageSection, PtqError>
             ))
         }
     };
+    let kv = match v.get("kv") {
+        None => KvStorage::default(),
+        Some(Value::Str(s)) if s == "f32" => KvStorage::F32,
+        Some(k @ Value::Object(_)) => {
+            let obj = as_object(k, "storage.kv")?;
+            check_keys(obj, &["fp8"], "storage.kv")?;
+            let f = k
+                .get("fp8")
+                .ok_or_else(|| spec_err("storage.kv needs \"fp8\"".into()))?;
+            match decode_format(f, "storage.kv.fp8")? {
+                DataFormat::Fp8(format) => KvStorage::Fp8 { format },
+                other => {
+                    return Err(spec_err(format!(
+                        "storage.kv.fp8: {other} is not an FP8 format"
+                    )))
+                }
+            }
+        }
+        Some(_) => {
+            return Err(spec_err(
+                "storage.kv must be \"f32\" or {\"fp8\": \"E5M2|E4M3|E3M4\"}".into(),
+            ))
+        }
+    };
     Ok(StorageSection {
         weights,
         activations,
         act_granularity,
+        kv,
     })
 }
 

@@ -254,8 +254,18 @@ pub fn decoder_workload(family: &str, cfg: &NlpConfig) -> Workload {
 /// at every forward — the Table-4 text-generation harness. Returns the
 /// generated token ids (prompt excluded).
 ///
-/// The decoder re-reads a full `cfg.seq`-length window each step (static
-/// shapes), shifting the window as tokens are produced.
+/// This is the *full-window reference decoder*: every step re-runs the
+/// whole `cfg.seq`-length window (static shapes), shifting the window as
+/// tokens are produced — `O(seq²)` work per token. Incremental decoding
+/// lives in `ptq_nn::DecodePlan`/`DecodeState` (and `ptq_core`'s
+/// `DecodeSession`): one prefill pass seeds a per-layer KV cache, then
+/// each step runs a single-row schedule against the cached keys/values.
+/// Under an f32 cache the incremental path is bit-identical to this
+/// function, which is why it stays — it is the equivalence oracle the
+/// decode bench's `--full-window` mode and the `kv_cache_equivalence`
+/// suite compare against. (Note the window *shifts* here while the cache
+/// path uses absolute positions 0..t; the two agree until the window is
+/// full, which is exactly the regime the oracle runs in.)
 pub fn generate_greedy(
     graph: &Graph,
     cfg: &NlpConfig,

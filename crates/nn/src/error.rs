@@ -67,6 +67,18 @@ pub enum PtqError {
     /// A saved artifact could not be read or written (container-level
     /// corruption, version skew, or a malformed chunk payload).
     Artifact(ptq_artifact::ArtifactError),
+    /// The incremental-decode planner met a graph it cannot run
+    /// step-wise (an op outside the decoder set, or an attention pattern
+    /// it cannot match to a cache).
+    DecodeUnsupported {
+        /// Name of the offending node (or the pattern stage that failed).
+        node: String,
+        /// What could not be decoded incrementally.
+        detail: String,
+    },
+    /// A KV cache operation failed: capacity overflow (the session
+    /// outgrew its planned window), a ragged row, or a bad layer index.
+    KvCache(ptq_tensor::kv::KvError),
     /// An unclassified failure, e.g. a panic caught at a fail-soft
     /// boundary.
     Internal(String),
@@ -96,6 +108,10 @@ impl fmt::Display for PtqError {
             PtqError::EmptyGraph => write!(f, "graph has no nodes"),
             PtqError::InvalidTarget { detail } => write!(f, "invalid target: {detail}"),
             PtqError::Artifact(e) => write!(f, "artifact error: {e}"),
+            PtqError::DecodeUnsupported { node, detail } => {
+                write!(f, "incremental decode unsupported at {node}: {detail}")
+            }
+            PtqError::KvCache(e) => write!(f, "kv cache error: {e}"),
             PtqError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -106,6 +122,12 @@ impl std::error::Error for PtqError {}
 impl From<ptq_artifact::ArtifactError> for PtqError {
     fn from(e: ptq_artifact::ArtifactError) -> Self {
         PtqError::Artifact(e)
+    }
+}
+
+impl From<ptq_tensor::kv::KvError> for PtqError {
+    fn from(e: ptq_tensor::kv::KvError) -> Self {
+        PtqError::KvCache(e)
     }
 }
 

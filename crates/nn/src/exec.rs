@@ -282,12 +282,21 @@ pub(crate) fn eval_node_into(
             // attention mass can leak through the mask however large
             // the score scale is; softmax_lastdim turns fully masked
             // rows into zeros rather than NaN.
+            //
+            // Rectangular `[b, s1, s2]` scores (s1 < s2) are
+            // *bottom-aligned*: the s1 query rows are the last s1 of an
+            // s2-long key sequence, so row i sees keys `j <= i + (s2 -
+            // s1)`. The square case reduces to the classic mask, and the
+            // incremental-decode step (s1 == 1) masks nothing — the
+            // single newest query row must not re-mask already-emitted
+            // positions.
             let x = &ins[0];
             let (b, s1, s2) = (x.dim(0), x.dim(1), x.dim(2));
+            let off = s2 - s1;
             out.copy_from(x);
             for bi in 0..b {
                 for i in 0..s1 {
-                    for j in (i + 1)..s2 {
+                    for j in (i + 1 + off)..s2 {
                         *out.at_mut(&[bi, i, j]) = f32::NEG_INFINITY;
                     }
                 }

@@ -120,6 +120,21 @@ pub trait ExecHook {
     fn kernel_path(&self) -> ptq_tensor::ops::KernelPath {
         ptq_tensor::ops::KernelPath::default()
     }
+
+    /// How the incremental-decode engine should store the KV cache rows
+    /// produced by `node` (the K/V projection whose output rows are
+    /// cached; `side` says which of the two it feeds). Probed once per
+    /// attention layer when a [`crate::DecodeState`] is constructed.
+    ///
+    /// `scale` of a returned [`KvCachePolicy::Fp8`](ptq_tensor::KvCachePolicy)
+    /// may be left `None`: the decode engine then calibrates a static
+    /// per-tensor scale from the prefill activations (falling back to
+    /// per-row dynamic scales when the prefill absmax is degenerate).
+    /// The default is [`KvCachePolicy::F32`](ptq_tensor::KvCachePolicy) —
+    /// the bit-identity reference — so existing hooks are unaffected.
+    fn kv_cache(&self, _node: &Node, _side: ptq_tensor::KvSide) -> ptq_tensor::KvCachePolicy {
+        ptq_tensor::KvCachePolicy::F32
+    }
 }
 
 /// A hook that does nothing: plain FP32 inference.

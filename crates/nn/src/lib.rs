@@ -32,7 +32,14 @@
 //!   through one shared per-node kernel path. [`PlanSet`] caches plans per
 //!   input shape.
 
+//! * [`ExecPlan::plan_decode`] → [`DecodePlan`] + [`DecodeState`] —
+//!   incremental autoregressive decoding: one full-window prefill seeds a
+//!   per-layer [`ptq_tensor::KvCache`], then each generated token runs a
+//!   single-row step schedule that is bit-identical (under an F32 cache)
+//!   to re-running the full window.
+
 pub mod builder;
+pub mod decode;
 pub mod error;
 mod exec;
 pub mod graph;
@@ -42,6 +49,7 @@ pub mod serialize;
 pub mod validate;
 
 pub use builder::GraphBuilder;
+pub use decode::{DecodePlan, DecodeState};
 pub use error::{PtqError, Shape, UnwrapOk};
 pub use graph::{Graph, Node, NodeId, Op, OpClass, ValueId};
 pub use interp::{ExecHook, NoopHook};

@@ -106,7 +106,11 @@ impl Graph {
     /// Shape-infer one node. `shapes` must already hold the shapes of the
     /// node's inputs and of all bound parameters (guaranteed after
     /// [`Graph::validate_structure`]).
-    fn infer_node_shape(&self, node: &Node, shapes: &[Option<Shape>]) -> Result<Shape, PtqError> {
+    pub(crate) fn infer_node_shape(
+        &self,
+        node: &Node,
+        shapes: &[Option<Shape>],
+    ) -> Result<Shape, PtqError> {
         let shape_err = |e: shape::ShapeError| PtqError::ShapeMismatch {
             node: node.name.clone(),
             detail: e.0,

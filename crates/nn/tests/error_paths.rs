@@ -274,7 +274,8 @@ fn pool_and_shape_op_mismatches() {
     let x = b.input();
     let y = b.causal_mask(x);
     let g = b.finish(vec![y]);
-    shape_err(&g, &[Tensor::ones(&[2, 4, 5])]);
+    // More query rows than key positions cannot be bottom-aligned.
+    shape_err(&g, &[Tensor::ones(&[2, 5, 4])]);
     shape_err(&g, &[Tensor::ones(&[4, 4])]);
 
     let mut b = GraphBuilder::new();

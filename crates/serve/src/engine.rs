@@ -32,13 +32,14 @@
 //! `Mutex<State>` + `Condvar` pair. The engine is `Send + Sync` by
 //! construction and compile-time asserted in `lib.rs`.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use ptq_core::{EngineSpec, PtqArtifact, QuantizedModel, ServeSpec};
+use ptq_nn::{DecodePlan, DecodeState};
 use ptq_tensor::Tensor;
 use ptq_trace::Level;
 
@@ -62,6 +63,31 @@ impl Ticket {
     }
 }
 
+/// Handle for one in-flight generation request: a stream of greedy
+/// tokens produced one engine step at a time ([`Engine::generate`]).
+#[derive(Debug)]
+pub struct GenTicket {
+    rx: Receiver<Result<f32, ServeError>>,
+}
+
+impl GenTicket {
+    /// Block for the next token. `None` means the stream ended: the
+    /// requested tokens were produced (or the model's window filled), or
+    /// an error was already delivered. Errors terminate the stream.
+    pub fn next(&self) -> Option<Result<f32, ServeError>> {
+        self.rx.recv().ok()
+    }
+
+    /// Drain the stream into a vector of token ids, or the first error.
+    pub fn collect(self) -> Result<Vec<f32>, ServeError> {
+        let mut out = Vec::new();
+        while let Some(tok) = self.next() {
+            out.push(tok?);
+        }
+        Ok(out)
+    }
+}
+
 /// One queued request.
 struct Pending {
     inputs: Vec<Tensor>,
@@ -74,9 +100,42 @@ struct Pending {
     tx: SyncSender<Reply>,
 }
 
+/// One queued generation session. Between engine steps the whole session
+/// lives in the queue: a worker pops it, runs *one* decode step (prefill
+/// on the first), streams the token, and re-enqueues it at the back —
+/// so an in-flight generation never starves single-shot traffic and
+/// multiple generations interleave fairly.
+struct GenSession {
+    plan: Arc<DecodePlan>,
+    state: DecodeState,
+    prompt: Vec<f32>,
+    /// Whether the prefill step already ran.
+    started: bool,
+    /// Last emitted token (the next step's input).
+    last: f32,
+    /// Tokens still to produce.
+    remaining: usize,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    budget_us: u64,
+    tx: Sender<Result<f32, ServeError>>,
+}
+
+/// A queue entry: a single-shot request or a resident generation session.
+enum Work {
+    Single(Pending),
+    Gen(Box<GenSession>),
+}
+
+/// What a worker pulled off the queue to run next.
+enum Dispatch {
+    Batch(Vec<Pending>),
+    Step(Box<GenSession>),
+}
+
 /// Scheduling state guarded by the engine mutex.
 struct State {
-    queue: VecDeque<Pending>,
+    queue: VecDeque<Work>,
     shutdown: bool,
 }
 
@@ -87,6 +146,9 @@ struct Shared {
     state: Mutex<State>,
     cond: Condvar,
     stats: Stats,
+    /// Decode plans per window capacity, shared by all generation
+    /// sessions over this model (planning is once per capacity).
+    decode_plans: Mutex<HashMap<usize, Arc<DecodePlan>>>,
 }
 
 /// Async batched serving engine over a quantized model.
@@ -149,6 +211,7 @@ impl Engine {
             }),
             cond: Condvar::new(),
             stats: Stats::default(),
+            decode_plans: Mutex::new(HashMap::new()),
         });
         let mut workers = Vec::with_capacity(n_workers);
         for i in 0..n_workers {
@@ -204,14 +267,14 @@ impl Engine {
             });
         }
         let budget_us = budget.map(|d| d.as_micros() as u64).unwrap_or(0);
-        st.queue.push_back(Pending {
+        st.queue.push_back(Work::Single(Pending {
             inputs,
             key,
             enqueued: now,
             deadline: budget.map(|d| now + d),
             budget_us,
             tx,
-        });
+        }));
         sh.stats.submitted.fetch_add(1, Ordering::Relaxed);
         ptq_trace::counter(Level::Info, "serve.enqueued", 1, &[]);
         ptq_trace::gauge(
@@ -223,6 +286,105 @@ impl Engine {
         drop(st);
         sh.cond.notify_one();
         Ok(Ticket { rx })
+    }
+
+    /// Submit a streaming generation request under the spec's default
+    /// deadline (if any): greedy-decode up to `max_new` tokens from
+    /// `prompt` through the incremental KV-cache engine
+    /// ([`ptq_nn::DecodePlan`]), at window `capacity` (the sequence
+    /// length the model was built for). Tokens stream through the
+    /// returned [`GenTicket`] as they are produced; the session runs one
+    /// decode step per engine dispatch and re-queues behind waiting
+    /// traffic, so long generations never monopolize the workers.
+    ///
+    /// The KV-cache format follows the model's
+    /// [`KvStorage`](ptq_core::KvStorage) knob; under the default f32
+    /// cache every generated token is bit-identical to full-window
+    /// recompute.
+    pub fn generate(
+        &self,
+        prompt: Vec<f32>,
+        max_new: usize,
+        capacity: usize,
+    ) -> Result<GenTicket, ServeError> {
+        let budget = self
+            .shared
+            .spec
+            .default_deadline_ms
+            .map(|ms| Duration::from_millis(ms as u64));
+        self.generate_with_deadline(prompt, max_new, capacity, budget)
+    }
+
+    /// [`Engine::generate`] with an explicit whole-generation deadline
+    /// budget (`None` = no deadline). The deadline covers the entire
+    /// stream: a session still queued past it is shed mid-generation
+    /// with [`ServeError::DeadlineExceeded`] on the stream.
+    pub fn generate_with_deadline(
+        &self,
+        prompt: Vec<f32>,
+        max_new: usize,
+        capacity: usize,
+        budget: Option<Duration>,
+    ) -> Result<GenTicket, ServeError> {
+        let sh = &self.shared;
+        if max_new == 0 {
+            return Err(ServeError::Exec(ptq_nn::PtqError::InvalidTarget {
+                detail: "generate: max_new must be at least 1".into(),
+            }));
+        }
+        // Plan (or reuse the plan for) this capacity before admission so
+        // non-decoder models fail the submit call, not the stream.
+        let plan = {
+            let mut plans = sh
+                .decode_plans
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match plans.get(&capacity) {
+                Some(p) => Arc::clone(p),
+                None => {
+                    let p = Arc::new(
+                        sh.model
+                            .graph
+                            .plan_decode(capacity)
+                            .map_err(ServeError::Exec)?,
+                    );
+                    plans.insert(capacity, Arc::clone(&p));
+                    p
+                }
+            }
+        };
+        let now = Instant::now();
+        let state = DecodeState::new(&plan);
+        let (tx, rx) = mpsc::channel();
+        let mut st = lock_state(sh);
+        if st.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if st.queue.len() >= sh.spec.queue_capacity {
+            sh.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            ptq_trace::counter(Level::Info, "serve.rejected", 1, &[]);
+            return Err(ServeError::QueueFull {
+                capacity: sh.spec.queue_capacity,
+            });
+        }
+        let budget_us = budget.map(|d| d.as_micros() as u64).unwrap_or(0);
+        st.queue.push_back(Work::Gen(Box::new(GenSession {
+            plan,
+            state,
+            prompt,
+            started: false,
+            last: 0.0,
+            remaining: max_new,
+            enqueued: now,
+            deadline: budget.map(|d| now + d),
+            budget_us,
+            tx,
+        })));
+        sh.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        ptq_trace::counter(Level::Info, "serve.gen_enqueued", 1, &[]);
+        drop(st);
+        sh.cond.notify_one();
+        Ok(GenTicket { rx })
     }
 
     /// Point-in-time serving statistics (exact percentiles).
@@ -287,22 +449,39 @@ fn lock_state(sh: &Shared) -> MutexGuard<'_, State> {
     sh.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Worker: form a batch (blocking), run it, reply; exit when shut down
-/// with an empty queue.
+/// Worker: pull the next dispatch (blocking), run it, reply; exit when
+/// shut down with an empty queue.
 fn worker_loop(sh: &Shared) {
-    while let Some(batch) = next_batch(sh) {
-        run_and_reply(sh, batch);
+    loop {
+        match next_dispatch(sh) {
+            Some(Dispatch::Batch(batch)) => run_and_reply(sh, batch),
+            Some(Dispatch::Step(gen)) => run_gen_step(sh, gen),
+            None => return,
+        }
     }
 }
 
-/// Blocks until a batch is ready. `None` means shutdown-and-drained.
-fn next_batch(sh: &Shared) -> Option<Vec<Pending>> {
+/// Blocks until work is ready. `None` means shutdown-and-drained.
+fn next_dispatch(sh: &Shared) -> Option<Dispatch> {
     let mut st = lock_state(sh);
     loop {
         let now = Instant::now();
         shed_expired(sh, &mut st, now);
         let (head_key, flush_at) = match st.queue.front() {
-            Some(head) => (
+            Some(Work::Gen(_)) => {
+                // Generation steps never batch and never wait for peers:
+                // pop the session and run exactly one step.
+                let Some(Work::Gen(g)) = st.queue.pop_front() else {
+                    continue;
+                };
+                let more = !st.queue.is_empty();
+                drop(st);
+                if more {
+                    sh.cond.notify_one();
+                }
+                return Some(Dispatch::Step(g));
+            }
+            Some(Work::Single(head)) => (
                 head.key.clone(),
                 head.enqueued + Duration::from_micros(sh.spec.batch_window_us as u64),
             ),
@@ -314,7 +493,11 @@ fn next_batch(sh: &Shared) -> Option<Vec<Pending>> {
                 continue;
             }
         };
-        let peers = st.queue.iter().filter(|p| p.key == head_key).count();
+        let peers = st
+            .queue
+            .iter()
+            .filter(|w| matches!(w, Work::Single(p) if p.key == head_key))
+            .count();
         let dispatch =
             peers >= sh.spec.max_batch || sh.spec.max_batch == 1 || now >= flush_at || st.shutdown;
         if dispatch {
@@ -331,7 +514,7 @@ fn next_batch(sh: &Shared) -> Option<Vec<Pending>> {
                 // Let another worker start on the new head immediately.
                 sh.cond.notify_one();
             }
-            return Some(batch);
+            return Some(Dispatch::Batch(batch));
         }
         // Wait for peers until the head's latency budget runs out; a
         // submit or shutdown notification re-evaluates early.
@@ -344,39 +527,55 @@ fn next_batch(sh: &Shared) -> Option<Vec<Pending>> {
 }
 
 /// Answer and remove every queued request whose deadline has passed —
-/// shed before compute, never after.
+/// shed before compute, never after. Generation sessions carry a
+/// whole-stream deadline: an expired one is shed mid-generation.
 fn shed_expired(sh: &Shared, st: &mut State, now: Instant) {
     let mut i = 0;
     while i < st.queue.len() {
         let expired = st
             .queue
             .get(i)
-            .and_then(|p| p.deadline)
+            .and_then(|w| match w {
+                Work::Single(p) => p.deadline,
+                Work::Gen(g) => g.deadline,
+            })
             .is_some_and(|d| d <= now);
         if !expired {
             i += 1;
             continue;
         }
-        if let Some(p) = st.queue.remove(i) {
+        if let Some(w) = st.queue.remove(i) {
             sh.stats.shed.fetch_add(1, Ordering::Relaxed);
             ptq_trace::counter(Level::Info, "serve.deadline_shed", 1, &[]);
-            let waited_us = now.duration_since(p.enqueued).as_micros() as u64;
-            let _ = p.tx.send(Err(ServeError::DeadlineExceeded {
+            let (enqueued, budget_us) = match &w {
+                Work::Single(p) => (p.enqueued, p.budget_us),
+                Work::Gen(g) => (g.enqueued, g.budget_us),
+            };
+            let waited_us = now.duration_since(enqueued).as_micros() as u64;
+            let err = ServeError::DeadlineExceeded {
                 waited_us,
-                budget_us: p.budget_us,
-            }));
+                budget_us,
+            };
+            match w {
+                Work::Single(p) => drop(p.tx.send(Err(err))),
+                Work::Gen(g) => drop(g.tx.send(Err(err))),
+            }
         }
     }
 }
 
-/// Remove up to `max_batch` requests matching `key` from the queue front
-/// inward, preserving the relative order of everything left behind.
-fn take_batch(queue: &mut VecDeque<Pending>, key: &[Vec<usize>], max_batch: usize) -> Vec<Pending> {
+/// Remove up to `max_batch` single-shot requests matching `key` from the
+/// queue front inward, preserving the relative order of everything left
+/// behind (queued generation sessions included).
+fn take_batch(queue: &mut VecDeque<Work>, key: &[Vec<usize>], max_batch: usize) -> Vec<Pending> {
     let mut batch = Vec::new();
     let mut i = 0;
     while i < queue.len() && batch.len() < max_batch {
-        if queue.get(i).is_some_and(|p| p.key == key) {
-            if let Some(p) = queue.remove(i) {
+        if queue
+            .get(i)
+            .is_some_and(|w| matches!(w, Work::Single(p) if p.key == key))
+        {
+            if let Some(Work::Single(p)) = queue.remove(i) {
                 batch.push(p);
             }
         } else {
@@ -384,6 +583,62 @@ fn take_batch(queue: &mut VecDeque<Pending>, key: &[Vec<usize>], max_batch: usiz
         }
     }
     batch
+}
+
+/// Run one decode step of a generation session (the prefill on its first
+/// dispatch), stream the token, and re-enqueue the session at the back of
+/// the queue unless it finished. Dropping the session closes its stream —
+/// that is how [`GenTicket`] observes completion.
+fn run_gen_step(sh: &Shared, mut g: Box<GenSession>) {
+    let model = &sh.model;
+    let mut hook = model.hook();
+    let logits = if g.started {
+        g.state.step(&g.plan, &model.graph, g.last, &mut hook)
+    } else {
+        g.started = true;
+        let prompt = Tensor::from_slice(&g.prompt);
+        g.prompt = Vec::new();
+        g.state.prefill(&g.plan, &model.graph, &prompt, &mut hook)
+    };
+    let logits = match logits {
+        Ok(l) => l,
+        Err(e) => {
+            sh.stats.failed.fetch_add(1, Ordering::Relaxed);
+            ptq_trace::counter(Level::Info, "serve.exec_failed", 1, &[]);
+            let _ = g.tx.send(Err(ServeError::Exec(e)));
+            return;
+        }
+    };
+    let token = argmax(logits.data());
+    ptq_trace::counter(Level::Info, "serve.gen_tokens", 1, &[]);
+    g.remaining -= 1;
+    g.last = token;
+    // A dropped GenTicket cancels the rest of the stream.
+    let listening = g.tx.send(Ok(token)).is_ok();
+    let window_full = g.state.pos() >= g.plan.seq();
+    if g.remaining == 0 || window_full || !listening {
+        let lat_us = g.enqueued.elapsed().as_micros() as u64;
+        sh.stats.record_batch(&[lat_us]);
+        ptq_trace::counter(Level::Info, "serve.completed", 1, &[]);
+        return; // drop closes the stream
+    }
+    let mut st = lock_state(sh);
+    st.queue.push_back(Work::Gen(g));
+    drop(st);
+    sh.cond.notify_one();
+}
+
+/// Index of the largest logit (first on ties; 0.0 on an empty row).
+fn argmax(logits: &[f32]) -> f32 {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best as f32
 }
 
 /// Execute a formed batch and deliver every reply. Single requests take

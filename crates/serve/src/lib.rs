@@ -22,6 +22,12 @@
 //! * **Latency accounting** — exact p50/p95/p99 end-to-end percentiles
 //!   plus submitted/completed/shed/rejected counters via
 //!   [`Engine::stats`], mirrored into [`ptq_trace`].
+//! * **Streaming generation** — [`Engine::generate`] runs multi-token
+//!   greedy decoding through the incremental KV-cache engine
+//!   ([`ptq_nn::DecodePlan`]), streaming tokens as they are produced.
+//!   A session runs *one* decode step per dispatch and re-queues behind
+//!   waiting traffic, so long generations interleave fairly with
+//!   single-shot requests instead of starving them.
 //!
 //! Configuration rides the consolidated [`ptq_core::EngineSpec`]: the
 //! same serializable spec that drives [`ptq_core::PtqSession`] carries a
@@ -51,7 +57,7 @@ pub mod engine;
 pub mod error;
 pub mod metrics;
 
-pub use engine::{Engine, Ticket};
+pub use engine::{Engine, GenTicket, Ticket};
 pub use error::ServeError;
 pub use metrics::EngineStats;
 
@@ -64,4 +70,5 @@ const _: () = {
     assert_send_sync::<ServeError>();
     assert_send_sync::<EngineStats>();
     assert_send::<Ticket>();
+    assert_send::<GenTicket>();
 };

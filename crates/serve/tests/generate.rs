@@ -1,0 +1,133 @@
+//! Streaming-generation suite for the serving engine: tokens produced
+//! through `Engine::generate` must be bit-identical to a direct
+//! `DecodeSession` greedy decode of the same model (which is itself
+//! pinned bit-identical to full-window recompute under the default f32
+//! KV cache), streams must terminate exactly, and generation sessions
+//! must interleave with — not starve — single-shot traffic.
+
+use std::time::Duration;
+
+use ptq_core::prelude::*;
+use ptq_core::DecodeSession;
+use ptq_fp8::Fp8Format;
+use ptq_models::{build_zoo_limited, Workload, ZooFilter};
+use ptq_serve::{Engine, ServeError};
+
+/// The quick zoo's GPT-style decoder (index 6; seq = 12, vocab = 48).
+const DECODER_IDX: usize = 6;
+const CAPACITY: usize = 12;
+
+fn quantized_decoder() -> (Workload, QuantizedModel) {
+    let mut zoo = build_zoo_limited(ZooFilter::Quick, DECODER_IDX + 1);
+    let w = zoo.remove(DECODER_IDX);
+    let out = PtqSession::new(QuantConfig::fp8(Fp8Format::E4M3))
+        .quantize(&w)
+        .unwrap_ok();
+    (w, out.model)
+}
+
+fn spec_with(model: &QuantizedModel, tweak: impl FnOnce(&mut ServeSpec)) -> EngineSpec {
+    let mut spec = EngineSpec::from_config(&model.config);
+    tweak(&mut spec.serving);
+    spec
+}
+
+#[test]
+fn streamed_tokens_match_a_direct_decode_session_bit_for_bit() {
+    let (_w, model) = quantized_decoder();
+    let reference = model.clone();
+    let prompt = vec![3.0, 11.0, 7.0];
+    let max_new = 5;
+
+    let mut direct = DecodeSession::new(reference, CAPACITY).unwrap_ok();
+    let expected = direct.generate_greedy(&prompt, max_new).unwrap_ok();
+
+    let spec = spec_with(&model, |s| s.workers = 2);
+    let engine = Engine::new(model, &spec).unwrap();
+    let served = engine
+        .generate(prompt, max_new, CAPACITY)
+        .unwrap()
+        .collect()
+        .unwrap();
+    engine.shutdown();
+
+    assert_eq!(
+        served, expected,
+        "served stream diverged from the direct decode session"
+    );
+    assert_eq!(served.len(), max_new, "stream must deliver exactly max_new");
+}
+
+#[test]
+fn generation_interleaves_with_single_shot_traffic() {
+    let (w, model) = quantized_decoder();
+    let reference = model.clone();
+    let prompt = vec![5.0, 1.0];
+    // Enough steps that single-shot requests necessarily arrive while the
+    // generation is resident in the queue.
+    let max_new = CAPACITY - prompt.len();
+
+    let mut direct = DecodeSession::new(reference.clone(), CAPACITY).unwrap_ok();
+    let expected = direct.generate_greedy(&prompt, max_new).unwrap_ok();
+
+    // One worker: interleaving can only happen through re-queueing.
+    let spec = spec_with(&model, |s| {
+        s.workers = 1;
+        s.batch_window_us = 0;
+    });
+    let engine = Engine::new(model, &spec).unwrap();
+    let stream = engine.generate(prompt, max_new, CAPACITY).unwrap();
+    let tickets: Vec<_> = (0..4)
+        .map(|i| engine.submit(w.eval[i % w.eval.len()].clone()).unwrap())
+        .collect();
+    for t in tickets {
+        let out = t.wait().unwrap();
+        assert!(!out.is_empty(), "single-shot request starved");
+    }
+    let served = stream.collect().unwrap();
+    engine.shutdown();
+    assert_eq!(served, expected, "interleaving changed the stream");
+}
+
+#[test]
+fn generate_rejects_non_decoders_and_degenerate_requests_at_submit() {
+    // A CNN is not a causal decoder: the planner's typed rejection must
+    // surface from the `generate` call itself, not poison the stream.
+    let mut zoo = build_zoo_limited(ZooFilter::Quick, 1);
+    let w = zoo.remove(0);
+    let out = PtqSession::new(QuantConfig::fp8(Fp8Format::E4M3))
+        .quantize(&w)
+        .unwrap_ok();
+    let spec = EngineSpec::from_config(&out.model.config);
+    let engine = Engine::new(out.model, &spec).unwrap();
+    match engine.generate(vec![1.0], 3, 8) {
+        Err(ServeError::Exec(_)) => {}
+        other => panic!("expected typed planner rejection, got {other:?}"),
+    }
+    match engine.generate(vec![1.0], 0, 8) {
+        Err(ServeError::Exec(_)) => {}
+        other => panic!("expected max_new=0 rejection, got {other:?}"),
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn expired_generation_deadlines_shed_onto_the_stream() {
+    let (_w, model) = quantized_decoder();
+    let spec = spec_with(&model, |s| s.workers = 1);
+    let engine = Engine::new(model, &spec).unwrap();
+    // A zero budget expires before any step can run; the shed error must
+    // arrive on the stream, then the stream must close.
+    let stream = engine
+        .generate_with_deadline(vec![2.0], 4, CAPACITY, Some(Duration::ZERO))
+        .unwrap();
+    match stream.collect() {
+        Err(ServeError::DeadlineExceeded { .. }) => {}
+        // Timing race: the worker may dispatch the prefill before the
+        // shed pass sees the expired entry — completing is acceptable,
+        // partial silent loss is not.
+        Ok(tokens) => assert_eq!(tokens.len(), 4, "stream neither shed nor completed"),
+        Err(other) => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    engine.shutdown();
+}

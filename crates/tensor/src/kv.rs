@@ -1,0 +1,643 @@
+//! Incremental-decoding KV cache: per-layer append buffers holding
+//! attention keys/values as f32 rows or u8 FP8 codes + scales.
+//!
+//! Autoregressive decoding re-reads every past position's K/V at every
+//! step; the cache is the growing state that makes a step O(current
+//! length) instead of O(window²). Rows are stored *position-major* in the
+//! pre-head layout (`d = heads · head_dim` values per position — exactly
+//! the rows the K/V projection Linears emit), so appending a step is one
+//! contiguous row write and the per-head slice `[h·dh, (h+1)·dh)` of any
+//! row is contiguous for the step kernels in [`crate::ops::attn`].
+//!
+//! ## Storage policies
+//!
+//! * [`KvCachePolicy::F32`]: rows kept verbatim. This is the bit-identity
+//!   reference — decoding through an F32 cache reproduces the full-window
+//!   forward exactly (see `ops::attn` for the accumulation-order
+//!   argument).
+//! * [`KvCachePolicy::Fp8`]: rows encoded to u8 codes. With a **static
+//!   per-tensor scale** (calibrated from prefill activations) every row
+//!   shares one scale and decoding runs through a single 256-entry scaled
+//!   table. With no static scale the buffer falls back to **per-block
+//!   dynamic scales** — one NaN-aware absmax scale per appended row, the
+//!   same convention as [`crate::QActTensor::quantize_per_tile`] with the
+//!   row as the tile.
+//!
+//! Codes follow the crate-wide convention: `encode(v * scale)` on the way
+//! in, `lut.decode(code) / scale` on the way out, scale applied per
+//! element and never folded into an accumulation.
+//!
+//! Buffers pre-allocate their full capacity up front, so appends on the
+//! decode hot path never touch the allocator and a capacity overflow is a
+//! typed [`KvError`], not a reallocation.
+
+use ptq_fp8::{absmax_nan_aware, fp8_scale, Fp8Codec, Fp8Format, Fp8Lut};
+use std::fmt;
+
+/// Why a cache operation was rejected. All cache misuse — ragged rows,
+/// overflowing the planned window, indexing a missing layer — surfaces as
+/// a typed error, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The buffer already holds `capacity` positions; the decode session
+    /// has outgrown its planned window.
+    CapacityOverflow {
+        /// Planned position capacity.
+        capacity: usize,
+    },
+    /// An appended row's width disagrees with the buffer's `d`.
+    RowShape {
+        /// Expected row width (`heads · head_dim`).
+        expected: usize,
+        /// Width of the offered row.
+        got: usize,
+    },
+    /// A layer index is out of range.
+    LayerOutOfRange {
+        /// The offending index.
+        layer: usize,
+        /// Number of layers the cache holds.
+        layers: usize,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::CapacityOverflow { capacity } => {
+                write!(
+                    f,
+                    "kv cache capacity overflow (capacity {capacity} positions)"
+                )
+            }
+            KvError::RowShape { expected, got } => {
+                write!(
+                    f,
+                    "kv cache row width mismatch: expected {expected}, got {got}"
+                )
+            }
+            KvError::LayerOutOfRange { layer, layers } => {
+                write!(f, "kv cache layer {layer} out of range ({layers} layers)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Which side of an attention layer a cache buffer holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KvSide {
+    /// Key rows (read by the q·Kᵀ score kernel).
+    K,
+    /// Value rows (read by the probs·V context kernel).
+    V,
+}
+
+impl fmt::Display for KvSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvSide::K => write!(f, "k"),
+            KvSide::V => write!(f, "v"),
+        }
+    }
+}
+
+/// How a cache buffer stores its rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KvCachePolicy {
+    /// Dense f32 rows — the bit-identity reference.
+    F32,
+    /// u8 FP8 codes. `scale: Some(s)` is the calibrated static per-tensor
+    /// scale; `None` selects the per-row dynamic-absmax fallback.
+    Fp8 {
+        /// Code format (E5M2 / E4M3 / E3M4).
+        format: Fp8Format,
+        /// Static per-tensor scale; `None` → per-row dynamic scales.
+        scale: Option<f32>,
+    },
+}
+
+impl KvCachePolicy {
+    /// Resolve a calibration-pending policy against observed prefill
+    /// activations: `Fp8 { scale: None }` gains a static per-tensor scale
+    /// from the rows' NaN-aware absmax. A degenerate absmax (zero or
+    /// non-finite — e.g. a zero-length prefill window or poisoned
+    /// activations) keeps `scale: None`, which [`KvBuf`] serves with the
+    /// per-row dynamic fallback. `F32` and already-calibrated policies
+    /// pass through unchanged.
+    #[must_use]
+    pub fn calibrated(self, rows: &[f32]) -> KvCachePolicy {
+        match self {
+            KvCachePolicy::Fp8 {
+                format,
+                scale: None,
+            } => {
+                let a = absmax_nan_aware(rows);
+                let scale = (a.is_finite() && a > 0.0).then(|| fp8_scale(format, a));
+                KvCachePolicy::Fp8 { format, scale }
+            }
+            other => other,
+        }
+    }
+}
+
+/// Backing storage of one [`KvBuf`].
+#[derive(Debug, Clone)]
+enum KvStore {
+    F32(Vec<f32>),
+    Fp8 {
+        format: Fp8Format,
+        codes: Vec<u8>,
+        /// `Some` = static per-tensor scale (shared by every row);
+        /// `None` = one dynamic scale per appended row in `row_scales`.
+        static_scale: Option<f32>,
+        row_scales: Vec<f32>,
+    },
+}
+
+/// One append buffer: K or V rows of one attention layer.
+#[derive(Debug, Clone)]
+pub struct KvBuf {
+    d: usize,
+    capacity: usize,
+    len: usize,
+    store: KvStore,
+}
+
+impl KvBuf {
+    /// An empty buffer for `capacity` positions of `d`-wide rows, fully
+    /// pre-allocated so appends never allocate. A static FP8 scale that
+    /// is zero or non-finite would poison every code (the same hazard
+    /// [`crate::QActTensor::quantize_static`] guards), so it demotes to
+    /// the per-row dynamic fallback.
+    pub fn new(d: usize, capacity: usize, policy: KvCachePolicy) -> Self {
+        let store = match policy {
+            KvCachePolicy::F32 => KvStore::F32(Vec::with_capacity(d * capacity)),
+            KvCachePolicy::Fp8 { format, scale } => KvStore::Fp8 {
+                format,
+                codes: Vec::with_capacity(d * capacity),
+                static_scale: scale.filter(|s| s.is_finite() && *s != 0.0),
+                row_scales: Vec::with_capacity(capacity),
+            },
+        };
+        KvBuf {
+            d,
+            capacity,
+            len: 0,
+            store,
+        }
+    }
+
+    /// Row width (`heads · head_dim`).
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Positions currently cached.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no position has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Planned position capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The storage policy the buffer runs (static scale resolved).
+    pub fn policy(&self) -> KvCachePolicy {
+        match &self.store {
+            KvStore::F32(_) => KvCachePolicy::F32,
+            KvStore::Fp8 {
+                format,
+                static_scale,
+                ..
+            } => KvCachePolicy::Fp8 {
+                format: *format,
+                scale: *static_scale,
+            },
+        }
+    }
+
+    /// Payload bytes currently resident (codes/values + scales) — the
+    /// number `decode_bench` compares against `4 · len · d` for f32.
+    pub fn storage_bytes(&self) -> usize {
+        match &self.store {
+            KvStore::F32(data) => 4 * data.len(),
+            KvStore::Fp8 {
+                codes,
+                static_scale,
+                row_scales,
+                ..
+            } => codes.len() + 4 * (row_scales.len() + usize::from(static_scale.is_some())),
+        }
+    }
+
+    /// Append one position's row. Errors on a ragged row or a full
+    /// buffer; on error the buffer is unchanged.
+    pub fn append_row(&mut self, row: &[f32]) -> Result<(), KvError> {
+        if row.len() != self.d {
+            return Err(KvError::RowShape {
+                expected: self.d,
+                got: row.len(),
+            });
+        }
+        if self.len == self.capacity {
+            return Err(KvError::CapacityOverflow {
+                capacity: self.capacity,
+            });
+        }
+        match &mut self.store {
+            KvStore::F32(data) => data.extend_from_slice(row),
+            KvStore::Fp8 {
+                format,
+                codes,
+                static_scale,
+                row_scales,
+            } => {
+                let codec = Fp8Codec::new(*format);
+                let s = match static_scale {
+                    Some(s) => *s,
+                    None => {
+                        // Per-row dynamic fallback: NaN-aware absmax scale,
+                        // unit on a non-finite/empty row (fp8_scale's guard).
+                        let s = fp8_scale(*format, absmax_nan_aware(row));
+                        row_scales.push(s);
+                        s
+                    }
+                };
+                codes.extend(row.iter().map(|&v| codec.encode(v * s)));
+            }
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Decode element `(position j, column c)`: the f32 value the step
+    /// kernels accumulate. Bit-identical to the corresponding entry of
+    /// [`KvBuf::decode_into`] (same `decode(code) / scale` per element).
+    #[inline]
+    pub fn value_at(&self, j: usize, c: usize) -> f32 {
+        match &self.store {
+            KvStore::F32(data) => data[j * self.d + c],
+            KvStore::Fp8 {
+                format,
+                codes,
+                static_scale,
+                row_scales,
+            } => {
+                let lut = Fp8Lut::for_spec(format.spec());
+                let s = static_scale.unwrap_or_else(|| row_scales[j]);
+                lut.decode(codes[j * self.d + c]) / s
+            }
+        }
+    }
+
+    /// Decode all `len · d` cached values into `out` (position-major, the
+    /// storage layout). The static-scale FP8 arm builds one 256-entry
+    /// scaled decode table (`decode(code) / scale`, the
+    /// [`crate::ScaledDecode`] construction) in pooled scratch and maps
+    /// codes through it — the decode-once staging the blocked step
+    /// kernels amortize over their MAC loops.
+    pub fn decode_into(&self, out: &mut [f32]) {
+        let n = self.len * self.d;
+        debug_assert!(out.len() >= n, "decode_into buffer too small");
+        match &self.store {
+            KvStore::F32(data) => out[..n].copy_from_slice(data),
+            KvStore::Fp8 {
+                format,
+                codes,
+                static_scale,
+                row_scales,
+            } => {
+                let lut = Fp8Lut::for_spec(format.spec());
+                match static_scale {
+                    Some(s) => {
+                        let mut tables = crate::ops::scratch::take_tables();
+                        let buf = tables.buf_mut();
+                        for b in 0..=u8::MAX {
+                            buf.push(lut.decode(b) / s);
+                        }
+                        let table = tables.as_slice();
+                        for (o, &b) in out[..n].iter_mut().zip(codes.iter()) {
+                            *o = table[b as usize];
+                        }
+                    }
+                    None => {
+                        for (j, (orow, crow)) in out[..n]
+                            .chunks_mut(self.d)
+                            .zip(codes.chunks(self.d))
+                            .enumerate()
+                        {
+                            let s = row_scales[j];
+                            for (o, &b) in orow.iter_mut().zip(crow) {
+                                *o = lut.decode(b) / s;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forget every cached position, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        match &mut self.store {
+            KvStore::F32(data) => data.clear(),
+            KvStore::Fp8 {
+                codes, row_scales, ..
+            } => {
+                codes.clear();
+                row_scales.clear();
+            }
+        }
+    }
+}
+
+/// One attention layer's pair of cache buffers.
+#[derive(Debug, Clone)]
+pub struct KvLayer {
+    /// Key rows.
+    pub k: KvBuf,
+    /// Value rows.
+    pub v: KvBuf,
+}
+
+/// The per-layer KV cache of one decode session.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    layers: Vec<KvLayer>,
+    capacity: usize,
+}
+
+impl KvCache {
+    /// A cache with one `(K policy, V policy)` pair per attention layer,
+    /// all rows `d` wide, `capacity` positions per buffer.
+    pub fn new(policies: &[(KvCachePolicy, KvCachePolicy)], d: usize, capacity: usize) -> Self {
+        let layers = policies
+            .iter()
+            .map(|&(pk, pv)| KvLayer {
+                k: KvBuf::new(d, capacity, pk),
+                v: KvBuf::new(d, capacity, pv),
+            })
+            .collect();
+        KvCache { layers, capacity }
+    }
+
+    /// A cache with the same policy on every layer and side.
+    pub fn uniform(layers: usize, d: usize, capacity: usize, policy: KvCachePolicy) -> Self {
+        KvCache::new(&vec![(policy, policy); layers], d, capacity)
+    }
+
+    /// Number of attention layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Planned position capacity per buffer.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Positions cached so far (buffers grow in lockstep; this reads
+    /// layer 0's K buffer, or 0 for a layer-less cache).
+    pub fn len(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.k.len())
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow one layer's buffer.
+    pub fn buf(&self, layer: usize, side: KvSide) -> Result<&KvBuf, KvError> {
+        let layers = self.layers.len();
+        let l = self
+            .layers
+            .get(layer)
+            .ok_or(KvError::LayerOutOfRange { layer, layers })?;
+        Ok(match side {
+            KvSide::K => &l.k,
+            KvSide::V => &l.v,
+        })
+    }
+
+    /// Append one position's row to one layer/side.
+    pub fn append(&mut self, layer: usize, side: KvSide, row: &[f32]) -> Result<(), KvError> {
+        let layers = self.layers.len();
+        let l = self
+            .layers
+            .get_mut(layer)
+            .ok_or(KvError::LayerOutOfRange { layer, layers })?;
+        match side {
+            KvSide::K => l.k.append_row(row),
+            KvSide::V => l.v.append_row(row),
+        }
+    }
+
+    /// Total payload bytes across all buffers.
+    pub fn cache_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.k.storage_bytes() + l.v.storage_bytes())
+            .sum()
+    }
+
+    /// What the same cached positions would occupy as dense f32 — the
+    /// denominator of the `decode_bench` cache-bytes ratio.
+    pub fn f32_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| 4 * (l.k.len() * l.k.d() + l.v.len() * l.v.d()))
+            .sum()
+    }
+
+    /// Forget every cached position in every layer, keeping allocations.
+    pub fn clear(&mut self) {
+        for l in &mut self.layers {
+            l.k.clear();
+            l.v.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+    use ptq_fp8::fake_quant_fp8_lut;
+
+    #[test]
+    fn f32_roundtrip_is_exact() {
+        let mut buf = KvBuf::new(4, 3, KvCachePolicy::F32);
+        let rows = [[1.0f32, -2.5, 0.0, 3.25], [0.5, 0.5, -0.5, -0.5]];
+        for r in &rows {
+            buf.append_row(r).unwrap();
+        }
+        assert_eq!(buf.len(), 2);
+        for (j, r) in rows.iter().enumerate() {
+            for (c, &v) in r.iter().enumerate() {
+                assert_eq!(buf.value_at(j, c).to_bits(), v.to_bits());
+            }
+        }
+        let mut out = vec![0.0; 8];
+        buf.decode_into(&mut out);
+        assert_eq!(&out[..4], &rows[0]);
+    }
+
+    #[test]
+    fn typed_errors_on_ragged_and_full() {
+        let mut buf = KvBuf::new(3, 1, KvCachePolicy::F32);
+        assert_eq!(
+            buf.append_row(&[1.0, 2.0]),
+            Err(KvError::RowShape {
+                expected: 3,
+                got: 2
+            })
+        );
+        buf.append_row(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(
+            buf.append_row(&[4.0, 5.0, 6.0]),
+            Err(KvError::CapacityOverflow { capacity: 1 })
+        );
+        // The failed append left the buffer unchanged.
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.value_at(0, 2), 3.0);
+    }
+
+    #[test]
+    fn fp8_static_scale_matches_fake_quant() {
+        let mut rng = TensorRng::seed(7);
+        let row = rng.normal(&[16], 0.0, 1.0);
+        for format in Fp8Format::ALL {
+            let scale = fp8_scale(format, absmax_nan_aware(row.data()));
+            let mut buf = KvBuf::new(
+                16,
+                4,
+                KvCachePolicy::Fp8 {
+                    format,
+                    scale: Some(scale),
+                },
+            );
+            buf.append_row(row.data()).unwrap();
+            let mut reference = row.data().to_vec();
+            fake_quant_fp8_lut(&mut reference, &Fp8Codec::new(format), scale);
+            let mut out = vec![0.0; 16];
+            buf.decode_into(&mut out);
+            for (c, (&got, &want)) in out.iter().zip(&reference).enumerate() {
+                assert_eq!(got.to_bits(), want.to_bits(), "{format} col {c}");
+                assert_eq!(
+                    buf.value_at(0, c).to_bits(),
+                    want.to_bits(),
+                    "{format} col {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fp8_per_row_fallback_scales_each_row() {
+        let mut buf = KvBuf::new(
+            2,
+            3,
+            KvCachePolicy::Fp8 {
+                format: Fp8Format::E4M3,
+                scale: None,
+            },
+        );
+        buf.append_row(&[1.0, -1.0]).unwrap();
+        buf.append_row(&[100.0, -100.0]).unwrap();
+        // Both rows round-trip near-exactly despite the 100x magnitude
+        // difference: each got its own absmax scale.
+        for (j, mag) in [(0usize, 1.0f32), (1, 100.0)] {
+            let err = (buf.value_at(j, 0) - mag).abs() / mag;
+            assert!(err < 0.1, "row {j} rel err {err}");
+        }
+    }
+
+    #[test]
+    fn degenerate_static_scale_demotes_to_dynamic() {
+        for bad in [0.0f32, f32::NAN, f32::INFINITY] {
+            let buf = KvBuf::new(
+                2,
+                1,
+                KvCachePolicy::Fp8 {
+                    format: Fp8Format::E4M3,
+                    scale: Some(bad),
+                },
+            );
+            assert_eq!(
+                buf.policy(),
+                KvCachePolicy::Fp8 {
+                    format: Fp8Format::E4M3,
+                    scale: None
+                },
+                "scale {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_bytes_under_a_third_of_f32() {
+        let mut rng = TensorRng::seed(9);
+        let d = 32;
+        for scale in [Some(1.0f32), None] {
+            let mut cache = KvCache::uniform(
+                2,
+                d,
+                64,
+                KvCachePolicy::Fp8 {
+                    format: Fp8Format::E4M3,
+                    scale,
+                },
+            );
+            for _ in 0..64 {
+                let row = rng.normal(&[d], 0.0, 1.0);
+                for layer in 0..2 {
+                    cache.append(layer, KvSide::K, row.data()).unwrap();
+                    cache.append(layer, KvSide::V, row.data()).unwrap();
+                }
+            }
+            let (fp8, f32b) = (cache.cache_bytes(), cache.f32_bytes());
+            assert!(3 * fp8 < f32b, "scale {scale:?}: {fp8} bytes vs f32 {f32b}");
+        }
+    }
+
+    #[test]
+    fn cache_layer_indexing_and_clear() {
+        let mut cache = KvCache::uniform(2, 4, 8, KvCachePolicy::F32);
+        assert_eq!(
+            cache.append(5, KvSide::K, &[0.0; 4]),
+            Err(KvError::LayerOutOfRange {
+                layer: 5,
+                layers: 2
+            })
+        );
+        cache.append(0, KvSide::K, &[1.0; 4]).unwrap();
+        cache.append(0, KvSide::V, &[2.0; 4]).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.buf(0, KvSide::V).unwrap().value_at(0, 0), 2.0);
+        assert!(cache.buf(9, KvSide::K).is_err());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.cache_bytes(), 0);
+    }
+
+    #[test]
+    fn error_display_is_descriptive() {
+        let e = KvError::CapacityOverflow { capacity: 64 };
+        assert!(e.to_string().contains("64"));
+        let e = KvError::RowShape {
+            expected: 8,
+            got: 7,
+        };
+        assert!(e.to_string().contains("8") && e.to_string().contains("7"));
+    }
+}

@@ -17,6 +17,7 @@
 //! is the FP32 side of that emulation.
 
 pub mod act;
+pub mod kv;
 pub mod ops;
 pub mod qtensor;
 pub mod rng;
@@ -25,6 +26,7 @@ pub mod stats;
 pub mod tensor;
 
 pub use act::{fake_quant_per_tile, tile_scale, ActDecode, QActTensor};
+pub use kv::{KvBuf, KvCache, KvCachePolicy, KvError, KvLayer, KvSide};
 pub use qtensor::{QTensor, ScaledDecode};
 pub use rng::TensorRng;
 pub use shape::{Shape, ShapeError};

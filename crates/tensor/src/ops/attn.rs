@@ -1,0 +1,308 @@
+//! Incremental-attention step kernels over a [`KvBuf`] cache.
+//!
+//! One decode step computes, per attention layer, the single newest query
+//! row against every cached position:
+//!
+//! * [`attention_step_q`]: `scores[h, 0, j] = Σ_kk q[h, 0, kk] · K[j][h·dh + kk]`
+//!   — the step slice of the full path's `bmm(qh, khᵀ)`.
+//! * [`attention_step_v`]: `ctx[h, 0, c] = Σ_j probs[h, 0, j] · V[j][h·dh + c]`
+//!   — the step slice of `bmm(probs, vh)`.
+//!
+//! ## Bit-identity contract
+//!
+//! Both kernels reproduce [`super::batch_matmul_into`]'s accumulation
+//! exactly for their output row: per output element one ascending chain
+//! over the contraction index, with the same `av == 0.0` zero-skip on the
+//! lhs element. With an F32 cache this makes a decode step bit-identical
+//! to row `i` of the full-window forward (every upstream op is
+//! row-independent; the softmax −inf tail contributes exact `+0.0`s —
+//! see DESIGN.md §16 for the full argument). With an FP8 cache the
+//! accumulated *values* are the dequantized codes (`decode(code)/scale`
+//! per element, the crate-wide scaled-decode convention), so the only
+//! deviation from the reference is the storage rounding itself.
+//!
+//! Both [`KernelPath`]s are bit-identical to each other: the blocked path
+//! decodes the cache once into pooled scratch panels
+//! ([`super::scratch`]) — for scores additionally packing each head's
+//! keys k-major so the inner MAC loop is contiguous — while the scalar
+//! reference decodes inline per element. Same per-element values, same
+//! per-output chains, different staging only.
+
+use super::{scratch, KernelPath};
+use crate::kv::KvBuf;
+use crate::tensor::Tensor;
+
+/// Step score kernel: `q [heads, 1, dh]` against a `K` cache of
+/// `len` positions with `d = heads · dh` wide rows → `out [heads, 1, len]`.
+///
+/// # Panics
+///
+/// Panics if `q` is not `[heads, 1, dh]` with `heads · dh` matching the
+/// cache row width (the decode planner validates shapes before any step
+/// runs, so this is an internal-contract assert like the other kernels').
+pub fn attention_step_q(q: &Tensor, cache: &KvBuf, out: &mut Tensor, path: KernelPath) {
+    assert_eq!(q.ndim(), 3, "step q must be [heads, 1, dh]");
+    let (heads, one, dh) = (q.dim(0), q.dim(1), q.dim(2));
+    assert_eq!(one, 1, "step q carries a single query row");
+    let d = cache.d();
+    assert_eq!(
+        heads * dh,
+        d,
+        "q heads*dh {} vs cache row width {d}",
+        heads * dh
+    );
+    let len = cache.len();
+    out.reuse_as(&[heads, 1, len]);
+    out.zero_fill();
+    if len == 0 {
+        return;
+    }
+    let qd = q.data();
+    let od = out.data_mut();
+    match path {
+        KernelPath::ScalarReference => {
+            for h in 0..heads {
+                let orow = &mut od[h * len..(h + 1) * len];
+                for kk in 0..dh {
+                    let av = qd[h * dh + kk];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let col = h * dh + kk;
+                    for (j, r) in orow.iter_mut().enumerate() {
+                        *r += av * cache.value_at(j, col);
+                    }
+                }
+            }
+        }
+        KernelPath::Blocked => {
+            // Decode every cached row once, then pack each head's keys
+            // k-major ([dh, len]) so the inner j loop runs contiguous.
+            scratch::with_panel(len * d, |panel| {
+                cache.decode_into(panel);
+                scratch::with_panel2(dh * len, |kt| {
+                    for h in 0..heads {
+                        for kk in 0..dh {
+                            let col = h * dh + kk;
+                            for j in 0..len {
+                                kt[kk * len + j] = panel[j * d + col];
+                            }
+                        }
+                        let orow = &mut od[h * len..(h + 1) * len];
+                        for kk in 0..dh {
+                            let av = qd[h * dh + kk];
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let krow = &kt[kk * len..(kk + 1) * len];
+                            for (j, r) in orow.iter_mut().enumerate() {
+                                *r += av * krow[j];
+                            }
+                        }
+                    }
+                });
+            });
+        }
+    }
+}
+
+/// Step context kernel: `probs [heads, 1, len]` against a `V` cache of
+/// the same `len` → `out [heads, 1, dh]`.
+///
+/// The `av == 0.0` skip doubles as the masked-tail guard: softmax rows
+/// whose −inf-masked entries became exact zeros contribute no additions,
+/// exactly as in the full-window `batch_matmul`.
+///
+/// # Panics
+///
+/// Panics if `probs` is not `[heads, 1, len]` matching the cache length
+/// (internal contract; the decode planner validates first).
+pub fn attention_step_v(probs: &Tensor, cache: &KvBuf, out: &mut Tensor, path: KernelPath) {
+    assert_eq!(probs.ndim(), 3, "step probs must be [heads, 1, len]");
+    let (heads, one, len) = (probs.dim(0), probs.dim(1), probs.dim(2));
+    assert_eq!(one, 1, "step probs carry a single query row");
+    assert_eq!(
+        len,
+        cache.len(),
+        "probs len {len} vs cache len {}",
+        cache.len()
+    );
+    let d = cache.d();
+    assert_eq!(
+        d % heads,
+        0,
+        "heads {heads} must divide cache row width {d}"
+    );
+    let dh = d / heads;
+    out.reuse_as(&[heads, 1, dh]);
+    out.zero_fill();
+    if len == 0 {
+        return;
+    }
+    let pd = probs.data();
+    let od = out.data_mut();
+    match path {
+        KernelPath::ScalarReference => {
+            for h in 0..heads {
+                let orow = &mut od[h * dh..(h + 1) * dh];
+                for j in 0..len {
+                    let av = pd[h * len + j];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (c, r) in orow.iter_mut().enumerate() {
+                        *r += av * cache.value_at(j, h * dh + c);
+                    }
+                }
+            }
+        }
+        KernelPath::Blocked => {
+            // Decode once; each (position, head) value slice is already
+            // contiguous in the position-major panel.
+            scratch::with_panel(len * d, |panel| {
+                cache.decode_into(panel);
+                for h in 0..heads {
+                    let orow = &mut od[h * dh..(h + 1) * dh];
+                    for j in 0..len {
+                        let av = pd[h * len + j];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let vrow = &panel[j * d + h * dh..j * d + (h + 1) * dh];
+                        for (c, r) in orow.iter_mut().enumerate() {
+                            *r += av * vrow[c];
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{KvCachePolicy, KvSide};
+    use crate::ops::batch_matmul;
+    use crate::rng::TensorRng;
+    use crate::KvCache;
+    use ptq_fp8::Fp8Format;
+
+    const HEADS: usize = 3;
+    const DH: usize = 5;
+    const D: usize = HEADS * DH;
+
+    /// Build an F32 cache from `len` random rows plus the matching
+    /// `[heads, dh, len]` (K, transposed) / `[heads, len, dh]` (V)
+    /// dense tensors the full-path bmm reads.
+    fn cache_and_dense(len: usize, seed: u64, policy: KvCachePolicy) -> (KvCache, Tensor, Tensor) {
+        let mut rng = TensorRng::seed(seed);
+        let mut cache = KvCache::uniform(1, D, len + 2, policy);
+        let mut rows = Vec::with_capacity(len);
+        for _ in 0..len {
+            let row = rng.normal(&[D], 0.0, 1.0);
+            cache.append(0, KvSide::K, row.data()).unwrap();
+            cache.append(0, KvSide::V, row.data()).unwrap();
+            rows.push(row);
+        }
+        // Dense forms decoded *from the cache* so FP8 rounding matches.
+        let kbuf = cache.buf(0, KvSide::K).unwrap();
+        let mut kt = vec![0.0f32; HEADS * DH * len];
+        let mut v = vec![0.0f32; HEADS * len * DH];
+        for h in 0..HEADS {
+            for j in 0..len {
+                for c in 0..DH {
+                    let val = kbuf.value_at(j, h * DH + c);
+                    kt[h * DH * len + c * len + j] = val;
+                    v[h * len * DH + j * DH + c] = val;
+                }
+            }
+        }
+        (
+            cache,
+            Tensor::from_vec(kt, &[HEADS, DH, len]),
+            Tensor::from_vec(v, &[HEADS, len, DH]),
+        )
+    }
+
+    #[test]
+    fn step_q_matches_batch_matmul_bitwise() {
+        for policy in [
+            KvCachePolicy::F32,
+            KvCachePolicy::Fp8 {
+                format: Fp8Format::E4M3,
+                scale: None,
+            },
+        ] {
+            let (cache, kt, _) = cache_and_dense(9, 11, policy);
+            let q = TensorRng::seed(12).normal(&[HEADS, 1, DH], 0.0, 1.0);
+            let reference = batch_matmul(&q, &kt);
+            for path in [KernelPath::Blocked, KernelPath::ScalarReference] {
+                let mut out = Tensor::default();
+                attention_step_q(&q, cache.buf(0, KvSide::K).unwrap(), &mut out, path);
+                assert_eq!(out.shape(), &[HEADS, 1, 9]);
+                for (i, (a, b)) in out.data().iter().zip(reference.data()).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{policy:?} {path} elem {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_v_matches_batch_matmul_bitwise() {
+        for policy in [
+            KvCachePolicy::F32,
+            KvCachePolicy::Fp8 {
+                format: Fp8Format::E5M2,
+                scale: Some(0.5),
+            },
+        ] {
+            let (cache, _, v) = cache_and_dense(7, 21, policy);
+            let mut probs = TensorRng::seed(22).normal(&[HEADS, 1, 7], 0.0, 1.0);
+            // Exact zeros exercise the masked-tail skip.
+            probs.data_mut()[3] = 0.0;
+            probs.data_mut()[HEADS * 7 - 1] = 0.0;
+            let reference = batch_matmul(&probs, &v);
+            for path in [KernelPath::Blocked, KernelPath::ScalarReference] {
+                let mut out = Tensor::default();
+                attention_step_v(&probs, cache.buf(0, KvSide::V).unwrap(), &mut out, path);
+                assert_eq!(out.shape(), &[HEADS, 1, DH]);
+                for (i, (a, b)) in out.data().iter().zip(reference.data()).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{policy:?} {path} elem {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_agree_on_fp8_static_scale_cache() {
+        let (cache, _, _) = cache_and_dense(
+            13,
+            31,
+            KvCachePolicy::Fp8 {
+                format: Fp8Format::E3M4,
+                scale: Some(2.0),
+            },
+        );
+        let q = TensorRng::seed(32).normal(&[HEADS, 1, DH], 0.0, 1.0);
+        let (mut a, mut b) = (Tensor::default(), Tensor::default());
+        let kbuf = cache.buf(0, KvSide::K).unwrap();
+        attention_step_q(&q, kbuf, &mut a, KernelPath::Blocked);
+        attention_step_q(&q, kbuf, &mut b, KernelPath::ScalarReference);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_cache_yields_empty_scores() {
+        let cache = KvCache::uniform(1, D, 4, KvCachePolicy::F32);
+        let q = TensorRng::seed(1).normal(&[HEADS, 1, DH], 0.0, 1.0);
+        let mut out = Tensor::default();
+        attention_step_q(
+            &q,
+            cache.buf(0, KvSide::K).unwrap(),
+            &mut out,
+            KernelPath::Blocked,
+        );
+        assert_eq!(out.shape(), &[HEADS, 1, 0]);
+    }
+}

@@ -6,6 +6,7 @@
 //! surround them in real networks.
 
 pub mod activation;
+pub mod attn;
 pub(crate) mod blocked;
 pub mod conv;
 pub mod embedding;
@@ -18,6 +19,7 @@ pub use activation::{
     gelu, gelu_into, relu, relu_into, sigmoid, sigmoid_into, silu, silu_into, softmax_lastdim,
     softmax_lastdim_into, tanh, tanh_into,
 };
+pub use attn::{attention_step_q, attention_step_v};
 pub use conv::{
     conv2d, conv2d_into, conv2d_q, conv2d_q_into, conv2d_q_into_path, conv2d_qq, conv2d_qq_into,
     conv2d_qq_into_path, depthwise_conv2d, depthwise_conv2d_into, depthwise_conv2d_q,

@@ -307,14 +307,21 @@ pub fn upsample2x_shape(x: &[usize]) -> Result<Shape, ShapeError> {
     Ok(vec![x[0], x[1], 2 * x[2], 2 * x[3]])
 }
 
-/// Causal mask: `[batch, seq, seq]` with square score matrices.
+/// Causal mask: `[batch, s1, s2]` score matrices with `s1 <= s2`.
+///
+/// The square case (`s1 == s2`) is the classic full-window decoder mask.
+/// The rectangular case is *bottom-aligned*: the `s1` query rows are the
+/// **last** `s1` positions of an `s2`-long key sequence, so row `i` may
+/// attend keys `j <= i + (s2 - s1)`. The incremental decode step is the
+/// `s1 == 1` corner, where the single (latest) query row re-masks nothing:
+/// every already-emitted position stays visible.
 pub fn causal_mask_shape(x: &[usize]) -> Result<Shape, ShapeError> {
     if x.len() != 3 {
-        return err(format!("CausalMask expects [batch, seq, seq], got {x:?}"));
+        return err(format!("CausalMask expects [batch, s1, s2], got {x:?}"));
     }
-    if x[1] != x[2] {
+    if x[1] > x[2] {
         return err(format!(
-            "CausalMask expects square score matrices, got {x:?}"
+            "CausalMask expects s1 <= s2 (bottom-aligned rows), got {x:?}"
         ));
     }
     Ok(x.to_vec())
@@ -414,7 +421,11 @@ mod tests {
         assert!(permute_shape(&[2, 3, 4], &[0, 0, 1]).is_err());
         assert!(permute_shape(&[2, 3, 4], &[0, 1]).is_err());
         assert_eq!(causal_mask_shape(&[2, 4, 4]).unwrap(), vec![2, 4, 4]);
-        assert!(causal_mask_shape(&[2, 4, 5]).is_err());
+        // Bottom-aligned rectangular rows (incremental decode steps) are
+        // legal; more query rows than keys is not.
+        assert_eq!(causal_mask_shape(&[2, 4, 5]).unwrap(), vec![2, 4, 5]);
+        assert_eq!(causal_mask_shape(&[2, 1, 7]).unwrap(), vec![2, 1, 7]);
+        assert!(causal_mask_shape(&[2, 5, 4]).is_err());
         assert!(causal_mask_shape(&[4, 4]).is_err());
         assert_eq!(upsample2x_shape(&[1, 2, 3, 3]).unwrap(), vec![1, 2, 6, 6]);
         assert!(upsample2x_shape(&[2, 3, 3]).is_err());

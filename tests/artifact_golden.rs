@@ -1,16 +1,16 @@
 //! Golden-artifact compatibility pin.
 //!
-//! `tests/golden/quantized_e4m3_v2.ptq` is a committed version-2 artifact
-//! (quick-zoo workload 0, E4M3 recipe, default serving section, written by
-//! `PtqSession::save_artifact`). Today's reader must keep loading it and
-//! scoring it bit-equal to the pinned output below — any wire-format
-//! change that breaks old artifacts fails here instead of in the field.
-//! The writer is pinned too: re-encoding the loaded artifact must
-//! reproduce the committed bytes, so the format cannot drift silently
-//! even in a compatible-reader direction.
+//! `tests/golden/quantized_e4m3_v3.ptq` is a committed version-3 artifact
+//! (quick-zoo workload 0, E4M3 recipe, default serving section and
+//! kv_storage knob, written by `PtqSession::save_artifact`). Today's
+//! reader must keep loading it and scoring it bit-equal to the pinned
+//! output below — any wire-format change that breaks old artifacts fails
+//! here instead of in the field. The writer is pinned too: re-encoding
+//! the loaded artifact must reproduce the committed bytes, so the format
+//! cannot drift silently even in a compatible-reader direction.
 //!
-//! The superseded version-1 fixture stays committed as
-//! `tests/golden/quantized_e4m3_v1.ptq`: it pins the *rejection* path, so
+//! The superseded version-2 fixture stays committed as
+//! `tests/golden/quantized_e4m3_v2.ptq`: it pins the *rejection* path, so
 //! old files fail with a clear `UnsupportedVersion` instead of being
 //! misparsed.
 //!
@@ -29,11 +29,11 @@ use fp8_ptq::models::{build_zoo, ZooFilter};
 use fp8_ptq::nn::UnwrapOk;
 use std::path::PathBuf;
 
-const FIXTURE: &str = "tests/golden/quantized_e4m3_v2.ptq";
+const FIXTURE: &str = "tests/golden/quantized_e4m3_v3.ptq";
 
 /// The previous-format fixture, kept only to pin the version-rejection
 /// error (see `reader_rejects_the_previous_version_with_a_clear_error`).
-const OLD_FIXTURE: &str = "tests/golden/quantized_e4m3_v1.ptq";
+const OLD_FIXTURE: &str = "tests/golden/quantized_e4m3_v2.ptq";
 
 /// Pinned quantized eval score of the fixture model on quick-zoo
 /// workload 0, as IEEE-754 bits. Set by the `regenerate` test; must never
@@ -72,7 +72,7 @@ fn golden_artifact_bytes_are_reproduced_by_todays_writer() {
     assert_eq!(
         art.to_bytes(),
         committed,
-        "writer output drifted from the committed version-2 artifact"
+        "writer output drifted from the committed version-3 artifact"
     );
 }
 
@@ -115,8 +115,8 @@ fn reader_rejects_the_previous_version_with_a_clear_error() {
     let err = PtqArtifact::load(&old).err().unwrap();
     let msg = err.to_string();
     assert!(
-        msg.contains("version") && msg.contains('1'),
-        "v1 fixture must fail with a version error naming the found version: {msg}"
+        msg.contains("version") && msg.contains('2'),
+        "v2 fixture must fail with a version error naming the found version: {msg}"
     );
 }
 
